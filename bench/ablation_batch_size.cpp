@@ -1,0 +1,116 @@
+// §7.2 — "The Impact of Batch Size".
+//
+// The paper's claims, reproduced with real measurements on this library's
+// kernels and real training runs:
+//   (1) growing the batch speeds up raw throughput because the GEMMs get
+//       larger and run more efficiently (measured wall-clock samples/s of
+//       forward+backward, no simulation involved);
+//   (2) beyond a threshold, larger batches need more epochs to reach the
+//       same accuracy (iterations × batch = samples-to-target grows).
+#include <cstdio>
+
+#include "core/easgd_rules.hpp"
+#include "data/sampler.hpp"
+#include "nn/layers.hpp"
+#include "support/timer.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+// FC-dominated model: the batch dimension IS the GEMM row count, so BLAS
+// efficiency genuinely rises with batch size (the §7.2 claim). The zoo's
+// conv nets lower per image and would mask the effect.
+std::unique_ptr<ds::Network> make_wide_mlp() {
+  ds::Rng rng(7);
+  auto net = std::make_unique<ds::Network>(ds::Shape{1, 28, 28});
+  net->add(std::make_unique<ds::Flatten>());
+  net->add(std::make_unique<ds::FullyConnected>(784, 512));
+  net->add(std::make_unique<ds::ReLU>());
+  net->add(std::make_unique<ds::FullyConnected>(512, 512));
+  net->add(std::make_unique<ds::ReLU>());
+  net->add(std::make_unique<ds::FullyConnected>(512, 10));
+  net->finalize(rng);
+  return net;
+}
+
+}  // namespace
+
+int main() {
+  ds::bench::print_header("Ablation (7.2): the impact of batch size");
+
+  const ds::TrainTest data = ds::mnist_like(42, 2048, 512);
+  const double target = 0.92;
+  const ds::GpuSystem hw(ds::GpuSystemConfig{}, ds::paper_lenet(),
+                         28.0 * 28.0 * 4.0);
+
+  std::printf("%7s %15s %17s %12s %14s %16s\n", "batch", "MLP throughput",
+              "device throughput", "iters to", "samples to",
+              "time to target");
+  std::printf("%7s %15s %17s %12s %14s %16s\n", "", "(samples/s, wall)",
+              "(samples/s, virt)", std::to_string(target).substr(0, 4).c_str(),
+              "target", "(wall s, LeNet)");
+
+  for (const std::size_t batch : {4UL, 16UL, 64UL, 256UL, 1024UL}) {
+    ds::BatchSampler sampler(data.train, batch, 11);
+    ds::Tensor images;
+    std::vector<std::int32_t> labels;
+
+    // (1) raw throughput of the FC-dominated model: timed forward+backward
+    //     over a fixed total sample count (real wall clock, no simulation).
+    const auto mlp = make_wide_mlp();
+    sampler.next(images, labels);
+    mlp->zero_grads();
+    mlp->forward_backward(images, labels);  // warm-up
+    const std::size_t reps = std::max<std::size_t>(4096 / batch, 1);
+    ds::WallTimer timer;
+    for (std::size_t r = 0; r < reps; ++r) {
+      mlp->zero_grads();
+      mlp->forward_backward(images, labels);
+    }
+    const double throughput =
+        static_cast<double>(reps * batch) / timer.seconds();
+
+    // (2) iterations to target accuracy with a fixed learning rate.
+    ds::Rng rng2(7);
+    const auto train_net = ds::make_lenet_s(rng2);
+    std::size_t iters = 0;
+    double reached_wall = 0.0;
+    bool reached = false;
+    ds::WallTimer wall;
+    const std::size_t max_iters = 6000 / batch + 400;
+    std::vector<std::size_t> eval_idx(256);
+    for (std::size_t i = 0; i < eval_idx.size(); ++i) eval_idx[i] = i;
+    ds::Tensor eval_images;
+    std::vector<std::int32_t> eval_labels;
+    ds::gather_batch(data.test, eval_idx, eval_images, eval_labels);
+    while (iters < max_iters && !reached) {
+      ++iters;
+      sampler.next(images, labels);
+      train_net->zero_grads();
+      train_net->forward_backward(images, labels);
+      ds::sgd_step(train_net->arena().full_params(),
+                   train_net->arena().full_grads(), 0.08f);
+      if (iters % 10 == 0) {
+        const ds::LossResult r =
+            train_net->evaluate_batch(eval_images, eval_labels);
+        if (static_cast<double>(r.correct) / 256.0 >= target) {
+          reached = true;
+          reached_wall = wall.seconds();
+        }
+      }
+    }
+    if (!reached) reached_wall = wall.seconds();
+    const double virt_throughput =
+        static_cast<double>(batch) / hw.fwd_bwd_seconds(batch);
+    std::printf("%7zu %15.0f %17.0f %12zu%s %14zu %16.2f\n", batch,
+                throughput, virt_throughput, iters, reached ? " " : "*",
+                iters * batch, reached_wall);
+  }
+  std::printf("\n(*) target not reached within the iteration budget\n");
+  std::printf(
+      "Expected shape (7.2): device throughput rises with batch "
+      "(launch-overhead\namortisation + larger GEMMs) and plateaus; "
+      "samples-to-target rises past the\nsweet spot, so time-to-accuracy "
+      "is U-shaped.\n");
+  return 0;
+}

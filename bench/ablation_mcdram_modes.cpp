@@ -1,0 +1,47 @@
+// Ablation — MCDRAM operating modes (paper Figure 2 and §2.1).
+//
+// Effective streaming bandwidth of a working set under cache / flat /
+// hybrid MCDRAM configurations, swept across working-set sizes. The
+// qualitative story the paper's Figure 2 tells: flat mode wins when
+// software places data explicitly and it fits (the §6.2 partitioning
+// strategy relies on this); cache mode degrades gracefully without code
+// changes; hybrid sits between.
+#include <cstdio>
+
+#include "simhw/knl_chip.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  ds::bench::print_header("Ablation: MCDRAM modes (Figure 2)");
+
+  const ds::KnlChip chip;
+  std::printf("chip: %.0f GB MCDRAM @ %.0f GB/s, DDR @ %.0f GB/s\n\n",
+              chip.config().mcdram_bytes / (1024.0 * 1024 * 1024),
+              chip.config().mcdram_bandwidth / 1e9,
+              chip.config().ddr_bandwidth / 1e9);
+
+  std::printf("%16s %12s %12s %12s\n", "working set", "flat", "cache",
+              "hybrid");
+  std::printf("%16s %12s %12s %12s\n", "(GB)", "(GB/s)", "(GB/s)", "(GB/s)");
+  for (const double gb : {1.0, 4.0, 8.0, 16.0, 24.0, 32.0, 64.0, 128.0, 256.0}) {
+    const double ws = gb * 1024.0 * 1024.0 * 1024.0;
+    std::printf("%16.0f %12.0f %12.0f %12.0f\n", gb,
+                chip.mode_bandwidth(ds::McdramMode::kFlat, ws) / 1e9,
+                chip.mode_bandwidth(ds::McdramMode::kCache, ws) / 1e9,
+                chip.mode_bandwidth(ds::McdramMode::kHybrid, ws) / 1e9);
+  }
+
+  std::printf("\nCluster-mode locality anchors (2.1), as fractions of peak "
+              "MCDRAM bandwidth\nreachable by pinned partitions:\n");
+  for (const auto mode :
+       {ds::KnlClusterMode::kAll2All, ds::KnlClusterMode::kQuadrant,
+        ds::KnlClusterMode::kSnc4}) {
+    std::printf("  %-12s %.2f\n", ds::knl_cluster_mode_name(mode),
+                chip.cluster_mode_locality(mode));
+  }
+  std::printf(
+      "\nThe 6.2 divide-and-conquer assumes flat mode + SNC-style pinning: "
+      "P weight/data\ncopies placed in MCDRAM explicitly — the best row "
+      "above, until capacity runs out\n(Figure 12's P=32 cliff).\n");
+  return 0;
+}

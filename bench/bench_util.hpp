@@ -1,0 +1,118 @@
+// Shared harness pieces for the table/figure reproduction binaries: canonical
+// experiment setups (datasets, model factories, hardware models with the
+// calibrated defaults) and trace printing.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/context.hpp"
+#include "core/methods.hpp"
+#include "core/run_result.hpp"
+#include "data/dataset.hpp"
+#include "nn/models.hpp"
+#include "simhw/gpu_system.hpp"
+
+namespace ds::bench {
+
+/// MNIST-like + LeNet-S on the 4-GPU node — the setup of Figures 6/8 and
+/// Table 3 ("The test is for Mnist dataset on 4 GPUs").
+struct MnistLenetSetup {
+  TrainTest data;
+  AlgoContext ctx;
+  GpuSystem hw;
+
+  explicit MnistLenetSetup(std::size_t train_count = 2048,
+                           std::size_t test_count = 512)
+      : data(mnist_like(42, train_count, test_count)),
+        hw(GpuSystemConfig{}, paper_lenet(), 28.0 * 28.0 * 4.0) {
+    ctx.factory = [] {
+      Rng rng(7);
+      return make_lenet_s(rng);
+    };
+    ctx.train = &data.train;
+    ctx.test = &data.test;
+    ctx.config.workers = 4;
+    ctx.config.batch_size = 32;
+    ctx.config.iterations = 300;
+    // Aggressive enough that parameter-server SGD visibly suffers from
+    // gradient staleness while elastic averaging stays stable — the regime
+    // Figures 6/8 are about.
+    ctx.config.learning_rate = 0.08f;
+    ctx.config.momentum = 0.9f;
+    // EASGD moving-rate rule (Zhang et al.): η·ρ ≈ 0.9/P per interaction.
+    ctx.config.rho = 0.9f / (static_cast<float>(ctx.config.workers) *
+                             ctx.config.learning_rate);
+    ctx.config.eval_every = 25;
+    ctx.config.eval_samples = 256;
+  }
+};
+
+/// Cifar-like + AlexNet-S on the 4-GPU node (Figure 10 / Figure 12 inputs).
+struct CifarAlexnetSetup {
+  TrainTest data;
+  AlgoContext ctx;
+  GpuSystem hw;
+
+  explicit CifarAlexnetSetup(std::size_t train_count = 2048,
+                             std::size_t test_count = 512,
+                             PackMode pack = PackMode::kPacked)
+      : data(cifar_like(42, train_count, test_count)),
+        hw(GpuSystemConfig{}, paper_alexnet(), 3.0 * 32.0 * 32.0 * 4.0) {
+    ctx.factory = [pack] {
+      Rng rng(7);
+      return make_alexnet_s(rng, pack);
+    };
+    ctx.train = &data.train;
+    ctx.test = &data.test;
+    ctx.config.workers = 4;
+    ctx.config.batch_size = 16;
+    ctx.config.iterations = 120;
+    ctx.config.learning_rate = 0.03f;
+    ctx.config.momentum = 0.9f;
+    ctx.config.rho = 0.9f / (static_cast<float>(ctx.config.workers) *
+                             ctx.config.learning_rate);
+    ctx.config.eval_every = 20;
+    ctx.config.eval_samples = 256;
+  }
+};
+
+/// Methods that advance one batch per "iteration" (the round-robin baseline
+/// and the asynchronous family) get the same total SAMPLE budget as the
+/// synchronous methods, which advance `workers` batches per iteration.
+inline void scale_budget_to_samples(AlgoContext& ctx, Method m) {
+  if (m != Method::kSyncEasgd) {
+    ctx.config.iterations *= ctx.config.workers;
+    ctx.config.eval_every *= ctx.config.workers;
+  }
+}
+
+/// Print one run's accuracy trace as aligned columns.
+inline void print_trace(const RunResult& r) {
+  std::printf("%s (%zu iterations, %.2f virtual s)\n", r.method.c_str(),
+              r.iterations, r.total_seconds);
+  std::printf("  %9s %10s %9s %9s %12s\n", "iteration", "vtime(s)", "loss",
+              "accuracy", "log10(err)");
+  for (const TracePoint& p : r.trace) {
+    const double err = std::max(1.0 - p.accuracy, 1e-4);
+    std::printf("  %9zu %10.3f %9.4f %9.3f %12.3f\n", p.iteration, p.vtime,
+                p.loss, p.accuracy, std::log10(err));
+  }
+}
+
+/// Compact one-line-per-point CSV block (method,iter,vtime,loss,accuracy).
+inline void print_csv(const std::vector<RunResult>& runs) {
+  std::printf("csv:method,iteration,vtime_s,loss,accuracy\n");
+  for (const RunResult& r : runs) {
+    std::printf("%s", r.trace_csv().c_str());
+  }
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n==== %s ====\n\n", title.c_str());
+}
+
+}  // namespace ds::bench

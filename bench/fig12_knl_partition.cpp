@@ -1,0 +1,95 @@
+// Figure 12 — "Partitioning a KNL chip into groups and making each group
+// process one local weight can improve the performance."
+//
+// The §6.2 divide-and-conquer: split the chip into P groups, each with its
+// own weight copy and data copy; tree-sum gradients each round. Real
+// training (AlexNet-S on the Cifar stand-in) provides rounds-to-accuracy;
+// the KnlChip memory model (MCDRAM residency + tag-directory locality)
+// provides the per-round time at paper scale (AlexNet 249 MB weights, one
+// Cifar copy 687 MB).
+//
+// Paper numbers to match in shape: 1 part 1605 s, 4 parts 1025 s, 8 parts
+// 823 s, 16 parts 490 s (3.3×); 32 parts exceeds the 16 GB MCDRAM and
+// regresses.
+#include <cstdio>
+
+#include "core/knl_algorithms.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  ds::bench::print_header("Figure 12: KNL chip partitioning (\"P parts\")");
+
+  const ds::KnlChip chip;
+  std::printf("chip: %zu cores, %.0f GB MCDRAM @ %.0f GB/s, DDR @ %.0f GB/s\n",
+              chip.config().cores, chip.config().mcdram_bytes / 1024 / 1024 / 1024,
+              chip.config().mcdram_bandwidth / 1e9,
+              chip.config().ddr_bandwidth / 1e9);
+  std::printf("workload: AlexNet (249 MB weights) + one Cifar copy (687 MB) "
+              "per partition\n\n");
+
+  // Fixed TOTAL batch: the chip's resources are constant, so partitioning
+  // splits the same 64-sample round across P groups (P groups × 64/P
+  // samples). Every P then runs the identical optimisation trajectory —
+  // the test suite asserts partitioned gradient-summing equals large-batch
+  // SGD — and the time axis isolates the memory-system effect, which is
+  // the paper's explanation of Figure 12.
+  constexpr std::size_t kTotalBatch = 64;
+
+  std::printf("%6s %10s %12s %10s %10s %12s %10s %8s\n", "parts", "foot(GB)",
+              "bw(GB/s)", "own-rounds", "round(s)", "time-to-acc", "final",
+              "speedup");
+
+  // The optimisation trajectory is statistically identical for every P
+  // (fixed effective batch), so time-to-accuracy is priced on a COMMON
+  // round budget, measured once at P=1 with a robust criterion; each P's
+  // own measured rounds-to-target is printed alongside to validate the
+  // statistical equivalence.
+  std::size_t common_rounds = 0;
+  double base_time = 0.0;
+  for (const std::size_t parts : {1UL, 2UL, 4UL, 8UL, 16UL, 32UL}) {
+    ds::bench::CifarAlexnetSetup setup(1024, 512);
+    setup.ctx.config.batch_size = std::max<std::size_t>(kTotalBatch / parts, 1);
+    setup.ctx.config.eval_every = 2;
+    setup.ctx.config.eval_samples = 512;
+    setup.ctx.config.learning_rate = 0.02f;
+
+    ds::KnlPartitionConfig pcfg;
+    pcfg.parts = parts;
+    pcfg.paper_model = ds::paper_alexnet();
+    pcfg.target_accuracy = 2.0;  // run the full budget; robust
+                                 // time-to-target is derived below
+    pcfg.max_rounds = 90;
+    pcfg.scale_lr_with_parts = false;  // effective batch is constant
+
+    const ds::KnlPartitionResult r =
+        run_knl_partition(setup.ctx, chip, pcfg);
+
+    // Robust rounds-to-accuracy: first probe of two CONSECUTIVE probes at
+    // or above the target (a single noisy crossing does not count).
+    const double target = 0.9;
+    std::size_t rounds_to = r.rounds;
+    bool reached = false;
+    for (std::size_t i = 0; i + 1 < r.run.trace.size(); ++i) {
+      if (r.run.trace[i].accuracy >= target &&
+          r.run.trace[i + 1].accuracy >= target) {
+        rounds_to = r.run.trace[i].iteration;
+        reached = true;
+        break;
+      }
+    }
+    if (parts == 1) common_rounds = rounds_to;
+    const double time_to =
+        static_cast<double>(common_rounds) * r.round_seconds;
+    if (parts == 1) base_time = time_to;
+    std::printf("%6zu %10.2f %12.0f %9zu%s %10.3f %12.1f %10.3f %7.2fx\n",
+                parts, r.footprint_gb, r.bandwidth_gbs, rounds_to,
+                reached ? " " : "*", r.round_seconds, time_to,
+                r.run.final_accuracy, base_time / time_to);
+  }
+  std::printf("\n(*) own-run target crossing not observed within the round "
+              "budget (noise; the\n    common-budget time column is "
+              "unaffected)\n");
+  std::printf("paper: P=1 1605s, P=4 1025s (1.6x), P=8 823s (2.0x), "
+              "P=16 490s (3.3x); P=32 exceeds MCDRAM\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 13 — "The benefits of using more machines and more data: (1) get
+// the target accuracy in a shorter time, and (2) achieve a higher accuracy
+// in a fixed time."
+//
+// Weak scaling with Algorithm 4 (Communication-Efficient EASGD on a KNL
+// cluster): every node holds one full data copy and the per-node batch size
+// is fixed (the paper uses Cifar with batch 64 per node), so adding nodes
+// adds data processed per unit time. Output: loss/accuracy-vs-virtual-time
+// curves for 1, 2, 4, 8 nodes — a vertical line (fixed time) meets a lower
+// loss with more nodes; a horizontal line (fixed loss) is met earlier.
+#include <cstdio>
+#include <vector>
+
+#include "core/knl_algorithms.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  ds::bench::print_header(
+      "Figure 13: more machines + more data (weak scaling benefit)");
+
+  std::vector<ds::RunResult> runs;
+  for (const std::size_t nodes : {1UL, 2UL, 4UL, 8UL}) {
+    ds::bench::MnistLenetSetup setup;
+    setup.ctx.config.workers = nodes;
+    setup.ctx.config.iterations = 160;
+    setup.ctx.config.eval_every = 10;
+    setup.ctx.config.batch_size = 32;
+    // Re-apply the moving-rate rule for this node count.
+    setup.ctx.config.rho = 0.9f / (static_cast<float>(nodes) *
+                                   setup.ctx.config.learning_rate);
+
+    ds::ClusterTiming timing;
+    timing.model = ds::paper_lenet();
+
+    ds::RunResult r = run_cluster_sync_easgd(setup.ctx, timing);
+    r.method = "EASGD " + std::to_string(nodes) + " node(s)";
+    runs.push_back(std::move(r));
+  }
+
+  for (const ds::RunResult& r : runs) {
+    std::printf("\n");
+    ds::bench::print_trace(r);
+  }
+
+  // The two readings of Figure 13.
+  std::printf("\n(1) time to fixed accuracy 0.90:\n");
+  for (const ds::RunResult& r : runs) {
+    const auto t = r.time_to_accuracy(0.90);
+    if (t) {
+      std::printf("  %-18s %7.2f s\n", r.method.c_str(), *t);
+    } else {
+      std::printf("  %-18s not reached\n", r.method.c_str());
+    }
+  }
+  std::printf("\n(2) accuracy at fixed virtual time 0.5 s:\n");
+  for (const ds::RunResult& r : runs) {
+    double acc = 0.0;
+    for (const ds::TracePoint& p : r.trace) {
+      if (p.vtime <= 0.5) acc = p.accuracy;
+    }
+    std::printf("  %-18s %6.3f\n", r.method.c_str(), acc);
+  }
+  std::printf("\n");
+  ds::bench::print_csv(runs);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 6 — the four pairwise method comparisons, each our method vs its
+// existing counterpart on identical hardware and hyperparameters (§2.4):
+//
+//   6.1  Async EASGD   vs  Async SGD
+//   6.2  Async MEASGD  vs  Async MSGD
+//   6.3  Hogwild EASGD vs  Hogwild SGD
+//   6.4  Sync EASGD    vs  Original EASGD
+//
+// Output: accuracy-vs-virtual-time traces. The paper's claim to check: the
+// EASGD variant reaches any given accuracy earlier than its counterpart.
+#include <cstdio>
+
+#include "core/methods.hpp"
+#include "bench_util.hpp"
+
+namespace {
+
+void compare(const char* title, const ds::RunResult& ours,
+             const ds::RunResult& existing) {
+  ds::bench::print_header(title);
+  ds::bench::print_trace(ours);
+  std::printf("\n");
+  ds::bench::print_trace(existing);
+  // Paper-style summary: time to the best accuracy both methods reach.
+  const double target =
+      0.95 * std::min(ours.best_accuracy(), existing.best_accuracy());
+  const auto t_ours = ours.time_to_accuracy(target);
+  const auto t_existing = existing.time_to_accuracy(target);
+  if (t_ours && t_existing) {
+    std::printf("\n-> time to %.3f accuracy: %s %.2fs vs %s %.2fs (%.2fx)\n",
+                target, ours.method.c_str(), *t_ours,
+                existing.method.c_str(), *t_existing, *t_existing / *t_ours);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using ds::Method;
+  ds::bench::MnistLenetSetup setup;
+
+  auto run = [&setup](Method m) {
+    ds::AlgoContext ctx = setup.ctx;
+    ds::bench::scale_budget_to_samples(ctx, m);
+    return run_method(m, ctx, setup.hw);
+  };
+
+  compare("Figure 6.1: Async EASGD vs Async SGD",
+          run(Method::kAsyncEasgd), run(Method::kAsyncSgd));
+  compare("Figure 6.2: Async MEASGD vs Async MSGD",
+          run(Method::kAsyncMomentumEasgd), run(Method::kAsyncMomentumSgd));
+  compare("Figure 6.3: Hogwild EASGD vs Hogwild SGD",
+          run(Method::kHogwildEasgd), run(Method::kHogwildSgd));
+  compare("Figure 6.4: Sync EASGD vs Original EASGD",
+          run(Method::kSyncEasgd), run(Method::kOriginalEasgd));
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 8 — all eight methods overlaid: log10 error-rate vs virtual time
+// on identical hardware (4 simulated GPUs) and hyperparameters.
+//
+// Paper claims to check:
+//   * every "ours" method beats its existing counterpart,
+//   * Sync EASGD and Hogwild EASGD are essentially tied for fastest.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/methods.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  ds::bench::MnistLenetSetup setup;
+  ds::bench::print_header(
+      "Figure 8: all methods, log10 error-rate vs virtual time");
+
+  std::vector<ds::RunResult> runs;
+  for (const ds::Method m : ds::all_methods()) {
+    ds::AlgoContext ctx = setup.ctx;
+    ds::bench::scale_budget_to_samples(ctx, m);
+    runs.push_back(run_method(m, ctx, setup.hw));
+    std::printf("%-16s [%s]  final acc %.3f at %.2f virtual s\n",
+                runs.back().method.c_str(),
+                ds::is_new_method(m) ? "ours    " : "existing",
+                runs.back().final_accuracy, runs.back().total_seconds);
+  }
+
+  std::printf("\nPer-method traces:\n");
+  for (const ds::RunResult& r : runs) {
+    std::printf("\n");
+    ds::bench::print_trace(r);
+  }
+
+  // Ranking at a common target accuracy.
+  double target = 1.0;
+  for (const ds::RunResult& r : runs) {
+    target = std::min(target, r.best_accuracy());
+  }
+  target *= 0.97;
+  std::printf("\nTime to %.3f accuracy (lower is better):\n", target);
+  std::vector<std::pair<double, const ds::RunResult*>> ranking;
+  for (const ds::RunResult& r : runs) {
+    const auto t = r.time_to_accuracy(target);
+    if (t) ranking.emplace_back(*t, &r);
+  }
+  std::sort(ranking.begin(), ranking.end());
+  for (const auto& [t, r] : ranking) {
+    std::printf("  %-16s %8.2f s\n", r->method.c_str(), t);
+  }
+
+  std::printf("\n");
+  ds::bench::print_csv(runs);
+  return 0;
+}

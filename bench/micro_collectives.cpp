@@ -1,0 +1,129 @@
+// Communication-substrate microbenchmarks (google-benchmark): real wall
+// time of the in-memory collectives (what the synchronous algorithms spend
+// host cycles on) and of the threaded fabric's tree schedules, plus the
+// α-β ablation of tree-vs-linear and packed-vs-per-layer cost evaluation.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "comm/collectives.hpp"
+#include "comm/fabric.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+void fill(std::vector<float>& v, ds::Rng& rng) {
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1, 1));
+}
+
+// -------------------------- In-memory data movement ---------------------------
+
+void BM_ReduceSum(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t workers = 4;
+  ds::Rng rng(1);
+  std::vector<std::vector<float>> bufs(workers, std::vector<float>(n));
+  for (auto& b : bufs) fill(b, rng);
+  std::vector<float> out(n);
+  std::vector<std::span<const float>> views;
+  for (auto& b : bufs) views.emplace_back(b.data(), b.size());
+  for (auto _ : state) {
+    ds::reduce_sum(views, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * workers) *
+                          sizeof(float));
+}
+BENCHMARK(BM_ReduceSum)->Arg(14970)->Arg(1 << 18);
+
+void BM_Broadcast(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ds::Rng rng(1);
+  std::vector<float> src(n);
+  fill(src, rng);
+  std::vector<std::vector<float>> dests(4, std::vector<float>(n));
+  std::vector<std::span<float>> views;
+  for (auto& d : dests) views.emplace_back(d.data(), d.size());
+  for (auto _ : state) {
+    ds::broadcast(src, views);
+    benchmark::DoNotOptimize(dests[3].data());
+  }
+}
+BENCHMARK(BM_Broadcast)->Arg(14970)->Arg(1 << 18);
+
+void BM_AllreduceSum(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ds::Rng rng(1);
+  std::vector<std::vector<float>> bufs(4, std::vector<float>(n));
+  for (auto& b : bufs) fill(b, rng);
+  std::vector<std::span<float>> views;
+  for (auto& b : bufs) views.emplace_back(b.data(), b.size());
+  for (auto _ : state) {
+    ds::allreduce_sum(views);
+    benchmark::DoNotOptimize(bufs[0].data());
+  }
+}
+BENCHMARK(BM_AllreduceSum)->Arg(14970);
+
+// ------------------------------ Fabric schedules ------------------------------
+
+void BM_FabricAllreduce(benchmark::State& state) {
+  const auto ranks = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 14970;  // LeNet-S model size
+  for (auto _ : state) {
+    ds::Fabric fabric(ranks, ds::fdr_infiniband());
+    std::vector<std::vector<float>> data(ranks);
+    ds::parallel_for_threads(ranks, [&](std::size_t r) {
+      data[r].assign(n, static_cast<float>(r));
+      fabric.tree_allreduce(r, 0, data[r]);
+    });
+    benchmark::DoNotOptimize(data[0].data());
+  }
+}
+BENCHMARK(BM_FabricAllreduce)->Arg(2)->Arg(4)->Arg(8);
+
+// ------------------------------ α-β cost ablation -----------------------------
+
+void BM_CostTreeVsLinear(benchmark::State& state) {
+  // Evaluates the closed-form schedule costs over a sweep of rank counts;
+  // the interesting output is the counters, not the (trivial) wall time.
+  const ds::LinkModel link = ds::fdr_infiniband();
+  const double bytes = 1.7e6;  // paper-scale LeNet
+  double tree = 0.0, linear = 0.0;
+  for (auto _ : state) {
+    tree = ds::collective_seconds(ds::CollectiveAlgo::kBinomialTree, 64,
+                                  bytes, link);
+    linear =
+        ds::collective_seconds(ds::CollectiveAlgo::kLinear, 64, bytes, link);
+    benchmark::DoNotOptimize(tree);
+    benchmark::DoNotOptimize(linear);
+  }
+  state.counters["tree_us"] = tree * 1e6;
+  state.counters["linear_us"] = linear * 1e6;
+  state.counters["speedup"] = linear / tree;
+}
+BENCHMARK(BM_CostTreeVsLinear);
+
+void BM_CostPackedVsPerLayer(benchmark::State& state) {
+  const ds::LinkModel link = ds::fdr_infiniband();
+  const std::vector<double> layers(59, 27.2e6 / 59.0);  // GoogLeNet tensors
+  double packed = 0.0, per_layer = 0.0;
+  for (auto _ : state) {
+    packed = ds::model_collective_seconds(ds::CollectiveAlgo::kBinomialTree,
+                                          64, layers,
+                                          ds::MessageLayout::kPacked, link);
+    per_layer = ds::model_collective_seconds(
+        ds::CollectiveAlgo::kBinomialTree, 64, layers,
+        ds::MessageLayout::kPerLayer, link);
+    benchmark::DoNotOptimize(packed);
+    benchmark::DoNotOptimize(per_layer);
+  }
+  state.counters["packed_us"] = packed * 1e6;
+  state.counters["per_layer_us"] = per_layer * 1e6;
+  state.counters["speedup"] = per_layer / packed;
+}
+BENCHMARK(BM_CostPackedVsPerLayer);
+
+}  // namespace

@@ -1,0 +1,223 @@
+// Compute-kernel microbenchmarks (google-benchmark): GEMM across the shapes
+// the model zoo actually produces, im2col/col2im, per-layer forward/backward,
+// the EASGD update rules, and whole-network steps. These are the knobs of
+// the virtual-time calibration — gemm throughput here is what bounds the
+// wall-clock cost of every experiment binary.
+#include <benchmark/benchmark.h>
+
+#include "core/easgd_rules.hpp"
+#include "nn/layers.hpp"
+#include "nn/models.hpp"
+#include "support/rng.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/im2col.hpp"
+
+namespace {
+
+void fill(std::vector<float>& v, ds::Rng& rng) {
+  for (auto& x : v) x = static_cast<float>(rng.uniform(-1, 1));
+}
+
+// ----------------------------------- GEMM -----------------------------------
+
+void BM_GemmNN(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ds::Rng rng(1);
+  std::vector<float> a(n * n), b(n * n), c(n * n);
+  fill(a, rng);
+  fill(b, rng);
+  for (auto _ : state) {
+    ds::gemm(ds::Transpose::kNo, ds::Transpose::kNo, n, n, n, 1.0f, a.data(),
+             b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      ds::gemm_flops(n, n, n) * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmNN)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmConvShape(benchmark::State& state) {
+  // The LeNet conv2 shape: [12 x 150] · [150 x 64] per image.
+  ds::Rng rng(1);
+  std::vector<float> a(12 * 150), b(150 * 64), c(12 * 64);
+  fill(a, rng);
+  fill(b, rng);
+  for (auto _ : state) {
+    ds::gemm(ds::Transpose::kNo, ds::Transpose::kNo, 12, 64, 150, 1.0f,
+             a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmConvShape);
+
+void BM_GemmTransposed(benchmark::State& state) {
+  // The backward dW shape: A^T path.
+  const std::size_t m = 64, n = 192, k = 32;
+  ds::Rng rng(1);
+  std::vector<float> a(k * m), b(k * n), c(m * n);
+  fill(a, rng);
+  fill(b, rng);
+  for (auto _ : state) {
+    ds::gemm(ds::Transpose::kYes, ds::Transpose::kNo, m, n, k, 1.0f, a.data(),
+             b.data(), 1.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmTransposed);
+
+// ---------------------------------- im2col ----------------------------------
+
+void BM_Im2col(benchmark::State& state) {
+  const ds::ConvGeom g{3, 32, 32, 3, 1, 1};
+  ds::Rng rng(1);
+  std::vector<float> img(g.channels * g.height * g.width);
+  std::vector<float> col(g.col_rows() * g.col_cols());
+  fill(img, rng);
+  for (auto _ : state) {
+    ds::im2col(g, img.data(), col.data());
+    benchmark::DoNotOptimize(col.data());
+  }
+}
+BENCHMARK(BM_Im2col);
+
+void BM_Col2im(benchmark::State& state) {
+  const ds::ConvGeom g{3, 32, 32, 3, 1, 1};
+  ds::Rng rng(1);
+  std::vector<float> img(g.channels * g.height * g.width, 0.0f);
+  std::vector<float> col(g.col_rows() * g.col_cols());
+  fill(col, rng);
+  for (auto _ : state) {
+    ds::col2im(g, col.data(), img.data());
+    benchmark::DoNotOptimize(img.data());
+  }
+}
+BENCHMARK(BM_Col2im);
+
+// ---------------------------------- Layers ----------------------------------
+
+void BM_ConvForward(benchmark::State& state) {
+  ds::Conv2D conv(3, 16, 3, 1, 1);
+  std::vector<float> params(conv.param_count()), grads(conv.param_count());
+  conv.bind(params, grads);
+  ds::Rng rng(2);
+  conv.init_params(rng);
+  ds::Tensor x({8, 3, 32, 32});
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(rng.uniform(-1, 1));
+  }
+  ds::Tensor y;
+  for (auto _ : state) {
+    conv.forward(x, y, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_ConvForward);
+
+void BM_ConvBackward(benchmark::State& state) {
+  ds::Conv2D conv(3, 16, 3, 1, 1);
+  std::vector<float> params(conv.param_count()), grads(conv.param_count());
+  conv.bind(params, grads);
+  ds::Rng rng(2);
+  conv.init_params(rng);
+  ds::Tensor x({8, 3, 32, 32});
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(rng.uniform(-1, 1));
+  }
+  ds::Tensor y, dx;
+  conv.forward(x, y, false);
+  ds::Tensor dy(y.shape());
+  dy.fill(0.01f);
+  for (auto _ : state) {
+    conv.backward(x, y, dy, dx);
+    benchmark::DoNotOptimize(dx.data());
+  }
+}
+BENCHMARK(BM_ConvBackward);
+
+// ------------------------------- Update rules --------------------------------
+
+void BM_EasgdWorkerStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ds::Rng rng(3);
+  std::vector<float> w(n), g(n), center(n);
+  fill(w, rng);
+  fill(g, rng);
+  fill(center, rng);
+  for (auto _ : state) {
+    ds::easgd_worker_step(w, g, center, 0.01f, 0.01f);
+    benchmark::DoNotOptimize(w.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 3 * sizeof(float));
+}
+BENCHMARK(BM_EasgdWorkerStep)->Arg(14970)->Arg(1 << 20);
+
+void BM_MeasgdWorkerStep(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ds::Rng rng(3);
+  std::vector<float> w(n), v(n), g(n), center(n);
+  fill(w, rng);
+  fill(g, rng);
+  fill(center, rng);
+  for (auto _ : state) {
+    ds::measgd_worker_step(w, v, g, center, 0.01f, 0.9f, 0.01f);
+    benchmark::DoNotOptimize(w.data());
+  }
+}
+BENCHMARK(BM_MeasgdWorkerStep)->Arg(14970);
+
+void BM_EasgdCenterStepSum(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ds::Rng rng(3);
+  std::vector<float> center(n), sum_w(n);
+  fill(center, rng);
+  fill(sum_w, rng);
+  for (auto _ : state) {
+    ds::easgd_center_step_sum(center, sum_w, 4, 0.01f, 0.01f);
+    benchmark::DoNotOptimize(center.data());
+  }
+}
+BENCHMARK(BM_EasgdCenterStepSum)->Arg(14970);
+
+// ------------------------------ Whole networks -------------------------------
+
+void BM_LenetForwardBackward(benchmark::State& state) {
+  ds::Rng rng(7);
+  auto net = ds::make_lenet_s(rng);
+  ds::Tensor x({32, 1, 28, 28});
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(rng.uniform(-1, 1));
+  }
+  std::vector<std::int32_t> labels(32);
+  for (std::size_t i = 0; i < 32; ++i) labels[i] = static_cast<int>(i % 10);
+  for (auto _ : state) {
+    net->zero_grads();
+    const ds::LossResult r = net->forward_backward(x, labels);
+    benchmark::DoNotOptimize(r.loss);
+  }
+  state.counters["model GFLOP/s"] = benchmark::Counter(
+      net->flops_per_sample() * 32.0 *
+          static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LenetForwardBackward);
+
+void BM_AlexnetForwardBackward(benchmark::State& state) {
+  ds::Rng rng(7);
+  auto net = ds::make_alexnet_s(rng);
+  ds::Tensor x({8, 3, 32, 32});
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(rng.uniform(-1, 1));
+  }
+  std::vector<std::int32_t> labels(8);
+  for (std::size_t i = 0; i < 8; ++i) labels[i] = static_cast<int>(i % 10);
+  for (auto _ : state) {
+    net->zero_grads();
+    const ds::LossResult r = net->forward_backward(x, labels);
+    benchmark::DoNotOptimize(r.loss);
+  }
+}
+BENCHMARK(BM_AlexnetForwardBackward);
+
+}  // namespace

@@ -1,0 +1,54 @@
+// Table 2 — "InfiniBand Performance under α-β Model".
+//
+// Prints the α/β parameters of the three networks the paper tabulates, then
+// validates the fabric against them with a virtual ping-pong sweep (the
+// measured per-message time must equal α + β·n on every link) and shows the
+// latency-vs-bandwidth crossover that motivates §5.2's single-message
+// packing.
+#include <cstdio>
+#include <thread>
+
+#include "comm/fabric.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  ds::bench::print_header("Table 2: InfiniBand performance under the α-β model");
+
+  std::printf("%-32s %14s %18s\n", "Network", "alpha (latency)",
+              "beta (1/bandwidth)");
+  for (const ds::LinkModel& link : ds::table2_networks()) {
+    std::printf("%-32s %11.1f us %15.1f ns/B\n", link.name.c_str(),
+                link.alpha * 1e6, link.beta * 1e9);
+  }
+
+  std::printf("\nPing-pong validation (fabric round-trip / 2 vs model):\n");
+  std::printf("%-32s %12s %14s %14s\n", "Network", "bytes", "measured(us)",
+              "model(us)");
+  for (const ds::LinkModel& link : ds::table2_networks()) {
+    for (const std::size_t bytes :
+         {4UL, 4096UL, 1048576UL, 67108864UL}) {
+      const std::size_t floats = bytes / sizeof(float);
+      ds::Fabric fabric(2, link);
+      std::thread peer([&fabric, floats] {
+        std::vector<float> payload = fabric.recv(1, 0, 1);
+        fabric.send(1, 0, 2, std::move(payload));
+      });
+      fabric.send(0, 1, 1, std::vector<float>(floats, 1.0f));
+      fabric.recv(0, 1, 2);
+      peer.join();
+      const double measured = fabric.clock(0) / 2.0;
+      const double model = link.transfer_seconds(static_cast<double>(bytes));
+      std::printf("%-32s %12zu %14.2f %14.2f\n", link.name.c_str(), bytes,
+                  measured * 1e6, model * 1e6);
+    }
+  }
+
+  std::printf(
+      "\nLatency share of a message (why packing many small messages into\n"
+      "one matters, §5.2): bytes where alpha is >=50%% of the cost:\n");
+  for (const ds::LinkModel& link : ds::table2_networks()) {
+    std::printf("%-32s alpha dominates below %.0f KB\n", link.name.c_str(),
+                link.alpha / link.beta / 1024.0);
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// A real message-passing parameter server (paper Figure 5): rank 0 serves
+// FCFS weight exchanges, worker ranks train Async EASGD against it. The
+// fabric's causal clocks expose the server-saturation effect that motivates
+// Hogwild EASGD: past a few workers, adding more stops reducing the time
+// for a fixed interaction budget.
+//
+//   ./async_parameter_server [max-workers] [interactions]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/fabric_algorithms.hpp"
+#include "data/dataset.hpp"
+#include "nn/models.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t max_workers =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 32;
+  const std::size_t interactions =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 320;
+
+  const ds::TrainTest data = ds::mnist_like(/*seed=*/42, 1024, 256);
+
+  ds::AlgoContext ctx;
+  ctx.factory = [] {
+    ds::Rng rng(7);
+    return ds::make_lenet_s(rng);
+  };
+  ctx.train = &data.train;
+  ctx.test = &data.test;
+  ctx.config.iterations = interactions;
+  ctx.config.batch_size = 32;
+  ctx.config.learning_rate = 0.08f;
+  ctx.config.eval_every = interactions;  // evaluate once at the end
+  ctx.config.eval_samples = 256;
+
+  std::printf("Async EASGD through a fabric parameter server, %zu total "
+              "interactions:\n\n", interactions);
+  std::printf("%9s %12s %12s %14s\n", "workers", "virtual s", "final acc",
+              "scaling vs 1");
+
+  double base = 0.0;
+  for (std::size_t workers = 1; workers <= max_workers; workers *= 2) {
+    ctx.config.workers = workers;
+    ctx.config.rho =
+        0.9f / (static_cast<float>(workers) * ctx.config.learning_rate);
+    const ds::RunResult r =
+        run_fabric_async_easgd(ctx, ds::FabricClusterConfig{});
+    if (workers == 1) base = r.total_seconds;
+    std::printf("%9zu %12.3f %12.3f %13.2fx\n", workers, r.total_seconds,
+                r.final_accuracy, base / r.total_seconds);
+  }
+  std::printf(
+      "\nScaling flattens once the FCFS server round-trip, not worker "
+      "compute, is the\nbottleneck — the reason the paper removes the lock "
+      "(Hogwild EASGD, 5.1).\n");
+  return 0;
+}

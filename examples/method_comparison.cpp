@@ -1,0 +1,71 @@
+// Compare distributed training methods head-to-head (a miniature Figure 8).
+//
+//   ./method_comparison [iterations-per-sync-run]
+//
+// Runs Original EASGD (the paper's baseline), Hogwild EASGD, and Sync
+// EASGD3 on the same data, model, and simulated 4-GPU node, then reports
+// time-to-accuracy in virtual seconds.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/methods.hpp"
+#include "data/dataset.hpp"
+#include "nn/models.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t iterations =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 150;
+
+  const ds::TrainTest data = ds::mnist_like(/*seed=*/42, 2048, 512);
+
+  ds::AlgoContext ctx;
+  ctx.factory = [] {
+    ds::Rng rng(7);
+    return ds::make_lenet_s(rng);
+  };
+  ctx.train = &data.train;
+  ctx.test = &data.test;
+  ctx.config.workers = 4;
+  ctx.config.iterations = iterations;
+  ctx.config.batch_size = 32;
+  ctx.config.learning_rate = 0.1f;
+  ctx.config.rho = 0.9f / (4 * 0.1f);  // EASGD moving-rate rule
+  ctx.config.eval_every = 25;
+
+  const ds::GpuSystem hw(ds::GpuSystemConfig{}, ds::paper_lenet(),
+                         28.0 * 28.0 * 4.0);
+
+  std::vector<ds::RunResult> results;
+  for (const ds::Method m : {ds::Method::kOriginalEasgd,
+                             ds::Method::kHogwildEasgd,
+                             ds::Method::kSyncEasgd}) {
+    ds::AlgoContext run_ctx = ctx;
+    if (m != ds::Method::kSyncEasgd) {
+      // One batch per iteration vs `workers` batches — equalise samples.
+      run_ctx.config.iterations *= run_ctx.config.workers;
+      run_ctx.config.eval_every *= run_ctx.config.workers;
+    }
+    results.push_back(run_method(m, run_ctx, hw));
+  }
+
+  std::printf("%-16s %10s %12s %10s\n", "method", "final acc",
+              "virtual time", "comm share");
+  for (const ds::RunResult& r : results) {
+    std::printf("%-16s %10.3f %10.2f s %9.0f%%\n", r.method.c_str(),
+                r.final_accuracy, r.total_seconds,
+                100.0 * r.ledger.comm_ratio());
+  }
+
+  const double target = 0.9;
+  std::printf("\ntime to %.2f accuracy:\n", target);
+  for (const ds::RunResult& r : results) {
+    const auto t = r.time_to_accuracy(target);
+    if (t) {
+      std::printf("  %-16s %8.2f s\n", r.method.c_str(), *t);
+    } else {
+      std::printf("  %-16s not reached\n", r.method.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Domain-specific example: train the ResNet-style model on the Cifar
+// stand-in with the full single-node training stack — data augmentation
+// (mirror + padded crop), momentum SGD with a step learning-rate schedule
+// and warmup, and checkpointing.
+//
+//   ./resnet_cifar [iterations] [checkpoint-path]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/easgd_rules.hpp"
+#include "core/lr_schedule.hpp"
+#include "data/augment.hpp"
+#include "data/dataset.hpp"
+#include "data/sampler.hpp"
+#include "nn/models.hpp"
+#include "nn/serialize.hpp"
+#include "support/timer.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t iterations =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 150;
+  const char* checkpoint = argc > 2 ? argv[2] : "resnet_cifar.dscp";
+
+  const ds::TrainTest data = ds::cifar_like(/*seed=*/9, 1024, 256);
+
+  ds::Rng rng(11);
+  const auto net = ds::make_resnet_s(rng);
+  std::printf("%s\n\n", net->summary().c_str());
+
+  ds::BatchSampler sampler(data.train, 32, 3);
+  ds::Augmenter augmenter({.mirror = true, .crop_pad = 2}, 17);
+
+  ds::LrSchedule schedule;
+  schedule.policy = ds::LrPolicy::kStep;
+  schedule.gamma = 0.3;
+  schedule.step_size = iterations / 2;
+  schedule.warmup_iters = 10;
+  schedule.warmup_start = 0.2;
+  const float base_lr = 0.05f;
+
+  std::vector<float> velocity(net->param_count(), 0.0f);
+  ds::Tensor batch;
+  std::vector<std::int32_t> labels;
+
+  // Fixed evaluation batch covering the whole test split.
+  std::vector<std::size_t> idx(data.test.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  ds::Tensor test_batch;
+  std::vector<std::int32_t> test_labels;
+  ds::gather_batch(data.test, idx, test_batch, test_labels);
+
+  ds::WallTimer timer;
+  for (std::size_t it = 1; it <= iterations; ++it) {
+    sampler.next(batch, labels);
+    augmenter.apply(batch);
+    net->zero_grads();
+    const ds::LossResult train = net->forward_backward(batch, labels);
+    ds::momentum_step(net->arena().full_params(), velocity,
+                      net->arena().full_grads(),
+                      schedule.rate_at(it, base_lr), 0.9f);
+
+    if (it % 25 == 0 || it == iterations) {
+      const ds::LossResult test = net->evaluate_batch(test_batch, test_labels);
+      std::printf(
+          "iter %4zu  lr %6.4f  train loss %7.4f  test acc %5.3f  (%.1fs)\n",
+          it, schedule.rate_at(it, base_lr), train.loss,
+          static_cast<double>(test.correct) / data.test.size(),
+          timer.seconds());
+    }
+  }
+
+  ds::save_checkpoint(*net, checkpoint);
+  std::printf("\ncheckpoint written to %s — reload check: ", checkpoint);
+  ds::Rng rng2(99);
+  const auto reloaded = ds::make_resnet_s(rng2);
+  ds::load_checkpoint(*reloaded, checkpoint);
+  const ds::LossResult a = net->evaluate_batch(test_batch, test_labels);
+  const ds::LossResult b = reloaded->evaluate_batch(test_batch, test_labels);
+  std::printf("%s (acc %.3f vs %.3f)\n",
+              a.correct == b.correct ? "identical" : "MISMATCH",
+              static_cast<double>(a.correct) / data.test.size(),
+              static_cast<double>(b.correct) / data.test.size());
+  return a.correct == b.correct ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+#include "comm/collectives.hpp"
+
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace ds {
+
+void reduce_sum(const std::vector<std::span<const float>>& inputs,
+                std::span<float> out) {
+  DS_CHECK(!inputs.empty(), "reduce_sum of nothing");
+  const std::size_t n = out.size();
+  for (const auto& in : inputs) {
+    DS_CHECK(in.size() == n, "reduce_sum size mismatch");
+  }
+  std::memcpy(out.data(), inputs[0].data(), n * sizeof(float));
+  for (std::size_t r = 1; r < inputs.size(); ++r) {
+    const float* src = inputs[r].data();
+    for (std::size_t i = 0; i < n; ++i) out[i] += src[i];
+  }
+}
+
+void broadcast(std::span<const float> src,
+               const std::vector<std::span<float>>& dests) {
+  for (const auto& d : dests) {
+    DS_CHECK(d.size() == src.size(), "broadcast size mismatch");
+    if (d.data() == src.data()) continue;  // in-place root buffer
+    std::memcpy(d.data(), src.data(), src.size() * sizeof(float));
+  }
+}
+
+void allreduce_sum(const std::vector<std::span<float>>& buffers) {
+  DS_CHECK(!buffers.empty(), "allreduce of nothing");
+  const std::size_t n = buffers[0].size();
+  std::vector<std::span<const float>> inputs;
+  inputs.reserve(buffers.size());
+  for (const auto& b : buffers) inputs.emplace_back(b.data(), b.size());
+  // Reduce into rank 0's buffer, then broadcast it.
+  std::vector<float> scratch(n);
+  reduce_sum(inputs, scratch);
+  for (const auto& b : buffers) {
+    std::memcpy(b.data(), scratch.data(), n * sizeof(float));
+  }
+}
+
+std::size_t tree_rounds(std::size_t ranks) {
+  std::size_t rounds = 0;
+  std::size_t reach = 1;
+  while (reach < ranks) {
+    reach *= 2;
+    ++rounds;
+  }
+  return rounds;
+}
+
+double collective_seconds(CollectiveAlgo algo, std::size_t ranks, double bytes,
+                          const LinkModel& link) {
+  DS_CHECK(ranks > 0, "collective over zero ranks");
+  if (ranks == 1) return 0.0;
+  const double hop = link.transfer_seconds(bytes);
+  switch (algo) {
+    case CollectiveAlgo::kLinear:
+      return static_cast<double>(ranks - 1) * hop;
+    case CollectiveAlgo::kBinomialTree:
+      return static_cast<double>(tree_rounds(ranks)) * hop;
+  }
+  return 0.0;
+}
+
+double allreduce_seconds(CollectiveAlgo algo, std::size_t ranks, double bytes,
+                         const LinkModel& link) {
+  return 2.0 * collective_seconds(algo, ranks, bytes, link);
+}
+
+double model_collective_seconds(CollectiveAlgo algo, std::size_t ranks,
+                                const std::vector<double>& layer_bytes,
+                                MessageLayout layout, const LinkModel& link) {
+  if (layout == MessageLayout::kPacked) {
+    double total = 0.0;
+    for (const double b : layer_bytes) total += b;
+    return collective_seconds(algo, ranks, total, link);
+  }
+  double seconds = 0.0;
+  for (const double b : layer_bytes) {
+    seconds += collective_seconds(algo, ranks, b, link);
+  }
+  return seconds;
+}
+
+}  // namespace ds

@@ -1,0 +1,67 @@
+// Collective operations, in two halves:
+//
+//   1. Data movement over in-memory buffers (reduce_sum / broadcast /
+//      allreduce) — bitwise-deterministic, used by the synchronous
+//      algorithms so Sync EASGD is reproducible (paper §8).
+//
+//   2. Cost formulas under the α-β model for the schedules the paper
+//      contrasts: round-robin / linear Θ(P) vs binomial tree Θ(log P)
+//      (§6.1.1: "reduces the communication overhead from P(α+|W|β) to
+//      log P(α+|W|β)"), and packed single-message vs per-layer messages
+//      (§5.2, Figure 10).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "comm/cost_model.hpp"
+
+namespace ds {
+
+// ---------------------------------------------------------------------------
+// Data movement (deterministic, fixed summation order).
+// ---------------------------------------------------------------------------
+
+/// out = Σ inputs[i]; all spans must be the same length.
+void reduce_sum(const std::vector<std::span<const float>>& inputs,
+                std::span<float> out);
+
+/// Copy src into every destination.
+void broadcast(std::span<const float> src,
+               const std::vector<std::span<float>>& dests);
+
+/// Every buffer becomes the elementwise sum of all buffers.
+void allreduce_sum(const std::vector<std::span<float>>& buffers);
+
+// ---------------------------------------------------------------------------
+// Schedule cost under the α-β model.
+// ---------------------------------------------------------------------------
+
+/// Reduce (or broadcast) schedule shapes.
+enum class CollectiveAlgo {
+  kLinear,        // root exchanges with P−1 peers sequentially: (P−1)(α+βn)
+  kBinomialTree,  // ceil(log2 P) rounds: ceil(log2 P)(α+βn)
+};
+
+/// Seconds to reduce (or broadcast) one n-byte message among `ranks` peers.
+double collective_seconds(CollectiveAlgo algo, std::size_t ranks, double bytes,
+                          const LinkModel& link);
+
+/// Seconds for a full allreduce = reduce followed by broadcast.
+double allreduce_seconds(CollectiveAlgo algo, std::size_t ranks, double bytes,
+                         const LinkModel& link);
+
+/// Seconds to move a model of the given per-layer byte counts in a single
+/// collective, either as one packed message (paper's layout) or one message
+/// per layer (baseline frameworks, Figure 10).
+enum class MessageLayout { kPacked, kPerLayer };
+
+double model_collective_seconds(CollectiveAlgo algo, std::size_t ranks,
+                                const std::vector<double>& layer_bytes,
+                                MessageLayout layout, const LinkModel& link);
+
+/// ceil(log2 n) with log2(0|1) = 0 — rounds of a binomial tree.
+std::size_t tree_rounds(std::size_t ranks);
+
+}  // namespace ds

@@ -1,0 +1,174 @@
+#include "comm/fabric.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace ds {
+namespace {
+constexpr int kBarrierTag = -7771;
+}
+
+Fabric::Fabric(std::size_t ranks, LinkModel link) : link_(std::move(link)) {
+  DS_CHECK(ranks > 0, "fabric needs at least one rank");
+  mailboxes_.reserve(ranks);
+  clocks_.reserve(ranks);
+  for (std::size_t i = 0; i < ranks; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+    clocks_.push_back(std::make_unique<ClockSlot>());
+  }
+}
+
+void Fabric::send(std::size_t src, std::size_t dst, int tag,
+                  std::vector<float> payload) {
+  DS_CHECK(src < ranks() && dst < ranks(), "send rank out of range");
+  DS_CHECK(src != dst, "self-send is a bug in the calling schedule");
+  const double bytes = static_cast<double>(payload.size() * sizeof(float));
+  double arrival = 0.0;
+  {
+    const std::lock_guard<std::mutex> lock(clocks_[src]->mutex);
+    clocks_[src]->value += link_.transfer_seconds(bytes);
+    arrival = clocks_[src]->value;
+  }
+  Mailbox& box = *mailboxes_[dst];
+  {
+    const std::lock_guard<std::mutex> lock(box.mutex);
+    box.messages.push_back(
+        Message{src, tag, std::move(payload), arrival});
+  }
+  box.cv.notify_all();
+}
+
+std::vector<float> Fabric::recv(std::size_t dst, std::size_t src, int tag) {
+  DS_CHECK(src < ranks() && dst < ranks(), "recv rank out of range");
+  Mailbox& box = *mailboxes_[dst];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  for (;;) {
+    const auto it = std::find_if(
+        box.messages.begin(), box.messages.end(), [&](const Message& m) {
+          return m.src == src && m.tag == tag;
+        });
+    if (it != box.messages.end()) {
+      Message msg = std::move(*it);
+      box.messages.erase(it);
+      lock.unlock();
+      {
+        const std::lock_guard<std::mutex> clock_lock(clocks_[dst]->mutex);
+        clocks_[dst]->value = std::max(clocks_[dst]->value, msg.arrival);
+      }
+      return std::move(msg.payload);
+    }
+    box.cv.wait(lock);
+  }
+}
+
+std::pair<std::size_t, std::vector<float>> Fabric::recv_any(std::size_t dst,
+                                                            int tag) {
+  DS_CHECK(dst < ranks(), "recv_any rank out of range");
+  Mailbox& box = *mailboxes_[dst];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  for (;;) {
+    const auto it = std::find_if(
+        box.messages.begin(), box.messages.end(),
+        [&](const Message& m) { return m.tag == tag; });
+    if (it != box.messages.end()) {
+      Message msg = std::move(*it);
+      box.messages.erase(it);
+      lock.unlock();
+      {
+        const std::lock_guard<std::mutex> clock_lock(clocks_[dst]->mutex);
+        clocks_[dst]->value = std::max(clocks_[dst]->value, msg.arrival);
+      }
+      return {msg.src, std::move(msg.payload)};
+    }
+    box.cv.wait(lock);
+  }
+}
+
+double Fabric::clock(std::size_t rank) const {
+  DS_CHECK(rank < ranks(), "clock rank out of range");
+  const std::lock_guard<std::mutex> lock(clocks_[rank]->mutex);
+  return clocks_[rank]->value;
+}
+
+void Fabric::advance(std::size_t rank, double seconds) {
+  DS_CHECK(rank < ranks(), "advance rank out of range");
+  DS_CHECK(seconds >= 0.0, "cannot advance clock backwards");
+  const std::lock_guard<std::mutex> lock(clocks_[rank]->mutex);
+  clocks_[rank]->value += seconds;
+}
+
+double Fabric::max_clock() const {
+  double m = 0.0;
+  for (std::size_t r = 0; r < ranks(); ++r) m = std::max(m, clock(r));
+  return m;
+}
+
+void Fabric::tree_broadcast(std::size_t rank, std::size_t root,
+                            std::vector<float>& data) {
+  const std::size_t p = ranks();
+  if (p == 1) return;
+  const std::size_t relative = (rank + p - root) % p;
+  // Receive phase: find the bit that names our parent.
+  std::size_t mask = 1;
+  while (mask < p) {
+    if (relative & mask) {
+      const std::size_t src = (relative - mask + root) % p;
+      data = recv(rank, src, kBarrierTag - 1);
+      break;
+    }
+    mask <<= 1;
+  }
+  // Send phase: forward to children below the parent bit.
+  mask >>= 1;
+  while (mask > 0) {
+    if (relative + mask < p && (relative & (mask - 1)) == 0 &&
+        (relative & mask) == 0) {
+      const std::size_t dst = (relative + mask + root) % p;
+      send(rank, dst, kBarrierTag - 1, data);
+    }
+    mask >>= 1;
+  }
+}
+
+void Fabric::tree_reduce(std::size_t rank, std::size_t root,
+                         std::vector<float>& data) {
+  const std::size_t p = ranks();
+  if (p == 1) return;
+  const std::size_t relative = (rank + p - root) % p;
+  std::size_t mask = 1;
+  while (mask < p) {
+    if ((relative & mask) == 0) {
+      const std::size_t source = relative | mask;
+      if (source < p) {
+        const std::size_t src = (source + root) % p;
+        const std::vector<float> incoming = recv(rank, src, kBarrierTag - 2);
+        DS_CHECK(incoming.size() == data.size(), "reduce size mismatch");
+        for (std::size_t i = 0; i < data.size(); ++i) data[i] += incoming[i];
+      }
+    } else {
+      const std::size_t dst = ((relative & ~mask) + root) % p;
+      send(rank, dst, kBarrierTag - 2, std::move(data));
+      data.clear();
+      return;
+    }
+    mask <<= 1;
+  }
+}
+
+void Fabric::tree_allreduce(std::size_t rank, std::size_t root,
+                            std::vector<float>& data) {
+  const std::size_t n = data.size();
+  tree_reduce(rank, root, data);
+  if (rank != root) data.assign(n, 0.0f);
+  tree_broadcast(rank, root, data);
+}
+
+void Fabric::barrier(std::size_t rank) {
+  // Zero-byte tree allreduce still pays α per hop and, crucially, merges
+  // clocks so every rank resumes at the same virtual time.
+  std::vector<float> token(1, 0.0f);
+  tree_allreduce(rank, 0, token);
+}
+
+}  // namespace ds

@@ -1,0 +1,107 @@
+// In-process message-passing fabric — the repo's stand-in for MPI.
+//
+// P ranks, each driven by its own thread, exchange float-vector messages
+// through per-destination mailboxes. Every rank carries a *virtual clock*:
+// send() charges the sender α + β·bytes on the fabric's link model and
+// stamps the message with its arrival time; recv() advances the receiver to
+// max(own clock, arrival). The result is a causally-consistent logical-time
+// simulation of a cluster: collective schedules (binomial tree vs linear)
+// produce exactly the Θ(log P) vs Θ(P) critical paths the paper contrasts,
+// without any real network.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "comm/collectives.hpp"
+#include "comm/cost_model.hpp"
+
+namespace ds {
+
+class Fabric {
+ public:
+  Fabric(std::size_t ranks, LinkModel link);
+
+  std::size_t ranks() const { return mailboxes_.size(); }
+  const LinkModel& link() const { return link_; }
+
+  // -------------------------------------------------------------------
+  // Point-to-point. Called from the owning rank's thread.
+  // -------------------------------------------------------------------
+
+  /// Blocking matched send (eager): charges the sender's clock and enqueues.
+  void send(std::size_t src, std::size_t dst, int tag,
+            std::vector<float> payload);
+
+  /// Blocking receive matching (src, tag); advances the receiver's clock to
+  /// the message arrival time.
+  std::vector<float> recv(std::size_t dst, std::size_t src, int tag);
+
+  /// Blocking receive matching the tag from ANY source, first-come
+  /// first-served in mailbox order — the FCFS discipline of the paper's
+  /// parameter server (§3.1). Returns {source, payload}.
+  std::pair<std::size_t, std::vector<float>> recv_any(std::size_t dst,
+                                                      int tag);
+
+  // -------------------------------------------------------------------
+  // Virtual clocks.
+  // -------------------------------------------------------------------
+
+  double clock(std::size_t rank) const;
+
+  /// Advance a rank's clock by `seconds` of local work (compute, updates).
+  void advance(std::size_t rank, double seconds);
+
+  /// Max clock over all ranks — the experiment's elapsed virtual time.
+  double max_clock() const;
+
+  // -------------------------------------------------------------------
+  // Collectives (binomial tree). Each rank calls with its own id and its
+  // own buffer; all ranks must participate.
+  // -------------------------------------------------------------------
+
+  /// After return every rank's `data` equals root's original `data`.
+  void tree_broadcast(std::size_t rank, std::size_t root,
+                      std::vector<float>& data);
+
+  /// After return root's `data` holds the elementwise sum over all ranks;
+  /// other ranks' buffers are consumed (contents unspecified).
+  void tree_reduce(std::size_t rank, std::size_t root,
+                   std::vector<float>& data);
+
+  /// reduce-to-root + broadcast: every rank ends with the global sum.
+  void tree_allreduce(std::size_t rank, std::size_t root,
+                      std::vector<float>& data);
+
+  /// Synchronise clocks: every rank leaves at the max clock of all ranks.
+  void barrier(std::size_t rank);
+
+ private:
+  struct Message {
+    std::size_t src;
+    int tag;
+    std::vector<float> payload;
+    double arrival;
+  };
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> messages;
+  };
+
+  struct ClockSlot {
+    mutable std::mutex mutex;
+    double value = 0.0;
+  };
+
+  LinkModel link_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<ClockSlot>> clocks_;
+};
+
+}  // namespace ds

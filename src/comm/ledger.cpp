@@ -1,0 +1,73 @@
+#include "comm/ledger.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace ds {
+
+const char* phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::kDataIO: return "data io";
+    case Phase::kInit: return "init";
+    case Phase::kGpuGpuParamComm: return "gpu-gpu para comm";
+    case Phase::kCpuGpuDataComm: return "cpu-gpu data comm";
+    case Phase::kCpuGpuParamComm: return "cpu-gpu para comm";
+    case Phase::kForwardBackward: return "for/backward";
+    case Phase::kGpuUpdate: return "gpu update";
+    case Phase::kCpuUpdate: return "cpu update";
+    case Phase::kCount: break;
+  }
+  return "?";
+}
+
+void CostLedger::charge(Phase phase, double seconds) {
+  DS_CHECK(phase != Phase::kCount, "invalid phase");
+  DS_CHECK(seconds >= 0.0, "negative charge " << seconds);
+  seconds_[static_cast<std::size_t>(phase)] += seconds;
+}
+
+double CostLedger::total_seconds() const {
+  double total = 0.0;
+  for (const double s : seconds_) total += s;
+  return total;
+}
+
+double CostLedger::comm_seconds() const {
+  return seconds(Phase::kGpuGpuParamComm) + seconds(Phase::kCpuGpuDataComm) +
+         seconds(Phase::kCpuGpuParamComm);
+}
+
+double CostLedger::comm_ratio() const {
+  const double total = total_seconds();
+  return total > 0.0 ? comm_seconds() / total : 0.0;
+}
+
+CostLedger& CostLedger::operator+=(const CostLedger& other) {
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    seconds_[i] += other.seconds_[i];
+  }
+  return *this;
+}
+
+std::string CostLedger::report() const {
+  const double total = total_seconds();
+  std::ostringstream os;
+  os << std::fixed;
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const Phase p = static_cast<Phase>(i);
+    if (seconds(p) == 0.0 && (p == Phase::kDataIO || p == Phase::kInit)) {
+      continue;
+    }
+    const double pct = total > 0.0 ? 100.0 * seconds(p) / total : 0.0;
+    os << "  " << std::setw(18) << std::left << phase_name(p)
+       << std::setprecision(4) << std::setw(10) << std::right << seconds(p)
+       << " s  " << std::setprecision(1) << std::setw(5) << pct << "%\n";
+  }
+  os << "  total " << std::setprecision(4) << total << " s, comm ratio "
+     << std::setprecision(1) << 100.0 * comm_ratio() << "%";
+  return os.str();
+}
+
+}  // namespace ds

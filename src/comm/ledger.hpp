@@ -1,0 +1,60 @@
+// Virtual-time accounting.
+//
+// Every experiment charges each phase of every iteration to a CostLedger in
+// the eight categories of the paper's Table 3 breakdown. "Communication" is
+// the union of the three *Comm categories; Table 3's headline result is
+// Sync EASGD3 cutting the communication share from 87% to 14%.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace ds {
+
+enum class Phase : std::size_t {
+  kDataIO = 0,          // dataset load (ignored by the paper as negligible)
+  kInit,                // weight/data initialisation (likewise)
+  kGpuGpuParamComm,     // device<->device weight exchange
+  kCpuGpuDataComm,      // host->device batch copies
+  kCpuGpuParamComm,     // host<->device weight exchange
+  kForwardBackward,     // propagation compute
+  kGpuUpdate,           // worker-side weight update (Eq. 1)
+  kCpuUpdate,           // master-side center update (Eq. 2)
+  kCount
+};
+
+constexpr std::size_t kPhaseCount = static_cast<std::size_t>(Phase::kCount);
+
+const char* phase_name(Phase phase);
+
+/// Accumulates virtual seconds per phase.
+class CostLedger {
+ public:
+  void charge(Phase phase, double seconds);
+
+  double seconds(Phase phase) const {
+    return seconds_[static_cast<std::size_t>(phase)];
+  }
+
+  /// Sum of every category.
+  double total_seconds() const;
+
+  /// Sum of the three communication categories.
+  double comm_seconds() const;
+
+  /// comm / total; 0 when nothing has been charged.
+  double comm_ratio() const;
+
+  void clear() { seconds_.fill(0.0); }
+
+  CostLedger& operator+=(const CostLedger& other);
+
+  /// Human-readable multi-line breakdown (percent per category).
+  std::string report() const;
+
+ private:
+  std::array<double, kPhaseCount> seconds_{};
+};
+
+}  // namespace ds

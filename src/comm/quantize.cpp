@@ -1,0 +1,121 @@
+#include "comm/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace ds {
+
+const char* compression_name(GradCompression c) {
+  switch (c) {
+    case GradCompression::kNone: return "fp32";
+    case GradCompression::kInt8: return "int8";
+    case GradCompression::kOneBit: return "1-bit";
+  }
+  return "?";
+}
+
+double compression_bytes_factor(GradCompression c) {
+  switch (c) {
+    case GradCompression::kNone: return 1.0;
+    case GradCompression::kInt8: return 0.25;
+    case GradCompression::kOneBit: return 1.0 / 32.0;
+  }
+  return 1.0;
+}
+
+// ------------------------------- Int8Codec ----------------------------------
+
+void Int8Codec::encode(std::span<const float> values, Blob& blob) {
+  DS_CHECK(!values.empty(), "cannot encode an empty span");
+  float lo = values[0], hi = values[0];
+  for (const float v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  blob.min = lo;
+  blob.step = (hi - lo) / 255.0f;
+  blob.data.resize(values.size());
+  if (blob.step == 0.0f) {
+    std::fill(blob.data.begin(), blob.data.end(), std::uint8_t{0});
+    return;
+  }
+  const float inv = 1.0f / blob.step;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const float scaled = (values[i] - lo) * inv;
+    blob.data[i] = static_cast<std::uint8_t>(
+        std::lround(std::clamp(scaled, 0.0f, 255.0f)));
+  }
+}
+
+void Int8Codec::decode(const Blob& blob, std::span<float> values) {
+  DS_CHECK(values.size() == blob.data.size(),
+           "int8 decode size mismatch: " << values.size() << " vs "
+                                         << blob.data.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = blob.min + blob.step * static_cast<float>(blob.data[i]);
+  }
+}
+
+// ------------------------------ OneBitCodec ---------------------------------
+
+OneBitCodec::OneBitCodec(std::size_t size) : residual_(size, 0.0f) {}
+
+void OneBitCodec::encode(std::span<const float> values, Blob& blob) {
+  DS_CHECK(values.size() == residual_.size(),
+           "1-bit encode size mismatch: " << values.size() << " vs "
+                                          << residual_.size());
+  const std::size_t n = values.size();
+  blob.count = n;
+  blob.bits.assign((n + 63) / 64, 0);
+
+  // Pass 1: corrected values and per-sign mean magnitudes.
+  double pos_sum = 0.0, neg_sum = 0.0;
+  std::size_t pos_n = 0, neg_n = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float corrected = values[i] + residual_[i];
+    if (corrected >= 0.0f) {
+      pos_sum += corrected;
+      ++pos_n;
+    } else {
+      neg_sum += -corrected;
+      ++neg_n;
+    }
+  }
+  blob.positive_scale =
+      pos_n > 0 ? static_cast<float>(pos_sum / static_cast<double>(pos_n))
+                : 0.0f;
+  blob.negative_scale =
+      neg_n > 0 ? static_cast<float>(neg_sum / static_cast<double>(neg_n))
+                : 0.0f;
+
+  // Pass 2: emit signs; the error feedback keeps what the code drops.
+  for (std::size_t i = 0; i < n; ++i) {
+    const float corrected = values[i] + residual_[i];
+    float sent = 0.0f;
+    if (corrected >= 0.0f) {
+      blob.bits[i / 64] |= (std::uint64_t{1} << (i % 64));
+      sent = blob.positive_scale;
+    } else {
+      sent = -blob.negative_scale;
+    }
+    residual_[i] = corrected - sent;
+  }
+}
+
+void OneBitCodec::decode(const Blob& blob, std::span<float> values) {
+  DS_CHECK(values.size() == blob.count,
+           "1-bit decode size mismatch: " << values.size() << " vs "
+                                          << blob.count);
+  for (std::size_t i = 0; i < blob.count; ++i) {
+    const bool positive = (blob.bits[i / 64] >> (i % 64)) & 1;
+    values[i] = positive ? blob.positive_scale : -blob.negative_scale;
+  }
+}
+
+void OneBitCodec::reset_residual() {
+  std::fill(residual_.begin(), residual_.end(), 0.0f);
+}
+
+}  // namespace ds

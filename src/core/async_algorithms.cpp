@@ -1,0 +1,259 @@
+#include "core/async_algorithms.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "core/easgd_rules.hpp"
+#include "core/evaluator.hpp"
+#include "data/sampler.hpp"
+#include "support/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace ds {
+namespace {
+
+bool is_easgd(AsyncMethod m) {
+  return m == AsyncMethod::kAsyncEasgd || m == AsyncMethod::kAsyncMomentumEasgd ||
+         m == AsyncMethod::kHogwildEasgd;
+}
+
+bool is_lock_free(AsyncMethod m) {
+  return m == AsyncMethod::kHogwildSgd || m == AsyncMethod::kHogwildEasgd;
+}
+
+bool has_momentum(AsyncMethod m) {
+  return m == AsyncMethod::kAsyncMomentumSgd ||
+         m == AsyncMethod::kAsyncMomentumEasgd;
+}
+
+/// A center-weights snapshot pending evaluation after the threads join.
+struct Snapshot {
+  std::size_t iteration = 0;
+  double vtime = 0.0;
+  std::vector<float> weights;
+};
+
+struct MasterState {
+  std::vector<float> center;
+  std::vector<float> momentum;  // Async MSGD only
+  std::mutex mutex;             // FCFS lock — NOT taken by Hogwild variants
+  std::atomic<std::size_t> ticket{0};
+
+  std::mutex clock_mutex;
+  double clock = 0.0;  // serialised-master virtual clock
+
+  std::mutex trace_mutex;
+  std::vector<Snapshot> snapshots;
+
+  std::mutex ledger_mutex;
+  CostLedger ledger;
+};
+
+}  // namespace
+
+const char* async_method_name(AsyncMethod method) {
+  switch (method) {
+    case AsyncMethod::kAsyncSgd: return "Async SGD";
+    case AsyncMethod::kAsyncMomentumSgd: return "Async MSGD";
+    case AsyncMethod::kAsyncEasgd: return "Async EASGD";
+    case AsyncMethod::kAsyncMomentumEasgd: return "Async MEASGD";
+    case AsyncMethod::kHogwildSgd: return "Hogwild SGD";
+    case AsyncMethod::kHogwildEasgd: return "Hogwild EASGD";
+  }
+  return "?";
+}
+
+RunResult run_async(const AlgoContext& ctx, const GpuSystem& hw,
+                    AsyncMethod method) {
+  const TrainConfig& cfg = ctx.config;
+  DS_CHECK(cfg.workers > 0, "need at least one worker");
+
+  // Master initialisation: one replica defines W̄₀ for everybody.
+  const std::unique_ptr<Network> init_net = ctx.factory();
+  MasterState master;
+  {
+    const auto params = init_net->arena().full_params();
+    master.center.assign(params.begin(), params.end());
+    if (has_momentum(method) && !is_easgd(method)) {
+      master.momentum.assign(params.size(), 0.0f);
+    }
+  }
+
+  const bool easgd = is_easgd(method);
+  const bool lock_free = is_lock_free(method);
+  const bool momentum = has_momentum(method);
+  // Momentum multiplies the asymptotic step by 1/(1−µ); normalise so every
+  // method takes comparable effective steps under the shared hyperparameters
+  // (§2.4 holds the base η fixed across methods).
+  const float momentum_factor = momentum ? 1.0f - cfg.momentum : 1.0f;
+
+  // Per-interaction costs (same for every method — §2.4's same-hardware
+  // discipline; the methods differ only in schedule and update rule).
+  const double data_s = hw.data_copy_seconds(cfg.batch_size);
+  const double fb_s = hw.fwd_bwd_seconds(cfg.batch_size);
+  const double hop = hw.host_param_hop_seconds(MessageLayout::kPacked);
+  const double gup_s = hw.gpu_update_seconds();
+  const double cup_s = hw.cpu_update_seconds();
+
+  auto worker_fn = [&](std::size_t wid) {
+    const std::unique_ptr<Network> net = ctx.factory();
+    {
+      // All workers start from W̄₀.
+      copy(master.center, net->arena().full_params());
+    }
+    BatchSampler sampler(*ctx.train, cfg.batch_size, cfg.seed * 104729 + wid);
+    Tensor batch;
+    std::vector<std::int32_t> labels;
+    std::vector<float> center_copy(master.center.size());
+    std::vector<float> worker_momentum;
+    if (momentum && easgd) worker_momentum.assign(master.center.size(), 0.0f);
+    CostLedger local_ledger;
+    double wclock = 0.0;
+
+    for (;;) {
+      const std::size_t my = master.ticket.fetch_add(1);
+      if (my >= cfg.iterations) break;
+      const std::size_t iter = my + 1;
+      const float lr = cfg.lr_at(iter) * momentum_factor;
+
+      sampler.next(batch, labels);
+
+      if (easgd) {
+        // Elastic worker: the gradient is taken at the LOCAL weights, so
+        // the W̄ pull overlaps with compute (prefetch); the elastic pull is
+        // applied after.
+        if (lock_free) {
+          // Hogwild: racy read of the center — by design.
+          std::memcpy(center_copy.data(), master.center.data(),
+                      center_copy.size() * sizeof(float));
+        } else {
+          const std::lock_guard<std::mutex> lock(master.mutex);
+          std::memcpy(center_copy.data(), master.center.data(),
+                      center_copy.size() * sizeof(float));
+        }
+        net->zero_grads();
+        net->forward_backward(batch, labels);
+        wclock += data_s + std::max(fb_s, hop);
+
+        if (momentum) {
+          measgd_worker_step(net->arena().full_params(), worker_momentum,
+                             net->arena().full_grads(), center_copy, lr,
+                             cfg.momentum, cfg.rho);
+        } else {
+          easgd_worker_step(net->arena().full_params(),
+                            net->arena().full_grads(), center_copy, lr,
+                            cfg.rho);
+        }
+        wclock += gup_s;
+        local_ledger.charge(Phase::kGpuUpdate, gup_s);
+
+        // Push W_i; master applies Eq. (2).
+        if (lock_free) {
+          easgd_center_step(master.center, net->arena().full_params(), lr,
+                            cfg.rho);
+          wclock += hop + cup_s;
+        } else {
+          const std::lock_guard<std::mutex> lock(master.mutex);
+          easgd_center_step(master.center, net->arena().full_params(), lr,
+                            cfg.rho);
+          const std::lock_guard<std::mutex> clock_lock(master.clock_mutex);
+          master.clock = std::max(master.clock, wclock) + hop + cup_s;
+          wclock = master.clock;
+        }
+      } else {
+        // Parameter-server SGD: pull W̄, compute the gradient AT W̄, push
+        // the gradient. The pull is a strict dependency — no overlap.
+        if (lock_free) {
+          std::memcpy(net->arena().full_params().data(), master.center.data(),
+                      center_copy.size() * sizeof(float));
+        } else {
+          const std::lock_guard<std::mutex> lock(master.mutex);
+          std::memcpy(net->arena().full_params().data(), master.center.data(),
+                      center_copy.size() * sizeof(float));
+        }
+        net->zero_grads();
+        net->forward_backward(batch, labels);
+        wclock += data_s + hop + fb_s;
+
+        if (lock_free) {
+          sgd_step(master.center, net->arena().full_grads(), lr);
+          wclock += hop + cup_s;
+        } else {
+          const std::lock_guard<std::mutex> lock(master.mutex);
+          if (momentum) {
+            momentum_step(master.center, master.momentum,
+                          net->arena().full_grads(), lr, cfg.momentum);
+          } else {
+            sgd_step(master.center, net->arena().full_grads(), lr);
+          }
+          const std::lock_guard<std::mutex> clock_lock(master.clock_mutex);
+          master.clock = std::max(master.clock, wclock) + hop + cup_s;
+          wclock = master.clock;
+        }
+      }
+
+      local_ledger.charge(Phase::kCpuGpuDataComm, data_s);
+      local_ledger.charge(Phase::kCpuGpuParamComm, 2.0 * hop);
+      local_ledger.charge(Phase::kForwardBackward, fb_s);
+      local_ledger.charge(Phase::kCpuUpdate, cup_s);
+
+      if (iter % cfg.eval_every == 0 || iter == cfg.iterations) {
+        Snapshot snap;
+        snap.iteration = iter;
+        snap.vtime = wclock;
+        snap.weights.resize(master.center.size());
+        if (lock_free) {
+          std::memcpy(snap.weights.data(), master.center.data(),
+                      snap.weights.size() * sizeof(float));
+        } else {
+          const std::lock_guard<std::mutex> lock(master.mutex);
+          std::memcpy(snap.weights.data(), master.center.data(),
+                      snap.weights.size() * sizeof(float));
+        }
+        const std::lock_guard<std::mutex> lock(master.trace_mutex);
+        master.snapshots.push_back(std::move(snap));
+      }
+    }
+
+    const std::lock_guard<std::mutex> lock(master.ledger_mutex);
+    master.ledger += local_ledger;
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(cfg.workers);
+  for (std::size_t i = 0; i < cfg.workers; ++i) {
+    threads.emplace_back(worker_fn, i);
+  }
+  for (auto& t : threads) t.join();
+
+  // Evaluate the snapshots after the fact (evaluation is not part of the
+  // measured training time).
+  std::sort(master.snapshots.begin(), master.snapshots.end(),
+            [](const Snapshot& a, const Snapshot& b) {
+              return a.iteration < b.iteration;
+            });
+  RunResult res;
+  res.method = async_method_name(method);
+  res.ledger = master.ledger;
+  Evaluator eval(ctx.factory, *ctx.test, cfg.eval_samples);
+  double vtime_monotone = 0.0;
+  for (const Snapshot& snap : master.snapshots) {
+    TracePoint p = eval.evaluate_packed(snap.weights);
+    p.iteration = snap.iteration;
+    vtime_monotone = std::max(vtime_monotone, snap.vtime);
+    p.vtime = vtime_monotone;
+    res.trace.push_back(p);
+  }
+  res.total_seconds = vtime_monotone;
+  res.iterations = cfg.iterations;
+  if (!res.trace.empty()) {
+    res.final_accuracy = res.trace.back().accuracy;
+    res.final_loss = res.trace.back().loss;
+  }
+  return res;
+}
+
+}  // namespace ds

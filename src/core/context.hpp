@@ -1,0 +1,50 @@
+// Shared inputs of every distributed-training algorithm: the model factory
+// (each worker builds its own replica), the datasets, and the
+// hyperparameters the paper holds fixed across method comparisons (§2.4:
+// "All algorithmic comparisons used the same hardware and the same
+// hyper-parameters").
+#pragma once
+
+#include <cstdint>
+
+#include "comm/collectives.hpp"
+#include "comm/quantize.hpp"
+#include "core/lr_schedule.hpp"
+#include "data/dataset.hpp"
+#include "nn/network.hpp"
+
+namespace ds {
+
+struct TrainConfig {
+  std::size_t workers = 4;        // G GPUs / P KNL nodes
+  std::size_t iterations = 300;   // master iterations (sync) or total
+                                  // worker-master interactions (async)
+  std::size_t batch_size = 32;    // per worker per iteration
+  float learning_rate = 0.05f;    // η (base rate; see lr_schedule)
+  float momentum = 0.9f;          // µ (momentum methods only)
+  float rho = 0.0625f;            // elastic coupling ρ
+  LrSchedule lr_schedule;         // decay policy applied on top of η
+
+  /// Effective learning rate at 1-based iteration `iter`.
+  float lr_at(std::size_t iter) const {
+    return lr_schedule.rate_at(iter, learning_rate);
+  }
+
+  std::size_t eval_every = 25;    // trace granularity (master iterations)
+  std::size_t eval_samples = 256; // test subset used for trace points
+  std::uint64_t seed = 1;
+
+  MessageLayout layout = MessageLayout::kPacked;
+  CollectiveAlgo reduce_algo = CollectiveAlgo::kBinomialTree;
+  // Lossy gradient compression on the wire (Sync SGD only; §3.4 extension).
+  GradCompression compression = GradCompression::kNone;
+};
+
+struct AlgoContext {
+  NetworkFactory factory;
+  const Dataset* train = nullptr;
+  const Dataset* test = nullptr;
+  TrainConfig config;
+};
+
+}  // namespace ds

@@ -1,0 +1,78 @@
+#include "core/easgd_rules.hpp"
+
+#include "support/error.hpp"
+
+namespace ds {
+namespace {
+
+void check_sizes(std::size_t a, std::size_t b) {
+  DS_CHECK(a == b, "update rule span mismatch: " << a << " vs " << b);
+}
+
+}  // namespace
+
+void sgd_step(std::span<float> w, std::span<const float> g, float lr) {
+  check_sizes(w.size(), g.size());
+  const std::size_t n = w.size();
+  for (std::size_t i = 0; i < n; ++i) w[i] -= lr * g[i];
+}
+
+void momentum_step(std::span<float> w, std::span<float> v,
+                   std::span<const float> g, float lr, float mu) {
+  check_sizes(w.size(), g.size());
+  check_sizes(w.size(), v.size());
+  const std::size_t n = w.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = mu * v[i] - lr * g[i];
+    w[i] += v[i];
+  }
+}
+
+void easgd_worker_step(std::span<float> w, std::span<const float> g,
+                       std::span<const float> center, float lr, float rho) {
+  check_sizes(w.size(), g.size());
+  check_sizes(w.size(), center.size());
+  const std::size_t n = w.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] -= lr * (g[i] + rho * (w[i] - center[i]));
+  }
+}
+
+void measgd_worker_step(std::span<float> w, std::span<float> v,
+                        std::span<const float> g,
+                        std::span<const float> center, float lr, float mu,
+                        float rho) {
+  check_sizes(w.size(), g.size());
+  check_sizes(w.size(), v.size());
+  check_sizes(w.size(), center.size());
+  const float elastic = lr * rho;
+  const std::size_t n = w.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = mu * v[i] - lr * g[i];
+    w[i] += v[i] - elastic * (w[i] - center[i]);
+  }
+}
+
+void easgd_center_step(std::span<float> center, std::span<const float> w,
+                       float lr, float rho) {
+  check_sizes(center.size(), w.size());
+  const float elastic = lr * rho;
+  const std::size_t n = center.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    center[i] += elastic * (w[i] - center[i]);
+  }
+}
+
+void easgd_center_step_sum(std::span<float> center,
+                           std::span<const float> sum_w, std::size_t workers,
+                           float lr, float rho) {
+  check_sizes(center.size(), sum_w.size());
+  const float elastic = lr * rho;
+  const float p = static_cast<float>(workers);
+  const std::size_t n = center.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    center[i] += elastic * (sum_w[i] - p * center[i]);
+  }
+}
+
+}  // namespace ds

@@ -1,0 +1,46 @@
+// The update rules of the paper, Equations (1)–(6), as span kernels.
+//
+//   (1) Wᵢₜ₊₁ = Wᵢₜ − η(∇Wᵢₜ + ρ(Wᵢₜ − W̄ₜ))            — elastic worker step
+//   (2) W̄ₜ₊₁ = W̄ₜ + η Σᵢ ρ(Wᵢₜ − W̄ₜ)                   — center (master) step
+//   (3,4) Vₜ₊₁ = µVₜ − η∇Wₜ ;  Wₜ₊₁ = Wₜ + Vₜ₊₁          — momentum SGD
+//   (5,6) Vᵢₜ₊₁ = µVᵢₜ − η∇Wᵢₜ ;
+//         Wᵢₜ₊₁ = Wᵢₜ + Vᵢₜ₊₁ − ηρ(Wᵢₜ − W̄ₜ)            — momentum EASGD worker
+//
+// Every distributed algorithm in core/ is a communication schedule around
+// these five kernels.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace ds {
+
+/// Plain SGD: w -= lr * g.
+void sgd_step(std::span<float> w, std::span<const float> g, float lr);
+
+/// Momentum SGD, Equations (3)(4): v = mu*v - lr*g; w += v.
+void momentum_step(std::span<float> w, std::span<float> v,
+                   std::span<const float> g, float lr, float mu);
+
+/// Elastic worker update, Equation (1).
+void easgd_worker_step(std::span<float> w, std::span<const float> g,
+                       std::span<const float> center, float lr, float rho);
+
+/// Momentum elastic worker update, Equations (5)(6).
+void measgd_worker_step(std::span<float> w, std::span<float> v,
+                        std::span<const float> g,
+                        std::span<const float> center, float lr, float mu,
+                        float rho);
+
+/// Single-worker center update (round-robin / parameter-server masters):
+/// center += lr*rho*(w - center). One term of Equation (2).
+void easgd_center_step(std::span<float> center, std::span<const float> w,
+                       float lr, float rho);
+
+/// Full Equation (2) given the precomputed Σᵢ Wᵢ over `workers` workers:
+/// center += lr*rho*(sum_w - workers*center).
+void easgd_center_step_sum(std::span<float> center,
+                           std::span<const float> sum_w, std::size_t workers,
+                           float lr, float rho);
+
+}  // namespace ds

@@ -1,0 +1,57 @@
+#include "core/evaluator.hpp"
+
+#include <algorithm>
+
+#include "data/sampler.hpp"
+#include "support/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace ds {
+
+namespace {
+constexpr std::size_t kEvalChunk = 64;
+}
+
+Evaluator::Evaluator(const NetworkFactory& factory, const Dataset& test,
+                     std::size_t eval_samples)
+    : net_(factory()), test_(test) {
+  DS_CHECK(net_ != nullptr && net_->finalized(), "factory must finalize");
+  const std::size_t n = std::min(eval_samples, test_.size());
+  DS_CHECK(n > 0, "evaluator needs test samples");
+  indices_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) indices_[i] = i;
+}
+
+TracePoint Evaluator::run_eval() {
+  TracePoint point;
+  double loss_sum = 0.0;
+  std::size_t correct = 0;
+  std::size_t done = 0;
+  std::vector<std::size_t> chunk;
+  while (done < indices_.size()) {
+    const std::size_t take = std::min(kEvalChunk, indices_.size() - done);
+    chunk.assign(indices_.begin() + static_cast<long>(done),
+                 indices_.begin() + static_cast<long>(done + take));
+    gather_batch(test_, chunk, batch_, labels_);
+    const LossResult r = net_->evaluate_batch(batch_, labels_);
+    loss_sum += r.loss * static_cast<double>(take);
+    correct += r.correct;
+    done += take;
+  }
+  point.loss = loss_sum / static_cast<double>(indices_.size());
+  point.accuracy =
+      static_cast<double>(correct) / static_cast<double>(indices_.size());
+  return point;
+}
+
+TracePoint Evaluator::evaluate(const ParamArena& arena) {
+  net_->arena().copy_params_from(arena);
+  return run_eval();
+}
+
+TracePoint Evaluator::evaluate_packed(std::span<const float> weights) {
+  copy(weights, net_->arena().full_params());
+  return run_eval();
+}
+
+}  // namespace ds

@@ -1,0 +1,44 @@
+// Test-set evaluation of a candidate weight vector. Owns one scratch
+// network replica; callers hand it center weights (as a ParamArena or a raw
+// packed span) and get test loss/accuracy back. Evaluation happens outside
+// the virtual-time ledger — the paper's timings measure training, with
+// accuracy probed by separate test passes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/run_result.hpp"
+#include "data/dataset.hpp"
+#include "nn/network.hpp"
+
+namespace ds {
+
+class Evaluator {
+ public:
+  /// Evaluates on the first min(eval_samples, test.size()) test samples in
+  /// fixed chunks so trace points are comparable across methods.
+  Evaluator(const NetworkFactory& factory, const Dataset& test,
+            std::size_t eval_samples);
+
+  /// Loss/accuracy of the weights held in `arena`.
+  TracePoint evaluate(const ParamArena& arena);
+
+  /// Loss/accuracy of packed weights (must match the scratch net's size).
+  TracePoint evaluate_packed(std::span<const float> weights);
+
+  std::size_t sample_count() const { return indices_.size(); }
+
+ private:
+  TracePoint run_eval();
+
+  std::unique_ptr<Network> net_;
+  const Dataset& test_;
+  std::vector<std::size_t> indices_;
+  Tensor batch_;
+  std::vector<std::int32_t> labels_;
+};
+
+}  // namespace ds

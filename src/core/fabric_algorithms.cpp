@@ -1,0 +1,234 @@
+#include "core/fabric_algorithms.hpp"
+
+#include <mutex>
+
+#include "comm/fabric.hpp"
+#include "core/easgd_rules.hpp"
+#include "core/evaluator.hpp"
+#include "data/sampler.hpp"
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+#include "tensor/ops.hpp"
+
+namespace ds {
+
+RunResult run_fabric_easgd(const AlgoContext& ctx,
+                           const FabricClusterConfig& cluster) {
+  const TrainConfig& cfg = ctx.config;
+  const std::size_t ranks = cfg.workers;
+  DS_CHECK(ranks > 0, "need at least one rank");
+
+  Fabric fabric(ranks, cluster.network);
+
+  // Per-iteration local costs charged to each rank's fabric clock; the
+  // communication costs come from the fabric itself, message by message.
+  const double fb_s = static_cast<double>(cfg.batch_size) *
+                      cluster.model.flops_per_sample / cluster.node_flops;
+  const double up_s = (cluster.model.weight_bytes / 4.0) *
+                      cluster.update_flops_per_param / cluster.node_flops;
+
+  struct Probe {
+    std::size_t iteration;
+    double vtime;
+    std::vector<float> center;
+  };
+  std::vector<Probe> probes;  // written only by rank 0
+
+  auto rank_main = [&](std::size_t rank) {
+    const std::unique_ptr<Network> net = ctx.factory();
+    const std::size_t n = net->param_count();
+
+    // Rank 0's initial weights define W̄₀ for everyone (Algorithm 4 line 4:
+    // "KNL1 broadcasts W to all KNLs").
+    std::vector<float> center(net->arena().full_params().begin(),
+                              net->arena().full_params().end());
+    fabric.tree_broadcast(rank, 0, center);
+    copy(center, net->arena().full_params());
+
+    BatchSampler sampler(*ctx.train, cfg.batch_size,
+                         cfg.seed * 48271 + rank);
+    Tensor batch;
+    std::vector<std::int32_t> labels;
+    std::vector<float> sum_w(n);
+
+    for (std::size_t t = 1; t <= cfg.iterations; ++t) {
+      // Line 11: forward/backward on every node.
+      sampler.next(batch, labels);
+      net->zero_grads();
+      net->forward_backward(batch, labels);
+      fabric.advance(rank, fb_s);
+
+      // Line 12: KNL1 broadcasts W̄_t.
+      fabric.tree_broadcast(rank, 0, center);
+
+      // Line 13: KNL1 gets Σ W_j^t (pre-update weights). tree_reduce
+      // consumes non-root buffers, so refill by assignment every round.
+      const auto params = net->arena().full_params();
+      sum_w.assign(params.begin(), params.end());
+      fabric.tree_reduce(rank, 0, sum_w);
+
+      // Line 14: every node applies Eq. (1) against the broadcast W̄_t.
+      easgd_worker_step(net->arena().full_params(),
+                        net->arena().full_grads(), center, cfg.lr_at(t),
+                        cfg.rho);
+      fabric.advance(rank, up_s);
+
+      // Line 15: KNL1 applies Eq. (2).
+      if (rank == 0) {
+        easgd_center_step_sum(center, sum_w, ranks, cfg.lr_at(t),
+                              cfg.rho);
+        fabric.advance(rank, up_s);
+        if (t % cfg.eval_every == 0 || t == cfg.iterations) {
+          probes.push_back(Probe{t, fabric.clock(0), center});
+        }
+      }
+    }
+  };
+
+  parallel_for_threads(ranks, rank_main);
+
+  RunResult res;
+  res.method = "Fabric EASGD (SPMD Algorithm 4)";
+  Evaluator eval(ctx.factory, *ctx.test, cfg.eval_samples);
+  for (const Probe& probe : probes) {
+    TracePoint p = eval.evaluate_packed(probe.center);
+    p.iteration = probe.iteration;
+    p.vtime = probe.vtime;
+    res.trace.push_back(p);
+  }
+  res.total_seconds = fabric.max_clock();
+  res.iterations = cfg.iterations;
+  if (!res.trace.empty()) {
+    res.final_accuracy = res.trace.back().accuracy;
+    res.final_loss = res.trace.back().loss;
+  }
+  res.ledger.charge(Phase::kForwardBackward,
+                    fb_s * static_cast<double>(cfg.iterations));
+  res.ledger.charge(
+      Phase::kGpuGpuParamComm,
+      std::max(0.0, res.total_seconds -
+                        (fb_s + 2.0 * up_s) *
+                            static_cast<double>(cfg.iterations)));
+  res.ledger.charge(Phase::kGpuUpdate,
+                    up_s * static_cast<double>(cfg.iterations));
+  res.ledger.charge(Phase::kCpuUpdate,
+                    up_s * static_cast<double>(cfg.iterations));
+  return res;
+}
+
+RunResult run_fabric_async_easgd(const AlgoContext& ctx,
+                                 const FabricClusterConfig& cluster) {
+  const TrainConfig& cfg = ctx.config;
+  const std::size_t workers = cfg.workers;
+  DS_CHECK(workers > 0, "need at least one worker");
+  const std::size_t ranks = workers + 1;  // rank 0 is the server
+  constexpr int kPushTag = 901;
+  constexpr int kReplyTag = 902;
+
+  Fabric fabric(ranks, cluster.network);
+
+  const double fb_s = static_cast<double>(cfg.batch_size) *
+                      cluster.model.flops_per_sample / cluster.node_flops;
+  const double up_s = (cluster.model.weight_bytes / 4.0) *
+                      cluster.update_flops_per_param / cluster.node_flops;
+
+  // Interaction budget split across workers (remainder to low ranks).
+  auto quota = [&](std::size_t worker_rank) {
+    const std::size_t w = worker_rank - 1;
+    return cfg.iterations / workers + (w < cfg.iterations % workers ? 1 : 0);
+  };
+
+  struct Probe {
+    std::size_t interaction;
+    double vtime;
+    std::vector<float> center;
+  };
+  std::vector<Probe> probes;  // written only by the server thread
+
+  // W̄₀ from one reference replica.
+  const std::unique_ptr<Network> init_net = ctx.factory();
+  const std::vector<float> initial(init_net->arena().full_params().begin(),
+                                   init_net->arena().full_params().end());
+
+  auto server_main = [&] {
+    std::vector<float> center = initial;
+    for (std::size_t done = 1; done <= cfg.iterations; ++done) {
+      auto [src, w_i] = fabric.recv_any(0, kPushTag);
+      // Eq. (2) against the pushed worker weights, then return W̄.
+      easgd_center_step(center, w_i, cfg.lr_at(done), cfg.rho);
+      fabric.advance(0, up_s);
+      fabric.send(0, src, kReplyTag, center);
+      if (done % cfg.eval_every == 0 || done == cfg.iterations) {
+        probes.push_back(Probe{done, fabric.clock(0), center});
+      }
+    }
+  };
+
+  auto worker_main = [&](std::size_t rank) {
+    const std::unique_ptr<Network> net = ctx.factory();
+    copy(initial, net->arena().full_params());
+    BatchSampler sampler(*ctx.train, cfg.batch_size, cfg.seed * 31393 + rank);
+    Tensor batch;
+    std::vector<std::int32_t> labels;
+    const std::size_t my_quota = quota(rank);
+
+    for (std::size_t t = 1; t <= my_quota; ++t) {
+      // Gradient at the LOCAL weights (elastic worker), overlapping with
+      // the round trip below only through the fabric's causal clocks.
+      sampler.next(batch, labels);
+      net->zero_grads();
+      net->forward_backward(batch, labels);
+      fabric.advance(rank, fb_s);
+
+      // Push W_i, receive W̄ (Figure 5's interaction).
+      std::vector<float> w_i(net->arena().full_params().begin(),
+                             net->arena().full_params().end());
+      fabric.send(rank, 0, kPushTag, std::move(w_i));
+      const std::vector<float> center = fabric.recv(rank, 0, kReplyTag);
+
+      // Eq. (1) against the returned center.
+      easgd_worker_step(net->arena().full_params(),
+                        net->arena().full_grads(), center, cfg.lr_at(t),
+                        cfg.rho);
+      fabric.advance(rank, up_s);
+    }
+  };
+
+  parallel_for_threads(ranks, [&](std::size_t rank) {
+    if (rank == 0) {
+      server_main();
+    } else {
+      worker_main(rank);
+    }
+  });
+
+  RunResult res;
+  res.method = "Fabric Async EASGD (parameter server)";
+  Evaluator eval(ctx.factory, *ctx.test, cfg.eval_samples);
+  for (const Probe& probe : probes) {
+    TracePoint p = eval.evaluate_packed(probe.center);
+    p.iteration = probe.interaction;
+    p.vtime = probe.vtime;
+    res.trace.push_back(p);
+  }
+  res.total_seconds = fabric.max_clock();
+  res.iterations = cfg.iterations;
+  if (!res.trace.empty()) {
+    res.final_accuracy = res.trace.back().accuracy;
+    res.final_loss = res.trace.back().loss;
+  }
+  res.ledger.charge(Phase::kForwardBackward,
+                    fb_s * static_cast<double>(cfg.iterations));
+  res.ledger.charge(Phase::kCpuUpdate,
+                    up_s * static_cast<double>(cfg.iterations));
+  res.ledger.charge(Phase::kGpuUpdate,
+                    up_s * static_cast<double>(cfg.iterations));
+  res.ledger.charge(
+      Phase::kGpuGpuParamComm,
+      std::max(0.0, res.total_seconds * static_cast<double>(workers) -
+                        (fb_s + 2.0 * up_s) *
+                            static_cast<double>(cfg.iterations)));
+  return res;
+}
+
+}  // namespace ds

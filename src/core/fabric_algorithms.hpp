@@ -1,0 +1,48 @@
+// Algorithm 4 as a true SPMD message-passing program.
+//
+// run_cluster_sync_easgd (knl_algorithms.hpp) executes the schedule
+// single-threaded with closed-form collective costs — ideal for fast,
+// deterministic experiments. This variant runs the SAME algorithm the way
+// an MPI code would: one thread per node, every transfer an actual message
+// through the Fabric's binomial-tree collectives, and time read off the
+// fabric's causally-tracked virtual clocks instead of a formula. It is the
+// substrate-level proof that the Θ(log P) schedule the cost model assumes
+// is the schedule the implementation really executes.
+//
+// Despite running on threads, the result is bit-deterministic: blocking
+// matched receives make every reduction order a pure function of the tree
+// shape.
+#pragma once
+
+#include "comm/cost_model.hpp"
+#include "core/context.hpp"
+#include "core/run_result.hpp"
+#include "nn/models.hpp"
+
+namespace ds {
+
+struct FabricClusterConfig {
+  LinkModel network = cray_aries();
+  double node_flops = 6.0e10;            // compute rate per node
+  PaperModelInfo model = paper_lenet();  // paper-scale timing metadata
+  double update_flops_per_param = 4.0;
+};
+
+/// Sync EASGD over the fabric: ctx.config.workers ranks, center on rank 0.
+RunResult run_fabric_easgd(const AlgoContext& ctx,
+                           const FabricClusterConfig& cluster);
+
+/// Async EASGD as a real parameter server over the fabric (paper Figure 5 +
+/// §5.1's first redesign): rank 0 is a dedicated server processing
+/// first-come-first-served weight pushes; ranks 1..workers are workers.
+/// ctx.config.workers counts the WORKERS (the fabric gets workers+1 ranks);
+/// ctx.config.iterations is the total interaction budget.
+///
+/// The fabric's causal clocks make the server a real queueing system: when
+/// pushes arrive faster than the server can turn them around, worker
+/// virtual time stalls on the reply — the master-bottleneck effect that
+/// motivates Hogwild EASGD (§5.1).
+RunResult run_fabric_async_easgd(const AlgoContext& ctx,
+                                 const FabricClusterConfig& cluster);
+
+}  // namespace ds

@@ -1,0 +1,194 @@
+#include "core/knl_algorithms.hpp"
+
+#include <algorithm>
+
+#include "comm/collectives.hpp"
+#include "core/easgd_rules.hpp"
+#include "core/evaluator.hpp"
+#include "data/sampler.hpp"
+#include "support/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace ds {
+namespace {
+
+struct NodeSet {
+  std::vector<std::unique_ptr<Network>> nets;
+  std::vector<BatchSampler> samplers;
+  Tensor batch;
+  std::vector<std::int32_t> labels;
+};
+
+NodeSet make_nodes(const AlgoContext& ctx, std::size_t count) {
+  NodeSet n;
+  n.nets.reserve(count);
+  n.samplers.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    n.nets.push_back(ctx.factory());
+    if (i > 0) n.nets[i]->copy_params_from(*n.nets[0]);
+    // Each node draws from its own local data copy with its own stream
+    // (Algorithm 4 line 10: "KNL_j randomly pick b samples from local
+    // memory").
+    n.samplers.emplace_back(*ctx.train, ctx.config.batch_size,
+                            ctx.config.seed * 15485863 + i);
+  }
+  return n;
+}
+
+}  // namespace
+
+RunResult run_cluster_sync_easgd(const AlgoContext& ctx,
+                                 const ClusterTiming& timing) {
+  const TrainConfig& cfg = ctx.config;
+  NodeSet nodes = make_nodes(ctx, cfg.workers);
+  Evaluator eval(ctx.factory, *ctx.test, cfg.eval_samples);
+
+  std::vector<float> center(nodes.nets[0]->arena().full_params().begin(),
+                            nodes.nets[0]->arena().full_params().end());
+  std::vector<float> sum_w(center.size());
+
+  RunResult res;
+  res.method = "Comm-Efficient EASGD (KNL, Algorithm 4)";
+
+  // Per-iteration costs: local compute, packed tree broadcast + reduction
+  // over the inter-node network, local updates. No host<->device data
+  // copies — the data is node-local (line 1).
+  const double fb_s = static_cast<double>(cfg.batch_size) *
+                      timing.model.flops_per_sample / timing.node_flops;
+  const double comm_s = 2.0 * static_cast<double>(tree_rounds(cfg.workers)) *
+                        timing.network.transfer_seconds(
+                            timing.model.weight_bytes);
+  const double params = timing.model.weight_bytes / 4.0;
+  const double up_s =
+      params * timing.update_flops_per_param / timing.node_flops;
+
+  std::vector<std::span<const float>> views;
+  views.reserve(cfg.workers);
+
+  double vtime = 0.0;
+  for (std::size_t t = 1; t <= cfg.iterations; ++t) {
+    for (std::size_t j = 0; j < cfg.workers; ++j) {
+      nodes.samplers[j].next(nodes.batch, nodes.labels);
+      nodes.nets[j]->zero_grads();
+      nodes.nets[j]->forward_backward(nodes.batch, nodes.labels);
+    }
+    views.clear();
+    for (auto& net : nodes.nets) views.push_back(net->arena().full_params());
+    reduce_sum(views, sum_w);
+    const float lr = cfg.lr_at(t);
+    for (auto& net : nodes.nets) {
+      easgd_worker_step(net->arena().full_params(),
+                        net->arena().full_grads(), center, lr, cfg.rho);
+    }
+    easgd_center_step_sum(center, sum_w, cfg.workers, lr, cfg.rho);
+
+    res.ledger.charge(Phase::kForwardBackward, fb_s);
+    res.ledger.charge(Phase::kGpuGpuParamComm, comm_s);
+    res.ledger.charge(Phase::kGpuUpdate, up_s);
+    res.ledger.charge(Phase::kCpuUpdate, up_s);
+    vtime += fb_s + comm_s + 2.0 * up_s;
+
+    if (t % cfg.eval_every == 0 || t == cfg.iterations) {
+      TracePoint p = eval.evaluate_packed(center);
+      p.iteration = t;
+      p.vtime = vtime;
+      res.trace.push_back(p);
+    }
+  }
+  res.total_seconds = vtime;
+  res.iterations = cfg.iterations;
+  if (!res.trace.empty()) {
+    res.final_accuracy = res.trace.back().accuracy;
+    res.final_loss = res.trace.back().loss;
+  }
+  return res;
+}
+
+KnlPartitionResult run_knl_partition(const AlgoContext& ctx,
+                                     const KnlChip& chip,
+                                     const KnlPartitionConfig& pcfg) {
+  const TrainConfig& cfg = ctx.config;
+  DS_CHECK(pcfg.parts > 0, "need at least one partition");
+  NodeSet parts = make_nodes(ctx, pcfg.parts);
+  Evaluator eval(ctx.factory, *ctx.test, cfg.eval_samples);
+
+  KnlPartitionResult result;
+  result.parts = pcfg.parts;
+  result.run.method = "KNL partition P=" + std::to_string(pcfg.parts);
+
+  const double bytes_per_sample =
+      pcfg.paper_model.flops_per_sample / pcfg.arithmetic_intensity;
+  result.round_seconds = chip.round_seconds(
+      pcfg.parts, cfg.batch_size, pcfg.paper_model.flops_per_sample,
+      bytes_per_sample, pcfg.paper_model.weight_bytes, pcfg.data_copy_bytes);
+  result.footprint_gb =
+      chip.footprint_bytes(pcfg.parts, pcfg.paper_model.weight_bytes,
+                           pcfg.data_copy_bytes) /
+      (1024.0 * 1024.0 * 1024.0);
+  result.bandwidth_gbs =
+      chip.effective_bandwidth(pcfg.parts, pcfg.paper_model.weight_bytes,
+                               pcfg.data_copy_bytes) /
+      1.0e9;
+
+  const std::size_t layer_count = parts.nets[0]->arena().layer_count();
+  std::vector<std::span<const float>> grad_views;
+  std::vector<float> layer_sum;
+  const float inv_parts = 1.0f / static_cast<float>(pcfg.parts);
+  const float lr_scale = pcfg.scale_lr_with_parts
+                             ? static_cast<float>(pcfg.parts)
+                             : 1.0f;
+
+  double vtime = 0.0;
+  for (std::size_t round = 1; round <= pcfg.max_rounds; ++round) {
+    // Divide: every partition computes a gradient on its own batch.
+    for (std::size_t j = 0; j < pcfg.parts; ++j) {
+      parts.samplers[j].next(parts.batch, parts.labels);
+      parts.nets[j]->zero_grads();
+      parts.nets[j]->forward_backward(parts.batch, parts.labels);
+    }
+    // Conquer: tree-sum the gradients; every partition gets the sum and
+    // updates its own weight copy (§6.2) — copies stay bit-identical.
+    for (std::size_t l = 0; l < layer_count; ++l) {
+      const std::size_t n = parts.nets[0]->arena().layer_grads(l).size();
+      if (n == 0) continue;
+      grad_views.clear();
+      for (auto& net : parts.nets) {
+        grad_views.push_back(net->arena().layer_grads(l));
+      }
+      layer_sum.resize(n);
+      reduce_sum(grad_views, layer_sum);
+      scale(inv_parts, layer_sum);
+      for (auto& net : parts.nets) {
+        copy(layer_sum, net->arena().layer_grads(l));
+        sgd_step(net->arena().layer_params(l), net->arena().layer_grads(l),
+                 cfg.lr_at(round) * lr_scale);
+      }
+    }
+
+    vtime += result.round_seconds;
+    result.run.ledger.charge(Phase::kForwardBackward, result.round_seconds);
+
+    if (round % cfg.eval_every == 0 || round == pcfg.max_rounds) {
+      TracePoint p = eval.evaluate(parts.nets[0]->arena());
+      p.iteration = round;
+      p.vtime = vtime;
+      result.run.trace.push_back(p);
+      result.rounds = round;
+      if (p.accuracy >= pcfg.target_accuracy) {
+        result.reached_target = true;
+        result.seconds_to_target = vtime;
+        break;
+      }
+    }
+  }
+  if (!result.reached_target) result.seconds_to_target = vtime;
+  result.run.total_seconds = vtime;
+  result.run.iterations = result.rounds;
+  if (!result.run.trace.empty()) {
+    result.run.final_accuracy = result.run.trace.back().accuracy;
+    result.run.final_loss = result.run.trace.back().loss;
+  }
+  return result;
+}
+
+}  // namespace ds

@@ -1,0 +1,68 @@
+// KNL-side algorithms:
+//
+//   * run_cluster_sync_easgd — Algorithm 4, "Communication Efficient EASGD
+//     on KNL cluster": every node holds a full local data copy (line 1),
+//     the center lives on node 1, and each iteration pays one tree
+//     broadcast + one tree reduction of the packed model over the
+//     inter-node network. Drives Figure 13 (more machines + more data).
+//
+//   * run_knl_partition — §6.2's divide-and-conquer on ONE chip: split the
+//     chip into P groups, give each group a weight copy and a data copy,
+//     tree-sum the gradients each round, and let every group apply the
+//     summed gradient to its own copy. Iteration timing comes from the
+//     KnlChip memory model (MCDRAM residency + locality), which is what
+//     produces Figure 12's speedup-then-cliff shape.
+#pragma once
+
+#include "core/context.hpp"
+#include "core/run_result.hpp"
+#include "nn/models.hpp"
+#include "simhw/knl_chip.hpp"
+
+namespace ds {
+
+/// Timing model of one KNL node + the inter-node network for Algorithm 4.
+struct ClusterTiming {
+  double node_flops = 6.0e10;        // effective per-node DNN throughput
+  LinkModel network = cray_aries();  // inter-node link
+  PaperModelInfo model;              // wire size / flops of the full model
+  double update_flops_per_param = 4.0;
+};
+
+RunResult run_cluster_sync_easgd(const AlgoContext& ctx,
+                                 const ClusterTiming& timing);
+
+struct KnlPartitionConfig {
+  std::size_t parts = 4;
+  double target_accuracy = 0.55;     // Figure 12 measures time-to-accuracy
+  std::size_t max_rounds = 400;
+  PaperModelInfo paper_model;        // sizing for the memory model
+  double data_copy_bytes = 687.0 * 1024.0 * 1024.0;  // one Cifar copy (§6.2)
+  // Flops per byte of streamed traffic. DNN training on Caffe-era KNL is
+  // strongly memory-bound: weights and activations are re-streamed layer by
+  // layer, so the effective intensity is far below the kernels' arithmetic
+  // intensity.
+  double arithmetic_intensity = 4.0;
+  // Linear learning-rate scaling: P partitions average P batches per round
+  // (effective batch P·b), so the step is scaled by P to keep per-sample
+  // progress constant (§7.2: batch size, learning rate, and momentum are
+  // tuned together when the batch grows).
+  bool scale_lr_with_parts = true;
+};
+
+struct KnlPartitionResult {
+  std::size_t parts = 0;
+  bool reached_target = false;
+  double seconds_to_target = 0.0;  // virtual seconds (= total if not reached)
+  std::size_t rounds = 0;
+  double round_seconds = 0.0;      // per-round virtual time
+  double footprint_gb = 0.0;       // P × (weights + data)
+  double bandwidth_gbs = 0.0;      // effective streaming bandwidth
+  RunResult run;                   // full trace
+};
+
+KnlPartitionResult run_knl_partition(const AlgoContext& ctx,
+                                     const KnlChip& chip,
+                                     const KnlPartitionConfig& pcfg);
+
+}  // namespace ds

@@ -1,0 +1,65 @@
+#include "core/lr_schedule.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace ds {
+
+const char* lr_policy_name(LrPolicy policy) {
+  switch (policy) {
+    case LrPolicy::kFixed: return "fixed";
+    case LrPolicy::kStep: return "step";
+    case LrPolicy::kExp: return "exp";
+    case LrPolicy::kInv: return "inv";
+    case LrPolicy::kPoly: return "poly";
+  }
+  return "?";
+}
+
+LrPolicy parse_lr_policy(const std::string& name) {
+  if (name == "fixed") return LrPolicy::kFixed;
+  if (name == "step") return LrPolicy::kStep;
+  if (name == "exp") return LrPolicy::kExp;
+  if (name == "inv") return LrPolicy::kInv;
+  if (name == "poly") return LrPolicy::kPoly;
+  DS_CHECK(false, "unknown lr_policy '" << name << "'");
+  return LrPolicy::kFixed;
+}
+
+float LrSchedule::rate_at(std::size_t iter, float base_lr) const {
+  DS_CHECK(iter >= 1, "iterations are 1-based");
+  const double t = static_cast<double>(iter - 1);
+  double rate = base_lr;
+  switch (policy) {
+    case LrPolicy::kFixed:
+      break;
+    case LrPolicy::kStep:
+      DS_CHECK(step_size > 0, "step policy needs step_size > 0");
+      rate = base_lr * std::pow(gamma, std::floor(t / static_cast<double>(
+                                                          step_size)));
+      break;
+    case LrPolicy::kExp:
+      rate = base_lr * std::pow(gamma, t);
+      break;
+    case LrPolicy::kInv:
+      rate = base_lr * std::pow(1.0 + gamma * t, -power);
+      break;
+    case LrPolicy::kPoly: {
+      DS_CHECK(max_iter > 0, "poly policy needs max_iter > 0");
+      const double frac =
+          std::min(1.0, t / static_cast<double>(max_iter));
+      rate = base_lr * std::pow(1.0 - frac, power);
+      break;
+    }
+  }
+  if (warmup_iters > 0 && iter <= warmup_iters) {
+    const double progress =
+        static_cast<double>(iter) / static_cast<double>(warmup_iters);
+    const double factor = warmup_start + (1.0 - warmup_start) * progress;
+    rate *= factor;
+  }
+  return static_cast<float>(rate);
+}
+
+}  // namespace ds

@@ -1,0 +1,42 @@
+// Learning-rate schedules, matching the Caffe solver policies the paper's
+// artifact configures through solver.prototxt (§10.5), plus linear warmup —
+// the standard companion of large-batch training (§7.2: batch size,
+// learning rate, and momentum must be tuned together).
+//
+//   fixed: η
+//   step:  η · γ^floor(t / step_size)
+//   exp:   η · γ^t
+//   inv:   η · (1 + γ·t)^(−power)
+//   poly:  η · (1 − t/max_iter)^power
+//
+// Warmup (when warmup_iters > 0) linearly ramps from warmup_start·η to the
+// policy value over the first warmup_iters iterations.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace ds {
+
+enum class LrPolicy { kFixed, kStep, kExp, kInv, kPoly };
+
+const char* lr_policy_name(LrPolicy policy);
+
+/// Parse a policy name ("fixed", "step", "exp", "inv", "poly");
+/// throws ds::Error on anything else.
+LrPolicy parse_lr_policy(const std::string& name);
+
+struct LrSchedule {
+  LrPolicy policy = LrPolicy::kFixed;
+  double gamma = 0.1;          // step / exp / inv decay parameter
+  std::size_t step_size = 1000;  // step policy period
+  double power = 1.0;          // inv / poly exponent
+  std::size_t max_iter = 0;    // poly horizon (required for poly)
+  std::size_t warmup_iters = 0;
+  double warmup_start = 0.1;   // fraction of base lr at iteration 0
+
+  /// Learning rate at 1-based iteration `iter`.
+  float rate_at(std::size_t iter, float base_lr) const;
+};
+
+}  // namespace ds

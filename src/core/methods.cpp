@@ -1,0 +1,77 @@
+#include "core/methods.hpp"
+
+namespace ds {
+
+const char* method_name(Method method) {
+  switch (method) {
+    case Method::kOriginalEasgd: return "Original EASGD";
+    case Method::kAsyncSgd: return "Async SGD";
+    case Method::kAsyncMomentumSgd: return "Async MSGD";
+    case Method::kHogwildSgd: return "Hogwild SGD";
+    case Method::kAsyncEasgd: return "Async EASGD";
+    case Method::kAsyncMomentumEasgd: return "Async MEASGD";
+    case Method::kHogwildEasgd: return "Hogwild EASGD";
+    case Method::kSyncEasgd: return "Sync EASGD";
+  }
+  return "?";
+}
+
+bool is_new_method(Method method) {
+  switch (method) {
+    case Method::kOriginalEasgd:
+    case Method::kAsyncSgd:
+    case Method::kAsyncMomentumSgd:
+    case Method::kHogwildSgd:
+      return false;
+    case Method::kAsyncEasgd:
+    case Method::kAsyncMomentumEasgd:
+    case Method::kHogwildEasgd:
+    case Method::kSyncEasgd:
+      return true;
+  }
+  return false;
+}
+
+std::vector<Method> all_methods() {
+  return {Method::kOriginalEasgd,      Method::kAsyncSgd,
+          Method::kAsyncMomentumSgd,   Method::kHogwildSgd,
+          Method::kAsyncEasgd,         Method::kAsyncMomentumEasgd,
+          Method::kHogwildEasgd,       Method::kSyncEasgd};
+}
+
+namespace {
+
+RunResult dispatch(Method method, const AlgoContext& ctx,
+                   const GpuSystem& hw) {
+  switch (method) {
+    case Method::kOriginalEasgd:
+      return run_original_easgd(ctx, hw, OriginalVariant::kOverlapped);
+    case Method::kAsyncSgd:
+      return run_async(ctx, hw, AsyncMethod::kAsyncSgd);
+    case Method::kAsyncMomentumSgd:
+      return run_async(ctx, hw, AsyncMethod::kAsyncMomentumSgd);
+    case Method::kHogwildSgd:
+      return run_async(ctx, hw, AsyncMethod::kHogwildSgd);
+    case Method::kAsyncEasgd:
+      return run_async(ctx, hw, AsyncMethod::kAsyncEasgd);
+    case Method::kAsyncMomentumEasgd:
+      return run_async(ctx, hw, AsyncMethod::kAsyncMomentumEasgd);
+    case Method::kHogwildEasgd:
+      return run_async(ctx, hw, AsyncMethod::kHogwildEasgd);
+    case Method::kSyncEasgd:
+      return run_sync_easgd(ctx, hw, SyncEasgdVariant::kEasgd3);
+  }
+  DS_CHECK(false, "unreachable method");
+  return {};
+}
+
+}  // namespace
+
+RunResult run_method(Method method, const AlgoContext& ctx,
+                     const GpuSystem& hw) {
+  RunResult result = dispatch(method, ctx, hw);
+  result.method = method_name(method);  // canonical Figure 8 label
+  return result;
+}
+
+}  // namespace ds

@@ -1,0 +1,43 @@
+// Unified dispatch over the eight methods of Figure 8 (four existing
+// baselines + the paper's four redesigns, see the Figure 9 lineage).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/async_algorithms.hpp"
+#include "core/context.hpp"
+#include "core/run_result.hpp"
+#include "core/sync_algorithms.hpp"
+
+namespace ds {
+
+enum class Method {
+  // Existing methods (red blocks of Figure 9).
+  kOriginalEasgd,
+  kAsyncSgd,
+  kAsyncMomentumSgd,
+  kHogwildSgd,
+  // The paper's methods (blue blocks of Figure 9).
+  kAsyncEasgd,
+  kAsyncMomentumEasgd,
+  kHogwildEasgd,
+  kSyncEasgd,  // Sync EASGD3, the "Communication Efficient" variant
+};
+
+const char* method_name(Method method);
+
+/// True for the paper's contributions, false for the pre-existing baselines.
+bool is_new_method(Method method);
+
+/// All eight methods in Figure 8's order.
+std::vector<Method> all_methods();
+
+/// Run one method on the given context/hardware. The round-robin baseline
+/// only advances one worker per iteration, so callers typically give it a
+/// larger iteration budget (the paper runs it 5000 iterations vs 1000,
+/// Table 3); this dispatcher applies ctx.config.iterations as-is.
+RunResult run_method(Method method, const AlgoContext& ctx,
+                     const GpuSystem& hw);
+
+}  // namespace ds

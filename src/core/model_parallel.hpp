@@ -1,0 +1,85 @@
+// Model parallelism (paper §2.3, Figure 4.2): the network itself is
+// partitioned across P machines, which "can get the same solution as the
+// single-machine case" — unlike data parallelism, there is no averaging
+// approximation. The paper argues (and Figure 4's discussion concludes)
+// that for DNN training the per-layer matrices are too small for this to
+// pay off, which is why it — and all state-of-the-art systems it cites —
+// uses data parallelism.
+//
+// This module makes both halves of that argument concrete:
+//
+//  * ModelParallelFC — a row-partitioned fully-connected layer executed
+//    over the message fabric (rank r owns rows r·out/P …): forward
+//    broadcasts the input and all-gathers the partial outputs; backward
+//    reduces the input gradient. The test suite verifies exact agreement
+//    with the single-device layer (the paper's "same solution" property).
+//
+//  * comm cost accessors used by bench/ablation_model_parallel to compare
+//    per-iteration communication volume against data parallelism across
+//    batch sizes and partition counts.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "comm/fabric.hpp"
+#include "nn/layers.hpp"
+
+namespace ds {
+
+/// One rank's shard of a row-partitioned FC layer plus the collective
+/// plumbing to run it SPMD over a Fabric. All ranks construct the object
+/// with the same dimensions and their own rank id.
+class ModelParallelFC {
+ public:
+  ModelParallelFC(Fabric& fabric, std::size_t rank, std::size_t in_features,
+                  std::size_t out_features);
+
+  std::size_t rank() const { return rank_; }
+  std::size_t rows_begin() const { return rows_begin_; }
+  std::size_t rows_end() const { return rows_end_; }
+
+  /// This rank's weight shard: [local_rows × in] weights then [local_rows]
+  /// biases, exposed for initialisation/inspection.
+  std::span<float> local_params() { return {params_.data(), params_.size()}; }
+  std::span<float> local_grads() { return {grads_.data(), grads_.size()}; }
+
+  /// Initialise every shard identically to the given full weight matrix
+  /// (out×in then out biases) — lets tests compare with a reference layer.
+  void load_full(std::span<const float> full_weights,
+                 std::size_t in_features, std::size_t out_features);
+
+  /// SPMD forward: rank 0's `x` (N×in) is broadcast; every rank computes
+  /// its output rows; the full y (N×out) is gathered on every rank.
+  /// All ranks must call collectively.
+  void forward(const Tensor& x, Tensor& y);
+
+  /// SPMD backward: `dy` (N×out, identical on every rank) produces this
+  /// rank's parameter gradients and the full dx (N×in) on every rank
+  /// (partial input-gradients are summed with a tree allreduce).
+  void backward(const Tensor& x, const Tensor& dy, Tensor& dx);
+
+  /// Bytes this rank sends per forward+backward, for the §2.3 comparison.
+  static double comm_bytes_per_iteration(std::size_t batch,
+                                         std::size_t in_features,
+                                         std::size_t out_features,
+                                         std::size_t ranks);
+
+  /// Data-parallel counterpart: one gradient allreduce of the full layer.
+  static double data_parallel_comm_bytes(std::size_t in_features,
+                                         std::size_t out_features,
+                                         std::size_t ranks);
+
+ private:
+  Fabric& fabric_;
+  std::size_t rank_;
+  std::size_t in_;
+  std::size_t out_;
+  std::size_t rows_begin_;
+  std::size_t rows_end_;
+  std::vector<float> params_;
+  std::vector<float> grads_;
+};
+
+}  // namespace ds

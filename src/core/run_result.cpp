@@ -1,0 +1,30 @@
+#include "core/run_result.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ds {
+
+std::optional<double> RunResult::time_to_accuracy(double target) const {
+  for (const TracePoint& p : trace) {
+    if (p.accuracy >= target) return p.vtime;
+  }
+  return std::nullopt;
+}
+
+double RunResult::best_accuracy() const {
+  double best = 0.0;
+  for (const TracePoint& p : trace) best = std::max(best, p.accuracy);
+  return best;
+}
+
+std::string RunResult::trace_csv() const {
+  std::ostringstream os;
+  for (const TracePoint& p : trace) {
+    os << method << ',' << p.iteration << ',' << p.vtime << ',' << p.loss
+       << ',' << p.accuracy << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ds

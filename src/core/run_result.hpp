@@ -1,0 +1,42 @@
+// Result of one distributed-training run: the accuracy-vs-virtual-time
+// trace (what Figures 6/8/10/13 plot) plus the per-phase cost ledger (what
+// Table 3 tabulates).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "comm/ledger.hpp"
+
+namespace ds {
+
+struct TracePoint {
+  std::size_t iteration = 0;  // master iterations / interactions so far
+  double vtime = 0.0;         // virtual seconds elapsed
+  double loss = 0.0;          // test cross-entropy of the center weights
+  double accuracy = 0.0;      // test accuracy of the center weights
+};
+
+struct RunResult {
+  std::string method;
+  std::vector<TracePoint> trace;
+  CostLedger ledger;
+  double total_seconds = 0.0;    // virtual time at the end of the run
+  std::size_t iterations = 0;
+  double final_accuracy = 0.0;
+  double final_loss = 0.0;
+
+  /// First virtual time at which the trace reaches `target` accuracy;
+  /// nullopt if it never does.
+  std::optional<double> time_to_accuracy(double target) const;
+
+  /// Best accuracy anywhere in the trace.
+  double best_accuracy() const;
+
+  /// CSV rows: method,iteration,vtime,loss,accuracy.
+  std::string trace_csv() const;
+};
+
+}  // namespace ds

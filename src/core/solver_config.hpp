@@ -1,0 +1,68 @@
+// Text experiment configs, mirroring the paper artifact's workflow (§10.5:
+// "The solver.prototxt files define the algorithmic setting (e.g.
+// # iterations, # learning rate, and # testing frequency)").
+//
+// Format: one `key: value` per line; '#' starts a comment. Example:
+//
+//   # Sync EASGD3 on the MNIST stand-in
+//   method: sync_easgd3
+//   net: lenet_s
+//   dataset: mnist_like
+//   workers: 4
+//   max_iter: 300
+//   batch_size: 32
+//   base_lr: 0.08
+//   rho: 2.8125
+//   momentum: 0.9
+//   test_interval: 25
+//   test_iter: 256
+//   seed: 1
+//   layout: packed
+//
+// run_solver() assembles the dataset, model factory, and hardware model and
+// dispatches to the named algorithm.
+#pragma once
+
+#include <string>
+
+#include "core/context.hpp"
+#include "core/run_result.hpp"
+#include "data/dataset.hpp"
+#include "nn/network.hpp"
+
+namespace ds {
+
+struct SolverSpec {
+  std::string method = "sync_easgd3";  // see solver_methods() for the list
+  std::string net = "lenet_s";         // lenet_s | alexnet_s | vgg_s |
+                                       // googlenet_s | tiny_mlp
+  std::string dataset = "mnist_like";  // mnist_like | cifar_like |
+                                       // imagenet_like
+  std::size_t train_count = 2048;
+  std::size_t test_count = 512;
+  std::uint64_t data_seed = 42;
+  TrainConfig train;
+};
+
+/// Parse solver text. Throws ds::Error with a line number on any unknown
+/// key, malformed line, or unparsable value.
+SolverSpec parse_solver(const std::string& text);
+
+/// Read and parse a solver file.
+SolverSpec load_solver_file(const std::string& path);
+
+/// The method names run_solver() accepts.
+std::vector<std::string> solver_methods();
+
+/// Model factory for the spec's `net` (throws on unknown name).
+NetworkFactory make_factory(const SolverSpec& spec);
+
+/// Dataset for the spec's `dataset` preset (throws on unknown name).
+TrainTest make_dataset(const SolverSpec& spec);
+
+/// End-to-end: build everything and train. The multi-GPU hardware model
+/// uses the paper-scale metadata matching the chosen net.
+RunResult run_solver(const SolverSpec& spec, const TrainTest& data);
+RunResult run_solver(const SolverSpec& spec);
+
+}  // namespace ds

@@ -1,0 +1,307 @@
+#include "core/sync_algorithms.hpp"
+
+#include <algorithm>
+
+#include "core/easgd_rules.hpp"
+#include "core/evaluator.hpp"
+#include "data/sampler.hpp"
+#include "support/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace ds {
+namespace {
+
+/// Worker replicas: one network + one batch sampler per simulated device,
+/// all initialised to the same weights ("copy W to W_j", Algorithm 1).
+struct WorkerSet {
+  std::vector<std::unique_ptr<Network>> nets;
+  std::vector<BatchSampler> samplers;
+  Tensor batch;
+  std::vector<std::int32_t> labels;
+};
+
+WorkerSet make_workers(const AlgoContext& ctx) {
+  WorkerSet w;
+  const TrainConfig& cfg = ctx.config;
+  DS_CHECK(cfg.workers > 0, "need at least one worker");
+  w.nets.reserve(cfg.workers);
+  w.samplers.reserve(cfg.workers);
+  for (std::size_t i = 0; i < cfg.workers; ++i) {
+    w.nets.push_back(ctx.factory());
+    if (i > 0) w.nets[i]->copy_params_from(*w.nets[0]);
+    w.samplers.emplace_back(*ctx.train, cfg.batch_size,
+                            cfg.seed * 7919 + i + 1);
+  }
+  return w;
+}
+
+/// One gradient step's worth of real math on worker j: sample, zero grads,
+/// forward+backward.
+void compute_gradient(WorkerSet& w, std::size_t j) {
+  w.samplers[j].next(w.batch, w.labels);
+  w.nets[j]->zero_grads();
+  w.nets[j]->forward_backward(w.batch, w.labels);
+}
+
+void record_point(RunResult& res, Evaluator& eval,
+                  std::span<const float> center, std::size_t iteration,
+                  double vtime) {
+  TracePoint p = eval.evaluate_packed(center);
+  p.iteration = iteration;
+  p.vtime = vtime;
+  res.trace.push_back(p);
+}
+
+void finish(RunResult& res, double vtime, std::size_t iterations) {
+  res.total_seconds = vtime;
+  res.iterations = iterations;
+  if (!res.trace.empty()) {
+    res.final_accuracy = res.trace.back().accuracy;
+    res.final_loss = res.trace.back().loss;
+  }
+}
+
+}  // namespace
+
+RunResult run_original_easgd(const AlgoContext& ctx, const GpuSystem& hw,
+                             OriginalVariant variant) {
+  const TrainConfig& cfg = ctx.config;
+  WorkerSet w = make_workers(ctx);
+  Evaluator eval(ctx.factory, *ctx.test, cfg.eval_samples);
+
+  // Center weights live on the host (Algorithm 1 keeps W̄ CPU-side; the
+  // multi-GPU variant pins it to GPU0 but every exchange still crosses the
+  // host link in the baseline implementation).
+  std::vector<float> center(w.nets[0]->arena().full_params().begin(),
+                            w.nets[0]->arena().full_params().end());
+  std::vector<float> worker_snapshot(center.size());
+
+  RunResult res;
+  res.method = variant == OriginalVariant::kOverlapped ? "Original EASGD"
+                                                       : "Original EASGD*";
+
+  // The baseline predates the single-layer packing of §5.2: every weight
+  // transfer is one message per learnable tensor.
+  const double hop = hw.host_param_hop_seconds(MessageLayout::kPerLayer);
+  const double data_s = hw.data_copy_seconds(cfg.batch_size);
+  const double fb_s = hw.fwd_bwd_seconds(cfg.batch_size);
+  const double gup_s = hw.gpu_update_seconds();
+  const double cup_s = hw.cpu_update_seconds();
+
+  double vtime = 0.0;
+  for (std::size_t t = 1; t <= cfg.iterations; ++t) {
+    const std::size_t j = (t - 1) % cfg.workers;  // round-robin (§3.3)
+
+    compute_gradient(w, j);
+    Network& net = *w.nets[j];
+    const float lr = cfg.lr_at(t);
+    // "CPU gets W_j from j-th GPU" (line 12): snapshot pre-update weights.
+    copy(net.arena().full_params(), worker_snapshot);
+    // Line 13, Eq. (1) on the device against W̄_t.
+    easgd_worker_step(net.arena().full_params(), net.arena().full_grads(),
+                      center, lr, cfg.rho);
+    // Line 14, Eq. (2) on the host against the transmitted W_j^t.
+    easgd_center_step(center, worker_snapshot, lr, cfg.rho);
+
+    // --- virtual time ---------------------------------------------------
+    const double param_s = 2.0 * hop;  // W̄ down + W_j up
+    const double fb_charged =
+        variant == OriginalVariant::kOverlapped
+            ? std::max(0.0, fb_s - param_s)  // pipelined behind transfers
+            : fb_s;
+    res.ledger.charge(Phase::kCpuGpuDataComm, data_s);
+    res.ledger.charge(Phase::kCpuGpuParamComm, param_s);
+    res.ledger.charge(Phase::kForwardBackward, fb_charged);
+    res.ledger.charge(Phase::kGpuUpdate, gup_s);
+    res.ledger.charge(Phase::kCpuUpdate, cup_s);
+    vtime += data_s + param_s + fb_charged + gup_s + cup_s;
+
+    if (t % cfg.eval_every == 0 || t == cfg.iterations) {
+      record_point(res, eval, center, t, vtime);
+    }
+  }
+  finish(res, vtime, cfg.iterations);
+  return res;
+}
+
+RunResult run_sync_easgd(const AlgoContext& ctx, const GpuSystem& hw,
+                         SyncEasgdVariant variant) {
+  const TrainConfig& cfg = ctx.config;
+  WorkerSet w = make_workers(ctx);
+  Evaluator eval(ctx.factory, *ctx.test, cfg.eval_samples);
+
+  std::vector<float> center(w.nets[0]->arena().full_params().begin(),
+                            w.nets[0]->arena().full_params().end());
+  std::vector<float> sum_w(center.size());
+
+  RunResult res;
+  switch (variant) {
+    case SyncEasgdVariant::kEasgd1: res.method = "Sync EASGD1"; break;
+    case SyncEasgdVariant::kEasgd2: res.method = "Sync EASGD2"; break;
+    case SyncEasgdVariant::kEasgd3: res.method = "Sync EASGD3"; break;
+  }
+
+  if (variant != SyncEasgdVariant::kEasgd1) {
+    DS_CHECK(hw.weights_fit_on_device(),
+             "Sync EASGD2/3 keep the full weight copy on the device "
+             "(§6.1.2) — model too large for device memory");
+  }
+
+  // Costs shared by every iteration.
+  const double data_s = hw.data_copy_seconds(cfg.batch_size);
+  const double fb_s = hw.fwd_bwd_seconds(cfg.batch_size);
+  const double gup_s = hw.gpu_update_seconds();
+  const bool device_master = variant != SyncEasgdVariant::kEasgd1;
+  // Broadcast of W̄ plus reduction of ΣW, both tree-scheduled on packed
+  // single messages (§5.2 + §6.1.1).
+  const double comm_full =
+      device_master
+          ? 2.0 * hw.p2p_collective_seconds(cfg.reduce_algo, cfg.layout)
+          : 2.0 * hw.host_collective_seconds(cfg.reduce_algo, cfg.layout);
+  // EASGD3 overlaps steps 7–10 (data + f/b) with 11–12 (device collectives);
+  // the residual models switch contention that cannot be hidden (§6.1.3).
+  const double comm_exposed =
+      variant == SyncEasgdVariant::kEasgd3
+          ? comm_full * hw.config().overlap_residual
+          : comm_full;
+  const double master_up_s =
+      device_master ? hw.gpu_update_seconds() : hw.cpu_update_seconds();
+  const Phase comm_phase =
+      device_master ? Phase::kGpuGpuParamComm : Phase::kCpuGpuParamComm;
+  const Phase master_up_phase =
+      device_master ? Phase::kGpuUpdate : Phase::kCpuUpdate;
+
+  std::vector<std::span<const float>> param_views;
+  param_views.reserve(cfg.workers);
+
+  double vtime = 0.0;
+  for (std::size_t t = 1; t <= cfg.iterations; ++t) {
+    // Step (1): every worker computes its sub-gradient in parallel.
+    for (std::size_t j = 0; j < cfg.workers; ++j) compute_gradient(w, j);
+
+    // Step (3): reduce Σ W_j^t (pre-update weights) to the master.
+    param_views.clear();
+    for (auto& net : w.nets) param_views.push_back(net->arena().full_params());
+    reduce_sum(param_views, sum_w);
+
+    // Step (4): Eq. (1) on every worker against the broadcast W̄_t.
+    const float lr = cfg.lr_at(t);
+    for (auto& net : w.nets) {
+      easgd_worker_step(net->arena().full_params(),
+                        net->arena().full_grads(), center, lr, cfg.rho);
+    }
+    // Step (5): Eq. (2) on the master.
+    easgd_center_step_sum(center, sum_w, cfg.workers, lr, cfg.rho);
+
+    // --- virtual time ---------------------------------------------------
+    res.ledger.charge(Phase::kCpuGpuDataComm, data_s);
+    res.ledger.charge(Phase::kForwardBackward, fb_s);
+    res.ledger.charge(comm_phase, comm_exposed);
+    res.ledger.charge(Phase::kGpuUpdate, gup_s);
+    res.ledger.charge(master_up_phase, master_up_s);
+    vtime += data_s + fb_s + comm_exposed + gup_s + master_up_s;
+
+    if (t % cfg.eval_every == 0 || t == cfg.iterations) {
+      record_point(res, eval, center, t, vtime);
+    }
+  }
+  finish(res, vtime, cfg.iterations);
+  return res;
+}
+
+RunResult run_sync_sgd(const AlgoContext& ctx, const GpuSystem& hw) {
+  const TrainConfig& cfg = ctx.config;
+  WorkerSet w = make_workers(ctx);
+  Evaluator eval(ctx.factory, *ctx.test, cfg.eval_samples);
+
+  RunResult res;
+  res.method = cfg.layout == MessageLayout::kPacked ? "Sync SGD (packed)"
+                                                    : "Sync SGD (per-layer)";
+  if (cfg.compression != GradCompression::kNone) {
+    res.method += std::string(" + ") + compression_name(cfg.compression);
+  }
+
+  const double data_s = hw.data_copy_seconds(cfg.batch_size);
+  const double fb_s = hw.fwd_bwd_seconds(cfg.batch_size);
+  const double gup_s = hw.gpu_update_seconds();
+  const double comm_s =
+      2.0 * hw.p2p_collective_seconds(
+                cfg.reduce_algo, cfg.layout,
+                compression_bytes_factor(cfg.compression));
+  const float inv_workers = 1.0f / static_cast<float>(cfg.workers);
+
+  // Gradient compression state: one stateful 1-bit codec per worker (the
+  // error-feedback residual is worker-local, as in Seide et al.).
+  std::vector<OneBitCodec> onebit;
+  if (cfg.compression == GradCompression::kOneBit) {
+    DS_CHECK(w.nets[0]->arena().mode() == PackMode::kPacked,
+             "gradient compression requires the packed arena layout");
+    onebit.reserve(cfg.workers);
+    for (std::size_t j = 0; j < cfg.workers; ++j) {
+      onebit.emplace_back(w.nets[0]->param_count());
+    }
+  }
+  Int8Codec::Blob int8_blob;
+  OneBitCodec::Blob onebit_blob;
+
+  const std::size_t layer_count = w.nets[0]->arena().layer_count();
+  std::vector<std::span<const float>> grad_views;
+  std::vector<float> layer_sum;
+
+  double vtime = 0.0;
+  for (std::size_t t = 1; t <= cfg.iterations; ++t) {
+    for (std::size_t j = 0; j < cfg.workers; ++j) compute_gradient(w, j);
+
+    // Lossy wire round-trip of each worker's gradient BEFORE the reduction:
+    // the training math sees exactly what the compressed link delivers.
+    if (cfg.compression == GradCompression::kInt8) {
+      for (std::size_t j = 0; j < cfg.workers; ++j) {
+        auto grads = w.nets[j]->arena().full_grads();
+        Int8Codec::encode(grads, int8_blob);
+        Int8Codec::decode(int8_blob, grads);
+      }
+    } else if (cfg.compression == GradCompression::kOneBit) {
+      for (std::size_t j = 0; j < cfg.workers; ++j) {
+        auto grads = w.nets[j]->arena().full_grads();
+        onebit[j].encode(grads, onebit_blob);
+        OneBitCodec::decode(onebit_blob, grads);
+      }
+    }
+
+    // Gradient allreduce, layer-aware so per-layer arenas work too.
+    for (std::size_t l = 0; l < layer_count; ++l) {
+      const std::size_t n = w.nets[0]->arena().layer_grads(l).size();
+      if (n == 0) continue;
+      grad_views.clear();
+      for (auto& net : w.nets) grad_views.push_back(net->arena().layer_grads(l));
+      layer_sum.resize(n);
+      reduce_sum(grad_views, layer_sum);
+      scale(inv_workers, layer_sum);
+      for (auto& net : w.nets) copy(layer_sum, net->arena().layer_grads(l));
+    }
+    const float lr = cfg.lr_at(t);
+    for (auto& net : w.nets) {
+      for (std::size_t l = 0; l < layer_count; ++l) {
+        sgd_step(net->arena().layer_params(l), net->arena().layer_grads(l),
+                 lr);
+      }
+    }
+
+    res.ledger.charge(Phase::kCpuGpuDataComm, data_s);
+    res.ledger.charge(Phase::kForwardBackward, fb_s);
+    res.ledger.charge(Phase::kGpuGpuParamComm, comm_s);
+    res.ledger.charge(Phase::kGpuUpdate, gup_s);
+    vtime += data_s + fb_s + comm_s + gup_s;
+
+    if (t % cfg.eval_every == 0 || t == cfg.iterations) {
+      TracePoint p = eval.evaluate(w.nets[0]->arena());
+      p.iteration = t;
+      p.vtime = vtime;
+      res.trace.push_back(p);
+    }
+  }
+  finish(res, vtime, cfg.iterations);
+  return res;
+}
+
+}  // namespace ds

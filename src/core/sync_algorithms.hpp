@@ -1,0 +1,46 @@
+// Deterministic (single-schedule) training algorithms on the multi-GPU
+// timing model:
+//
+//   * Original EASGD (Algorithm 1) — the paper's baseline: round-robin
+//     master↔worker exchange, one active worker per iteration. Two
+//     accounting variants: the paper's Table 3 lists "Original EASGD*"
+//     (no overlap) and "Original EASGD" (forward/backward hidden under the
+//     host↔device weight transfers).
+//   * Sync EASGD1 (Algorithm 2) — tree-reduction collectives, center on the
+//     host: all workers advance every iteration.
+//   * Sync EASGD2 (Algorithm 3) — center moved to GPU1, collectives run
+//     device↔device through the switch.
+//   * Sync EASGD3 (Algorithm 3 + §6.1.3) — EASGD2 plus communication/
+//     computation overlap ("Communication Efficient EASGD").
+//   * Sync SGD — plain synchronous data parallelism (gradient allreduce);
+//     the vehicle of the Figure-10 packed-vs-per-layer ablation.
+//
+// All of these run the *real* forward/backward/update math of every worker
+// replica and are bitwise deterministic for a fixed seed (the property the
+// paper highlights for Sync EASGD, §8).
+#pragma once
+
+#include "core/context.hpp"
+#include "core/run_result.hpp"
+#include "simhw/gpu_system.hpp"
+
+namespace ds {
+
+enum class OriginalVariant {
+  kOverlapped,     // "Original EASGD": f/b hidden under param comm
+  kNonOverlapped,  // "Original EASGD*"
+};
+
+enum class SyncEasgdVariant { kEasgd1, kEasgd2, kEasgd3 };
+
+RunResult run_original_easgd(const AlgoContext& ctx, const GpuSystem& hw,
+                             OriginalVariant variant);
+
+RunResult run_sync_easgd(const AlgoContext& ctx, const GpuSystem& hw,
+                         SyncEasgdVariant variant);
+
+/// Synchronous data-parallel SGD with a gradient allreduce; the message
+/// layout (packed vs per-layer) comes from ctx.config.layout.
+RunResult run_sync_sgd(const AlgoContext& ctx, const GpuSystem& hw);
+
+}  // namespace ds

@@ -1,0 +1,74 @@
+#include "data/augment.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace ds {
+
+Augmenter::Augmenter(AugmentConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+void Augmenter::apply(Tensor& batch) {
+  DS_CHECK(batch.rank() == 4, "augmenter expects an NCHW batch");
+  const std::size_t n = batch.dim(0);
+  const std::size_t c = batch.dim(1);
+  const std::size_t h = batch.dim(2);
+  const std::size_t w = batch.dim(3);
+  const std::size_t image = c * h * w;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    float* img = batch.data() + i * image;
+    if (config_.crop_pad > 0) {
+      // Offsets in the padded [0, 2·pad] range; pad==offset means identity.
+      const std::size_t oy = rng_.below(2 * config_.crop_pad + 1);
+      const std::size_t ox = rng_.below(2 * config_.crop_pad + 1);
+      crop_image(img, c, h, w, oy, ox);
+    }
+    if (config_.mirror && rng_.uniform() < 0.5) {
+      mirror_image(img, c, h, w);
+    }
+  }
+}
+
+void Augmenter::mirror_image(float* image, std::size_t channels,
+                             std::size_t height, std::size_t width) {
+  for (std::size_t ch = 0; ch < channels; ++ch) {
+    float* plane = image + ch * height * width;
+    for (std::size_t y = 0; y < height; ++y) {
+      float* row = plane + y * width;
+      std::reverse(row, row + width);
+    }
+  }
+}
+
+void Augmenter::crop_image(float* image, std::size_t channels,
+                           std::size_t height, std::size_t width,
+                           std::size_t offset_y, std::size_t offset_x) {
+  const std::size_t pad = config_.crop_pad;
+  scratch_.resize(channels * height * width);
+  std::memcpy(scratch_.data(), image,
+              scratch_.size() * sizeof(float));
+  // Reading the crop window from the conceptual zero-padded image: source
+  // coordinate = destination + offset − pad; out of range reads zero.
+  for (std::size_t ch = 0; ch < channels; ++ch) {
+    const float* src = scratch_.data() + ch * height * width;
+    float* dst = image + ch * height * width;
+    for (std::size_t y = 0; y < height; ++y) {
+      const long sy = static_cast<long>(y + offset_y) - static_cast<long>(pad);
+      for (std::size_t x = 0; x < width; ++x) {
+        const long sx =
+            static_cast<long>(x + offset_x) - static_cast<long>(pad);
+        const bool inside = sy >= 0 && sy < static_cast<long>(height) &&
+                            sx >= 0 && sx < static_cast<long>(width);
+        dst[y * width + x] =
+            inside ? src[static_cast<std::size_t>(sy) * width +
+                         static_cast<std::size_t>(sx)]
+                   : 0.0f;
+      }
+    }
+  }
+}
+
+}  // namespace ds

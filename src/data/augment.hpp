@@ -1,0 +1,42 @@
+// Training-time data augmentation: random horizontal mirroring and padded
+// random cropping — the standard Caffe transformations for the Cifar and
+// ImageNet workloads the paper trains (its train_test.prototxt files
+// configure exactly these).
+#pragma once
+
+#include <cstdint>
+
+#include "support/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ds {
+
+struct AugmentConfig {
+  bool mirror = true;        // 50% random horizontal flip
+  std::size_t crop_pad = 2;  // zero-pad then crop back to original size;
+                             // 0 disables cropping
+};
+
+/// Applies the configured transformations to each image of an NCHW batch,
+/// in place. Deterministic for a given seed and call sequence.
+class Augmenter {
+ public:
+  explicit Augmenter(AugmentConfig config = {}, std::uint64_t seed = 0xA46);
+
+  void apply(Tensor& batch);
+
+  const AugmentConfig& config() const { return config_; }
+
+ private:
+  void mirror_image(float* image, std::size_t channels, std::size_t height,
+                    std::size_t width);
+  void crop_image(float* image, std::size_t channels, std::size_t height,
+                  std::size_t width, std::size_t offset_y,
+                  std::size_t offset_x);
+
+  AugmentConfig config_;
+  Rng rng_;
+  std::vector<float> scratch_;
+};
+
+}  // namespace ds

@@ -1,0 +1,80 @@
+// In-memory labelled image datasets plus deterministic synthetic generators.
+//
+// The paper trains on MNIST / Cifar / ImageNet (Table 1). Those corpora are
+// not available offline, so experiments use synthetic stand-ins with matching
+// tensor shapes and class counts: each class is a smooth random "template"
+// pattern (a mixture of Gaussian blobs per channel) and each sample is
+// template + per-pixel Gaussian noise. This gives real learning dynamics —
+// accuracy climbs with SGD iterations at a rate depending on the noise level —
+// which is exactly what the accuracy-vs-time figures measure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ds {
+
+/// A labelled dataset; images are N×C×H×W.
+struct Dataset {
+  Tensor images;
+  std::vector<std::int32_t> labels;
+
+  std::size_t size() const { return labels.size(); }
+  std::size_t sample_numel() const {
+    return images.dim(1) * images.dim(2) * images.dim(3);
+  }
+  Shape sample_shape() const {
+    return Shape{images.dim(1), images.dim(2), images.dim(3)};
+  }
+
+  /// Restrict to the first n samples (used to carve fast test subsets).
+  Dataset prefix(std::size_t n) const;
+};
+
+struct TrainTest {
+  Dataset train;
+  Dataset test;
+};
+
+/// Parameters of the synthetic generator.
+struct SyntheticSpec {
+  std::size_t classes = 10;
+  std::size_t train_count = 2048;
+  std::size_t test_count = 512;
+  std::size_t channels = 1;
+  std::size_t height = 28;
+  std::size_t width = 28;
+  double noise = 1.0;      // per-pixel Gaussian noise stddev
+  double signal = 1.0;     // template amplitude multiplier
+  std::size_t blobs = 6;   // Gaussian blobs per class template
+  std::uint64_t seed = 42;
+};
+
+/// Deterministic synthetic dataset: identical spec ⇒ identical bits.
+TrainTest make_synthetic(const SyntheticSpec& spec);
+
+/// Standardise in place to zero mean / unit variance over the whole tensor
+/// (paper Algorithm 1 line 1). Returns {mean, stddev} that were removed.
+std::pair<double, double> normalize(Dataset& dataset);
+
+/// Apply a precomputed (mean, stddev) — used so the test set is normalised
+/// with the training statistics.
+void normalize_with(Dataset& dataset, double mean, double stddev);
+
+// Convenience presets with the paper's dataset shapes (Table 1), scaled
+// counts, and normalisation applied (train stats reused for test).
+TrainTest mnist_like(std::uint64_t seed = 42, std::size_t train_count = 2048,
+                     std::size_t test_count = 512);
+TrainTest cifar_like(std::uint64_t seed = 42, std::size_t train_count = 2048,
+                     std::size_t test_count = 512);
+/// 3×32×32 but 100 classes — a tractable stand-in for ImageNet's 1000-way
+/// classification (class count is what stresses the softmax/FC head).
+TrainTest imagenet_like(std::uint64_t seed = 42,
+                        std::size_t train_count = 4096,
+                        std::size_t test_count = 1024);
+
+}  // namespace ds

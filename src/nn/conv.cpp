@@ -1,0 +1,137 @@
+#include <cmath>
+#include <sstream>
+
+#include "nn/layers.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+
+namespace ds {
+
+Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t stride, std::size_t pad)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad) {
+  DS_CHECK(in_c_ > 0 && out_c_ > 0 && kernel_ > 0 && stride_ > 0,
+           "conv dims must be positive");
+}
+
+std::string Conv2D::name() const {
+  std::ostringstream os;
+  os << "conv " << in_c_ << "->" << out_c_ << " k" << kernel_ << " s"
+     << stride_ << " p" << pad_;
+  return os.str();
+}
+
+ConvGeom Conv2D::geom_for(const Shape& input) const {
+  DS_CHECK(input.rank() == 4, "conv input must be NCHW, got " << input.str());
+  DS_CHECK(input.dim(1) == in_c_,
+           name() << ": input has " << input.dim(1) << " channels");
+  ConvGeom g;
+  g.channels = in_c_;
+  g.height = input.dim(2);
+  g.width = input.dim(3);
+  g.kernel = kernel_;
+  g.stride = stride_;
+  g.pad = pad_;
+  DS_CHECK(g.height + 2 * g.pad >= g.kernel && g.width + 2 * g.pad >= g.kernel,
+           name() << ": kernel larger than padded input " << input.str());
+  return g;
+}
+
+Shape Conv2D::output_shape(const Shape& input) const {
+  const ConvGeom g = geom_for(input);
+  return Shape{input.dim(0), out_c_, g.out_height(), g.out_width()};
+}
+
+std::size_t Conv2D::param_count() const {
+  return out_c_ * in_c_ * kernel_ * kernel_ + out_c_;
+}
+
+void Conv2D::init_params(Rng& rng) {
+  // Xavier/Glorot uniform over fan_in + fan_out (paper Algorithm 1 line 2).
+  const std::size_t fan_in = in_c_ * kernel_ * kernel_;
+  const std::size_t fan_out = out_c_ * kernel_ * kernel_;
+  const double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  const std::size_t w = out_c_ * in_c_ * kernel_ * kernel_;
+  for (std::size_t i = 0; i < w; ++i) {
+    params_[i] = static_cast<float>(rng.uniform(-limit, limit));
+  }
+  for (std::size_t i = w; i < params_.size(); ++i) params_[i] = 0.0f;
+}
+
+void Conv2D::forward(const Tensor& x, Tensor& y, bool /*train*/) {
+  const ConvGeom g = geom_for(x.shape());
+  const Shape out = output_shape(x.shape());
+  if (y.shape() != out) y = Tensor(out);
+  const std::size_t batch = x.dim(0);
+  const std::size_t rows = g.col_rows();
+  const std::size_t cols = g.col_cols();
+  if (col_.shape() != Shape{rows, cols}) col_ = Tensor({rows, cols});
+
+  const float* weights = params_.data();           // out_c × rows
+  const float* bias = params_.data() + out_c_ * rows;
+  const std::size_t in_plane = in_c_ * g.height * g.width;
+  const std::size_t out_plane = out_c_ * cols;
+
+  for (std::size_t n = 0; n < batch; ++n) {
+    im2col(g, x.data() + n * in_plane, col_.data());
+    float* yn = y.data() + n * out_plane;
+    // [out_c × rows] · [rows × cols]
+    gemm(Transpose::kNo, Transpose::kNo, out_c_, cols, rows, 1.0f, weights,
+         col_.data(), 0.0f, yn);
+    for (std::size_t f = 0; f < out_c_; ++f) {
+      float* row = yn + f * cols;
+      const float b = bias[f];
+      for (std::size_t j = 0; j < cols; ++j) row[j] += b;
+    }
+  }
+}
+
+void Conv2D::backward(const Tensor& x, const Tensor& /*y*/, const Tensor& dy,
+                      Tensor& dx) {
+  const ConvGeom g = geom_for(x.shape());
+  if (dx.shape() != x.shape()) dx = Tensor(x.shape());
+  dx.zero();
+  const std::size_t batch = x.dim(0);
+  const std::size_t rows = g.col_rows();
+  const std::size_t cols = g.col_cols();
+  if (col_.shape() != Shape{rows, cols}) col_ = Tensor({rows, cols});
+  if (col_grad_.shape() != Shape{rows, cols}) col_grad_ = Tensor({rows, cols});
+
+  const float* weights = params_.data();
+  float* dweights = grads_.data();                  // out_c × rows
+  float* dbias = grads_.data() + out_c_ * rows;
+  const std::size_t in_plane = in_c_ * g.height * g.width;
+  const std::size_t out_plane = out_c_ * cols;
+
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* dyn = dy.data() + n * out_plane;
+    // dW += dY · colᵀ : [out_c × cols] · [cols × rows]
+    im2col(g, x.data() + n * in_plane, col_.data());
+    gemm(Transpose::kNo, Transpose::kYes, out_c_, rows, cols, 1.0f, dyn,
+         col_.data(), 1.0f, dweights);
+    // db += row sums of dY
+    for (std::size_t f = 0; f < out_c_; ++f) {
+      const float* row = dyn + f * cols;
+      float acc = 0.0f;
+      for (std::size_t j = 0; j < cols; ++j) acc += row[j];
+      dbias[f] += acc;
+    }
+    // dcol = Wᵀ · dY : [rows × out_c] · [out_c × cols]
+    gemm(Transpose::kYes, Transpose::kNo, rows, cols, out_c_, 1.0f, weights,
+         dyn, 0.0f, col_grad_.data());
+    col2im(g, col_grad_.data(), dx.data() + n * in_plane);
+  }
+}
+
+double Conv2D::flops_per_sample(const Shape& input) const {
+  const ConvGeom g = geom_for(input);
+  const double fwd = gemm_flops(out_c_, g.col_cols(), g.col_rows());
+  // backward: dW GEMM + dX GEMM, each the same size as forward.
+  return 3.0 * fwd;
+}
+
+}  // namespace ds

@@ -1,0 +1,78 @@
+#include <cmath>
+#include <sstream>
+
+#include "nn/layers.hpp"
+#include "tensor/gemm.hpp"
+
+namespace ds {
+
+FullyConnected::FullyConnected(std::size_t in_features,
+                               std::size_t out_features)
+    : in_(in_features), out_(out_features) {
+  DS_CHECK(in_ > 0 && out_ > 0, "fc dims must be positive");
+}
+
+std::string FullyConnected::name() const {
+  std::ostringstream os;
+  os << "fc " << in_ << "->" << out_;
+  return os.str();
+}
+
+Shape FullyConnected::output_shape(const Shape& input) const {
+  DS_CHECK(input.rank() == 2, "fc input must be rank 2, got " << input.str());
+  DS_CHECK(input.dim(1) == in_,
+           name() << ": input features " << input.dim(1));
+  return Shape{input.dim(0), out_};
+}
+
+std::size_t FullyConnected::param_count() const { return out_ * in_ + out_; }
+
+void FullyConnected::init_params(Rng& rng) {
+  const double limit = std::sqrt(6.0 / static_cast<double>(in_ + out_));
+  const std::size_t w = out_ * in_;
+  for (std::size_t i = 0; i < w; ++i) {
+    params_[i] = static_cast<float>(rng.uniform(-limit, limit));
+  }
+  for (std::size_t i = w; i < params_.size(); ++i) params_[i] = 0.0f;
+}
+
+void FullyConnected::forward(const Tensor& x, Tensor& y, bool /*train*/) {
+  const Shape out = output_shape(x.shape());
+  if (y.shape() != out) y = Tensor(out);
+  const std::size_t batch = x.dim(0);
+  const float* weights = params_.data();  // out × in
+  const float* bias = params_.data() + out_ * in_;
+  // Y = X · Wᵀ : [batch × in] · [in × out]
+  gemm(Transpose::kNo, Transpose::kYes, batch, out_, in_, 1.0f, x.data(),
+       weights, 0.0f, y.data());
+  for (std::size_t n = 0; n < batch; ++n) {
+    float* row = y.data() + n * out_;
+    for (std::size_t j = 0; j < out_; ++j) row[j] += bias[j];
+  }
+}
+
+void FullyConnected::backward(const Tensor& x, const Tensor& /*y*/,
+                              const Tensor& dy, Tensor& dx) {
+  if (dx.shape() != x.shape()) dx = Tensor(x.shape());
+  const std::size_t batch = x.dim(0);
+  const float* weights = params_.data();
+  float* dweights = grads_.data();
+  float* dbias = grads_.data() + out_ * in_;
+  // dW += dYᵀ · X : [out × batch] · [batch × in]
+  gemm(Transpose::kYes, Transpose::kNo, out_, in_, batch, 1.0f, dy.data(),
+       x.data(), 1.0f, dweights);
+  // db += column sums of dY
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* row = dy.data() + n * out_;
+    for (std::size_t j = 0; j < out_; ++j) dbias[j] += row[j];
+  }
+  // dX = dY · W : [batch × out] · [out × in]
+  gemm(Transpose::kNo, Transpose::kNo, batch, in_, out_, 1.0f, dy.data(),
+       weights, 0.0f, dx.data());
+}
+
+double FullyConnected::flops_per_sample(const Shape& /*input*/) const {
+  return 3.0 * gemm_flops(1, out_, in_);
+}
+
+}  // namespace ds

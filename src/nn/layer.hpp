@@ -1,0 +1,63 @@
+// Layer interface for the from-scratch CNN framework.
+//
+// Layers do not own their parameters: a Network allocates one ParamArena
+// (packed, or per-layer for the Figure-10 ablation) and binds each layer a
+// weight span and a gradient span. backward() accumulates into the bound
+// gradient span; callers zero gradients between iterations.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "support/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ds {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Human-readable layer name, e.g. "conv 3->8 k5 s1 p2".
+  virtual std::string name() const = 0;
+
+  /// Shape of the output given an input shape (batch dim included).
+  virtual Shape output_shape(const Shape& input) const = 0;
+
+  /// Number of learnable parameters (weights + biases).
+  virtual std::size_t param_count() const { return 0; }
+
+  /// Attach parameter and gradient storage. Called once by the Network.
+  virtual void bind(std::span<float> params, std::span<float> grads) {
+    DS_CHECK(params.size() == param_count() && grads.size() == param_count(),
+             name() << ": bind size " << params.size() << " != "
+                    << param_count());
+    params_ = params;
+    grads_ = grads;
+  }
+
+  /// Initialise bound parameters (Xavier for weights, zero for biases).
+  virtual void init_params(Rng& /*rng*/) {}
+
+  /// y = f(x). `train` enables stochastic behaviour (dropout).
+  virtual void forward(const Tensor& x, Tensor& y, bool train) = 0;
+
+  /// Given dL/dy, compute dL/dx and accumulate parameter gradients.
+  /// x and y are the tensors from the matching forward() call.
+  virtual void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                        Tensor& dx) = 0;
+
+  /// Estimated flops for forward+backward of ONE sample with this input
+  /// shape (spatial dims only; batch dim of `input` is ignored). Drives the
+  /// virtual-time compute model.
+  virtual double flops_per_sample(const Shape& input) const = 0;
+
+ protected:
+  std::span<float> params_;
+  std::span<float> grads_;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace ds

@@ -1,0 +1,261 @@
+// Concrete layer types. Enough to express LeNet, (scaled) AlexNet, VGG, and
+// GoogLeNet-style inception blocks — the four model families the paper
+// evaluates (§4.2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "tensor/im2col.hpp"
+
+namespace ds {
+
+// ---------------------------------------------------------------------------
+// Activations (parameter-free, shape-preserving).
+// ---------------------------------------------------------------------------
+
+class ReLU final : public Layer {
+ public:
+  std::string name() const override { return "relu"; }
+  Shape output_shape(const Shape& input) const override { return input; }
+  void forward(const Tensor& x, Tensor& y, bool train) override;
+  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                Tensor& dx) override;
+  double flops_per_sample(const Shape& input) const override;
+};
+
+class Tanh final : public Layer {
+ public:
+  std::string name() const override { return "tanh"; }
+  Shape output_shape(const Shape& input) const override { return input; }
+  void forward(const Tensor& x, Tensor& y, bool train) override;
+  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                Tensor& dx) override;
+  double flops_per_sample(const Shape& input) const override;
+};
+
+class Sigmoid final : public Layer {
+ public:
+  std::string name() const override { return "sigmoid"; }
+  Shape output_shape(const Shape& input) const override { return input; }
+  void forward(const Tensor& x, Tensor& y, bool train) override;
+  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                Tensor& dx) override;
+  double flops_per_sample(const Shape& input) const override;
+};
+
+// ---------------------------------------------------------------------------
+// Shape plumbing.
+// ---------------------------------------------------------------------------
+
+/// N×C×H×W -> N×(C·H·W).
+class Flatten final : public Layer {
+ public:
+  std::string name() const override { return "flatten"; }
+  Shape output_shape(const Shape& input) const override;
+  void forward(const Tensor& x, Tensor& y, bool train) override;
+  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                Tensor& dx) override;
+  double flops_per_sample(const Shape& input) const override { (void)input; return 0.0; }
+};
+
+/// Inverted dropout: train-time masks scale by 1/(1-p); eval is identity.
+class Dropout final : public Layer {
+ public:
+  explicit Dropout(double drop_prob, std::uint64_t seed = 0x0D120u);
+  std::string name() const override;
+  Shape output_shape(const Shape& input) const override { return input; }
+  void forward(const Tensor& x, Tensor& y, bool train) override;
+  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                Tensor& dx) override;
+  double flops_per_sample(const Shape& input) const override;
+
+ private:
+  double drop_prob_;
+  Rng rng_;
+  std::vector<float> mask_;
+};
+
+// ---------------------------------------------------------------------------
+// Learnable layers.
+// ---------------------------------------------------------------------------
+
+/// 2-D convolution via im2col + GEMM. Parameters are
+/// [out_c × in_c × k × k] filter weights followed by [out_c] biases.
+class Conv2D final : public Layer {
+ public:
+  Conv2D(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+         std::size_t stride = 1, std::size_t pad = 0);
+
+  std::string name() const override;
+  Shape output_shape(const Shape& input) const override;
+  std::size_t param_count() const override;
+  void init_params(Rng& rng) override;
+  void forward(const Tensor& x, Tensor& y, bool train) override;
+  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                Tensor& dx) override;
+  double flops_per_sample(const Shape& input) const override;
+
+  std::size_t in_channels() const { return in_c_; }
+  std::size_t out_channels() const { return out_c_; }
+
+ private:
+  ConvGeom geom_for(const Shape& input) const;
+
+  std::size_t in_c_;
+  std::size_t out_c_;
+  std::size_t kernel_;
+  std::size_t stride_;
+  std::size_t pad_;
+  Tensor col_;       // im2col scratch, reused across iterations
+  Tensor col_grad_;  // backward scratch
+};
+
+/// Max pooling over k×k windows; optional zero-area padding (padded taps are
+/// ignored, as in cuDNN's NOT_PROPAGATE_NAN max pooling over -inf pads).
+class MaxPool2D final : public Layer {
+ public:
+  MaxPool2D(std::size_t kernel, std::size_t stride, std::size_t pad = 0);
+  std::string name() const override;
+  Shape output_shape(const Shape& input) const override;
+  void forward(const Tensor& x, Tensor& y, bool train) override;
+  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                Tensor& dx) override;
+  double flops_per_sample(const Shape& input) const override;
+
+ private:
+  std::size_t kernel_;
+  std::size_t stride_;
+  std::size_t pad_;
+  std::vector<std::size_t> argmax_;  // flat input index per output element
+};
+
+/// Average pooling over k×k windows.
+class AvgPool2D final : public Layer {
+ public:
+  AvgPool2D(std::size_t kernel, std::size_t stride);
+  std::string name() const override;
+  Shape output_shape(const Shape& input) const override;
+  void forward(const Tensor& x, Tensor& y, bool train) override;
+  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                Tensor& dx) override;
+  double flops_per_sample(const Shape& input) const override;
+
+ private:
+  std::size_t kernel_;
+  std::size_t stride_;
+};
+
+/// AlexNet-style local response normalisation across channels:
+///   y[c] = x[c] / (k + α/n · Σ_{c'∈window(c)} x[c']²)^β
+/// with a window of `size` channels centred on c.
+class LocalResponseNorm final : public Layer {
+ public:
+  explicit LocalResponseNorm(std::size_t size = 5, double alpha = 1e-4,
+                             double beta = 0.75, double k = 2.0);
+  std::string name() const override;
+  Shape output_shape(const Shape& input) const override { return input; }
+  void forward(const Tensor& x, Tensor& y, bool train) override;
+  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                Tensor& dx) override;
+  double flops_per_sample(const Shape& input) const override;
+
+ private:
+  std::size_t size_;
+  double alpha_;
+  double beta_;
+  double k_;
+  std::vector<float> scale_;  // (k + α/n Σ x²) per element, from forward
+};
+
+/// Dense layer: y = x·Wᵀ + b. Parameters are [out × in] weights then [out]
+/// biases. Input rank 2 (N×in).
+class FullyConnected final : public Layer {
+ public:
+  FullyConnected(std::size_t in_features, std::size_t out_features);
+  std::string name() const override;
+  Shape output_shape(const Shape& input) const override;
+  std::size_t param_count() const override;
+  void init_params(Rng& rng) override;
+  void forward(const Tensor& x, Tensor& y, bool train) override;
+  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                Tensor& dx) override;
+  double flops_per_sample(const Shape& input) const override;
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+};
+
+/// ResNet-style residual block: y = ReLU(F(x) + shortcut(x)) where F is
+/// conv3×3 → ReLU → conv3×3 and the shortcut is identity (same channels,
+/// stride 1) or a 1×1 projection conv (channel/stride change). The paper's
+/// introduction names 152-layer ResNets as the workloads driving the need
+/// for scalable training.
+class ResidualBlock final : public Layer {
+ public:
+  ResidualBlock(std::size_t in_channels, std::size_t out_channels,
+                std::size_t stride = 1);
+
+  std::string name() const override;
+  Shape output_shape(const Shape& input) const override;
+  std::size_t param_count() const override;
+  void bind(std::span<float> params, std::span<float> grads) override;
+  void init_params(Rng& rng) override;
+  void forward(const Tensor& x, Tensor& y, bool train) override;
+  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                Tensor& dx) override;
+  double flops_per_sample(const Shape& input) const override;
+
+ private:
+  std::size_t in_c_;
+  std::size_t out_c_;
+  std::size_t stride_;
+  Conv2D conv1_;
+  ReLU relu1_;
+  Conv2D conv2_;
+  std::unique_ptr<Conv2D> projection_;  // null for identity shortcuts
+  // Forward activations needed by backward.
+  Tensor act1_, act2_, act3_, shortcut_;
+  Tensor pre_relu_;
+  // Backward scratch.
+  Tensor d_pre_, d_act2_, d_act1_, d_branch_, d_short_;
+};
+
+/// GoogLeNet-style inception block: four parallel branches
+/// (1×1 | 1×1→3×3 | 1×1→5×5 | 3×3 maxpool→1×1) concatenated along channels.
+/// Implemented as a composite layer so Network stays a sequential container.
+class InceptionBlock final : public Layer {
+ public:
+  InceptionBlock(std::size_t in_channels, std::size_t c1x1,
+                 std::size_t c3x3_reduce, std::size_t c3x3,
+                 std::size_t c5x5_reduce, std::size_t c5x5,
+                 std::size_t pool_proj);
+
+  std::string name() const override;
+  Shape output_shape(const Shape& input) const override;
+  std::size_t param_count() const override;
+  void bind(std::span<float> params, std::span<float> grads) override;
+  void init_params(Rng& rng) override;
+  void forward(const Tensor& x, Tensor& y, bool train) override;
+  void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
+                Tensor& dx) override;
+  double flops_per_sample(const Shape& input) const override;
+
+  std::size_t out_channels() const;
+
+ private:
+  struct Branch {
+    std::vector<LayerPtr> stages;
+    std::vector<Tensor> acts;  // forward activations per stage
+  };
+
+  void run_branch_forward(Branch& b, const Tensor& x, bool train);
+
+  std::size_t in_c_;
+  std::size_t out_1x1_, out_3x3_, out_5x5_, out_pool_;
+  std::vector<Branch> branches_;
+};
+
+}  // namespace ds

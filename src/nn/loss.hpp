@@ -1,0 +1,31 @@
+// Softmax + cross-entropy loss head, fused for numerical stability
+// (log-sum-exp trick); gradient w.r.t. logits is (softmax − onehot)/batch.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace ds {
+
+struct LossResult {
+  double loss = 0.0;        // mean cross-entropy over the batch
+  std::size_t correct = 0;  // argmax matches label
+};
+
+class SoftmaxCrossEntropy {
+ public:
+  /// logits: N×C. labels: N entries in [0, C).
+  /// Fills dlogits (N×C) with the mean-reduced gradient.
+  LossResult forward_backward(const Tensor& logits,
+                              std::span<const std::int32_t> labels,
+                              Tensor& dlogits) const;
+
+  /// Evaluation-only path (no gradient).
+  LossResult evaluate(const Tensor& logits,
+                      std::span<const std::int32_t> labels) const;
+};
+
+}  // namespace ds

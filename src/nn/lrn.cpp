@@ -1,0 +1,100 @@
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "nn/layers.hpp"
+
+namespace ds {
+
+LocalResponseNorm::LocalResponseNorm(std::size_t size, double alpha,
+                                     double beta, double k)
+    : size_(size), alpha_(alpha), beta_(beta), k_(k) {
+  DS_CHECK(size_ >= 1, "LRN window must be at least 1");
+  DS_CHECK(size_ % 2 == 1, "LRN window must be odd (centred)");
+}
+
+std::string LocalResponseNorm::name() const {
+  std::ostringstream os;
+  os << "lrn n=" << size_ << " a=" << alpha_ << " b=" << beta_;
+  return os.str();
+}
+
+void LocalResponseNorm::forward(const Tensor& x, Tensor& y, bool /*train*/) {
+  DS_CHECK(x.rank() == 4, "lrn input must be NCHW");
+  if (y.shape() != x.shape()) y = Tensor(x.shape());
+  const std::size_t batch = x.dim(0), channels = x.dim(1);
+  const std::size_t hw = x.dim(2) * x.dim(3);
+  scale_.resize(x.numel());
+  const long half = static_cast<long>(size_ / 2);
+  const float coeff = static_cast<float>(alpha_ / static_cast<double>(size_));
+
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* xn = x.data() + n * channels * hw;
+    float* yn = y.data() + n * channels * hw;
+    float* sn = scale_.data() + n * channels * hw;
+    for (std::size_t c = 0; c < channels; ++c) {
+      const long lo = std::max<long>(0, static_cast<long>(c) - half);
+      const long hi = std::min<long>(static_cast<long>(channels) - 1,
+                                     static_cast<long>(c) + half);
+      for (std::size_t i = 0; i < hw; ++i) {
+        float sumsq = 0.0f;
+        for (long cc = lo; cc <= hi; ++cc) {
+          const float v = xn[static_cast<std::size_t>(cc) * hw + i];
+          sumsq += v * v;
+        }
+        const float s = static_cast<float>(k_) + coeff * sumsq;
+        sn[c * hw + i] = s;
+        yn[c * hw + i] =
+            xn[c * hw + i] * std::pow(s, static_cast<float>(-beta_));
+      }
+    }
+  }
+}
+
+void LocalResponseNorm::backward(const Tensor& x, const Tensor& y,
+                                 const Tensor& dy, Tensor& dx) {
+  DS_CHECK(scale_.size() == x.numel(), "lrn backward before forward");
+  if (dx.shape() != x.shape()) dx = Tensor(x.shape());
+  const std::size_t batch = x.dim(0), channels = x.dim(1);
+  const std::size_t hw = x.dim(2) * x.dim(3);
+  const long half = static_cast<long>(size_ / 2);
+  const float coeff = static_cast<float>(alpha_ / static_cast<double>(size_));
+  const float b = static_cast<float>(beta_);
+
+  // dL/dx[c] = dy[c]·s[c]^{-β} − 2·(α/n)·β·x[c]·Σ_{c'∋c} dy[c']·y[c']/s[c']
+  for (std::size_t n = 0; n < batch; ++n) {
+    const std::size_t base = n * channels * hw;
+    const float* xn = x.data() + base;
+    const float* yn = y.data() + base;
+    const float* gn = dy.data() + base;
+    const float* sn = scale_.data() + base;
+    float* on = dx.data() + base;
+    for (std::size_t c = 0; c < channels; ++c) {
+      const long lo = std::max<long>(0, static_cast<long>(c) - half);
+      const long hi = std::min<long>(static_cast<long>(channels) - 1,
+                                     static_cast<long>(c) + half);
+      for (std::size_t i = 0; i < hw; ++i) {
+        const std::size_t idx = c * hw + i;
+        float cross = 0.0f;
+        // Channels whose window CONTAINS c (symmetric window ⇒ same range).
+        for (long cc = lo; cc <= hi; ++cc) {
+          const std::size_t j = static_cast<std::size_t>(cc) * hw + i;
+          cross += gn[j] * yn[j] / sn[j];
+        }
+        on[idx] = gn[idx] * std::pow(sn[idx], -b) -
+                  2.0f * coeff * b * xn[idx] * cross;
+      }
+    }
+  }
+}
+
+double LocalResponseNorm::flops_per_sample(const Shape& input) const {
+  double elems = 1.0;
+  for (std::size_t i = 1; i < input.rank(); ++i) {
+    elems *= static_cast<double>(input.dim(i));
+  }
+  // window sum-of-squares + pow, forward and backward.
+  return elems * (2.0 * static_cast<double>(size_) + 20.0) * 2.0;
+}
+
+}  // namespace ds

@@ -1,0 +1,135 @@
+#include "nn/models.hpp"
+
+#include "nn/layers.hpp"
+
+namespace ds {
+
+std::unique_ptr<Network> make_lenet_s(Rng& rng, PackMode pack) {
+  auto net = std::make_unique<Network>(Shape{1, 28, 28}, pack);
+  net->add(std::make_unique<Conv2D>(1, 6, 5));       // 24×24
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<MaxPool2D>(2, 2));       // 12×12
+  net->add(std::make_unique<Conv2D>(6, 12, 5));      // 8×8
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<MaxPool2D>(2, 2));       // 4×4
+  net->add(std::make_unique<Flatten>());             // 192
+  net->add(std::make_unique<FullyConnected>(192, 64));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<FullyConnected>(64, 10));
+  net->finalize(rng);
+  return net;
+}
+
+std::unique_ptr<Network> make_alexnet_s(Rng& rng, PackMode pack) {
+  auto net = std::make_unique<Network>(Shape{3, 32, 32}, pack);
+  net->add(std::make_unique<Conv2D>(3, 16, 3, 1, 1));   // 32×32
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<LocalResponseNorm>());      // AlexNet's LRN
+  net->add(std::make_unique<MaxPool2D>(2, 2));          // 16×16
+  net->add(std::make_unique<Conv2D>(16, 32, 3, 1, 1));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<MaxPool2D>(2, 2));          // 8×8
+  net->add(std::make_unique<Conv2D>(32, 32, 3, 1, 1));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<MaxPool2D>(2, 2));          // 4×4
+  net->add(std::make_unique<Flatten>());                // 512
+  net->add(std::make_unique<FullyConnected>(512, 128));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<Dropout>(0.5));
+  net->add(std::make_unique<FullyConnected>(128, 10));
+  net->finalize(rng);
+  return net;
+}
+
+std::unique_ptr<Network> make_vgg_s(Rng& rng, PackMode pack) {
+  auto net = std::make_unique<Network>(Shape{3, 32, 32}, pack);
+  net->add(std::make_unique<Conv2D>(3, 16, 3, 1, 1));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<Conv2D>(16, 16, 3, 1, 1));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<MaxPool2D>(2, 2));          // 16×16
+  net->add(std::make_unique<Conv2D>(16, 32, 3, 1, 1));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<Conv2D>(32, 32, 3, 1, 1));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<MaxPool2D>(2, 2));          // 8×8
+  net->add(std::make_unique<Conv2D>(32, 64, 3, 1, 1));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<Conv2D>(64, 64, 3, 1, 1));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<MaxPool2D>(2, 2));          // 4×4
+  net->add(std::make_unique<Flatten>());                // 1024
+  net->add(std::make_unique<FullyConnected>(1024, 128));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<Dropout>(0.5));
+  net->add(std::make_unique<FullyConnected>(128, 10));
+  net->finalize(rng);
+  return net;
+}
+
+std::unique_ptr<Network> make_googlenet_s(Rng& rng, PackMode pack) {
+  auto net = std::make_unique<Network>(Shape{3, 32, 32}, pack);
+  net->add(std::make_unique<Conv2D>(3, 16, 3, 1, 1));   // 32×32
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<MaxPool2D>(2, 2));          // 16×16
+  net->add(std::make_unique<InceptionBlock>(16, 8, 8, 16, 4, 8, 8));   // 40ch
+  net->add(std::make_unique<MaxPool2D>(2, 2));          // 8×8
+  net->add(std::make_unique<InceptionBlock>(40, 16, 16, 32, 8, 16, 16));  // 80ch
+  net->add(std::make_unique<AvgPool2D>(8, 8));          // 1×1 (global avg)
+  net->add(std::make_unique<Flatten>());                // 80
+  net->add(std::make_unique<FullyConnected>(80, 10));
+  net->finalize(rng);
+  return net;
+}
+
+std::unique_ptr<Network> make_resnet_s(Rng& rng, PackMode pack) {
+  auto net = std::make_unique<Network>(Shape{3, 32, 32}, pack);
+  net->add(std::make_unique<Conv2D>(3, 16, 3, 1, 1));    // 32×32 stem
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<ResidualBlock>(16, 16));     // identity
+  net->add(std::make_unique<ResidualBlock>(16, 32, 2));  // 16×16, projected
+  net->add(std::make_unique<ResidualBlock>(32, 32));
+  net->add(std::make_unique<ResidualBlock>(32, 64, 2));  // 8×8, projected
+  net->add(std::make_unique<AvgPool2D>(8, 8));           // global average
+  net->add(std::make_unique<Flatten>());                 // 64
+  net->add(std::make_unique<FullyConnected>(64, 10));
+  net->finalize(rng);
+  return net;
+}
+
+std::unique_ptr<Network> make_tiny_mlp(Rng& rng, PackMode pack) {
+  auto net = std::make_unique<Network>(Shape{1, 8, 8}, pack);
+  net->add(std::make_unique<Flatten>());
+  net->add(std::make_unique<FullyConnected>(64, 32));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<FullyConnected>(32, 4));
+  net->finalize(rng);
+  return net;
+}
+
+namespace {
+constexpr double kMiB = 1024.0 * 1024.0;
+}
+
+PaperModelInfo paper_lenet() {
+  // ~431k params; forward ≈ 2.3 MFLOP, fwd+bwd costed at 3×.
+  return {"LeNet", 431000.0 * 4.0, 7e6, 8};
+}
+
+PaperModelInfo paper_alexnet() {
+  // Paper §6.1.1: AlexNet weights are 249 MB. Forward ≈ 0.7 GFLOP at 32×32
+  // Cifar crops in the paper's configuration.
+  return {"AlexNet", 249.0 * kMiB, 2.2e9, 16};
+}
+
+PaperModelInfo paper_googlenet() {
+  // GoogLeNet: ~6.8M params (27 MB), forward ≈ 1.6 GFLOP at 224×224.
+  return {"GoogLeNet", 6.8e6 * 4.0, 4.8e9, 59};
+}
+
+PaperModelInfo paper_vgg19() {
+  // Paper §6.1.2: VGG-19 model is 575 MB; forward ≈ 19.6 GFLOP at 224×224.
+  return {"VGG-19", 575.0 * kMiB, 5.9e10, 19};
+}
+
+}  // namespace ds

@@ -1,0 +1,63 @@
+// Model zoo: scaled-down versions of the four networks the paper evaluates
+// (LeNet for MNIST, AlexNet for Cifar, GoogLeNet and VGG for ImageNet,
+// §4.2), sized so a single CPU core can train them in seconds, plus
+// paper-scale metadata (full-size weight bytes and flops) consumed by the
+// KNL and weak-scaling performance models where the *real* model sizes are
+// what matters.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "nn/network.hpp"
+
+namespace ds {
+
+/// 1×28×28 input, 10 classes — LeNet-style (paper Figure 3).
+std::unique_ptr<Network> make_lenet_s(Rng& rng,
+                                      PackMode pack = PackMode::kPacked);
+
+/// 3×32×32 input, 10 classes — AlexNet-style conv/pool/FC stack with dropout.
+std::unique_ptr<Network> make_alexnet_s(Rng& rng,
+                                        PackMode pack = PackMode::kPacked);
+
+/// 3×32×32 input, 10 classes — VGG-style doubled 3×3 conv blocks.
+std::unique_ptr<Network> make_vgg_s(Rng& rng,
+                                    PackMode pack = PackMode::kPacked);
+
+/// 3×32×32 input, 10 classes — GoogLeNet-style with two inception blocks
+/// and a global-average-pool head.
+std::unique_ptr<Network> make_googlenet_s(Rng& rng,
+                                          PackMode pack = PackMode::kPacked);
+
+/// 3×32×32 input, 10 classes — ResNet-style with three residual stages
+/// (the deep-network workload the paper's introduction motivates).
+std::unique_ptr<Network> make_resnet_s(Rng& rng,
+                                       PackMode pack = PackMode::kPacked);
+
+/// Tiny MLP on 1×8×8 input — unit-test workhorse.
+std::unique_ptr<Network> make_tiny_mlp(Rng& rng,
+                                       PackMode pack = PackMode::kPacked);
+
+// ---------------------------------------------------------------------------
+// Paper-scale model metadata (full-size networks on the paper's datasets).
+// Used by the analytic performance models (cluster_sim, knl) where the real
+// weight volume drives communication cost. Values from the paper (§6.1.2:
+// AlexNet 249 MB, VGG-19 575 MB) and standard architecture parameter counts.
+// ---------------------------------------------------------------------------
+
+struct PaperModelInfo {
+  std::string name;
+  double weight_bytes = 0.0;       // full fp32 model size
+  double flops_per_sample = 0.0;   // forward+backward per training sample
+  std::size_t comm_layers = 0;     // learnable tensors a per-layer schedule
+                                   // sends as separate messages
+};
+
+PaperModelInfo paper_lenet();
+PaperModelInfo paper_alexnet();
+PaperModelInfo paper_googlenet();
+PaperModelInfo paper_vgg19();
+
+}  // namespace ds

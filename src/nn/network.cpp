@@ -1,0 +1,109 @@
+#include "nn/network.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace ds {
+
+Network::Network(Shape input_shape, PackMode pack_mode)
+    : input_shape_(std::move(input_shape)), pack_mode_(pack_mode) {
+  DS_CHECK(input_shape_.rank() >= 1, "network input shape must be non-empty");
+}
+
+Network& Network::add(LayerPtr layer) {
+  DS_CHECK(!finalized_, "cannot add layers after finalize()");
+  DS_CHECK(layer != nullptr, "null layer");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Shape Network::batched(const Shape& sample_shape, std::size_t batch) const {
+  std::vector<std::size_t> dims;
+  dims.reserve(sample_shape.rank() + 1);
+  dims.push_back(batch);
+  for (const std::size_t d : sample_shape.dims()) dims.push_back(d);
+  return Shape(dims);
+}
+
+void Network::finalize(Rng& rng) {
+  DS_CHECK(!finalized_, "finalize() called twice");
+  DS_CHECK(!layers_.empty(), "network has no layers");
+
+  std::vector<std::size_t> sizes;
+  sizes.reserve(layers_.size());
+  for (const auto& l : layers_) sizes.push_back(l->param_count());
+  arena_ = ParamArena(sizes, pack_mode_);
+
+  // Validate shape propagation with a nominal batch of 1 and tally flops.
+  Shape s = batched(input_shape_, 1);
+  flops_per_sample_ = 0.0;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->bind(arena_.layer_params(i), arena_.layer_grads(i));
+    flops_per_sample_ += layers_[i]->flops_per_sample(s);
+    s = layers_[i]->output_shape(s);
+  }
+  DS_CHECK(s.rank() == 2, "network must end with N×classes logits, got "
+                              << s.str() << " — add a Flatten/FC head");
+
+  for (auto& l : layers_) l->init_params(rng);
+  acts_.resize(layers_.size());
+  grads_cache_.resize(layers_.size());
+  finalized_ = true;
+}
+
+const Tensor& Network::forward(const Tensor& batch, bool train) {
+  DS_CHECK(finalized_, "forward() before finalize()");
+  const Tensor* in = &batch;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->forward(*in, acts_[i], train);
+    in = &acts_[i];
+  }
+  return acts_.back();
+}
+
+LossResult Network::forward_backward(const Tensor& batch,
+                                     std::span<const std::int32_t> labels) {
+  const Tensor& logits = forward(batch, /*train=*/true);
+  const LossResult result = loss_.forward_backward(logits, labels, dlogits_);
+
+  const Tensor* grad = &dlogits_;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    const Tensor& in = (i == 0) ? batch : acts_[i - 1];
+    layers_[i]->backward(in, acts_[i], *grad, grads_cache_[i]);
+    grad = &grads_cache_[i];
+  }
+  return result;
+}
+
+LossResult Network::evaluate_batch(const Tensor& batch,
+                                   std::span<const std::int32_t> labels) {
+  const Tensor& logits = forward(batch, /*train=*/false);
+  return loss_.evaluate(logits, labels);
+}
+
+std::vector<std::size_t> Network::comm_chunk_sizes() const {
+  std::vector<std::size_t> sizes;
+  for (const auto& l : layers_) {
+    if (l->param_count() > 0) sizes.push_back(l->param_count());
+  }
+  return sizes;
+}
+
+std::string Network::summary() const {
+  std::ostringstream os;
+  Shape s = batched(input_shape_, 1);
+  os << "input " << s.str() << '\n';
+  for (const auto& l : layers_) {
+    s = l->output_shape(s);
+    os << "  " << l->name() << " -> " << s.str();
+    if (l->param_count() > 0) os << "  (" << l->param_count() << " params)";
+    os << '\n';
+  }
+  os << "total params: " << param_count() << " ("
+     << static_cast<double>(param_bytes()) / (1024.0 * 1024.0) << " MiB), "
+     << "flops/sample: " << flops_per_sample_;
+  return os.str();
+}
+
+}  // namespace ds

@@ -1,0 +1,96 @@
+#include "nn/param_arena.hpp"
+
+#include "support/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace ds {
+
+ParamArena::ParamArena(const std::vector<std::size_t>& layer_sizes,
+                       PackMode mode)
+    : mode_(mode), sizes_(layer_sizes) {
+  offsets_.reserve(sizes_.size());
+  for (const std::size_t s : sizes_) {
+    offsets_.push_back(total_);
+    total_ += s;
+  }
+  if (mode_ == PackMode::kPacked) {
+    packed_params_.resize(total_);
+    packed_grads_.resize(total_);
+  } else {
+    per_layer_params_.reserve(sizes_.size());
+    per_layer_grads_.reserve(sizes_.size());
+    for (const std::size_t s : sizes_) {
+      per_layer_params_.emplace_back(s);
+      per_layer_grads_.emplace_back(s);
+    }
+  }
+}
+
+std::span<float> ParamArena::layer_params(std::size_t layer) {
+  DS_CHECK(layer < sizes_.size(), "layer " << layer << " out of range");
+  if (mode_ == PackMode::kPacked) {
+    return packed_params_.span().subspan(offsets_[layer], sizes_[layer]);
+  }
+  return per_layer_params_[layer].span();
+}
+
+std::span<float> ParamArena::layer_grads(std::size_t layer) {
+  DS_CHECK(layer < sizes_.size(), "layer " << layer << " out of range");
+  if (mode_ == PackMode::kPacked) {
+    return packed_grads_.span().subspan(offsets_[layer], sizes_[layer]);
+  }
+  return per_layer_grads_[layer].span();
+}
+
+std::span<const float> ParamArena::layer_params(std::size_t layer) const {
+  return const_cast<ParamArena*>(this)->layer_params(layer);
+}
+
+std::span<const float> ParamArena::layer_grads(std::size_t layer) const {
+  return const_cast<ParamArena*>(this)->layer_grads(layer);
+}
+
+std::span<float> ParamArena::full_params() {
+  DS_CHECK(mode_ == PackMode::kPacked,
+           "full_params() requires packed layout (Figure 10 baseline uses "
+           "per-layer buffers)");
+  return packed_params_.span();
+}
+
+std::span<float> ParamArena::full_grads() {
+  DS_CHECK(mode_ == PackMode::kPacked,
+           "full_grads() requires packed layout");
+  return packed_grads_.span();
+}
+
+std::span<const float> ParamArena::full_params() const {
+  return const_cast<ParamArena*>(this)->full_params();
+}
+
+std::span<const float> ParamArena::full_grads() const {
+  return const_cast<ParamArena*>(this)->full_grads();
+}
+
+void ParamArena::zero_grads() {
+  if (mode_ == PackMode::kPacked) {
+    packed_grads_.fill(0.0f);
+  } else {
+    for (auto& g : per_layer_grads_) g.fill(0.0f);
+  }
+}
+
+void ParamArena::copy_params_from(const ParamArena& other) {
+  DS_CHECK(other.sizes_ == sizes_, "arena geometry mismatch");
+  for (std::size_t l = 0; l < sizes_.size(); ++l) {
+    copy(other.layer_params(l), layer_params(l));
+  }
+}
+
+void ParamArena::copy_grads_from(const ParamArena& other) {
+  DS_CHECK(other.sizes_ == sizes_, "arena geometry mismatch");
+  for (std::size_t l = 0; l < sizes_.size(); ++l) {
+    copy(other.layer_grads(l), layer_grads(l));
+  }
+}
+
+}  // namespace ds

@@ -1,0 +1,117 @@
+#include <sstream>
+
+#include "nn/layers.hpp"
+#include "tensor/ops.hpp"
+
+namespace ds {
+
+ResidualBlock::ResidualBlock(std::size_t in_channels,
+                             std::size_t out_channels, std::size_t stride)
+    : in_c_(in_channels),
+      out_c_(out_channels),
+      stride_(stride),
+      conv1_(in_channels, out_channels, 3, stride, 1),
+      conv2_(out_channels, out_channels, 3, 1, 1) {
+  if (in_c_ != out_c_ || stride_ != 1) {
+    projection_ =
+        std::make_unique<Conv2D>(in_channels, out_channels, 1, stride, 0);
+  }
+}
+
+std::string ResidualBlock::name() const {
+  std::ostringstream os;
+  os << "residual " << in_c_ << "->" << out_c_ << " s" << stride_
+     << (projection_ ? " (projected)" : " (identity)");
+  return os.str();
+}
+
+Shape ResidualBlock::output_shape(const Shape& input) const {
+  return conv1_.output_shape(input);
+}
+
+std::size_t ResidualBlock::param_count() const {
+  return conv1_.param_count() + conv2_.param_count() +
+         (projection_ ? projection_->param_count() : 0);
+}
+
+void ResidualBlock::bind(std::span<float> params, std::span<float> grads) {
+  DS_CHECK(params.size() == param_count(), "residual bind size mismatch");
+  std::size_t offset = 0;
+  const auto slice = [&](Layer& layer) {
+    const std::size_t n = layer.param_count();
+    layer.bind(params.subspan(offset, n), grads.subspan(offset, n));
+    offset += n;
+  };
+  slice(conv1_);
+  slice(conv2_);
+  if (projection_) slice(*projection_);
+  params_ = params;
+  grads_ = grads;
+}
+
+void ResidualBlock::init_params(Rng& rng) {
+  conv1_.init_params(rng);
+  conv2_.init_params(rng);
+  if (projection_) projection_->init_params(rng);
+}
+
+void ResidualBlock::forward(const Tensor& x, Tensor& y, bool train) {
+  // Branch: conv1 → ReLU → conv2.
+  conv1_.forward(x, act1_, train);
+  relu1_.forward(act1_, act2_, train);
+  conv2_.forward(act2_, act3_, train);
+  // Shortcut.
+  if (projection_) {
+    projection_->forward(x, shortcut_, train);
+  } else {
+    if (shortcut_.shape() != x.shape()) shortcut_ = Tensor(x.shape());
+    copy(x.span(), shortcut_.span());
+  }
+  // y = ReLU(branch + shortcut); keep the pre-activation for backward.
+  if (pre_relu_.shape() != act3_.shape()) pre_relu_ = Tensor(act3_.shape());
+  add(act3_.span(), shortcut_.span(), pre_relu_.span());
+  if (y.shape() != pre_relu_.shape()) y = Tensor(pre_relu_.shape());
+  const std::size_t n = pre_relu_.numel();
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = pre_relu_[i] > 0.0f ? pre_relu_[i] : 0.0f;
+  }
+}
+
+void ResidualBlock::backward(const Tensor& x, const Tensor& /*y*/,
+                             const Tensor& dy, Tensor& dx) {
+  DS_CHECK(pre_relu_.numel() == dy.numel(), "residual backward before forward");
+  // Through the output ReLU.
+  if (d_pre_.shape() != dy.shape()) d_pre_ = Tensor(dy.shape());
+  const std::size_t n = dy.numel();
+  for (std::size_t i = 0; i < n; ++i) {
+    d_pre_[i] = pre_relu_[i] > 0.0f ? dy[i] : 0.0f;
+  }
+  // Branch path: conv2 → ReLU → conv1.
+  conv2_.backward(act2_, act3_, d_pre_, d_act2_);
+  relu1_.backward(act1_, act2_, d_act2_, d_act1_);
+  conv1_.backward(x, act1_, d_act1_, d_branch_);
+  // Shortcut path.
+  if (dx.shape() != x.shape()) dx = Tensor(x.shape());
+  if (projection_) {
+    projection_->backward(x, shortcut_, d_pre_, d_short_);
+    add(d_branch_.span(), d_short_.span(), dx.span());
+  } else {
+    add(d_branch_.span(), d_pre_.span(), dx.span());
+  }
+}
+
+double ResidualBlock::flops_per_sample(const Shape& input) const {
+  double total = conv1_.flops_per_sample(input);
+  const Shape mid = conv1_.output_shape(input);
+  total += relu1_.flops_per_sample(mid);
+  total += conv2_.flops_per_sample(mid);
+  if (projection_) total += projection_->flops_per_sample(input);
+  // Elementwise add + final ReLU.
+  double elems = 1.0;
+  for (std::size_t i = 1; i < mid.rank(); ++i) {
+    elems *= static_cast<double>(mid.dim(i));
+  }
+  return total + 3.0 * elems;
+}
+
+}  // namespace ds

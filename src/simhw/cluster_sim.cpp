@@ -1,0 +1,94 @@
+#include "simhw/cluster_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "comm/collectives.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace ds {
+
+ClusterSim::ClusterSim(ClusterSimConfig config) : config_(config) {
+  DS_CHECK(config_.base_iter_seconds > 0, "base iteration time must be > 0");
+  DS_CHECK(config_.weight_bytes > 0, "weight bytes must be > 0");
+  DS_CHECK(config_.overlap_fraction >= 0 && config_.overlap_fraction <= 1,
+           "overlap fraction out of [0,1]");
+}
+
+double ClusterSim::allreduce_seconds(std::size_t nodes,
+                                     Schedule schedule) const {
+  if (nodes <= 1) return 0.0;
+  const double log_p = std::log2(static_cast<double>(nodes));
+  LinkModel link = config_.network;
+  link.beta *= 1.0 + config_.bandwidth_contention * log_p;
+
+  const double rounds = 2.0 * static_cast<double>(tree_rounds(nodes));
+  if (schedule == Schedule::kOurs) {
+    // One packed message per hop (§5.2).
+    return rounds * link.transfer_seconds(config_.weight_bytes);
+  }
+  // Per-layer schedule: pays α once per learnable tensor per hop, and the
+  // smaller messages stream below the packed bandwidth.
+  const double per_hop =
+      static_cast<double>(config_.comm_layers) * link.alpha +
+      link.beta * config_.per_layer_beta_penalty * config_.weight_bytes;
+  return rounds * per_hop;
+}
+
+WeakScalingPoint ClusterSim::run(std::size_t nodes, std::size_t iterations,
+                                 Schedule schedule) const {
+  DS_CHECK(nodes > 0 && iterations > 0, "empty simulation");
+  // One RNG stream per node so jitter draws are independent of node count
+  // ordering; seeds derive from the config seed and node index.
+  Rng base(config_.seed);
+  std::vector<Rng> node_rng;
+  node_rng.reserve(nodes);
+  for (std::size_t n = 0; n < nodes; ++n) node_rng.push_back(base.fork(n));
+
+  const double comm = allreduce_seconds(nodes, schedule);
+  double total = 0.0;
+  double comm_total = 0.0;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    // Synchronous step waits for the slowest node.
+    double slowest = 0.0;
+    for (std::size_t n = 0; n < nodes; ++n) {
+      const double jitter =
+          std::exp(config_.jitter_sigma * node_rng[n].gaussian());
+      slowest = std::max(slowest, config_.base_iter_seconds * jitter);
+    }
+    double exposed_comm = comm;
+    if (schedule == Schedule::kOurs) {
+      // §6.1.3: GPU-GPU (here node-node) traffic overlaps with the next
+      // iteration's compute; only the residual is exposed.
+      exposed_comm = comm * (1.0 - config_.overlap_fraction);
+    }
+    total += slowest + exposed_comm;
+    comm_total += exposed_comm;
+  }
+
+  WeakScalingPoint point;
+  point.nodes = nodes;
+  point.cores = nodes * config_.cores_per_node;
+  point.seconds = total;
+  point.comm_seconds = comm_total;
+  point.efficiency = 1.0;  // filled by sweep()
+  return point;
+}
+
+std::vector<WeakScalingPoint> ClusterSim::sweep(
+    const std::vector<std::size_t>& nodes, std::size_t iterations,
+    Schedule schedule) const {
+  std::vector<WeakScalingPoint> points;
+  points.reserve(nodes.size());
+  for (const std::size_t n : nodes) {
+    points.push_back(run(n, iterations, schedule));
+  }
+  if (!points.empty()) {
+    const double base = points.front().seconds;
+    for (auto& p : points) p.efficiency = base / p.seconds;
+  }
+  return points;
+}
+
+}  // namespace ds

@@ -1,0 +1,83 @@
+// Discrete-event weak-scaling simulator for Table 4 (ImageNet on 68→4352
+// KNL cores, i.e. 1→64 nodes of NERSC Cori).
+//
+// Per synchronous iteration each node draws a compute time (base time ×
+// lognormal jitter — OS noise and load imbalance, the dominant loss at
+// scale), then the cluster pays a tree allreduce of the model over the
+// Aries-like network. Two communication schedules are modelled:
+//
+//   Schedule::kOurs      — packed single-message tree allreduce (§5.2) with
+//                          partial communication/computation overlap (§6.1.3)
+//   Schedule::kCaffeLike — per-layer messages (one α per learnable tensor),
+//                          no overlap: the Intel-Caffe-style baseline the
+//                          paper compares against. Single-node performance
+//                          is identical by construction (§7.1: "we have the
+//                          same single-node performance with Intel Caffe").
+//
+// Weak scaling: data grows with node count, per-node batch fixed, so
+// efficiency(P) = T(1 node) / T(P nodes) for the same iteration count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "comm/cost_model.hpp"
+
+namespace ds {
+
+enum class Schedule { kOurs, kCaffeLike };
+
+struct ClusterSimConfig {
+  double base_iter_seconds = 5.11;   // single-node compute per iteration
+  double weight_bytes = 27.2e6;      // full model size on the wire
+  std::size_t comm_layers = 59;      // messages of a per-layer schedule
+  std::size_t cores_per_node = 68;
+  // Effective per-node MPI large-message bandwidth on the Aries fabric
+  // (~3 GB/s for 2017-era MPI allreduce, well below the 9 GB/s injection
+  // peak), α from the link model. Calibrated jointly with the knobs below
+  // against Table 4's four anchor efficiencies (GoogLeNet/VGG × ours/Caffe
+  // at 2176 cores).
+  LinkModel network{"Cray Aries (MPI effective)", 1.3e-6, 1.0 / 3.0e9};
+  double jitter_sigma = 0.033;       // lognormal σ of per-node compute noise
+  // Effective bandwidth degrades as allreduce traffic converges through the
+  // dragonfly: β_eff = β · (1 + contention · log2 P).
+  double bandwidth_contention = 0.25;
+  double overlap_fraction = 0.35;    // comm hidden under compute (ours only)
+  // The per-layer baseline additionally moves its many smaller messages at
+  // a fraction of the packed streaming bandwidth (same effect as
+  // GpuSystemConfig::per_layer_beta_penalty, §5.2's second reason).
+  double per_layer_beta_penalty = 1.8;
+  std::uint64_t seed = 20170917;
+};
+
+struct WeakScalingPoint {
+  std::size_t nodes = 0;
+  std::size_t cores = 0;
+  double seconds = 0.0;      // total time for the iteration budget
+  double efficiency = 0.0;   // T(1) / T(nodes)
+  double comm_seconds = 0.0; // un-hidden communication time included above
+};
+
+class ClusterSim {
+ public:
+  explicit ClusterSim(ClusterSimConfig config);
+
+  /// Simulate `iterations` synchronous steps on `nodes` nodes.
+  WeakScalingPoint run(std::size_t nodes, std::size_t iterations,
+                       Schedule schedule) const;
+
+  /// Sweep node counts (efficiency normalised to the first entry).
+  std::vector<WeakScalingPoint> sweep(const std::vector<std::size_t>& nodes,
+                                      std::size_t iterations,
+                                      Schedule schedule) const;
+
+  /// Seconds of one allreduce of the model across `nodes` nodes under the
+  /// given schedule (before any overlap).
+  double allreduce_seconds(std::size_t nodes, Schedule schedule) const;
+
+ private:
+  ClusterSimConfig config_;
+};
+
+}  // namespace ds

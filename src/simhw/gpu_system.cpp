@@ -1,0 +1,87 @@
+#include "simhw/gpu_system.hpp"
+
+#include "support/error.hpp"
+
+namespace ds {
+
+GpuSystem::GpuSystem(GpuSystemConfig config, PaperModelInfo model,
+                     double sample_bytes)
+    : config_(config), model_(std::move(model)), sample_bytes_(sample_bytes) {
+  DS_CHECK(config_.gpus > 0, "GpuSystem needs at least one GPU");
+  DS_CHECK(config_.gpu_flops > 0 && config_.cpu_flops > 0,
+           "compute rates must be positive");
+  DS_CHECK(sample_bytes_ > 0, "sample bytes must be positive");
+}
+
+double GpuSystem::fwd_bwd_seconds(std::size_t batch) const {
+  return config_.launch_overhead_seconds +
+         static_cast<double>(batch) * model_.flops_per_sample /
+             config_.gpu_flops;
+}
+
+double GpuSystem::data_copy_seconds(std::size_t batch) const {
+  return config_.host_link.transfer_seconds(static_cast<double>(batch) *
+                                            sample_bytes_);
+}
+
+double GpuSystem::layered_hop(const LinkModel& link, MessageLayout layout,
+                              double bytes_factor) const {
+  const double bytes = model_.weight_bytes * bytes_factor;
+  if (layout == MessageLayout::kPacked) {
+    return link.transfer_seconds(bytes);
+  }
+  // Per-layer schedule: one α per learnable tensor, and the many small
+  // messages run at a fraction of the packed streaming bandwidth.
+  const double layers = static_cast<double>(model_.comm_layers);
+  return layers * link.alpha +
+         link.beta * config_.per_layer_beta_penalty * bytes;
+}
+
+double GpuSystem::host_param_hop_seconds(MessageLayout layout) const {
+  return layered_hop(config_.host_link, layout);
+}
+
+double GpuSystem::p2p_param_hop_seconds(MessageLayout layout) const {
+  return layered_hop(config_.p2p_link, layout);
+}
+
+double GpuSystem::host_collective_seconds(CollectiveAlgo algo,
+                                          MessageLayout layout,
+                                          double bytes_factor) const {
+  const std::size_t ranks = config_.gpus + 1;  // host + devices
+  const double hop = layered_hop(config_.host_link, layout, bytes_factor);
+  const double hops =
+      algo == CollectiveAlgo::kLinear
+          ? static_cast<double>(ranks - 1)
+          : static_cast<double>(tree_rounds(ranks));
+  return hops * hop;
+}
+
+double GpuSystem::p2p_collective_seconds(CollectiveAlgo algo,
+                                         MessageLayout layout,
+                                         double bytes_factor) const {
+  const std::size_t ranks = config_.gpus;
+  const double hop = layered_hop(config_.p2p_link, layout, bytes_factor);
+  const double hops =
+      algo == CollectiveAlgo::kLinear
+          ? static_cast<double>(ranks - 1)
+          : static_cast<double>(tree_rounds(ranks));
+  return hops * hop;
+}
+
+double GpuSystem::gpu_update_seconds() const {
+  const double params = model_.weight_bytes / 4.0;
+  return params * config_.update_flops_per_param / config_.gpu_flops;
+}
+
+double GpuSystem::cpu_update_seconds() const {
+  const double params = model_.weight_bytes / 4.0;
+  return params * config_.update_flops_per_param / config_.cpu_flops;
+}
+
+bool GpuSystem::weights_fit_on_device() const {
+  // Weights + gradients + activations headroom; 3× is a conservative bound.
+  return 3.0 * model_.weight_bytes < config_.gpu_memory_bytes;
+}
+
+}  // namespace ds

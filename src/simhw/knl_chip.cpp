@@ -1,0 +1,151 @@
+#include "simhw/knl_chip.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "comm/collectives.hpp"
+#include "support/error.hpp"
+
+namespace ds {
+
+const char* mcdram_mode_name(McdramMode mode) {
+  switch (mode) {
+    case McdramMode::kCache: return "cache";
+    case McdramMode::kFlat: return "flat";
+    case McdramMode::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+const char* knl_cluster_mode_name(KnlClusterMode mode) {
+  switch (mode) {
+    case KnlClusterMode::kAll2All: return "all-to-all";
+    case KnlClusterMode::kQuadrant: return "quadrant";
+    case KnlClusterMode::kSnc4: return "SNC-4";
+  }
+  return "?";
+}
+
+KnlChip::KnlChip(KnlChipConfig config) : config_(config) {
+  DS_CHECK(config_.cores > 0 && config_.chip_flops > 0,
+           "KNL config must be positive");
+  DS_CHECK(config_.a2a_locality > 0 && config_.a2a_locality <= 1.0,
+           "a2a locality must be in (0,1]");
+}
+
+double KnlChip::footprint_bytes(std::size_t parts, double weight_bytes,
+                                double data_bytes) const {
+  return static_cast<double>(parts) * (weight_bytes + data_bytes);
+}
+
+double KnlChip::mcdram_resident_fraction(std::size_t parts,
+                                         double weight_bytes,
+                                         double data_bytes) const {
+  const double footprint = footprint_bytes(parts, weight_bytes, data_bytes);
+  DS_CHECK(footprint <= config_.ddr_bytes,
+           "working set exceeds even DDR capacity");
+  if (footprint <= config_.mcdram_bytes) return 1.0;
+  return config_.mcdram_bytes / footprint;
+}
+
+double KnlChip::effective_bandwidth(std::size_t parts, double weight_bytes,
+                                    double data_bytes) const {
+  // Locality ramps linearly in log2(parts) from the A2A floor to full
+  // NUMA-local bandwidth at full_locality_parts.
+  const double log_parts = std::log2(static_cast<double>(std::max<std::size_t>(parts, 1)));
+  const double log_full =
+      std::log2(static_cast<double>(config_.full_locality_parts));
+  const double ramp = std::pow(std::clamp(log_parts / log_full, 0.0, 1.0),
+                               config_.locality_ramp_exponent);
+  const double locality =
+      config_.a2a_locality +
+      (config_.partitioned_locality - config_.a2a_locality) * ramp;
+
+  const double resident =
+      mcdram_resident_fraction(parts, weight_bytes, data_bytes);
+  // Traffic splits by residency: resident fraction streams from MCDRAM, the
+  // spill crosses the mesh to (contended) DDR; aggregate via the harmonic
+  // (time-weighted) mean.
+  const double mc = config_.mcdram_bandwidth * locality;
+  const double dd = config_.ddr_bandwidth /
+                    (resident < 1.0 ? config_.ddr_spill_penalty : 1.0);
+  const double time_per_byte = resident / mc + (1.0 - resident) / dd;
+  return 1.0 / time_per_byte;
+}
+
+double KnlChip::cluster_mode_locality(KnlClusterMode mode) const {
+  switch (mode) {
+    case KnlClusterMode::kAll2All:
+      return config_.a2a_locality;
+    case KnlClusterMode::kQuadrant:
+      // Directory traffic stays in-quadrant but software is not pinned:
+      // midway up the ramp.
+      return config_.a2a_locality +
+             0.5 * (config_.partitioned_locality - config_.a2a_locality);
+    case KnlClusterMode::kSnc4:
+      return config_.partitioned_locality;
+  }
+  return config_.a2a_locality;
+}
+
+double KnlChip::mode_bandwidth(McdramMode mode,
+                               double working_set_bytes) const {
+  DS_CHECK(working_set_bytes > 0, "empty working set");
+  const double mc = config_.mcdram_bandwidth;
+  const double dd = config_.ddr_bandwidth;
+  switch (mode) {
+    case McdramMode::kFlat: {
+      const double resident =
+          std::min(1.0, config_.mcdram_bytes / working_set_bytes);
+      return 1.0 / (resident / mc + (1.0 - resident) / dd);
+    }
+    case McdramMode::kCache: {
+      // Streaming hit rate ≈ cached fraction of the working set; hits pay
+      // the directory overhead, misses pay the DDR fetch plus the fill.
+      const double hit =
+          std::min(1.0, config_.mcdram_bytes / working_set_bytes);
+      const double hit_time = 1.0 / (mc * config_.cache_mode_hit_efficiency);
+      const double miss_time = 1.0 / dd + 1.0 / mc;
+      return 1.0 / (hit * hit_time + (1.0 - hit) * miss_time);
+    }
+    case McdramMode::kHybrid: {
+      // Half the traffic sees each behaviour with half the capacity.
+      KnlChipConfig half = config_;
+      half.mcdram_bytes = config_.mcdram_bytes / 2.0;
+      const KnlChip half_chip(half);
+      const double flat =
+          half_chip.mode_bandwidth(McdramMode::kFlat, working_set_bytes / 2.0);
+      const double cache = half_chip.mode_bandwidth(McdramMode::kCache,
+                                                    working_set_bytes / 2.0);
+      return 1.0 / (0.5 / flat + 0.5 / cache);
+    }
+  }
+  return dd;
+}
+
+double KnlChip::round_seconds(std::size_t parts, std::size_t batch_per_part,
+                              double flops_per_sample,
+                              double bytes_per_sample, double weight_bytes,
+                              double data_bytes) const {
+  DS_CHECK(parts > 0, "need at least one partition");
+  const double samples =
+      static_cast<double>(parts) * static_cast<double>(batch_per_part);
+  const double compute = samples * flops_per_sample / config_.chip_flops;
+
+  // Streaming traffic: every sample touches its bytes, and each partition
+  // re-streams its weight copy once per round (amortised over its batch).
+  const double traffic =
+      samples * bytes_per_sample + static_cast<double>(parts) * weight_bytes;
+  const double memory =
+      traffic / effective_bandwidth(parts, weight_bytes, data_bytes);
+
+  // Gradient tree-sum across partitions at MCDRAM speed (§6.2's conquer
+  // step): ceil(log2 P) hops of one weight-sized message.
+  const LinkModel mc = knl_mcdram();
+  const double reduce = 2.0 * static_cast<double>(tree_rounds(parts)) *
+                        mc.transfer_seconds(weight_bytes);
+
+  return std::max(compute, memory) + reduce;
+}
+
+}  // namespace ds

@@ -1,0 +1,118 @@
+// Knights Landing chip model (paper §2.1, §6.2, Figure 12).
+//
+// Models the memory system that drives the chip-partitioning experiment:
+// 16 GB of MCDRAM at ~475 GB/s backed by 384 GB DDR4 at ~90 GB/s, and the
+// Quad/SNC-style partitioning of the chip into P groups, each holding its
+// own weight copy and data copy (§6.2's divide-and-conquer).
+//
+// Effects captured, matching the paper's explanation of Figure 12:
+//   * More partitions ⇒ better locality: in A2A mode (P=1) every memory
+//     access hashes across all tag directories; partitioned (quad/SNC-like)
+//     operation keeps accesses NUMA-local, raising effective bandwidth.
+//   * Each partition streams its own weight copy, so weight traffic stays
+//     in fast memory — until P copies of (weights + data) no longer fit in
+//     MCDRAM, at which point the spilled fraction runs at DDR speed and the
+//     curve turns back up (P=32 for AlexNet+Cifar sizes).
+//   * Per-round gradient tree-reduction across partitions costs
+//     ceil(log2 P) MCDRAM-speed hops.
+#pragma once
+
+#include <cstddef>
+
+#include "comm/cost_model.hpp"
+
+namespace ds {
+
+/// MCDRAM operating modes (paper Figure 2).
+enum class McdramMode {
+  kCache,   // MCDRAM is the last-level cache: transparent, but every access
+            // pays the tag lookup and misses pay MCDRAM + DDR
+  kFlat,    // MCDRAM is addressable memory: software places data explicitly
+            // (what the §6.2 partitioning strategy assumes)
+  kHybrid,  // half cache, half flat
+};
+
+const char* mcdram_mode_name(McdramMode mode);
+
+/// On-chip clustering modes (paper §2.1). They determine how NUMA-local a
+/// partition's memory traffic can be: all-to-all hashes every address
+/// across all tag directories; quadrant keeps directory traffic inside a
+/// quadrant; SNC-4 additionally exposes quadrants as NUMA nodes so pinned
+/// software (the §6.2 partitions) reaches full locality.
+enum class KnlClusterMode { kAll2All, kQuadrant, kSnc4 };
+
+const char* knl_cluster_mode_name(KnlClusterMode mode);
+
+struct KnlChipConfig {
+  std::size_t cores = 68;
+  double chip_flops = 1.5e12;     // effective DNN throughput, whole chip
+  double mcdram_bytes = 16.0 * (1ULL << 30);
+  double ddr_bytes = 384.0 * (1ULL << 30);
+  double mcdram_bandwidth = 475.0e9;  // §2.1 STREAM measurement
+  double ddr_bandwidth = 90.0e9;      // §2.1
+  // Locality factor of effective bandwidth: fraction of peak reached with a
+  // single all-to-all partition (addresses hashed across all tag
+  // directories, §2.1) vs fully partitioned NUMA-local operation.
+  double a2a_locality = 0.25;
+  double partitioned_locality = 1.0;
+  std::size_t full_locality_parts = 16;  // locality saturates here
+  // Shape of the locality ramp in log2(parts): >1 makes the first few
+  // partitions help less than the last doubling (quad mode only pins four
+  // groups; SNC-4 with software pinning is where most of the win arrives).
+  double locality_ramp_exponent = 2.0;
+  // Spilled (beyond-MCDRAM) traffic crosses the mesh to DDR from many
+  // partitions at once; contention + remote NUMA access divides the usable
+  // DDR bandwidth.
+  double ddr_spill_penalty = 3.0;
+  // Cache-mode MCDRAM hits pay the tag-directory overhead relative to flat
+  // mode's direct access (Figure 2 trade-off).
+  double cache_mode_hit_efficiency = 0.88;
+};
+
+class KnlChip {
+ public:
+  explicit KnlChip(KnlChipConfig config = {});
+
+  const KnlChipConfig& config() const { return config_; }
+
+  /// Total bytes resident when the chip is split into `parts` groups, each
+  /// holding one weight copy and one data copy.
+  double footprint_bytes(std::size_t parts, double weight_bytes,
+                         double data_bytes) const;
+
+  /// Fraction of the working set that fits in MCDRAM (1.0 until the
+  /// footprint exceeds 16 GB, then shrinking).
+  double mcdram_resident_fraction(std::size_t parts, double weight_bytes,
+                                  double data_bytes) const;
+
+  /// Effective streaming bandwidth for one partition's traffic, combining
+  /// the locality ramp (A2A → SNC) and the MCDRAM/DDR blend. Assumes flat
+  /// mode (explicit placement, the §6.2 strategy).
+  double effective_bandwidth(std::size_t parts, double weight_bytes,
+                             double data_bytes) const;
+
+  /// Locality factor a given clustering mode can reach for pinned software
+  /// (the discrete anchors the continuous partition ramp interpolates).
+  double cluster_mode_locality(KnlClusterMode mode) const;
+
+  /// Effective bandwidth of a working set under each MCDRAM mode, at full
+  /// partitioning (Figure 2's trade-off):
+  ///   flat   — explicit placement: MCDRAM up to capacity, spill to DDR;
+  ///   cache  — transparent: hits pay a directory-overhead factor, misses
+  ///            pay DDR + the MCDRAM fill;
+  ///   hybrid — half the MCDRAM behaves each way.
+  double mode_bandwidth(McdramMode mode, double working_set_bytes) const;
+
+  /// Seconds for one synchronous round in which each of `parts` partitions
+  /// trains `batch_per_part` samples of a model with the given per-sample
+  /// flops and byte traffic, then tree-reduces gradients across partitions.
+  /// Compute and memory streaming overlap (roofline max).
+  double round_seconds(std::size_t parts, std::size_t batch_per_part,
+                       double flops_per_sample, double bytes_per_sample,
+                       double weight_bytes, double data_bytes) const;
+
+ private:
+  KnlChipConfig config_;
+};
+
+}  // namespace ds

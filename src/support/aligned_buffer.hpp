@@ -1,0 +1,91 @@
+// Cache-line/SIMD aligned float storage.
+//
+// Tensor and ParamArena both sit on AlignedBuffer so that GEMM inner loops
+// see 64-byte aligned rows and the packed-parameter layout (single-layer
+// communication, paper §5.2) is one contiguous allocation.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <span>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace ds {
+
+inline constexpr std::size_t kAlignment = 64;
+
+/// Owning, 64-byte-aligned, zero-initialised float array.
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t n) { resize(n); }
+
+  AlignedBuffer(const AlignedBuffer& other) { *this = other; }
+
+  AlignedBuffer& operator=(const AlignedBuffer& other) {
+    if (this == &other) return *this;
+    resize(other.size_);
+    if (size_ != 0) std::memcpy(data_, other.data_, size_ * sizeof(float));
+    return *this;
+  }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept { swap(other); }
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    swap(other);
+    return *this;
+  }
+
+  ~AlignedBuffer() { std::free(data_); }
+
+  void swap(AlignedBuffer& other) noexcept {
+    std::swap(data_, other.data_);
+    std::swap(size_, other.size_);
+  }
+
+  /// Re-allocates to exactly n floats, zero-filled. Existing contents are
+  /// discarded (the library never relies on grow-preserve semantics).
+  void resize(std::size_t n) {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = n;
+    if (n == 0) return;
+    const std::size_t bytes = ((n * sizeof(float) + kAlignment - 1) /
+                               kAlignment) * kAlignment;
+    data_ = static_cast<float*>(std::aligned_alloc(kAlignment, bytes));
+    if (data_ == nullptr) throw std::bad_alloc();
+    std::memset(data_, 0, bytes);
+  }
+
+  void fill(float value) {
+    for (std::size_t i = 0; i < size_; ++i) data_[i] = value;
+  }
+
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  float& operator[](std::size_t i) {
+    DS_DCHECK(i < size_, "AlignedBuffer index " << i << " >= " << size_);
+    return data_[i];
+  }
+  float operator[](std::size_t i) const {
+    DS_DCHECK(i < size_, "AlignedBuffer index " << i << " >= " << size_);
+    return data_[i];
+  }
+
+  std::span<float> span() { return {data_, size_}; }
+  std::span<const float> span() const { return {data_, size_}; }
+
+ private:
+  float* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ds

@@ -1,0 +1,44 @@
+// Lightweight runtime-check macros used across the library.
+//
+// DS_CHECK(cond, msg)  — always-on invariant check; throws ds::Error.
+// DS_DCHECK(cond, msg) — debug-only variant (compiled out in NDEBUG builds).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ds {
+
+/// Exception type thrown by all deepscale invariant violations.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail(const char* file, int line, const char* cond,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace ds
+
+#define DS_CHECK(cond, msg)                                      \
+  do {                                                           \
+    if (!(cond)) ::ds::detail::fail(__FILE__, __LINE__, #cond,   \
+                                    (std::ostringstream{} << msg).str()); \
+  } while (0)
+
+#ifdef NDEBUG
+#define DS_DCHECK(cond, msg) \
+  do {                       \
+  } while (0)
+#else
+#define DS_DCHECK(cond, msg) DS_CHECK(cond, msg)
+#endif

@@ -1,0 +1,36 @@
+#include "support/logging.hpp"
+
+#include <atomic>
+
+namespace ds {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_emit_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+namespace detail {
+
+void log_emit(LogLevel level, const std::string& message) {
+  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::cerr << "[deepscale " << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace detail
+}  // namespace ds

@@ -1,0 +1,36 @@
+// Minimal leveled logger. Benches print structured experiment rows to stdout
+// directly; this logger is for diagnostics, and is silent at default level.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace ds {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide log threshold; messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+}  // namespace ds
+
+#define DS_LOG(level, expr)                                          \
+  do {                                                               \
+    if (static_cast<int>(level) >= static_cast<int>(::ds::log_level())) { \
+      std::ostringstream os_;                                        \
+      os_ << expr;                                                   \
+      ::ds::detail::log_emit(level, os_.str());                      \
+    }                                                                \
+  } while (0)
+
+#define DS_LOG_INFO(expr) DS_LOG(::ds::LogLevel::kInfo, expr)
+#define DS_LOG_WARN(expr) DS_LOG(::ds::LogLevel::kWarn, expr)
+#define DS_LOG_ERROR(expr) DS_LOG(::ds::LogLevel::kError, expr)
+#define DS_LOG_DEBUG(expr) DS_LOG(::ds::LogLevel::kDebug, expr)

@@ -1,0 +1,49 @@
+// Fixed-size worker pool used by the asynchronous/Hogwild training
+// algorithms: each simulated device runs as one pool task so that lock-free
+// master updates experience genuine thread interleaving.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ds {
+
+/// Simple FIFO thread pool. Tasks must not throw (exceptions terminate).
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task for execution on some pool thread.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  std::size_t size() const { return threads_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Run fn(i) for i in [0, n) across `threads` std::threads and join them all.
+/// Used where each logical device must be its own OS thread (Hogwild).
+void parallel_for_threads(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+}  // namespace ds

@@ -1,0 +1,29 @@
+// Wall-clock timing helpers (used for calibration and for reporting real
+// harness runtimes; experiment results themselves run on virtual time, see
+// comm/cost_model.hpp).
+#pragma once
+
+#include <chrono>
+
+namespace ds {
+
+/// Monotonic stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace ds

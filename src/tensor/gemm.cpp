@@ -1,0 +1,204 @@
+#include "tensor/gemm.hpp"
+
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace ds {
+namespace {
+
+// Pre-scale C by beta so the main loops are pure accumulation.
+void apply_beta(std::size_t m, std::size_t n, float beta, float* c,
+                std::size_t ldc) {
+  if (beta == 1.0f) return;
+  for (std::size_t i = 0; i < m; ++i) {
+    float* row = c + i * ldc;
+    if (beta == 0.0f) {
+      std::memset(row, 0, n * sizeof(float));
+    } else {
+      for (std::size_t j = 0; j < n; ++j) row[j] *= beta;
+    }
+  }
+}
+
+// C += alpha * A * B, A m×k lda, B k×n ldb.
+//
+// Blocked over 4 rows of A/C: each streamed row of B is reused by four
+// accumulator rows, which is what makes larger GEMMs (bigger batches,
+// §7.2) run at higher flop rates than skinny ones.
+void gemm_nn(std::size_t m, std::size_t n, std::size_t k, float alpha,
+             const float* a, std::size_t lda, const float* b, std::size_t ldb,
+             float* c, std::size_t ldc) {
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const float* a0 = a + (i + 0) * lda;
+    const float* a1 = a + (i + 1) * lda;
+    const float* a2 = a + (i + 2) * lda;
+    const float* a3 = a + (i + 3) * lda;
+    float* c0 = c + (i + 0) * ldc;
+    float* c1 = c + (i + 1) * ldc;
+    float* c2 = c + (i + 2) * ldc;
+    float* c3 = c + (i + 3) * ldc;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float r0 = alpha * a0[p];
+      const float r1 = alpha * a1[p];
+      const float r2 = alpha * a2[p];
+      const float r3 = alpha * a3[p];
+      const float* brow = b + p * ldb;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float bv = brow[j];
+        c0[j] += r0 * bv;
+        c1[j] += r1 * bv;
+        c2[j] += r2 * bv;
+        c3[j] += r3 * bv;
+      }
+    }
+  }
+  for (; i < m; ++i) {
+    const float* arow = a + i * lda;
+    float* crow = c + i * ldc;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float r = alpha * arow[p];
+      const float* brow = b + p * ldb;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += r * brow[j];
+    }
+  }
+}
+
+// C += alpha * A * B^T, A m×k lda, B stored n×k ldb. Contiguous dot
+// products; 2×2 blocking reuses each loaded A and B row twice.
+void gemm_nt(std::size_t m, std::size_t n, std::size_t k, float alpha,
+             const float* a, std::size_t lda, const float* b, std::size_t ldb,
+             float* c, std::size_t ldc) {
+  std::size_t i = 0;
+  for (; i + 2 <= m; i += 2) {
+    const float* a0 = a + (i + 0) * lda;
+    const float* a1 = a + (i + 1) * lda;
+    float* c0 = c + (i + 0) * ldc;
+    float* c1 = c + (i + 1) * ldc;
+    std::size_t j = 0;
+    for (; j + 2 <= n; j += 2) {
+      const float* b0 = b + (j + 0) * ldb;
+      const float* b1 = b + (j + 1) * ldb;
+      float acc00 = 0.0f, acc01 = 0.0f, acc10 = 0.0f, acc11 = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av0 = a0[p], av1 = a1[p];
+        const float bv0 = b0[p], bv1 = b1[p];
+        acc00 += av0 * bv0;
+        acc01 += av0 * bv1;
+        acc10 += av1 * bv0;
+        acc11 += av1 * bv1;
+      }
+      c0[j] += alpha * acc00;
+      c0[j + 1] += alpha * acc01;
+      c1[j] += alpha * acc10;
+      c1[j + 1] += alpha * acc11;
+    }
+    for (; j < n; ++j) {
+      const float* brow = b + j * ldb;
+      float acc0 = 0.0f, acc1 = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc0 += a0[p] * brow[p];
+        acc1 += a1[p] * brow[p];
+      }
+      c0[j] += alpha * acc0;
+      c1[j] += alpha * acc1;
+    }
+  }
+  for (; i < m; ++i) {
+    const float* arow = a + i * lda;
+    float* crow = c + i * ldc;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * ldb;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += alpha * acc;
+    }
+  }
+}
+
+// C += alpha * A^T * B, A stored k×m lda, B k×n ldb. Rank-1 updates,
+// blocked 4-deep over p so each C row is revisited once per four B rows.
+void gemm_tn(std::size_t m, std::size_t n, std::size_t k, float alpha,
+             const float* a, std::size_t lda, const float* b, std::size_t ldb,
+             float* c, std::size_t ldc) {
+  std::size_t p = 0;
+  for (; p + 4 <= k; p += 4) {
+    const float* a0 = a + (p + 0) * lda;
+    const float* a1 = a + (p + 1) * lda;
+    const float* a2 = a + (p + 2) * lda;
+    const float* a3 = a + (p + 3) * lda;
+    const float* b0 = b + (p + 0) * ldb;
+    const float* b1 = b + (p + 1) * ldb;
+    const float* b2 = b + (p + 2) * ldb;
+    const float* b3 = b + (p + 3) * ldb;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float r0 = alpha * a0[i];
+      const float r1 = alpha * a1[i];
+      const float r2 = alpha * a2[i];
+      const float r3 = alpha * a3[i];
+      float* crow = c + i * ldc;
+      for (std::size_t j = 0; j < n; ++j) {
+        crow[j] += r0 * b0[j] + r1 * b1[j] + r2 * b2[j] + r3 * b3[j];
+      }
+    }
+  }
+  for (; p < k; ++p) {
+    const float* arow = a + p * lda;
+    const float* brow = b + p * ldb;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float r = alpha * arow[i];
+      float* crow = c + i * ldc;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += r * brow[j];
+    }
+  }
+}
+
+// C += alpha * A^T * B^T — cold path, only exercised by tests.
+void gemm_tt(std::size_t m, std::size_t n, std::size_t k, float alpha,
+             const float* a, std::size_t lda, const float* b, std::size_t ldb,
+             float* c, std::size_t ldc) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += a[p * lda + i] * b[j * ldb + p];
+      }
+      c[i * ldc + j] += alpha * acc;
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(Transpose trans_a, Transpose trans_b, std::size_t m, std::size_t n,
+          std::size_t k, float alpha, const float* a, std::size_t lda,
+          const float* b, std::size_t ldb, float beta, float* c,
+          std::size_t ldc) {
+  DS_CHECK(c != nullptr || m * n == 0, "gemm: null C");
+  if (m == 0 || n == 0) return;
+  apply_beta(m, n, beta, c, ldc);
+  if (k == 0 || alpha == 0.0f) return;
+  DS_CHECK(a != nullptr && b != nullptr, "gemm: null input");
+  const bool ta = trans_a == Transpose::kYes;
+  const bool tb = trans_b == Transpose::kYes;
+  if (!ta && !tb) {
+    gemm_nn(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  } else if (!ta && tb) {
+    gemm_nt(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  } else if (ta && !tb) {
+    gemm_tn(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  } else {
+    gemm_tt(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  }
+}
+
+void gemm(Transpose trans_a, Transpose trans_b, std::size_t m, std::size_t n,
+          std::size_t k, float alpha, const float* a, const float* b,
+          float beta, float* c) {
+  const std::size_t lda = (trans_a == Transpose::kYes) ? m : k;
+  const std::size_t ldb = (trans_b == Transpose::kYes) ? k : n;
+  gemm(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, n);
+}
+
+}  // namespace ds

@@ -1,0 +1,38 @@
+// Single-precision GEMM for row-major matrices, the compute kernel behind
+// convolution (im2col) and fully-connected layers.
+//
+//   C = alpha * op(A) * op(B) + beta * C
+//
+// with op() selected by Transpose flags. The implementation is a blocked,
+// write-cached triple loop that GCC auto-vectorises; it is not a BLAS
+// replacement but sustains enough throughput for the scaled-down models the
+// experiments train. All flop counting for the virtual-time compute model
+// uses gemm_flops().
+#pragma once
+
+#include <cstddef>
+
+namespace ds {
+
+enum class Transpose { kNo, kYes };
+
+/// Row-major GEMM. A is m×k (or k×m when transposed), B is k×n (or n×k),
+/// C is m×n. Leading dimensions are the row strides of the *stored* arrays.
+void gemm(Transpose trans_a, Transpose trans_b, std::size_t m, std::size_t n,
+          std::size_t k, float alpha, const float* a, std::size_t lda,
+          const float* b, std::size_t ldb, float beta, float* c,
+          std::size_t ldc);
+
+/// Convenience overload: compact leading dimensions.
+void gemm(Transpose trans_a, Transpose trans_b, std::size_t m, std::size_t n,
+          std::size_t k, float alpha, const float* a, const float* b,
+          float beta, float* c);
+
+/// Number of floating point operations (multiply+add counted separately)
+/// performed by one gemm call of the given dimensions.
+constexpr double gemm_flops(std::size_t m, std::size_t n, std::size_t k) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(k);
+}
+
+}  // namespace ds

@@ -1,0 +1,67 @@
+#include "tensor/im2col.hpp"
+
+#include <cstring>
+
+namespace ds {
+
+void im2col(const ConvGeom& g, const float* image, float* columns) {
+  const std::size_t ho = g.out_height();
+  const std::size_t wo = g.out_width();
+  const std::size_t cols = ho * wo;
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < g.channels; ++c) {
+    const float* plane = image + c * g.height * g.width;
+    for (std::size_t kh = 0; kh < g.kernel; ++kh) {
+      for (std::size_t kw = 0; kw < g.kernel; ++kw, ++row) {
+        float* out = columns + row * cols;
+        for (std::size_t oh = 0; oh < ho; ++oh) {
+          // ih = oh*stride + kh - pad, computed in signed space for the pad.
+          const long ih = static_cast<long>(oh * g.stride + kh) -
+                          static_cast<long>(g.pad);
+          if (ih < 0 || ih >= static_cast<long>(g.height)) {
+            std::memset(out + oh * wo, 0, wo * sizeof(float));
+            continue;
+          }
+          const float* src = plane + static_cast<std::size_t>(ih) * g.width;
+          for (std::size_t ow = 0; ow < wo; ++ow) {
+            const long iw = static_cast<long>(ow * g.stride + kw) -
+                            static_cast<long>(g.pad);
+            out[oh * wo + ow] =
+                (iw < 0 || iw >= static_cast<long>(g.width))
+                    ? 0.0f
+                    : src[static_cast<std::size_t>(iw)];
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const ConvGeom& g, const float* columns, float* image) {
+  const std::size_t ho = g.out_height();
+  const std::size_t wo = g.out_width();
+  const std::size_t cols = ho * wo;
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < g.channels; ++c) {
+    float* plane = image + c * g.height * g.width;
+    for (std::size_t kh = 0; kh < g.kernel; ++kh) {
+      for (std::size_t kw = 0; kw < g.kernel; ++kw, ++row) {
+        const float* in = columns + row * cols;
+        for (std::size_t oh = 0; oh < ho; ++oh) {
+          const long ih = static_cast<long>(oh * g.stride + kh) -
+                          static_cast<long>(g.pad);
+          if (ih < 0 || ih >= static_cast<long>(g.height)) continue;
+          float* dst = plane + static_cast<std::size_t>(ih) * g.width;
+          for (std::size_t ow = 0; ow < wo; ++ow) {
+            const long iw = static_cast<long>(ow * g.stride + kw) -
+                            static_cast<long>(g.pad);
+            if (iw < 0 || iw >= static_cast<long>(g.width)) continue;
+            dst[static_cast<std::size_t>(iw)] += in[oh * wo + ow];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ds

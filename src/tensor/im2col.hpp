@@ -1,0 +1,41 @@
+// im2col / col2im lowering for convolution-as-GEMM (the standard cuDNN-style
+// formulation the paper's GPU kernels use).
+//
+// For an input image of C channels, H×W spatial size, kernel K×K, stride S,
+// pad P, the lowered matrix has (C·K·K) rows and (Ho·Wo) columns where
+// Ho = (H + 2P − K)/S + 1 (likewise Wo). Convolution of F filters is then
+// a single GEMM: [F × C·K·K] · [C·K·K × Ho·Wo].
+#pragma once
+
+#include <cstddef>
+
+namespace ds {
+
+struct ConvGeom {
+  std::size_t channels = 0;
+  std::size_t height = 0;
+  std::size_t width = 0;
+  std::size_t kernel = 0;
+  std::size_t stride = 1;
+  std::size_t pad = 0;
+
+  std::size_t out_height() const {
+    return (height + 2 * pad - kernel) / stride + 1;
+  }
+  std::size_t out_width() const {
+    return (width + 2 * pad - kernel) / stride + 1;
+  }
+  std::size_t col_rows() const { return channels * kernel * kernel; }
+  std::size_t col_cols() const { return out_height() * out_width(); }
+};
+
+/// Lower one image (CHW, contiguous) into the column matrix
+/// (col_rows × col_cols, row-major). Out-of-bounds taps read as zero.
+void im2col(const ConvGeom& g, const float* image, float* columns);
+
+/// Scatter-add the column matrix back into an image buffer (used for the
+/// gradient w.r.t. the convolution input). `image` is accumulated into,
+/// callers must zero it first if they want a pure col2im.
+void col2im(const ConvGeom& g, const float* columns, float* image);
+
+}  // namespace ds

@@ -1,0 +1,84 @@
+#include "tensor/ops.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace ds {
+
+namespace {
+void check_same(std::size_t a, std::size_t b) {
+  DS_CHECK(a == b, "span size mismatch: " << a << " vs " << b);
+}
+}  // namespace
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  check_same(x.size(), y.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void axpby(float alpha, std::span<const float> x, float beta,
+           std::span<float> y) {
+  check_same(x.size(), y.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] = alpha * x[i] + beta * y[i];
+}
+
+void scale(float alpha, std::span<float> x) {
+  for (float& v : x) v *= alpha;
+}
+
+void copy(std::span<const float> src, std::span<float> dst) {
+  check_same(src.size(), dst.size());
+  if (!src.empty()) {
+    std::memcpy(dst.data(), src.data(), src.size() * sizeof(float));
+  }
+}
+
+void add(std::span<const float> a, std::span<const float> b,
+         std::span<float> out) {
+  check_same(a.size(), b.size());
+  check_same(a.size(), out.size());
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void sub(std::span<const float> a, std::span<const float> b,
+         std::span<float> out) {
+  check_same(a.size(), b.size());
+  check_same(a.size(), out.size());
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
+}
+
+double dot(std::span<const float> a, std::span<const float> b) {
+  check_same(a.size(), b.size());
+  double acc = 0.0;
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return acc;
+}
+
+double l2_norm(std::span<const float> x) { return std::sqrt(dot(x, x)); }
+
+double sum(std::span<const float> x) {
+  double acc = 0.0;
+  for (const float v : x) acc += v;
+  return acc;
+}
+
+float max_abs(std::span<const float> x) {
+  float m = 0.0f;
+  for (const float v : x) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+void accumulate(std::span<const float> src, std::span<float> dst) {
+  axpy(1.0f, src, dst);
+}
+
+}  // namespace ds

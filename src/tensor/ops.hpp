@@ -1,0 +1,49 @@
+// Elementwise span kernels shared by the layer implementations and by the
+// EASGD/SGD update rules (core/easgd_rules.hpp builds on these).
+//
+// All functions take std::span and check size agreement; they are the only
+// place raw float loops live outside GEMM/im2col.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace ds {
+
+/// y += alpha * x
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/// y = alpha * x + beta * y
+void axpby(float alpha, std::span<const float> x, float beta,
+           std::span<float> y);
+
+/// x *= alpha
+void scale(float alpha, std::span<float> x);
+
+/// dst = src
+void copy(std::span<const float> src, std::span<float> dst);
+
+/// out = a + b
+void add(std::span<const float> a, std::span<const float> b,
+         std::span<float> out);
+
+/// out = a - b
+void sub(std::span<const float> a, std::span<const float> b,
+         std::span<float> out);
+
+/// Σ a[i] * b[i]
+double dot(std::span<const float> a, std::span<const float> b);
+
+/// sqrt(Σ x[i]^2)
+double l2_norm(std::span<const float> x);
+
+/// Σ x[i]
+double sum(std::span<const float> x);
+
+/// max_i |x[i]|
+float max_abs(std::span<const float> x);
+
+/// dst += sum of all srcs (srcs must all match dst size).
+void accumulate(std::span<const float> src, std::span<float> dst);
+
+}  // namespace ds

@@ -1,0 +1,18 @@
+#include "tensor/tensor.hpp"
+
+#include <sstream>
+
+namespace ds {
+
+std::string Shape::str() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i != 0) os << 'x';
+    os << dims_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace ds

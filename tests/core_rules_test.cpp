@@ -1,0 +1,203 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/easgd_rules.hpp"
+#include "support/error.hpp"
+
+namespace ds {
+namespace {
+
+// ------------------------------ sgd_step ------------------------------------
+
+TEST(SgdStep, BasicDescent) {
+  std::vector<float> w{1.0f, 2.0f};
+  const std::vector<float> g{10.0f, -10.0f};
+  sgd_step(w, g, 0.1f);
+  EXPECT_NEAR(w[0], 0.0f, 1e-6f);
+  EXPECT_NEAR(w[1], 3.0f, 1e-6f);
+}
+
+TEST(SgdStep, ZeroLearningRateIsNoop) {
+  std::vector<float> w{1.0f};
+  const std::vector<float> g{5.0f};
+  sgd_step(w, g, 0.0f);
+  EXPECT_FLOAT_EQ(w[0], 1.0f);
+}
+
+TEST(SgdStep, SizeMismatchThrows) {
+  std::vector<float> w{1.0f};
+  const std::vector<float> g{1.0f, 2.0f};
+  EXPECT_THROW(sgd_step(w, g, 0.1f), Error);
+}
+
+// ---------------------------- momentum_step ----------------------------------
+
+TEST(MomentumStep, MatchesEquations3And4) {
+  // V₁ = µV₀ − ηg; W₁ = W₀ + V₁ with µ=0.9, η=0.1.
+  std::vector<float> w{1.0f}, v{2.0f};
+  const std::vector<float> g{5.0f};
+  momentum_step(w, v, g, 0.1f, 0.9f);
+  EXPECT_FLOAT_EQ(v[0], 0.9f * 2.0f - 0.1f * 5.0f);  // 1.3
+  EXPECT_FLOAT_EQ(w[0], 1.0f + 1.3f);
+}
+
+TEST(MomentumStep, ZeroMomentumReducesToSgd) {
+  std::vector<float> w1{3.0f}, v{0.0f}, w2{3.0f};
+  const std::vector<float> g{2.0f};
+  momentum_step(w1, v, g, 0.1f, 0.0f);
+  sgd_step(w2, g, 0.1f);
+  EXPECT_FLOAT_EQ(w1[0], w2[0]);
+}
+
+TEST(MomentumStep, AcceleratesRepeatedGradients) {
+  std::vector<float> w{0.0f}, v{0.0f};
+  const std::vector<float> g{1.0f};
+  momentum_step(w, v, g, 0.1f, 0.9f);
+  const float first_move = -w[0];
+  const float w_before = w[0];
+  momentum_step(w, v, g, 0.1f, 0.9f);
+  const float second_move = w_before - w[0];
+  EXPECT_GT(second_move, first_move);
+}
+
+// -------------------------- easgd_worker_step --------------------------------
+
+TEST(EasgdWorkerStep, MatchesEquation1) {
+  // W₁ = W₀ − η(g + ρ(W₀ − W̄)) with η=0.1, ρ=0.5.
+  std::vector<float> w{2.0f};
+  const std::vector<float> g{1.0f};
+  const std::vector<float> center{1.0f};
+  easgd_worker_step(w, g, center, 0.1f, 0.5f);
+  EXPECT_FLOAT_EQ(w[0], 2.0f - 0.1f * (1.0f + 0.5f * (2.0f - 1.0f)));
+}
+
+TEST(EasgdWorkerStep, ZeroRhoReducesToSgd) {
+  std::vector<float> w1{2.0f}, w2{2.0f};
+  const std::vector<float> g{1.0f};
+  const std::vector<float> center{-5.0f};
+  easgd_worker_step(w1, g, center, 0.1f, 0.0f);
+  sgd_step(w2, g, 0.1f);
+  EXPECT_FLOAT_EQ(w1[0], w2[0]);
+}
+
+TEST(EasgdWorkerStep, ElasticTermPullsTowardCenter) {
+  std::vector<float> w{10.0f};
+  const std::vector<float> g{0.0f};  // no gradient: pure elastic pull
+  const std::vector<float> center{0.0f};
+  easgd_worker_step(w, g, center, 0.1f, 0.5f);
+  EXPECT_LT(w[0], 10.0f);
+  EXPECT_GT(w[0], 0.0f);
+}
+
+// -------------------------- measgd_worker_step -------------------------------
+
+TEST(MeasgdWorkerStep, MatchesEquations5And6) {
+  // V₁ = µV₀ − ηg; W₁ = W₀ + V₁ − ηρ(W₀ − W̄).
+  std::vector<float> w{2.0f}, v{1.0f};
+  const std::vector<float> g{3.0f};
+  const std::vector<float> center{0.0f};
+  measgd_worker_step(w, v, g, center, 0.1f, 0.9f, 0.5f);
+  const float v1 = 0.9f * 1.0f - 0.1f * 3.0f;  // 0.6
+  EXPECT_FLOAT_EQ(v[0], v1);
+  EXPECT_FLOAT_EQ(w[0], 2.0f + v1 - 0.1f * 0.5f * (2.0f - 0.0f));
+}
+
+TEST(MeasgdWorkerStep, ZeroRhoReducesToMomentum) {
+  std::vector<float> w1{2.0f}, v1{0.5f}, w2{2.0f}, v2{0.5f};
+  const std::vector<float> g{1.0f};
+  const std::vector<float> center{99.0f};
+  measgd_worker_step(w1, v1, g, center, 0.1f, 0.9f, 0.0f);
+  momentum_step(w2, v2, g, 0.1f, 0.9f);
+  EXPECT_FLOAT_EQ(w1[0], w2[0]);
+  EXPECT_FLOAT_EQ(v1[0], v2[0]);
+}
+
+// -------------------------- easgd_center_step --------------------------------
+
+TEST(EasgdCenterStep, MovesTowardWorker) {
+  std::vector<float> center{0.0f};
+  const std::vector<float> w{10.0f};
+  easgd_center_step(center, w, 0.1f, 0.5f);
+  EXPECT_FLOAT_EQ(center[0], 0.0f + 0.1f * 0.5f * 10.0f);
+}
+
+TEST(EasgdCenterStep, FixedPointWhenEqual) {
+  std::vector<float> center{3.0f};
+  const std::vector<float> w{3.0f};
+  easgd_center_step(center, w, 0.1f, 0.5f);
+  EXPECT_FLOAT_EQ(center[0], 3.0f);
+}
+
+// ------------------------ easgd_center_step_sum ------------------------------
+
+TEST(EasgdCenterStepSum, MatchesEquation2) {
+  // W̄₁ = W̄₀ + ηρ(ΣWᵢ − P·W̄₀).
+  std::vector<float> center{1.0f};
+  const std::vector<float> sum_w{10.0f};  // e.g. 4 workers summing to 10
+  easgd_center_step_sum(center, sum_w, 4, 0.1f, 0.5f);
+  EXPECT_FLOAT_EQ(center[0], 1.0f + 0.1f * 0.5f * (10.0f - 4.0f * 1.0f));
+}
+
+TEST(EasgdCenterStepSum, EquivalentToSequentialSingleSteps) {
+  // Eq.(2) applied once with the sum equals the same elastic force as P
+  // single-worker terms evaluated at the same W̄ — verify against the
+  // hand-expanded form.
+  const float lr = 0.05f, rho = 0.2f;
+  const std::vector<float> workers{1.0f, 3.0f, 7.0f};
+  std::vector<float> center_sum{2.0f};
+  std::vector<float> sum_w{1.0f + 3.0f + 7.0f};
+  easgd_center_step_sum(center_sum, sum_w, 3, lr, rho);
+
+  float expected = 2.0f;
+  float force = 0.0f;
+  for (const float w : workers) force += (w - 2.0f);
+  expected += lr * rho * force;
+  EXPECT_FLOAT_EQ(center_sum[0], expected);
+}
+
+TEST(EasgdCenterStepSum, ConsensusIsFixedPoint) {
+  std::vector<float> center{5.0f};
+  const std::vector<float> sum_w{20.0f};  // 4 workers all at 5.0
+  easgd_center_step_sum(center, sum_w, 4, 0.1f, 0.5f);
+  EXPECT_FLOAT_EQ(center[0], 5.0f);
+}
+
+// --------------------------- Stability sweep ---------------------------------
+
+class ElasticConsensusTest
+    : public ::testing::TestWithParam<std::tuple<float, float>> {};
+
+TEST_P(ElasticConsensusTest, WorkersAndCenterConvergeWithoutGradient) {
+  // With no gradient signal, repeated Eq.(1)+Eq.(2) rounds must drive the
+  // workers and the center to consensus (this is the "elastic averaging"
+  // property; diverging here would mean an unstable ρ/η pairing).
+  const auto [lr, rho] = GetParam();
+  std::vector<std::vector<float>> workers{{10.0f}, {-6.0f}, {2.0f}, {0.0f}};
+  std::vector<float> center{1.0f};
+  const std::vector<float> zero_grad{0.0f};
+
+  // Round count sized for the slowest pairing (η·ρ ≈ 0.003 per round).
+  for (int round = 0; round < 6000; ++round) {
+    std::vector<float> sum_w{0.0f};
+    for (const auto& w : workers) sum_w[0] += w[0];
+    for (auto& w : workers) {
+      easgd_worker_step(w, zero_grad, center, lr, rho);
+    }
+    easgd_center_step_sum(center, sum_w, workers.size(), lr, rho);
+  }
+  for (const auto& w : workers) {
+    EXPECT_NEAR(w[0], center[0], 0.05) << "lr=" << lr << " rho=" << rho;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LrRhoGrid, ElasticConsensusTest,
+    ::testing::Values(std::make_tuple(0.05f, 0.0625f),
+                      std::make_tuple(0.1f, 0.1f),
+                      std::make_tuple(0.05f, 0.5f),
+                      std::make_tuple(0.2f, 0.25f),
+                      std::make_tuple(0.01f, 0.9f)));
+
+}  // namespace
+}  // namespace ds

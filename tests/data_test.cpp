@@ -1,0 +1,253 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.hpp"
+#include "data/sampler.hpp"
+
+namespace ds {
+namespace {
+
+SyntheticSpec small_spec() {
+  SyntheticSpec spec;
+  spec.classes = 4;
+  spec.train_count = 200;
+  spec.test_count = 60;
+  spec.channels = 2;
+  spec.height = 8;
+  spec.width = 10;
+  spec.noise = 0.5;
+  spec.seed = 77;
+  return spec;
+}
+
+// ------------------------------ Generation ----------------------------------
+
+TEST(Synthetic, ShapesMatchSpec) {
+  const TrainTest tt = make_synthetic(small_spec());
+  EXPECT_EQ(tt.train.images.shape(), Shape({200, 2, 8, 10}));
+  EXPECT_EQ(tt.test.images.shape(), Shape({60, 2, 8, 10}));
+  EXPECT_EQ(tt.train.labels.size(), 200u);
+  EXPECT_EQ(tt.train.sample_numel(), 160u);
+}
+
+TEST(Synthetic, DeterministicAcrossCalls) {
+  const TrainTest a = make_synthetic(small_spec());
+  const TrainTest b = make_synthetic(small_spec());
+  ASSERT_EQ(a.train.images.numel(), b.train.images.numel());
+  for (std::size_t i = 0; i < a.train.images.numel(); ++i) {
+    ASSERT_EQ(a.train.images[i], b.train.images[i]);
+  }
+  EXPECT_EQ(a.train.labels, b.train.labels);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  SyntheticSpec s1 = small_spec();
+  SyntheticSpec s2 = small_spec();
+  s2.seed = 78;
+  const TrainTest a = make_synthetic(s1);
+  const TrainTest b = make_synthetic(s2);
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < a.train.images.numel(); ++i) {
+    same += (a.train.images[i] == b.train.images[i]);
+  }
+  EXPECT_LT(same, a.train.images.numel() / 10);
+}
+
+TEST(Synthetic, AllClassesPresent) {
+  const TrainTest tt = make_synthetic(small_spec());
+  std::set<std::int32_t> seen(tt.train.labels.begin(),
+                              tt.train.labels.end());
+  EXPECT_EQ(seen.size(), 4u);
+  for (const auto l : tt.train.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 4);
+  }
+}
+
+TEST(Synthetic, ClassesAreLearnableByNearestTemplate) {
+  // Classify test samples by nearest class-mean of the TRAIN split; with
+  // moderate noise this must beat random guessing by a wide margin,
+  // otherwise the accuracy-vs-time figures would be flat noise.
+  SyntheticSpec spec = small_spec();
+  spec.noise = 1.0;
+  const TrainTest tt = make_synthetic(spec);
+
+  const std::size_t d = tt.train.sample_numel();
+  std::vector<std::vector<double>> means(spec.classes,
+                                         std::vector<double>(d, 0.0));
+  std::vector<std::size_t> counts(spec.classes, 0);
+  for (std::size_t i = 0; i < tt.train.size(); ++i) {
+    const auto label = static_cast<std::size_t>(tt.train.labels[i]);
+    const float* img = tt.train.images.data() + i * d;
+    for (std::size_t j = 0; j < d; ++j) means[label][j] += img[j];
+    ++counts[label];
+  }
+  for (std::size_t c = 0; c < spec.classes; ++c) {
+    for (auto& v : means[c]) v /= static_cast<double>(counts[c]);
+  }
+
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < tt.test.size(); ++i) {
+    const float* img = tt.test.images.data() + i * d;
+    double best = 1e300;
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < spec.classes; ++c) {
+      double dist = 0.0;
+      for (std::size_t j = 0; j < d; ++j) {
+        const double e = img[j] - means[c][j];
+        dist += e * e;
+      }
+      if (dist < best) {
+        best = dist;
+        best_c = c;
+      }
+    }
+    correct += (static_cast<std::int32_t>(best_c) == tt.test.labels[i]);
+  }
+  const double acc = static_cast<double>(correct) / tt.test.size();
+  EXPECT_GT(acc, 0.8) << "synthetic classes must be learnable";
+}
+
+// ----------------------------- Normalisation --------------------------------
+
+TEST(Normalize, ZeroMeanUnitVariance) {
+  TrainTest tt = make_synthetic(small_spec());
+  normalize(tt.train);
+  const std::size_t n = tt.train.images.numel();
+  double mean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean += tt.train.images[i];
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double e = tt.train.images[i] - mean;
+    var += e * e;
+  }
+  var /= static_cast<double>(n);
+  EXPECT_NEAR(mean, 0.0, 1e-4);
+  EXPECT_NEAR(var, 1.0, 1e-3);
+}
+
+TEST(Normalize, WithGivenStatsIsAffine) {
+  TrainTest tt = make_synthetic(small_spec());
+  const float before = tt.test.images[5];
+  normalize_with(tt.test, 2.0, 4.0);
+  EXPECT_NEAR(tt.test.images[5], (before - 2.0f) / 4.0f, 1e-6);
+}
+
+TEST(Normalize, RejectsNonPositiveStddev) {
+  TrainTest tt = make_synthetic(small_spec());
+  EXPECT_THROW(normalize_with(tt.test, 0.0, 0.0), Error);
+}
+
+// -------------------------------- Presets -----------------------------------
+
+TEST(Presets, MnistLikeShape) {
+  const TrainTest tt = mnist_like(1, 128, 32);
+  EXPECT_EQ(tt.train.images.shape(), Shape({128, 1, 28, 28}));
+  EXPECT_EQ(tt.test.images.shape(), Shape({32, 1, 28, 28}));
+}
+
+TEST(Presets, CifarLikeShape) {
+  const TrainTest tt = cifar_like(1, 64, 16);
+  EXPECT_EQ(tt.train.images.shape(), Shape({64, 3, 32, 32}));
+}
+
+TEST(Presets, ImagenetLikeHas100Classes) {
+  const TrainTest tt = imagenet_like(1, 512, 128);
+  std::set<std::int32_t> seen(tt.train.labels.begin(),
+                              tt.train.labels.end());
+  EXPECT_GT(seen.size(), 60u);  // most of the 100 classes hit in 512 draws
+  for (const auto l : tt.train.labels) EXPECT_LT(l, 100);
+}
+
+// -------------------------------- Prefix ------------------------------------
+
+TEST(Dataset, PrefixTakesLeadingSamples) {
+  const TrainTest tt = make_synthetic(small_spec());
+  const Dataset p = tt.train.prefix(10);
+  EXPECT_EQ(p.size(), 10u);
+  for (std::size_t i = 0; i < 10 * p.sample_numel(); ++i) {
+    ASSERT_EQ(p.images[i], tt.train.images[i]);
+  }
+  EXPECT_THROW(tt.train.prefix(1000), Error);
+}
+
+// -------------------------------- Sampler -----------------------------------
+
+TEST(Sampler, DeterministicForSameSeed) {
+  const TrainTest tt = make_synthetic(small_spec());
+  BatchSampler a(tt.train, 8, 42), b(tt.train, 8, 42);
+  Tensor ba, bb;
+  std::vector<std::int32_t> la, lb;
+  for (int i = 0; i < 5; ++i) {
+    a.next(ba, la);
+    b.next(bb, lb);
+    EXPECT_EQ(la, lb);
+    for (std::size_t j = 0; j < ba.numel(); ++j) ASSERT_EQ(ba[j], bb[j]);
+  }
+}
+
+TEST(Sampler, BatchShape) {
+  const TrainTest tt = make_synthetic(small_spec());
+  BatchSampler s(tt.train, 8, 1);
+  Tensor batch;
+  std::vector<std::int32_t> labels;
+  s.next(batch, labels);
+  EXPECT_EQ(batch.shape(), Shape({8, 2, 8, 10}));
+  EXPECT_EQ(labels.size(), 8u);
+}
+
+TEST(Sampler, GatherBatchCopiesExactSamples) {
+  const TrainTest tt = make_synthetic(small_spec());
+  Tensor batch;
+  std::vector<std::int32_t> labels;
+  gather_batch(tt.train, {3, 0, 7}, batch, labels);
+  EXPECT_EQ(labels[0], tt.train.labels[3]);
+  EXPECT_EQ(labels[2], tt.train.labels[7]);
+  const std::size_t d = tt.train.sample_numel();
+  for (std::size_t j = 0; j < d; ++j) {
+    ASSERT_EQ(batch[j], tt.train.images[3 * d + j]);
+  }
+}
+
+TEST(Sampler, GatherBatchRejectsOutOfRange) {
+  const TrainTest tt = make_synthetic(small_spec());
+  Tensor batch;
+  std::vector<std::int32_t> labels;
+  EXPECT_THROW(gather_batch(tt.train, {9999}, batch, labels), Error);
+}
+
+// ------------------------------ Shard/Replicate ------------------------------
+
+TEST(Shard, DisjointCoverage) {
+  const TrainTest tt = make_synthetic(small_spec());
+  const auto shards = shard(tt.train, 3);
+  ASSERT_EQ(shards.size(), 3u);
+  std::size_t total = 0;
+  for (const auto& s : shards) total += s.size();
+  EXPECT_EQ(total, tt.train.size());
+  // 200 = 67 + 67 + 66.
+  EXPECT_EQ(shards[0].size(), 67u);
+  EXPECT_EQ(shards[2].size(), 66u);
+  // Shard 1 starts where shard 0 ends.
+  EXPECT_EQ(shards[1].labels[0], tt.train.labels[67]);
+}
+
+TEST(Shard, RejectsTooManyParts) {
+  const TrainTest tt = make_synthetic(small_spec());
+  EXPECT_THROW(shard(tt.train, 1000), Error);
+}
+
+TEST(Replicate, FullIndependentCopies) {
+  const TrainTest tt = make_synthetic(small_spec());
+  auto copies = replicate(tt.train, 2);
+  ASSERT_EQ(copies.size(), 2u);
+  EXPECT_EQ(copies[0].size(), tt.train.size());
+  copies[0].images[0] = 12345.0f;
+  EXPECT_NE(copies[1].images[0], 12345.0f) << "copies must be independent";
+}
+
+}  // namespace
+}  // namespace ds

@@ -1,0 +1,123 @@
+// Property-based GEMM tests: algebraic identities that must hold for every
+// transpose mode and shape, checked over randomized sweeps.
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+#include "tensor/gemm.hpp"
+
+namespace ds {
+namespace {
+
+struct Mats {
+  std::size_t m, n, k;
+  std::vector<float> a, b, c;
+};
+
+Mats random_mats(Rng& rng) {
+  Mats mats;
+  mats.m = 1 + rng.below(24);
+  mats.n = 1 + rng.below(24);
+  mats.k = 1 + rng.below(24);
+  mats.a.resize(mats.m * mats.k);
+  mats.b.resize(mats.k * mats.n);
+  mats.c.resize(mats.m * mats.n);
+  for (auto& v : mats.a) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : mats.b) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : mats.c) v = static_cast<float>(rng.uniform(-1, 1));
+  return mats;
+}
+
+class GemmPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GemmPropertyTest, AlphaIsLinear) {
+  // gemm(2α) == 2 · gemm(α) when beta = 0.
+  Rng rng(GetParam());
+  const Mats mats = random_mats(rng);
+  std::vector<float> c1(mats.m * mats.n), c2(mats.m * mats.n);
+  gemm(Transpose::kNo, Transpose::kNo, mats.m, mats.n, mats.k, 0.7f,
+       mats.a.data(), mats.b.data(), 0.0f, c1.data());
+  gemm(Transpose::kNo, Transpose::kNo, mats.m, mats.n, mats.k, 1.4f,
+       mats.a.data(), mats.b.data(), 0.0f, c2.data());
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_NEAR(c2[i], 2.0f * c1[i], 1e-4f);
+  }
+}
+
+TEST_P(GemmPropertyTest, BetaAccumulates) {
+  // gemm(beta=1) twice == gemm(alpha doubled) once onto zero C.
+  Rng rng(GetParam() + 1000);
+  const Mats mats = random_mats(rng);
+  std::vector<float> acc(mats.m * mats.n, 0.0f), once(mats.m * mats.n, 0.0f);
+  gemm(Transpose::kNo, Transpose::kNo, mats.m, mats.n, mats.k, 1.0f,
+       mats.a.data(), mats.b.data(), 1.0f, acc.data());
+  gemm(Transpose::kNo, Transpose::kNo, mats.m, mats.n, mats.k, 1.0f,
+       mats.a.data(), mats.b.data(), 1.0f, acc.data());
+  gemm(Transpose::kNo, Transpose::kNo, mats.m, mats.n, mats.k, 2.0f,
+       mats.a.data(), mats.b.data(), 0.0f, once.data());
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    EXPECT_NEAR(acc[i], once[i], 1e-4f);
+  }
+}
+
+TEST_P(GemmPropertyTest, TransposeModesAgree) {
+  // Computing A·B via the NT path with Bᵀ materialised must match NN, and
+  // likewise TN with Aᵀ materialised.
+  Rng rng(GetParam() + 2000);
+  const Mats mats = random_mats(rng);
+  std::vector<float> nn(mats.m * mats.n, 0.0f);
+  gemm(Transpose::kNo, Transpose::kNo, mats.m, mats.n, mats.k, 1.0f,
+       mats.a.data(), mats.b.data(), 0.0f, nn.data());
+
+  // B transposed into n×k storage.
+  std::vector<float> bt(mats.n * mats.k);
+  for (std::size_t p = 0; p < mats.k; ++p) {
+    for (std::size_t j = 0; j < mats.n; ++j) {
+      bt[j * mats.k + p] = mats.b[p * mats.n + j];
+    }
+  }
+  std::vector<float> nt(mats.m * mats.n, 0.0f);
+  gemm(Transpose::kNo, Transpose::kYes, mats.m, mats.n, mats.k, 1.0f,
+       mats.a.data(), bt.data(), 0.0f, nt.data());
+
+  // A transposed into k×m storage.
+  std::vector<float> at(mats.k * mats.m);
+  for (std::size_t i = 0; i < mats.m; ++i) {
+    for (std::size_t p = 0; p < mats.k; ++p) {
+      at[p * mats.m + i] = mats.a[i * mats.k + p];
+    }
+  }
+  std::vector<float> tn(mats.m * mats.n, 0.0f);
+  gemm(Transpose::kYes, Transpose::kNo, mats.m, mats.n, mats.k, 1.0f,
+       at.data(), mats.b.data(), 0.0f, tn.data());
+
+  std::vector<float> tt(mats.m * mats.n, 0.0f);
+  gemm(Transpose::kYes, Transpose::kYes, mats.m, mats.n, mats.k, 1.0f,
+       at.data(), bt.data(), 0.0f, tt.data());
+
+  for (std::size_t i = 0; i < nn.size(); ++i) {
+    EXPECT_NEAR(nt[i], nn[i], 1e-4f);
+    EXPECT_NEAR(tn[i], nn[i], 1e-4f);
+    EXPECT_NEAR(tt[i], nn[i], 1e-4f);
+  }
+}
+
+TEST_P(GemmPropertyTest, IdentityMatrixIsNeutral) {
+  Rng rng(GetParam() + 3000);
+  Mats mats = random_mats(rng);
+  // B = I (k×k), so A·I == A.
+  mats.n = mats.k;
+  std::vector<float> identity(mats.k * mats.k, 0.0f);
+  for (std::size_t i = 0; i < mats.k; ++i) identity[i * mats.k + i] = 1.0f;
+  std::vector<float> out(mats.m * mats.k, 0.0f);
+  gemm(Transpose::kNo, Transpose::kNo, mats.m, mats.k, mats.k, 1.0f,
+       mats.a.data(), identity.data(), 0.0f, out.data());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i], mats.a[i], 1e-5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomShapes, GemmPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace ds

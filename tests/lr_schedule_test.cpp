@@ -1,0 +1,109 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/lr_schedule.hpp"
+#include "support/error.hpp"
+
+namespace ds {
+namespace {
+
+TEST(LrSchedule, FixedIsConstant) {
+  const LrSchedule s;
+  EXPECT_FLOAT_EQ(s.rate_at(1, 0.1f), 0.1f);
+  EXPECT_FLOAT_EQ(s.rate_at(100000, 0.1f), 0.1f);
+}
+
+TEST(LrSchedule, StepDecaysEveryPeriod) {
+  LrSchedule s;
+  s.policy = LrPolicy::kStep;
+  s.gamma = 0.5;
+  s.step_size = 100;
+  EXPECT_FLOAT_EQ(s.rate_at(1, 1.0f), 1.0f);
+  EXPECT_FLOAT_EQ(s.rate_at(100, 1.0f), 1.0f);   // t=99 < 100
+  EXPECT_FLOAT_EQ(s.rate_at(101, 1.0f), 0.5f);   // t=100
+  EXPECT_FLOAT_EQ(s.rate_at(201, 1.0f), 0.25f);
+}
+
+TEST(LrSchedule, ExpDecaysEveryIteration) {
+  LrSchedule s;
+  s.policy = LrPolicy::kExp;
+  s.gamma = 0.99;
+  EXPECT_FLOAT_EQ(s.rate_at(1, 1.0f), 1.0f);
+  EXPECT_NEAR(s.rate_at(2, 1.0f), 0.99f, 1e-6f);
+  EXPECT_NEAR(s.rate_at(101, 1.0f), std::pow(0.99f, 100.0f), 1e-5f);
+}
+
+TEST(LrSchedule, InvMatchesCaffeFormula) {
+  LrSchedule s;
+  s.policy = LrPolicy::kInv;
+  s.gamma = 0.01;
+  s.power = 0.75;
+  EXPECT_NEAR(s.rate_at(1001, 2.0f),
+              2.0 * std::pow(1.0 + 0.01 * 1000.0, -0.75), 1e-6);
+}
+
+TEST(LrSchedule, PolyReachesZeroAtHorizon) {
+  LrSchedule s;
+  s.policy = LrPolicy::kPoly;
+  s.power = 2.0;
+  s.max_iter = 100;
+  EXPECT_FLOAT_EQ(s.rate_at(1, 1.0f), 1.0f);
+  EXPECT_NEAR(s.rate_at(51, 1.0f), 0.25f, 1e-6f);
+  EXPECT_FLOAT_EQ(s.rate_at(101, 1.0f), 0.0f);
+  EXPECT_FLOAT_EQ(s.rate_at(500, 1.0f), 0.0f) << "clamped past the horizon";
+}
+
+TEST(LrSchedule, PolyWithoutHorizonRejected) {
+  LrSchedule s;
+  s.policy = LrPolicy::kPoly;
+  s.max_iter = 0;
+  EXPECT_THROW(s.rate_at(1, 1.0f), Error);
+}
+
+TEST(LrSchedule, WarmupRampsLinearly) {
+  LrSchedule s;
+  s.warmup_iters = 10;
+  s.warmup_start = 0.0;
+  EXPECT_NEAR(s.rate_at(1, 1.0f), 0.1f, 1e-6f);
+  EXPECT_NEAR(s.rate_at(5, 1.0f), 0.5f, 1e-6f);
+  EXPECT_FLOAT_EQ(s.rate_at(10, 1.0f), 1.0f);
+  EXPECT_FLOAT_EQ(s.rate_at(11, 1.0f), 1.0f);
+}
+
+TEST(LrSchedule, WarmupComposesWithDecay) {
+  LrSchedule s;
+  s.policy = LrPolicy::kStep;
+  s.gamma = 0.5;
+  s.step_size = 5;
+  s.warmup_iters = 4;
+  s.warmup_start = 0.5;
+  // Iteration 2: step factor still 1, warmup factor 0.5+0.5*(2/4)=0.75.
+  EXPECT_NEAR(s.rate_at(2, 1.0f), 0.75f, 1e-6f);
+  // Past warmup, pure step decay.
+  EXPECT_FLOAT_EQ(s.rate_at(6, 1.0f), 0.5f);
+}
+
+TEST(LrSchedule, ZeroBasedIterationRejected) {
+  const LrSchedule s;
+  EXPECT_THROW(s.rate_at(0, 1.0f), Error);
+}
+
+TEST(LrSchedule, ParsePolicyNames) {
+  EXPECT_EQ(parse_lr_policy("fixed"), LrPolicy::kFixed);
+  EXPECT_EQ(parse_lr_policy("step"), LrPolicy::kStep);
+  EXPECT_EQ(parse_lr_policy("exp"), LrPolicy::kExp);
+  EXPECT_EQ(parse_lr_policy("inv"), LrPolicy::kInv);
+  EXPECT_EQ(parse_lr_policy("poly"), LrPolicy::kPoly);
+  EXPECT_THROW(parse_lr_policy("cosine"), Error);
+}
+
+TEST(LrSchedule, PolicyNamesRoundTrip) {
+  for (const LrPolicy p : {LrPolicy::kFixed, LrPolicy::kStep, LrPolicy::kExp,
+                           LrPolicy::kInv, LrPolicy::kPoly}) {
+    EXPECT_EQ(parse_lr_policy(lr_policy_name(p)), p);
+  }
+}
+
+}  // namespace
+}  // namespace ds

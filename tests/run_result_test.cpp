@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "core/evaluator.hpp"
+#include "core/run_result.hpp"
+#include "data/dataset.hpp"
+#include "nn/models.hpp"
+#include "tensor/ops.hpp"
+
+namespace ds {
+namespace {
+
+RunResult sample_result() {
+  RunResult r;
+  r.method = "m";
+  r.trace = {{10, 1.0, 2.0, 0.3}, {20, 2.0, 1.5, 0.6}, {30, 3.0, 1.0, 0.9}};
+  return r;
+}
+
+// ------------------------------ RunResult -----------------------------------
+
+TEST(RunResult, TimeToAccuracyFindsFirstCrossing) {
+  const RunResult r = sample_result();
+  EXPECT_EQ(r.time_to_accuracy(0.5), 2.0);
+  EXPECT_EQ(r.time_to_accuracy(0.1), 1.0);
+  EXPECT_EQ(r.time_to_accuracy(0.9), 3.0);
+}
+
+TEST(RunResult, TimeToAccuracyNulloptWhenUnreached) {
+  const RunResult r = sample_result();
+  EXPECT_FALSE(r.time_to_accuracy(0.95).has_value());
+}
+
+TEST(RunResult, BestAccuracyScansWholeTrace) {
+  RunResult r = sample_result();
+  r.trace.push_back({40, 4.0, 1.2, 0.7});  // regression after the peak
+  EXPECT_DOUBLE_EQ(r.best_accuracy(), 0.9);
+}
+
+TEST(RunResult, EmptyTraceIsSafe) {
+  const RunResult r;
+  EXPECT_FALSE(r.time_to_accuracy(0.0).has_value());
+  EXPECT_DOUBLE_EQ(r.best_accuracy(), 0.0);
+  EXPECT_TRUE(r.trace_csv().empty());
+}
+
+TEST(RunResult, CsvHasOneRowPerPoint) {
+  const RunResult r = sample_result();
+  const std::string csv = r.trace_csv();
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+  EXPECT_NE(csv.find("m,10,1,2,0.3"), std::string::npos);
+}
+
+// ------------------------------ Evaluator -----------------------------------
+
+struct EvalFixture {
+  TrainTest data;
+  NetworkFactory factory;
+
+  EvalFixture() {
+    SyntheticSpec spec;
+    spec.classes = 4;
+    spec.channels = 1;
+    spec.height = 8;
+    spec.width = 8;
+    spec.train_count = 64;
+    spec.test_count = 100;
+    spec.seed = 31;
+    data = make_synthetic(spec);
+    factory = [] {
+      Rng rng(5);
+      return make_tiny_mlp(rng);
+    };
+  }
+};
+
+TEST(Evaluator, UsesRequestedSampleCount) {
+  const EvalFixture f;
+  Evaluator eval(f.factory, f.data.test, 50);
+  EXPECT_EQ(eval.sample_count(), 50u);
+  Evaluator all(f.factory, f.data.test, 9999);
+  EXPECT_EQ(all.sample_count(), 100u) << "clamped to test size";
+}
+
+TEST(Evaluator, EvaluatesGivenWeightsNotItsOwn) {
+  const EvalFixture f;
+  Evaluator eval(f.factory, f.data.test, 100);
+  const auto net = f.factory();
+
+  // A network whose logits are all equal classifies everything as class 0;
+  // zero weights achieve exactly that.
+  std::vector<float> zeros(net->param_count(), 0.0f);
+  const TracePoint p = eval.evaluate_packed(zeros);
+  EXPECT_NEAR(p.loss, std::log(4.0), 1e-5);
+
+  std::size_t class0 = 0;
+  for (const auto l : f.data.test.labels) class0 += (l == 0);
+  EXPECT_NEAR(p.accuracy, static_cast<double>(class0) / 100.0, 1e-9);
+}
+
+TEST(Evaluator, DeterministicAcrossCalls) {
+  const EvalFixture f;
+  Evaluator eval(f.factory, f.data.test, 100);
+  const auto net = f.factory();
+  const TracePoint a = eval.evaluate(net->arena());
+  const TracePoint b = eval.evaluate(net->arena());
+  EXPECT_EQ(a.loss, b.loss);
+  EXPECT_EQ(a.accuracy, b.accuracy);
+}
+
+TEST(Evaluator, PackedAndArenaPathsAgree) {
+  const EvalFixture f;
+  Evaluator eval(f.factory, f.data.test, 100);
+  const auto net = f.factory();
+  const TracePoint a = eval.evaluate(net->arena());
+  const TracePoint b = eval.evaluate_packed(net->arena().full_params());
+  EXPECT_EQ(a.loss, b.loss);
+  EXPECT_EQ(a.accuracy, b.accuracy);
+}
+
+TEST(Evaluator, RejectsWrongWeightCount) {
+  const EvalFixture f;
+  Evaluator eval(f.factory, f.data.test, 32);
+  std::vector<float> wrong(7, 0.0f);
+  EXPECT_THROW(eval.evaluate_packed(wrong), Error);
+}
+
+}  // namespace
+}  // namespace ds

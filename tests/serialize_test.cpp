@@ -1,0 +1,104 @@
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "nn/models.hpp"
+#include "nn/serialize.hpp"
+
+namespace ds {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(Serialize, RoundTripPreservesEveryWeight) {
+  Rng rng(3);
+  const auto a = make_lenet_s(rng);
+  const std::string path = temp_path("lenet.dscp");
+  save_checkpoint(*a, path);
+
+  Rng rng2(99);  // different init — must be fully overwritten
+  const auto b = make_lenet_s(rng2);
+  load_checkpoint(*b, path);
+
+  const auto pa = a->arena().full_params();
+  const auto pb = b->arena().full_params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) ASSERT_EQ(pa[i], pb[i]);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, CrossPackModeRoundTrip) {
+  Rng rng(3);
+  const auto packed = make_tiny_mlp(rng, PackMode::kPacked);
+  const std::string path = temp_path("mlp.dscp");
+  save_checkpoint(*packed, path);
+
+  Rng rng2(4);
+  const auto layered = make_tiny_mlp(rng2, PackMode::kPerLayer);
+  load_checkpoint(*layered, path);
+  for (std::size_t l = 0; l < packed->arena().layer_count(); ++l) {
+    const auto pa = packed->arena().layer_params(l);
+    const auto pb = layered->arena().layer_params(l);
+    for (std::size_t i = 0; i < pa.size(); ++i) ASSERT_EQ(pa[i], pb[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsDifferentArchitecture) {
+  Rng rng(3);
+  const auto lenet = make_lenet_s(rng);
+  const std::string path = temp_path("wrongarch.dscp");
+  save_checkpoint(*lenet, path);
+
+  Rng rng2(3);
+  auto mlp = make_tiny_mlp(rng2);
+  EXPECT_THROW(load_checkpoint(*mlp, path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsMissingFile) {
+  Rng rng(3);
+  auto net = make_tiny_mlp(rng);
+  EXPECT_THROW(load_checkpoint(*net, temp_path("does-not-exist.dscp")), Error);
+}
+
+TEST(Serialize, RejectsGarbageMagic) {
+  const std::string path = temp_path("garbage.dscp");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a checkpoint at all, not even close";
+  }
+  Rng rng(3);
+  auto net = make_tiny_mlp(rng);
+  EXPECT_THROW(load_checkpoint(*net, path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsTruncatedFile) {
+  Rng rng(3);
+  const auto net = make_tiny_mlp(rng);
+  const std::string path = temp_path("trunc.dscp");
+  save_checkpoint(*net, path);
+  // Chop off the tail of the parameter data.
+  std::string contents;
+  {
+    std::ifstream in(path, std::ios::binary);
+    contents.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size() / 2));
+  }
+  Rng rng2(5);
+  auto victim = make_tiny_mlp(rng2);
+  EXPECT_THROW(load_checkpoint(*victim, path), Error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ds

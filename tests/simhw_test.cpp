@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include "simhw/cluster_sim.hpp"
+#include "simhw/gpu_system.hpp"
+#include "simhw/knl_chip.hpp"
+
+namespace ds {
+namespace {
+
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+
+GpuSystem lenet_system() {
+  return GpuSystem(GpuSystemConfig{}, paper_lenet(), 28.0 * 28.0 * 4.0);
+}
+
+// ------------------------------- GpuSystem ----------------------------------
+
+TEST(GpuSystem, ComputeScalesWithBatchAboveLaunchOverhead) {
+  const GpuSystem hw = lenet_system();
+  const double overhead = hw.config().launch_overhead_seconds;
+  EXPECT_NEAR(hw.fwd_bwd_seconds(64) - overhead,
+              2.0 * (hw.fwd_bwd_seconds(32) - overhead), 1e-12);
+  EXPECT_GT(hw.fwd_bwd_seconds(1), overhead);
+}
+
+TEST(GpuSystem, ThroughputRisesWithBatchThenPlateaus) {
+  // §7.2: fixed launch overhead amortises over the batch.
+  const GpuSystem hw = lenet_system();
+  auto throughput = [&](std::size_t b) {
+    return static_cast<double>(b) / hw.fwd_bwd_seconds(b);
+  };
+  EXPECT_GT(throughput(64), throughput(4));
+  EXPECT_GT(throughput(1024), throughput(64));
+  // Diminishing returns: the last doubling helps less than the first.
+  const double gain_small = throughput(8) / throughput(4);
+  const double gain_large = throughput(2048) / throughput(1024);
+  EXPECT_GT(gain_small, gain_large);
+}
+
+TEST(GpuSystem, Table3Calibration) {
+  // The model is calibrated so LeNet@batch64 lands near Table 3's observed
+  // per-iteration costs; keep it honest within a factor-2 band.
+  const GpuSystem hw = lenet_system();
+  const double fb = hw.fwd_bwd_seconds(64);
+  EXPECT_GT(fb, 3.0e-3);
+  EXPECT_LT(fb, 12.0e-3);
+  const double per_layer_hop =
+      hw.host_param_hop_seconds(MessageLayout::kPerLayer);
+  EXPECT_GT(per_layer_hop, 1.5e-3);
+  EXPECT_LT(per_layer_hop, 7.0e-3);
+}
+
+TEST(GpuSystem, PackedHopBeatsPerLayerHop) {
+  const GpuSystem hw = lenet_system();
+  EXPECT_LT(hw.host_param_hop_seconds(MessageLayout::kPacked),
+            hw.host_param_hop_seconds(MessageLayout::kPerLayer));
+  EXPECT_LT(hw.p2p_param_hop_seconds(MessageLayout::kPacked),
+            hw.p2p_param_hop_seconds(MessageLayout::kPerLayer));
+}
+
+TEST(GpuSystem, TreeCollectiveBeatsLinear) {
+  const GpuSystem hw = lenet_system();
+  EXPECT_LT(hw.host_collective_seconds(CollectiveAlgo::kBinomialTree,
+                                       MessageLayout::kPacked),
+            hw.host_collective_seconds(CollectiveAlgo::kLinear,
+                                       MessageLayout::kPacked));
+}
+
+TEST(GpuSystem, P2pCheaperThanHostForEqualLayout) {
+  const GpuSystem hw = lenet_system();
+  // EASGD2's point (§6.1.2): device-resident weights avoid the host link.
+  EXPECT_LT(hw.p2p_collective_seconds(CollectiveAlgo::kBinomialTree,
+                                      MessageLayout::kPacked),
+            hw.host_collective_seconds(CollectiveAlgo::kBinomialTree,
+                                       MessageLayout::kPacked));
+}
+
+TEST(GpuSystem, WeightsFitChecks) {
+  EXPECT_TRUE(lenet_system().weights_fit_on_device());
+  // A fictitious 8 GB model does not fit a 12 GB card at 3× headroom.
+  PaperModelInfo huge{"huge", 8.0 * kGiB, 1e9, 10};
+  const GpuSystem hw(GpuSystemConfig{}, huge, 1000.0);
+  EXPECT_FALSE(hw.weights_fit_on_device());
+}
+
+TEST(GpuSystem, UpdateCostsPositive) {
+  const GpuSystem hw = lenet_system();
+  EXPECT_GT(hw.gpu_update_seconds(), 0.0);
+  EXPECT_GT(hw.cpu_update_seconds(), 0.0);
+}
+
+TEST(GpuSystem, RejectsBadConfig) {
+  GpuSystemConfig bad;
+  bad.gpus = 0;
+  EXPECT_THROW(GpuSystem(bad, paper_lenet(), 100.0), Error);
+}
+
+// -------------------------------- KnlChip -----------------------------------
+
+constexpr double kAlexWeights = 249.0 * 1024 * 1024;
+constexpr double kCifarCopy = 687.0 * 1024 * 1024;
+
+TEST(KnlChip, FootprintScalesWithParts) {
+  const KnlChip chip;
+  EXPECT_DOUBLE_EQ(chip.footprint_bytes(4, kAlexWeights, kCifarCopy),
+                   4.0 * (kAlexWeights + kCifarCopy));
+}
+
+TEST(KnlChip, McdramHolds16AlexNetCifarCopies) {
+  // §6.2: "MCDRAM can hold at most 16 copies of weight and data."
+  const KnlChip chip;
+  EXPECT_DOUBLE_EQ(
+      chip.mcdram_resident_fraction(16, kAlexWeights, kCifarCopy), 1.0);
+  EXPECT_LT(chip.mcdram_resident_fraction(32, kAlexWeights, kCifarCopy), 1.0);
+}
+
+TEST(KnlChip, BandwidthImprovesWithPartitioning) {
+  const KnlChip chip;
+  double prev = 0.0;
+  for (const std::size_t parts : {1, 2, 4, 8, 16}) {
+    const double bw = chip.effective_bandwidth(parts, kAlexWeights, kCifarCopy);
+    EXPECT_GT(bw, prev) << "P=" << parts;
+    prev = bw;
+  }
+}
+
+TEST(KnlChip, BandwidthCollapsesWhenSpillingToDdr) {
+  const KnlChip chip;
+  const double at16 = chip.effective_bandwidth(16, kAlexWeights, kCifarCopy);
+  const double at32 = chip.effective_bandwidth(32, kAlexWeights, kCifarCopy);
+  EXPECT_LT(at32, at16);
+}
+
+TEST(KnlChip, RoundTimePerSampleImprovesUntilCapacity) {
+  // Figure 12's mechanism: per-sample time falls with P while the copies
+  // fit in MCDRAM, then turns back up at P=32.
+  const KnlChip chip;
+  const PaperModelInfo model = paper_alexnet();
+  const double bytes_per_sample = model.flops_per_sample / 12.0;
+  auto per_sample = [&](std::size_t parts) {
+    return chip.round_seconds(parts, 64, model.flops_per_sample,
+                              bytes_per_sample, kAlexWeights, kCifarCopy) /
+           static_cast<double>(parts * 64);
+  };
+  EXPECT_LT(per_sample(4), per_sample(1));
+  EXPECT_LT(per_sample(16), per_sample(4));
+  EXPECT_GT(per_sample(32), per_sample(16));
+}
+
+TEST(KnlChip, ClusterModeLocalityOrdering) {
+  // §2.1: A2A hashes everywhere, quadrant localises directories, SNC-4
+  // plus pinning reaches full locality.
+  const KnlChip chip;
+  EXPECT_LT(chip.cluster_mode_locality(KnlClusterMode::kAll2All),
+            chip.cluster_mode_locality(KnlClusterMode::kQuadrant));
+  EXPECT_LT(chip.cluster_mode_locality(KnlClusterMode::kQuadrant),
+            chip.cluster_mode_locality(KnlClusterMode::kSnc4));
+  EXPECT_DOUBLE_EQ(chip.cluster_mode_locality(KnlClusterMode::kSnc4), 1.0);
+}
+
+TEST(KnlChip, McdramModesSmallWorkingSet) {
+  // Fits in MCDRAM: flat mode wins (no tag overhead); cache mode is close;
+  // both far above DDR.
+  const KnlChip chip;
+  const double small = 4.0 * kGiB;
+  const double flat = chip.mode_bandwidth(McdramMode::kFlat, small);
+  const double cache = chip.mode_bandwidth(McdramMode::kCache, small);
+  EXPECT_DOUBLE_EQ(flat, chip.config().mcdram_bandwidth);
+  EXPECT_LT(cache, flat);
+  EXPECT_GT(cache, 0.8 * flat);
+}
+
+TEST(KnlChip, McdramModesHugeWorkingSet) {
+  // Far beyond MCDRAM: every mode degrades toward DDR; cache mode pays the
+  // extra fill traffic so it ends below flat.
+  const KnlChip chip;
+  const double huge = 300.0 * kGiB;
+  const double flat = chip.mode_bandwidth(McdramMode::kFlat, huge);
+  const double cache = chip.mode_bandwidth(McdramMode::kCache, huge);
+  EXPECT_LT(flat, 1.2 * chip.config().ddr_bandwidth);
+  EXPECT_LT(cache, flat);
+}
+
+TEST(KnlChip, HybridModeIsBetweenFlatAndCache) {
+  const KnlChip chip;
+  for (const double ws : {8.0 * kGiB, 24.0 * kGiB, 64.0 * kGiB}) {
+    const double flat = chip.mode_bandwidth(McdramMode::kFlat, ws);
+    const double cache = chip.mode_bandwidth(McdramMode::kCache, ws);
+    const double hybrid = chip.mode_bandwidth(McdramMode::kHybrid, ws);
+    EXPECT_LE(hybrid, std::max(flat, cache) * 1.0001) << ws;
+    EXPECT_GE(hybrid, std::min(flat, cache) * 0.9) << ws;
+  }
+}
+
+TEST(KnlChip, ModeNamesDistinct) {
+  EXPECT_STRNE(mcdram_mode_name(McdramMode::kCache),
+               mcdram_mode_name(McdramMode::kFlat));
+  EXPECT_STRNE(knl_cluster_mode_name(KnlClusterMode::kAll2All),
+               knl_cluster_mode_name(KnlClusterMode::kSnc4));
+}
+
+TEST(KnlChip, RejectsWorkingSetBeyondDdr) {
+  const KnlChip chip;
+  EXPECT_THROW(
+      chip.mcdram_resident_fraction(1024, kAlexWeights, kCifarCopy), Error);
+}
+
+// ------------------------------- ClusterSim ----------------------------------
+
+ClusterSimConfig googlenet_sim() {
+  ClusterSimConfig cfg;
+  cfg.base_iter_seconds = 5.11;  // 1533 s / 300 iterations (Table 4)
+  cfg.weight_bytes = paper_googlenet().weight_bytes;
+  cfg.comm_layers = paper_googlenet().comm_layers;
+  return cfg;
+}
+
+TEST(ClusterSim, SingleNodeEfficiencyIsOne) {
+  const ClusterSim sim(googlenet_sim());
+  const auto points = sim.sweep({1, 2}, 50, Schedule::kOurs);
+  EXPECT_DOUBLE_EQ(points[0].efficiency, 1.0);
+  EXPECT_LE(points[1].efficiency, 1.0);
+}
+
+TEST(ClusterSim, EfficiencyDeclinesWithScale) {
+  const ClusterSim sim(googlenet_sim());
+  const auto points = sim.sweep({1, 4, 16, 64}, 50, Schedule::kOurs);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LT(points[i].efficiency, points[i - 1].efficiency + 1e-9);
+  }
+  EXPECT_GT(points.back().efficiency, 0.5) << "ours stays efficient at 64 nodes";
+}
+
+TEST(ClusterSim, OursBeatsCaffeLike) {
+  const ClusterSim sim(googlenet_sim());
+  const auto ours = sim.sweep({1, 32}, 50, Schedule::kOurs);
+  const auto caffe = sim.sweep({1, 32}, 50, Schedule::kCaffeLike);
+  EXPECT_GT(ours[1].efficiency, caffe[1].efficiency);
+  // Identical single-node performance (§7.1).
+  EXPECT_DOUBLE_EQ(ours[0].seconds, caffe[0].seconds);
+}
+
+TEST(ClusterSim, BiggerModelScalesWorse) {
+  ClusterSimConfig vgg = googlenet_sim();
+  vgg.base_iter_seconds = 16.5;  // 1318 s / 80 iterations
+  vgg.weight_bytes = paper_vgg19().weight_bytes;
+  vgg.comm_layers = paper_vgg19().comm_layers;
+  const ClusterSim sim_g(googlenet_sim());
+  const ClusterSim sim_v(vgg);
+  const auto g = sim_g.sweep({1, 32}, 40, Schedule::kOurs);
+  const auto v = sim_v.sweep({1, 32}, 40, Schedule::kOurs);
+  EXPECT_LT(v[1].efficiency, g[1].efficiency)
+      << "VGG (575 MB) must scale worse than GoogLeNet (27 MB), Table 4";
+}
+
+TEST(ClusterSim, AllreduceGrowsLogarithmically) {
+  const ClusterSim sim(googlenet_sim());
+  const double at8 = sim.allreduce_seconds(8, Schedule::kOurs);
+  const double at64 = sim.allreduce_seconds(64, Schedule::kOurs);
+  EXPECT_GT(at64, at8);
+  EXPECT_LT(at64, 4.0 * at8) << "tree, not linear, growth";
+}
+
+TEST(ClusterSim, PerLayerScheduleCostsMoreLatency) {
+  const ClusterSim sim(googlenet_sim());
+  EXPECT_GT(sim.allreduce_seconds(16, Schedule::kCaffeLike),
+            sim.allreduce_seconds(16, Schedule::kOurs));
+}
+
+TEST(ClusterSim, DeterministicForFixedSeed) {
+  const ClusterSim sim(googlenet_sim());
+  const auto a = sim.run(8, 20, Schedule::kOurs);
+  const auto b = sim.run(8, 20, Schedule::kOurs);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+}
+
+TEST(ClusterSim, CoresReported) {
+  const ClusterSim sim(googlenet_sim());
+  EXPECT_EQ(sim.run(64, 1, Schedule::kOurs).cores, 64u * 68u);
+}
+
+}  // namespace
+}  // namespace ds

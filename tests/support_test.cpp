@@ -1,0 +1,199 @@
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/aligned_buffer.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
+
+namespace ds {
+namespace {
+
+// ------------------------------- Rng ---------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.below(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u) << "all residues should appear in 1000 draws";
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng(13);
+  const int n = 50000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, GaussianScaled) {
+  Rng rng(17);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.gaussian(3.0, 0.5);
+  EXPECT_NEAR(sum / n, 3.0, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  Rng parent(5);
+  Rng a = parent.fork(0);
+  Rng b = parent.fork(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng p1(5), p2(5);
+  Rng a = p1.fork(3);
+  Rng b = p2.fork(3);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, ReseedResetsSequence) {
+  Rng rng(21);
+  const auto first = rng();
+  rng.reseed(21);
+  EXPECT_EQ(rng(), first);
+}
+
+// --------------------------- AlignedBuffer ----------------------------------
+
+TEST(AlignedBuffer, AlignedTo64Bytes) {
+  AlignedBuffer buf(100);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kAlignment, 0u);
+}
+
+TEST(AlignedBuffer, ZeroInitialised) {
+  AlignedBuffer buf(257);
+  for (std::size_t i = 0; i < buf.size(); ++i) EXPECT_EQ(buf[i], 0.0f);
+}
+
+TEST(AlignedBuffer, CopyIsDeep) {
+  AlignedBuffer a(8);
+  a[3] = 1.5f;
+  AlignedBuffer b = a;
+  b[3] = 2.5f;
+  EXPECT_EQ(a[3], 1.5f);
+  EXPECT_EQ(b[3], 2.5f);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer a(8);
+  a[0] = 9.0f;
+  const float* ptr = a.data();
+  AlignedBuffer b = std::move(a);
+  EXPECT_EQ(b.data(), ptr);
+  EXPECT_EQ(b[0], 9.0f);
+}
+
+TEST(AlignedBuffer, FillSetsEveryElement) {
+  AlignedBuffer buf(33);
+  buf.fill(4.25f);
+  for (std::size_t i = 0; i < buf.size(); ++i) EXPECT_EQ(buf[i], 4.25f);
+}
+
+TEST(AlignedBuffer, EmptyBufferIsSafe) {
+  AlignedBuffer buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_TRUE(buf.span().empty());
+}
+
+// -------------------------------- Error -------------------------------------
+
+TEST(Error, CheckThrowsWithMessage) {
+  try {
+    DS_CHECK(1 == 2, "the answer is " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("the answer is 42"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckPassesSilently) {
+  EXPECT_NO_THROW(DS_CHECK(true, "never"));
+}
+
+// ------------------------------ ThreadPool ----------------------------------
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPool, ParallelForThreadsCoversIndices) {
+  std::vector<std::atomic<int>> hits(8);
+  parallel_for_threads(8, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// -------------------------------- Timer -------------------------------------
+
+TEST(Timer, MeasuresNonNegativeTime) {
+  WallTimer t;
+  EXPECT_GE(t.seconds(), 0.0);
+  t.reset();
+  EXPECT_GE(t.milliseconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace ds
