@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_mcdram_modes"
+  "../bench/ablation_mcdram_modes.pdb"
+  "CMakeFiles/ablation_mcdram_modes.dir/ablation_mcdram_modes.cpp.o"
+  "CMakeFiles/ablation_mcdram_modes.dir/ablation_mcdram_modes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mcdram_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_model_parallel"
+  "../bench/ablation_model_parallel.pdb"
+  "CMakeFiles/ablation_model_parallel.dir/ablation_model_parallel.cpp.o"
+  "CMakeFiles/ablation_model_parallel.dir/ablation_model_parallel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_model_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_packed_layers"
+  "../bench/fig10_packed_layers.pdb"
+  "CMakeFiles/fig10_packed_layers.dir/fig10_packed_layers.cpp.o"
+  "CMakeFiles/fig10_packed_layers.dir/fig10_packed_layers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_packed_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

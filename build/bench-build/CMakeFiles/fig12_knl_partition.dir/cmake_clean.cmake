@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_knl_partition"
+  "../bench/fig12_knl_partition.pdb"
+  "CMakeFiles/fig12_knl_partition.dir/fig12_knl_partition.cpp.o"
+  "CMakeFiles/fig12_knl_partition.dir/fig12_knl_partition.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_knl_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

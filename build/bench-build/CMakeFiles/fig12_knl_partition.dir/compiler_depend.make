@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig12_knl_partition.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_weak_scaling_benefit"
+  "../bench/fig13_weak_scaling_benefit.pdb"
+  "CMakeFiles/fig13_weak_scaling_benefit.dir/fig13_weak_scaling_benefit.cpp.o"
+  "CMakeFiles/fig13_weak_scaling_benefit.dir/fig13_weak_scaling_benefit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_weak_scaling_benefit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_pairwise"
+  "../bench/fig6_pairwise.pdb"
+  "CMakeFiles/fig6_pairwise.dir/fig6_pairwise.cpp.o"
+  "CMakeFiles/fig6_pairwise.dir/fig6_pairwise.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_pairwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_overall"
+  "../bench/fig8_overall.pdb"
+  "CMakeFiles/fig8_overall.dir/fig8_overall.cpp.o"
+  "CMakeFiles/fig8_overall.dir/fig8_overall.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

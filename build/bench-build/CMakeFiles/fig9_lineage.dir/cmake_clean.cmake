@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_lineage"
+  "../bench/fig9_lineage.pdb"
+  "CMakeFiles/fig9_lineage.dir/fig9_lineage.cpp.o"
+  "CMakeFiles/fig9_lineage.dir/fig9_lineage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_lineage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_parameter_server.dir/async_parameter_server.cpp.o"
+  "CMakeFiles/async_parameter_server.dir/async_parameter_server.cpp.o.d"
+  "async_parameter_server"
+  "async_parameter_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_parameter_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_collectives.dir/fabric_collectives.cpp.o"
+  "CMakeFiles/fabric_collectives.dir/fabric_collectives.cpp.o.d"
+  "fabric_collectives"
+  "fabric_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knl_cluster_training.dir/knl_cluster_training.cpp.o"
+  "CMakeFiles/knl_cluster_training.dir/knl_cluster_training.cpp.o.d"
+  "knl_cluster_training"
+  "knl_cluster_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knl_cluster_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_solver.dir/run_solver.cpp.o"
+  "CMakeFiles/run_solver.dir/run_solver.cpp.o.d"
+  "run_solver"
+  "run_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/collectives.cpp" "src/CMakeFiles/deepscale_comm.dir/comm/collectives.cpp.o" "gcc" "src/CMakeFiles/deepscale_comm.dir/comm/collectives.cpp.o.d"
+  "/root/repo/src/comm/cost_model.cpp" "src/CMakeFiles/deepscale_comm.dir/comm/cost_model.cpp.o" "gcc" "src/CMakeFiles/deepscale_comm.dir/comm/cost_model.cpp.o.d"
+  "/root/repo/src/comm/fabric.cpp" "src/CMakeFiles/deepscale_comm.dir/comm/fabric.cpp.o" "gcc" "src/CMakeFiles/deepscale_comm.dir/comm/fabric.cpp.o.d"
+  "/root/repo/src/comm/ledger.cpp" "src/CMakeFiles/deepscale_comm.dir/comm/ledger.cpp.o" "gcc" "src/CMakeFiles/deepscale_comm.dir/comm/ledger.cpp.o.d"
+  "/root/repo/src/comm/quantize.cpp" "src/CMakeFiles/deepscale_comm.dir/comm/quantize.cpp.o" "gcc" "src/CMakeFiles/deepscale_comm.dir/comm/quantize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/deepscale_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

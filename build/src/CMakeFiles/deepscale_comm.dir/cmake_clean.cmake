@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepscale_comm.dir/comm/collectives.cpp.o"
+  "CMakeFiles/deepscale_comm.dir/comm/collectives.cpp.o.d"
+  "CMakeFiles/deepscale_comm.dir/comm/cost_model.cpp.o"
+  "CMakeFiles/deepscale_comm.dir/comm/cost_model.cpp.o.d"
+  "CMakeFiles/deepscale_comm.dir/comm/fabric.cpp.o"
+  "CMakeFiles/deepscale_comm.dir/comm/fabric.cpp.o.d"
+  "CMakeFiles/deepscale_comm.dir/comm/ledger.cpp.o"
+  "CMakeFiles/deepscale_comm.dir/comm/ledger.cpp.o.d"
+  "CMakeFiles/deepscale_comm.dir/comm/quantize.cpp.o"
+  "CMakeFiles/deepscale_comm.dir/comm/quantize.cpp.o.d"
+  "libdeepscale_comm.a"
+  "libdeepscale_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepscale_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

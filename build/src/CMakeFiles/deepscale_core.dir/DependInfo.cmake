@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/async_algorithms.cpp" "src/CMakeFiles/deepscale_core.dir/core/async_algorithms.cpp.o" "gcc" "src/CMakeFiles/deepscale_core.dir/core/async_algorithms.cpp.o.d"
+  "/root/repo/src/core/easgd_rules.cpp" "src/CMakeFiles/deepscale_core.dir/core/easgd_rules.cpp.o" "gcc" "src/CMakeFiles/deepscale_core.dir/core/easgd_rules.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/CMakeFiles/deepscale_core.dir/core/evaluator.cpp.o" "gcc" "src/CMakeFiles/deepscale_core.dir/core/evaluator.cpp.o.d"
+  "/root/repo/src/core/fabric_algorithms.cpp" "src/CMakeFiles/deepscale_core.dir/core/fabric_algorithms.cpp.o" "gcc" "src/CMakeFiles/deepscale_core.dir/core/fabric_algorithms.cpp.o.d"
+  "/root/repo/src/core/knl_algorithms.cpp" "src/CMakeFiles/deepscale_core.dir/core/knl_algorithms.cpp.o" "gcc" "src/CMakeFiles/deepscale_core.dir/core/knl_algorithms.cpp.o.d"
+  "/root/repo/src/core/lr_schedule.cpp" "src/CMakeFiles/deepscale_core.dir/core/lr_schedule.cpp.o" "gcc" "src/CMakeFiles/deepscale_core.dir/core/lr_schedule.cpp.o.d"
+  "/root/repo/src/core/methods.cpp" "src/CMakeFiles/deepscale_core.dir/core/methods.cpp.o" "gcc" "src/CMakeFiles/deepscale_core.dir/core/methods.cpp.o.d"
+  "/root/repo/src/core/model_parallel.cpp" "src/CMakeFiles/deepscale_core.dir/core/model_parallel.cpp.o" "gcc" "src/CMakeFiles/deepscale_core.dir/core/model_parallel.cpp.o.d"
+  "/root/repo/src/core/run_result.cpp" "src/CMakeFiles/deepscale_core.dir/core/run_result.cpp.o" "gcc" "src/CMakeFiles/deepscale_core.dir/core/run_result.cpp.o.d"
+  "/root/repo/src/core/solver_config.cpp" "src/CMakeFiles/deepscale_core.dir/core/solver_config.cpp.o" "gcc" "src/CMakeFiles/deepscale_core.dir/core/solver_config.cpp.o.d"
+  "/root/repo/src/core/sync_algorithms.cpp" "src/CMakeFiles/deepscale_core.dir/core/sync_algorithms.cpp.o" "gcc" "src/CMakeFiles/deepscale_core.dir/core/sync_algorithms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/deepscale_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/deepscale_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/deepscale_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/deepscale_simhw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/deepscale_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/deepscale_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepscale_core.dir/core/async_algorithms.cpp.o"
+  "CMakeFiles/deepscale_core.dir/core/async_algorithms.cpp.o.d"
+  "CMakeFiles/deepscale_core.dir/core/easgd_rules.cpp.o"
+  "CMakeFiles/deepscale_core.dir/core/easgd_rules.cpp.o.d"
+  "CMakeFiles/deepscale_core.dir/core/evaluator.cpp.o"
+  "CMakeFiles/deepscale_core.dir/core/evaluator.cpp.o.d"
+  "CMakeFiles/deepscale_core.dir/core/fabric_algorithms.cpp.o"
+  "CMakeFiles/deepscale_core.dir/core/fabric_algorithms.cpp.o.d"
+  "CMakeFiles/deepscale_core.dir/core/knl_algorithms.cpp.o"
+  "CMakeFiles/deepscale_core.dir/core/knl_algorithms.cpp.o.d"
+  "CMakeFiles/deepscale_core.dir/core/lr_schedule.cpp.o"
+  "CMakeFiles/deepscale_core.dir/core/lr_schedule.cpp.o.d"
+  "CMakeFiles/deepscale_core.dir/core/methods.cpp.o"
+  "CMakeFiles/deepscale_core.dir/core/methods.cpp.o.d"
+  "CMakeFiles/deepscale_core.dir/core/model_parallel.cpp.o"
+  "CMakeFiles/deepscale_core.dir/core/model_parallel.cpp.o.d"
+  "CMakeFiles/deepscale_core.dir/core/run_result.cpp.o"
+  "CMakeFiles/deepscale_core.dir/core/run_result.cpp.o.d"
+  "CMakeFiles/deepscale_core.dir/core/solver_config.cpp.o"
+  "CMakeFiles/deepscale_core.dir/core/solver_config.cpp.o.d"
+  "CMakeFiles/deepscale_core.dir/core/sync_algorithms.cpp.o"
+  "CMakeFiles/deepscale_core.dir/core/sync_algorithms.cpp.o.d"
+  "libdeepscale_core.a"
+  "libdeepscale_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepscale_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

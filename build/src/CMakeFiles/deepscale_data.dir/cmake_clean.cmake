@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepscale_data.dir/data/augment.cpp.o"
+  "CMakeFiles/deepscale_data.dir/data/augment.cpp.o.d"
+  "CMakeFiles/deepscale_data.dir/data/dataset.cpp.o"
+  "CMakeFiles/deepscale_data.dir/data/dataset.cpp.o.d"
+  "CMakeFiles/deepscale_data.dir/data/sampler.cpp.o"
+  "CMakeFiles/deepscale_data.dir/data/sampler.cpp.o.d"
+  "libdeepscale_data.a"
+  "libdeepscale_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepscale_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

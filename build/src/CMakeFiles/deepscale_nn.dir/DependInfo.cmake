@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/CMakeFiles/deepscale_nn.dir/nn/activations.cpp.o" "gcc" "src/CMakeFiles/deepscale_nn.dir/nn/activations.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/CMakeFiles/deepscale_nn.dir/nn/conv.cpp.o" "gcc" "src/CMakeFiles/deepscale_nn.dir/nn/conv.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/CMakeFiles/deepscale_nn.dir/nn/dense.cpp.o" "gcc" "src/CMakeFiles/deepscale_nn.dir/nn/dense.cpp.o.d"
+  "/root/repo/src/nn/inception.cpp" "src/CMakeFiles/deepscale_nn.dir/nn/inception.cpp.o" "gcc" "src/CMakeFiles/deepscale_nn.dir/nn/inception.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/deepscale_nn.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/deepscale_nn.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/lrn.cpp" "src/CMakeFiles/deepscale_nn.dir/nn/lrn.cpp.o" "gcc" "src/CMakeFiles/deepscale_nn.dir/nn/lrn.cpp.o.d"
+  "/root/repo/src/nn/models.cpp" "src/CMakeFiles/deepscale_nn.dir/nn/models.cpp.o" "gcc" "src/CMakeFiles/deepscale_nn.dir/nn/models.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/CMakeFiles/deepscale_nn.dir/nn/network.cpp.o" "gcc" "src/CMakeFiles/deepscale_nn.dir/nn/network.cpp.o.d"
+  "/root/repo/src/nn/param_arena.cpp" "src/CMakeFiles/deepscale_nn.dir/nn/param_arena.cpp.o" "gcc" "src/CMakeFiles/deepscale_nn.dir/nn/param_arena.cpp.o.d"
+  "/root/repo/src/nn/pool.cpp" "src/CMakeFiles/deepscale_nn.dir/nn/pool.cpp.o" "gcc" "src/CMakeFiles/deepscale_nn.dir/nn/pool.cpp.o.d"
+  "/root/repo/src/nn/residual.cpp" "src/CMakeFiles/deepscale_nn.dir/nn/residual.cpp.o" "gcc" "src/CMakeFiles/deepscale_nn.dir/nn/residual.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/CMakeFiles/deepscale_nn.dir/nn/serialize.cpp.o" "gcc" "src/CMakeFiles/deepscale_nn.dir/nn/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/deepscale_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/deepscale_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepscale_nn.dir/nn/activations.cpp.o"
+  "CMakeFiles/deepscale_nn.dir/nn/activations.cpp.o.d"
+  "CMakeFiles/deepscale_nn.dir/nn/conv.cpp.o"
+  "CMakeFiles/deepscale_nn.dir/nn/conv.cpp.o.d"
+  "CMakeFiles/deepscale_nn.dir/nn/dense.cpp.o"
+  "CMakeFiles/deepscale_nn.dir/nn/dense.cpp.o.d"
+  "CMakeFiles/deepscale_nn.dir/nn/inception.cpp.o"
+  "CMakeFiles/deepscale_nn.dir/nn/inception.cpp.o.d"
+  "CMakeFiles/deepscale_nn.dir/nn/loss.cpp.o"
+  "CMakeFiles/deepscale_nn.dir/nn/loss.cpp.o.d"
+  "CMakeFiles/deepscale_nn.dir/nn/lrn.cpp.o"
+  "CMakeFiles/deepscale_nn.dir/nn/lrn.cpp.o.d"
+  "CMakeFiles/deepscale_nn.dir/nn/models.cpp.o"
+  "CMakeFiles/deepscale_nn.dir/nn/models.cpp.o.d"
+  "CMakeFiles/deepscale_nn.dir/nn/network.cpp.o"
+  "CMakeFiles/deepscale_nn.dir/nn/network.cpp.o.d"
+  "CMakeFiles/deepscale_nn.dir/nn/param_arena.cpp.o"
+  "CMakeFiles/deepscale_nn.dir/nn/param_arena.cpp.o.d"
+  "CMakeFiles/deepscale_nn.dir/nn/pool.cpp.o"
+  "CMakeFiles/deepscale_nn.dir/nn/pool.cpp.o.d"
+  "CMakeFiles/deepscale_nn.dir/nn/residual.cpp.o"
+  "CMakeFiles/deepscale_nn.dir/nn/residual.cpp.o.d"
+  "CMakeFiles/deepscale_nn.dir/nn/serialize.cpp.o"
+  "CMakeFiles/deepscale_nn.dir/nn/serialize.cpp.o.d"
+  "libdeepscale_nn.a"
+  "libdeepscale_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepscale_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

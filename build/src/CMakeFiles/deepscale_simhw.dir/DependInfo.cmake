@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simhw/cluster_sim.cpp" "src/CMakeFiles/deepscale_simhw.dir/simhw/cluster_sim.cpp.o" "gcc" "src/CMakeFiles/deepscale_simhw.dir/simhw/cluster_sim.cpp.o.d"
+  "/root/repo/src/simhw/gpu_system.cpp" "src/CMakeFiles/deepscale_simhw.dir/simhw/gpu_system.cpp.o" "gcc" "src/CMakeFiles/deepscale_simhw.dir/simhw/gpu_system.cpp.o.d"
+  "/root/repo/src/simhw/knl_chip.cpp" "src/CMakeFiles/deepscale_simhw.dir/simhw/knl_chip.cpp.o" "gcc" "src/CMakeFiles/deepscale_simhw.dir/simhw/knl_chip.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/deepscale_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/deepscale_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/deepscale_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/deepscale_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

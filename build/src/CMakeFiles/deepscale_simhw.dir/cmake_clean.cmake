@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepscale_simhw.dir/simhw/cluster_sim.cpp.o"
+  "CMakeFiles/deepscale_simhw.dir/simhw/cluster_sim.cpp.o.d"
+  "CMakeFiles/deepscale_simhw.dir/simhw/gpu_system.cpp.o"
+  "CMakeFiles/deepscale_simhw.dir/simhw/gpu_system.cpp.o.d"
+  "CMakeFiles/deepscale_simhw.dir/simhw/knl_chip.cpp.o"
+  "CMakeFiles/deepscale_simhw.dir/simhw/knl_chip.cpp.o.d"
+  "libdeepscale_simhw.a"
+  "libdeepscale_simhw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepscale_simhw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

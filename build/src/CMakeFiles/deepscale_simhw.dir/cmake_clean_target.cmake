@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdeepscale_simhw.a"
+)

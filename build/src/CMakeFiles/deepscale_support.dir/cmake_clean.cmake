@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepscale_support.dir/support/logging.cpp.o"
+  "CMakeFiles/deepscale_support.dir/support/logging.cpp.o.d"
+  "CMakeFiles/deepscale_support.dir/support/thread_pool.cpp.o"
+  "CMakeFiles/deepscale_support.dir/support/thread_pool.cpp.o.d"
+  "libdeepscale_support.a"
+  "libdeepscale_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepscale_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepscale_tensor.dir/tensor/gemm.cpp.o"
+  "CMakeFiles/deepscale_tensor.dir/tensor/gemm.cpp.o.d"
+  "CMakeFiles/deepscale_tensor.dir/tensor/im2col.cpp.o"
+  "CMakeFiles/deepscale_tensor.dir/tensor/im2col.cpp.o.d"
+  "CMakeFiles/deepscale_tensor.dir/tensor/ops.cpp.o"
+  "CMakeFiles/deepscale_tensor.dir/tensor/ops.cpp.o.d"
+  "CMakeFiles/deepscale_tensor.dir/tensor/tensor.cpp.o"
+  "CMakeFiles/deepscale_tensor.dir/tensor/tensor.cpp.o.d"
+  "libdeepscale_tensor.a"
+  "libdeepscale_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepscale_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augment_test.dir/augment_test.cpp.o"
+  "CMakeFiles/augment_test.dir/augment_test.cpp.o.d"
+  "augment_test"
+  "augment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

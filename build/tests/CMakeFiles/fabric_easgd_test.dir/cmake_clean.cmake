@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_easgd_test.dir/fabric_easgd_test.cpp.o"
+  "CMakeFiles/fabric_easgd_test.dir/fabric_easgd_test.cpp.o.d"
+  "fabric_easgd_test"
+  "fabric_easgd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_easgd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_parallel_test.dir/model_parallel_test.cpp.o"
+  "CMakeFiles/model_parallel_test.dir/model_parallel_test.cpp.o.d"
+  "model_parallel_test"
+  "model_parallel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simhw_test.dir/simhw_test.cpp.o"
+  "CMakeFiles/simhw_test.dir/simhw_test.cpp.o.d"
+  "simhw_test"
+  "simhw_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simhw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
