@@ -1,28 +1,114 @@
 #include "comm/fabric.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <sstream>
 
 #include "support/error.hpp"
 
 namespace ds {
 namespace {
+
 constexpr int kBarrierTag = -7771;
+
+constexpr int kActive = static_cast<int>(Fabric::RankState::kActive);
+constexpr int kRetired = static_cast<int>(Fabric::RankState::kRetired);
+constexpr int kFailed = static_cast<int>(Fabric::RankState::kFailed);
+
+std::string describe(std::size_t rank, const char* what) {
+  std::ostringstream os;
+  os << "rank " << rank << ": " << what;
+  return os.str();
 }
 
-Fabric::Fabric(std::size_t ranks, LinkModel link) : link_(std::move(link)) {
+}  // namespace
+
+Fabric::Fabric(std::size_t ranks, LinkModel link)
+    : Fabric(ranks, std::move(link), FaultPlan::none()) {}
+
+Fabric::Fabric(std::size_t ranks, LinkModel link, FaultPlan faults)
+    : link_(std::move(link)),
+      faults_(std::move(faults)),
+      faults_on_(faults_.active()) {
   DS_CHECK(ranks > 0, "fabric needs at least one rank");
   mailboxes_.reserve(ranks);
   clocks_.reserve(ranks);
+  slots_.reserve(ranks);
+  Rng base(faults_.seed);
   for (std::size_t i = 0; i < ranks; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
     clocks_.push_back(std::make_unique<ClockSlot>());
+    slots_.push_back(std::make_unique<FaultSlot>());
+    slots_.back()->rng = base.fork(i);
   }
+}
+
+void Fabric::check_self_alive(std::size_t rank) {
+  if (!faults_on_) return;
+  if (slots_[rank]->state.load(std::memory_order_acquire) == kFailed) {
+    throw RankFailure(rank, RankFailure::Kind::kCrashed,
+                      describe(rank, "already crashed"));
+  }
+  const double crash = faults_.crash_time(rank);
+  if (crash == kNeverCrashes) return;
+  double now = 0.0;
+  {
+    const std::lock_guard<std::mutex> lock(clocks_[rank]->mutex);
+    now = clocks_[rank]->value;
+  }
+  if (now >= crash) {
+    mark_failed(rank);
+    throw RankFailure(rank, RankFailure::Kind::kCrashed,
+                      describe(rank, "crossed scheduled crash time"));
+  }
+}
+
+void Fabric::notify_all_mailboxes() {
+  for (auto& box : mailboxes_) {
+    {
+      const std::lock_guard<std::mutex> lock(box->mutex);
+    }
+    box->cv.notify_all();
+  }
+}
+
+void Fabric::retire(std::size_t rank) {
+  DS_CHECK(rank < ranks(), "retire rank out of range");
+  int expected = kActive;
+  if (slots_[rank]->state.compare_exchange_strong(expected, kRetired)) {
+    notify_all_mailboxes();
+  }
+}
+
+void Fabric::mark_failed(std::size_t rank) {
+  DS_CHECK(rank < ranks(), "mark_failed rank out of range");
+  if (slots_[rank]->state.exchange(kFailed) != kFailed) {
+    notify_all_mailboxes();
+  }
+}
+
+Fabric::RankState Fabric::state(std::size_t rank) const {
+  DS_CHECK(rank < ranks(), "state rank out of range");
+  return static_cast<RankState>(
+      slots_[rank]->state.load(std::memory_order_acquire));
+}
+
+std::size_t Fabric::alive_ranks() const {
+  std::size_t n = 0;
+  for (const auto& slot : slots_) {
+    if (slot->state.load(std::memory_order_acquire) == kActive) ++n;
+  }
+  return n;
 }
 
 void Fabric::send(std::size_t src, std::size_t dst, int tag,
                   std::vector<float> payload) {
   DS_CHECK(src < ranks() && dst < ranks(), "send rank out of range");
   DS_CHECK(src != dst, "self-send is a bug in the calling schedule");
+  if (faults_on_) {
+    faulty_send(src, dst, tag, std::move(payload));
+    return;
+  }
   const double bytes = static_cast<double>(payload.size() * sizeof(float));
   double arrival = 0.0;
   {
@@ -39,10 +125,52 @@ void Fabric::send(std::size_t src, std::size_t dst, int tag,
   box.cv.notify_all();
 }
 
+void Fabric::faulty_send(std::size_t src, std::size_t dst, int tag,
+                         std::vector<float> payload) {
+  check_self_alive(src);
+  const double bytes = static_cast<double>(payload.size() * sizeof(float));
+  const double base =
+      link_.transfer_seconds(bytes) * faults_.straggler_for(src);
+  const double drop = faults_.drop_for(src, dst, ranks());
+  const std::size_t attempts = std::max<std::size_t>(1, faults_.max_send_attempts);
+
+  Rng& rng = slots_[src]->rng;  // owner-thread only: sends are rank-serial
+  double arrival = 0.0;
+  bool delivered = false;
+  {
+    const std::lock_guard<std::mutex> lock(clocks_[src]->mutex);
+    for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+      double cost = base;
+      if (faults_.jitter > 0.0) cost *= 1.0 + faults_.jitter * rng.uniform();
+      clocks_[src]->value += cost;
+      if (drop > 0.0 && rng.uniform() < drop) {
+        // Dropped on the wire: the sender's ack timeout pays the backoff,
+        // then the loop retransmits.
+        clocks_[src]->value += faults_.retry_backoff;
+        continue;
+      }
+      arrival = clocks_[src]->value;
+      delivered = true;
+      break;
+    }
+  }
+  // Lost after every retransmit: the message silently vanishes — eager
+  // sends cannot report this; the receiver's timeout is the backstop.
+  if (!delivered) return;
+
+  Mailbox& box = *mailboxes_[dst];
+  {
+    const std::lock_guard<std::mutex> lock(box.mutex);
+    box.messages.push_back(Message{src, tag, std::move(payload), arrival});
+  }
+  box.cv.notify_all();
+}
+
 std::vector<float> Fabric::recv(std::size_t dst, std::size_t src, int tag) {
   DS_CHECK(src < ranks() && dst < ranks(), "recv rank out of range");
   Mailbox& box = *mailboxes_[dst];
   std::unique_lock<std::mutex> lock(box.mutex);
+  std::size_t polls = 0;
   for (;;) {
     const auto it = std::find_if(
         box.messages.begin(), box.messages.end(), [&](const Message& m) {
@@ -58,8 +186,54 @@ std::vector<float> Fabric::recv(std::size_t dst, std::size_t src, int tag) {
       }
       return std::move(msg.payload);
     }
-    box.cv.wait(lock);
+    if (!faults_on_) {
+      box.cv.wait(lock);
+      continue;
+    }
+    // Faulty mode: poll instead of waiting forever, so that dead peers and
+    // lost messages surface as typed failures rather than deadlocks.
+    if (slots_[src]->state.load(std::memory_order_acquire) != kActive) {
+      lock.unlock();
+      throw RankFailure(src, RankFailure::Kind::kPeerGone,
+                        describe(src, "peer gone with no matching message"));
+    }
+    lock.unlock();
+    check_self_alive(dst);
+    if (polls >= faults_.max_recv_polls) {
+      {
+        const std::lock_guard<std::mutex> clock_lock(clocks_[dst]->mutex);
+        clocks_[dst]->value += faults_.recv_timeout;
+      }
+      throw RankFailure(src, RankFailure::Kind::kTimeout,
+                        describe(dst, "recv timed out — message lost"));
+    }
+    lock.lock();
+    if (box.cv.wait_for(lock, std::chrono::duration<double>(
+                                  faults_.recv_poll_seconds)) ==
+        std::cv_status::timeout) {
+      ++polls;
+    }
   }
+}
+
+bool Fabric::pop_any(Mailbox& box, int tag, Message& out) {
+  const std::size_t p = ranks();
+  auto best = box.messages.end();
+  std::size_t best_key = p;
+  for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
+    if (it->tag != tag) continue;
+    // Distance from the rotation start; strict < keeps per-sender FIFO.
+    const std::size_t key = (it->src + p - box.any_rotation) % p;
+    if (best == box.messages.end() || key < best_key) {
+      best_key = key;
+      best = it;
+    }
+  }
+  if (best == box.messages.end()) return false;
+  out = std::move(*best);
+  box.messages.erase(best);
+  box.any_rotation = (out.src + 1) % p;
+  return true;
 }
 
 std::pair<std::size_t, std::vector<float>> Fabric::recv_any(std::size_t dst,
@@ -67,13 +241,10 @@ std::pair<std::size_t, std::vector<float>> Fabric::recv_any(std::size_t dst,
   DS_CHECK(dst < ranks(), "recv_any rank out of range");
   Mailbox& box = *mailboxes_[dst];
   std::unique_lock<std::mutex> lock(box.mutex);
+  std::size_t polls = 0;
   for (;;) {
-    const auto it = std::find_if(
-        box.messages.begin(), box.messages.end(),
-        [&](const Message& m) { return m.tag == tag; });
-    if (it != box.messages.end()) {
-      Message msg = std::move(*it);
-      box.messages.erase(it);
+    Message msg;
+    if (pop_any(box, tag, msg)) {
       lock.unlock();
       {
         const std::lock_guard<std::mutex> clock_lock(clocks_[dst]->mutex);
@@ -81,7 +252,39 @@ std::pair<std::size_t, std::vector<float>> Fabric::recv_any(std::size_t dst,
       }
       return {msg.src, std::move(msg.payload)};
     }
-    box.cv.wait(lock);
+    if (!faults_on_) {
+      box.cv.wait(lock);
+      continue;
+    }
+    bool any_sender_alive = false;
+    for (std::size_t r = 0; r < ranks(); ++r) {
+      if (r != dst &&
+          slots_[r]->state.load(std::memory_order_acquire) == kActive) {
+        any_sender_alive = true;
+        break;
+      }
+    }
+    if (!any_sender_alive) {
+      lock.unlock();
+      throw RankFailure(dst, RankFailure::Kind::kPeerGone,
+                        describe(dst, "no active senders remain"));
+    }
+    lock.unlock();
+    check_self_alive(dst);
+    if (polls >= faults_.max_recv_polls) {
+      {
+        const std::lock_guard<std::mutex> clock_lock(clocks_[dst]->mutex);
+        clocks_[dst]->value += faults_.recv_timeout;
+      }
+      throw RankFailure(dst, RankFailure::Kind::kTimeout,
+                        describe(dst, "recv_any timed out"));
+    }
+    lock.lock();
+    if (box.cv.wait_for(lock, std::chrono::duration<double>(
+                                  faults_.recv_poll_seconds)) ==
+        std::cv_status::timeout) {
+      ++polls;
+    }
   }
 }
 
@@ -94,8 +297,25 @@ double Fabric::clock(std::size_t rank) const {
 void Fabric::advance(std::size_t rank, double seconds) {
   DS_CHECK(rank < ranks(), "advance rank out of range");
   DS_CHECK(seconds >= 0.0, "cannot advance clock backwards");
-  const std::lock_guard<std::mutex> lock(clocks_[rank]->mutex);
-  clocks_[rank]->value += seconds;
+  if (!faults_on_) {
+    const std::lock_guard<std::mutex> lock(clocks_[rank]->mutex);
+    clocks_[rank]->value += seconds;
+    return;
+  }
+  check_self_alive(rank);
+  const double slowed = seconds * faults_.straggler_for(rank);
+  const double crash = faults_.crash_time(rank);
+  bool crashed = false;
+  {
+    const std::lock_guard<std::mutex> lock(clocks_[rank]->mutex);
+    clocks_[rank]->value += slowed;
+    crashed = clocks_[rank]->value >= crash;
+  }
+  if (crashed) {
+    mark_failed(rank);
+    throw RankFailure(rank, RankFailure::Kind::kCrashed,
+                      describe(rank, "crashed during local work"));
+  }
 }
 
 double Fabric::max_clock() const {

@@ -8,8 +8,18 @@
 // simulation of a cluster: collective schedules (binomial tree vs linear)
 // produce exactly the Θ(log P) vs Θ(P) critical paths the paper contrasts,
 // without any real network.
+//
+// Fault injection: a FaultPlan (comm/fault.hpp) can be threaded into the
+// fabric at construction. When the plan is active, sends may be dropped and
+// retransmitted (charging the sender's clock per attempt), transfers pick up
+// jitter, stragglers run slow, and ranks die at scheduled virtual times.
+// Blocking receives then poll for peer liveness instead of waiting forever:
+// a vanished peer or a permanently lost message surfaces as a RankFailure
+// instead of a deadlock. An all-zero plan is behavior-neutral — the fabric
+// takes exactly the fault-free code paths.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -19,31 +29,46 @@
 
 #include "comm/collectives.hpp"
 #include "comm/cost_model.hpp"
+#include "comm/fault.hpp"
+#include "support/rng.hpp"
 
 namespace ds {
 
 class Fabric {
  public:
   Fabric(std::size_t ranks, LinkModel link);
+  Fabric(std::size_t ranks, LinkModel link, FaultPlan faults);
 
   std::size_t ranks() const { return mailboxes_.size(); }
   const LinkModel& link() const { return link_; }
+  const FaultPlan& faults() const { return faults_; }
 
   // -------------------------------------------------------------------
   // Point-to-point. Called from the owning rank's thread.
   // -------------------------------------------------------------------
 
   /// Blocking matched send (eager): charges the sender's clock and enqueues.
+  /// Under an active FaultPlan the message may be dropped and retransmitted
+  /// (each attempt charges transfer + retry_backoff); after
+  /// max_send_attempts drops it is lost for good — the receiver's timeout,
+  /// not the sender, notices. Throws RankFailure if the sender is past its
+  /// scheduled crash time.
   void send(std::size_t src, std::size_t dst, int tag,
             std::vector<float> payload);
 
   /// Blocking receive matching (src, tag); advances the receiver's clock to
-  /// the message arrival time.
+  /// the message arrival time. Under an active FaultPlan, throws
+  /// RankFailure(kPeerGone) when src is dead/retired with no matching
+  /// message pending, and RankFailure(kTimeout) — after charging
+  /// recv_timeout virtual seconds — when the wait exhausts max_recv_polls.
   std::vector<float> recv(std::size_t dst, std::size_t src, int tag);
 
-  /// Blocking receive matching the tag from ANY source, first-come
-  /// first-served in mailbox order — the FCFS discipline of the paper's
-  /// parameter server (§3.1). Returns {source, payload}.
+  /// Blocking receive matching the tag from ANY source — the FCFS service
+  /// discipline of the paper's parameter server (§3.1), made starvation-free
+  /// by rotating the preferred sender one past the last rank served (plain
+  /// mailbox order always favoured low-numbered ranks under contention).
+  /// Returns {source, payload}. Fault semantics as recv(), with kPeerGone
+  /// raised once every other rank is dead/retired and nothing is queued.
   std::pair<std::size_t, std::vector<float>> recv_any(std::size_t dst,
                                                       int tag);
 
@@ -54,14 +79,39 @@ class Fabric {
   double clock(std::size_t rank) const;
 
   /// Advance a rank's clock by `seconds` of local work (compute, updates).
+  /// Straggler factors multiply `seconds`; crossing the rank's scheduled
+  /// crash time marks it dead and throws RankFailure(kCrashed).
   void advance(std::size_t rank, double seconds);
 
   /// Max clock over all ranks — the experiment's elapsed virtual time.
   double max_clock() const;
 
   // -------------------------------------------------------------------
+  // Rank lifecycle (fault tolerance).
+  // -------------------------------------------------------------------
+
+  enum class RankState { kActive, kRetired, kFailed };
+
+  /// Mark a rank as cleanly done (normal exit). Peers blocked on it get
+  /// RankFailure(kPeerGone) instead of waiting forever. Idempotent; never
+  /// resurrects a failed rank.
+  void retire(std::size_t rank);
+
+  /// Mark a rank as dead (crash). Called internally when a rank crosses its
+  /// scheduled crash time; algorithms may also call it when abandoning a
+  /// rank mid-run so that peers unblock.
+  void mark_failed(std::size_t rank);
+
+  RankState state(std::size_t rank) const;
+  bool alive(std::size_t rank) const { return state(rank) == RankState::kActive; }
+
+  /// Number of ranks still active.
+  std::size_t alive_ranks() const;
+
+  // -------------------------------------------------------------------
   // Collectives (binomial tree). Each rank calls with its own id and its
-  // own buffer; all ranks must participate.
+  // own buffer; all ranks must participate. Under faults, a dead peer in
+  // the tree surfaces as RankFailure from the underlying send/recv.
   // -------------------------------------------------------------------
 
   /// After return every rank's `data` equals root's original `data`.
@@ -92,6 +142,7 @@ class Fabric {
     std::mutex mutex;
     std::condition_variable cv;
     std::deque<Message> messages;
+    std::size_t any_rotation = 0;  // next preferred sender for recv_any
   };
 
   struct ClockSlot {
@@ -99,9 +150,31 @@ class Fabric {
     double value = 0.0;
   };
 
+  struct FaultSlot {
+    std::atomic<int> state{0};  // RankState as int
+    Rng rng;                    // drop/jitter stream; owner-thread only
+  };
+
+  /// Throw RankFailure(kCrashed) if `rank` is failed or past its crash time
+  /// (marking it failed in passing). No-op when faults are inactive.
+  void check_self_alive(std::size_t rank);
+
+  /// Wake every blocked receiver so it can re-evaluate rank liveness.
+  void notify_all_mailboxes();
+
+  /// Deliver after the fault gauntlet: drop/retransmit/jitter/straggler.
+  void faulty_send(std::size_t src, std::size_t dst, int tag,
+                   std::vector<float> payload);
+
+  /// Pop the rotation-preferred message matching `tag`, or nothing.
+  bool pop_any(Mailbox& box, int tag, Message& out);
+
   LinkModel link_;
+  FaultPlan faults_;
+  bool faults_on_ = false;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<ClockSlot>> clocks_;
+  std::vector<std::unique_ptr<FaultSlot>> slots_;
 };
 
 }  // namespace ds

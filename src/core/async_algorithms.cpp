@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstring>
 #include <mutex>
+#include <sstream>
 #include <thread>
 
 #include "core/easgd_rules.hpp"
@@ -50,6 +51,9 @@ struct MasterState {
 
   std::mutex ledger_mutex;
   CostLedger ledger;
+
+  std::atomic<std::size_t> crashed{0};    // workers lost to the FaultPlan
+  std::atomic<std::size_t> completed{0};  // interactions actually executed
 };
 
 }  // namespace
@@ -68,8 +72,14 @@ const char* async_method_name(AsyncMethod method) {
 
 RunResult run_async(const AlgoContext& ctx, const GpuSystem& hw,
                     AsyncMethod method) {
+  return run_async(ctx, hw, method, FaultPlan::none());
+}
+
+RunResult run_async(const AlgoContext& ctx, const GpuSystem& hw,
+                    AsyncMethod method, const FaultPlan& faults) {
   const TrainConfig& cfg = ctx.config;
   DS_CHECK(cfg.workers > 0, "need at least one worker");
+  const bool faults_on = faults.active();
 
   // Master initialisation: one replica defines W̄₀ for everybody.
   const std::unique_ptr<Network> init_net = ctx.factory();
@@ -101,8 +111,16 @@ RunResult run_async(const AlgoContext& ctx, const GpuSystem& hw,
   auto worker_fn = [&](std::size_t wid) {
     const std::unique_ptr<Network> net = ctx.factory();
     {
-      // All workers start from W̄₀.
-      copy(master.center, net->arena().full_params());
+      // All workers start from W̄₀. Another worker may already be inside a
+      // center update by the time this thread launches, so the locked
+      // variants must take the FCFS lock even for the initial read (the
+      // Hogwild variants read racily by design, as everywhere else).
+      if (lock_free) {
+        copy(master.center, net->arena().full_params());
+      } else {
+        const std::lock_guard<std::mutex> lock(master.mutex);
+        copy(master.center, net->arena().full_params());
+      }
     }
     BatchSampler sampler(*ctx.train, cfg.batch_size, cfg.seed * 104729 + wid);
     Tensor batch;
@@ -112,8 +130,17 @@ RunResult run_async(const AlgoContext& ctx, const GpuSystem& hw,
     if (momentum && easgd) worker_momentum.assign(master.center.size(), 0.0f);
     CostLedger local_ledger;
     double wclock = 0.0;
+    const double slow = faults.straggler_for(wid);
+    const double death = faults.crash_time(wid);
 
     for (;;) {
+      if (faults_on && wclock >= death) {
+        // Scheduled crash, detected at the iteration boundary: this worker
+        // stops touching the master and the FCFS ticket queue hands its
+        // remaining interaction share to the survivors.
+        master.crashed.fetch_add(1);
+        break;
+      }
       const std::size_t my = master.ticket.fetch_add(1);
       if (my >= cfg.iterations) break;
       const std::size_t iter = my + 1;
@@ -136,7 +163,7 @@ RunResult run_async(const AlgoContext& ctx, const GpuSystem& hw,
         }
         net->zero_grads();
         net->forward_backward(batch, labels);
-        wclock += data_s + std::max(fb_s, hop);
+        wclock += (data_s + std::max(fb_s, hop)) * slow;
 
         if (momentum) {
           measgd_worker_step(net->arena().full_params(), worker_momentum,
@@ -147,14 +174,14 @@ RunResult run_async(const AlgoContext& ctx, const GpuSystem& hw,
                             net->arena().full_grads(), center_copy, lr,
                             cfg.rho);
         }
-        wclock += gup_s;
+        wclock += gup_s * slow;
         local_ledger.charge(Phase::kGpuUpdate, gup_s);
 
         // Push W_i; master applies Eq. (2).
         if (lock_free) {
           easgd_center_step(master.center, net->arena().full_params(), lr,
                             cfg.rho);
-          wclock += hop + cup_s;
+          wclock += (hop + cup_s) * slow;
         } else {
           const std::lock_guard<std::mutex> lock(master.mutex);
           easgd_center_step(master.center, net->arena().full_params(), lr,
@@ -176,11 +203,11 @@ RunResult run_async(const AlgoContext& ctx, const GpuSystem& hw,
         }
         net->zero_grads();
         net->forward_backward(batch, labels);
-        wclock += data_s + hop + fb_s;
+        wclock += (data_s + hop + fb_s) * slow;
 
         if (lock_free) {
           sgd_step(master.center, net->arena().full_grads(), lr);
-          wclock += hop + cup_s;
+          wclock += (hop + cup_s) * slow;
         } else {
           const std::lock_guard<std::mutex> lock(master.mutex);
           if (momentum) {
@@ -216,6 +243,7 @@ RunResult run_async(const AlgoContext& ctx, const GpuSystem& hw,
         const std::lock_guard<std::mutex> lock(master.trace_mutex);
         master.snapshots.push_back(std::move(snap));
       }
+      master.completed.fetch_add(1, std::memory_order_relaxed);
     }
 
     const std::lock_guard<std::mutex> lock(master.ledger_mutex);
@@ -248,7 +276,21 @@ RunResult run_async(const AlgoContext& ctx, const GpuSystem& hw,
     res.trace.push_back(p);
   }
   res.total_seconds = vtime_monotone;
-  res.iterations = cfg.iterations;
+  res.iterations = master.completed.load();
+  res.workers = cfg.workers;
+  res.workers_survived = cfg.workers - master.crashed.load();
+  if (res.workers_survived < res.workers) {
+    // Crashes only abort the run when they leave the interaction budget
+    // unfinished (i.e. every worker died); otherwise the FCFS ticket queue
+    // let the survivors absorb the lost worker's share.
+    res.aborted = res.iterations < cfg.iterations;
+    std::ostringstream os;
+    os << (res.workers - res.workers_survived) << " worker(s) crashed; "
+       << (res.aborted ? "interaction budget cut to " : "survivors finished ")
+       << res.iterations << '/' << cfg.iterations << " interactions";
+    res.abort_reason = os.str();
+  }
+  res.final_params.assign(master.center.begin(), master.center.end());
   if (!res.trace.empty()) {
     res.final_accuracy = res.trace.back().accuracy;
     res.final_loss = res.trace.back().loss;

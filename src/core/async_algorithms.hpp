@@ -22,6 +22,7 @@
 // Hogwild EASGD overtakes Async EASGD once the master saturates.
 #pragma once
 
+#include "comm/fault.hpp"
 #include "core/context.hpp"
 #include "core/run_result.hpp"
 #include "simhw/gpu_system.hpp"
@@ -41,5 +42,17 @@ const char* async_method_name(AsyncMethod method);
 
 RunResult run_async(const AlgoContext& ctx, const GpuSystem& hw,
                     AsyncMethod method);
+
+/// Fault-aware variant. The async family degrades gracefully: a worker
+/// whose virtual clock crosses its scheduled crash time stops at the next
+/// iteration boundary and the survivors absorb the remaining interaction
+/// budget (the FCFS ticket queue redistributes work automatically);
+/// straggler factors slow the affected worker's virtual clock. The result
+/// records the surviving worker count and the interactions actually
+/// completed; if the crashes leave the budget unfinished (every worker
+/// died), RunResult::aborted is set. An inactive plan reproduces
+/// run_async() exactly.
+RunResult run_async(const AlgoContext& ctx, const GpuSystem& hw,
+                    AsyncMethod method, const FaultPlan& faults);
 
 }  // namespace ds

@@ -1,6 +1,8 @@
 #include "core/fabric_algorithms.hpp"
 
+#include <atomic>
 #include <mutex>
+#include <sstream>
 
 #include "comm/fabric.hpp"
 #include "core/easgd_rules.hpp"
@@ -11,6 +13,19 @@
 #include "tensor/ops.hpp"
 
 namespace ds {
+namespace {
+
+/// Ranks that crashed (scheduled fault) end in kFailed; ranks that caught a
+/// peer's failure and unwound cleanly end in kRetired like normal finishers.
+std::size_t count_failed(const Fabric& fabric) {
+  std::size_t failed = 0;
+  for (std::size_t r = 0; r < fabric.ranks(); ++r) {
+    if (fabric.state(r) == Fabric::RankState::kFailed) ++failed;
+  }
+  return failed;
+}
+
+}  // namespace
 
 RunResult run_fabric_easgd(const AlgoContext& ctx,
                            const FabricClusterConfig& cluster) {
@@ -18,7 +33,7 @@ RunResult run_fabric_easgd(const AlgoContext& ctx,
   const std::size_t ranks = cfg.workers;
   DS_CHECK(ranks > 0, "need at least one rank");
 
-  Fabric fabric(ranks, cluster.network);
+  Fabric fabric(ranks, cluster.network, cluster.faults);
 
   // Per-iteration local costs charged to each rank's fabric clock; the
   // communication costs come from the fabric itself, message by message.
@@ -32,7 +47,12 @@ RunResult run_fabric_easgd(const AlgoContext& ctx,
     double vtime;
     std::vector<float> center;
   };
-  std::vector<Probe> probes;  // written only by rank 0
+  std::vector<Probe> probes;         // written only by rank 0
+  std::vector<float> final_center;   // written only by rank 0
+  std::size_t completed_rounds = 0;  // written only by rank 0
+  std::atomic<bool> any_failure{false};
+  std::mutex abort_mutex;
+  std::string abort_reason;
 
   auto rank_main = [&](std::size_t rank) {
     const std::unique_ptr<Network> net = ctx.factory();
@@ -42,46 +62,75 @@ RunResult run_fabric_easgd(const AlgoContext& ctx,
     // "KNL1 broadcasts W to all KNLs").
     std::vector<float> center(net->arena().full_params().begin(),
                               net->arena().full_params().end());
-    fabric.tree_broadcast(rank, 0, center);
-    copy(center, net->arena().full_params());
-
-    BatchSampler sampler(*ctx.train, cfg.batch_size,
-                         cfg.seed * 48271 + rank);
-    Tensor batch;
-    std::vector<std::int32_t> labels;
-    std::vector<float> sum_w(n);
-
-    for (std::size_t t = 1; t <= cfg.iterations; ++t) {
-      // Line 11: forward/backward on every node.
-      sampler.next(batch, labels);
-      net->zero_grads();
-      net->forward_backward(batch, labels);
-      fabric.advance(rank, fb_s);
-
-      // Line 12: KNL1 broadcasts W̄_t.
+    std::size_t t = 0;
+    try {
       fabric.tree_broadcast(rank, 0, center);
+      copy(center, net->arena().full_params());
 
-      // Line 13: KNL1 gets Σ W_j^t (pre-update weights). tree_reduce
-      // consumes non-root buffers, so refill by assignment every round.
-      const auto params = net->arena().full_params();
-      sum_w.assign(params.begin(), params.end());
-      fabric.tree_reduce(rank, 0, sum_w);
+      BatchSampler sampler(*ctx.train, cfg.batch_size,
+                           cfg.seed * 48271 + rank);
+      Tensor batch;
+      std::vector<std::int32_t> labels;
+      std::vector<float> sum_w(n);
 
-      // Line 14: every node applies Eq. (1) against the broadcast W̄_t.
-      easgd_worker_step(net->arena().full_params(),
-                        net->arena().full_grads(), center, cfg.lr_at(t),
-                        cfg.rho);
-      fabric.advance(rank, up_s);
+      for (t = 1; t <= cfg.iterations; ++t) {
+        // Line 11: forward/backward on every node.
+        sampler.next(batch, labels);
+        net->zero_grads();
+        net->forward_backward(batch, labels);
+        fabric.advance(rank, fb_s);
 
-      // Line 15: KNL1 applies Eq. (2).
-      if (rank == 0) {
-        easgd_center_step_sum(center, sum_w, ranks, cfg.lr_at(t),
-                              cfg.rho);
+        // Line 12: KNL1 broadcasts W̄_t.
+        fabric.tree_broadcast(rank, 0, center);
+
+        // Line 13: KNL1 gets Σ W_j^t (pre-update weights). tree_reduce
+        // consumes non-root buffers, so refill by assignment every round.
+        const auto params = net->arena().full_params();
+        sum_w.assign(params.begin(), params.end());
+        fabric.tree_reduce(rank, 0, sum_w);
+
+        // Line 14: every node applies Eq. (1) against the broadcast W̄_t.
+        easgd_worker_step(net->arena().full_params(),
+                          net->arena().full_grads(), center, cfg.lr_at(t),
+                          cfg.rho);
         fabric.advance(rank, up_s);
-        if (t % cfg.eval_every == 0 || t == cfg.iterations) {
-          probes.push_back(Probe{t, fabric.clock(0), center});
+
+        // Line 15: KNL1 applies Eq. (2).
+        if (rank == 0) {
+          easgd_center_step_sum(center, sum_w, ranks, cfg.lr_at(t),
+                                cfg.rho);
+          fabric.advance(rank, up_s);
+          completed_rounds = t;
+          if (t % cfg.eval_every == 0 || t == cfg.iterations) {
+            probes.push_back(Probe{t, fabric.clock(0), center});
+          }
         }
       }
+      if (rank == 0) final_center = center;
+      fabric.retire(rank);
+    } catch (const RankFailure& failure) {
+      // Either this rank crashed (kCrashed, already marked failed in the
+      // fabric) or a peer vanished mid-collective (kPeerGone/kTimeout).
+      // Abort the round cleanly: unwind, retire so blocked peers cascade
+      // out, and leave partial progress behind.
+      any_failure.store(true);
+      {
+        const std::lock_guard<std::mutex> lock(abort_mutex);
+        if (abort_reason.empty()) {
+          std::ostringstream os;
+          os << "round " << t << " aborted at rank " << rank << ": "
+             << failure.what();
+          abort_reason = os.str();
+        }
+      }
+      if (rank == 0) {
+        final_center = center;
+        if (probes.empty() || probes.back().iteration < completed_rounds) {
+          probes.push_back(
+              Probe{completed_rounds, fabric.clock(0), center});
+        }
+      }
+      fabric.retire(rank);
     }
   };
 
@@ -89,6 +138,12 @@ RunResult run_fabric_easgd(const AlgoContext& ctx,
 
   RunResult res;
   res.method = "Fabric EASGD (SPMD Algorithm 4)";
+  res.workers = ranks;
+  res.workers_survived = ranks - count_failed(fabric);
+  res.aborted = any_failure.load();
+  res.abort_reason = abort_reason;
+  res.iterations = res.aborted ? completed_rounds : cfg.iterations;
+  res.final_params = std::move(final_center);
   Evaluator eval(ctx.factory, *ctx.test, cfg.eval_samples);
   for (const Probe& probe : probes) {
     TracePoint p = eval.evaluate_packed(probe.center);
@@ -97,22 +152,17 @@ RunResult run_fabric_easgd(const AlgoContext& ctx,
     res.trace.push_back(p);
   }
   res.total_seconds = fabric.max_clock();
-  res.iterations = cfg.iterations;
   if (!res.trace.empty()) {
     res.final_accuracy = res.trace.back().accuracy;
     res.final_loss = res.trace.back().loss;
   }
-  res.ledger.charge(Phase::kForwardBackward,
-                    fb_s * static_cast<double>(cfg.iterations));
+  const double iters = static_cast<double>(res.iterations);
+  res.ledger.charge(Phase::kForwardBackward, fb_s * iters);
   res.ledger.charge(
       Phase::kGpuGpuParamComm,
-      std::max(0.0, res.total_seconds -
-                        (fb_s + 2.0 * up_s) *
-                            static_cast<double>(cfg.iterations)));
-  res.ledger.charge(Phase::kGpuUpdate,
-                    up_s * static_cast<double>(cfg.iterations));
-  res.ledger.charge(Phase::kCpuUpdate,
-                    up_s * static_cast<double>(cfg.iterations));
+      std::max(0.0, res.total_seconds - (fb_s + 2.0 * up_s) * iters));
+  res.ledger.charge(Phase::kGpuUpdate, up_s * iters);
+  res.ledger.charge(Phase::kCpuUpdate, up_s * iters);
   return res;
 }
 
@@ -125,7 +175,7 @@ RunResult run_fabric_async_easgd(const AlgoContext& ctx,
   constexpr int kPushTag = 901;
   constexpr int kReplyTag = 902;
 
-  Fabric fabric(ranks, cluster.network);
+  Fabric fabric(ranks, cluster.network, cluster.faults);
 
   const double fb_s = static_cast<double>(cfg.batch_size) *
                       cluster.model.flops_per_sample / cluster.node_flops;
@@ -143,7 +193,10 @@ RunResult run_fabric_async_easgd(const AlgoContext& ctx,
     double vtime;
     std::vector<float> center;
   };
-  std::vector<Probe> probes;  // written only by the server thread
+  std::vector<Probe> probes;        // written only by the server thread
+  std::vector<float> final_center;  // written only by the server thread
+  std::size_t served = 0;           // written only by the server thread
+  std::atomic<bool> budget_cut{false};
 
   // W̄₀ from one reference replica.
   const std::unique_ptr<Network> init_net = ctx.factory();
@@ -152,46 +205,62 @@ RunResult run_fabric_async_easgd(const AlgoContext& ctx,
 
   auto server_main = [&] {
     std::vector<float> center = initial;
-    for (std::size_t done = 1; done <= cfg.iterations; ++done) {
-      auto [src, w_i] = fabric.recv_any(0, kPushTag);
-      // Eq. (2) against the pushed worker weights, then return W̄.
-      easgd_center_step(center, w_i, cfg.lr_at(done), cfg.rho);
-      fabric.advance(0, up_s);
-      fabric.send(0, src, kReplyTag, center);
-      if (done % cfg.eval_every == 0 || done == cfg.iterations) {
-        probes.push_back(Probe{done, fabric.clock(0), center});
+    try {
+      for (std::size_t done = 1; done <= cfg.iterations; ++done) {
+        auto [src, w_i] = fabric.recv_any(0, kPushTag);
+        // Eq. (2) against the pushed worker weights, then return W̄.
+        easgd_center_step(center, w_i, cfg.lr_at(done), cfg.rho);
+        fabric.advance(0, up_s);
+        fabric.send(0, src, kReplyTag, center);
+        served = done;
+        if (done % cfg.eval_every == 0 || done == cfg.iterations) {
+          probes.push_back(Probe{done, fabric.clock(0), center});
+        }
       }
+    } catch (const RankFailure&) {
+      // The surviving workers exhausted their quotas (or the server itself
+      // crashed): the FCFS loop ends with whatever interactions arrived.
+      budget_cut.store(true);
     }
+    final_center = center;
+    fabric.retire(0);
   };
 
   auto worker_main = [&](std::size_t rank) {
-    const std::unique_ptr<Network> net = ctx.factory();
-    copy(initial, net->arena().full_params());
-    BatchSampler sampler(*ctx.train, cfg.batch_size, cfg.seed * 31393 + rank);
-    Tensor batch;
-    std::vector<std::int32_t> labels;
-    const std::size_t my_quota = quota(rank);
+    try {
+      const std::unique_ptr<Network> net = ctx.factory();
+      copy(initial, net->arena().full_params());
+      BatchSampler sampler(*ctx.train, cfg.batch_size,
+                           cfg.seed * 31393 + rank);
+      Tensor batch;
+      std::vector<std::int32_t> labels;
+      const std::size_t my_quota = quota(rank);
 
-    for (std::size_t t = 1; t <= my_quota; ++t) {
-      // Gradient at the LOCAL weights (elastic worker), overlapping with
-      // the round trip below only through the fabric's causal clocks.
-      sampler.next(batch, labels);
-      net->zero_grads();
-      net->forward_backward(batch, labels);
-      fabric.advance(rank, fb_s);
+      for (std::size_t t = 1; t <= my_quota; ++t) {
+        // Gradient at the LOCAL weights (elastic worker), overlapping with
+        // the round trip below only through the fabric's causal clocks.
+        sampler.next(batch, labels);
+        net->zero_grads();
+        net->forward_backward(batch, labels);
+        fabric.advance(rank, fb_s);
 
-      // Push W_i, receive W̄ (Figure 5's interaction).
-      std::vector<float> w_i(net->arena().full_params().begin(),
-                             net->arena().full_params().end());
-      fabric.send(rank, 0, kPushTag, std::move(w_i));
-      const std::vector<float> center = fabric.recv(rank, 0, kReplyTag);
+        // Push W_i, receive W̄ (Figure 5's interaction).
+        std::vector<float> w_i(net->arena().full_params().begin(),
+                               net->arena().full_params().end());
+        fabric.send(rank, 0, kPushTag, std::move(w_i));
+        const std::vector<float> center = fabric.recv(rank, 0, kReplyTag);
 
-      // Eq. (1) against the returned center.
-      easgd_worker_step(net->arena().full_params(),
-                        net->arena().full_grads(), center, cfg.lr_at(t),
-                        cfg.rho);
-      fabric.advance(rank, up_s);
+        // Eq. (1) against the returned center.
+        easgd_worker_step(net->arena().full_params(),
+                          net->arena().full_grads(), center, cfg.lr_at(t),
+                          cfg.rho);
+        fabric.advance(rank, up_s);
+      }
+    } catch (const RankFailure&) {
+      // This worker crashed, or the server/reply path is gone. Drop out;
+      // the server keeps going with the survivors.
     }
+    fabric.retire(rank);
   };
 
   parallel_for_threads(ranks, [&](std::size_t rank) {
@@ -204,6 +273,17 @@ RunResult run_fabric_async_easgd(const AlgoContext& ctx,
 
   RunResult res;
   res.method = "Fabric Async EASGD (parameter server)";
+  res.workers = workers;
+  res.workers_survived = workers - count_failed(fabric);
+  res.iterations = served;
+  res.aborted = budget_cut.load();
+  if (res.aborted) {
+    std::ostringstream os;
+    os << "interaction budget cut to " << served << '/' << cfg.iterations
+       << " (" << (workers - res.workers_survived) << " worker(s) lost)";
+    res.abort_reason = os.str();
+  }
+  res.final_params = std::move(final_center);
   Evaluator eval(ctx.factory, *ctx.test, cfg.eval_samples);
   for (const Probe& probe : probes) {
     TracePoint p = eval.evaluate_packed(probe.center);
@@ -212,22 +292,18 @@ RunResult run_fabric_async_easgd(const AlgoContext& ctx,
     res.trace.push_back(p);
   }
   res.total_seconds = fabric.max_clock();
-  res.iterations = cfg.iterations;
   if (!res.trace.empty()) {
     res.final_accuracy = res.trace.back().accuracy;
     res.final_loss = res.trace.back().loss;
   }
-  res.ledger.charge(Phase::kForwardBackward,
-                    fb_s * static_cast<double>(cfg.iterations));
-  res.ledger.charge(Phase::kCpuUpdate,
-                    up_s * static_cast<double>(cfg.iterations));
-  res.ledger.charge(Phase::kGpuUpdate,
-                    up_s * static_cast<double>(cfg.iterations));
+  const double iters = static_cast<double>(res.iterations);
+  res.ledger.charge(Phase::kForwardBackward, fb_s * iters);
+  res.ledger.charge(Phase::kCpuUpdate, up_s * iters);
+  res.ledger.charge(Phase::kGpuUpdate, up_s * iters);
   res.ledger.charge(
       Phase::kGpuGpuParamComm,
       std::max(0.0, res.total_seconds * static_cast<double>(workers) -
-                        (fb_s + 2.0 * up_s) *
-                            static_cast<double>(cfg.iterations)));
+                        (fb_s + 2.0 * up_s) * iters));
   return res;
 }
 

@@ -15,6 +15,7 @@
 #pragma once
 
 #include "comm/cost_model.hpp"
+#include "comm/fault.hpp"
 #include "core/context.hpp"
 #include "core/run_result.hpp"
 #include "nn/models.hpp"
@@ -26,6 +27,11 @@ struct FabricClusterConfig {
   double node_flops = 6.0e10;            // compute rate per node
   PaperModelInfo model = paper_lenet();  // paper-scale timing metadata
   double update_flops_per_param = 4.0;
+  // Faults threaded into the fabric (drops, jitter, stragglers, crashes).
+  // Graceful-degradation contract: the SPMD sync run aborts the failed
+  // round cleanly and reports partial progress; the parameter-server run
+  // keeps serving the surviving workers. An inactive plan is free.
+  FaultPlan faults;
 };
 
 /// Sync EASGD over the fabric: ctx.config.workers ranks, center on rank 0.

@@ -5,6 +5,22 @@
 
 namespace ds {
 
+bool RunResult::degraded() const {
+  return aborted || (workers > 0 && workers_survived < workers);
+}
+
+std::string RunResult::fault_summary() const {
+  std::ostringstream os;
+  os << workers_survived << '/' << workers << " workers, " << iterations
+     << " iters";
+  if (aborted) {
+    os << " [aborted";
+    if (!abort_reason.empty()) os << ": " << abort_reason;
+    os << ']';
+  }
+  return os.str();
+}
+
 std::optional<double> RunResult::time_to_accuracy(double target) const {
   for (const TracePoint& p : trace) {
     if (p.accuracy >= target) return p.vtime;

@@ -24,9 +24,26 @@ struct RunResult {
   std::vector<TracePoint> trace;
   CostLedger ledger;
   double total_seconds = 0.0;    // virtual time at the end of the run
-  std::size_t iterations = 0;
+  std::size_t iterations = 0;    // iterations/interactions actually completed
   double final_accuracy = 0.0;
   double final_loss = 0.0;
+
+  // --- robustness / fault-injection accounting -----------------------
+  std::size_t workers = 0;           // workers/ranks the run started with
+  std::size_t workers_survived = 0;  // still alive when the run ended
+  bool aborted = false;              // sync-family run stopped on a failure
+  std::string abort_reason;          // human-readable failure description
+
+  /// Center weights at the end of the run, packed in arena order. Filled by
+  /// the deterministic (sync/fabric) runners and by the locked async
+  /// runners; empty when the method has no well-defined final center.
+  std::vector<float> final_params;
+
+  /// True when the run lost workers or aborted early.
+  bool degraded() const;
+
+  /// One-line status: "4/4 workers, 300 iters" or the abort story.
+  std::string fault_summary() const;
 
   /// First virtual time at which the trace reaches `target` accuracy;
   /// nullopt if it never does.

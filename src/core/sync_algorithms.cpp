@@ -1,6 +1,7 @@
 #include "core/sync_algorithms.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "core/easgd_rules.hpp"
 #include "core/evaluator.hpp"
@@ -61,10 +62,49 @@ void finish(RunResult& res, double vtime, std::size_t iterations) {
   }
 }
 
+/// The sync family's reading of a FaultPlan: one straggler gates every
+/// round, and the earliest scheduled crash ends the run.
+struct FaultView {
+  bool on = false;
+  double slow = 1.0;  // max straggler factor over the workers
+  double crash_horizon = kNeverCrashes;
+  std::size_t crash_worker = 0;
+};
+
+FaultView view_faults(const FaultPlan& faults, std::size_t workers) {
+  FaultView v;
+  v.on = faults.active();
+  if (!v.on) return v;
+  for (std::size_t j = 0; j < workers; ++j) {
+    v.slow = std::max(v.slow, faults.straggler_for(j));
+    if (faults.crash_time(j) < v.crash_horizon) {
+      v.crash_horizon = faults.crash_time(j);
+      v.crash_worker = j;
+    }
+  }
+  return v;
+}
+
+/// True when round `t` (which would end at `end_of_round`) must abort:
+/// a worker dies mid-round, so the round's math never commits. Fills the
+/// abort fields; the caller records partial progress and returns.
+bool round_crashes(RunResult& res, const FaultView& v, double end_of_round,
+                   std::size_t t) {
+  if (!v.on || end_of_round < v.crash_horizon) return false;
+  res.aborted = true;
+  res.workers_survived = res.workers - 1;
+  std::ostringstream os;
+  os << "worker " << v.crash_worker << " crashed in round " << t
+     << "; round aborted";
+  res.abort_reason = os.str();
+  return true;
+}
+
 }  // namespace
 
 RunResult run_original_easgd(const AlgoContext& ctx, const GpuSystem& hw,
-                             OriginalVariant variant) {
+                             OriginalVariant variant,
+                             const FaultPlan& faults) {
   const TrainConfig& cfg = ctx.config;
   WorkerSet w = make_workers(ctx);
   Evaluator eval(ctx.factory, *ctx.test, cfg.eval_samples);
@@ -88,9 +128,35 @@ RunResult run_original_easgd(const AlgoContext& ctx, const GpuSystem& hw,
   const double gup_s = hw.gpu_update_seconds();
   const double cup_s = hw.cpu_update_seconds();
 
+  const FaultView fv = view_faults(faults, cfg.workers);
+  res.workers = cfg.workers;
+  res.workers_survived = cfg.workers;
+
   double vtime = 0.0;
   for (std::size_t t = 1; t <= cfg.iterations; ++t) {
     const std::size_t j = (t - 1) % cfg.workers;  // round-robin (§3.3)
+
+    // --- virtual time (computed first so a crash aborts the round before
+    // its math commits) -------------------------------------------------
+    // Round-robin only gates on the ACTIVE worker, so its own straggler
+    // factor — not the cluster max — stretches this round.
+    const double slow = fv.on ? faults.straggler_for(j) : 1.0;
+    const double param_s = 2.0 * hop;  // W̄ down + W_j up
+    const double fb_charged =
+        (variant == OriginalVariant::kOverlapped
+             ? std::max(0.0, fb_s - param_s)  // pipelined behind transfers
+             : fb_s) *
+        slow;
+    const double iter_seconds =
+        data_s * slow + param_s + fb_charged + gup_s * slow + cup_s;
+    if (round_crashes(res, fv, vtime + iter_seconds, t)) {
+      if (res.trace.empty() || res.trace.back().iteration != t - 1) {
+        record_point(res, eval, center, t - 1, vtime);
+      }
+      finish(res, vtime, t - 1);
+      res.final_params.assign(center.begin(), center.end());
+      return res;
+    }
 
     compute_gradient(w, j);
     Network& net = *w.nets[j];
@@ -103,29 +169,24 @@ RunResult run_original_easgd(const AlgoContext& ctx, const GpuSystem& hw,
     // Line 14, Eq. (2) on the host against the transmitted W_j^t.
     easgd_center_step(center, worker_snapshot, lr, cfg.rho);
 
-    // --- virtual time ---------------------------------------------------
-    const double param_s = 2.0 * hop;  // W̄ down + W_j up
-    const double fb_charged =
-        variant == OriginalVariant::kOverlapped
-            ? std::max(0.0, fb_s - param_s)  // pipelined behind transfers
-            : fb_s;
-    res.ledger.charge(Phase::kCpuGpuDataComm, data_s);
+    res.ledger.charge(Phase::kCpuGpuDataComm, data_s * slow);
     res.ledger.charge(Phase::kCpuGpuParamComm, param_s);
     res.ledger.charge(Phase::kForwardBackward, fb_charged);
-    res.ledger.charge(Phase::kGpuUpdate, gup_s);
+    res.ledger.charge(Phase::kGpuUpdate, gup_s * slow);
     res.ledger.charge(Phase::kCpuUpdate, cup_s);
-    vtime += data_s + param_s + fb_charged + gup_s + cup_s;
+    vtime += iter_seconds;
 
     if (t % cfg.eval_every == 0 || t == cfg.iterations) {
       record_point(res, eval, center, t, vtime);
     }
   }
   finish(res, vtime, cfg.iterations);
+  res.final_params.assign(center.begin(), center.end());
   return res;
 }
 
 RunResult run_sync_easgd(const AlgoContext& ctx, const GpuSystem& hw,
-                         SyncEasgdVariant variant) {
+                         SyncEasgdVariant variant, const FaultPlan& faults) {
   const TrainConfig& cfg = ctx.config;
   WorkerSet w = make_workers(ctx);
   Evaluator eval(ctx.factory, *ctx.test, cfg.eval_samples);
@@ -174,8 +235,24 @@ RunResult run_sync_easgd(const AlgoContext& ctx, const GpuSystem& hw,
   std::vector<std::span<const float>> param_views;
   param_views.reserve(cfg.workers);
 
+  const FaultView fv = view_faults(faults, cfg.workers);
+  res.workers = cfg.workers;
+  res.workers_survived = cfg.workers;
+  // Every round gates on the slowest replica, so one straggler stretches
+  // the worker-parallel phases of the whole cluster.
+  const double iter_seconds = data_s * fv.slow + fb_s * fv.slow +
+                              comm_exposed + gup_s * fv.slow + master_up_s;
+
   double vtime = 0.0;
   for (std::size_t t = 1; t <= cfg.iterations; ++t) {
+    if (round_crashes(res, fv, vtime + iter_seconds, t)) {
+      if (res.trace.empty() || res.trace.back().iteration != t - 1) {
+        record_point(res, eval, center, t - 1, vtime);
+      }
+      finish(res, vtime, t - 1);
+      res.final_params.assign(center.begin(), center.end());
+      return res;
+    }
     // Step (1): every worker computes its sub-gradient in parallel.
     for (std::size_t j = 0; j < cfg.workers; ++j) compute_gradient(w, j);
 
@@ -194,22 +271,24 @@ RunResult run_sync_easgd(const AlgoContext& ctx, const GpuSystem& hw,
     easgd_center_step_sum(center, sum_w, cfg.workers, lr, cfg.rho);
 
     // --- virtual time ---------------------------------------------------
-    res.ledger.charge(Phase::kCpuGpuDataComm, data_s);
-    res.ledger.charge(Phase::kForwardBackward, fb_s);
+    res.ledger.charge(Phase::kCpuGpuDataComm, data_s * fv.slow);
+    res.ledger.charge(Phase::kForwardBackward, fb_s * fv.slow);
     res.ledger.charge(comm_phase, comm_exposed);
-    res.ledger.charge(Phase::kGpuUpdate, gup_s);
+    res.ledger.charge(Phase::kGpuUpdate, gup_s * fv.slow);
     res.ledger.charge(master_up_phase, master_up_s);
-    vtime += data_s + fb_s + comm_exposed + gup_s + master_up_s;
+    vtime += iter_seconds;
 
     if (t % cfg.eval_every == 0 || t == cfg.iterations) {
       record_point(res, eval, center, t, vtime);
     }
   }
   finish(res, vtime, cfg.iterations);
+  res.final_params.assign(center.begin(), center.end());
   return res;
 }
 
-RunResult run_sync_sgd(const AlgoContext& ctx, const GpuSystem& hw) {
+RunResult run_sync_sgd(const AlgoContext& ctx, const GpuSystem& hw,
+                       const FaultPlan& faults) {
   const TrainConfig& cfg = ctx.config;
   WorkerSet w = make_workers(ctx);
   Evaluator eval(ctx.factory, *ctx.test, cfg.eval_samples);
@@ -248,8 +327,28 @@ RunResult run_sync_sgd(const AlgoContext& ctx, const GpuSystem& hw) {
   std::vector<std::span<const float>> grad_views;
   std::vector<float> layer_sum;
 
+  const FaultView fv = view_faults(faults, cfg.workers);
+  res.workers = cfg.workers;
+  res.workers_survived = cfg.workers;
+  const double iter_seconds =
+      data_s * fv.slow + fb_s * fv.slow + comm_s + gup_s * fv.slow;
+
   double vtime = 0.0;
   for (std::size_t t = 1; t <= cfg.iterations; ++t) {
+    if (round_crashes(res, fv, vtime + iter_seconds, t)) {
+      if (res.trace.empty() || res.trace.back().iteration != t - 1) {
+        TracePoint p = eval.evaluate(w.nets[0]->arena());
+        p.iteration = t - 1;
+        p.vtime = vtime;
+        res.trace.push_back(p);
+      }
+      finish(res, vtime, t - 1);
+      if (w.nets[0]->arena().mode() == PackMode::kPacked) {
+        const auto params = w.nets[0]->arena().full_params();
+        res.final_params.assign(params.begin(), params.end());
+      }
+      return res;
+    }
     for (std::size_t j = 0; j < cfg.workers; ++j) compute_gradient(w, j);
 
     // Lossy wire round-trip of each worker's gradient BEFORE the reduction:
@@ -287,11 +386,11 @@ RunResult run_sync_sgd(const AlgoContext& ctx, const GpuSystem& hw) {
       }
     }
 
-    res.ledger.charge(Phase::kCpuGpuDataComm, data_s);
-    res.ledger.charge(Phase::kForwardBackward, fb_s);
+    res.ledger.charge(Phase::kCpuGpuDataComm, data_s * fv.slow);
+    res.ledger.charge(Phase::kForwardBackward, fb_s * fv.slow);
     res.ledger.charge(Phase::kGpuGpuParamComm, comm_s);
-    res.ledger.charge(Phase::kGpuUpdate, gup_s);
-    vtime += data_s + fb_s + comm_s + gup_s;
+    res.ledger.charge(Phase::kGpuUpdate, gup_s * fv.slow);
+    vtime += iter_seconds;
 
     if (t % cfg.eval_every == 0 || t == cfg.iterations) {
       TracePoint p = eval.evaluate(w.nets[0]->arena());
@@ -301,6 +400,11 @@ RunResult run_sync_sgd(const AlgoContext& ctx, const GpuSystem& hw) {
     }
   }
   finish(res, vtime, cfg.iterations);
+  // Per-layer arenas have no packed view; leave final_params empty there.
+  if (w.nets[0]->arena().mode() == PackMode::kPacked) {
+    const auto params = w.nets[0]->arena().full_params();
+    res.final_params.assign(params.begin(), params.end());
+  }
   return res;
 }
 

@@ -20,6 +20,7 @@
 // paper highlights for Sync EASGD, §8).
 #pragma once
 
+#include "comm/fault.hpp"
 #include "core/context.hpp"
 #include "core/run_result.hpp"
 #include "simhw/gpu_system.hpp"
@@ -33,14 +34,25 @@ enum class OriginalVariant {
 
 enum class SyncEasgdVariant { kEasgd1, kEasgd2, kEasgd3 };
 
+// Fault semantics of the sync family (graceful-degradation contract): a
+// synchronous round gates on every worker, so the slowest straggler factor
+// stretches each round's compute phases, and a scheduled worker crash
+// cannot be skipped — the run detects the crash before the failed round's
+// math executes, aborts that round cleanly, and returns partial progress
+// (trace up to the last completed round, RunResult::aborted set, surviving
+// worker count recorded). An inactive plan is behavior-neutral.
+
 RunResult run_original_easgd(const AlgoContext& ctx, const GpuSystem& hw,
-                             OriginalVariant variant);
+                             OriginalVariant variant,
+                             const FaultPlan& faults = FaultPlan::none());
 
 RunResult run_sync_easgd(const AlgoContext& ctx, const GpuSystem& hw,
-                         SyncEasgdVariant variant);
+                         SyncEasgdVariant variant,
+                         const FaultPlan& faults = FaultPlan::none());
 
 /// Synchronous data-parallel SGD with a gradient allreduce; the message
 /// layout (packed vs per-layer) comes from ctx.config.layout.
-RunResult run_sync_sgd(const AlgoContext& ctx, const GpuSystem& hw);
+RunResult run_sync_sgd(const AlgoContext& ctx, const GpuSystem& hw,
+                       const FaultPlan& faults = FaultPlan::none());
 
 }  // namespace ds

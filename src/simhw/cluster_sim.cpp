@@ -46,16 +46,36 @@ WeakScalingPoint ClusterSim::run(std::size_t nodes, std::size_t iterations,
   node_rng.reserve(nodes);
   for (std::size_t n = 0; n < nodes; ++n) node_rng.push_back(base.fork(n));
 
-  const double comm = allreduce_seconds(nodes, schedule);
+  const bool faults_on = config_.faults.active();
+  const double comm_full = allreduce_seconds(nodes, schedule);
+  std::vector<bool> alive(nodes, true);
+  std::size_t n_alive = nodes;
+
   double total = 0.0;
   double comm_total = 0.0;
   for (std::size_t it = 0; it < iterations; ++it) {
+    if (faults_on) {
+      // Scheduled node crashes: the dead node leaves the allreduce group
+      // and the survivors carry on (graceful degradation at cluster scale).
+      for (std::size_t n = 0; n < nodes; ++n) {
+        if (alive[n] && config_.faults.crash_time(n) <= total) {
+          alive[n] = false;
+          --n_alive;
+        }
+      }
+      if (n_alive == 0) break;
+    }
+    const double comm =
+        faults_on ? allreduce_seconds(n_alive, schedule) : comm_full;
     // Synchronous step waits for the slowest node.
     double slowest = 0.0;
     for (std::size_t n = 0; n < nodes; ++n) {
+      if (!alive[n]) continue;
       const double jitter =
           std::exp(config_.jitter_sigma * node_rng[n].gaussian());
-      slowest = std::max(slowest, config_.base_iter_seconds * jitter);
+      double step = config_.base_iter_seconds * jitter;
+      if (faults_on) step *= config_.faults.straggler_for(n);
+      slowest = std::max(slowest, step);
     }
     double exposed_comm = comm;
     if (schedule == Schedule::kOurs) {
@@ -73,6 +93,7 @@ WeakScalingPoint ClusterSim::run(std::size_t nodes, std::size_t iterations,
   point.seconds = total;
   point.comm_seconds = comm_total;
   point.efficiency = 1.0;  // filled by sweep()
+  point.surviving_nodes = n_alive;
   return point;
 }
 

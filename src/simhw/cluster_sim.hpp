@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "comm/cost_model.hpp"
+#include "comm/fault.hpp"
 
 namespace ds {
 
@@ -49,6 +50,12 @@ struct ClusterSimConfig {
   // GpuSystemConfig::per_layer_beta_penalty, §5.2's second reason).
   double per_layer_beta_penalty = 1.8;
   std::uint64_t seed = 20170917;
+  // Fault injection at cluster scale: straggler factors multiply a node's
+  // per-iteration compute draw; a node whose scheduled crash time passes
+  // drops out and the survivors keep going with a smaller allreduce (the
+  // weak-scaling analogue of the algorithm layer's graceful degradation).
+  // An inactive plan reproduces the fault-free numbers exactly.
+  FaultPlan faults;
 };
 
 struct WeakScalingPoint {
@@ -57,6 +64,7 @@ struct WeakScalingPoint {
   double seconds = 0.0;      // total time for the iteration budget
   double efficiency = 0.0;   // T(1) / T(nodes)
   double comm_seconds = 0.0; // un-hidden communication time included above
+  std::size_t surviving_nodes = 0;  // nodes still alive at the end
 };
 
 class ClusterSim {

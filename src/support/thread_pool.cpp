@@ -1,5 +1,7 @@
 #include "support/thread_pool.hpp"
 
+#include <exception>
+
 #include "support/error.hpp"
 
 namespace ds {
@@ -58,8 +60,20 @@ void parallel_for_threads(std::size_t n,
                           const std::function<void(std::size_t)>& fn) {
   std::vector<std::thread> threads;
   threads.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) threads.emplace_back([&fn, i] { fn(i); });
+  std::mutex failure_mutex;
+  std::exception_ptr first_failure;
+  for (std::size_t i = 0; i < n; ++i) {
+    threads.emplace_back([&, i] {
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(failure_mutex);
+        if (!first_failure) first_failure = std::current_exception();
+      }
+    });
+  }
   for (auto& t : threads) t.join();
+  if (first_failure) std::rethrow_exception(first_failure);
 }
 
 }  // namespace ds

@@ -44,6 +44,11 @@ class ThreadPool {
 
 /// Run fn(i) for i in [0, n) across `threads` std::threads and join them all.
 /// Used where each logical device must be its own OS thread (Hogwild).
+/// If one or more workers throw, every thread is still joined and the first
+/// captured exception is rethrown on the calling thread (instead of the
+/// std::terminate an escaping thread exception would cause) — note the
+/// remaining workers must be able to finish on their own for the join to
+/// return, which the fabric's fault mode guarantees via RankFailure.
 void parallel_for_threads(std::size_t n, const std::function<void(std::size_t)>& fn);
 
 }  // namespace ds

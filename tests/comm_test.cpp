@@ -213,6 +213,33 @@ TEST(Fabric, RecvAnyTakesFirstMatchingTag) {
   EXPECT_EQ(p2, (std::vector<float>{2.0f}));
 }
 
+TEST(Fabric, RecvAnyRotationServesEverySenderUnderContention) {
+  // Regression for the parameter server's FCFS starvation bias: with plain
+  // mailbox order a flooding low-numbered rank was always served first.
+  // The rotating scan guarantees every pending sender is served within one
+  // sweep of the peer set.
+  Fabric fabric(4, fdr_infiniband());
+  for (int i = 0; i < 8; ++i) {
+    fabric.send(1, 0, 7, {static_cast<float>(i)});  // rank 1 floods
+  }
+  fabric.send(2, 0, 7, {100.0f});
+  fabric.send(3, 0, 7, {200.0f});
+
+  std::vector<std::size_t> first_three;
+  for (int i = 0; i < 3; ++i) {
+    first_three.push_back(fabric.recv_any(0, 7).first);
+  }
+  EXPECT_EQ(first_three, (std::vector<std::size_t>{1, 2, 3}));
+
+  // Drained senders drop out of the rotation; rank 1's backlog still comes
+  // out in per-sender FIFO order.
+  for (int i = 1; i < 8; ++i) {
+    const auto [src, payload] = fabric.recv_any(0, 7);
+    EXPECT_EQ(src, 1u);
+    EXPECT_EQ(payload, (std::vector<float>{static_cast<float>(i)}));
+  }
+}
+
 TEST(Fabric, RecvAnySkipsOtherTags) {
   Fabric fabric(3, fdr_infiniband());
   fabric.send(1, 0, 5, {5.0f});   // different tag, must be left queued

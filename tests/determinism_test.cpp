@@ -1,0 +1,134 @@
+// Determinism regression suite: the same seed + config must produce the
+// IDENTICAL RunResult — loss curve, virtual times, and final parameters —
+// for every method in the Figure 8 family, so future fault-injection or
+// threading changes cannot silently introduce nondeterminism into the
+// deterministic paths.
+//
+// The sync family is deterministic at any worker count. The async family
+// is only deterministic with a single worker (by design: with P > 1 real
+// thread interleavings ARE the algorithm, §8), so those methods run here
+// with workers = 1 — which also keeps the Hogwild variants race-free.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/fabric_algorithms.hpp"
+#include "core/methods.hpp"
+#include "data/dataset.hpp"
+#include "nn/models.hpp"
+
+namespace ds {
+namespace {
+
+struct Fixture {
+  TrainTest data;
+  AlgoContext ctx;
+  GpuSystem hw{GpuSystemConfig{}, paper_lenet(), 8.0 * 8.0 * 4.0};
+
+  Fixture() {
+    SyntheticSpec spec;
+    spec.classes = 4;
+    spec.channels = 1;
+    spec.height = 8;
+    spec.width = 8;
+    spec.train_count = 512;
+    spec.test_count = 128;
+    spec.noise = 0.9;
+    spec.seed = 99;
+    data = make_synthetic(spec);
+    const auto stats = normalize(data.train);
+    normalize_with(data.test, stats.first, stats.second);
+
+    ctx.factory = [] {
+      Rng rng(17);
+      return make_tiny_mlp(rng);
+    };
+    ctx.train = &data.train;
+    ctx.test = &data.test;
+    ctx.config.iterations = 60;
+    ctx.config.batch_size = 16;
+    ctx.config.eval_every = 20;
+    ctx.config.eval_samples = 64;
+    ctx.config.learning_rate = 0.05f;
+  }
+
+  void set_workers(std::size_t workers) {
+    ctx.config.workers = workers;
+    ctx.config.rho =
+        0.9f / (static_cast<float>(workers) * ctx.config.learning_rate);
+  }
+};
+
+bool uses_thread_per_worker(Method method) {
+  switch (method) {
+    case Method::kOriginalEasgd:
+    case Method::kSyncEasgd:
+      return false;
+    default:
+      return true;  // the async/Hogwild family
+  }
+}
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.total_seconds, b.total_seconds);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].iteration, b.trace[i].iteration);
+    EXPECT_EQ(a.trace[i].vtime, b.trace[i].vtime);
+    EXPECT_EQ(a.trace[i].loss, b.trace[i].loss);
+    EXPECT_EQ(a.trace[i].accuracy, b.trace[i].accuracy);
+  }
+  EXPECT_EQ(a.final_loss, b.final_loss);
+  EXPECT_EQ(a.final_accuracy, b.final_accuracy);
+  EXPECT_EQ(a.final_params, b.final_params);
+}
+
+TEST(Determinism, EveryMethodReplaysBitwiseIdentically) {
+  Fixture f;
+  for (const Method method : all_methods()) {
+    SCOPED_TRACE(method_name(method));
+    f.set_workers(uses_thread_per_worker(method) ? 1 : 3);
+    const RunResult a = run_method(method, f.ctx, f.hw);
+    const RunResult b = run_method(method, f.ctx, f.hw);
+    expect_identical(a, b);
+    ASSERT_FALSE(a.trace.empty());
+  }
+}
+
+TEST(Determinism, FabricSpmdRunReplaysBitwiseIdentically) {
+  // Multi-threaded, but blocking matched receives make the reduction order
+  // a pure function of the tree shape — the run must replay exactly.
+  Fixture f;
+  f.set_workers(4);
+  const FabricClusterConfig cluster;
+  const RunResult a = run_fabric_easgd(f.ctx, cluster);
+  const RunResult b = run_fabric_easgd(f.ctx, cluster);
+  expect_identical(a, b);
+  ASSERT_FALSE(a.final_params.empty());
+}
+
+TEST(Determinism, FabricParameterServerDeterministicWithOneWorker) {
+  Fixture f;
+  f.set_workers(1);
+  const FabricClusterConfig cluster;
+  const RunResult a = run_fabric_async_easgd(f.ctx, cluster);
+  const RunResult b = run_fabric_async_easgd(f.ctx, cluster);
+  expect_identical(a, b);
+}
+
+TEST(Determinism, ActiveFaultPlanReplaysBitwiseIdentically) {
+  // Fault injection itself must be deterministic: same plan seed ⇒ the
+  // same drops, the same retries, the same virtual-time numbers.
+  Fixture f;
+  f.set_workers(4);
+  FabricClusterConfig cluster;
+  cluster.faults.with_drop(0.05).with_jitter(0.25);
+  const RunResult a = run_fabric_easgd(f.ctx, cluster);
+  const RunResult b = run_fabric_easgd(f.ctx, cluster);
+  expect_identical(a, b);
+  EXPECT_FALSE(a.aborted);  // drops are repaired, nobody dies
+}
+
+}  // namespace
+}  // namespace ds

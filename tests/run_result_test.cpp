@@ -107,6 +107,32 @@ TEST(Evaluator, DeterministicAcrossCalls) {
   EXPECT_EQ(a.accuracy, b.accuracy);
 }
 
+TEST(RunResult, DegradedReflectsWorkerLossAndAborts) {
+  RunResult r;
+  r.workers = 4;
+  r.workers_survived = 4;
+  EXPECT_FALSE(r.degraded());
+  r.workers_survived = 3;
+  EXPECT_TRUE(r.degraded());
+  r.workers_survived = 4;
+  r.aborted = true;
+  EXPECT_TRUE(r.degraded());
+}
+
+TEST(RunResult, FaultSummaryTellsTheAbortStory) {
+  RunResult r;
+  r.workers = 4;
+  r.workers_survived = 4;
+  r.iterations = 300;
+  EXPECT_EQ(r.fault_summary(), "4/4 workers, 300 iters");
+  r.workers_survived = 3;
+  r.iterations = 120;
+  r.aborted = true;
+  r.abort_reason = "round 121 aborted at rank 2";
+  EXPECT_EQ(r.fault_summary(),
+            "3/4 workers, 120 iters [aborted: round 121 aborted at rank 2]");
+}
+
 TEST(Evaluator, PackedAndArenaPathsAgree) {
   const EvalFixture f;
   Evaluator eval(f.factory, f.data.test, 100);
