@@ -18,6 +18,12 @@ void fill(std::vector<float>& v, ds::Rng& rng) {
   for (auto& x : v) x = static_cast<float>(rng.uniform(-1, 1));
 }
 
+void set_gflops(benchmark::State& state, double flops_per_iter) {
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      flops_per_iter * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
 // ----------------------------------- GEMM -----------------------------------
 
 void BM_GemmNN(benchmark::State& state) {
@@ -31,11 +37,29 @@ void BM_GemmNN(benchmark::State& state) {
              b.data(), 0.0f, c.data());
     benchmark::DoNotOptimize(c.data());
   }
-  state.counters["GFLOP/s"] = benchmark::Counter(
-      ds::gemm_flops(n, n, n) * static_cast<double>(state.iterations()) / 1e9,
-      benchmark::Counter::kIsRate);
+  set_gflops(state, ds::gemm_flops(n, n, n));
 }
 BENCHMARK(BM_GemmNN)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmNNThreaded(benchmark::State& state) {
+  // The opt-in deterministic threaded path (bitwise identical to serial).
+  const std::size_t n = 256;
+  ds::kernel_config().gemm_threads = static_cast<std::size_t>(state.range(0));
+  ds::Rng rng(1);
+  std::vector<float> a(n * n), b(n * n), c(n * n);
+  fill(a, rng);
+  fill(b, rng);
+  for (auto _ : state) {
+    ds::gemm(ds::Transpose::kNo, ds::Transpose::kNo, n, n, n, 1.0f, a.data(),
+             b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  ds::kernel_config().gemm_threads = 1;
+  set_gflops(state, ds::gemm_flops(n, n, n));
+}
+// Real time, not CPU time: the calling thread sleeps in wait_idle while the
+// pool computes, so the CPU-time rate would be wildly inflated.
+BENCHMARK(BM_GemmNNThreaded)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_GemmConvShape(benchmark::State& state) {
   // The LeNet conv2 shape: [12 x 150] · [150 x 64] per image.
@@ -48,8 +72,25 @@ void BM_GemmConvShape(benchmark::State& state) {
              a.data(), b.data(), 0.0f, c.data());
     benchmark::DoNotOptimize(c.data());
   }
+  set_gflops(state, ds::gemm_flops(12, 64, 150));
 }
 BENCHMARK(BM_GemmConvShape);
+
+void BM_GemmConvShapeBatched(benchmark::State& state) {
+  // The same conv2 layer lowered batch-at-once: [12 x 150] · [150 x 32·64].
+  const std::size_t batch = 32;
+  ds::Rng rng(1);
+  std::vector<float> a(12 * 150), b(150 * batch * 64), c(12 * batch * 64);
+  fill(a, rng);
+  fill(b, rng);
+  for (auto _ : state) {
+    ds::gemm(ds::Transpose::kNo, ds::Transpose::kNo, 12, batch * 64, 150,
+             1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  set_gflops(state, ds::gemm_flops(12, batch * 64, 150));
+}
+BENCHMARK(BM_GemmConvShapeBatched);
 
 void BM_GemmTransposed(benchmark::State& state) {
   // The backward dW shape: A^T path.
@@ -63,6 +104,7 @@ void BM_GemmTransposed(benchmark::State& state) {
              b.data(), 1.0f, c.data());
     benchmark::DoNotOptimize(c.data());
   }
+  set_gflops(state, ds::gemm_flops(m, n, k));
 }
 BENCHMARK(BM_GemmTransposed);
 
@@ -96,13 +138,17 @@ BENCHMARK(BM_Col2im);
 
 // ---------------------------------- Layers ----------------------------------
 
+// Conv layer benches: state.range(0) is the batch size, so the per-image
+// and batched-lowering regimes share one harness. in 3 → out 16 channels on
+// 32×32 inputs (the AlexNet-s stem shape), forward = 1/3 of flops_per_sample.
 void BM_ConvForward(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
   ds::Conv2D conv(3, 16, 3, 1, 1);
   std::vector<float> params(conv.param_count()), grads(conv.param_count());
   conv.bind(params, grads);
   ds::Rng rng(2);
   conv.init_params(rng);
-  ds::Tensor x({8, 3, 32, 32});
+  ds::Tensor x({batch, 3, 32, 32});
   for (std::size_t i = 0; i < x.numel(); ++i) {
     x[i] = static_cast<float>(rng.uniform(-1, 1));
   }
@@ -111,16 +157,19 @@ void BM_ConvForward(benchmark::State& state) {
     conv.forward(x, y, false);
     benchmark::DoNotOptimize(y.data());
   }
+  set_gflops(state, conv.flops_per_sample(x.shape()) / 3.0 *
+                        static_cast<double>(batch));
 }
-BENCHMARK(BM_ConvForward);
+BENCHMARK(BM_ConvForward)->Arg(8)->Arg(32);
 
 void BM_ConvBackward(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
   ds::Conv2D conv(3, 16, 3, 1, 1);
   std::vector<float> params(conv.param_count()), grads(conv.param_count());
   conv.bind(params, grads);
   ds::Rng rng(2);
   conv.init_params(rng);
-  ds::Tensor x({8, 3, 32, 32});
+  ds::Tensor x({batch, 3, 32, 32});
   for (std::size_t i = 0; i < x.numel(); ++i) {
     x[i] = static_cast<float>(rng.uniform(-1, 1));
   }
@@ -132,8 +181,33 @@ void BM_ConvBackward(benchmark::State& state) {
     conv.backward(x, y, dy, dx);
     benchmark::DoNotOptimize(dx.data());
   }
+  set_gflops(state, conv.flops_per_sample(x.shape()) * 2.0 / 3.0 *
+                        static_cast<double>(batch));
 }
-BENCHMARK(BM_ConvBackward);
+BENCHMARK(BM_ConvBackward)->Arg(8)->Arg(32);
+
+void BM_ConvForwardDeep(benchmark::State& state) {
+  // A mid-network shape: 32 → 64 channels on 16×16, batch 32 — the regime
+  // where the batched lowering's single fat GEMM pays off most.
+  const std::size_t batch = 32;
+  ds::Conv2D conv(32, 64, 3, 1, 1);
+  std::vector<float> params(conv.param_count()), grads(conv.param_count());
+  conv.bind(params, grads);
+  ds::Rng rng(2);
+  conv.init_params(rng);
+  ds::Tensor x({batch, 32, 16, 16});
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(rng.uniform(-1, 1));
+  }
+  ds::Tensor y;
+  for (auto _ : state) {
+    conv.forward(x, y, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  set_gflops(state, conv.flops_per_sample(x.shape()) / 3.0 *
+                        static_cast<double>(batch));
+}
+BENCHMARK(BM_ConvForwardDeep);
 
 // ------------------------------- Update rules --------------------------------
 

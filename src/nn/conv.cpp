@@ -1,4 +1,5 @@
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 #include "nn/layers.hpp"
@@ -69,23 +70,32 @@ void Conv2D::forward(const Tensor& x, Tensor& y, bool /*train*/) {
   const std::size_t batch = x.dim(0);
   const std::size_t rows = g.col_rows();
   const std::size_t cols = g.col_cols();
-  if (col_.shape() != Shape{rows, cols}) col_ = Tensor({rows, cols});
+  const std::size_t bc = batch * cols;
+  col_ws_.ensure(rows * bc);
+  out_ws_.ensure(out_c_ * bc);
 
   const float* weights = params_.data();           // out_c × rows
   const float* bias = params_.data() + out_c_ * rows;
   const std::size_t in_plane = in_c_ * g.height * g.width;
   const std::size_t out_plane = out_c_ * cols;
 
+  // Lower the whole batch into one [rows × batch·cols] column matrix
+  // (image n owns columns [n·cols, (n+1)·cols)) …
   for (std::size_t n = 0; n < batch; ++n) {
-    im2col(g, x.data() + n * in_plane, col_.data());
+    im2col(g, x.data() + n * in_plane, col_ws_.data() + n * cols, bc);
+  }
+  // … so the layer is one GEMM, [out_c × rows] · [rows × batch·cols], with
+  // the per-channel bias fused into the C write-back epilogue.
+  GemmEpilogue ep;
+  ep.row_bias = bias;
+  gemm(Transpose::kNo, Transpose::kNo, out_c_, bc, rows, 1.0f, weights, rows,
+       col_ws_.data(), bc, 0.0f, out_ws_.data(), bc, ep);
+  // Un-batch [out_c × batch·cols] into the NCHW output.
+  for (std::size_t n = 0; n < batch; ++n) {
     float* yn = y.data() + n * out_plane;
-    // [out_c × rows] · [rows × cols]
-    gemm(Transpose::kNo, Transpose::kNo, out_c_, cols, rows, 1.0f, weights,
-         col_.data(), 0.0f, yn);
     for (std::size_t f = 0; f < out_c_; ++f) {
-      float* row = yn + f * cols;
-      const float b = bias[f];
-      for (std::size_t j = 0; j < cols; ++j) row[j] += b;
+      std::memcpy(yn + f * cols, out_ws_.data() + f * bc + n * cols,
+                  cols * sizeof(float));
     }
   }
 }
@@ -98,8 +108,10 @@ void Conv2D::backward(const Tensor& x, const Tensor& /*y*/, const Tensor& dy,
   const std::size_t batch = x.dim(0);
   const std::size_t rows = g.col_rows();
   const std::size_t cols = g.col_cols();
-  if (col_.shape() != Shape{rows, cols}) col_ = Tensor({rows, cols});
-  if (col_grad_.shape() != Shape{rows, cols}) col_grad_ = Tensor({rows, cols});
+  const std::size_t bc = batch * cols;
+  col_ws_.ensure(rows * bc);
+  out_ws_.ensure(out_c_ * bc);
+  dcol_ws_.ensure(rows * bc);
 
   const float* weights = params_.data();
   float* dweights = grads_.data();                  // out_c × rows
@@ -107,23 +119,26 @@ void Conv2D::backward(const Tensor& x, const Tensor& /*y*/, const Tensor& dy,
   const std::size_t in_plane = in_c_ * g.height * g.width;
   const std::size_t out_plane = out_c_ * cols;
 
+  // Batched column matrix of the input and batched layout of dY, mirroring
+  // the forward lowering.
   for (std::size_t n = 0; n < batch; ++n) {
+    im2col(g, x.data() + n * in_plane, col_ws_.data() + n * cols, bc);
     const float* dyn = dy.data() + n * out_plane;
-    // dW += dY · colᵀ : [out_c × cols] · [cols × rows]
-    im2col(g, x.data() + n * in_plane, col_.data());
-    gemm(Transpose::kNo, Transpose::kYes, out_c_, rows, cols, 1.0f, dyn,
-         col_.data(), 1.0f, dweights);
-    // db += row sums of dY
     for (std::size_t f = 0; f < out_c_; ++f) {
-      const float* row = dyn + f * cols;
-      float acc = 0.0f;
-      for (std::size_t j = 0; j < cols; ++j) acc += row[j];
-      dbias[f] += acc;
+      std::memcpy(out_ws_.data() + f * bc + n * cols, dyn + f * cols,
+                  cols * sizeof(float));
     }
-    // dcol = Wᵀ · dY : [rows × out_c] · [out_c × cols]
-    gemm(Transpose::kYes, Transpose::kNo, rows, cols, out_c_, 1.0f, weights,
-         dyn, 0.0f, col_grad_.data());
-    col2im(g, col_grad_.data(), dx.data() + n * in_plane);
+  }
+  // dW += dY_b · col_bᵀ : [out_c × batch·cols] · [batch·cols × rows].
+  gemm(Transpose::kNo, Transpose::kYes, out_c_, rows, bc, 1.0f,
+       out_ws_.data(), bc, col_ws_.data(), bc, 1.0f, dweights, rows);
+  // db += row sums of batched dY.
+  add_row_sums(out_ws_.data(), out_c_, bc, dbias);
+  // dcol_b = Wᵀ · dY_b : [rows × out_c] · [out_c × batch·cols].
+  gemm(Transpose::kYes, Transpose::kNo, rows, bc, out_c_, 1.0f, weights, rows,
+       out_ws_.data(), bc, 0.0f, dcol_ws_.data(), bc);
+  for (std::size_t n = 0; n < batch; ++n) {
+    col2im(g, dcol_ws_.data() + n * cols, bc, dx.data() + n * in_plane);
   }
 }
 

@@ -3,6 +3,7 @@
 
 #include "nn/layers.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
 
 namespace ds {
 
@@ -42,13 +43,12 @@ void FullyConnected::forward(const Tensor& x, Tensor& y, bool /*train*/) {
   const std::size_t batch = x.dim(0);
   const float* weights = params_.data();  // out × in
   const float* bias = params_.data() + out_ * in_;
-  // Y = X · Wᵀ : [batch × in] · [in × out]
-  gemm(Transpose::kNo, Transpose::kYes, batch, out_, in_, 1.0f, x.data(),
-       weights, 0.0f, y.data());
-  for (std::size_t n = 0; n < batch; ++n) {
-    float* row = y.data() + n * out_;
-    for (std::size_t j = 0; j < out_; ++j) row[j] += bias[j];
-  }
+  // Y = X · Wᵀ + b : [batch × in] · [in × out], the per-feature bias fused
+  // into the C write-back epilogue.
+  GemmEpilogue ep;
+  ep.col_bias = bias;
+  gemm(Transpose::kNo, Transpose::kYes, batch, out_, in_, 1.0f, x.data(), in_,
+       weights, in_, 0.0f, y.data(), out_, ep);
 }
 
 void FullyConnected::backward(const Tensor& x, const Tensor& /*y*/,
@@ -63,8 +63,7 @@ void FullyConnected::backward(const Tensor& x, const Tensor& /*y*/,
        x.data(), 1.0f, dweights);
   // db += column sums of dY
   for (std::size_t n = 0; n < batch; ++n) {
-    const float* row = dy.data() + n * out_;
-    for (std::size_t j = 0; j < out_; ++j) dbias[j] += row[j];
+    axpy(1.0f, {dy.data() + n * out_, out_}, {dbias, out_});
   }
   // dX = dY · W : [batch × out] · [out × in]
   gemm(Transpose::kNo, Transpose::kNo, batch, in_, out_, 1.0f, dy.data(),

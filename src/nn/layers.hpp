@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "nn/layer.hpp"
+#include "support/aligned_buffer.hpp"
 #include "tensor/im2col.hpp"
 
 namespace ds {
@@ -108,8 +109,13 @@ class Conv2D final : public Layer {
   std::size_t kernel_;
   std::size_t stride_;
   std::size_t pad_;
-  Tensor col_;       // im2col scratch, reused across iterations
-  Tensor col_grad_;  // backward scratch
+  // Grow-only scratch workspaces (see AlignedBuffer::ensure): the whole
+  // batch is lowered into one [rows × batch·cols] column matrix so forward
+  // and backward each run a single batched GEMM per layer instead of one
+  // per image, and alternating train/eval batch sizes stop reallocating.
+  AlignedBuffer col_ws_;   // batched im2col columns
+  AlignedBuffer out_ws_;   // batched GEMM output / re-batched dY
+  AlignedBuffer dcol_ws_;  // backward column gradient
 };
 
 /// Max pooling over k×k windows; optional zero-area padding (padded taps are
@@ -129,6 +135,7 @@ class MaxPool2D final : public Layer {
   std::size_t stride_;
   std::size_t pad_;
   std::vector<std::size_t> argmax_;  // flat input index per output element
+  Shape in_cache_, out_cache_;  // memoized output_shape of the last input
 };
 
 /// Average pooling over k×k windows.
@@ -145,6 +152,7 @@ class AvgPool2D final : public Layer {
  private:
   std::size_t kernel_;
   std::size_t stride_;
+  Shape in_cache_, out_cache_;  // memoized output_shape of the last input
 };
 
 /// AlexNet-style local response normalisation across channels:

@@ -43,9 +43,15 @@ Shape MaxPool2D::output_shape(const Shape& input) const {
 }
 
 void MaxPool2D::forward(const Tensor& x, Tensor& y, bool /*train*/) {
-  const Shape out = output_shape(x.shape());
+  // Shape construction heap-allocates; memoize so the steady-state hot loop
+  // (fixed or alternating train/eval batch shapes) does no allocation.
+  if (x.shape() != in_cache_) {
+    in_cache_ = x.shape();
+    out_cache_ = output_shape(in_cache_);
+  }
+  const Shape& out = out_cache_;
   if (y.shape() != out) y = Tensor(out);
-  argmax_.resize(out.numel());
+  argmax_.resize(out.numel());  // grow-only capacity, no realloc once warm
   const std::size_t planes = x.dim(0) * x.dim(1);
   const std::size_t h = x.dim(2), w = x.dim(3);
   const std::size_t ho = out.dim(2), wo = out.dim(3);
@@ -118,7 +124,11 @@ Shape AvgPool2D::output_shape(const Shape& input) const {
 }
 
 void AvgPool2D::forward(const Tensor& x, Tensor& y, bool /*train*/) {
-  const Shape out = output_shape(x.shape());
+  if (x.shape() != in_cache_) {
+    in_cache_ = x.shape();
+    out_cache_ = output_shape(in_cache_);
+  }
+  const Shape& out = out_cache_;
   if (y.shape() != out) y = Tensor(out);
   const std::size_t planes = x.dim(0) * x.dim(1);
   const std::size_t h = x.dim(2), w = x.dim(3);

@@ -62,6 +62,14 @@ class AlignedBuffer {
     std::memset(data_, 0, bytes);
   }
 
+  /// Grow-only resize for scratch workspaces: re-allocates only when the
+  /// requested size exceeds the current one, so hot loops whose shapes
+  /// alternate (train batch vs eval batch) stop churning the allocator.
+  /// Contents are unspecified after the call, like resize().
+  void ensure(std::size_t n) {
+    if (n > size_) resize(n);
+  }
+
   void fill(float value) {
     for (std::size_t i = 0; i < size_; ++i) data_[i] = value;
   }

@@ -36,6 +36,14 @@ void ThreadPool::wait_idle() {
   cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  for (std::size_t i = 0; i < n; ++i) {
+    submit([&fn, i] { fn(i); });
+  }
+  wait_idle();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;

@@ -28,6 +28,12 @@ class ThreadPool {
   /// Block until every submitted task has finished.
   void wait_idle();
 
+  /// Submit fn(0) … fn(n-1) and block until the pool drains. The partition
+  /// of work across pool threads is whatever the FIFO hands out; callers
+  /// needing determinism must make the n tasks independent (the compute
+  /// kernels do: each output tile is owned by exactly one task).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
   std::size_t size() const { return threads_.size(); }
 
  private:

@@ -1,196 +1,347 @@
 #include "tensor/gemm.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <memory>
+#include <mutex>
 
+#include "support/aligned_buffer.hpp"
 #include "support/error.hpp"
+#include "support/thread_pool.hpp"
 
 namespace ds {
 namespace {
 
-// Pre-scale C by beta so the main loops are pure accumulation.
-void apply_beta(std::size_t m, std::size_t n, float beta, float* c,
-                std::size_t ldc) {
-  if (beta == 1.0f) return;
+// One 16-float row of the accumulator tile maps onto one 512-bit vector
+// (or two 256-bit / four 128-bit ones — the compiler splits as the target
+// allows). The unaligned alias is used for C rows and bias loads, whose
+// alignment the caller controls; packed panels are always 64-byte aligned.
+static_assert(kGemmNR == 16, "micro-kernel is written for 16-wide rows");
+static_assert(kGemmMC % kGemmMR == 0 && kGemmNC % kGemmNR == 0,
+              "cache blocks must hold whole micro-tiles");
+typedef float v16sf __attribute__((vector_size(64)));
+typedef float v16sf_u __attribute__((vector_size(64), aligned(4)));
+
+constexpr std::size_t ceil_div(std::size_t a, std::size_t b) {
+  return (a + b - 1) / b;
+}
+
+// Per-thread packing workspaces, grown monotonically and reused across every
+// gemm call issued from (or sharded onto) this thread: no allocation on the
+// hot path once the largest shape has been seen.
+struct PackWorkspace {
+  AlignedBuffer a;  // kGemmMC × kGemmKC panel of op(A), alpha pre-applied
+  AlignedBuffer b;  // kGemmKC × kGemmNC panel of op(B)
+};
+
+PackWorkspace& pack_workspace() {
+  static thread_local PackWorkspace ws;
+  return ws;
+}
+
+// The shared compute pool behind the opt-in threaded path. Concurrent
+// threaded gemms serialize on this mutex (each still runs parallel inside);
+// serial gemms — the fabric-worker default — never touch it.
+std::mutex& compute_pool_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+ThreadPool& compute_pool(std::size_t threads) {  // call with the mutex held
+  static std::unique_ptr<ThreadPool> pool;
+  if (!pool || pool->size() < threads) {
+    pool = std::make_unique<ThreadPool>(threads);
+  }
+  return *pool;
+}
+
+// Pack op(A)[ic:ic+mc, pc:pc+kc] into kGemmMR-row panels, column-major
+// within each panel, with alpha folded in and ragged rows zero-padded.
+void pack_a(bool trans, const float* a, std::size_t lda, std::size_t ic,
+            std::size_t mc, std::size_t pc, std::size_t kc, float alpha,
+            float* dst) {
+  const std::size_t panels = ceil_div(mc, kGemmMR);
+  for (std::size_t ip = 0; ip < panels; ++ip) {
+    const std::size_t i0 = ip * kGemmMR;
+    const std::size_t mr = std::min(kGemmMR, mc - i0);
+    float* out = dst + ip * kc * kGemmMR;
+    if (mr < kGemmMR) std::memset(out, 0, kc * kGemmMR * sizeof(float));
+    if (!trans) {
+      for (std::size_t r = 0; r < mr; ++r) {
+        const float* src = a + (ic + i0 + r) * lda + pc;
+        for (std::size_t p = 0; p < kc; ++p) {
+          out[p * kGemmMR + r] = alpha * src[p];
+        }
+      }
+    } else {
+      for (std::size_t p = 0; p < kc; ++p) {
+        const float* src = a + (pc + p) * lda + ic + i0;
+        for (std::size_t r = 0; r < mr; ++r) {
+          out[p * kGemmMR + r] = alpha * src[r];
+        }
+      }
+    }
+  }
+}
+
+// Pack op(B)[pc:pc+kc, jc:jc+nc] into kGemmNR-column panels, row-major
+// within each panel, ragged columns zero-padded.
+void pack_b(bool trans, const float* b, std::size_t ldb, std::size_t pc,
+            std::size_t kc, std::size_t jc, std::size_t nc, float* dst) {
+  const std::size_t panels = ceil_div(nc, kGemmNR);
+  for (std::size_t jp = 0; jp < panels; ++jp) {
+    const std::size_t j0 = jp * kGemmNR;
+    const std::size_t nr = std::min(kGemmNR, nc - j0);
+    float* out = dst + jp * kc * kGemmNR;
+    if (nr < kGemmNR) std::memset(out, 0, kc * kGemmNR * sizeof(float));
+    if (!trans) {
+      for (std::size_t p = 0; p < kc; ++p) {
+        const float* src = b + (pc + p) * ldb + jc + j0;
+        float* row = out + p * kGemmNR;
+        for (std::size_t j = 0; j < nr; ++j) row[j] = src[j];
+      }
+    } else {
+      for (std::size_t j = 0; j < nr; ++j) {
+        const float* src = b + (jc + j0 + j) * ldb + pc;
+        for (std::size_t p = 0; p < kc; ++p) {
+          out[p * kGemmNR + j] = src[p];
+        }
+      }
+    }
+  }
+}
+
+// How a micro-tile's accumulator is merged into C. first_k selects the
+// beta-combine (the first k-block per tile absorbs beta, so C is never
+// pre-scaled in a separate pass); last_k triggers the fused bias epilogue.
+struct TileCtx {
+  float beta = 0.0f;
+  bool first_k = false;
+  bool last_k = false;
+  const GemmEpilogue* epilogue = nullptr;  // null when no bias is fused
+};
+
+// Register micro-kernel: one kGemmMR × kGemmNR accumulator tile over a
+// packed kc-deep panel pair. Always computes the full padded tile (the
+// packing zero-fill makes that safe); ragged writeback spills through a
+// scalar path. i0/j0 are the tile's global C coordinates for the epilogue.
+void micro_kernel(std::size_t kc, const float* ap, const float* bp, float* c,
+                  std::size_t ldc, std::size_t mr, std::size_t nr,
+                  std::size_t i0, std::size_t j0, const TileCtx& ctx) {
+  v16sf acc0{}, acc1{}, acc2{}, acc3{}, acc4{}, acc5{};
+  for (std::size_t p = 0; p < kc; ++p) {
+    const float* a = ap + p * kGemmMR;
+    const v16sf bv = *reinterpret_cast<const v16sf*>(bp + p * kGemmNR);
+    acc0 += a[0] * bv;
+    acc1 += a[1] * bv;
+    acc2 += a[2] * bv;
+    acc3 += a[3] * bv;
+    acc4 += a[4] * bv;
+    acc5 += a[5] * bv;
+  }
+  const GemmEpilogue* ep = ctx.last_k ? ctx.epilogue : nullptr;
+  if (mr == kGemmMR && nr == kGemmNR) {
+    const auto finish = [&](std::size_t r, v16sf acc) {
+      if (ep != nullptr) {
+        if (ep->row_bias != nullptr) acc += ep->row_bias[i0 + r];
+        if (ep->col_bias != nullptr) {
+          acc += *reinterpret_cast<const v16sf_u*>(ep->col_bias + j0);
+        }
+      }
+      v16sf_u* dst = reinterpret_cast<v16sf_u*>(c + r * ldc);
+      if (!ctx.first_k) {
+        *dst += acc;
+      } else if (ctx.beta == 0.0f) {
+        *dst = acc;
+      } else {
+        *dst = ctx.beta * static_cast<v16sf>(*dst) + acc;
+      }
+    };
+    finish(0, acc0);
+    finish(1, acc1);
+    finish(2, acc2);
+    finish(3, acc3);
+    finish(4, acc4);
+    finish(5, acc5);
+    return;
+  }
+  alignas(64) float tmp[kGemmMR][kGemmNR];
+  *reinterpret_cast<v16sf*>(tmp[0]) = acc0;
+  *reinterpret_cast<v16sf*>(tmp[1]) = acc1;
+  *reinterpret_cast<v16sf*>(tmp[2]) = acc2;
+  *reinterpret_cast<v16sf*>(tmp[3]) = acc3;
+  *reinterpret_cast<v16sf*>(tmp[4]) = acc4;
+  *reinterpret_cast<v16sf*>(tmp[5]) = acc5;
+  for (std::size_t r = 0; r < mr; ++r) {
+    float* row = c + r * ldc;
+    for (std::size_t j = 0; j < nr; ++j) {
+      float v = tmp[r][j];
+      if (ep != nullptr) {
+        if (ep->row_bias != nullptr) v += ep->row_bias[i0 + r];
+        if (ep->col_bias != nullptr) v += ep->col_bias[j0 + j];
+      }
+      if (!ctx.first_k) {
+        row[j] += v;
+      } else if (ctx.beta == 0.0f) {
+        row[j] = v;
+      } else {
+        row[j] = ctx.beta * row[j] + v;
+      }
+    }
+  }
+}
+
+// Macro-kernel: sweep the micro-tile grid of one packed A block against a
+// slice [jr_begin, jr_end) of the packed B panels. Each C tile is touched by
+// exactly one invocation per k-block, and its k-reduction order is fixed by
+// the pc loop in the driver — which is what makes the threaded partition
+// bitwise identical to the serial kernel.
+void macro_kernel(std::size_t mc, std::size_t nc, std::size_t kc,
+                  const float* apack, const float* bpack,
+                  std::size_t jr_begin, std::size_t jr_end, float* c,
+                  std::size_t ldc, std::size_t ic, std::size_t jc,
+                  const TileCtx& ctx) {
+  const std::size_t m_panels = ceil_div(mc, kGemmMR);
+  for (std::size_t jr = jr_begin; jr < jr_end; ++jr) {
+    const std::size_t j0 = jr * kGemmNR;
+    const std::size_t nr = std::min(kGemmNR, nc - j0);
+    const float* bp = bpack + jr * kc * kGemmNR;
+    for (std::size_t ir = 0; ir < m_panels; ++ir) {
+      const std::size_t i0 = ir * kGemmMR;
+      const std::size_t mr = std::min(kGemmMR, mc - i0);
+      micro_kernel(kc, apack + ir * kc * kGemmMR, bp,
+                   c + i0 * ldc + j0, ldc, mr, nr, ic + i0, jc + j0, ctx);
+    }
+  }
+}
+
+void apply_beta_and_bias(std::size_t m, std::size_t n, float beta, float* c,
+                         std::size_t ldc, const GemmEpilogue* ep) {
   for (std::size_t i = 0; i < m; ++i) {
     float* row = c + i * ldc;
     if (beta == 0.0f) {
       std::memset(row, 0, n * sizeof(float));
-    } else {
+    } else if (beta != 1.0f) {
       for (std::size_t j = 0; j < n; ++j) row[j] *= beta;
     }
-  }
-}
-
-// C += alpha * A * B, A m×k lda, B k×n ldb.
-//
-// Blocked over 4 rows of A/C: each streamed row of B is reused by four
-// accumulator rows, which is what makes larger GEMMs (bigger batches,
-// §7.2) run at higher flop rates than skinny ones.
-void gemm_nn(std::size_t m, std::size_t n, std::size_t k, float alpha,
-             const float* a, std::size_t lda, const float* b, std::size_t ldb,
-             float* c, std::size_t ldc) {
-  std::size_t i = 0;
-  for (; i + 4 <= m; i += 4) {
-    const float* a0 = a + (i + 0) * lda;
-    const float* a1 = a + (i + 1) * lda;
-    const float* a2 = a + (i + 2) * lda;
-    const float* a3 = a + (i + 3) * lda;
-    float* c0 = c + (i + 0) * ldc;
-    float* c1 = c + (i + 1) * ldc;
-    float* c2 = c + (i + 2) * ldc;
-    float* c3 = c + (i + 3) * ldc;
-    for (std::size_t p = 0; p < k; ++p) {
-      const float r0 = alpha * a0[p];
-      const float r1 = alpha * a1[p];
-      const float r2 = alpha * a2[p];
-      const float r3 = alpha * a3[p];
-      const float* brow = b + p * ldb;
-      for (std::size_t j = 0; j < n; ++j) {
-        const float bv = brow[j];
-        c0[j] += r0 * bv;
-        c1[j] += r1 * bv;
-        c2[j] += r2 * bv;
-        c3[j] += r3 * bv;
-      }
+    if (ep != nullptr && ep->row_bias != nullptr) {
+      const float rb = ep->row_bias[i];
+      for (std::size_t j = 0; j < n; ++j) row[j] += rb;
     }
-  }
-  for (; i < m; ++i) {
-    const float* arow = a + i * lda;
-    float* crow = c + i * ldc;
-    for (std::size_t p = 0; p < k; ++p) {
-      const float r = alpha * arow[p];
-      const float* brow = b + p * ldb;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += r * brow[j];
+    if (ep != nullptr && ep->col_bias != nullptr) {
+      for (std::size_t j = 0; j < n; ++j) row[j] += ep->col_bias[j];
     }
   }
 }
 
-// C += alpha * A * B^T, A m×k lda, B stored n×k ldb. Contiguous dot
-// products; 2×2 blocking reuses each loaded A and B row twice.
-void gemm_nt(std::size_t m, std::size_t n, std::size_t k, float alpha,
-             const float* a, std::size_t lda, const float* b, std::size_t ldb,
-             float* c, std::size_t ldc) {
-  std::size_t i = 0;
-  for (; i + 2 <= m; i += 2) {
-    const float* a0 = a + (i + 0) * lda;
-    const float* a1 = a + (i + 1) * lda;
-    float* c0 = c + (i + 0) * ldc;
-    float* c1 = c + (i + 1) * ldc;
-    std::size_t j = 0;
-    for (; j + 2 <= n; j += 2) {
-      const float* b0 = b + (j + 0) * ldb;
-      const float* b1 = b + (j + 1) * ldb;
-      float acc00 = 0.0f, acc01 = 0.0f, acc10 = 0.0f, acc11 = 0.0f;
-      for (std::size_t p = 0; p < k; ++p) {
-        const float av0 = a0[p], av1 = a1[p];
-        const float bv0 = b0[p], bv1 = b1[p];
-        acc00 += av0 * bv0;
-        acc01 += av0 * bv1;
-        acc10 += av1 * bv0;
-        acc11 += av1 * bv1;
-      }
-      c0[j] += alpha * acc00;
-      c0[j + 1] += alpha * acc01;
-      c1[j] += alpha * acc10;
-      c1[j + 1] += alpha * acc11;
-    }
-    for (; j < n; ++j) {
-      const float* brow = b + j * ldb;
-      float acc0 = 0.0f, acc1 = 0.0f;
-      for (std::size_t p = 0; p < k; ++p) {
-        acc0 += a0[p] * brow[p];
-        acc1 += a1[p] * brow[p];
-      }
-      c0[j] += alpha * acc0;
-      c1[j] += alpha * acc1;
-    }
+void gemm_impl(Transpose trans_a, Transpose trans_b, std::size_t m,
+               std::size_t n, std::size_t k, float alpha, const float* a,
+               std::size_t lda, const float* b, std::size_t ldb, float beta,
+               float* c, std::size_t ldc, const GemmEpilogue* epilogue) {
+  DS_CHECK(c != nullptr || m * n == 0, "gemm: null C");
+  if (m == 0 || n == 0) return;
+  if (epilogue != nullptr && epilogue->row_bias == nullptr &&
+      epilogue->col_bias == nullptr) {
+    epilogue = nullptr;
   }
-  for (; i < m; ++i) {
-    const float* arow = a + i * lda;
-    float* crow = c + i * ldc;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = b + j * ldb;
-      float acc = 0.0f;
-      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] += alpha * acc;
-    }
+  if (k == 0 || alpha == 0.0f) {
+    apply_beta_and_bias(m, n, beta, c, ldc, epilogue);
+    return;
   }
-}
+  DS_CHECK(a != nullptr && b != nullptr, "gemm: null input");
+  const bool ta = trans_a == Transpose::kYes;
+  const bool tb = trans_b == Transpose::kYes;
+  const std::size_t threads = std::max<std::size_t>(
+      std::size_t{1}, kernel_config().gemm_threads);
 
-// C += alpha * A^T * B, A stored k×m lda, B k×n ldb. Rank-1 updates,
-// blocked 4-deep over p so each C row is revisited once per four B rows.
-void gemm_tn(std::size_t m, std::size_t n, std::size_t k, float alpha,
-             const float* a, std::size_t lda, const float* b, std::size_t ldb,
-             float* c, std::size_t ldc) {
-  std::size_t p = 0;
-  for (; p + 4 <= k; p += 4) {
-    const float* a0 = a + (p + 0) * lda;
-    const float* a1 = a + (p + 1) * lda;
-    const float* a2 = a + (p + 2) * lda;
-    const float* a3 = a + (p + 3) * lda;
-    const float* b0 = b + (p + 0) * ldb;
-    const float* b1 = b + (p + 1) * ldb;
-    const float* b2 = b + (p + 2) * ldb;
-    const float* b3 = b + (p + 3) * ldb;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float r0 = alpha * a0[i];
-      const float r1 = alpha * a1[i];
-      const float r2 = alpha * a2[i];
-      const float r3 = alpha * a3[i];
-      float* crow = c + i * ldc;
-      for (std::size_t j = 0; j < n; ++j) {
-        crow[j] += r0 * b0[j] + r1 * b1[j] + r2 * b2[j] + r3 * b3[j];
-      }
-    }
+  // Deterministic M-grid shard: with few kGemmMC blocks, shrink the block
+  // (kGemmMR-aligned) so every thread gets one; leftover parallelism splits
+  // the jr panel range. Block geometry never changes a tile's value — each
+  // tile's k-reduction is fixed by the pc loop — so any partition is bitwise
+  // identical to serial.
+  std::size_t mc_eff = kGemmMC;
+  if (threads > 1 && ceil_div(m, mc_eff) < threads) {
+    mc_eff = std::max(kGemmMR, ceil_div(m, threads * kGemmMR) * kGemmMR);
   }
-  for (; p < k; ++p) {
-    const float* arow = a + p * lda;
-    const float* brow = b + p * ldb;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float r = alpha * arow[i];
-      float* crow = c + i * ldc;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += r * brow[j];
-    }
-  }
-}
+  const std::size_t m_blocks = ceil_div(m, mc_eff);
 
-// C += alpha * A^T * B^T — cold path, only exercised by tests.
-void gemm_tt(std::size_t m, std::size_t n, std::size_t k, float alpha,
-             const float* a, std::size_t lda, const float* b, std::size_t ldb,
-             float* c, std::size_t ldc) {
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      float acc = 0.0f;
-      for (std::size_t p = 0; p < k; ++p) {
-        acc += a[p * lda + i] * b[j * ldb + p];
+  const auto run = [&](ThreadPool* pool) {
+    PackWorkspace& ws = pack_workspace();
+    for (std::size_t jc = 0; jc < n; jc += kGemmNC) {
+      const std::size_t nc = std::min(kGemmNC, n - jc);
+      const std::size_t jr_panels = ceil_div(nc, kGemmNR);
+      const std::size_t j_split =
+          pool == nullptr
+              ? 1
+              : std::min(std::max<std::size_t>(threads / m_blocks, 1),
+                         jr_panels);
+      const std::size_t jr_chunk = ceil_div(jr_panels, j_split);
+      for (std::size_t pc = 0; pc < k; pc += kGemmKC) {
+        const std::size_t kc = std::min(kGemmKC, k - pc);
+        TileCtx ctx;
+        ctx.beta = beta;
+        ctx.first_k = pc == 0;
+        ctx.last_k = pc + kc == k;
+        ctx.epilogue = epilogue;
+        ws.b.ensure(jr_panels * kc * kGemmNR);
+        pack_b(tb, b, ldb, pc, kc, jc, nc, ws.b.data());
+        const float* bpack = ws.b.data();
+        const auto block = [&](std::size_t ic, std::size_t jr_begin,
+                               std::size_t jr_end, PackWorkspace& tws) {
+          const std::size_t mc = std::min(mc_eff, m - ic);
+          tws.a.ensure(ceil_div(mc, kGemmMR) * kc * kGemmMR);
+          pack_a(ta, a, lda, ic, mc, pc, kc, alpha, tws.a.data());
+          macro_kernel(mc, nc, kc, tws.a.data(), bpack, jr_begin, jr_end,
+                       c + ic * ldc + jc, ldc, ic, jc, ctx);
+        };
+        if (pool == nullptr) {
+          for (std::size_t ic = 0; ic < m; ic += mc_eff) {
+            block(ic, 0, jr_panels, ws);
+          }
+        } else {
+          pool->parallel_for(m_blocks * j_split, [&](std::size_t t) {
+            const std::size_t ic = (t / j_split) * mc_eff;
+            const std::size_t jr_begin =
+                std::min((t % j_split) * jr_chunk, jr_panels);
+            const std::size_t jr_end =
+                std::min(jr_begin + jr_chunk, jr_panels);
+            if (jr_begin >= jr_end) return;
+            block(ic, jr_begin, jr_end, pack_workspace());
+          });
+        }
       }
-      c[i * ldc + j] += alpha * acc;
     }
+  };
+
+  if (threads <= 1) {
+    run(nullptr);
+  } else {
+    const std::lock_guard<std::mutex> lock(compute_pool_mutex());
+    run(&compute_pool(threads));
   }
 }
 
 }  // namespace
 
+KernelConfig& kernel_config() {
+  static thread_local KernelConfig config;
+  return config;
+}
+
 void gemm(Transpose trans_a, Transpose trans_b, std::size_t m, std::size_t n,
           std::size_t k, float alpha, const float* a, std::size_t lda,
           const float* b, std::size_t ldb, float beta, float* c,
           std::size_t ldc) {
-  DS_CHECK(c != nullptr || m * n == 0, "gemm: null C");
-  if (m == 0 || n == 0) return;
-  apply_beta(m, n, beta, c, ldc);
-  if (k == 0 || alpha == 0.0f) return;
-  DS_CHECK(a != nullptr && b != nullptr, "gemm: null input");
-  const bool ta = trans_a == Transpose::kYes;
-  const bool tb = trans_b == Transpose::kYes;
-  if (!ta && !tb) {
-    gemm_nn(m, n, k, alpha, a, lda, b, ldb, c, ldc);
-  } else if (!ta && tb) {
-    gemm_nt(m, n, k, alpha, a, lda, b, ldb, c, ldc);
-  } else if (ta && !tb) {
-    gemm_tn(m, n, k, alpha, a, lda, b, ldb, c, ldc);
-  } else {
-    gemm_tt(m, n, k, alpha, a, lda, b, ldb, c, ldc);
-  }
+  gemm_impl(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+            nullptr);
+}
+
+void gemm(Transpose trans_a, Transpose trans_b, std::size_t m, std::size_t n,
+          std::size_t k, float alpha, const float* a, std::size_t lda,
+          const float* b, std::size_t ldb, float beta, float* c,
+          std::size_t ldc, const GemmEpilogue& epilogue) {
+  gemm_impl(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc,
+            &epilogue);
 }
 
 void gemm(Transpose trans_a, Transpose trans_b, std::size_t m, std::size_t n,
@@ -198,7 +349,8 @@ void gemm(Transpose trans_a, Transpose trans_b, std::size_t m, std::size_t n,
           float beta, float* c) {
   const std::size_t lda = (trans_a == Transpose::kYes) ? m : k;
   const std::size_t ldb = (trans_b == Transpose::kYes) ? k : n;
-  gemm(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, n);
+  gemm_impl(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, n,
+            nullptr);
 }
 
 }  // namespace ds

@@ -4,16 +4,16 @@
 
 namespace ds {
 
-void im2col(const ConvGeom& g, const float* image, float* columns) {
+void im2col(const ConvGeom& g, const float* image, float* columns,
+            std::size_t ld) {
   const std::size_t ho = g.out_height();
   const std::size_t wo = g.out_width();
-  const std::size_t cols = ho * wo;
   std::size_t row = 0;
   for (std::size_t c = 0; c < g.channels; ++c) {
     const float* plane = image + c * g.height * g.width;
     for (std::size_t kh = 0; kh < g.kernel; ++kh) {
       for (std::size_t kw = 0; kw < g.kernel; ++kw, ++row) {
-        float* out = columns + row * cols;
+        float* out = columns + row * ld;
         for (std::size_t oh = 0; oh < ho; ++oh) {
           // ih = oh*stride + kh - pad, computed in signed space for the pad.
           const long ih = static_cast<long>(oh * g.stride + kh) -
@@ -37,16 +37,20 @@ void im2col(const ConvGeom& g, const float* image, float* columns) {
   }
 }
 
-void col2im(const ConvGeom& g, const float* columns, float* image) {
+void im2col(const ConvGeom& g, const float* image, float* columns) {
+  im2col(g, image, columns, g.col_cols());
+}
+
+void col2im(const ConvGeom& g, const float* columns, std::size_t ld,
+            float* image) {
   const std::size_t ho = g.out_height();
   const std::size_t wo = g.out_width();
-  const std::size_t cols = ho * wo;
   std::size_t row = 0;
   for (std::size_t c = 0; c < g.channels; ++c) {
     float* plane = image + c * g.height * g.width;
     for (std::size_t kh = 0; kh < g.kernel; ++kh) {
       for (std::size_t kw = 0; kw < g.kernel; ++kw, ++row) {
-        const float* in = columns + row * cols;
+        const float* in = columns + row * ld;
         for (std::size_t oh = 0; oh < ho; ++oh) {
           const long ih = static_cast<long>(oh * g.stride + kh) -
                           static_cast<long>(g.pad);
@@ -62,6 +66,10 @@ void col2im(const ConvGeom& g, const float* columns, float* image) {
       }
     }
   }
+}
+
+void col2im(const ConvGeom& g, const float* columns, float* image) {
+  col2im(g, columns, g.col_cols(), image);
 }
 
 }  // namespace ds

@@ -33,9 +33,21 @@ struct ConvGeom {
 /// (col_rows × col_cols, row-major). Out-of-bounds taps read as zero.
 void im2col(const ConvGeom& g, const float* image, float* columns);
 
+/// Strided variant for batched lowering: row r of this image's column block
+/// lives at columns[r * ld]. Passing `columns + n * col_cols()` with
+/// ld = batch * col_cols() interleaves a whole batch into one
+/// [col_rows × batch·col_cols] matrix that a single GEMM consumes.
+void im2col(const ConvGeom& g, const float* image, float* columns,
+            std::size_t ld);
+
 /// Scatter-add the column matrix back into an image buffer (used for the
 /// gradient w.r.t. the convolution input). `image` is accumulated into,
 /// callers must zero it first if they want a pure col2im.
 void col2im(const ConvGeom& g, const float* columns, float* image);
+
+/// Strided variant mirroring the strided im2col: reads row r of this
+/// image's column block at columns[r * ld].
+void col2im(const ConvGeom& g, const float* columns, std::size_t ld,
+            float* image);
 
 }  // namespace ds

@@ -81,4 +81,14 @@ void accumulate(std::span<const float> src, std::span<float> dst) {
   axpy(1.0f, src, dst);
 }
 
+void add_row_sums(const float* x, std::size_t rows, std::size_t cols,
+                  float* out) {
+  for (std::size_t i = 0; i < rows; ++i) {
+    const float* row = x + i * cols;
+    float acc = 0.0f;
+    for (std::size_t j = 0; j < cols; ++j) acc += row[j];
+    out[i] += acc;
+  }
+}
+
 }  // namespace ds

@@ -46,4 +46,9 @@ float max_abs(std::span<const float> x);
 /// dst += sum of all srcs (srcs must all match dst size).
 void accumulate(std::span<const float> src, std::span<float> dst);
 
+/// out[i] += Σ_j x[i*cols + j] for i in [0, rows): accumulated row sums of a
+/// row-major matrix (the bias gradient of a batched conv lowering).
+void add_row_sums(const float* x, std::size_t rows, std::size_t cols,
+                  float* out);
+
 }  // namespace ds

@@ -1,6 +1,11 @@
 // Property-based GEMM tests: algebraic identities that must hold for every
-// transpose mode and shape, checked over randomized sweeps.
+// transpose mode and shape, checked over randomized sweeps, plus the packed
+// kernel's contracts — non-contiguous leading dimensions, alpha/beta edge
+// cases, ragged shapes around every blocking boundary, the fused bias
+// epilogue, and bitwise serial/parallel equality of the threaded path.
 #include <gtest/gtest.h>
+
+#include <cstring>
 
 #include "support/rng.hpp"
 #include "tensor/gemm.hpp"
@@ -11,6 +16,30 @@ namespace {
 struct Mats {
   std::size_t m, n, k;
   std::vector<float> a, b, c;
+};
+
+// Reference triple loop, same op() semantics as gemm().
+void naive_gemm(bool ta, bool tb, std::size_t m, std::size_t n, std::size_t k,
+                float alpha, const std::vector<float>& a, std::size_t lda,
+                const std::vector<float>& b, std::size_t ldb, float beta,
+                std::vector<float>& c, std::size_t ldc) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = ta ? a[p * lda + i] : a[i * lda + p];
+        const float bv = tb ? b[j * ldb + p] : b[p * ldb + j];
+        acc += static_cast<double>(av) * static_cast<double>(bv);
+      }
+      c[i * ldc + j] = static_cast<float>(alpha * acc) + beta * c[i * ldc + j];
+    }
+  }
+}
+
+// RAII guard for the thread-local threading knob.
+struct ThreadsGuard {
+  explicit ThreadsGuard(std::size_t n) { kernel_config().gemm_threads = n; }
+  ~ThreadsGuard() { kernel_config().gemm_threads = 1; }
 };
 
 Mats random_mats(Rng& rng) {
@@ -118,6 +147,212 @@ TEST_P(GemmPropertyTest, IdentityMatrixIsNeutral) {
 
 INSTANTIATE_TEST_SUITE_P(RandomShapes, GemmPropertyTest,
                          ::testing::Range<std::uint64_t>(1, 13));
+
+TEST_P(GemmPropertyTest, NonContiguousLeadingDimensions) {
+  // Matrices embedded in larger buffers (lda/ldb/ldc > minimum) must give
+  // bitwise the same C entries as the compact call: packing normalises the
+  // layout, so the arithmetic is identical.
+  Rng rng(GetParam() + 4000);
+  const Mats mats = random_mats(rng);
+  const std::size_t pad_a = 1 + rng.below(5);
+  const std::size_t pad_b = 1 + rng.below(5);
+  const std::size_t pad_c = 1 + rng.below(5);
+  for (const bool ta : {false, true}) {
+    for (const bool tb : {false, true}) {
+      const std::size_t ar = ta ? mats.k : mats.m;  // stored rows of A
+      const std::size_t ac = ta ? mats.m : mats.k;
+      const std::size_t br = tb ? mats.n : mats.k;
+      const std::size_t bc = tb ? mats.k : mats.n;
+      const std::size_t lda = ac + pad_a;
+      const std::size_t ldb = bc + pad_b;
+      const std::size_t ldc = mats.n + pad_c;
+      std::vector<float> sa(ar * lda, -7.0f), sb(br * ldb, -7.0f);
+      for (std::size_t i = 0; i < ar; ++i) {
+        for (std::size_t j = 0; j < ac; ++j) {
+          sa[i * lda + j] = static_cast<float>(rng.uniform(-1, 1));
+        }
+      }
+      for (std::size_t i = 0; i < br; ++i) {
+        for (std::size_t j = 0; j < bc; ++j) {
+          sb[i * ldb + j] = static_cast<float>(rng.uniform(-1, 1));
+        }
+      }
+      std::vector<float> ca(ar * ac), cb(br * bc);
+      for (std::size_t i = 0; i < ar; ++i) {
+        for (std::size_t j = 0; j < ac; ++j) ca[i * ac + j] = sa[i * lda + j];
+      }
+      for (std::size_t i = 0; i < br; ++i) {
+        for (std::size_t j = 0; j < bc; ++j) cb[i * bc + j] = sb[i * ldb + j];
+      }
+      std::vector<float> c_strided(mats.m * ldc, 3.0f);
+      std::vector<float> c_compact(mats.m * mats.n, 3.0f);
+      const auto t = [](bool yes) {
+        return yes ? Transpose::kYes : Transpose::kNo;
+      };
+      gemm(t(ta), t(tb), mats.m, mats.n, mats.k, 1.3f, sa.data(), lda,
+           sb.data(), ldb, 0.4f, c_strided.data(), ldc);
+      gemm(t(ta), t(tb), mats.m, mats.n, mats.k, 1.3f, ca.data(), ac,
+           cb.data(), bc, 0.4f, c_compact.data(), mats.n);
+      for (std::size_t i = 0; i < mats.m; ++i) {
+        for (std::size_t j = 0; j < mats.n; ++j) {
+          EXPECT_EQ(c_strided[i * ldc + j], c_compact[i * mats.n + j])
+              << "ta=" << ta << " tb=" << tb << " at (" << i << "," << j
+              << ")";
+        }
+        // Padding beyond column n must be untouched.
+        for (std::size_t j = mats.n; j < ldc; ++j) {
+          EXPECT_EQ(c_strided[i * ldc + j], 3.0f);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(GemmPropertyTest, AlphaBetaEdgeCases) {
+  Rng rng(GetParam() + 5000);
+  const Mats mats = random_mats(rng);
+  for (const float alpha : {0.0f, 1.0f, -1.0f, 2.5f}) {
+    for (const float beta : {0.0f, 1.0f, -1.0f, 0.5f}) {
+      std::vector<float> got = mats.c, want = mats.c;
+      gemm(Transpose::kNo, Transpose::kNo, mats.m, mats.n, mats.k, alpha,
+           mats.a.data(), mats.k, mats.b.data(), mats.n, beta, got.data(),
+           mats.n);
+      naive_gemm(false, false, mats.m, mats.n, mats.k, alpha, mats.a, mats.k,
+                 mats.b, mats.n, beta, want, mats.n);
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_NEAR(got[i], want[i], 1e-4f)
+            << "alpha=" << alpha << " beta=" << beta << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(GemmBlockingTest, RaggedShapesAroundEveryBoundary) {
+  // One less / exactly / one more than each blocking parameter, in every
+  // dimension it applies to: micro-tile (MR, NR), cache blocks (MC, KC),
+  // and the NC panel in one large-n case.
+  const std::size_t m_sizes[] = {1,         kGemmMR - 1, kGemmMR,
+                                 kGemmMR + 1, kGemmMC - 1, kGemmMC,
+                                 kGemmMC + 1};
+  const std::size_t n_sizes[] = {1, kGemmNR - 1, kGemmNR, kGemmNR + 1};
+  const std::size_t k_sizes[] = {1, kGemmKC - 1, kGemmKC, kGemmKC + 1};
+  Rng rng(77);
+  for (const std::size_t m : m_sizes) {
+    for (const std::size_t n : n_sizes) {
+      for (const std::size_t k : k_sizes) {
+        Mats mats;
+        mats.m = m;
+        mats.n = n;
+        mats.k = k;
+        mats.a.resize(m * k);
+        mats.b.resize(k * n);
+        mats.c.resize(m * n);
+        for (auto& v : mats.a) v = static_cast<float>(rng.uniform(-1, 1));
+        for (auto& v : mats.b) v = static_cast<float>(rng.uniform(-1, 1));
+        for (auto& v : mats.c) v = static_cast<float>(rng.uniform(-1, 1));
+        std::vector<float> got = mats.c, want = mats.c;
+        gemm(Transpose::kNo, Transpose::kNo, m, n, k, 1.0f, mats.a.data(),
+             mats.b.data(), 1.0f, got.data());
+        naive_gemm(false, false, m, n, k, 1.0f, mats.a, k, mats.b, n, 1.0f,
+                   want, n);
+        for (std::size_t i = 0; i < got.size(); ++i) {
+          ASSERT_NEAR(got[i], want[i], 2e-3f)
+              << "m=" << m << " n=" << n << " k=" << k << " i=" << i;
+        }
+      }
+    }
+  }
+  // NC boundary: n crossing the outermost panel split.
+  for (const std::size_t n : {kGemmNC - 1, kGemmNC, kGemmNC + 1}) {
+    const std::size_t m = 7, k = 33;
+    std::vector<float> a(m * k), b(k * n), got(m * n, 0.5f), want(got);
+    for (auto& v : a) v = static_cast<float>(rng.uniform(-1, 1));
+    for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+    gemm(Transpose::kNo, Transpose::kNo, m, n, k, 1.0f, a.data(), b.data(),
+         1.0f, got.data());
+    naive_gemm(false, false, m, n, k, 1.0f, a, k, b, n, 1.0f, want, n);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_NEAR(got[i], want[i], 2e-3f) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(GemmEpilogueTest, FusedBiasMatchesManualAdd) {
+  Rng rng(88);
+  const std::size_t m = 13, n = 37, k = 19;
+  std::vector<float> a(m * k), b(k * n), row_bias(m), col_bias(n);
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : row_bias) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : col_bias) v = static_cast<float>(rng.uniform(-1, 1));
+  std::vector<float> fused(m * n, 0.25f), manual(m * n, 0.25f);
+  GemmEpilogue ep;
+  ep.row_bias = row_bias.data();
+  ep.col_bias = col_bias.data();
+  gemm(Transpose::kNo, Transpose::kNo, m, n, k, 1.0f, a.data(), k, b.data(),
+       n, 0.5f, fused.data(), n, ep);
+  gemm(Transpose::kNo, Transpose::kNo, m, n, k, 1.0f, a.data(), k, b.data(),
+       n, 0.5f, manual.data(), n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      manual[i * n + j] += row_bias[i] + col_bias[j];
+    }
+  }
+  for (std::size_t i = 0; i < fused.size(); ++i) {
+    EXPECT_NEAR(fused[i], manual[i], 1e-5f) << "i=" << i;
+  }
+  // Degenerate cases (k == 0 and alpha == 0) must still apply the bias.
+  std::vector<float> deg(m * n, 2.0f);
+  gemm(Transpose::kNo, Transpose::kNo, m, n, 0, 1.0f, nullptr, k, nullptr, n,
+       1.0f, deg.data(), n, ep);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_FLOAT_EQ(deg[i * n + j], 2.0f + row_bias[i] + col_bias[j]);
+    }
+  }
+}
+
+TEST(GemmThreadingTest, ParallelIsBitwiseEqualToSerial) {
+  // The deterministic-partition contract: any thread count must reproduce
+  // the serial result bit for bit, for shapes straddling every block
+  // boundary and for all transpose modes.
+  Rng rng(99);
+  struct Case {
+    std::size_t m, n, k;
+  };
+  const Case cases[] = {{kGemmMC + 5, kGemmNR * 3 + 1, kGemmKC + 9},
+                        {kGemmMR - 1, 200, 64},
+                        {200, kGemmNR - 3, kGemmKC * 2 + 1},
+                        {64, 64, 64}};
+  for (const auto& cs : cases) {
+    for (const bool ta : {false, true}) {
+      for (const bool tb : {false, true}) {
+        std::vector<float> a(cs.m * cs.k), b(cs.k * cs.n), c0(cs.m * cs.n);
+        for (auto& v : a) v = static_cast<float>(rng.uniform(-1, 1));
+        for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+        for (auto& v : c0) v = static_cast<float>(rng.uniform(-1, 1));
+        const auto t = [](bool yes) {
+          return yes ? Transpose::kYes : Transpose::kNo;
+        };
+        const std::size_t lda = ta ? cs.m : cs.k;
+        const std::size_t ldb = tb ? cs.k : cs.n;
+        std::vector<float> serial = c0;
+        gemm(t(ta), t(tb), cs.m, cs.n, cs.k, 1.1f, a.data(), lda, b.data(),
+             ldb, 0.3f, serial.data(), cs.n);
+        for (const std::size_t threads : {2, 4, 7}) {
+          ThreadsGuard guard(threads);
+          std::vector<float> parallel = c0;
+          gemm(t(ta), t(tb), cs.m, cs.n, cs.k, 1.1f, a.data(), lda, b.data(),
+               ldb, 0.3f, parallel.data(), cs.n);
+          ASSERT_EQ(0, std::memcmp(serial.data(), parallel.data(),
+                                   serial.size() * sizeof(float)))
+              << "m=" << cs.m << " n=" << cs.n << " k=" << cs.k
+              << " ta=" << ta << " tb=" << tb << " threads=" << threads;
+        }
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace ds
