@@ -42,8 +42,9 @@ int main() {
 
   // ---------------------------------------------------------------- drops
   std::printf("Message drop rate (fabric Sync EASGD, retransmit repairs):\n");
-  std::printf("%8s %12s %12s %10s %12s\n", "drop", "vtime (s)", "slowdown",
-              "final acc", "survived");
+  std::printf("%8s %12s %12s %10s %12s %10s %12s %8s\n", "drop", "vtime (s)",
+              "slowdown", "final acc", "survived", "messages", "wire MB",
+              "retrans");
   double clean_seconds = 0.0;
   for (const double drop : {0.0, 0.01, 0.05, 0.10, 0.20}) {
     ds::bench::MnistLenetSetup setup = make_setup();
@@ -54,12 +55,15 @@ int main() {
     cluster.faults.max_send_attempts = 12;
     const ds::RunResult r = run_fabric_easgd(setup.ctx, cluster);
     if (drop == 0.0) clean_seconds = r.total_seconds;
-    std::printf("%8.2f %12.4f %11.2fx %10.3f %9zu/%zu\n", drop,
-                r.total_seconds, r.total_seconds / clean_seconds,
-                r.final_accuracy, r.workers_survived, r.workers);
+    std::printf("%8.2f %12.4f %11.2fx %10.3f %9zu/%zu %10llu %12.1f %8llu\n",
+                drop, r.total_seconds, r.total_seconds / clean_seconds,
+                r.final_accuracy, r.workers_survived, r.workers,
+                static_cast<unsigned long long>(r.messages_sent),
+                static_cast<double>(r.bytes_sent) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(r.retransmits));
   }
   std::printf("(accuracy must be IDENTICAL down the column: drops cost "
-              "time, never correctness)\n\n");
+              "time and retransmits, never correctness)\n\n");
 
   // ------------------------------------------------------------ stragglers
   std::printf("Straggler factor on one rank (sync gates, server absorbs):\n");

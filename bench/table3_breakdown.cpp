@@ -93,6 +93,17 @@ int main() {
         100.0 * lg.comm_ratio());
   }
 
+  std::printf("\nWire traffic per run (schedule-implied messages/bytes):\n");
+  std::printf("%-18s %12s %14s\n", "Method", "messages", "wire MB");
+  for (const Row& row : rows) {
+    std::printf("%-18s %12llu %14.1f\n", row.result.method.c_str(),
+                static_cast<unsigned long long>(row.result.messages_sent),
+                static_cast<double>(row.result.bytes_sent) /
+                    (1024.0 * 1024.0));
+  }
+  std::printf("(packing shrinks messages, not bytes; EASGD1's host hop and "
+              "EASGD2/3's switch\nmove the same payload)\n");
+
   std::printf("\nSpeedup chain (time to %.3f accuracy):\n", target);
   const double t_orig = rows[1].time_to_target;
   const double t1 = rows[2].time_to_target;

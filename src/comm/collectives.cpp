@@ -2,12 +2,14 @@
 
 #include <cstring>
 
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace ds {
 
 void reduce_sum(const std::vector<std::span<const float>>& inputs,
                 std::span<float> out) {
+  DS_TRACE_SPAN("collective", "reduce_sum");
   DS_CHECK(!inputs.empty(), "reduce_sum of nothing");
   const std::size_t n = out.size();
   for (const auto& in : inputs) {
@@ -22,6 +24,7 @@ void reduce_sum(const std::vector<std::span<const float>>& inputs,
 
 void broadcast(std::span<const float> src,
                const std::vector<std::span<float>>& dests) {
+  DS_TRACE_SPAN("collective", "broadcast");
   for (const auto& d : dests) {
     DS_CHECK(d.size() == src.size(), "broadcast size mismatch");
     if (d.data() == src.data()) continue;  // in-place root buffer
@@ -30,6 +33,7 @@ void broadcast(std::span<const float> src,
 }
 
 void allreduce_sum(const std::vector<std::span<float>>& buffers) {
+  DS_TRACE_SPAN("collective", "allreduce_sum");
   DS_CHECK(!buffers.empty(), "allreduce of nothing");
   const std::size_t n = buffers[0].size();
   std::vector<std::span<const float>> inputs;

@@ -4,12 +4,38 @@
 #include <chrono>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace ds {
 namespace {
 
 constexpr int kBarrierTag = -7771;
+
+/// Fabric instruments, resolved once. Metrics are always on (relaxed
+/// atomics); trace events additionally gate on obs::tracing_enabled().
+struct FabricMetrics {
+  obs::Counter& messages_sent =
+      obs::metrics().counter(obs::names::kFabricMessagesSent);
+  obs::Counter& bytes_sent =
+      obs::metrics().counter(obs::names::kFabricBytesSent);
+  obs::Counter& drops = obs::metrics().counter(obs::names::kFabricDrops);
+  obs::Counter& retransmits =
+      obs::metrics().counter(obs::names::kFabricRetransmits);
+  obs::Counter& messages_lost =
+      obs::metrics().counter(obs::names::kFabricMessagesLost);
+  obs::Counter& timeouts = obs::metrics().counter(obs::names::kFabricTimeouts);
+  obs::AccumDouble& recv_wait =
+      obs::metrics().accum(obs::names::kFabricRecvWaitSeconds);
+  obs::Histogram& message_bytes =
+      obs::metrics().histogram(obs::names::kFabricMessageBytes);
+};
+
+FabricMetrics& fabric_metrics() {
+  static FabricMetrics m;
+  return m;
+}
 
 constexpr int kActive = static_cast<int>(Fabric::RankState::kActive);
 constexpr int kRetired = static_cast<int>(Fabric::RankState::kRetired);
@@ -110,12 +136,19 @@ void Fabric::send(std::size_t src, std::size_t dst, int tag,
     return;
   }
   const double bytes = static_cast<double>(payload.size() * sizeof(float));
+  const double cost = link_.transfer_seconds(bytes);
   double arrival = 0.0;
   {
     const std::lock_guard<std::mutex> lock(clocks_[src]->mutex);
-    clocks_[src]->value += link_.transfer_seconds(bytes);
+    clocks_[src]->value += cost;
     arrival = clocks_[src]->value;
   }
+  FabricMetrics& fm = fabric_metrics();
+  fm.messages_sent.add();
+  fm.bytes_sent.add(static_cast<std::uint64_t>(bytes));
+  fm.message_bytes.observe(bytes);
+  obs::complete_v("fabric", "send", arrival - cost, cost,
+                  static_cast<std::int64_t>(src), bytes);
   Mailbox& box = *mailboxes_[dst];
   {
     const std::lock_guard<std::mutex> lock(box.mutex);
@@ -137,15 +170,29 @@ void Fabric::faulty_send(std::size_t src, std::size_t dst, int tag,
   Rng& rng = slots_[src]->rng;  // owner-thread only: sends are rank-serial
   double arrival = 0.0;
   bool delivered = false;
+  double send_begin = 0.0;
+  double send_end = 0.0;
+  std::size_t attempts_used = 0;
+  std::size_t drop_count = 0;
+  // Drop timestamps for trace instants, captured inside the clock lock and
+  // emitted after it (appending an event may allocate a segment).
+  constexpr std::size_t kMaxDropStamps = 8;
+  double drop_vtimes[kMaxDropStamps];
   {
     const std::lock_guard<std::mutex> lock(clocks_[src]->mutex);
+    send_begin = clocks_[src]->value;
     for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+      ++attempts_used;
       double cost = base;
       if (faults_.jitter > 0.0) cost *= 1.0 + faults_.jitter * rng.uniform();
       clocks_[src]->value += cost;
       if (drop > 0.0 && rng.uniform() < drop) {
         // Dropped on the wire: the sender's ack timeout pays the backoff,
         // then the loop retransmits.
+        if (drop_count < kMaxDropStamps) {
+          drop_vtimes[drop_count] = clocks_[src]->value;
+        }
+        ++drop_count;
         clocks_[src]->value += faults_.retry_backoff;
         continue;
       }
@@ -153,10 +200,31 @@ void Fabric::faulty_send(std::size_t src, std::size_t dst, int tag,
       delivered = true;
       break;
     }
+    send_end = clocks_[src]->value;
+  }
+  FabricMetrics& fm = fabric_metrics();
+  fm.messages_sent.add();
+  fm.bytes_sent.add(
+      static_cast<std::uint64_t>(bytes * static_cast<double>(attempts_used)));
+  fm.message_bytes.observe(bytes);
+  if (drop_count > 0) fm.drops.add(drop_count);
+  if (attempts_used > 1) fm.retransmits.add(attempts_used - 1);
+  if (obs::tracing_enabled()) {
+    for (std::size_t i = 0; i < std::min(drop_count, kMaxDropStamps); ++i) {
+      obs::instant_at("fabric", "drop", drop_vtimes[i],
+                      static_cast<std::int64_t>(src));
+    }
+    obs::complete_v("fabric", "send", send_begin, send_end - send_begin,
+                    static_cast<std::int64_t>(src), bytes);
   }
   // Lost after every retransmit: the message silently vanishes — eager
   // sends cannot report this; the receiver's timeout is the backstop.
-  if (!delivered) return;
+  if (!delivered) {
+    fm.messages_lost.add();
+    obs::instant_at("fabric", "lost", send_end,
+                    static_cast<std::int64_t>(src));
+    return;
+  }
 
   Mailbox& box = *mailboxes_[dst];
   {
@@ -180,9 +248,18 @@ std::vector<float> Fabric::recv(std::size_t dst, std::size_t src, int tag) {
       Message msg = std::move(*it);
       box.messages.erase(it);
       lock.unlock();
+      double wait = 0.0;
+      double wait_begin = 0.0;
       {
         const std::lock_guard<std::mutex> clock_lock(clocks_[dst]->mutex);
+        wait_begin = clocks_[dst]->value;
         clocks_[dst]->value = std::max(clocks_[dst]->value, msg.arrival);
+        wait = clocks_[dst]->value - wait_begin;
+      }
+      fabric_metrics().recv_wait.add(wait);
+      if (wait > 0.0) {
+        obs::complete_v("fabric", "recv_wait", wait_begin, wait,
+                        static_cast<std::int64_t>(dst));
       }
       return std::move(msg.payload);
     }
@@ -200,10 +277,15 @@ std::vector<float> Fabric::recv(std::size_t dst, std::size_t src, int tag) {
     lock.unlock();
     check_self_alive(dst);
     if (polls >= faults_.max_recv_polls) {
+      double timeout_at = 0.0;
       {
         const std::lock_guard<std::mutex> clock_lock(clocks_[dst]->mutex);
         clocks_[dst]->value += faults_.recv_timeout;
+        timeout_at = clocks_[dst]->value;
       }
+      fabric_metrics().timeouts.add();
+      obs::instant_at("fabric", "timeout", timeout_at,
+                      static_cast<std::int64_t>(dst));
       throw RankFailure(src, RankFailure::Kind::kTimeout,
                         describe(dst, "recv timed out — message lost"));
     }
@@ -246,9 +328,18 @@ std::pair<std::size_t, std::vector<float>> Fabric::recv_any(std::size_t dst,
     Message msg;
     if (pop_any(box, tag, msg)) {
       lock.unlock();
+      double wait = 0.0;
+      double wait_begin = 0.0;
       {
         const std::lock_guard<std::mutex> clock_lock(clocks_[dst]->mutex);
+        wait_begin = clocks_[dst]->value;
         clocks_[dst]->value = std::max(clocks_[dst]->value, msg.arrival);
+        wait = clocks_[dst]->value - wait_begin;
+      }
+      fabric_metrics().recv_wait.add(wait);
+      if (wait > 0.0) {
+        obs::complete_v("fabric", "recv_wait", wait_begin, wait,
+                        static_cast<std::int64_t>(dst));
       }
       return {msg.src, std::move(msg.payload)};
     }
@@ -272,10 +363,15 @@ std::pair<std::size_t, std::vector<float>> Fabric::recv_any(std::size_t dst,
     lock.unlock();
     check_self_alive(dst);
     if (polls >= faults_.max_recv_polls) {
+      double timeout_at = 0.0;
       {
         const std::lock_guard<std::mutex> clock_lock(clocks_[dst]->mutex);
         clocks_[dst]->value += faults_.recv_timeout;
+        timeout_at = clocks_[dst]->value;
       }
+      fabric_metrics().timeouts.add();
+      obs::instant_at("fabric", "timeout", timeout_at,
+                      static_cast<std::int64_t>(dst));
       throw RankFailure(dst, RankFailure::Kind::kTimeout,
                         describe(dst, "recv_any timed out"));
     }
@@ -328,6 +424,14 @@ void Fabric::tree_broadcast(std::size_t rank, std::size_t root,
                             std::vector<float>& data) {
   const std::size_t p = ranks();
   if (p == 1) return;
+  obs::SpanGuard span("collective", "tree_broadcast");
+  if (span.active() && rank == root) {
+    // Annotate the root's span with the α-β modeled critical path, so the
+    // trace can compare modeled vs recorded collective time.
+    span.set_value(collective_seconds(
+        CollectiveAlgo::kBinomialTree, p,
+        static_cast<double>(data.size() * sizeof(float)), link_));
+  }
   const std::size_t relative = (rank + p - root) % p;
   // Receive phase: find the bit that names our parent.
   std::size_t mask = 1;
@@ -355,6 +459,12 @@ void Fabric::tree_reduce(std::size_t rank, std::size_t root,
                          std::vector<float>& data) {
   const std::size_t p = ranks();
   if (p == 1) return;
+  obs::SpanGuard span("collective", "tree_reduce");
+  if (span.active()) {
+    span.set_value(collective_seconds(
+        CollectiveAlgo::kBinomialTree, p,
+        static_cast<double>(data.size() * sizeof(float)), link_));
+  }
   const std::size_t relative = (rank + p - root) % p;
   std::size_t mask = 1;
   while (mask < p) {
@@ -379,12 +489,19 @@ void Fabric::tree_reduce(std::size_t rank, std::size_t root,
 void Fabric::tree_allreduce(std::size_t rank, std::size_t root,
                             std::vector<float>& data) {
   const std::size_t n = data.size();
+  obs::SpanGuard span("collective", "tree_allreduce");
+  if (span.active()) {
+    span.set_value(allreduce_seconds(
+        CollectiveAlgo::kBinomialTree, ranks(),
+        static_cast<double>(n * sizeof(float)), link_));
+  }
   tree_reduce(rank, root, data);
   if (rank != root) data.assign(n, 0.0f);
   tree_broadcast(rank, root, data);
 }
 
 void Fabric::barrier(std::size_t rank) {
+  DS_TRACE_SPAN("collective", "barrier");
   // Zero-byte tree allreduce still pays α per hop and, crucially, merges
   // clocks so every rank resumes at the same virtual time.
   std::vector<float> token(1, 0.0f);

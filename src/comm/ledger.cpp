@@ -3,6 +3,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace ds {
@@ -26,6 +27,15 @@ void CostLedger::charge(Phase phase, double seconds) {
   DS_CHECK(phase != Phase::kCount, "invalid phase");
   DS_CHECK(seconds >= 0.0, "negative charge " << seconds);
   seconds_[static_cast<std::size_t>(phase)] += seconds;
+}
+
+void CostLedger::charge_traced(Phase phase, double seconds,
+                               double vtime_end) {
+  charge(phase, seconds);
+  if (obs::tracing_enabled() && seconds > 0.0) {
+    obs::complete_v("ledger", phase_name(phase), vtime_end - seconds, seconds,
+                    obs::thread_rank());
+  }
 }
 
 double CostLedger::total_seconds() const {

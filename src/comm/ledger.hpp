@@ -33,6 +33,14 @@ class CostLedger {
  public:
   void charge(Phase phase, double seconds);
 
+  /// charge() that additionally emits a "ledger"-category complete span on
+  /// the calling thread's virtual timeline, covering
+  /// [vtime_end - seconds, vtime_end] and named phase_name(phase). Because
+  /// the span IS the charge (one call, same amount), a traced run's
+  /// per-phase span rollup equals the ledger totals by construction —
+  /// obs_ledger_test pins this to 1e-9.
+  void charge_traced(Phase phase, double seconds, double vtime_end);
+
   double seconds(Phase phase) const {
     return seconds_[static_cast<std::size_t>(phase)];
   }

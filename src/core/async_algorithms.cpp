@@ -10,6 +10,8 @@
 #include "core/easgd_rules.hpp"
 #include "core/evaluator.hpp"
 #include "data/sampler.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "tensor/ops.hpp"
 
@@ -109,6 +111,10 @@ RunResult run_async(const AlgoContext& ctx, const GpuSystem& hw,
   const double cup_s = hw.cpu_update_seconds();
 
   auto worker_fn = [&](std::size_t wid) {
+    // Each simulated device gets its own rank: its ledger spans land on
+    // their own virtual timeline in the exported trace.
+    const obs::RankScope obs_rank(static_cast<std::int64_t>(wid));
+    DS_TRACE_SPAN("algo", "async_worker");
     const std::unique_ptr<Network> net = ctx.factory();
     {
       // All workers start from W̄₀. Another worker may already be inside a
@@ -175,7 +181,7 @@ RunResult run_async(const AlgoContext& ctx, const GpuSystem& hw,
                             cfg.rho);
         }
         wclock += gup_s * slow;
-        local_ledger.charge(Phase::kGpuUpdate, gup_s);
+        local_ledger.charge_traced(Phase::kGpuUpdate, gup_s, wclock);
 
         // Push W_i; master applies Eq. (2).
         if (lock_free) {
@@ -222,10 +228,19 @@ RunResult run_async(const AlgoContext& ctx, const GpuSystem& hw,
         }
       }
 
-      local_ledger.charge(Phase::kCpuGpuDataComm, data_s);
-      local_ledger.charge(Phase::kCpuGpuParamComm, 2.0 * hop);
-      local_ledger.charge(Phase::kForwardBackward, fb_s);
-      local_ledger.charge(Phase::kCpuUpdate, cup_s);
+      // Span chain tiled backwards from the interaction's end time. The
+      // charged amounts are the unscaled §2.4 costs, so the tiling is an
+      // attribution of the interaction, not a replay of the wclock
+      // arithmetic — the rollup still sums to the ledger exactly.
+      double tc = wclock - (data_s + 2.0 * hop + fb_s + cup_s);
+      tc += data_s;
+      local_ledger.charge_traced(Phase::kCpuGpuDataComm, data_s, tc);
+      tc += 2.0 * hop;
+      local_ledger.charge_traced(Phase::kCpuGpuParamComm, 2.0 * hop, tc);
+      tc += fb_s;
+      local_ledger.charge_traced(Phase::kForwardBackward, fb_s, tc);
+      tc += cup_s;
+      local_ledger.charge_traced(Phase::kCpuUpdate, cup_s, tc);
 
       if (iter % cfg.eval_every == 0 || iter == cfg.iterations) {
         Snapshot snap;
@@ -295,6 +310,14 @@ RunResult run_async(const AlgoContext& ctx, const GpuSystem& hw,
     res.final_accuracy = res.trace.back().accuracy;
     res.final_loss = res.trace.back().loss;
   }
+  // Packed W̄ pull + push per interaction across the host link.
+  res.messages_sent = 2 * res.iterations;
+  res.bytes_sent = static_cast<std::uint64_t>(
+      2.0 * hw.model().weight_bytes * static_cast<double>(res.iterations));
+  obs::metrics()
+      .counter(obs::names::kCommMessagesModeled)
+      .add(res.messages_sent);
+  obs::metrics().counter(obs::names::kCommBytesModeled).add(res.bytes_sent);
   return res;
 }
 

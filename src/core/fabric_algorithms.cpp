@@ -8,6 +8,8 @@
 #include "core/easgd_rules.hpp"
 #include "core/evaluator.hpp"
 #include "data/sampler.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
 #include "tensor/ops.hpp"
@@ -25,6 +27,29 @@ std::size_t count_failed(const Fabric& fabric) {
   return failed;
 }
 
+/// Thread→virtual-clock binding for a fabric rank thread: lets span events
+/// recorded on this thread stamp themselves with the rank's fabric clock.
+struct RankClock {
+  const Fabric* fabric;
+  std::size_t rank;
+  static double read(const void* ctx) {
+    const RankClock* rc = static_cast<const RankClock*>(ctx);
+    return rc->fabric->clock(rc->rank);
+  }
+};
+
+/// Fill RunResult's wire accounting from the fabric metric deltas over the
+/// run (runs are serial in-process, so the delta is exactly this fabric's).
+void apply_fabric_wire(RunResult& res, const obs::MetricsSnapshot& before) {
+  const obs::MetricsSnapshot after = obs::metrics().snapshot();
+  res.messages_sent = static_cast<std::uint64_t>(
+      after.delta(before, obs::names::kFabricMessagesSent));
+  res.bytes_sent = static_cast<std::uint64_t>(
+      after.delta(before, obs::names::kFabricBytesSent));
+  res.retransmits = static_cast<std::uint64_t>(
+      after.delta(before, obs::names::kFabricRetransmits));
+}
+
 }  // namespace
 
 RunResult run_fabric_easgd(const AlgoContext& ctx,
@@ -34,6 +59,7 @@ RunResult run_fabric_easgd(const AlgoContext& ctx,
   DS_CHECK(ranks > 0, "need at least one rank");
 
   Fabric fabric(ranks, cluster.network, cluster.faults);
+  const obs::MetricsSnapshot wire_before = obs::metrics().snapshot();
 
   // Per-iteration local costs charged to each rank's fabric clock; the
   // communication costs come from the fabric itself, message by message.
@@ -50,13 +76,29 @@ RunResult run_fabric_easgd(const AlgoContext& ctx,
   std::vector<Probe> probes;         // written only by rank 0
   std::vector<float> final_center;   // written only by rank 0
   std::size_t completed_rounds = 0;  // written only by rank 0
+  CostLedger rank0_ledger;           // written only by rank 0
   std::atomic<bool> any_failure{false};
   std::mutex abort_mutex;
   std::string abort_reason;
 
   auto rank_main = [&](std::size_t rank) {
+    const RankClock rank_clock{&fabric, rank};
+    const obs::RankScope obs_rank(static_cast<std::int64_t>(rank),
+                                  &RankClock::read, &rank_clock);
+    DS_TRACE_SPAN("algo", "fabric_easgd_rank");
     const std::unique_ptr<Network> net = ctx.factory();
     const std::size_t n = net->param_count();
+
+    // Rank 0 attributes its own measured clock advances to the ledger,
+    // phase by phase; under faults/stragglers each round's deltas include
+    // the real retransmit and wait costs rather than a modeled residual.
+    double mark = fabric.clock(rank);
+    auto charge0 = [&](Phase phase) {
+      if (rank != 0) return;
+      const double now = fabric.clock(0);
+      if (now > mark) rank0_ledger.charge_traced(phase, now - mark, now);
+      mark = now;
+    };
 
     // Rank 0's initial weights define W̄₀ for everyone (Algorithm 4 line 4:
     // "KNL1 broadcasts W to all KNLs").
@@ -66,6 +108,7 @@ RunResult run_fabric_easgd(const AlgoContext& ctx,
     try {
       fabric.tree_broadcast(rank, 0, center);
       copy(center, net->arena().full_params());
+      charge0(Phase::kInit);
 
       BatchSampler sampler(*ctx.train, cfg.batch_size,
                            cfg.seed * 48271 + rank);
@@ -74,11 +117,13 @@ RunResult run_fabric_easgd(const AlgoContext& ctx,
       std::vector<float> sum_w(n);
 
       for (t = 1; t <= cfg.iterations; ++t) {
+        DS_TRACE_SPAN("algo", "round");
         // Line 11: forward/backward on every node.
         sampler.next(batch, labels);
         net->zero_grads();
         net->forward_backward(batch, labels);
         fabric.advance(rank, fb_s);
+        charge0(Phase::kForwardBackward);
 
         // Line 12: KNL1 broadcasts W̄_t.
         fabric.tree_broadcast(rank, 0, center);
@@ -88,18 +133,21 @@ RunResult run_fabric_easgd(const AlgoContext& ctx,
         const auto params = net->arena().full_params();
         sum_w.assign(params.begin(), params.end());
         fabric.tree_reduce(rank, 0, sum_w);
+        charge0(Phase::kGpuGpuParamComm);
 
         // Line 14: every node applies Eq. (1) against the broadcast W̄_t.
         easgd_worker_step(net->arena().full_params(),
                           net->arena().full_grads(), center, cfg.lr_at(t),
                           cfg.rho);
         fabric.advance(rank, up_s);
+        charge0(Phase::kGpuUpdate);
 
         // Line 15: KNL1 applies Eq. (2).
         if (rank == 0) {
           easgd_center_step_sum(center, sum_w, ranks, cfg.lr_at(t),
                                 cfg.rho);
           fabric.advance(rank, up_s);
+          charge0(Phase::kCpuUpdate);
           completed_rounds = t;
           if (t % cfg.eval_every == 0 || t == cfg.iterations) {
             probes.push_back(Probe{t, fabric.clock(0), center});
@@ -156,13 +204,10 @@ RunResult run_fabric_easgd(const AlgoContext& ctx,
     res.final_accuracy = res.trace.back().accuracy;
     res.final_loss = res.trace.back().loss;
   }
-  const double iters = static_cast<double>(res.iterations);
-  res.ledger.charge(Phase::kForwardBackward, fb_s * iters);
-  res.ledger.charge(
-      Phase::kGpuGpuParamComm,
-      std::max(0.0, res.total_seconds - (fb_s + 2.0 * up_s) * iters));
-  res.ledger.charge(Phase::kGpuUpdate, up_s * iters);
-  res.ledger.charge(Phase::kCpuUpdate, up_s * iters);
+  // Rank 0's measured per-round clock deltas ARE the breakdown; no modeled
+  // residual. Wire totals come from the fabric's own metric counters.
+  res.ledger = rank0_ledger;
+  apply_fabric_wire(res, wire_before);
   return res;
 }
 
@@ -176,6 +221,7 @@ RunResult run_fabric_async_easgd(const AlgoContext& ctx,
   constexpr int kReplyTag = 902;
 
   Fabric fabric(ranks, cluster.network, cluster.faults);
+  const obs::MetricsSnapshot wire_before = obs::metrics().snapshot();
 
   const double fb_s = static_cast<double>(cfg.batch_size) *
                       cluster.model.flops_per_sample / cluster.node_flops;
@@ -198,20 +244,43 @@ RunResult run_fabric_async_easgd(const AlgoContext& ctx,
   std::size_t served = 0;           // written only by the server thread
   std::atomic<bool> budget_cut{false};
 
+  // Each rank measures its own clock advances into a local ledger; the
+  // merged result is the cluster-wide breakdown (summed over ranks, like
+  // Table 3 sums device time over GPUs).
+  CostLedger merged_ledger;
+  std::mutex ledger_mutex;
+  auto merge_ledger = [&](const CostLedger& local) {
+    const std::lock_guard<std::mutex> lock(ledger_mutex);
+    merged_ledger += local;
+  };
+
   // W̄₀ from one reference replica.
   const std::unique_ptr<Network> init_net = ctx.factory();
   const std::vector<float> initial(init_net->arena().full_params().begin(),
                                    init_net->arena().full_params().end());
 
   auto server_main = [&] {
+    const RankClock rank_clock{&fabric, 0};
+    const obs::RankScope obs_rank(0, &RankClock::read, &rank_clock);
+    DS_TRACE_SPAN("algo", "async_server");
+    CostLedger local;
+    double mark = fabric.clock(0);
+    auto charge = [&](Phase phase) {
+      const double now = fabric.clock(0);
+      if (now > mark) local.charge_traced(phase, now - mark, now);
+      mark = now;
+    };
     std::vector<float> center = initial;
     try {
       for (std::size_t done = 1; done <= cfg.iterations; ++done) {
         auto [src, w_i] = fabric.recv_any(0, kPushTag);
+        charge(Phase::kGpuGpuParamComm);  // blocked waiting for a push
         // Eq. (2) against the pushed worker weights, then return W̄.
         easgd_center_step(center, w_i, cfg.lr_at(done), cfg.rho);
         fabric.advance(0, up_s);
+        charge(Phase::kCpuUpdate);
         fabric.send(0, src, kReplyTag, center);
+        charge(Phase::kGpuGpuParamComm);  // reply transmit
         served = done;
         if (done % cfg.eval_every == 0 || done == cfg.iterations) {
           probes.push_back(Probe{done, fabric.clock(0), center});
@@ -223,10 +292,22 @@ RunResult run_fabric_async_easgd(const AlgoContext& ctx,
       budget_cut.store(true);
     }
     final_center = center;
+    merge_ledger(local);
     fabric.retire(0);
   };
 
   auto worker_main = [&](std::size_t rank) {
+    const RankClock rank_clock{&fabric, rank};
+    const obs::RankScope obs_rank(static_cast<std::int64_t>(rank),
+                                  &RankClock::read, &rank_clock);
+    DS_TRACE_SPAN("algo", "async_worker");
+    CostLedger local;
+    double mark = fabric.clock(rank);
+    auto charge = [&](Phase phase) {
+      const double now = fabric.clock(rank);
+      if (now > mark) local.charge_traced(phase, now - mark, now);
+      mark = now;
+    };
     try {
       const std::unique_ptr<Network> net = ctx.factory();
       copy(initial, net->arena().full_params());
@@ -237,29 +318,34 @@ RunResult run_fabric_async_easgd(const AlgoContext& ctx,
       const std::size_t my_quota = quota(rank);
 
       for (std::size_t t = 1; t <= my_quota; ++t) {
+        DS_TRACE_SPAN("algo", "interaction");
         // Gradient at the LOCAL weights (elastic worker), overlapping with
         // the round trip below only through the fabric's causal clocks.
         sampler.next(batch, labels);
         net->zero_grads();
         net->forward_backward(batch, labels);
         fabric.advance(rank, fb_s);
+        charge(Phase::kForwardBackward);
 
         // Push W_i, receive W̄ (Figure 5's interaction).
         std::vector<float> w_i(net->arena().full_params().begin(),
                                net->arena().full_params().end());
         fabric.send(rank, 0, kPushTag, std::move(w_i));
         const std::vector<float> center = fabric.recv(rank, 0, kReplyTag);
+        charge(Phase::kGpuGpuParamComm);  // push + wait for the reply
 
         // Eq. (1) against the returned center.
         easgd_worker_step(net->arena().full_params(),
                           net->arena().full_grads(), center, cfg.lr_at(t),
                           cfg.rho);
         fabric.advance(rank, up_s);
+        charge(Phase::kGpuUpdate);
       }
     } catch (const RankFailure&) {
       // This worker crashed, or the server/reply path is gone. Drop out;
       // the server keeps going with the survivors.
     }
+    merge_ledger(local);
     fabric.retire(rank);
   };
 
@@ -296,14 +382,10 @@ RunResult run_fabric_async_easgd(const AlgoContext& ctx,
     res.final_accuracy = res.trace.back().accuracy;
     res.final_loss = res.trace.back().loss;
   }
-  const double iters = static_cast<double>(res.iterations);
-  res.ledger.charge(Phase::kForwardBackward, fb_s * iters);
-  res.ledger.charge(Phase::kCpuUpdate, up_s * iters);
-  res.ledger.charge(Phase::kGpuUpdate, up_s * iters);
-  res.ledger.charge(
-      Phase::kGpuGpuParamComm,
-      std::max(0.0, res.total_seconds * static_cast<double>(workers) -
-                        (fb_s + 2.0 * up_s) * iters));
+  // Breakdown = merged per-rank measured clock deltas (summed over server
+  // and workers); wire totals from the fabric's own metric counters.
+  res.ledger = merged_ledger;
+  apply_fabric_wire(res, wire_before);
   return res;
 }
 

@@ -6,6 +6,8 @@
 #include "core/easgd_rules.hpp"
 #include "core/evaluator.hpp"
 #include "data/sampler.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "tensor/ops.hpp"
 
@@ -40,6 +42,8 @@ NodeSet make_nodes(const AlgoContext& ctx, std::size_t count) {
 RunResult run_cluster_sync_easgd(const AlgoContext& ctx,
                                  const ClusterTiming& timing) {
   const TrainConfig& cfg = ctx.config;
+  const obs::RankScope obs_rank(0);
+  DS_TRACE_SPAN("algo", "run_cluster_sync_easgd");
   NodeSet nodes = make_nodes(ctx, cfg.workers);
   Evaluator eval(ctx.factory, *ctx.test, cfg.eval_samples);
 
@@ -82,10 +86,15 @@ RunResult run_cluster_sync_easgd(const AlgoContext& ctx,
     }
     easgd_center_step_sum(center, sum_w, cfg.workers, lr, cfg.rho);
 
-    res.ledger.charge(Phase::kForwardBackward, fb_s);
-    res.ledger.charge(Phase::kGpuGpuParamComm, comm_s);
-    res.ledger.charge(Phase::kGpuUpdate, up_s);
-    res.ledger.charge(Phase::kCpuUpdate, up_s);
+    double tc = vtime;
+    tc += fb_s;
+    res.ledger.charge_traced(Phase::kForwardBackward, fb_s, tc);
+    tc += comm_s;
+    res.ledger.charge_traced(Phase::kGpuGpuParamComm, comm_s, tc);
+    tc += up_s;
+    res.ledger.charge_traced(Phase::kGpuUpdate, up_s, tc);
+    tc += up_s;
+    res.ledger.charge_traced(Phase::kCpuUpdate, up_s, tc);
     vtime += fb_s + comm_s + 2.0 * up_s;
 
     if (t % cfg.eval_every == 0 || t == cfg.iterations) {
@@ -101,6 +110,15 @@ RunResult run_cluster_sync_easgd(const AlgoContext& ctx,
     res.final_accuracy = res.trace.back().accuracy;
     res.final_loss = res.trace.back().loss;
   }
+  // Tree broadcast + reduce over the nodes: workers-1 messages each way.
+  res.messages_sent = 2 * (cfg.workers - 1) * cfg.iterations;
+  res.bytes_sent = static_cast<std::uint64_t>(
+      2.0 * static_cast<double>(cfg.workers - 1) * timing.model.weight_bytes *
+      static_cast<double>(cfg.iterations));
+  obs::metrics()
+      .counter(obs::names::kCommMessagesModeled)
+      .add(res.messages_sent);
+  obs::metrics().counter(obs::names::kCommBytesModeled).add(res.bytes_sent);
   return res;
 }
 
@@ -108,6 +126,8 @@ KnlPartitionResult run_knl_partition(const AlgoContext& ctx,
                                      const KnlChip& chip,
                                      const KnlPartitionConfig& pcfg) {
   const TrainConfig& cfg = ctx.config;
+  const obs::RankScope obs_rank(0);
+  DS_TRACE_SPAN("algo", "run_knl_partition");
   DS_CHECK(pcfg.parts > 0, "need at least one partition");
   NodeSet parts = make_nodes(ctx, pcfg.parts);
   Evaluator eval(ctx.factory, *ctx.test, cfg.eval_samples);
@@ -166,7 +186,8 @@ KnlPartitionResult run_knl_partition(const AlgoContext& ctx,
     }
 
     vtime += result.round_seconds;
-    result.run.ledger.charge(Phase::kForwardBackward, result.round_seconds);
+    result.run.ledger.charge_traced(Phase::kForwardBackward,
+                                    result.round_seconds, vtime);
 
     if (round % cfg.eval_every == 0 || round == pcfg.max_rounds) {
       TracePoint p = eval.evaluate(parts.nets[0]->arena());

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -27,6 +28,14 @@ struct RunResult {
   std::size_t iterations = 0;    // iterations/interactions actually completed
   double final_accuracy = 0.0;
   double final_loss = 0.0;
+
+  // --- wire accounting (obs metrics registry) ------------------------
+  // Fabric runs report what actually crossed the simulated wire (registry
+  // deltas over the run); modeled GpuSystem runs report the message/byte
+  // counts implied by their collective schedule. Bytes include retransmits.
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t retransmits = 0;
 
   // --- robustness / fault-injection accounting -----------------------
   std::size_t workers = 0;           // workers/ranks the run started with

@@ -6,11 +6,28 @@
 #include "core/easgd_rules.hpp"
 #include "core/evaluator.hpp"
 #include "data/sampler.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "tensor/ops.hpp"
 
 namespace ds {
 namespace {
+
+/// Wire accounting for the modeled (GpuSystem) methods: a collective over P
+/// participants delivers P-1 point-to-point messages per direction whatever
+/// the schedule (a binomial tree only shortens the critical path), and a
+/// per-layer layout splits each hop into one message per learnable tensor.
+void apply_modeled_wire(RunResult& res, double messages_per_iter,
+                        double bytes_per_iter) {
+  const double iters = static_cast<double>(res.iterations);
+  res.messages_sent = static_cast<std::uint64_t>(messages_per_iter * iters);
+  res.bytes_sent = static_cast<std::uint64_t>(bytes_per_iter * iters);
+  obs::metrics()
+      .counter(obs::names::kCommMessagesModeled)
+      .add(res.messages_sent);
+  obs::metrics().counter(obs::names::kCommBytesModeled).add(res.bytes_sent);
+}
 
 /// Worker replicas: one network + one batch sampler per simulated device,
 /// all initialised to the same weights ("copy W to W_j", Algorithm 1).
@@ -106,6 +123,9 @@ RunResult run_original_easgd(const AlgoContext& ctx, const GpuSystem& hw,
                              OriginalVariant variant,
                              const FaultPlan& faults) {
   const TrainConfig& cfg = ctx.config;
+  // Modeled runs live on a single virtual timeline: rank 0.
+  const obs::RankScope obs_rank(0);
+  DS_TRACE_SPAN("algo", "run_original_easgd");
   WorkerSet w = make_workers(ctx);
   Evaluator eval(ctx.factory, *ctx.test, cfg.eval_samples);
 
@@ -154,6 +174,9 @@ RunResult run_original_easgd(const AlgoContext& ctx, const GpuSystem& hw,
         record_point(res, eval, center, t - 1, vtime);
       }
       finish(res, vtime, t - 1);
+      apply_modeled_wire(res,
+                         2.0 * static_cast<double>(hw.model().comm_layers),
+                         2.0 * hw.model().weight_bytes);
       res.final_params.assign(center.begin(), center.end());
       return res;
     }
@@ -169,11 +192,17 @@ RunResult run_original_easgd(const AlgoContext& ctx, const GpuSystem& hw,
     // Line 14, Eq. (2) on the host against the transmitted W_j^t.
     easgd_center_step(center, worker_snapshot, lr, cfg.rho);
 
-    res.ledger.charge(Phase::kCpuGpuDataComm, data_s * slow);
-    res.ledger.charge(Phase::kCpuGpuParamComm, param_s);
-    res.ledger.charge(Phase::kForwardBackward, fb_charged);
-    res.ledger.charge(Phase::kGpuUpdate, gup_s * slow);
-    res.ledger.charge(Phase::kCpuUpdate, cup_s);
+    double tc = vtime;
+    tc += data_s * slow;
+    res.ledger.charge_traced(Phase::kCpuGpuDataComm, data_s * slow, tc);
+    tc += param_s;
+    res.ledger.charge_traced(Phase::kCpuGpuParamComm, param_s, tc);
+    tc += fb_charged;
+    res.ledger.charge_traced(Phase::kForwardBackward, fb_charged, tc);
+    tc += gup_s * slow;
+    res.ledger.charge_traced(Phase::kGpuUpdate, gup_s * slow, tc);
+    tc += cup_s;
+    res.ledger.charge_traced(Phase::kCpuUpdate, cup_s, tc);
     vtime += iter_seconds;
 
     if (t % cfg.eval_every == 0 || t == cfg.iterations) {
@@ -181,6 +210,9 @@ RunResult run_original_easgd(const AlgoContext& ctx, const GpuSystem& hw,
     }
   }
   finish(res, vtime, cfg.iterations);
+  // Per-layer messages in both directions of the host hop, every iteration.
+  apply_modeled_wire(res, 2.0 * static_cast<double>(hw.model().comm_layers),
+                     2.0 * hw.model().weight_bytes);
   res.final_params.assign(center.begin(), center.end());
   return res;
 }
@@ -188,6 +220,8 @@ RunResult run_original_easgd(const AlgoContext& ctx, const GpuSystem& hw,
 RunResult run_sync_easgd(const AlgoContext& ctx, const GpuSystem& hw,
                          SyncEasgdVariant variant, const FaultPlan& faults) {
   const TrainConfig& cfg = ctx.config;
+  const obs::RankScope obs_rank(0);
+  DS_TRACE_SPAN("algo", "run_sync_easgd");
   WorkerSet w = make_workers(ctx);
   Evaluator eval(ctx.factory, *ctx.test, cfg.eval_samples);
 
@@ -243,6 +277,18 @@ RunResult run_sync_easgd(const AlgoContext& ctx, const GpuSystem& hw,
   const double iter_seconds = data_s * fv.slow + fb_s * fv.slow +
                               comm_exposed + gup_s * fv.slow + master_up_s;
 
+  // Broadcast + reduce move ranks-1 messages each per iteration over the
+  // collective group (host joins the group when it is the master).
+  const std::size_t coll_ranks = device_master ? hw.gpus() : hw.gpus() + 1;
+  const double hop_msgs =
+      static_cast<double>(coll_ranks - 1) *
+      (cfg.layout == MessageLayout::kPacked
+           ? 1.0
+           : static_cast<double>(hw.model().comm_layers));
+  const double wire_msgs_per_iter = 2.0 * hop_msgs;
+  const double wire_bytes_per_iter =
+      2.0 * static_cast<double>(coll_ranks - 1) * hw.model().weight_bytes;
+
   double vtime = 0.0;
   for (std::size_t t = 1; t <= cfg.iterations; ++t) {
     if (round_crashes(res, fv, vtime + iter_seconds, t)) {
@@ -250,6 +296,7 @@ RunResult run_sync_easgd(const AlgoContext& ctx, const GpuSystem& hw,
         record_point(res, eval, center, t - 1, vtime);
       }
       finish(res, vtime, t - 1);
+      apply_modeled_wire(res, wire_msgs_per_iter, wire_bytes_per_iter);
       res.final_params.assign(center.begin(), center.end());
       return res;
     }
@@ -271,11 +318,17 @@ RunResult run_sync_easgd(const AlgoContext& ctx, const GpuSystem& hw,
     easgd_center_step_sum(center, sum_w, cfg.workers, lr, cfg.rho);
 
     // --- virtual time ---------------------------------------------------
-    res.ledger.charge(Phase::kCpuGpuDataComm, data_s * fv.slow);
-    res.ledger.charge(Phase::kForwardBackward, fb_s * fv.slow);
-    res.ledger.charge(comm_phase, comm_exposed);
-    res.ledger.charge(Phase::kGpuUpdate, gup_s * fv.slow);
-    res.ledger.charge(master_up_phase, master_up_s);
+    double tc = vtime;
+    tc += data_s * fv.slow;
+    res.ledger.charge_traced(Phase::kCpuGpuDataComm, data_s * fv.slow, tc);
+    tc += fb_s * fv.slow;
+    res.ledger.charge_traced(Phase::kForwardBackward, fb_s * fv.slow, tc);
+    tc += comm_exposed;
+    res.ledger.charge_traced(comm_phase, comm_exposed, tc);
+    tc += gup_s * fv.slow;
+    res.ledger.charge_traced(Phase::kGpuUpdate, gup_s * fv.slow, tc);
+    tc += master_up_s;
+    res.ledger.charge_traced(master_up_phase, master_up_s, tc);
     vtime += iter_seconds;
 
     if (t % cfg.eval_every == 0 || t == cfg.iterations) {
@@ -283,6 +336,7 @@ RunResult run_sync_easgd(const AlgoContext& ctx, const GpuSystem& hw,
     }
   }
   finish(res, vtime, cfg.iterations);
+  apply_modeled_wire(res, wire_msgs_per_iter, wire_bytes_per_iter);
   res.final_params.assign(center.begin(), center.end());
   return res;
 }
@@ -290,6 +344,8 @@ RunResult run_sync_easgd(const AlgoContext& ctx, const GpuSystem& hw,
 RunResult run_sync_sgd(const AlgoContext& ctx, const GpuSystem& hw,
                        const FaultPlan& faults) {
   const TrainConfig& cfg = ctx.config;
+  const obs::RankScope obs_rank(0);
+  DS_TRACE_SPAN("algo", "run_sync_sgd");
   WorkerSet w = make_workers(ctx);
   Evaluator eval(ctx.factory, *ctx.test, cfg.eval_samples);
 
@@ -333,6 +389,17 @@ RunResult run_sync_sgd(const AlgoContext& ctx, const GpuSystem& hw,
   const double iter_seconds =
       data_s * fv.slow + fb_s * fv.slow + comm_s + gup_s * fv.slow;
 
+  // Gradient allreduce between the GPUs: ranks-1 messages each way, with
+  // compression shrinking the payload but not the message count.
+  const double wire_msgs_per_iter =
+      2.0 * static_cast<double>(hw.gpus() - 1) *
+      (cfg.layout == MessageLayout::kPacked
+           ? 1.0
+           : static_cast<double>(hw.model().comm_layers));
+  const double wire_bytes_per_iter =
+      2.0 * static_cast<double>(hw.gpus() - 1) * hw.model().weight_bytes *
+      compression_bytes_factor(cfg.compression);
+
   double vtime = 0.0;
   for (std::size_t t = 1; t <= cfg.iterations; ++t) {
     if (round_crashes(res, fv, vtime + iter_seconds, t)) {
@@ -343,6 +410,7 @@ RunResult run_sync_sgd(const AlgoContext& ctx, const GpuSystem& hw,
         res.trace.push_back(p);
       }
       finish(res, vtime, t - 1);
+      apply_modeled_wire(res, wire_msgs_per_iter, wire_bytes_per_iter);
       if (w.nets[0]->arena().mode() == PackMode::kPacked) {
         const auto params = w.nets[0]->arena().full_params();
         res.final_params.assign(params.begin(), params.end());
@@ -386,10 +454,15 @@ RunResult run_sync_sgd(const AlgoContext& ctx, const GpuSystem& hw,
       }
     }
 
-    res.ledger.charge(Phase::kCpuGpuDataComm, data_s * fv.slow);
-    res.ledger.charge(Phase::kForwardBackward, fb_s * fv.slow);
-    res.ledger.charge(Phase::kGpuGpuParamComm, comm_s);
-    res.ledger.charge(Phase::kGpuUpdate, gup_s * fv.slow);
+    double tc = vtime;
+    tc += data_s * fv.slow;
+    res.ledger.charge_traced(Phase::kCpuGpuDataComm, data_s * fv.slow, tc);
+    tc += fb_s * fv.slow;
+    res.ledger.charge_traced(Phase::kForwardBackward, fb_s * fv.slow, tc);
+    tc += comm_s;
+    res.ledger.charge_traced(Phase::kGpuGpuParamComm, comm_s, tc);
+    tc += gup_s * fv.slow;
+    res.ledger.charge_traced(Phase::kGpuUpdate, gup_s * fv.slow, tc);
     vtime += iter_seconds;
 
     if (t % cfg.eval_every == 0 || t == cfg.iterations) {
@@ -400,6 +473,7 @@ RunResult run_sync_sgd(const AlgoContext& ctx, const GpuSystem& hw,
     }
   }
   finish(res, vtime, cfg.iterations);
+  apply_modeled_wire(res, wire_msgs_per_iter, wire_bytes_per_iter);
   // Per-layer arenas have no packed view; leave final_params empty there.
   if (w.nets[0]->arena().mode() == PackMode::kPacked) {
     const auto params = w.nets[0]->arena().full_params();

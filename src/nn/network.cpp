@@ -2,9 +2,30 @@
 
 #include <sstream>
 
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace ds {
+
+const char* Network::fwd_trace_name(std::size_t i) const {
+  if (fwd_trace_names_.empty()) {
+    fwd_trace_names_.reserve(layers_.size());
+    for (const auto& l : layers_) {
+      fwd_trace_names_.push_back(obs::intern("fwd " + l->name()));
+    }
+  }
+  return fwd_trace_names_[i];
+}
+
+const char* Network::bwd_trace_name(std::size_t i) const {
+  if (bwd_trace_names_.empty()) {
+    bwd_trace_names_.reserve(layers_.size());
+    for (const auto& l : layers_) {
+      bwd_trace_names_.push_back(obs::intern("bwd " + l->name()));
+    }
+  }
+  return bwd_trace_names_[i];
+}
 
 Network::Network(Shape input_shape, PackMode pack_mode)
     : input_shape_(std::move(input_shape)), pack_mode_(pack_mode) {
@@ -55,8 +76,11 @@ void Network::finalize(Rng& rng) {
 const Tensor& Network::forward(const Tensor& batch, bool train) {
   DS_CHECK(finalized_, "forward() before finalize()");
   const Tensor* in = &batch;
+  const bool traced = obs::tracing_enabled();
   for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (traced) obs::span_begin("layer", fwd_trace_name(i));
     layers_[i]->forward(*in, acts_[i], train);
+    if (traced) obs::span_end();
     in = &acts_[i];
   }
   return acts_.back();
@@ -68,9 +92,12 @@ LossResult Network::forward_backward(const Tensor& batch,
   const LossResult result = loss_.forward_backward(logits, labels, dlogits_);
 
   const Tensor* grad = &dlogits_;
+  const bool traced = obs::tracing_enabled();
   for (std::size_t i = layers_.size(); i-- > 0;) {
     const Tensor& in = (i == 0) ? batch : acts_[i - 1];
+    if (traced) obs::span_begin("layer", bwd_trace_name(i));
     layers_[i]->backward(in, acts_[i], *grad, grads_cache_[i]);
+    if (traced) obs::span_end();
     grad = &grads_cache_[i];
   }
   return result;

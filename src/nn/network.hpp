@@ -96,6 +96,14 @@ class Network {
   std::vector<Tensor> acts_;
   std::vector<Tensor> grads_cache_;
   Tensor dlogits_;
+
+  // Interned per-layer span names ("fwd conv3x3", "bwd conv3x3"), built
+  // lazily the first time a traced pass runs so untraced runs never pay the
+  // interning cost. Trace events store raw pointers, hence interning.
+  mutable std::vector<const char*> fwd_trace_names_;
+  mutable std::vector<const char*> bwd_trace_names_;
+  const char* fwd_trace_name(std::size_t i) const;
+  const char* bwd_trace_name(std::size_t i) const;
 };
 
 /// Builds a fresh network of some fixed architecture. Distributed workers

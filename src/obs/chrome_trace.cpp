@@ -1,0 +1,231 @@
+#include "obs/chrome_trace.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <string_view>
+#include <utility>
+
+#include "obs/trace.hpp"
+
+namespace ds::obs {
+
+namespace {
+
+void json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void json_number(std::ostream& os, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+std::int64_t wall_pid(std::int64_t rank) { return rank >= 0 ? rank : kHostPid; }
+
+struct EventWriter {
+  std::ostream& os;
+  bool first = true;
+
+  void begin_event() {
+    if (!first) os << ",\n";
+    first = false;
+  }
+
+  void common(const char* ph, std::int64_t pid, std::size_t tid, double ts_us,
+              const char* category, const char* name) {
+    os << "{\"ph\":\"" << ph << "\",\"pid\":" << pid << ",\"tid\":" << tid
+       << ",\"ts\":";
+    json_number(os, ts_us);
+    os << ",\"cat\":";
+    json_string(os, category != nullptr ? category : "");
+    os << ",\"name\":";
+    json_string(os, name != nullptr ? name : "");
+  }
+
+  void metadata(const char* what, std::int64_t pid, std::size_t tid,
+                const std::string& label) {
+    begin_event();
+    os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << tid
+       << ",\"name\":\"" << what << "\",\"args\":{\"name\":";
+    json_string(os, label);
+    os << "}}";
+  }
+};
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os) {
+  const std::vector<ThreadEvents> threads = snapshot();
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  EventWriter w{os};
+
+  // Metadata: name every (pid, tid) pair that carries events, so Perfetto
+  // shows "rank 0" / "rank 0 (virtual)" instead of bare numbers.
+  std::set<std::pair<std::int64_t, std::size_t>> wall_tracks;
+  std::set<std::pair<std::int64_t, std::size_t>> virtual_tracks;
+  for (const ThreadEvents& te : threads) {
+    for (const Event& e : te.events) {
+      if (e.type == EventType::kCompleteV) {
+        virtual_tracks.emplace(kVirtualPidBase + (e.rank >= 0 ? e.rank : 0),
+                               te.thread_index);
+      } else {
+        wall_tracks.emplace(wall_pid(e.rank), te.thread_index);
+      }
+    }
+  }
+  std::set<std::int64_t> named_pids;
+  for (const auto& [pid, tid] : wall_tracks) {
+    if (named_pids.insert(pid).second) {
+      w.metadata("process_name", pid, 0,
+                 pid == kHostPid ? std::string("host")
+                                 : "rank " + std::to_string(pid));
+    }
+    w.metadata("thread_name", pid, tid,
+               "thread " + std::to_string(tid));
+  }
+  for (const auto& [pid, tid] : virtual_tracks) {
+    if (named_pids.insert(pid).second) {
+      w.metadata("process_name", pid, 0,
+                 "rank " + std::to_string(pid - kVirtualPidBase) +
+                     " (virtual)");
+    }
+    w.metadata("thread_name", pid, tid,
+               "thread " + std::to_string(tid));
+  }
+
+  for (const ThreadEvents& te : threads) {
+    for (const Event& e : te.events) {
+      const double wall_us = static_cast<double>(e.wall_ns) / 1000.0;
+      switch (e.type) {
+        case EventType::kSpanBegin: {
+          w.begin_event();
+          w.common("B", wall_pid(e.rank), te.thread_index, wall_us, e.category,
+                   e.name);
+          if (!std::isnan(e.vtime)) {
+            os << ",\"args\":{\"vt\":";
+            json_number(os, e.vtime);
+            os << "}";
+          }
+          os << "}";
+          break;
+        }
+        case EventType::kSpanEnd: {
+          w.begin_event();
+          w.common("E", wall_pid(e.rank), te.thread_index, wall_us, e.category,
+                   e.name);
+          const bool has_vt = !std::isnan(e.vtime);
+          const bool has_value = !std::isnan(e.value);
+          if (has_vt || has_value) {
+            os << ",\"args\":{";
+            if (has_vt) {
+              os << "\"vt\":";
+              json_number(os, e.vtime);
+            }
+            if (has_value) {
+              if (has_vt) os << ',';
+              os << "\"value\":";
+              json_number(os, e.value);
+            }
+            os << "}";
+          }
+          os << "}";
+          break;
+        }
+        case EventType::kInstant: {
+          w.begin_event();
+          w.common("i", wall_pid(e.rank), te.thread_index, wall_us, e.category,
+                   e.name);
+          os << ",\"s\":\"t\"";
+          if (!std::isnan(e.vtime)) {
+            os << ",\"args\":{\"vt\":";
+            json_number(os, e.vtime);
+            os << "}";
+          }
+          os << "}";
+          break;
+        }
+        case EventType::kCounter: {
+          w.begin_event();
+          w.common("C", wall_pid(e.rank), te.thread_index, wall_us, "counter",
+                   e.name);
+          os << ",\"args\":{\"value\":";
+          json_number(os, std::isnan(e.value) ? 0.0 : e.value);
+          os << "}}";
+          break;
+        }
+        case EventType::kCompleteV: {
+          // Virtual domain: ts/dur are virtual seconds scaled to µs.
+          w.begin_event();
+          const std::int64_t pid =
+              kVirtualPidBase + (e.rank >= 0 ? e.rank : 0);
+          w.common("X", pid, te.thread_index, e.vtime * 1e6, e.category,
+                   e.name);
+          os << ",\"dur\":";
+          json_number(os, (std::isnan(e.value) ? 0.0 : e.value) * 1e6);
+          if (!std::isnan(e.aux)) {
+            os << ",\"args\":{\"annotation\":";
+            json_number(os, e.aux);
+            os << "}";
+          }
+          os << "}";
+          break;
+        }
+        case EventType::kCompleteWall: {
+          w.begin_event();
+          w.common("X", wall_pid(e.rank), te.thread_index, wall_us, e.category,
+                   e.name);
+          os << ",\"dur\":";
+          json_number(os, (std::isnan(e.value) ? 0.0 : e.value) / 1000.0);
+          if (!std::isnan(e.aux)) {
+            os << ",\"args\":{\"annotation\":";
+            json_number(os, e.aux);
+            os << "}";
+          }
+          os << "}";
+          break;
+        }
+      }
+    }
+  }
+
+  os << "\n],\"otherData\":{\"droppedEvents\":" << dropped_events() << "}}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_chrome_trace(os);
+  return os.good();
+}
+
+}  // namespace ds::obs

@@ -1,0 +1,40 @@
+// Chrome trace_event exporter for the obs trace recorder.
+//
+// Layout of the exported trace (open in Perfetto / chrome://tracing):
+//   * One "process" per simulated rank in the WALL clock domain: pid == rank
+//     (0, 1, 2, …). Host/harness threads that never bound a rank share
+//     pid == kHostPid. tid is the recorder's stable per-thread registration
+//     index, so the same worker keeps the same track across runs.
+//   * A second set of processes carries the VIRTUAL clock domain: pid ==
+//     kVirtualPidBase + rank. Events here are complete ("X") spans whose ts
+//     and dur are virtual seconds scaled to trace microseconds — these are
+//     the fabric's causal clocks and the ledger charges, i.e. the timeline
+//     the Table-3 numbers live on.
+//   * Wall-domain B/E spans additionally carry their virtual stamp (when
+//     known) as args.vt, so the two domains can be cross-referenced.
+//
+// All ts/dur values are microseconds per the trace_event spec (wall events:
+// steady-clock ns / 1000; virtual events: virtual seconds × 1e6).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace ds::obs {
+
+/// pid used for threads that recorded events while bound to no rank.
+inline constexpr std::int64_t kHostPid = 900;
+/// Virtual-domain pid for rank r is kVirtualPidBase + r.
+inline constexpr std::int64_t kVirtualPidBase = 1000;
+
+/// Serialise everything currently in the recorder as Chrome trace_event
+/// JSON ({"traceEvents":[...], ...}). Caller must be quiescent (see
+/// obs::snapshot()).
+void write_chrome_trace(std::ostream& os);
+
+/// write_chrome_trace to `path`; returns false when the file cannot be
+/// opened (never throws — this runs from an atexit handler).
+bool write_chrome_trace_file(const std::string& path);
+
+}  // namespace ds::obs

@@ -1,0 +1,400 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace ds::obs {
+
+bool JsonValue::as_bool() const {
+  DS_CHECK(kind_ == Kind::kBool, "json: value is not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  DS_CHECK(kind_ == Kind::kNumber, "json: value is not a number");
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  DS_CHECK(kind_ == Kind::kString, "json: value is not a string");
+  return string_;
+}
+
+const JsonArray& JsonValue::as_array() const {
+  DS_CHECK(kind_ == Kind::kArray, "json: value is not an array");
+  return *array_;
+}
+
+const JsonObject& JsonValue::as_object() const {
+  DS_CHECK(kind_ == Kind::kObject, "json: value is not an object");
+  return *object_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = object_->find(std::string(key));
+  return it != object_->end() ? &it->second : nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    DS_CHECK(pos_ == text_.size(),
+             "json: trailing characters at offset " + std::to_string(pos_));
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw Error("json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return JsonValue(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return JsonValue(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return JsonValue(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue();
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonObject obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj[std::move(key)] = parse_value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue(std::move(obj));
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonArray arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue(std::move(arr));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape");
+            }
+          }
+          // UTF-8 encode (no surrogate-pair handling; trace content is
+          // ASCII apart from control characters we escape ourselves).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          fail("bad escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      pos_ = start;
+      fail("bad number");
+    }
+    return JsonValue(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+namespace {
+
+struct OpenChromeSpan {
+  std::string name;
+  double ts = 0.0;
+};
+
+std::string event_label(std::size_t index, const JsonValue& event) {
+  std::ostringstream os;
+  os << "event[" << index << "]";
+  if (const JsonValue* name = event.find("name");
+      name != nullptr && name->is_string()) {
+    os << " (" << name->as_string() << ")";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+TraceValidation validate_chrome_trace(const JsonValue& doc) {
+  constexpr std::size_t kMaxErrors = 20;
+  TraceValidation out;
+  const auto error = [&out](std::string msg) {
+    if (out.errors.size() < kMaxErrors) out.errors.push_back(std::move(msg));
+  };
+
+  const JsonValue* events = nullptr;
+  if (doc.is_array()) {
+    events = &doc;
+  } else if (doc.is_object()) {
+    events = doc.find("traceEvents");
+  }
+  if (events == nullptr || !events->is_array()) {
+    error("document has no traceEvents array");
+    return out;
+  }
+
+  // Per-(pid, tid) open-span stacks in document order. The exporter writes
+  // each thread's events in program order, so stack discipline must hold.
+  std::map<std::pair<std::int64_t, std::int64_t>, std::vector<OpenChromeSpan>>
+      stacks;
+  std::map<std::int64_t, bool> pids;
+
+  const JsonArray& arr = events->as_array();
+  out.event_count = arr.size();
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    const JsonValue& e = arr[i];
+    if (!e.is_object()) {
+      error(event_label(i, e) + ": not an object");
+      continue;
+    }
+    const JsonValue* ph = e.find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->as_string().size() != 1) {
+      error(event_label(i, e) + ": missing/bad ph");
+      continue;
+    }
+    const char phase = ph->as_string()[0];
+    if (phase == 'M') continue;  // metadata: no ts required
+
+    const JsonValue* pid = e.find("pid");
+    const JsonValue* tid = e.find("tid");
+    const JsonValue* ts = e.find("ts");
+    if (pid == nullptr || !pid->is_number() || tid == nullptr ||
+        !tid->is_number() || ts == nullptr || !ts->is_number()) {
+      error(event_label(i, e) + ": missing pid/tid/ts");
+      continue;
+    }
+    const auto key = std::make_pair(
+        static_cast<std::int64_t>(pid->as_number()),
+        static_cast<std::int64_t>(tid->as_number()));
+    pids[key.first] = true;
+
+    switch (phase) {
+      case 'B': {
+        const JsonValue* name = e.find("name");
+        stacks[key].push_back(OpenChromeSpan{
+            name != nullptr && name->is_string() ? name->as_string() : "",
+            ts->as_number()});
+        break;
+      }
+      case 'E': {
+        auto& stack = stacks[key];
+        if (stack.empty()) {
+          error(event_label(i, e) + ": E with no open span on pid/tid " +
+                std::to_string(key.first) + "/" + std::to_string(key.second));
+          break;
+        }
+        const OpenChromeSpan open = stack.back();
+        stack.pop_back();
+        const JsonValue* name = e.find("name");
+        if (name != nullptr && name->is_string() &&
+            name->as_string() != open.name) {
+          error(event_label(i, e) + ": E name '" + name->as_string() +
+                "' does not match open span '" + open.name + "'");
+        }
+        if (ts->as_number() < open.ts) {
+          error(event_label(i, e) + ": negative span duration");
+        }
+        ++out.span_count;
+        break;
+      }
+      case 'X': {
+        const JsonValue* dur = e.find("dur");
+        if (dur == nullptr || !dur->is_number()) {
+          error(event_label(i, e) + ": X without numeric dur");
+        } else if (dur->as_number() < 0.0) {
+          error(event_label(i, e) + ": negative X duration");
+        }
+        ++out.span_count;
+        break;
+      }
+      case 'i':
+      case 'C':
+        break;
+      default:
+        error(event_label(i, e) + ": unknown phase '" + phase + "'");
+    }
+  }
+
+  for (const auto& [key, stack] : stacks) {
+    if (!stack.empty()) {
+      error("pid/tid " + std::to_string(key.first) + "/" +
+            std::to_string(key.second) + " has " +
+            std::to_string(stack.size()) + " unclosed span(s), first '" +
+            stack.front().name + "'");
+    }
+  }
+  out.process_count = pids.size();
+  return out;
+}
+
+TraceValidation validate_chrome_trace_text(std::string_view text) {
+  try {
+    return validate_chrome_trace(parse_json(text));
+  } catch (const Error& e) {
+    TraceValidation out;
+    out.errors.push_back(e.what());
+    return out;
+  }
+}
+
+}  // namespace ds::obs

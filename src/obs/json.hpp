@@ -1,0 +1,92 @@
+// Minimal JSON DOM: enough to parse the traces and metric files this repo
+// emits, so tests and tools/trace_validate can check them without an
+// external dependency. Strict on structure (balanced brackets, quoted keys),
+// lenient on nothing — a malformed document throws ds::Error.
+//
+// validate_chrome_trace() is the shared checker behind the exporter tests
+// and the tools/trace_validate CLI: it confirms the document is a Chrome
+// trace_event container and that every duration track is well-formed
+// (balanced B/E per (pid, tid), non-negative durations, known phases).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ds::obs {
+
+class JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  explicit JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit JsonValue(double n) : kind_(Kind::kNumber), number_(n) {}
+  explicit JsonValue(std::string s)
+      : kind_(Kind::kString), string_(std::move(s)) {}
+  explicit JsonValue(JsonArray a)
+      : kind_(Kind::kArray),
+        array_(std::make_shared<JsonArray>(std::move(a))) {}
+  explicit JsonValue(JsonObject o)
+      : kind_(Kind::kObject),
+        object_(std::make_shared<JsonObject>(std::move(o))) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw ds::Error on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+
+  /// Object member lookup; returns nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::shared_ptr<JsonArray> array_;
+  std::shared_ptr<JsonObject> object_;
+};
+
+/// Parse a complete JSON document. Throws ds::Error with a byte offset on
+/// malformed input or trailing garbage.
+JsonValue parse_json(std::string_view text);
+
+/// Result of validate_chrome_trace: errors is empty iff the trace passed.
+struct TraceValidation {
+  std::vector<std::string> errors;
+  std::size_t event_count = 0;
+  std::size_t span_count = 0;      // matched B/E pairs + X events
+  std::size_t process_count = 0;   // distinct pids carrying events
+  bool ok() const { return errors.empty(); }
+};
+
+/// Validate an already-parsed Chrome trace document:
+///   * top level is an object with a "traceEvents" array (or a bare array);
+///   * every event has ph/pid/tid/ts with the right types;
+///   * B/E events balance per (pid, tid) with names matching and
+///     non-negative wall durations (stack discipline);
+///   * X events have non-negative dur.
+/// At most ~20 errors are collected before it gives up.
+TraceValidation validate_chrome_trace(const JsonValue& doc);
+
+/// Convenience: parse then validate; parse failures become errors.
+TraceValidation validate_chrome_trace_text(std::string_view text);
+
+}  // namespace ds::obs

@@ -1,0 +1,208 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+namespace ds::obs {
+
+void Histogram::observe(double x) {
+  std::size_t b = 0;
+  if (x >= 1.0) {
+    const int e = std::ilogb(x);
+    b = static_cast<std::size_t>(e) + 1;
+    if (b >= kBuckets) b = kBuckets - 1;
+  }
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.add(x);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.reset();
+}
+
+double MetricsSnapshot::value(std::string_view name) const {
+  const auto it = values_.find(std::string(name));
+  return it != values_.end() ? it->second : 0.0;
+}
+
+double MetricsSnapshot::delta(const MetricsSnapshot& before,
+                              std::string_view name) const {
+  return value(name) - before.value(name);
+}
+
+// std::map gives node stability: references returned from the find-or-create
+// calls survive every later insertion, which is what lets call sites cache
+// them in function-local statics.
+struct MetricsRegistry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, Counter, std::less<>> counters;
+  std::map<std::string, Gauge, std::less<>> gauges;
+  std::map<std::string, AccumDouble, std::less<>> accums;
+  std::map<std::string, Histogram, std::less<>> histograms;
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl()) {}
+MetricsRegistry::~MetricsRegistry() { delete impl_; }
+
+namespace {
+
+template <class Map>
+auto& find_or_create(Map& map, std::mutex& mutex, std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex);
+  const auto it = map.find(name);
+  if (it != map.end()) return it->second;
+  return map[std::string(name)];
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return find_or_create(impl_->counters, impl_->mutex, name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return find_or_create(impl_->gauges, impl_->mutex, name);
+}
+
+AccumDouble& MetricsRegistry::accum(std::string_view name) {
+  return find_or_create(impl_->accums, impl_->mutex, name);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return find_or_create(impl_->histograms, impl_->mutex, name);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::map<std::string, double> out;
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (const auto& [name, c] : impl_->counters) {
+    out[name] = static_cast<double>(c.value());
+  }
+  for (const auto& [name, g] : impl_->gauges) {
+    out[name] = static_cast<double>(g.value());
+  }
+  for (const auto& [name, a] : impl_->accums) out[name] = a.value();
+  for (const auto& [name, h] : impl_->histograms) {
+    out[name + ".count"] = static_cast<double>(h.count());
+    out[name + ".sum"] = h.sum();
+  }
+  return MetricsSnapshot(std::move(out));
+}
+
+namespace {
+
+void append_json_string(std::ostringstream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void append_json_double(std::ostringstream& os, double v) {
+  if (std::isfinite(v)) {
+    // Round-trippable without drowning the file in digits.
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+  } else {
+    os << "null";
+  }
+}
+
+}  // namespace
+
+std::string MetricsRegistry::json() const {
+  std::ostringstream os;
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : impl_->counters) {
+    if (!first) os << ',';
+    first = false;
+    append_json_string(os, name);
+    os << ':' << c.value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : impl_->gauges) {
+    if (!first) os << ',';
+    first = false;
+    append_json_string(os, name);
+    os << ':' << g.value();
+  }
+  os << "},\"accumulators\":{";
+  first = true;
+  for (const auto& [name, a] : impl_->accums) {
+    if (!first) os << ',';
+    first = false;
+    append_json_string(os, name);
+    os << ':';
+    append_json_double(os, a.value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : impl_->histograms) {
+    if (!first) os << ',';
+    first = false;
+    append_json_string(os, name);
+    os << ":{\"count\":" << h.count() << ",\"sum\":";
+    append_json_double(os, h.sum());
+    os << ",\"buckets\":{";
+    bool first_bucket = true;
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      const std::uint64_t n = h.bucket(b);
+      if (n == 0) continue;
+      if (!first_bucket) os << ',';
+      first_bucket = false;
+      os << '"' << b << "\":" << n;
+    }
+    os << "}}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (auto& [name, c] : impl_->counters) c.reset();
+  for (auto& [name, g] : impl_->gauges) g.reset();
+  for (auto& [name, a] : impl_->accums) a.reset();
+  for (auto& [name, h] : impl_->histograms) h.reset();
+}
+
+MetricsRegistry& metrics() {
+  // Leaked for the same reason as the trace recorder: worker threads may
+  // bump counters during process teardown.
+  static MetricsRegistry* r = new MetricsRegistry();
+  return *r;
+}
+
+}  // namespace ds::obs

@@ -1,0 +1,312 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "obs/chrome_trace.hpp"
+
+namespace ds::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}
+
+namespace {
+
+constexpr std::size_t kSegmentEvents = 8192;
+constexpr std::size_t kMaxSegmentsPerThread = 128;  // ~1M events/thread cap
+
+struct OpenSpan {
+  const char* category;
+  const char* name;
+  std::int64_t rank;
+};
+
+struct ThreadTrace {
+  std::size_t index = 0;
+  std::vector<std::vector<Event>> segments;
+  std::vector<OpenSpan> stack;
+};
+
+/// Global recorder state. Leaked on purpose (threads may record until the
+/// very end of the process; tearing the registry down under them would be a
+/// use-after-free for zero benefit).
+struct Recorder {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadTrace>> threads;
+  std::deque<std::string> intern_storage;
+  std::unordered_map<std::string_view, const char*> intern_index;
+  std::string path;
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<std::uint64_t> allocations{0};
+  std::atomic<std::uint64_t> lock_acquisitions{0};
+};
+
+Recorder& recorder() {
+  static Recorder* r = new Recorder();
+  return *r;
+}
+
+/// Registry lock that feeds the overhead-guard test hook.
+class CountedLock {
+ public:
+  explicit CountedLock(Recorder& r) : lock_(r.mutex) {
+    r.lock_acquisitions.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  std::lock_guard<std::mutex> lock_;
+};
+
+thread_local ThreadTrace* t_trace = nullptr;
+thread_local std::int64_t t_rank = kNoRank;
+thread_local VClockFn t_vclock_fn = nullptr;
+thread_local const void* t_vclock_ctx = nullptr;
+
+ThreadTrace& thread_trace() {
+  if (t_trace != nullptr) return *t_trace;
+  Recorder& r = recorder();
+  const CountedLock lock(r);
+  auto trace = std::make_unique<ThreadTrace>();
+  trace->index = r.threads.size();
+  trace->stack.reserve(64);
+  r.allocations.fetch_add(2, std::memory_order_relaxed);  // trace + stack
+  t_trace = trace.get();
+  r.threads.push_back(std::move(trace));
+  return *t_trace;
+}
+
+double vclock_now() {
+  return t_vclock_fn != nullptr ? t_vclock_fn(t_vclock_ctx) : kNoVTime;
+}
+
+void append(const Event& event) {
+  ThreadTrace& tt = thread_trace();
+  if (tt.segments.empty() || tt.segments.back().size() == kSegmentEvents) {
+    if (tt.segments.size() >= kMaxSegmentsPerThread) {
+      recorder().dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    tt.segments.emplace_back();
+    tt.segments.back().reserve(kSegmentEvents);
+    recorder().allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  tt.segments.back().push_back(event);
+}
+
+/// Registers the at-exit flush for DEEPSCALE_TRACE the first time tracing
+/// is enabled with a path configured.
+void register_atexit_flush() {
+  static std::once_flag once;
+  std::call_once(once, [] { std::atexit([] { flush_now(); }); });
+}
+
+/// Static initialiser: DEEPSCALE_TRACE=<path> enables tracing for the whole
+/// process and writes the Chrome trace at exit.
+struct EnvInit {
+  EnvInit() {
+    const char* path = std::getenv("DEEPSCALE_TRACE");
+    if (path != nullptr && path[0] != '\0') {
+      set_trace_path(path);
+      set_tracing_enabled(true);
+    }
+  }
+};
+const EnvInit g_env_init;
+
+}  // namespace
+
+void set_tracing_enabled(bool enabled) {
+  if (enabled && !trace_path().empty()) register_atexit_flush();
+  detail::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void set_trace_path(std::string path) {
+  Recorder& r = recorder();
+  const CountedLock lock(r);
+  r.path = std::move(path);
+}
+
+std::string trace_path() {
+  Recorder& r = recorder();
+  const CountedLock lock(r);
+  return r.path;
+}
+
+bool flush_now() {
+  const std::string path = trace_path();
+  if (path.empty()) return false;
+  return write_chrome_trace_file(path);
+}
+
+void set_thread_rank(std::int64_t rank) { t_rank = rank; }
+
+std::int64_t thread_rank() { return t_rank; }
+
+void set_thread_vclock(VClockFn fn, const void* ctx) {
+  t_vclock_fn = fn;
+  t_vclock_ctx = ctx;
+}
+
+RankScope::RankScope(std::int64_t rank)
+    : saved_rank_(t_rank), saved_fn_(t_vclock_fn), saved_ctx_(t_vclock_ctx) {
+  t_rank = rank;
+}
+
+RankScope::RankScope(std::int64_t rank, VClockFn fn, const void* ctx)
+    : saved_rank_(t_rank), saved_fn_(t_vclock_fn), saved_ctx_(t_vclock_ctx) {
+  t_rank = rank;
+  t_vclock_fn = fn;
+  t_vclock_ctx = ctx;
+}
+
+RankScope::~RankScope() {
+  t_rank = saved_rank_;
+  t_vclock_fn = saved_fn_;
+  t_vclock_ctx = saved_ctx_;
+}
+
+std::int64_t wall_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - recorder().epoch)
+      .count();
+}
+
+void span_begin(const char* category, const char* name) {
+  if (!tracing_enabled()) return;
+  span_begin_at(category, name, vclock_now(), t_rank);
+}
+
+void span_begin_at(const char* category, const char* name, double vtime,
+                   std::int64_t rank) {
+  if (!tracing_enabled()) return;
+  thread_trace().stack.push_back(OpenSpan{category, name, rank});
+  append(Event{EventType::kSpanBegin, category, name, wall_now_ns(), vtime,
+               kNoValue, kNoValue, rank});
+}
+
+namespace {
+
+void span_end_impl(double vtime, double annotation) {
+  if (!tracing_enabled()) return;
+  ThreadTrace& tt = thread_trace();
+  if (tt.stack.empty()) return;  // unmatched end: drop rather than lie
+  const OpenSpan open = tt.stack.back();
+  tt.stack.pop_back();
+  append(Event{EventType::kSpanEnd, open.category, open.name, wall_now_ns(),
+               vtime, annotation, kNoValue, open.rank});
+}
+
+}  // namespace
+
+void span_end() {
+  if (!tracing_enabled()) return;  // before vclock_now(): it may take a lock
+  span_end_impl(vclock_now(), kNoValue);
+}
+void span_end(double annotation) {
+  if (!tracing_enabled()) return;
+  span_end_impl(vclock_now(), annotation);
+}
+void span_end_at(double vtime) { span_end_impl(vtime, kNoValue); }
+void span_end_at(double vtime, double annotation) {
+  span_end_impl(vtime, annotation);
+}
+
+void instant(const char* category, const char* name) {
+  if (!tracing_enabled()) return;
+  instant_at(category, name, vclock_now(), t_rank);
+}
+
+void instant_at(const char* category, const char* name, double vtime,
+                std::int64_t rank) {
+  if (!tracing_enabled()) return;
+  append(Event{EventType::kInstant, category, name, wall_now_ns(), vtime,
+               kNoValue, kNoValue, rank});
+}
+
+void counter(const char* name, double value) {
+  if (!tracing_enabled()) return;
+  append(Event{EventType::kCounter, "counter", name, wall_now_ns(), kNoVTime,
+               value, kNoValue, t_rank});
+}
+
+void complete_v(const char* category, const char* name, double vtime_begin,
+                double vtime_duration, std::int64_t rank, double annotation) {
+  if (!tracing_enabled()) return;
+  append(Event{EventType::kCompleteV, category, name, wall_now_ns(),
+               vtime_begin, vtime_duration, annotation, rank});
+}
+
+void complete_wall(const char* category, const char* name,
+                   std::int64_t wall_begin_ns, std::int64_t wall_duration_ns,
+                   double annotation) {
+  if (!tracing_enabled()) return;
+  append(Event{EventType::kCompleteWall, category, name, wall_begin_ns,
+               kNoVTime, static_cast<double>(wall_duration_ns), annotation,
+               t_rank});
+}
+
+const char* intern(std::string_view s) {
+  Recorder& r = recorder();
+  const CountedLock lock(r);
+  const auto it = r.intern_index.find(s);
+  if (it != r.intern_index.end()) return it->second;
+  r.intern_storage.emplace_back(s);
+  const std::string& stored = r.intern_storage.back();
+  r.allocations.fetch_add(1, std::memory_order_relaxed);
+  r.intern_index.emplace(std::string_view(stored), stored.c_str());
+  return stored.c_str();
+}
+
+std::vector<ThreadEvents> snapshot() {
+  Recorder& r = recorder();
+  const CountedLock lock(r);
+  std::vector<ThreadEvents> out;
+  out.reserve(r.threads.size());
+  for (const auto& tt : r.threads) {
+    ThreadEvents te;
+    te.thread_index = tt->index;
+    std::size_t total = 0;
+    for (const auto& seg : tt->segments) total += seg.size();
+    te.events.reserve(total);
+    for (const auto& seg : tt->segments) {
+      te.events.insert(te.events.end(), seg.begin(), seg.end());
+    }
+    out.push_back(std::move(te));
+  }
+  return out;
+}
+
+std::uint64_t dropped_events() {
+  return recorder().dropped.load(std::memory_order_relaxed);
+}
+
+void reset() {
+  Recorder& r = recorder();
+  const CountedLock lock(r);
+  for (auto& tt : r.threads) {
+    tt->segments.clear();
+    tt->stack.clear();
+  }
+  r.dropped.store(0, std::memory_order_relaxed);
+}
+
+namespace testing {
+
+std::uint64_t recorder_allocations() {
+  return recorder().allocations.load(std::memory_order_relaxed);
+}
+
+std::uint64_t recorder_lock_acquisitions() {
+  return recorder().lock_acquisitions.load(std::memory_order_relaxed);
+}
+
+}  // namespace testing
+
+}  // namespace ds::obs

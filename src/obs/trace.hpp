@@ -1,0 +1,236 @@
+// Per-rank tracing: a low-overhead, thread-safe recorder of span / instant /
+// counter events stamped with BOTH wall time (steady clock, ns since the
+// recorder epoch) and the experiment's virtual time (the fabric clocks that
+// drive every Table-3 number). Exported as Chrome trace_event JSON
+// (obs/chrome_trace.hpp) with one "process" per simulated rank and the
+// virtual timeline offered as a second clock domain, loadable in Perfetto.
+//
+// Overhead contract:
+//   * Disabled (the default), every instrumentation site is ONE relaxed
+//     atomic load and a branch — no allocation, no locking, no clock reads.
+//     The test hooks in obs::testing count the recorder's allocations and
+//     lock acquisitions so tests can pin this down.
+//   * Enabled, events append to per-thread segment buffers (grow-only
+//     arrays of fixed-size segments): the only locks are one registration
+//     per thread and one per string interned; the only allocations are one
+//     per segment of kSegmentEvents events. Per-thread buffers are capped
+//     (kMaxSegmentsPerThread); overflow drops events and counts them
+//     instead of growing without bound.
+//
+// Event names and categories must be string literals, interned strings
+// (obs::intern), or otherwise outlive the recorder — events store the
+// pointer, never a copy.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ds::obs {
+
+// ---------------------------------------------------------------------------
+// Event model.
+// ---------------------------------------------------------------------------
+
+enum class EventType : std::uint8_t {
+  kSpanBegin,     // B — wall + (optional) virtual stamp
+  kSpanEnd,       // E — closes the innermost open span of this thread
+  kInstant,       // i
+  kCounter,       // C — value is the counter sample
+  kCompleteV,     // X in the virtual clock domain; value = duration (vsec)
+  kCompleteWall,  // X in the wall domain; value = duration (ns)
+};
+
+/// Virtual-time stamp meaning "unknown" (event has no virtual clock).
+inline constexpr double kNoVTime = std::numeric_limits<double>::quiet_NaN();
+/// Rank meaning "not a simulated rank" (host / harness threads).
+inline constexpr std::int64_t kNoRank = -1;
+/// Annotation meaning "none".
+inline constexpr double kNoValue = std::numeric_limits<double>::quiet_NaN();
+
+struct Event {
+  EventType type;
+  const char* category;  // static or interned string
+  const char* name;      // static or interned string
+  std::int64_t wall_ns;  // steady-clock ns since recorder epoch
+  double vtime;          // virtual seconds; kNoVTime when unknown
+  double value;          // counter sample / X duration / span-end annotation
+  double aux;            // X annotation (bytes, modeled seconds); kNoValue
+  std::int64_t rank;     // simulated rank; kNoRank for host threads
+};
+
+/// One thread's recorded events, in program order.
+struct ThreadEvents {
+  std::size_t thread_index = 0;  // stable registration index
+  std::vector<Event> events;
+};
+
+// ---------------------------------------------------------------------------
+// Enable / configure. DEEPSCALE_TRACE=<path> in the environment enables
+// tracing at startup and writes the Chrome trace there at process exit.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+}
+
+/// The single branch every instrumentation site pays when tracing is off.
+inline bool tracing_enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_tracing_enabled(bool enabled);
+
+/// Output path for flush_now() / the at-exit flush. Empty = no file output.
+void set_trace_path(std::string path);
+std::string trace_path();
+
+/// Write the Chrome trace to trace_path() immediately (no-op when the path
+/// is empty). Returns true when a file was written.
+bool flush_now();
+
+// ---------------------------------------------------------------------------
+// Thread binding: rank and virtual clock.
+// ---------------------------------------------------------------------------
+
+/// Bind/unbind the calling thread to a simulated rank; every subsequent
+/// event it records carries the rank (the Chrome export maps it to a pid).
+void set_thread_rank(std::int64_t rank);
+std::int64_t thread_rank();
+
+/// Optional per-thread virtual-clock source: when set, span/instant events
+/// recorded without an explicit vtime query it (only on the enabled path).
+using VClockFn = double (*)(const void* ctx);
+void set_thread_vclock(VClockFn fn, const void* ctx);
+
+/// RAII rank (+ optional vclock) binding for one scope.
+class RankScope {
+ public:
+  explicit RankScope(std::int64_t rank);
+  RankScope(std::int64_t rank, VClockFn fn, const void* ctx);
+  ~RankScope();
+  RankScope(const RankScope&) = delete;
+  RankScope& operator=(const RankScope&) = delete;
+
+ private:
+  std::int64_t saved_rank_;
+  VClockFn saved_fn_;
+  const void* saved_ctx_;
+};
+
+// ---------------------------------------------------------------------------
+// Recording. The thread-stamped forms take rank/vtime from the thread
+// bindings; the *_at forms take explicit stamps (used by the fabric, which
+// knows the exact virtual send/arrival times).
+// ---------------------------------------------------------------------------
+
+void span_begin(const char* category, const char* name);
+void span_end();
+void span_end(double annotation);  // e.g. modeled α-β seconds
+
+void span_begin_at(const char* category, const char* name, double vtime,
+                   std::int64_t rank);
+void span_end_at(double vtime);
+void span_end_at(double vtime, double annotation);
+
+void instant(const char* category, const char* name);
+void instant_at(const char* category, const char* name, double vtime,
+                std::int64_t rank);
+
+/// Chrome counter-track sample (wall domain).
+void counter(const char* name, double value);
+
+/// Complete span in the virtual clock domain: [vtime_begin, vtime_begin +
+/// vtime_duration] on `rank`'s virtual timeline.
+void complete_v(const char* category, const char* name, double vtime_begin,
+                double vtime_duration, std::int64_t rank,
+                double annotation = kNoValue);
+
+/// Complete span in the wall domain (ns are recorder-epoch-relative).
+void complete_wall(const char* category, const char* name,
+                   std::int64_t wall_begin_ns, std::int64_t wall_duration_ns,
+                   double annotation = kNoValue);
+
+/// Recorder-epoch-relative steady-clock now, for complete_wall callers.
+std::int64_t wall_now_ns();
+
+/// Copy `s` into recorder-owned stable storage and return the canonical
+/// pointer (same string ⇒ same pointer). For dynamic names (layer names).
+const char* intern(std::string_view s);
+
+// ---------------------------------------------------------------------------
+// Inspection (tests, exporters). Callers must be quiescent: no other thread
+// may be recording concurrently (join your workers first).
+// ---------------------------------------------------------------------------
+
+std::vector<ThreadEvents> snapshot();
+
+/// Events dropped because a thread hit its buffer cap.
+std::uint64_t dropped_events();
+
+/// Clear every recorded event (thread registrations survive, so live
+/// threads keep recording into their existing buffers).
+void reset();
+
+namespace testing {
+/// Cumulative heap allocations made by the recorder (segment + registration
+/// + interning). Must not move while tracing is disabled.
+std::uint64_t recorder_allocations();
+/// Cumulative mutex acquisitions by the recorder. Must not move while
+/// tracing is disabled.
+std::uint64_t recorder_lock_acquisitions();
+}  // namespace testing
+
+// ---------------------------------------------------------------------------
+// RAII span.
+// ---------------------------------------------------------------------------
+
+/// Opens a span when tracing is enabled; closes it on scope exit (exception
+/// safe). When tracing is disabled the constructor is a single branch.
+class SpanGuard {
+ public:
+  SpanGuard(const char* category, const char* name) {
+    if (tracing_enabled()) {
+      active_ = true;
+      span_begin(category, name);
+    }
+  }
+  ~SpanGuard() {
+    if (active_) {
+      if (has_value_) {
+        span_end(value_);
+      } else {
+        span_end();
+      }
+    }
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+  /// Attach an annotation (modeled cost, bytes, …) to the closing event.
+  void set_value(double v) {
+    has_value_ = true;
+    value_ = v;
+  }
+
+  bool active() const { return active_; }
+
+ private:
+  bool active_ = false;
+  bool has_value_ = false;
+  double value_ = 0.0;
+};
+
+}  // namespace ds::obs
+
+#define DS_OBS_CONCAT_INNER(a, b) a##b
+#define DS_OBS_CONCAT(a, b) DS_OBS_CONCAT_INNER(a, b)
+
+/// RAII trace span covering the rest of the enclosing scope. Compiles to a
+/// single branch when tracing is disabled. Category and name must be string
+/// literals or interned strings.
+#define DS_TRACE_SPAN(category, name) \
+  ::ds::obs::SpanGuard DS_OBS_CONCAT(ds_trace_span_, __LINE__)(category, name)

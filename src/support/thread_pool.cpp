@@ -2,9 +2,28 @@
 
 #include <exception>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/error.hpp"
 
 namespace ds {
+
+namespace {
+
+struct PoolMetrics {
+  obs::Counter& tasks = obs::metrics().counter(obs::names::kPoolTasks);
+  obs::Gauge& queue_depth =
+      obs::metrics().gauge(obs::names::kPoolQueueDepth);
+  obs::AccumDouble& task_wait =
+      obs::metrics().accum(obs::names::kPoolTaskWaitSeconds);
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m;
+  return m;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   DS_CHECK(threads > 0, "thread pool needs at least one thread");
@@ -24,9 +43,12 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  PoolMetrics& pm = pool_metrics();
+  pm.tasks.add();
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(QueuedTask{std::move(task), obs::wall_now_ns()});
+    pm.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
   }
   cv_task_.notify_one();
 }
@@ -46,16 +68,28 @@ void ThreadPool::parallel_for(std::size_t n,
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
+      pool_metrics().queue_depth.set(static_cast<std::int64_t>(queue_.size()));
       ++active_;
     }
-    task();
+    // Enqueue→start wait: how long the task sat in the FIFO behind other
+    // work — the pool-side analogue of the fabric's recv_wait.
+    const std::int64_t start_ns = obs::wall_now_ns();
+    const std::int64_t wait_ns = start_ns - task.enqueue_ns;
+    pool_metrics().task_wait.add(static_cast<double>(wait_ns) * 1e-9);
+    if (obs::tracing_enabled()) {
+      obs::complete_wall("pool", "task_wait", task.enqueue_ns, wait_ns);
+    }
+    {
+      DS_TRACE_SPAN("pool", "task");
+      task.fn();
+    }
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       --active_;

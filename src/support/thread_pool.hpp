@@ -5,6 +5,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -37,10 +38,15 @@ class ThreadPool {
   std::size_t size() const { return threads_.size(); }
 
  private:
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::int64_t enqueue_ns;  // recorder-epoch stamp for task_wait spans
+  };
+
   void worker_loop();
 
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;

@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/metrics.hpp"
 #include "support/aligned_buffer.hpp"
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
@@ -240,6 +241,14 @@ void gemm_impl(Transpose trans_a, Transpose trans_b, std::size_t m,
                float* c, std::size_t ldc, const GemmEpilogue* epilogue) {
   DS_CHECK(c != nullptr || m * n == 0, "gemm: null C");
   if (m == 0 || n == 0) return;
+  {
+    static struct {
+      obs::Counter& calls = obs::metrics().counter(obs::names::kGemmCalls);
+      obs::AccumDouble& flops = obs::metrics().accum(obs::names::kGemmFlops);
+    } gm;
+    gm.calls.add();
+    gm.flops.add(gemm_flops(m, n, k));
+  }
   if (epilogue != nullptr && epilogue->row_bias == nullptr &&
       epilogue->col_bias == nullptr) {
     epilogue = nullptr;

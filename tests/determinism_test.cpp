@@ -10,12 +10,17 @@
 // with workers = 1 — which also keeps the Hogwild variants race-free.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <map>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "core/fabric_algorithms.hpp"
 #include "core/methods.hpp"
 #include "data/dataset.hpp"
 #include "nn/models.hpp"
+#include "obs/trace.hpp"
 
 namespace ds {
 namespace {
@@ -115,6 +120,86 @@ TEST(Determinism, FabricParameterServerDeterministicWithOneWorker) {
   const RunResult a = run_fabric_async_easgd(f.ctx, cluster);
   const RunResult b = run_fabric_async_easgd(f.ctx, cluster);
   expect_identical(a, b);
+}
+
+// One virtual-time-stamped event: everything deterministic about it (the
+// wall stamp is deliberately excluded — real time differs run to run).
+struct VEvent {
+  std::string category;
+  std::string name;
+  obs::EventType type;
+  double vtime;
+  double value;
+  double aux;
+
+  bool operator==(const VEvent& o) const {
+    auto norm = [](double x) { return std::isnan(x) ? -1.0e308 : x; };
+    return category == o.category && name == o.name && type == o.type &&
+           norm(vtime) == norm(o.vtime) && norm(value) == norm(o.value) &&
+           norm(aux) == norm(o.aux);
+  }
+};
+
+/// Per-rank virtual event sequences of the current trace snapshot. Each
+/// fabric rank records on exactly one thread, so grouping by rank recovers
+/// a deterministic per-rank program order even though thread registration
+/// order varies run to run. Wall-only events (NaN vtime) are skipped.
+std::map<std::int64_t, std::vector<VEvent>> virtual_sequences() {
+  std::map<std::int64_t, std::vector<VEvent>> by_rank;
+  for (const obs::ThreadEvents& te : obs::snapshot()) {
+    for (const obs::Event& e : te.events) {
+      if (std::isnan(e.vtime)) continue;
+      by_rank[e.rank].push_back(
+          VEvent{e.category, e.name, e.type, e.vtime, e.value, e.aux});
+    }
+  }
+  return by_rank;
+}
+
+TEST(Determinism, TracedFaultyRunsEmitIdenticalVirtualEventSequences) {
+  // Satellite of the obs subsystem: the trace itself must be deterministic
+  // in the virtual domain — same seed, same faults ⇒ the same per-rank
+  // sequence of virtual-time events (spans, drops, retransmit stamps),
+  // event for event. Wall times differ; virtual times must not.
+  Fixture f;
+  f.set_workers(4);
+  FabricClusterConfig cluster;
+  cluster.faults.with_drop(0.05).with_straggler(1, 2.0);
+  cluster.faults.max_send_attempts = 12;
+
+  auto traced_run = [&] {
+    obs::set_tracing_enabled(false);
+    obs::reset();
+    obs::set_tracing_enabled(true);
+    const RunResult r = run_fabric_easgd(f.ctx, cluster);
+    auto seq = virtual_sequences();
+    obs::set_tracing_enabled(false);
+    obs::reset();
+    return std::make_pair(r, std::move(seq));
+  };
+
+  const auto [ra, seq_a] = traced_run();
+  const auto [rb, seq_b] = traced_run();
+  expect_identical(ra, rb);
+  EXPECT_EQ(ra.messages_sent, rb.messages_sent);
+  EXPECT_EQ(ra.bytes_sent, rb.bytes_sent);
+  EXPECT_EQ(ra.retransmits, rb.retransmits);
+
+  ASSERT_EQ(seq_a.size(), seq_b.size());
+  for (const auto& [rank, events_a] : seq_a) {
+    const auto it = seq_b.find(rank);
+    ASSERT_NE(it, seq_b.end()) << "rank " << rank << " missing in rerun";
+    const auto& events_b = it->second;
+    ASSERT_EQ(events_a.size(), events_b.size()) << "rank " << rank;
+    for (std::size_t i = 0; i < events_a.size(); ++i) {
+      EXPECT_TRUE(events_a[i] == events_b[i])
+          << "rank " << rank << " event " << i << ": " << events_a[i].category
+          << "/" << events_a[i].name << " vt " << events_a[i].vtime << " vs "
+          << events_b[i].name << " vt " << events_b[i].vtime;
+    }
+    EXPECT_FALSE(events_a.empty()) << "rank " << rank;
+  }
+  EXPECT_EQ(obs::dropped_events(), 0u);
 }
 
 TEST(Determinism, ActiveFaultPlanReplaysBitwiseIdentically) {

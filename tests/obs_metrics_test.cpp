@@ -1,0 +1,121 @@
+// Metrics registry unit tests: instrument semantics, find-or-create
+// stability, snapshots/deltas, and the JSON export (which must parse with
+// the same JSON reader the trace tooling uses).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace ds::obs {
+namespace {
+
+TEST(ObsMetrics, CounterGaugeAccumBasics) {
+  Counter c;
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+
+  Gauge g;
+  g.set(7);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 4);
+
+  AccumDouble a;
+  a.add(0.25);
+  a.add(1.5);
+  EXPECT_DOUBLE_EQ(a.value(), 1.75);
+}
+
+TEST(ObsMetrics, HistogramLogBuckets) {
+  Histogram h;
+  h.observe(0.5);     // < 1            -> bucket 0
+  h.observe(1.0);     // [1, 2)         -> bucket 1
+  h.observe(3.0);     // [2, 4)         -> bucket 2
+  h.observe(1024.0);  // [1024, 2048)   -> bucket 11
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 3.0 + 1024.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(11), 1u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(ObsMetrics, RegistryFindOrCreateReturnsSameInstrument) {
+  Counter& a = metrics().counter("test.focc");
+  Counter& b = metrics().counter("test.focc");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(ObsMetrics, ConcurrentUpdatesDontLoseCounts) {
+  Counter& c = metrics().counter("test.concurrent");
+  AccumDouble& a = metrics().accum("test.concurrent_accum");
+  const std::uint64_t before_c = c.value();
+  const double before_a = a.value();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        c.add();
+        a.add(1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value() - before_c, 40000u);
+  EXPECT_DOUBLE_EQ(a.value() - before_a, 40000.0);
+}
+
+TEST(ObsMetrics, SnapshotDeltaTracksOnlyTheRun) {
+  Counter& c = metrics().counter("test.delta");
+  c.add(2);
+  const MetricsSnapshot before = metrics().snapshot();
+  c.add(5);
+  const MetricsSnapshot after = metrics().snapshot();
+  EXPECT_DOUBLE_EQ(after.delta(before, "test.delta"), 5.0);
+  EXPECT_DOUBLE_EQ(after.delta(before, "test.never_registered"), 0.0);
+}
+
+TEST(ObsMetrics, SnapshotExpandsHistograms) {
+  Histogram& h = metrics().histogram("test.hist");
+  const MetricsSnapshot before = metrics().snapshot();
+  h.observe(2.0);
+  h.observe(6.0);
+  const MetricsSnapshot after = metrics().snapshot();
+  EXPECT_DOUBLE_EQ(after.delta(before, "test.hist.count"), 2.0);
+  EXPECT_DOUBLE_EQ(after.delta(before, "test.hist.sum"), 8.0);
+}
+
+TEST(ObsMetrics, JsonExportParsesWithOwnReader) {
+  metrics().counter("test.json_counter").add(9);
+  metrics().gauge("test.json_gauge").set(-2);
+  metrics().accum("test.json_accum").add(0.5);
+  metrics().histogram("test.json_hist").observe(3.0);
+
+  const JsonValue doc = parse_json(metrics().json());
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  const JsonValue* jc = counters->find("test.json_counter");
+  ASSERT_NE(jc, nullptr);
+  EXPECT_DOUBLE_EQ(jc->as_number(), 9.0);
+  const JsonValue* gauges = doc.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->find("test.json_gauge")->as_number(), -2.0);
+  const JsonValue* hists = doc.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const JsonValue* hist = hists->find("test.json_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->find("count")->as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(hist->find("sum")->as_number(), 3.0);
+}
+
+}  // namespace
+}  // namespace ds::obs

@@ -1,0 +1,91 @@
+// The disabled-tracing overhead contract: every instrumentation site must
+// compile down to one relaxed atomic load and a branch when tracing is off —
+// no recorder allocation, no recorder lock, no vclock read. The recorder's
+// testing hooks count allocations and mutex acquisitions, so the contract is
+// checked structurally instead of with a flaky wall-clock benchmark.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/fabric.hpp"
+#include "comm/ledger.hpp"
+#include "obs/trace.hpp"
+#include "support/thread_pool.hpp"
+
+namespace ds {
+namespace {
+
+struct RecorderBaseline {
+  std::uint64_t allocations = obs::testing::recorder_allocations();
+  std::uint64_t locks = obs::testing::recorder_lock_acquisitions();
+
+  void expect_untouched() const {
+    EXPECT_EQ(obs::testing::recorder_allocations(), allocations);
+    EXPECT_EQ(obs::testing::recorder_lock_acquisitions(), locks);
+  }
+};
+
+TEST(ObsOverhead, DisabledInstrumentationSitesTouchNothing) {
+  obs::set_tracing_enabled(false);
+  const RecorderBaseline base;
+  for (int i = 0; i < 100000; ++i) {
+    DS_TRACE_SPAN("test", "hot");
+    obs::instant("test", "hot");
+    obs::counter("hot", static_cast<double>(i));
+    obs::complete_v("test", "hot", 0.0, 1.0, 0);
+    obs::complete_wall("test", "hot", 0, 1);
+    obs::span_begin("test", "hot");
+    obs::span_end();
+  }
+  base.expect_untouched();
+}
+
+TEST(ObsOverhead, DisabledChargeTracedIsJustACharge) {
+  obs::set_tracing_enabled(false);
+  const RecorderBaseline base;
+  CostLedger ledger;
+  double vtime = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    vtime += 1.0e-3;
+    ledger.charge_traced(Phase::kForwardBackward, 1.0e-3, vtime);
+  }
+  EXPECT_NEAR(ledger.seconds(Phase::kForwardBackward), 100.0, 1e-6);
+  base.expect_untouched();
+}
+
+TEST(ObsOverhead, DisabledFabricStepsTouchNothing) {
+  obs::set_tracing_enabled(false);
+  Fabric fabric(2, LinkModel{});
+  const RecorderBaseline base;
+  for (int i = 0; i < 500; ++i) {
+    fabric.advance(0, 1.0e-6);
+    fabric.send(0, 1, 7, std::vector<float>{1.0f, 2.0f});
+    const std::vector<float> got = fabric.recv(1, 0, 7);
+    ASSERT_EQ(got.size(), 2u);
+  }
+  base.expect_untouched();
+}
+
+TEST(ObsOverhead, DisabledThreadPoolTouchesNothing) {
+  obs::set_tracing_enabled(false);
+  ThreadPool pool(2);
+  // Warm the pool (metrics registration happens on the first submit),
+  // then measure a steady-state burst.
+  pool.parallel_for(8, [](std::size_t) {});
+  const RecorderBaseline base;
+  pool.parallel_for(256, [](std::size_t) {});
+  base.expect_untouched();
+}
+
+TEST(ObsOverhead, RankScopeBindingIsRecorderFree) {
+  obs::set_tracing_enabled(false);
+  const RecorderBaseline base;
+  for (int i = 0; i < 100000; ++i) {
+    const obs::RankScope scope(i % 4);
+  }
+  base.expect_untouched();
+}
+
+}  // namespace
+}  // namespace ds

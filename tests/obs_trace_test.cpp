@@ -1,0 +1,188 @@
+// Recorder + Chrome exporter unit tests: span stack discipline, thread/rank
+// binding, interning, and the exported JSON contract (parses, B/E balance,
+// non-negative durations, stable ids across repeated exports).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace ds::obs {
+namespace {
+
+/// Every test runs with a clean, enabled recorder and leaves it disabled.
+class ObsTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_tracing_enabled(false);
+    reset();
+    set_tracing_enabled(true);
+  }
+  void TearDown() override {
+    set_tracing_enabled(false);
+    reset();
+  }
+};
+
+TEST_F(ObsTraceTest, SpansBalancePerThreadInProgramOrder) {
+  {
+    DS_TRACE_SPAN("test", "outer");
+    { DS_TRACE_SPAN("test", "inner"); }
+  }
+  const auto threads = snapshot();
+  // Exactly one thread recorded; events are B(outer) B(inner) E E.
+  std::size_t with_events = 0;
+  for (const ThreadEvents& te : threads) {
+    if (te.events.empty()) continue;
+    ++with_events;
+    ASSERT_EQ(te.events.size(), 4u);
+    EXPECT_EQ(te.events[0].type, EventType::kSpanBegin);
+    EXPECT_STREQ(te.events[0].name, "outer");
+    EXPECT_EQ(te.events[1].type, EventType::kSpanBegin);
+    EXPECT_STREQ(te.events[1].name, "inner");
+    EXPECT_EQ(te.events[2].type, EventType::kSpanEnd);
+    EXPECT_STREQ(te.events[2].name, "inner");  // stack discipline
+    EXPECT_EQ(te.events[3].type, EventType::kSpanEnd);
+    EXPECT_STREQ(te.events[3].name, "outer");
+    EXPECT_GE(te.events[2].wall_ns, te.events[1].wall_ns);
+  }
+  EXPECT_EQ(with_events, 1u);
+}
+
+TEST_F(ObsTraceTest, RankScopeStampsEventsAndRestores) {
+  EXPECT_EQ(thread_rank(), kNoRank);
+  {
+    const RankScope scope(3);
+    instant("test", "inside");
+    EXPECT_EQ(thread_rank(), 3);
+  }
+  EXPECT_EQ(thread_rank(), kNoRank);
+  const auto threads = snapshot();
+  bool found = false;
+  for (const ThreadEvents& te : threads) {
+    for (const Event& e : te.events) {
+      if (std::strcmp(e.name, "inside") == 0) {
+        EXPECT_EQ(e.rank, 3);
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ObsTraceTest, ThreadVClockStampsSpans) {
+  static double fake_clock = 41.5;
+  set_thread_vclock(
+      [](const void*) { return fake_clock; }, nullptr);
+  span_begin("test", "timed");
+  fake_clock = 42.0;
+  span_end();
+  set_thread_vclock(nullptr, nullptr);
+  const auto threads = snapshot();
+  for (const ThreadEvents& te : threads) {
+    for (const Event& e : te.events) {
+      if (e.type == EventType::kSpanBegin) EXPECT_DOUBLE_EQ(e.vtime, 41.5);
+      if (e.type == EventType::kSpanEnd) EXPECT_DOUBLE_EQ(e.vtime, 42.0);
+    }
+  }
+}
+
+TEST_F(ObsTraceTest, InternReturnsStablePointers) {
+  const char* a = intern("layer fc1");
+  const char* b = intern(std::string("layer ") + "fc1");
+  EXPECT_EQ(a, b);
+  EXPECT_STREQ(a, "layer fc1");
+}
+
+TEST_F(ObsTraceTest, UnmatchedEndIsDroppedNotRecorded) {
+  span_end();  // nothing open: must not record or crash
+  const auto threads = snapshot();
+  for (const ThreadEvents& te : threads) EXPECT_TRUE(te.events.empty());
+}
+
+TEST_F(ObsTraceTest, ResetClearsEventsButKeepsRecording) {
+  instant("test", "before");
+  reset();
+  instant("test", "after");
+  const auto threads = snapshot();
+  std::size_t count = 0;
+  for (const ThreadEvents& te : threads) {
+    for (const Event& e : te.events) {
+      EXPECT_STREQ(e.name, "after");
+      ++count;
+    }
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST_F(ObsTraceTest, ChromeExportValidatesAndCarriesBothClockDomains) {
+  {
+    const RankScope scope(1);
+    DS_TRACE_SPAN("test", "work");
+    instant("test", "tick");
+  }
+  counter("queue_depth", 5.0);
+  complete_v("ledger", "forward/backward", 1.0, 0.25, 2, 123.0);
+  complete_wall("pool", "task_wait", 0, 1000);
+
+  std::ostringstream out;
+  write_chrome_trace(out);
+  const std::string text = out.str();
+
+  const TraceValidation v = validate_chrome_trace_text(text);
+  for (const std::string& e : v.errors) ADD_FAILURE() << e;
+  EXPECT_TRUE(v.ok());
+  EXPECT_GE(v.event_count, 5u);
+
+  // The virtual-domain X event lands on pid kVirtualPidBase + rank with
+  // microsecond stamps scaled from virtual seconds.
+  const JsonValue doc = parse_json(text);
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool found_virtual = false;
+  for (const JsonValue& ev : events->as_array()) {
+    const JsonValue* name = ev.find("name");
+    const JsonValue* ph = ev.find("ph");
+    if (!name || !ph || name->as_string() != "forward/backward") continue;
+    if (ph->as_string() != "X") continue;
+    EXPECT_EQ(ev.find("pid")->as_number(), kVirtualPidBase + 2);
+    EXPECT_DOUBLE_EQ(ev.find("ts")->as_number(), 1.0e6);
+    EXPECT_DOUBLE_EQ(ev.find("dur")->as_number(), 0.25e6);
+    found_virtual = true;
+  }
+  EXPECT_TRUE(found_virtual);
+}
+
+TEST_F(ObsTraceTest, RepeatedExportIsByteIdentical) {
+  // Pids, tids, and event order are pure functions of the recorded data —
+  // exporting the same snapshot twice must produce the same bytes, so
+  // CI artifact diffs are meaningful.
+  {
+    const RankScope scope(0);
+    DS_TRACE_SPAN("test", "stable");
+    complete_v("ledger", "update", 0.5, 0.1, 0);
+  }
+  std::ostringstream a, b;
+  write_chrome_trace(a);
+  write_chrome_trace(b);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_FALSE(a.str().empty());
+}
+
+TEST_F(ObsTraceTest, DisabledRecorderRecordsNothing) {
+  set_tracing_enabled(false);
+  DS_TRACE_SPAN("test", "ghost");
+  instant("test", "ghost");
+  counter("ghost", 1.0);
+  complete_v("test", "ghost", 0.0, 1.0, 0);
+  const auto threads = snapshot();
+  for (const ThreadEvents& te : threads) EXPECT_TRUE(te.events.empty());
+}
+
+}  // namespace
+}  // namespace ds::obs

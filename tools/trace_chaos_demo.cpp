@@ -1,0 +1,153 @@
+// trace_chaos_demo — seeded 4-rank Sync-EASGD run over the fault-injecting
+// fabric with tracing on, used by CI to exercise the whole observability
+// path end to end:
+//
+//   1. honor DEEPSCALE_TRACE=<path> (default chaos_trace.json when unset);
+//   2. run Sync EASGD over a 4-rank fabric with drops + a straggler,
+//      all draws seeded so the run replays bit-for-bit;
+//   3. check the ledger↔trace contract: per-phase sums of the "ledger"
+//      complete spans must equal the RunResult's CostLedger to 1e-9;
+//   4. flush the Chrome trace and re-validate the written file with the
+//      same checker tools/trace_validate uses.
+//
+// Exit 0 iff every check passes — CI gates the artifact upload on it.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "comm/ledger.hpp"
+#include "core/fabric_algorithms.hpp"
+#include "data/dataset.hpp"
+#include "nn/models.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+int g_failures = 0;
+
+void check(bool ok, const char* what) {
+  if (ok) {
+    std::printf("  ok    %s\n", what);
+  } else {
+    std::printf("  FAIL  %s\n", what);
+    ++g_failures;
+  }
+}
+
+/// Sum of the "ledger"-category virtual complete spans, per phase name.
+double ledger_span_sum(const std::vector<ds::obs::ThreadEvents>& threads,
+                       const char* phase) {
+  double sum = 0.0;
+  for (const ds::obs::ThreadEvents& te : threads) {
+    for (const ds::obs::Event& e : te.events) {
+      if (e.type == ds::obs::EventType::kCompleteV &&
+          std::strcmp(e.category, "ledger") == 0 &&
+          std::strcmp(e.name, phase) == 0) {
+        sum += e.value;
+      }
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+int main() {
+  // DEEPSCALE_TRACE already enabled tracing at static-init time if set;
+  // otherwise default the output path and switch the recorder on here.
+  if (ds::obs::trace_path().empty()) {
+    ds::obs::set_trace_path("chaos_trace.json");
+  }
+  ds::obs::set_tracing_enabled(true);
+  std::printf("chaos demo: 4-rank fabric Sync EASGD, trace -> %s\n",
+              ds::obs::trace_path().c_str());
+
+  // Tiny synthetic problem: big enough that every phase charges, small
+  // enough for CI.
+  ds::SyntheticSpec spec;
+  spec.classes = 4;
+  spec.channels = 1;
+  spec.height = 8;
+  spec.width = 8;
+  spec.train_count = 512;
+  spec.test_count = 128;
+  spec.noise = 0.9;
+  spec.seed = 99;
+  ds::TrainTest data = ds::make_synthetic(spec);
+  const auto stats = ds::normalize(data.train);
+  ds::normalize_with(data.test, stats.first, stats.second);
+
+  ds::AlgoContext ctx;
+  ctx.factory = [] {
+    ds::Rng rng(17);
+    return ds::make_tiny_mlp(rng);
+  };
+  ctx.train = &data.train;
+  ctx.test = &data.test;
+  ctx.config.workers = 4;  // = fabric ranks
+  ctx.config.iterations = 40;
+  ctx.config.batch_size = 16;
+  ctx.config.eval_every = 20;
+  ctx.config.eval_samples = 128;
+  ctx.config.learning_rate = 0.05f;
+  ctx.config.rho = 0.9f / (4.0f * 0.05f);
+  ctx.config.seed = 1234;
+
+  ds::FabricClusterConfig cluster;
+  cluster.faults.seed = 0xC0FFEE;
+  cluster.faults.with_drop(0.05).with_straggler(2, 2.0);
+  cluster.faults.max_send_attempts = 12;  // reliable-after-retransmit wire
+
+  const ds::RunResult res = run_fabric_easgd(ctx, cluster);
+  std::printf("run: %s — %s, %.4f vseconds, acc %.3f\n",
+              res.method.c_str(), res.fault_summary().c_str(),
+              res.total_seconds, res.final_accuracy);
+  std::printf("wire: %llu messages, %llu bytes, %llu retransmits\n",
+              static_cast<unsigned long long>(res.messages_sent),
+              static_cast<unsigned long long>(res.bytes_sent),
+              static_cast<unsigned long long>(res.retransmits));
+
+  check(!res.aborted, "run completed every round");
+  check(res.messages_sent > 0, "fabric counted messages");
+  check(res.retransmits > 0, "drops forced retransmits");
+
+  // Ledger <-> trace contract: the "ledger" spans ARE the charges.
+  const std::vector<ds::obs::ThreadEvents> threads = ds::obs::snapshot();
+  for (std::size_t i = 0; i < ds::kPhaseCount; ++i) {
+    const ds::Phase phase = static_cast<ds::Phase>(i);
+    const double from_spans =
+        ledger_span_sum(threads, ds::phase_name(phase));
+    const double from_ledger = res.ledger.seconds(phase);
+    if (std::fabs(from_spans - from_ledger) > 1e-9) {
+      std::printf("  FAIL  phase %s: spans %.12f != ledger %.12f\n",
+                  ds::phase_name(phase), from_spans, from_ledger);
+      ++g_failures;
+    }
+  }
+  check(true, "ledger span rollup matches CostLedger (1e-9)");
+  check(ds::obs::dropped_events() == 0, "no trace events dropped");
+
+  check(ds::obs::flush_now(), "trace file written");
+  {
+    std::ifstream in(ds::obs::trace_path(), std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const ds::obs::TraceValidation v =
+        ds::obs::validate_chrome_trace_text(buf.str());
+    for (const std::string& e : v.errors) {
+      std::printf("  trace error: %s\n", e.c_str());
+    }
+    check(v.ok(), "written trace validates as Chrome trace_event JSON");
+    std::printf("trace: %zu events, %zu spans, %zu processes\n",
+                v.event_count, v.span_count, v.process_count);
+  }
+
+  std::printf("%s\n", g_failures == 0 ? "CHAOS DEMO PASSED"
+                                      : "CHAOS DEMO FAILED");
+  return g_failures == 0 ? 0 : 1;
+}

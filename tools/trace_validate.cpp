@@ -1,0 +1,44 @@
+// trace_validate <trace.json>... — check that each file is a well-formed
+// Chrome trace_event document: parses, every B/E track balances with
+// matching names and non-negative durations, every X has a non-negative
+// dur. Exit 0 iff every file passes; CI runs this over the chaos-run
+// artifact before uploading it.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: trace_validate <trace.json>...\n");
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot open\n", argv[i]);
+      ++failures;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    const ds::obs::TraceValidation v =
+        ds::obs::validate_chrome_trace_text(text);
+    if (v.ok()) {
+      std::printf("%s: OK — %zu events, %zu spans, %zu processes\n", argv[i],
+                  v.event_count, v.span_count, v.process_count);
+    } else {
+      ++failures;
+      std::fprintf(stderr, "%s: INVALID (%zu events checked)\n", argv[i],
+                   v.event_count);
+      for (const std::string& e : v.errors) {
+        std::fprintf(stderr, "  %s\n", e.c_str());
+      }
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
