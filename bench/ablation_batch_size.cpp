@@ -35,10 +35,13 @@ std::unique_ptr<ds::Network> make_wide_mlp() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = ds::bench::BenchArgs::parse(argc, argv);
+  ds::bench::Reporter reporter("ablation_batch_size");
   ds::bench::print_header("Ablation (7.2): the impact of batch size");
 
-  const ds::TrainTest data = ds::mnist_like(42, 2048, 512);
+  const ds::TrainTest data =
+      ds::mnist_like(args.has_seed ? args.seed : 42, 2048, 512);
   const double target = 0.92;
   const ds::GpuSystem hw(ds::GpuSystemConfig{}, ds::paper_lenet(),
                          28.0 * 28.0 * 4.0);
@@ -105,6 +108,12 @@ int main() {
     std::printf("%7zu %15.0f %17.0f %12zu%s %14zu %16.2f\n", batch,
                 throughput, virt_throughput, iters, reached ? " " : "*",
                 iters * batch, reached_wall);
+    const std::string prefix = "batch_" + std::to_string(batch) + ".";
+    // Wall-clock throughput is machine-dependent — informational only.
+    reporter.metric(prefix + "wall_samples_per_s", throughput,
+                    ds::bench::Better::kNone);
+    reporter.metric(prefix + "virt_samples_per_s", virt_throughput,
+                    ds::bench::Better::kHigher);
   }
   std::printf("\n(*) target not reached within the iteration budget\n");
   std::printf(
@@ -112,5 +121,6 @@ int main() {
       "(launch-overhead\namortisation + larger GEMMs) and plateaus; "
       "samples-to-target rises past the\nsweet spot, so time-to-accuracy "
       "is U-shaped.\n");
-  return 0;
+  args.describe(reporter);
+  return args.finish(reporter);
 }

@@ -28,16 +28,20 @@
 
 namespace {
 
-ds::bench::MnistLenetSetup make_setup() {
+ds::bench::MnistLenetSetup make_setup(const ds::bench::BenchArgs& args) {
   ds::bench::MnistLenetSetup setup(1024, 256);
   setup.ctx.config.iterations = 120;
   setup.ctx.config.eval_every = 30;
+  args.apply(setup.ctx.config);
   return setup;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = ds::bench::BenchArgs::parse(argc, argv);
+  ds::bench::Reporter reporter("ablation_faults");
+  std::vector<ds::RunResult> runs;
   ds::bench::print_header("Ablation: fault injection on the fabric");
 
   // ---------------------------------------------------------------- drops
@@ -47,13 +51,13 @@ int main() {
               "retrans");
   double clean_seconds = 0.0;
   for (const double drop : {0.0, 0.01, 0.05, 0.10, 0.20}) {
-    ds::bench::MnistLenetSetup setup = make_setup();
+    ds::bench::MnistLenetSetup setup = make_setup(args);
     ds::FabricClusterConfig cluster;
     cluster.faults.with_drop(drop);
     // Size the retransmit budget to the loss rate so no message is ever
     // lost for good (0.2^12 across ~1.4k messages is negligible).
     cluster.faults.max_send_attempts = 12;
-    const ds::RunResult r = run_fabric_easgd(setup.ctx, cluster);
+    ds::RunResult r = run_fabric_easgd(setup.ctx, cluster);
     if (drop == 0.0) clean_seconds = r.total_seconds;
     std::printf("%8.2f %12.4f %11.2fx %10.3f %9zu/%zu %10llu %12.1f %8llu\n",
                 drop, r.total_seconds, r.total_seconds / clean_seconds,
@@ -61,6 +65,8 @@ int main() {
                 static_cast<unsigned long long>(r.messages_sent),
                 static_cast<double>(r.bytes_sent) / (1024.0 * 1024.0),
                 static_cast<unsigned long long>(r.retransmits));
+    r.method += " drop=" + std::to_string(drop).substr(0, 4);
+    runs.push_back(std::move(r));
   }
   std::printf("(accuracy must be IDENTICAL down the column: drops cost "
               "time and retransmits, never correctness)\n\n");
@@ -70,20 +76,24 @@ int main() {
   std::printf("%8s %16s %16s\n", "factor", "sync vtime (s)",
               "async vtime (s)");
   for (const double factor : {1.0, 2.0, 4.0, 8.0}) {
-    ds::bench::MnistLenetSetup setup = make_setup();
+    ds::bench::MnistLenetSetup setup = make_setup(args);
     ds::FabricClusterConfig cluster;
     if (factor > 1.0) cluster.faults.with_straggler(1, factor);
     const ds::RunResult sync_r = run_fabric_easgd(setup.ctx, cluster);
     const ds::RunResult async_r = run_fabric_async_easgd(setup.ctx, cluster);
     std::printf("%8.1f %16.4f %16.4f\n", factor, sync_r.total_seconds,
                 async_r.total_seconds);
+    const std::string suffix =
+        "straggler_x" + std::to_string(static_cast<int>(factor));
+    reporter.metric("sync." + suffix + ".vseconds", sync_r.total_seconds,
+                    ds::bench::Better::kLower, "s");
   }
   std::printf("\n");
 
   // --------------------------------------------------------------- crashes
   std::printf("Scheduled rank crash at half the clean run time:\n");
   {
-    ds::bench::MnistLenetSetup setup = make_setup();
+    ds::bench::MnistLenetSetup setup = make_setup(args);
     ds::FabricClusterConfig cluster;
     const ds::RunResult clean = run_fabric_easgd(setup.ctx, cluster);
     cluster.faults.with_crash(1, clean.total_seconds / 2.0);
@@ -92,7 +102,7 @@ int main() {
     std::printf("  sync : %s\n", hit.fault_summary().c_str());
   }
   {
-    ds::bench::MnistLenetSetup setup = make_setup();
+    ds::bench::MnistLenetSetup setup = make_setup(args);
     ds::FabricClusterConfig cluster;
     const ds::RunResult clean = run_fabric_async_easgd(setup.ctx, cluster);
     cluster.faults.with_crash(2, clean.total_seconds / 4.0);
@@ -133,5 +143,7 @@ int main() {
               "linear in the factor\nfor both schedules (fixed per-rank "
               "work) but the server's absolute time stays far\nlower; "
               "crashes degrade, never hang.\n");
-  return 0;
+
+  args.describe(reporter);
+  return ds::bench::report_runs(args, reporter, runs);
 }

@@ -11,7 +11,9 @@
 #include "simhw/knl_chip.hpp"
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = ds::bench::BenchArgs::parse(argc, argv);
+  ds::bench::Reporter reporter("ablation_mcdram_modes");
   ds::bench::print_header("Ablation: MCDRAM modes (Figure 2)");
 
   const ds::KnlChip chip;
@@ -29,6 +31,14 @@ int main() {
                 chip.mode_bandwidth(ds::McdramMode::kFlat, ws) / 1e9,
                 chip.mode_bandwidth(ds::McdramMode::kCache, ws) / 1e9,
                 chip.mode_bandwidth(ds::McdramMode::kHybrid, ws) / 1e9);
+    const std::string prefix = "ws_" + std::to_string(static_cast<int>(gb)) +
+                               "gb.";
+    reporter.metric(prefix + "flat_gbs",
+                    chip.mode_bandwidth(ds::McdramMode::kFlat, ws) / 1e9,
+                    ds::bench::Better::kHigher, "GB/s");
+    reporter.metric(prefix + "cache_gbs",
+                    chip.mode_bandwidth(ds::McdramMode::kCache, ws) / 1e9,
+                    ds::bench::Better::kHigher, "GB/s");
   }
 
   std::printf("\nCluster-mode locality anchors (2.1), as fractions of peak "
@@ -43,5 +53,6 @@ int main() {
       "\nThe 6.2 divide-and-conquer assumes flat mode + SNC-style pinning: "
       "P weight/data\ncopies placed in MCDRAM explicitly — the best row "
       "above, until capacity runs out\n(Figure 12's P=32 cliff).\n");
-  return 0;
+  args.describe(reporter);
+  return args.finish(reporter);
 }

@@ -16,7 +16,9 @@
 #include "tensor/gemm.hpp"
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = ds::bench::BenchArgs::parse(argc, argv);
+  ds::bench::Reporter reporter("ablation_model_parallel");
   ds::bench::print_header(
       "Ablation (2.3): data parallelism vs model parallelism");
 
@@ -42,6 +44,9 @@ int main() {
            dp_bytes * net.beta) * 1e3;
       std::printf("%7zu %7zu | %14.3f %14.3f | %12s\n", batch, ranks, mp_ms,
                   dp_ms, mp_ms < dp_ms ? "model-par" : "data-par");
+      reporter.metric("comm_ms.ranks_" + std::to_string(ranks) + ".batch_" +
+                          std::to_string(batch) + ".data_par",
+                      dp_ms, ds::bench::Better::kLower, "ms");
     }
   }
 
@@ -59,5 +64,6 @@ int main() {
       "vanishes within a few machines —\n\"parallelizing a 2048x1024x1024 "
       "matrix multiplication only needs one or two\nmachines\", hence the "
       "paper's (and this repo's) data-parallel design.\n");
-  return 0;
+  args.describe(reporter);
+  return args.finish(reporter);
 }

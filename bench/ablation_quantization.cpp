@@ -8,7 +8,8 @@
 #include "core/sync_algorithms.hpp"
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = ds::bench::BenchArgs::parse(argc, argv);
   ds::bench::print_header(
       "Ablation: gradient compression on the wire (Sync SGD, LeNet)");
 
@@ -19,6 +20,7 @@ int main() {
     ds::bench::MnistLenetSetup setup;
     setup.ctx.config.compression = c;
     setup.ctx.config.iterations = 250;
+    args.apply(setup.ctx.config);
     runs.push_back(run_sync_sgd(setup.ctx, setup.hw));
   }
 
@@ -41,5 +43,8 @@ int main() {
       "(error feedback\nabsorbs the 1-bit loss) while cutting wire time; "
       "with LeNet's small weights the\nlatency floor bounds the total-time "
       "win — exactly why §5.2 packs messages first.\n");
-  return 0;
+
+  ds::bench::Reporter reporter("ablation_quantization");
+  args.describe(reporter);
+  return ds::bench::report_runs(args, reporter, runs);
 }

@@ -11,8 +11,10 @@
 #include "core/sync_algorithms.hpp"
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = ds::bench::BenchArgs::parse(argc, argv);
   ds::bench::print_header("Ablation: elastic coupling rho (Sync EASGD3)");
+  std::vector<ds::RunResult> runs;
 
   ds::bench::MnistLenetSetup base;
   const float rule = 0.9f / (static_cast<float>(base.ctx.config.workers) *
@@ -25,7 +27,8 @@ int main() {
     ds::bench::MnistLenetSetup setup;
     setup.ctx.config.rho = rule * factor;
     setup.ctx.config.iterations = 250;
-    const ds::RunResult r =
+    args.apply(setup.ctx.config);
+    ds::RunResult r =
         run_sync_easgd(setup.ctx, setup.hw, ds::SyncEasgdVariant::kEasgd3);
     const auto t = r.time_to_accuracy(0.90);
     const float pull = setup.ctx.config.rho *
@@ -38,10 +41,17 @@ int main() {
       std::printf("%12.4f %14.3f %12.3f %14s\n", setup.ctx.config.rho, pull,
                   r.final_accuracy, "never");
     }
+    char tag[32];
+    std::snprintf(tag, sizeof(tag), "rho_%.2fx", factor);
+    r.method += std::string(" ") + tag;
+    runs.push_back(std::move(r));
   }
   std::printf(
       "\nExpected shape: tiny rho leaves the center stale (low accuracy); "
       "the rule's\nneighbourhood is best; eta*rho*P beyond 1 destabilises "
       "Equation (2).\n");
-  return 0;
+
+  ds::bench::Reporter reporter("ablation_rho");
+  args.describe(reporter);
+  return ds::bench::report_runs(args, reporter, runs);
 }

@@ -6,6 +6,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -14,9 +16,66 @@
 #include "core/run_result.hpp"
 #include "data/dataset.hpp"
 #include "nn/models.hpp"
+#include "obs/analysis/bench_report.hpp"
 #include "simhw/gpu_system.hpp"
 
 namespace ds::bench {
+
+/// Flags every bench binary accepts:
+///   --seed N      override TrainConfig::seed / the bench's RNG seed
+///   --iters N     override TrainConfig::iterations
+///   --json PATH   write the structured BENCH document to PATH on exit
+struct BenchArgs {
+  std::uint64_t seed = 0;
+  std::size_t iters = 0;
+  bool has_seed = false;
+  bool has_iters = false;
+  std::string json_path;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs a;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        a.seed = std::strtoull(argv[++i], nullptr, 10);
+        a.has_seed = true;
+      } else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+        a.iters = std::strtoull(argv[++i], nullptr, 10);
+        a.has_iters = true;
+      } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        a.json_path = argv[++i];
+      } else {
+        std::fprintf(stderr,
+                     "usage: %s [--seed N] [--iters N] [--json PATH]\n",
+                     argc > 0 ? argv[0] : "bench");
+        std::exit(2);
+      }
+    }
+    return a;
+  }
+
+  /// Apply the overrides to a run configuration (no-ops when not given).
+  void apply(TrainConfig& config) const {
+    if (has_seed) config.seed = seed;
+    if (has_iters) config.iterations = iters;
+  }
+
+  /// Stamp seed + overrides into the reporter's header.
+  void describe(Reporter& reporter) const {
+    if (has_seed) reporter.set_seed(seed);
+    if (has_iters) reporter.set_setup("iters_override",
+                                      static_cast<double>(iters));
+  }
+
+  /// Write the document if --json was given; always returns 0 so mains can
+  /// `return args.finish(reporter);`.
+  int finish(const Reporter& reporter) const {
+    if (!json_path.empty()) {
+      reporter.write_file(json_path);
+      std::printf("bench json: %s\n", json_path.c_str());
+    }
+    return 0;
+  }
+};
 
 /// MNIST-like + LeNet-S on the 4-GPU node — the setup of Figures 6/8 and
 /// Table 3 ("The test is for Mnist dataset on 4 GPUs").
@@ -113,6 +172,31 @@ inline void print_csv(const std::vector<RunResult>& runs) {
 
 inline void print_header(const std::string& title) {
   std::printf("\n==== %s ====\n\n", title.c_str());
+}
+
+/// What crossed the (simulated) wire, one row per run. Every bench prints
+/// this so wire-level regressions show up in plain stdout, not only in the
+/// BENCH json.
+inline void print_wire_table(const std::vector<RunResult>& runs) {
+  std::printf("\nwire accounting\n");
+  std::printf("  %-42s %12s %16s %12s  %s\n", "method", "messages", "bytes",
+              "retransmits", "status");
+  for (const RunResult& r : runs) {
+    std::printf("  %-42s %12llu %16llu %12llu  %s\n", r.method.c_str(),
+                static_cast<unsigned long long>(r.messages_sent),
+                static_cast<unsigned long long>(r.bytes_sent),
+                static_cast<unsigned long long>(r.retransmits),
+                r.fault_summary().c_str());
+  }
+}
+
+/// The common bench epilogue: wire table on stdout, runs into the reporter,
+/// optional --json dump. Returns the process exit code.
+inline int report_runs(const BenchArgs& args, Reporter& reporter,
+                       const std::vector<RunResult>& runs) {
+  print_wire_table(runs);
+  for (const RunResult& r : runs) reporter.add_run(r);
+  return args.finish(reporter);
 }
 
 }  // namespace ds::bench

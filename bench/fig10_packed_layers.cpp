@@ -13,14 +13,18 @@
 #include "core/sync_algorithms.hpp"
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = ds::bench::BenchArgs::parse(argc, argv);
   ds::bench::print_header(
       "Figure 10: packed single-message vs per-layer communication "
       "(Sync SGD, AlexNet)");
 
-  for (const std::uint64_t seed : {1ULL, 2ULL}) {
+  std::vector<ds::RunResult> runs;
+  const std::uint64_t seeds[] = {args.has_seed ? args.seed : 1ULL, 2ULL};
+  for (const std::uint64_t seed : seeds) {
     ds::bench::CifarAlexnetSetup setup;
     setup.ctx.config.seed = seed;
+    if (args.has_iters) setup.ctx.config.iterations = args.iters;
     std::printf("--- RNG seed %llu ---\n",
                 static_cast<unsigned long long>(seed));
 
@@ -43,6 +47,16 @@ int main() {
         layered.ledger.seconds(ds::Phase::kGpuGpuParamComm) /
             packed.ledger.seconds(ds::Phase::kGpuGpuParamComm),
         layered.total_seconds / packed.total_seconds);
+
+    ds::RunResult packed_row = packed;
+    packed_row.method += " (packed, seed " + std::to_string(seed) + ")";
+    ds::RunResult layered_row = layered;
+    layered_row.method += " (per-layer, seed " + std::to_string(seed) + ")";
+    runs.push_back(std::move(packed_row));
+    runs.push_back(std::move(layered_row));
   }
-  return 0;
+
+  ds::bench::Reporter reporter("fig10_packed_layers");
+  args.describe(reporter);
+  return ds::bench::report_runs(args, reporter, runs);
 }

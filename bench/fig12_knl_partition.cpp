@@ -16,7 +16,8 @@
 #include "core/knl_algorithms.hpp"
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = ds::bench::BenchArgs::parse(argc, argv);
   ds::bench::print_header("Figure 12: KNL chip partitioning (\"P parts\")");
 
   const ds::KnlChip chip;
@@ -46,12 +47,15 @@ int main() {
   // statistical equivalence.
   std::size_t common_rounds = 0;
   double base_time = 0.0;
+  std::vector<ds::RunResult> runs;
+  ds::bench::Reporter reporter("fig12_knl_partition");
   for (const std::size_t parts : {1UL, 2UL, 4UL, 8UL, 16UL, 32UL}) {
     ds::bench::CifarAlexnetSetup setup(1024, 512);
     setup.ctx.config.batch_size = std::max<std::size_t>(kTotalBatch / parts, 1);
     setup.ctx.config.eval_every = 2;
     setup.ctx.config.eval_samples = 512;
     setup.ctx.config.learning_rate = 0.02f;
+    if (args.has_seed) setup.ctx.config.seed = args.seed;
 
     ds::KnlPartitionConfig pcfg;
     pcfg.parts = parts;
@@ -85,11 +89,22 @@ int main() {
                 parts, r.footprint_gb, r.bandwidth_gbs, rounds_to,
                 reached ? " " : "*", r.round_seconds, time_to,
                 r.run.final_accuracy, base_time / time_to);
+
+    ds::RunResult row = r.run;
+    row.method = "KNL " + std::to_string(parts) + " part(s)";
+    runs.push_back(std::move(row));
+    const std::string prefix = "knl.parts_" + std::to_string(parts) + ".";
+    reporter.metric(prefix + "time_to_target", time_to,
+                    ds::bench::Better::kLower, "s");
+    reporter.metric(prefix + "round_seconds", r.round_seconds,
+                    ds::bench::Better::kLower, "s");
   }
   std::printf("\n(*) own-run target crossing not observed within the round "
               "budget (noise; the\n    common-budget time column is "
               "unaffected)\n");
   std::printf("paper: P=1 1605s, P=4 1025s (1.6x), P=8 823s (2.0x), "
               "P=16 490s (3.3x); P=32 exceeds MCDRAM\n");
-  return 0;
+
+  args.describe(reporter);
+  return ds::bench::report_runs(args, reporter, runs);
 }

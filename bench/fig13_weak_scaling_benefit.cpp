@@ -14,7 +14,8 @@
 #include "core/knl_algorithms.hpp"
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = ds::bench::BenchArgs::parse(argc, argv);
   ds::bench::print_header(
       "Figure 13: more machines + more data (weak scaling benefit)");
 
@@ -25,6 +26,7 @@ int main() {
     setup.ctx.config.iterations = 160;
     setup.ctx.config.eval_every = 10;
     setup.ctx.config.batch_size = 32;
+    args.apply(setup.ctx.config);
     // Re-apply the moving-rate rule for this node count.
     setup.ctx.config.rho = 0.9f / (static_cast<float>(nodes) *
                                    setup.ctx.config.learning_rate);
@@ -62,5 +64,8 @@ int main() {
   }
   std::printf("\n");
   ds::bench::print_csv(runs);
-  return 0;
+
+  ds::bench::Reporter reporter("fig13_weak_scaling_benefit");
+  args.describe(reporter);
+  return ds::bench::report_runs(args, reporter, runs);
 }

@@ -35,23 +35,41 @@ void compare(const char* title, const ds::RunResult& ours,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using ds::Method;
+  const auto args = ds::bench::BenchArgs::parse(argc, argv);
   ds::bench::MnistLenetSetup setup;
+  args.apply(setup.ctx.config);
 
-  auto run = [&setup](Method m) {
+  std::vector<ds::RunResult> runs;
+  auto run = [&](Method m) -> const ds::RunResult& {
     ds::AlgoContext ctx = setup.ctx;
     ds::bench::scale_budget_to_samples(ctx, m);
-    return run_method(m, ctx, setup.hw);
+    runs.push_back(run_method(m, ctx, setup.hw));
+    return runs.back();
+  };
+  // Run pairs sequentially (not inside the compare() call) so the order of
+  // `runs` — and thus the BENCH metric labels — is deterministic.
+  auto duel = [&](const char* title, Method ours, Method existing) {
+    const std::size_t a = runs.size();
+    run(ours);
+    run(existing);
+    compare(title, runs[a], runs[a + 1]);
   };
 
-  compare("Figure 6.1: Async EASGD vs Async SGD",
-          run(Method::kAsyncEasgd), run(Method::kAsyncSgd));
-  compare("Figure 6.2: Async MEASGD vs Async MSGD",
-          run(Method::kAsyncMomentumEasgd), run(Method::kAsyncMomentumSgd));
-  compare("Figure 6.3: Hogwild EASGD vs Hogwild SGD",
-          run(Method::kHogwildEasgd), run(Method::kHogwildSgd));
-  compare("Figure 6.4: Sync EASGD vs Original EASGD",
-          run(Method::kSyncEasgd), run(Method::kOriginalEasgd));
-  return 0;
+  duel("Figure 6.1: Async EASGD vs Async SGD", Method::kAsyncEasgd,
+       Method::kAsyncSgd);
+  duel("Figure 6.2: Async MEASGD vs Async MSGD", Method::kAsyncMomentumEasgd,
+       Method::kAsyncMomentumSgd);
+  duel("Figure 6.3: Hogwild EASGD vs Hogwild SGD", Method::kHogwildEasgd,
+       Method::kHogwildSgd);
+  duel("Figure 6.4: Sync EASGD vs Original EASGD", Method::kSyncEasgd,
+       Method::kOriginalEasgd);
+
+  ds::bench::Reporter reporter("fig6_pairwise");
+  reporter.set_seed(setup.ctx.config.seed);
+  reporter.set_setup("workers", static_cast<double>(setup.ctx.config.workers));
+  reporter.set_setup("dataset", "mnist-synthetic");
+  args.describe(reporter);
+  return ds::bench::report_runs(args, reporter, runs);
 }

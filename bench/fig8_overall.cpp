@@ -11,8 +11,10 @@
 #include "core/methods.hpp"
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = ds::bench::BenchArgs::parse(argc, argv);
   ds::bench::MnistLenetSetup setup;
+  args.apply(setup.ctx.config);
   ds::bench::print_header(
       "Figure 8: all methods, log10 error-rate vs virtual time");
 
@@ -52,5 +54,10 @@ int main() {
 
   std::printf("\n");
   ds::bench::print_csv(runs);
-  return 0;
+
+  ds::bench::Reporter reporter("fig8_overall");
+  reporter.set_seed(setup.ctx.config.seed);
+  reporter.set_setup("workers", static_cast<double>(setup.ctx.config.workers));
+  args.describe(reporter);
+  return ds::bench::report_runs(args, reporter, runs);
 }

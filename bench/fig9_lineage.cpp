@@ -19,7 +19,8 @@ struct Edge {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = ds::bench::BenchArgs::parse(argc, argv);
   ds::bench::print_header("Figure 9: algorithm design lineage");
 
   std::printf(
@@ -50,6 +51,8 @@ int main() {
 
   ds::bench::MnistLenetSetup setup;
   setup.ctx.config.iterations = 150;  // quick verification budget
+  args.apply(setup.ctx.config);
+  std::vector<ds::RunResult> runs;
   int regressions = 0;
   for (const Edge& e : edges) {
     ds::AlgoContext from_ctx = setup.ctx;
@@ -58,6 +61,8 @@ int main() {
     ds::AlgoContext to_ctx = setup.ctx;
     ds::bench::scale_budget_to_samples(to_ctx, e.to);
     const ds::RunResult child = run_method(e.to, to_ctx, setup.hw);
+    runs.push_back(parent);
+    runs.push_back(child);
 
     const double target =
         0.9 * std::min(parent.best_accuracy(), child.best_accuracy());
@@ -80,5 +85,11 @@ int main() {
                             ? "every lineage edge improves, as in Figure 9"
                             : "WARNING: some edge regressed this run "
                               "(async methods are nondeterministic)");
-  return 0;
+
+  ds::bench::Reporter reporter("fig9_lineage");
+  reporter.set_seed(setup.ctx.config.seed);
+  reporter.metric("lineage.regressed_edges", regressions,
+                  ds::bench::Better::kLower);
+  args.describe(reporter);
+  return ds::bench::report_runs(args, reporter, runs);
 }

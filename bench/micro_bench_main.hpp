@@ -1,0 +1,87 @@
+// Custom main() for the google-benchmark micro benches, replacing
+// benchmark::benchmark_main so they speak the same CLI contract as the
+// figure/table binaries: --seed N (accepted for uniformity; the micro
+// benches use fixed internal seeds), --iters N (forwarded as
+// --benchmark_min_time reps), --json PATH (write a deepscale.bench.v1
+// document next to the normal console output). Every other flag is handed
+// to google-benchmark untouched (--benchmark_filter etc.).
+//
+// Include this ONCE, at the bottom of a micro_*.cpp.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/analysis/bench_report.hpp"
+
+namespace ds::bench {
+
+/// ConsoleReporter that additionally records every per-iteration run as
+/// metrics: "micro.<bench>.real_time_ns" (informational — wall time is
+/// machine-dependent) and one metric per user counter. Rate counters that
+/// carry "GFLOP" in their name are marked higher-is-better, which is what
+/// the CI gate (generous tolerance) keys on.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CapturingReporter(Reporter& out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      const std::string base = "micro." + slug(run.benchmark_name());
+      out_.metric(base + ".real_time_ns", run.GetAdjustedRealTime(),
+                  Better::kNone, "ns");
+      for (const auto& [cname, counter] : run.counters) {
+        const Better better = cname.find("GFLOP") != std::string::npos
+                                  ? Better::kHigher
+                                  : Better::kNone;
+        out_.metric(base + "." + slug(cname),
+                    static_cast<double>(counter.value), better);
+      }
+    }
+  }
+
+ private:
+  Reporter& out_;
+};
+
+inline int micro_bench_main(const char* bench_name, int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> fwd;
+  fwd.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if ((std::strcmp(argv[i], "--seed") == 0 ||
+         std::strcmp(argv[i], "--iters") == 0) &&
+        i + 1 < argc) {
+      ++i;  // accepted for CLI uniformity; unused here
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      fwd.push_back(argv[i]);
+    }
+  }
+  int fwd_argc = static_cast<int>(fwd.size());
+  benchmark::Initialize(&fwd_argc, fwd.data());
+  if (benchmark::ReportUnrecognizedArguments(fwd_argc, fwd.data())) return 2;
+
+  Reporter reporter(bench_name);
+  CapturingReporter display(reporter);
+  benchmark::RunSpecifiedBenchmarks(&display);
+  benchmark::Shutdown();
+  if (!json_path.empty()) {
+    reporter.write_file(json_path);
+    std::printf("bench json: %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace ds::bench
+
+#define DS_MICRO_BENCH_MAIN(name)                         \
+  int main(int argc, char** argv) {                       \
+    return ds::bench::micro_bench_main(name, argc, argv); \
+  }

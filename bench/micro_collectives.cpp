@@ -127,3 +127,6 @@ void BM_CostPackedVsPerLayer(benchmark::State& state) {
 BENCHMARK(BM_CostPackedVsPerLayer);
 
 }  // namespace
+
+#include "micro_bench_main.hpp"
+DS_MICRO_BENCH_MAIN("micro_collectives")

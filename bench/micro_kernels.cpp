@@ -295,3 +295,6 @@ void BM_AlexnetForwardBackward(benchmark::State& state) {
 BENCHMARK(BM_AlexnetForwardBackward);
 
 }  // namespace
+
+#include "micro_bench_main.hpp"
+DS_MICRO_BENCH_MAIN("micro_kernels")

@@ -11,7 +11,9 @@
 #include "comm/fabric.hpp"
 #include "bench_util.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = ds::bench::BenchArgs::parse(argc, argv);
+  ds::bench::Reporter reporter("table2_networks");
   ds::bench::print_header("Table 2: InfiniBand performance under the α-β model");
 
   std::printf("%-32s %14s %18s\n", "Network", "alpha (latency)",
@@ -40,6 +42,9 @@ int main() {
       const double model = link.transfer_seconds(static_cast<double>(bytes));
       std::printf("%-32s %12zu %14.2f %14.2f\n", link.name.c_str(), bytes,
                   measured * 1e6, model * 1e6);
+      reporter.metric("pingpong." + ds::bench::slug(link.name) + "." +
+                          std::to_string(bytes) + "b_us",
+                      measured * 1e6, ds::bench::Better::kLower, "us");
     }
   }
 
@@ -50,5 +55,6 @@ int main() {
     std::printf("%-32s alpha dominates below %.0f KB\n", link.name.c_str(),
                 link.alpha / link.beta / 1024.0);
   }
-  return 0;
+  args.describe(reporter);
+  return args.finish(reporter);
 }

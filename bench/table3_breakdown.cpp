@@ -38,13 +38,15 @@ Row make_row(ds::RunResult result, double target) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = ds::bench::BenchArgs::parse(argc, argv);
   ds::bench::print_header("Table 3: breakdown of time for EASGD variants");
 
   ds::bench::MnistLenetSetup setup;
   setup.ctx.config.batch_size = 64;  // the paper's Table 3 batch size
   setup.ctx.config.iterations = 220;
   setup.ctx.config.eval_every = 10;
+  args.apply(setup.ctx.config);
   const double target = 0.96;
 
   std::vector<Row> rows;
@@ -93,14 +95,10 @@ int main() {
         100.0 * lg.comm_ratio());
   }
 
-  std::printf("\nWire traffic per run (schedule-implied messages/bytes):\n");
-  std::printf("%-18s %12s %14s\n", "Method", "messages", "wire MB");
-  for (const Row& row : rows) {
-    std::printf("%-18s %12llu %14.1f\n", row.result.method.c_str(),
-                static_cast<unsigned long long>(row.result.messages_sent),
-                static_cast<double>(row.result.bytes_sent) /
-                    (1024.0 * 1024.0));
-  }
+  std::vector<ds::RunResult> runs;
+  runs.reserve(rows.size());
+  for (const Row& row : rows) runs.push_back(row.result);
+  ds::bench::print_wire_table(runs);
   std::printf("(packing shrinks messages, not bytes; EASGD1's host hop and "
               "EASGD2/3's switch\nmove the same payload)\n");
 
@@ -122,5 +120,19 @@ int main() {
       "(paper: 87%% -> 14%%)\n",
       100.0 * rows[1].result.ledger.comm_ratio(),
       100.0 * rows[4].result.ledger.comm_ratio());
-  return 0;
+
+  ds::bench::Reporter reporter("table3_breakdown");
+  reporter.set_seed(setup.ctx.config.seed);
+  reporter.set_setup("batch_size",
+                     static_cast<double>(setup.ctx.config.batch_size));
+  reporter.set_setup("target_accuracy", target);
+  args.describe(reporter);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const std::string label = reporter.add_run(rows[i].result);
+    reporter.metric("run." + label + ".time_to_target",
+                    rows[i].time_to_target, ds::bench::Better::kLower, "s");
+  }
+  reporter.metric("speedup.easgd3_over_original", t_orig / t3,
+                  ds::bench::Better::kHigher);
+  return args.finish(reporter);
 }

@@ -19,7 +19,7 @@
 namespace {
 
 void report(const char* name, const ds::ClusterSimConfig& cfg,
-            std::size_t iterations) {
+            std::size_t iterations, ds::bench::Reporter& reporter) {
   const ds::ClusterSim sim(cfg);
   const std::vector<std::size_t> nodes{1, 2, 4, 8, 16, 32, 64};
 
@@ -39,13 +39,20 @@ void report(const char* name, const ds::ClusterSimConfig& cfg,
       std::printf(" %7.1f%%", 100.0 * p.efficiency);
     }
     std::printf("\n");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      reporter.metric(ds::bench::slug(name) + "." + ds::bench::slug(label) +
+                          ".nodes_" + std::to_string(nodes[i]) + ".efficiency",
+                      points[i].efficiency, ds::bench::Better::kHigher);
+    }
   }
   std::printf("\n");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto args = ds::bench::BenchArgs::parse(argc, argv);
+  ds::bench::Reporter reporter("table4_weak_scaling");
   ds::bench::print_header(
       "Table 4: weak scaling, ImageNet on 68..4352 KNL cores");
 
@@ -53,17 +60,18 @@ int main() {
   googlenet.base_iter_seconds = 1533.0 / 300.0;
   googlenet.weight_bytes = ds::paper_googlenet().weight_bytes;
   googlenet.comm_layers = ds::paper_googlenet().comm_layers;
-  report("GoogLeNet", googlenet, 300);
+  report("GoogLeNet", googlenet, args.has_iters ? args.iters : 300, reporter);
 
   ds::ClusterSimConfig vgg;
   vgg.base_iter_seconds = 1318.0 / 80.0;
   vgg.weight_bytes = ds::paper_vgg19().weight_bytes;
   vgg.comm_layers = ds::paper_vgg19().comm_layers;
-  report("VGG", vgg, 80);
+  report("VGG", vgg, args.has_iters ? args.iters : 80, reporter);
 
   std::printf(
       "paper (2176 cores): GoogLeNet ours 92.3%% vs Intel Caffe 87%%;\n"
       "                    VGG ours 78.5%% vs Intel Caffe 62%%\n"
       "paper (4352 cores): GoogLeNet ours 91.6%%, VGG ours 80.2%%\n");
-  return 0;
+  args.describe(reporter);
+  return args.finish(reporter);
 }

@@ -1,0 +1,462 @@
+#include "obs/analysis/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "obs/chrome_trace.hpp"
+#include "support/error.hpp"
+
+namespace ds::obs::analysis {
+
+namespace {
+
+/// Phase whose phase_name() equals `name`, or kCount when it is not a
+/// ledger phase name.
+Phase phase_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    const Phase p = static_cast<Phase>(i);
+    if (name == phase_name(p)) return p;
+  }
+  return Phase::kCount;
+}
+
+bool is_comm_phase(Phase p) {
+  return p == Phase::kGpuGpuParamComm || p == Phase::kCpuGpuDataComm ||
+         p == Phase::kCpuGpuParamComm;
+}
+
+struct OpenSpan {
+  std::string category;
+  std::string name;
+  std::int64_t rank;
+  double wall_begin_us;
+  double vt_begin;
+  bool top_level;
+  std::uint64_t seq;
+};
+
+/// Total length of the union of [begin, end) intervals.
+double union_seconds(std::vector<std::pair<double, double>>& intervals) {
+  if (intervals.empty()) return 0.0;
+  std::sort(intervals.begin(), intervals.end());
+  double total = 0.0;
+  double cur_begin = intervals.front().first;
+  double cur_end = intervals.front().second;
+  for (const auto& [b, e] : intervals) {
+    if (b > cur_end) {
+      total += cur_end - cur_begin;
+      cur_begin = b;
+      cur_end = e;
+    } else {
+      cur_end = std::max(cur_end, e);
+    }
+  }
+  return total + (cur_end - cur_begin);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Ingest.
+// ---------------------------------------------------------------------------
+
+TraceData ingest_snapshot(const std::vector<ThreadEvents>& threads) {
+  TraceData out;
+  for (const ThreadEvents& te : threads) {
+    std::vector<OpenSpan> stack;
+    std::uint64_t seq = 0;
+    for (const Event& e : te.events) {
+      switch (e.type) {
+        case EventType::kSpanBegin: {
+          bool top = true;
+          for (const OpenSpan& open : stack) {
+            if (open.category == e.category) top = false;
+          }
+          stack.push_back(OpenSpan{e.category != nullptr ? e.category : "",
+                                   e.name != nullptr ? e.name : "", e.rank,
+                                   static_cast<double>(e.wall_ns) / 1000.0,
+                                   e.vtime, top, seq++});
+          break;
+        }
+        case EventType::kSpanEnd: {
+          if (stack.empty()) break;  // stray E: recorder bug, skip
+          OpenSpan open = std::move(stack.back());
+          stack.pop_back();
+          Interval iv;
+          iv.rank = open.rank;
+          iv.category = std::move(open.category);
+          iv.name = std::move(open.name);
+          iv.wall_begin_us = open.wall_begin_us;
+          iv.wall_end_us = static_cast<double>(e.wall_ns) / 1000.0;
+          iv.vt_begin = open.vt_begin;
+          iv.vt_end = e.vtime;
+          iv.top_level = open.top_level;
+          iv.seq = open.seq;
+          out.spans.push_back(std::move(iv));
+          break;
+        }
+        case EventType::kCompleteV: {
+          VSpan v;
+          v.rank = e.rank;
+          v.category = e.category != nullptr ? e.category : "";
+          v.name = e.name != nullptr ? e.name : "";
+          v.begin = e.vtime;
+          v.duration = std::isnan(e.value) ? 0.0 : e.value;
+          out.vspans.push_back(std::move(v));
+          break;
+        }
+        case EventType::kInstant:
+        case EventType::kCounter:
+        case EventType::kCompleteWall:
+          break;  // carry no virtual duration; nothing to roll up
+      }
+    }
+    // Unclosed spans (thread still inside them at snapshot time, or a rank
+    // that unwound through a failure) are dropped, not fabricated.
+  }
+  out.dropped_events = dropped_events();
+  return out;
+}
+
+TraceData ingest_chrome_trace(const JsonValue& doc) {
+  const JsonValue* events = nullptr;
+  if (doc.is_array()) {
+    events = &doc;
+  } else if (doc.is_object()) {
+    events = doc.find("traceEvents");
+  }
+  DS_CHECK(events != nullptr && events->is_array(),
+           "analysis: document has no traceEvents array");
+
+  TraceData out;
+  if (const JsonValue* other = doc.find("otherData"); other != nullptr) {
+    if (const JsonValue* dropped = other->find("droppedEvents");
+        dropped != nullptr && dropped->is_number()) {
+      out.dropped_events = static_cast<std::uint64_t>(dropped->as_number());
+    }
+  }
+
+  // Per-(pid, tid) open-span stacks, exactly like the trace validator.
+  std::map<std::pair<std::int64_t, std::int64_t>, std::vector<OpenSpan>>
+      stacks;
+  std::uint64_t seq = 0;
+  for (const JsonValue& e : events->as_array()) {
+    if (!e.is_object()) continue;
+    const JsonValue* ph = e.find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->as_string().size() != 1) {
+      continue;
+    }
+    const char phase = ph->as_string()[0];
+    if (phase == 'M') continue;
+    const JsonValue* pid = e.find("pid");
+    const JsonValue* tid = e.find("tid");
+    const JsonValue* ts = e.find("ts");
+    if (pid == nullptr || !pid->is_number() || tid == nullptr ||
+        !tid->is_number() || ts == nullptr || !ts->is_number()) {
+      continue;
+    }
+    const auto pid_v = static_cast<std::int64_t>(pid->as_number());
+    const auto key = std::make_pair(
+        pid_v, static_cast<std::int64_t>(tid->as_number()));
+    const JsonValue* name = e.find("name");
+    const JsonValue* cat = e.find("cat");
+    const std::string name_s =
+        name != nullptr && name->is_string() ? name->as_string() : "";
+    const std::string cat_s =
+        cat != nullptr && cat->is_string() ? cat->as_string() : "";
+    const JsonValue* args = e.find("args");
+    const JsonValue* vt = args != nullptr ? args->find("vt") : nullptr;
+    const double vt_v =
+        vt != nullptr && vt->is_number() ? vt->as_number() : kNoVTime;
+
+    switch (phase) {
+      case 'B': {
+        auto& stack = stacks[key];
+        bool top = true;
+        for (const OpenSpan& open : stack) {
+          if (open.category == cat_s) top = false;
+        }
+        stack.push_back(OpenSpan{cat_s, name_s,
+                                 pid_v == kHostPid ? kNoRank : pid_v,
+                                 ts->as_number(), vt_v, top, seq++});
+        break;
+      }
+      case 'E': {
+        auto& stack = stacks[key];
+        if (stack.empty()) break;
+        OpenSpan open = std::move(stack.back());
+        stack.pop_back();
+        Interval iv;
+        iv.rank = open.rank;
+        iv.category = std::move(open.category);
+        iv.name = std::move(open.name);
+        iv.wall_begin_us = open.wall_begin_us;
+        iv.wall_end_us = ts->as_number();
+        iv.vt_begin = open.vt_begin;
+        iv.vt_end = vt_v;
+        iv.top_level = open.top_level;
+        iv.seq = open.seq;
+        out.spans.push_back(std::move(iv));
+        break;
+      }
+      case 'X': {
+        if (pid_v < kVirtualPidBase) break;  // wall X: no virtual duration
+        const JsonValue* dur = e.find("dur");
+        if (dur == nullptr || !dur->is_number()) break;
+        VSpan v;
+        v.rank = pid_v - kVirtualPidBase;
+        v.category = cat_s;
+        v.name = name_s;
+        v.begin = ts->as_number() / 1e6;       // trace µs → virtual seconds
+        v.duration = dur->as_number() / 1e6;
+        out.vspans.push_back(std::move(v));
+        break;
+      }
+      default:
+        break;  // i / C carry no duration
+    }
+  }
+  // Round-trip exactness: the exporter writes %.17g, so begin/duration come
+  // back bit-identical and ledger cross-checks hold on re-ingested files.
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rollups.
+// ---------------------------------------------------------------------------
+
+std::vector<std::pair<std::string, SpanStats>> Rollup::top() const {
+  std::vector<std::pair<std::string, SpanStats>> out(by_key.begin(),
+                                                     by_key.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second.total != b.second.total) {
+      return a.second.total > b.second.total;
+    }
+    return a.first < b.first;
+  });
+  return out;
+}
+
+Rollup rollup_vspans(const TraceData& trace) {
+  Rollup out;
+  for (const VSpan& v : trace.vspans) {
+    const std::string key = v.category + "/" + v.name;
+    for (SpanStats* stats : {&out.by_key[key], &out.by_rank[v.rank][key]}) {
+      ++stats->count;
+      stats->total += v.duration;
+      stats->max = std::max(stats->max, v.duration);
+    }
+    out.total += v.duration;
+  }
+  return out;
+}
+
+std::array<double, kPhaseCount> ledger_rollup(const TraceData& trace) {
+  std::array<double, kPhaseCount> out{};
+  for (const VSpan& v : trace.vspans) {
+    if (v.category != "ledger") continue;
+    const Phase p = phase_from_name(v.name);
+    if (p != Phase::kCount) out[static_cast<std::size_t>(p)] += v.duration;
+  }
+  return out;
+}
+
+std::map<std::int64_t, std::array<double, kPhaseCount>> ledger_rollup_by_rank(
+    const TraceData& trace) {
+  std::map<std::int64_t, std::array<double, kPhaseCount>> out;
+  for (const VSpan& v : trace.vspans) {
+    if (v.category != "ledger") continue;
+    const Phase p = phase_from_name(v.name);
+    if (p == Phase::kCount) continue;
+    auto [it, inserted] = out.try_emplace(v.rank);
+    if (inserted) it->second.fill(0.0);
+    it->second[static_cast<std::size_t>(p)] += v.duration;
+  }
+  return out;
+}
+
+LedgerCheck check_ledger(const TraceData& trace, const CostLedger& ledger) {
+  LedgerCheck out;
+  out.trace_seconds = ledger_rollup(trace);
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    out.ledger_seconds[i] = ledger.seconds(static_cast<Phase>(i));
+    out.max_abs_diff = std::max(
+        out.max_abs_diff, std::fabs(out.trace_seconds[i] - out.ledger_seconds[i]));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Sync rounds.
+// ---------------------------------------------------------------------------
+
+std::vector<SyncRound> sync_rounds(const TraceData& trace,
+                                   std::string_view category) {
+  // Per-rank program-ordered sequence of top-level collective intervals.
+  std::map<std::int64_t, std::vector<const Interval*>> per_rank;
+  for (const Interval& iv : trace.spans) {
+    if (iv.category != category || !iv.top_level || iv.rank < 0 ||
+        std::isnan(iv.vt_begin) || std::isnan(iv.vt_end)) {
+      continue;
+    }
+    per_rank[iv.rank].push_back(&iv);
+  }
+  std::size_t max_len = 0;
+  for (auto& [rank, seq] : per_rank) {
+    std::sort(seq.begin(), seq.end(),
+              [](const Interval* a, const Interval* b) {
+                return a->seq < b->seq;
+              });
+    max_len = std::max(max_len, seq.size());
+  }
+
+  std::vector<SyncRound> out;
+  for (std::size_t k = 0; k < max_len; ++k) {
+    SyncRound round;
+    round.index = k;
+    bool names_agree = true;
+    for (const auto& [rank, seq] : per_rank) {
+      if (k >= seq.size()) continue;
+      const Interval* iv = seq[k];
+      if (round.ranks.empty()) {
+        round.name = iv->name;
+      } else if (iv->name != round.name) {
+        names_agree = false;  // ragged tail of a degraded run
+      }
+      round.ranks.push_back(RankTiming{rank, iv->vt_begin, iv->vt_end, 0.0});
+    }
+    if (!names_agree || round.ranks.size() < 2) continue;
+
+    double latest = round.ranks.front().enter;
+    round.gate_rank = round.ranks.front().rank;
+    for (const RankTiming& rt : round.ranks) {
+      if (rt.enter > latest) {
+        latest = rt.enter;
+        round.gate_rank = rt.rank;
+      }
+    }
+    double second = -std::numeric_limits<double>::infinity();
+    for (const RankTiming& rt : round.ranks) {
+      if (rt.rank != round.gate_rank) second = std::max(second, rt.enter);
+    }
+    round.gate_enter = latest;
+    round.gate_margin = latest - second;
+    for (RankTiming& rt : round.ranks) {
+      rt.idle = rt.rank == round.gate_rank
+                    ? 0.0
+                    : std::max(0.0, round.gate_enter - rt.enter);
+      round.idle_total += rt.idle;
+    }
+    out.push_back(std::move(round));
+  }
+  return out;
+}
+
+StragglerReport attribute_stragglers(const std::vector<SyncRound>& rounds,
+                                     double eps) {
+  StragglerReport out;
+  out.total_rounds = rounds.size();
+  std::map<std::int64_t, StragglerStat> stats;
+  for (const SyncRound& round : rounds) {
+    for (const RankTiming& rt : round.ranks) {
+      auto [it, inserted] = stats.try_emplace(rt.rank);
+      if (inserted) it->second.rank = rt.rank;
+    }
+    if (!round.gated(eps)) continue;
+    ++out.gated_rounds;
+    StragglerStat& s = stats[round.gate_rank];
+    s.rank = round.gate_rank;
+    ++s.rounds_gated;
+    s.idle_imposed += round.idle_total;
+  }
+  for (const auto& [rank, s] : stats) out.ranking.push_back(s);
+  std::sort(out.ranking.begin(), out.ranking.end(),
+            [](const StragglerStat& a, const StragglerStat& b) {
+              if (a.idle_imposed != b.idle_imposed) {
+                return a.idle_imposed > b.idle_imposed;
+              }
+              if (a.rounds_gated != b.rounds_gated) {
+                return a.rounds_gated > b.rounds_gated;
+              }
+              return a.rank < b.rank;
+            });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Comm vs compute.
+// ---------------------------------------------------------------------------
+
+double OverlapSplit::overlap_fraction() const {
+  const double smaller = std::min(comm_seconds, compute_seconds);
+  return smaller > 0.0 ? overlap_seconds / smaller : 0.0;
+}
+
+double OverlapSplit::alpha_fraction() const {
+  const double wire = alpha_seconds + beta_seconds;
+  return wire > 0.0 ? alpha_seconds / wire : 0.0;
+}
+
+OverlapSplit comm_compute_split(const TraceData& trace) {
+  // Per-rank interval sets on the virtual timeline.
+  std::map<std::int64_t, std::vector<std::pair<double, double>>> comm;
+  std::map<std::int64_t, std::vector<std::pair<double, double>>> compute;
+  for (const VSpan& v : trace.vspans) {
+    if (v.category != "ledger" || v.duration <= 0.0) continue;
+    const Phase p = phase_from_name(v.name);
+    if (p == Phase::kCount) continue;
+    auto& set = is_comm_phase(p) ? comm[v.rank] : compute[v.rank];
+    set.emplace_back(v.begin, v.end());
+  }
+
+  OverlapSplit out;
+  std::vector<std::pair<double, double>> both;
+  for (auto& [rank, set] : comm) {
+    const double u = union_seconds(set);
+    out.comm_seconds += u;
+    const auto it = compute.find(rank);
+    if (it == compute.end()) {
+      out.busy_seconds += u;
+      continue;
+    }
+    const double cu = union_seconds(it->second);
+    both = set;
+    both.insert(both.end(), it->second.begin(), it->second.end());
+    const double all = union_seconds(both);
+    out.compute_seconds += cu;
+    out.busy_seconds += all;
+    out.overlap_seconds += u + cu - all;
+  }
+  for (auto& [rank, set] : compute) {
+    if (comm.find(rank) != comm.end()) continue;  // handled above
+    const double u = union_seconds(set);
+    out.compute_seconds += u;
+    out.busy_seconds += u;
+  }
+  return out;
+}
+
+void apply_alpha_beta(OverlapSplit& split, std::uint64_t messages_sent,
+                      std::uint64_t bytes_sent, const LinkModel& link) {
+  split.alpha_seconds = static_cast<double>(messages_sent) * link.alpha;
+  split.beta_seconds = static_cast<double>(bytes_sent) * link.beta;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram summaries.
+// ---------------------------------------------------------------------------
+
+HistogramSummary summarize(const Histogram& histogram) {
+  HistogramSummary out;
+  out.count = histogram.count();
+  out.sum = histogram.sum();
+  out.mean = out.count > 0 ? out.sum / static_cast<double>(out.count) : 0.0;
+  out.p50 = histogram.quantile(0.50);
+  out.p95 = histogram.quantile(0.95);
+  out.p99 = histogram.quantile(0.99);
+  return out;
+}
+
+}  // namespace ds::obs::analysis

@@ -1,0 +1,236 @@
+// Trace analysis: the layer that *interprets* what src/obs records.
+//
+// Ingests either a live recorder snapshot (obs::snapshot()) or an exported
+// Chrome trace document (obs/json.hpp) into one normalized TraceData, then
+// answers the paper's own profiling questions:
+//
+//   * per-rank / per-phase span rollups — the Table-3 breakdown recomputed
+//     from the trace, cross-checkable against the run's CostLedger to 1e-9
+//     (check_ledger), because charge_traced() makes span == charge;
+//   * sync-round critical paths — for every matched set of collective spans
+//     across ranks, which rank arrived last (the *gate*) and how much
+//     virtual time every other rank idled waiting for it; aggregated into a
+//     straggler ranking that should name a FaultPlan's injected straggler;
+//   * comm-vs-compute interval math on the virtual timeline — union,
+//     intersection (overlap), and the α-vs-β cost split of the wire bill
+//     under a LinkModel;
+//   * log2-histogram quantile summaries (p50/p95/p99) for the always-on
+//     metrics instruments.
+//
+// Everything here is read-only over recorded data: no instrumentation, no
+// registry mutation, safe to run after the workers have joined.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "comm/cost_model.hpp"
+#include "comm/ledger.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ds::obs::analysis {
+
+// ---------------------------------------------------------------------------
+// Normalized trace model.
+// ---------------------------------------------------------------------------
+
+/// Complete span on a rank's VIRTUAL timeline (a "ledger" charge, a fabric
+/// send, a recv wait). These carry the numbers the experiments are judged
+/// by.
+struct VSpan {
+  std::int64_t rank = kNoRank;
+  std::string category;
+  std::string name;
+  double begin = 0.0;     // virtual seconds
+  double duration = 0.0;  // virtual seconds
+  double end() const { return begin + duration; }
+};
+
+/// Matched B/E wall span, with the virtual stamps the recorder attached at
+/// begin and end (NaN when the thread had no virtual clock bound).
+struct Interval {
+  std::int64_t rank = kNoRank;
+  std::string category;
+  std::string name;
+  double wall_begin_us = 0.0;
+  double wall_end_us = 0.0;
+  double vt_begin = kNoVTime;
+  double vt_end = kNoVTime;
+  /// True when no enclosing span of the SAME category was open on this
+  /// thread — the outermost collective of a nested schedule (barrier ⊃
+  /// tree_allreduce ⊃ tree_reduce), the one whose entry/exit times bound
+  /// the whole round.
+  bool top_level = true;
+  /// Begin order within the recording thread; the round-matching key
+  /// (top-level spans of one category never overlap on a thread, so begin
+  /// order IS program order).
+  std::uint64_t seq = 0;
+};
+
+struct TraceData {
+  std::vector<VSpan> vspans;     // virtual-domain complete spans
+  std::vector<Interval> spans;   // wall-domain B/E pairs, per-thread order
+  std::uint64_t dropped_events = 0;
+
+  bool empty() const { return vspans.empty() && spans.empty(); }
+};
+
+/// Build TraceData from a live recorder snapshot. Unclosed spans (a thread
+/// that died mid-span) are dropped, not fabricated.
+TraceData ingest_snapshot(const std::vector<ThreadEvents>& threads);
+
+/// Build TraceData from a parsed Chrome trace document as written by
+/// obs/chrome_trace.hpp: virtual-pid X events become vspans (µs scaled back
+/// to virtual seconds), wall B/E pairs become Intervals with their args.vt
+/// stamps. Throws ds::Error when the document is not a trace container.
+TraceData ingest_chrome_trace(const JsonValue& doc);
+
+// ---------------------------------------------------------------------------
+// (a) Rollups.
+// ---------------------------------------------------------------------------
+
+struct SpanStats {
+  std::uint64_t count = 0;
+  double total = 0.0;  // virtual seconds
+  double max = 0.0;
+  double mean() const { return count > 0 ? total / static_cast<double>(count) : 0.0; }
+};
+
+/// Virtual-span rollup keyed by "category/name", overall and per rank.
+struct Rollup {
+  std::map<std::string, SpanStats> by_key;
+  std::map<std::int64_t, std::map<std::string, SpanStats>> by_rank;
+  double total = 0.0;  // Σ duration over every vspan
+
+  /// by_key sorted by descending total — the "top spans" profile.
+  std::vector<std::pair<std::string, SpanStats>> top() const;
+};
+
+Rollup rollup_vspans(const TraceData& trace);
+
+/// Per-phase virtual seconds from the "ledger"-category vspans — the
+/// trace's own Table-3 row. Index by static_cast<std::size_t>(Phase).
+std::array<double, kPhaseCount> ledger_rollup(const TraceData& trace);
+
+/// ledger_rollup split per rank (ranks that charged nothing are absent).
+std::map<std::int64_t, std::array<double, kPhaseCount>> ledger_rollup_by_rank(
+    const TraceData& trace);
+
+/// The exactness contract: the trace's per-phase rollup vs the run's
+/// CostLedger. charge_traced() makes the span and the charge one call, so
+/// any diff beyond float-sum noise (1e-9) is an instrumentation bug.
+struct LedgerCheck {
+  std::array<double, kPhaseCount> trace_seconds{};
+  std::array<double, kPhaseCount> ledger_seconds{};
+  double max_abs_diff = 0.0;
+  bool ok(double tol = 1e-9) const { return max_abs_diff <= tol; }
+};
+
+LedgerCheck check_ledger(const TraceData& trace, const CostLedger& ledger);
+
+// ---------------------------------------------------------------------------
+// (b) Sync-round critical path & straggler attribution.
+// ---------------------------------------------------------------------------
+
+/// One rank's passage through one sync round.
+struct RankTiming {
+  std::int64_t rank = kNoRank;
+  double enter = 0.0;  // virtual time at collective entry
+  double exit = 0.0;   // virtual time at collective exit
+  double idle = 0.0;   // gate_enter − enter: time spent waiting for the gate
+};
+
+/// The k-th matched collective across ranks. The *gate* is the rank that
+/// arrived last — every other rank's exit was (transitively) pulled
+/// forward to at least the gate's entry by the clock-merging recv path, so
+/// `idle` is exactly the virtual time each rank lost to the critical path.
+struct SyncRound {
+  std::string name;
+  std::size_t index = 0;  // occurrence index in per-rank program order
+  std::vector<RankTiming> ranks;
+  std::int64_t gate_rank = kNoRank;
+  double gate_enter = 0.0;
+  double gate_margin = 0.0;  // gate enter − second-latest enter
+  double idle_total = 0.0;   // Σ idle over non-gate ranks
+
+  bool gated(double eps = 1e-12) const { return gate_margin > eps; }
+};
+
+/// Match the top-level `category` intervals across ranks by per-rank
+/// occurrence index. Rounds where fewer than two ranks participated (a
+/// crashed run's ragged tail) or where the k-th name disagrees across
+/// ranks are skipped rather than mismatched.
+std::vector<SyncRound> sync_rounds(const TraceData& trace,
+                                   std::string_view category = "collective");
+
+struct StragglerStat {
+  std::int64_t rank = kNoRank;
+  std::size_t rounds_gated = 0;  // rounds where this rank was the gate
+  double idle_imposed = 0.0;     // Σ idle_total of the rounds it gated
+};
+
+/// Straggler ranking over a run's sync rounds, worst offender first.
+struct StragglerReport {
+  std::vector<StragglerStat> ranking;  // descending idle_imposed
+  std::size_t total_rounds = 0;
+  std::size_t gated_rounds = 0;
+
+  /// The rank that imposed the most idle time, kNoRank when nothing gated.
+  std::int64_t top_rank() const {
+    return ranking.empty() ? kNoRank : ranking.front().rank;
+  }
+};
+
+StragglerReport attribute_stragglers(const std::vector<SyncRound>& rounds,
+                                     double eps = 1e-12);
+
+// ---------------------------------------------------------------------------
+// (c) Comm vs compute on the virtual timeline.
+// ---------------------------------------------------------------------------
+
+struct OverlapSplit {
+  double comm_seconds = 0.0;     // union of comm-phase ledger intervals
+  double compute_seconds = 0.0;  // union of compute/update ledger intervals
+  double overlap_seconds = 0.0;  // |comm ∩ compute| (per rank, summed)
+  double busy_seconds = 0.0;     // |comm ∪ compute|
+
+  /// overlap / min(comm, compute): 1.0 = the smaller side fully hidden.
+  double overlap_fraction() const;
+
+  // α-vs-β split of the wire bill (apply_alpha_beta): messages·α vs bytes·β.
+  double alpha_seconds = 0.0;
+  double beta_seconds = 0.0;
+  double alpha_fraction() const;
+};
+
+/// Interval union/intersection over the "ledger" vspans, per rank, summed
+/// across ranks. Comm = the three *Comm phases; compute = everything else
+/// the ledger tracks (forward/backward, updates, init, data io).
+OverlapSplit comm_compute_split(const TraceData& trace);
+
+/// Price the run's wire counters under `link`: α·messages + β·bytes.
+void apply_alpha_beta(OverlapSplit& split, std::uint64_t messages_sent,
+                      std::uint64_t bytes_sent, const LinkModel& link);
+
+// ---------------------------------------------------------------------------
+// Histogram quantile summaries (uses Histogram::quantile).
+// ---------------------------------------------------------------------------
+
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+HistogramSummary summarize(const Histogram& histogram);
+
+}  // namespace ds::obs::analysis

@@ -1,0 +1,208 @@
+#include "obs/analysis/bench_compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <string_view>
+
+#include "obs/analysis/bench_report.hpp"
+
+namespace ds::bench {
+
+using obs::JsonValue;
+
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kPass:
+      return "pass";
+    case Verdict::kImproved:
+      return "improved";
+    case Verdict::kRegressed:
+      return "REGRESSED";
+    case Verdict::kMissing:
+      return "MISSING";
+    case Verdict::kNew:
+      return "new";
+  }
+  return "?";
+}
+
+namespace {
+
+struct MetricView {
+  double value = 0.0;
+  std::string better = "none";
+};
+
+std::map<std::string, MetricView> extract_metrics(const JsonValue& doc) {
+  std::map<std::string, MetricView> out;
+  const JsonValue* metrics = doc.find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) return out;
+  for (const auto& [name, entry] : metrics->as_object()) {
+    if (!entry.is_object()) continue;
+    MetricView v;
+    if (const JsonValue* value = entry.find("value");
+        value != nullptr && value->is_number()) {
+      v.value = value->as_number();
+    }
+    if (const JsonValue* better = entry.find("better");
+        better != nullptr && better->is_string()) {
+      v.better = better->as_string();
+    }
+    out[name] = std::move(v);
+  }
+  return out;
+}
+
+double resolve_tolerance(const CompareOptions& options,
+                         const std::string& name) {
+  if (const auto it = options.metric_tol.find(name);
+      it != options.metric_tol.end()) {
+    return it->second;
+  }
+  std::size_t best_len = 0;
+  double best = options.rel_tol;
+  for (const auto& [key, tol] : options.metric_tol) {
+    if (key.empty() || key.back() != '*') continue;
+    const std::string_view prefix(key.data(), key.size() - 1);
+    if (name.size() >= prefix.size() &&
+        name.compare(0, prefix.size(), prefix) == 0 &&
+        prefix.size() >= best_len) {
+      best_len = prefix.size();
+      best = tol;
+    }
+  }
+  return best;
+}
+
+int severity(Verdict v) {
+  switch (v) {
+    case Verdict::kRegressed:
+      return 0;
+    case Verdict::kMissing:
+      return 1;
+    case Verdict::kImproved:
+      return 2;
+    case Verdict::kNew:
+      return 3;
+    case Verdict::kPass:
+      return 4;
+  }
+  return 5;
+}
+
+}  // namespace
+
+CompareResult compare_bench(const JsonValue& baseline, const JsonValue& current,
+                            const CompareOptions& options) {
+  CompareResult result;
+  for (const std::string& e : validate_bench_json(baseline)) {
+    result.errors.push_back("baseline: " + e);
+  }
+  for (const std::string& e : validate_bench_json(current)) {
+    result.errors.push_back("current: " + e);
+  }
+
+  const auto base = extract_metrics(baseline);
+  const auto cur = extract_metrics(current);
+
+  for (const auto& [name, b] : base) {
+    MetricComparison c;
+    c.name = name;
+    c.better = b.better;
+    c.baseline = b.value;
+    c.tolerance = resolve_tolerance(options, name);
+
+    const auto it = cur.find(name);
+    if (it == cur.end()) {
+      c.verdict = Verdict::kMissing;
+      ++result.missing;
+      result.metrics.push_back(std::move(c));
+      continue;
+    }
+    c.current = it->second.value;
+    if (std::abs(c.baseline) > 0.0) {
+      c.rel_change = (c.current - c.baseline) / std::abs(c.baseline);
+    } else if (c.current != c.baseline) {
+      c.rel_change = std::numeric_limits<double>::infinity() *
+                     (c.current > c.baseline ? 1.0 : -1.0);
+    }
+
+    if (b.better == "none") {
+      c.verdict = Verdict::kPass;
+      ++result.passed;
+    } else {
+      const double margin =
+          std::max(options.abs_tol, c.tolerance * std::abs(c.baseline));
+      // "delta > 0 is worse" for lower-better; flip the sign for
+      // higher-better so one comparison covers both directions.
+      const double worse = b.better == "lower" ? c.current - c.baseline
+                                               : c.baseline - c.current;
+      if (worse > margin) {
+        c.verdict = Verdict::kRegressed;
+        ++result.regressed;
+      } else if (worse < -margin) {
+        c.verdict = Verdict::kImproved;
+        ++result.improved;
+      } else {
+        c.verdict = Verdict::kPass;
+        ++result.passed;
+      }
+    }
+    result.metrics.push_back(std::move(c));
+  }
+
+  for (const auto& [name, v] : cur) {
+    if (base.find(name) != base.end()) continue;
+    MetricComparison c;
+    c.name = name;
+    c.better = v.better;
+    c.current = v.value;
+    c.verdict = Verdict::kNew;
+    ++result.added;
+    result.metrics.push_back(std::move(c));
+  }
+  return result;
+}
+
+std::string format_comparison(const CompareResult& result) {
+  std::ostringstream os;
+  for (const std::string& e : result.errors) os << "error: " << e << "\n";
+
+  std::vector<const MetricComparison*> order;
+  order.reserve(result.metrics.size());
+  for (const MetricComparison& m : result.metrics) order.push_back(&m);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const MetricComparison* a, const MetricComparison* b) {
+                     return severity(a->verdict) < severity(b->verdict);
+                   });
+
+  char buf[256];
+  for (const MetricComparison* m : order) {
+    switch (m->verdict) {
+      case Verdict::kMissing:
+        std::snprintf(buf, sizeof(buf), "%-10s %-44s baseline=%.6g (gone)",
+                      verdict_name(m->verdict), m->name.c_str(), m->baseline);
+        break;
+      case Verdict::kNew:
+        std::snprintf(buf, sizeof(buf), "%-10s %-44s current=%.6g",
+                      verdict_name(m->verdict), m->name.c_str(), m->current);
+        break;
+      default:
+        std::snprintf(buf, sizeof(buf),
+                      "%-10s %-44s %.6g -> %.6g  (%+.2f%%, tol %.0f%%, %s)",
+                      verdict_name(m->verdict), m->name.c_str(), m->baseline,
+                      m->current, 100.0 * m->rel_change, 100.0 * m->tolerance,
+                      m->better.c_str());
+    }
+    os << buf << "\n";
+  }
+  os << result.passed << " pass, " << result.improved << " improved, "
+     << result.regressed << " regressed, " << result.missing << " missing, "
+     << result.added << " new\n";
+  return os.str();
+}
+
+}  // namespace ds::bench

@@ -1,0 +1,76 @@
+// Metric-level diff of two deepscale.bench.v1 documents — the engine
+// behind tools/bench_compare and the CI perf-regression gate.
+//
+// Semantics:
+//   * A metric present in the baseline but absent from the current document
+//     is kMissing — a gate failure (a silently dropped metric is how a
+//     regression hides).
+//   * A metric present only in the current document is kNew — informational.
+//   * "better": "none" metrics never fail the gate; they are reported with
+//     their relative change only.
+//   * Directional metrics fail when they move the wrong way past the
+//     tolerance margin max(abs_tol, tol * |baseline|); moves the right way
+//     past the same margin report kImproved.
+//
+// Tolerances resolve per metric: an exact name in CompareOptions::metric_tol
+// wins, then the longest matching trailing-'*' prefix entry, then rel_tol.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace ds::bench {
+
+enum class Verdict { kPass, kImproved, kRegressed, kMissing, kNew };
+
+const char* verdict_name(Verdict v);
+
+struct MetricComparison {
+  std::string name;
+  Verdict verdict = Verdict::kPass;
+  std::string better;        // "higher" | "lower" | "none"
+  double baseline = 0.0;     // meaningless for kNew
+  double current = 0.0;      // meaningless for kMissing
+  double rel_change = 0.0;   // (current - baseline) / |baseline|; 0 if NaN-ish
+  double tolerance = 0.0;    // relative tolerance applied to this metric
+};
+
+struct CompareOptions {
+  /// Default relative tolerance for directional metrics.
+  double rel_tol = 0.05;
+  /// Absolute floor of the margin, so near-zero baselines don't gate on
+  /// noise-sized absolute moves.
+  double abs_tol = 1e-12;
+  /// Per-metric relative tolerances. Keys are exact metric names or
+  /// prefixes ending in '*' ("run.sync_easgd3.*": 0.2).
+  std::map<std::string, double> metric_tol;
+};
+
+struct CompareResult {
+  std::vector<MetricComparison> metrics;  // baseline order, then new ones
+  std::vector<std::string> errors;        // schema violations in either doc
+  std::size_t passed = 0;
+  std::size_t improved = 0;
+  std::size_t regressed = 0;
+  std::size_t missing = 0;
+  std::size_t added = 0;
+
+  /// The gate: schema-clean, nothing regressed, nothing missing.
+  bool ok() const { return errors.empty() && regressed == 0 && missing == 0; }
+};
+
+/// Diff `current` against `baseline`. Both documents are schema-validated
+/// first; violations land in CompareResult::errors and fail ok().
+CompareResult compare_bench(const obs::JsonValue& baseline,
+                            const obs::JsonValue& current,
+                            const CompareOptions& options = {});
+
+/// Human-readable table of a comparison (one line per metric, worst first),
+/// as printed by tools/bench_compare.
+std::string format_comparison(const CompareResult& result);
+
+}  // namespace ds::bench

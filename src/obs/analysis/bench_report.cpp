@@ -1,0 +1,237 @@
+#include "obs/analysis/bench_report.hpp"
+
+#include <cctype>
+#include <fstream>
+
+#include "support/error.hpp"
+
+namespace ds::bench {
+
+using obs::JsonArray;
+using obs::JsonObject;
+using obs::JsonValue;
+
+const char* better_name(Better b) {
+  switch (b) {
+    case Better::kHigher:
+      return "higher";
+    case Better::kLower:
+      return "lower";
+    case Better::kNone:
+      return "none";
+  }
+  return "none";
+}
+
+std::string slug(std::string_view name) {
+  std::string out;
+  bool pending_sep = false;
+  for (const char c : name) {
+    const auto u = static_cast<unsigned char>(c);
+    if (std::isalnum(u) != 0) {
+      if (pending_sep && !out.empty()) out.push_back('_');
+      pending_sep = false;
+      out.push_back(static_cast<char>(std::tolower(u)));
+    } else {
+      pending_sep = true;
+    }
+  }
+  return out.empty() ? std::string("run") : out;
+}
+
+Reporter::Reporter(std::string name) : name_(std::move(name)) {}
+
+void Reporter::set_seed(std::uint64_t seed) {
+  seed_ = seed;
+  has_seed_ = true;
+}
+
+void Reporter::set_setup(std::string_view key, double value) {
+  setup_[std::string(key)] = JsonValue(value);
+}
+
+void Reporter::set_setup(std::string_view key, std::string value) {
+  setup_[std::string(key)] = JsonValue(std::move(value));
+}
+
+std::string Reporter::add_run(const RunResult& run, std::string_view label) {
+  std::string base = label.empty() ? slug(run.method) : slug(label);
+  const std::size_t uses = ++label_uses_[base];
+  if (uses > 1) {
+    base.push_back('_');
+    base += std::to_string(uses);
+  }
+
+  JsonObject phases;
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    const auto phase = static_cast<Phase>(p);
+    phases[phase_name(phase)] = JsonValue(run.ledger.seconds(phase));
+  }
+
+  JsonObject r;
+  r["method"] = JsonValue(run.method);
+  r["label"] = JsonValue(base);
+  r["total_vseconds"] = JsonValue(run.total_seconds);
+  r["iterations"] = JsonValue(static_cast<double>(run.iterations));
+  r["final_accuracy"] = JsonValue(run.final_accuracy);
+  r["final_loss"] = JsonValue(run.final_loss);
+  r["messages_sent"] = JsonValue(static_cast<double>(run.messages_sent));
+  r["bytes_sent"] = JsonValue(static_cast<double>(run.bytes_sent));
+  r["retransmits"] = JsonValue(static_cast<double>(run.retransmits));
+  r["workers"] = JsonValue(static_cast<double>(run.workers));
+  r["workers_survived"] = JsonValue(static_cast<double>(run.workers_survived));
+  r["aborted"] = JsonValue(run.aborted);
+  r["comm_ratio"] = JsonValue(run.ledger.comm_ratio());
+  r["phases"] = JsonValue(std::move(phases));
+  runs_.push_back(JsonValue(std::move(r)));
+
+  const std::string prefix = "run." + base + ".";
+  metric(prefix + "total_vseconds", run.total_seconds, Better::kLower, "s");
+  metric(prefix + "final_accuracy", run.final_accuracy, Better::kHigher);
+  metric(prefix + "comm_vseconds", run.ledger.comm_seconds(), Better::kLower,
+         "s");
+  metric(prefix + "comm_ratio", run.ledger.comm_ratio(), Better::kNone);
+  metric(prefix + "messages_sent", static_cast<double>(run.messages_sent),
+         Better::kNone);
+  metric(prefix + "bytes_sent", static_cast<double>(run.bytes_sent),
+         Better::kNone, "B");
+  metric(prefix + "retransmits", static_cast<double>(run.retransmits),
+         Better::kNone);
+  return base;
+}
+
+void Reporter::metric(std::string_view name, double value, Better better,
+                      std::string_view unit) {
+  MetricEntry e;
+  e.value = value;
+  e.better = better;
+  e.unit = std::string(unit);
+  metrics_[std::string(name)] = std::move(e);
+}
+
+JsonValue Reporter::document() const {
+  JsonObject metrics;
+  for (const auto& [name, e] : metrics_) {
+    JsonObject m;
+    m["value"] = JsonValue(e.value);
+    m["better"] = JsonValue(std::string(better_name(e.better)));
+    if (!e.unit.empty()) m["unit"] = JsonValue(e.unit);
+    metrics[name] = JsonValue(std::move(m));
+  }
+
+  JsonObject doc;
+  doc["schema"] = JsonValue(std::string(kBenchSchema));
+  doc["name"] = JsonValue(name_);
+  if (has_seed_) doc["seed"] = JsonValue(static_cast<double>(seed_));
+  if (!setup_.empty()) doc["setup"] = JsonValue(JsonObject(setup_));
+  doc["metrics"] = JsonValue(std::move(metrics));
+  if (!runs_.empty()) doc["runs"] = JsonValue(JsonArray(runs_));
+  return JsonValue(std::move(doc));
+}
+
+std::string Reporter::json() const { return obs::write_json(document()); }
+
+void Reporter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  DS_CHECK(out.good(), "bench: cannot open '" + path + "' for writing");
+  out << json() << '\n';
+  out.flush();
+  DS_CHECK(out.good(), "bench: failed writing '" + path + "'");
+}
+
+namespace {
+
+bool valid_better(const std::string& s) {
+  return s == "higher" || s == "lower" || s == "none";
+}
+
+}  // namespace
+
+std::vector<std::string> validate_bench_json(const JsonValue& doc) {
+  std::vector<std::string> errors;
+  const auto error = [&errors](std::string msg) {
+    if (errors.size() < 20) errors.push_back(std::move(msg));
+  };
+
+  if (!doc.is_object()) {
+    error("document is not an object");
+    return errors;
+  }
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    error("missing string field 'schema'");
+  } else if (schema->as_string() != kBenchSchema) {
+    error("schema is '" + schema->as_string() + "', expected '" +
+          kBenchSchema + "'");
+  }
+  const JsonValue* name = doc.find("name");
+  if (name == nullptr || !name->is_string() || name->as_string().empty()) {
+    error("missing non-empty string field 'name'");
+  }
+  if (const JsonValue* seed = doc.find("seed");
+      seed != nullptr && !seed->is_number()) {
+    error("'seed' must be a number");
+  }
+  if (const JsonValue* setup = doc.find("setup");
+      setup != nullptr && !setup->is_object()) {
+    error("'setup' must be an object");
+  }
+
+  const JsonValue* metrics = doc.find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    error("missing object field 'metrics'");
+  } else {
+    for (const auto& [mname, entry] : metrics->as_object()) {
+      if (!entry.is_object()) {
+        error("metric '" + mname + "' is not an object");
+        continue;
+      }
+      const JsonValue* value = entry.find("value");
+      if (value == nullptr || !value->is_number()) {
+        error("metric '" + mname + "' has no numeric 'value'");
+      }
+      const JsonValue* better = entry.find("better");
+      if (better == nullptr || !better->is_string() ||
+          !valid_better(better->as_string())) {
+        error("metric '" + mname +
+              "' needs 'better' in {higher, lower, none}");
+      }
+    }
+  }
+
+  if (const JsonValue* runs = doc.find("runs"); runs != nullptr) {
+    if (!runs->is_array()) {
+      error("'runs' must be an array");
+    } else {
+      for (std::size_t i = 0; i < runs->as_array().size(); ++i) {
+        const JsonValue& r = runs->as_array()[i];
+        const std::string where = "runs[" + std::to_string(i) + "]";
+        if (!r.is_object()) {
+          error(where + " is not an object");
+          continue;
+        }
+        if (const JsonValue* m = r.find("method");
+            m == nullptr || !m->is_string()) {
+          error(where + " has no string 'method'");
+        }
+        if (const JsonValue* t = r.find("total_vseconds");
+            t == nullptr || !t->is_number()) {
+          error(where + " has no numeric 'total_vseconds'");
+        }
+        const JsonValue* phases = r.find("phases");
+        if (phases == nullptr || !phases->is_object()) {
+          error(where + " has no object 'phases'");
+        } else {
+          for (const auto& [pname, seconds] : phases->as_object()) {
+            if (!seconds.is_number()) {
+              error(where + " phase '" + pname + "' is not a number");
+            }
+          }
+        }
+      }
+    }
+  }
+  return errors;
+}
+
+}  // namespace ds::bench

@@ -1,0 +1,104 @@
+// Structured bench output: every bench binary emits one BENCH_<name>.json
+// conforming to the deepscale.bench.v1 schema, so results are diffable by
+// machine (tools/bench_compare) instead of by eyeballing stdout tables.
+//
+// A document is:
+//   {
+//     "schema":  "deepscale.bench.v1",
+//     "name":    "fig6_pairwise",
+//     "seed":    42,
+//     "setup":   { "workers": 8, "dataset": "mnist-synthetic", ... },
+//     "metrics": { "<metric>": {"value": n, "better": "higher|lower|none",
+//                               "unit": "..."} , ... },
+//     "runs":    [ { "method": ..., "label": ..., "total_vseconds": ...,
+//                    "phases": {"for/backward": s, ...}, ... }, ... ]
+//   }
+//
+// "metrics" is the flat name→value map the regression gate diffs; "better"
+// tells the gate which direction is a regression. "runs" preserves the full
+// per-run record (wire counters, fault accounting, Table-3 phase breakdown)
+// for human forensics when a gate trips.
+//
+// Reporter::add_run() derives the canonical per-run metrics automatically
+// ("run.<label>.total_vseconds" and friends), so a bench that just loops
+// add_run() already produces a gateable document.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/run_result.hpp"
+#include "obs/json.hpp"
+
+namespace ds::bench {
+
+inline constexpr const char* kBenchSchema = "deepscale.bench.v1";
+
+/// Which direction of change is an improvement for a metric. kNone marks
+/// informational metrics (message counts, ratios) the gate reports but
+/// never fails on.
+enum class Better { kHigher, kLower, kNone };
+
+const char* better_name(Better b);
+
+/// Lowercase a name into [a-z0-9_]+ for use as a metric-key segment:
+/// "Sync EASGD3" → "sync_easgd3". Runs of other characters collapse to one
+/// underscore; leading/trailing underscores are trimmed.
+std::string slug(std::string_view name);
+
+class Reporter {
+ public:
+  explicit Reporter(std::string name);
+
+  void set_seed(std::uint64_t seed);
+  void set_setup(std::string_view key, double value);
+  void set_setup(std::string_view key, std::string value);
+
+  /// Record one run. The label defaults to slug(run.method) and is deduped
+  /// with _2/_3 suffixes when the same method repeats; the chosen label is
+  /// returned. Derives metrics under "run.<label>.": total_vseconds
+  /// (lower-better), final_accuracy (higher-better), comm_vseconds
+  /// (lower-better), comm_ratio / messages_sent / bytes_sent / retransmits
+  /// (informational).
+  std::string add_run(const RunResult& run, std::string_view label = "");
+
+  /// Record an explicit scalar metric (e.g. "gemm.gflops").
+  void metric(std::string_view name, double value, Better better,
+              std::string_view unit = "");
+
+  std::size_t run_count() const { return runs_.size(); }
+
+  /// Build the schema-conformant document / its serialised form.
+  obs::JsonValue document() const;
+  std::string json() const;
+
+  /// Serialise to `path`; throws ds::Error when the file cannot be written.
+  void write_file(const std::string& path) const;
+
+ private:
+  struct MetricEntry {
+    double value = 0.0;
+    Better better = Better::kNone;
+    std::string unit;
+  };
+
+  std::string name_;
+  std::uint64_t seed_ = 0;
+  bool has_seed_ = false;
+  std::map<std::string, obs::JsonValue> setup_;
+  std::map<std::string, MetricEntry> metrics_;
+  std::vector<obs::JsonValue> runs_;
+  std::map<std::string, std::size_t> label_uses_;
+};
+
+/// Check a parsed document against deepscale.bench.v1. Returns the list of
+/// violations, empty iff the document validates. Checked: schema/name
+/// present and correct, metrics is an object of {value: number,
+/// better: "higher"|"lower"|"none"} entries, runs (if present) is an array
+/// of objects each carrying method/total_vseconds/phases.
+std::vector<std::string> validate_bench_json(const obs::JsonValue& doc);
+
+}  // namespace ds::bench

@@ -1,6 +1,8 @@
 #include "obs/json.hpp"
 
 #include <cctype>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
@@ -107,12 +109,20 @@ class Parser {
     }
   }
 
+  // Containers bound recursion: a crafted "[[[[…" must fail cleanly, not
+  // overflow the stack.
+  void enter_container() {
+    if (++depth_ > kMaxJsonDepth) fail("nesting too deep");
+  }
+
   JsonValue parse_object() {
     expect('{');
+    enter_container();
     JsonObject obj;
     skip_ws();
     if (peek() == '}') {
       ++pos_;
+      --depth_;
       return JsonValue(std::move(obj));
     }
     while (true) {
@@ -121,6 +131,10 @@ class Parser {
       std::string key = parse_string();
       skip_ws();
       expect(':');
+      // Duplicate keys are silent data loss in a std::map DOM — reject
+      // them so a doubled metric in a bench file is an error, not a coin
+      // flip over which value survives.
+      if (obj.find(key) != obj.end()) fail("duplicate key '" + key + "'");
       obj[std::move(key)] = parse_value();
       skip_ws();
       if (peek() == ',') {
@@ -128,16 +142,19 @@ class Parser {
         continue;
       }
       expect('}');
+      --depth_;
       return JsonValue(std::move(obj));
     }
   }
 
   JsonValue parse_array() {
     expect('[');
+    enter_container();
     JsonArray arr;
     skip_ws();
     if (peek() == ']') {
       ++pos_;
+      --depth_;
       return JsonValue(std::move(arr));
     }
     while (true) {
@@ -148,6 +165,7 @@ class Parser {
         continue;
       }
       expect(']');
+      --depth_;
       return JsonValue(std::move(arr));
     }
   }
@@ -248,12 +266,104 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace
 
 JsonValue parse_json(std::string_view text) {
   return Parser(text).parse_document();
+}
+
+namespace {
+
+void write_string(std::ostringstream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_value(std::ostringstream& os, const JsonValue& v) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      os << "null";
+      break;
+    case JsonValue::Kind::kBool:
+      os << (v.as_bool() ? "true" : "false");
+      break;
+    case JsonValue::Kind::kNumber: {
+      const double n = v.as_number();
+      if (std::isfinite(n)) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", n);
+        os << buf;
+      } else {
+        os << "null";  // JSON has no Inf/NaN; null keeps the document valid
+      }
+      break;
+    }
+    case JsonValue::Kind::kString:
+      write_string(os, v.as_string());
+      break;
+    case JsonValue::Kind::kArray: {
+      os << '[';
+      bool first = true;
+      for (const JsonValue& e : v.as_array()) {
+        if (!first) os << ',';
+        first = false;
+        write_value(os, e);
+      }
+      os << ']';
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      os << '{';
+      bool first = true;
+      for (const auto& [key, value] : v.as_object()) {
+        if (!first) os << ',';
+        first = false;
+        write_string(os, key);
+        os << ':';
+        write_value(os, value);
+      }
+      os << '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string write_json(const JsonValue& value) {
+  std::ostringstream os;
+  write_value(os, value);
+  return os.str();
 }
 
 namespace {

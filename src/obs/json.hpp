@@ -65,8 +65,19 @@ class JsonValue {
 };
 
 /// Parse a complete JSON document. Throws ds::Error with a byte offset on
-/// malformed input or trailing garbage.
+/// malformed input or trailing garbage. Strictness guarantees (tested):
+/// duplicate object keys, nesting deeper than kMaxJsonDepth, trailing
+/// garbage, bad escapes, and truncated input all throw.
 JsonValue parse_json(std::string_view text);
+
+/// Containers deeper than this fail to parse — a malicious or corrupted
+/// document must not be able to overflow the parser's recursion.
+inline constexpr std::size_t kMaxJsonDepth = 200;
+
+/// Serialise a JsonValue as compact JSON. Numbers use %.17g (round-trip
+/// exact; integral values print without an exponent), object keys come out
+/// in map order. Non-finite numbers serialise as null.
+std::string write_json(const JsonValue& value);
 
 /// Result of validate_chrome_trace: errors is empty iff the trace passed.
 struct TraceValidation {

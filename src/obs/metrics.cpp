@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <mutex>
@@ -18,6 +19,34 @@ void Histogram::observe(double x) {
   buckets_[b].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.add(x);
+}
+
+double Histogram::quantile(double q) const {
+  // Local copy first: updates race with reads (both relaxed), so derive the
+  // total from the copied buckets rather than count_ to stay consistent.
+  std::array<std::uint64_t, kBuckets> local;
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    local[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += local[b];
+  }
+  if (total == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (local[b] == 0) continue;
+    const double next = cumulative + static_cast<double>(local[b]);
+    if (next >= target) {
+      const double lo = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 1);
+      const double hi = std::ldexp(1.0, static_cast<int>(b));
+      const double fraction =
+          (target - cumulative) / static_cast<double>(local[b]);
+      return lo + fraction * (hi - lo);
+    }
+    cumulative = next;
+  }
+  return std::ldexp(1.0, static_cast<int>(kBuckets));  // unreachable
 }
 
 void Histogram::reset() {

@@ -73,6 +73,14 @@ class Histogram {
   std::uint64_t bucket(std::size_t b) const {
     return buckets_[b].load(std::memory_order_relaxed);
   }
+
+  /// Quantile estimate by linear interpolation inside the log2 bucket that
+  /// holds the q-th sample (bucket b ≥ 1 spans [2^(b-1), 2^b), bucket 0
+  /// spans [0, 1)). q is clamped to [0, 1]; an empty histogram reads 0.
+  /// The estimate is exact at bucket boundaries and within a factor of 2
+  /// everywhere — the resolution the paper's latency breakdowns need.
+  double quantile(double q) const;
+
   void reset();
 
  private:

@@ -1,0 +1,229 @@
+// The bench reporting contract end to end: Reporter emits a
+// deepscale.bench.v1 document that its own validator accepts, and
+// compare_bench turns baseline/current pairs into the verdicts the CI gate
+// keys on — an inflated lower-is-better metric MUST come back regressed
+// (ok() false → nonzero tool exit), a missing metric must fail rather than
+// silently pass, and informational (better: none) metrics must never gate.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/run_result.hpp"
+#include "obs/analysis/bench_compare.hpp"
+#include "obs/analysis/bench_report.hpp"
+#include "obs/json.hpp"
+
+namespace ds::bench {
+namespace {
+
+RunResult make_run(const std::string& method) {
+  RunResult r;
+  r.method = method;
+  r.total_seconds = 12.5;
+  r.iterations = 300;
+  r.final_accuracy = 0.97;
+  r.final_loss = 0.1;
+  r.messages_sent = 1200;
+  r.bytes_sent = 5000000;
+  r.retransmits = 3;
+  r.workers = 4;
+  r.workers_survived = 4;
+  r.ledger.charge(Phase::kForwardBackward, 10.0);
+  r.ledger.charge(Phase::kGpuGpuParamComm, 2.0);
+  r.ledger.charge(Phase::kGpuUpdate, 0.5);
+  return r;
+}
+
+TEST(BenchReport, SlugNormalises) {
+  EXPECT_EQ(slug("Sync EASGD3"), "sync_easgd3");
+  EXPECT_EQ(slug("  FDR   (56 Gb/s)  "), "fdr_56_gb_s");
+  EXPECT_EQ(slug("already_ok_42"), "already_ok_42");
+  EXPECT_EQ(slug("!!!"), "run");
+}
+
+TEST(BenchReport, DocumentValidatesAndRoundTrips) {
+  Reporter reporter("fig_test");
+  reporter.set_seed(7);
+  reporter.set_setup("workers", 4.0);
+  reporter.set_setup("dataset", "synthetic");
+  reporter.add_run(make_run("Sync EASGD3"));
+  reporter.metric("extra.speedup", 3.5, Better::kHigher);
+
+  const obs::JsonValue doc = reporter.document();
+  EXPECT_TRUE(validate_bench_json(doc).empty());
+
+  // What write_file persists is what the validator and the compare tool
+  // read back.
+  const obs::JsonValue again = obs::parse_json(reporter.json());
+  EXPECT_TRUE(validate_bench_json(again).empty());
+  EXPECT_EQ(again.find("schema")->as_string(), kBenchSchema);
+  EXPECT_EQ(again.find("name")->as_string(), "fig_test");
+  EXPECT_DOUBLE_EQ(again.find("seed")->as_number(), 7.0);
+
+  // add_run derives the per-run metrics the gate consumes.
+  const obs::JsonValue& metrics = *again.find("metrics");
+  ASSERT_NE(metrics.find("run.sync_easgd3.total_vseconds"), nullptr);
+  EXPECT_DOUBLE_EQ(
+      metrics.find("run.sync_easgd3.total_vseconds")->find("value")->as_number(),
+      12.5);
+  EXPECT_EQ(metrics.find("run.sync_easgd3.total_vseconds")
+                ->find("better")->as_string(),
+            "lower");
+  ASSERT_NE(metrics.find("run.sync_easgd3.final_accuracy"), nullptr);
+  EXPECT_EQ(
+      metrics.find("run.sync_easgd3.final_accuracy")->find("better")->as_string(),
+      "higher");
+
+  // The run row carries the full phase breakdown.
+  const obs::JsonValue& run = again.find("runs")->as_array().at(0);
+  EXPECT_EQ(run.find("method")->as_string(), "Sync EASGD3");
+  EXPECT_DOUBLE_EQ(
+      run.find("phases")->find(phase_name(Phase::kForwardBackward))->as_number(),
+      10.0);
+}
+
+TEST(BenchReport, DuplicateRunLabelsGetSuffixes) {
+  Reporter reporter("dup");
+  const std::string a = reporter.add_run(make_run("Trial"));
+  const std::string b = reporter.add_run(make_run("Trial"));
+  EXPECT_EQ(a, "trial");
+  EXPECT_EQ(b, "trial_2");
+  EXPECT_EQ(reporter.run_count(), 2u);
+  EXPECT_TRUE(validate_bench_json(reporter.document()).empty());
+}
+
+TEST(BenchReport, ValidatorRejectsMalformedDocuments) {
+  EXPECT_FALSE(
+      validate_bench_json(obs::parse_json(R"({"name": "x"})")).empty());
+  EXPECT_FALSE(validate_bench_json(obs::parse_json(
+                   R"({"schema": "wrong.v9", "name": "x", "metrics": {}})"))
+                   .empty());
+  EXPECT_FALSE(validate_bench_json(
+                   obs::parse_json(R"({"schema": "deepscale.bench.v1",
+                       "name": "x",
+                       "metrics": {"m": {"value": 1, "better": "sideways"}}})"))
+                   .empty());
+  EXPECT_FALSE(validate_bench_json(
+                   obs::parse_json(R"({"schema": "deepscale.bench.v1",
+                       "name": "x",
+                       "metrics": {"m": {"value": "NaN", "better": "lower"}}})"))
+                   .empty());
+}
+
+// --------------------------- compare_bench ----------------------------
+
+obs::JsonValue bench_doc(double lower_val, double higher_val,
+                         double none_val) {
+  Reporter reporter("cmp");
+  reporter.metric("t.lower_s", lower_val, Better::kLower, "s");
+  reporter.metric("t.higher_acc", higher_val, Better::kHigher);
+  reporter.metric("t.info", none_val, Better::kNone);
+  return reporter.document();
+}
+
+TEST(BenchCompare, IdenticalDocumentsPass) {
+  const obs::JsonValue doc = bench_doc(10.0, 0.9, 123.0);
+  const CompareResult result = compare_bench(doc, doc);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.regressed, 0u);
+  EXPECT_EQ(result.missing, 0u);
+  EXPECT_EQ(result.passed, 3u);
+}
+
+TEST(BenchCompare, InflatedLowerIsBetterMetricRegresses) {
+  const CompareResult result =
+      compare_bench(bench_doc(10.0, 0.9, 123.0), bench_doc(12.0, 0.9, 123.0));
+  EXPECT_FALSE(result.ok());  // → tool exits nonzero
+  EXPECT_EQ(result.regressed, 1u);
+  bool found = false;
+  for (const MetricComparison& m : result.metrics) {
+    if (m.name == "t.lower_s") {
+      found = true;
+      EXPECT_EQ(m.verdict, Verdict::kRegressed);
+      EXPECT_NEAR(m.rel_change, 0.2, 1e-12);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BenchCompare, DroppedHigherIsBetterMetricRegresses) {
+  const CompareResult result =
+      compare_bench(bench_doc(10.0, 0.9, 123.0), bench_doc(10.0, 0.5, 123.0));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.regressed, 1u);
+}
+
+TEST(BenchCompare, ImprovementAndInfoChangesDoNotGate) {
+  // Faster, more accurate, and a wildly different informational metric:
+  // nothing regresses.
+  const CompareResult result = compare_bench(bench_doc(10.0, 0.9, 123.0),
+                                             bench_doc(5.0, 0.95, 999999.0));
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.improved, 2u);
+  EXPECT_EQ(result.regressed, 0u);
+}
+
+TEST(BenchCompare, MissingMetricFailsTheGate) {
+  Reporter current("cmp");
+  current.metric("t.lower_s", 10.0, Better::kLower, "s");
+  // t.higher_acc and t.info vanished from the current run.
+  const CompareResult result =
+      compare_bench(bench_doc(10.0, 0.9, 123.0), current.document());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.missing, 2u);
+}
+
+TEST(BenchCompare, NewMetricsAreReportedNotGated) {
+  Reporter current("cmp");
+  current.metric("t.lower_s", 10.0, Better::kLower, "s");
+  current.metric("t.higher_acc", 0.9, Better::kHigher);
+  current.metric("t.info", 123.0, Better::kNone);
+  current.metric("brand.new", 1.0, Better::kLower);
+  const CompareResult result =
+      compare_bench(bench_doc(10.0, 0.9, 123.0), current.document());
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.added, 1u);
+}
+
+TEST(BenchCompare, WithinToleranceChangesPass) {
+  CompareOptions opts;
+  opts.rel_tol = 0.25;
+  const CompareResult result = compare_bench(
+      bench_doc(10.0, 0.9, 123.0), bench_doc(12.0, 0.9, 123.0), opts);
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(BenchCompare, PerMetricTolerancePrefixMatch) {
+  // Global 5% would flag the +20%; the "t.*" override absorbs it, and the
+  // exact-name override beats the prefix.
+  CompareOptions opts;
+  opts.metric_tol["t.*"] = 0.5;
+  const CompareResult widened = compare_bench(
+      bench_doc(10.0, 0.9, 123.0), bench_doc(12.0, 0.9, 123.0), opts);
+  EXPECT_TRUE(widened.ok());
+
+  opts.metric_tol["t.lower_s"] = 0.01;
+  const CompareResult pinned = compare_bench(
+      bench_doc(10.0, 0.9, 123.0), bench_doc(12.0, 0.9, 123.0), opts);
+  EXPECT_FALSE(pinned.ok());
+  EXPECT_EQ(pinned.regressed, 1u);
+}
+
+TEST(BenchCompare, MalformedBaselineIsAnError) {
+  const CompareResult result = compare_bench(
+      obs::parse_json(R"({"name": "x"})"), bench_doc(10.0, 0.9, 123.0));
+  EXPECT_FALSE(result.ok());
+  EXPECT_FALSE(result.errors.empty());
+}
+
+TEST(BenchCompare, FormatListsRegressionsFirst) {
+  const CompareResult result =
+      compare_bench(bench_doc(10.0, 0.9, 123.0), bench_doc(12.0, 0.9, 123.0));
+  const std::string text = format_comparison(result);
+  EXPECT_NE(text.find("REGRESSED"), std::string::npos);
+  EXPECT_LT(text.find("REGRESSED"), text.find("pass"));
+  EXPECT_NE(text.find("1 regressed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ds::bench

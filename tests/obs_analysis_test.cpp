@@ -1,0 +1,284 @@
+// The analysis layer's acceptance contract:
+//   (a) for EVERY runner family, the trace's per-phase rollup equals the
+//       run's CostLedger to 1e-9 (check_ledger) — live snapshot AND after a
+//       Chrome-trace export/parse round trip;
+//   (b) with an injected straggler and no other faults, straggler
+//       attribution names that rank for 100% of the gated sync rounds;
+//   (c) the comm/compute interval math and the α-vs-β split are internally
+//       consistent with the run's own counters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "comm/ledger.hpp"
+#include "core/fabric_algorithms.hpp"
+#include "core/knl_algorithms.hpp"
+#include "core/sync_algorithms.hpp"
+#include "data/dataset.hpp"
+#include "nn/models.hpp"
+#include "obs/analysis/analysis.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+#include "support/error.hpp"
+
+namespace ds {
+namespace {
+
+namespace analysis = obs::analysis;
+
+struct Fixture {
+  TrainTest data;
+  AlgoContext ctx;
+  GpuSystem hw{GpuSystemConfig{}, paper_lenet(), 8.0 * 8.0 * 4.0};
+
+  Fixture() {
+    SyntheticSpec spec;
+    spec.classes = 4;
+    spec.channels = 1;
+    spec.height = 8;
+    spec.width = 8;
+    spec.train_count = 256;
+    spec.test_count = 64;
+    spec.noise = 0.9;
+    spec.seed = 99;
+    data = make_synthetic(spec);
+    const auto stats = normalize(data.train);
+    normalize_with(data.test, stats.first, stats.second);
+
+    ctx.factory = [] {
+      Rng rng(17);
+      return make_tiny_mlp(rng);
+    };
+    ctx.train = &data.train;
+    ctx.test = &data.test;
+    ctx.config.workers = 3;
+    ctx.config.iterations = 30;
+    ctx.config.batch_size = 16;
+    ctx.config.eval_every = 15;
+    ctx.config.eval_samples = 64;
+    ctx.config.learning_rate = 0.05f;
+    ctx.config.rho = 0.9f / (3.0f * 0.05f);
+  }
+};
+
+class ObsAnalysisTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_tracing_enabled(false);
+    obs::reset();
+    obs::set_tracing_enabled(true);
+  }
+  void TearDown() override {
+    obs::set_tracing_enabled(false);
+    obs::reset();
+  }
+};
+
+analysis::TraceData live_trace() {
+  return analysis::ingest_snapshot(obs::snapshot());
+}
+
+void expect_ledger_exact(const analysis::TraceData& trace,
+                         const CostLedger& ledger, const char* what) {
+  const analysis::LedgerCheck check = analysis::check_ledger(trace, ledger);
+  EXPECT_TRUE(check.ok(1e-9))
+      << what << ": max |trace − ledger| = " << check.max_abs_diff;
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    EXPECT_NEAR(check.trace_seconds[p], check.ledger_seconds[p], 1e-9)
+        << what << ": phase " << phase_name(static_cast<Phase>(p));
+  }
+}
+
+// ------------------ (a) rollup == ledger, every family --------------------
+
+TEST_F(ObsAnalysisTest, OriginalEasgdLedgerCheck) {
+  Fixture f;
+  const RunResult r =
+      run_original_easgd(f.ctx, f.hw, OriginalVariant::kOverlapped);
+  ASSERT_GT(r.ledger.total_seconds(), 0.0);
+  expect_ledger_exact(live_trace(), r.ledger, "original");
+}
+
+TEST_F(ObsAnalysisTest, SyncEasgd3LedgerCheck) {
+  Fixture f;
+  const RunResult r = run_sync_easgd(f.ctx, f.hw, SyncEasgdVariant::kEasgd3);
+  ASSERT_GT(r.ledger.total_seconds(), 0.0);
+  expect_ledger_exact(live_trace(), r.ledger, "sync easgd3");
+}
+
+TEST_F(ObsAnalysisTest, ClusterSyncEasgdLedgerCheck) {
+  Fixture f;
+  const ClusterTiming timing;
+  const RunResult r = run_cluster_sync_easgd(f.ctx, timing);
+  ASSERT_GT(r.ledger.total_seconds(), 0.0);
+  expect_ledger_exact(live_trace(), r.ledger, "cluster sync");
+}
+
+TEST_F(ObsAnalysisTest, FabricEasgdLedgerCheck) {
+  Fixture f;
+  f.ctx.config.workers = 4;
+  const FabricClusterConfig cluster;
+  const RunResult r = run_fabric_easgd(f.ctx, cluster);
+  ASSERT_GT(r.ledger.total_seconds(), 0.0);
+  expect_ledger_exact(live_trace(), r.ledger, "fabric");
+}
+
+TEST_F(ObsAnalysisTest, FabricEasgdUnderFaultsLedgerCheck) {
+  Fixture f;
+  f.ctx.config.workers = 4;
+  FabricClusterConfig cluster;
+  cluster.faults.with_drop(0.05).with_straggler(1, 2.0);
+  cluster.faults.max_send_attempts = 12;
+  const RunResult r = run_fabric_easgd(f.ctx, cluster);
+  ASSERT_FALSE(r.aborted);
+  expect_ledger_exact(live_trace(), r.ledger, "fabric+faults");
+}
+
+TEST_F(ObsAnalysisTest, FabricAsyncEasgdLedgerCheck) {
+  Fixture f;
+  const FabricClusterConfig cluster;
+  const RunResult r = run_fabric_async_easgd(f.ctx, cluster);
+  ASSERT_GT(r.ledger.total_seconds(), 0.0);
+  expect_ledger_exact(live_trace(), r.ledger, "fabric async");
+}
+
+// --------------------- Chrome-trace round trip ----------------------------
+
+TEST_F(ObsAnalysisTest, ChromeTraceRoundTripPreservesRollup) {
+  Fixture f;
+  f.ctx.config.workers = 4;
+  const FabricClusterConfig cluster;
+  const RunResult r = run_fabric_easgd(f.ctx, cluster);
+  ASSERT_GT(r.ledger.total_seconds(), 0.0);
+
+  const analysis::TraceData live = live_trace();
+  std::ostringstream os;
+  obs::write_chrome_trace(os);
+  const std::string text = os.str();
+  ASSERT_TRUE(obs::validate_chrome_trace_text(text).ok());
+
+  const analysis::TraceData reread =
+      analysis::ingest_chrome_trace(obs::parse_json(text));
+  EXPECT_EQ(reread.vspans.size(), live.vspans.size());
+  EXPECT_EQ(reread.spans.size(), live.spans.size());
+  EXPECT_EQ(reread.dropped_events, 0u);
+
+  // The exactness contract must survive export + reparse: the exporter
+  // writes %.17g, so the re-ingested rollup still matches the ledger.
+  expect_ledger_exact(reread, r.ledger, "chrome round trip");
+
+  const analysis::Rollup a = analysis::rollup_vspans(live);
+  const analysis::Rollup b = analysis::rollup_vspans(reread);
+  EXPECT_NEAR(a.total, b.total, 1e-9);
+  EXPECT_EQ(a.by_key.size(), b.by_key.size());
+}
+
+TEST_F(ObsAnalysisTest, IngestRejectsNonTraceDocuments) {
+  EXPECT_THROW(analysis::ingest_chrome_trace(obs::parse_json(R"({"x": 1})")),
+               Error);
+}
+
+// ------------------- (b) straggler attribution ----------------------------
+
+TEST_F(ObsAnalysisTest, StragglerAttributionNamesInjectedRank) {
+  // One rank 4× slower, nothing else injected: every round that gates at
+  // all must gate on that rank — anything else is a mismatched round.
+  Fixture f;
+  f.ctx.config.workers = 4;
+  FabricClusterConfig cluster;
+  cluster.faults.with_straggler(2, 4.0);
+  const RunResult r = run_fabric_easgd(f.ctx, cluster);
+  ASSERT_FALSE(r.aborted);
+
+  const analysis::TraceData trace = live_trace();
+  const std::vector<analysis::SyncRound> rounds = analysis::sync_rounds(trace);
+  ASSERT_FALSE(rounds.empty());
+
+  std::size_t gated = 0;
+  for (const analysis::SyncRound& round : rounds) {
+    if (!round.gated()) continue;
+    ++gated;
+    EXPECT_EQ(round.gate_rank, 2)
+        << "round " << round.index << " (" << round.name << ") gated on rank "
+        << round.gate_rank;
+    EXPECT_GT(round.idle_total, 0.0);
+  }
+  ASSERT_GT(gated, 0u) << "a 4x straggler must gate at least one round";
+
+  const analysis::StragglerReport report =
+      analysis::attribute_stragglers(rounds);
+  EXPECT_EQ(report.top_rank(), 2);
+  EXPECT_EQ(report.gated_rounds, gated);
+  EXPECT_EQ(report.total_rounds, rounds.size());
+  ASSERT_FALSE(report.ranking.empty());
+  EXPECT_EQ(report.ranking.front().rounds_gated, gated);
+  EXPECT_GT(report.ranking.front().idle_imposed, 0.0);
+}
+
+// ------------------ (c) overlap split & α-β pricing -----------------------
+
+TEST_F(ObsAnalysisTest, CommComputeSplitIsConsistent) {
+  Fixture f;
+  f.ctx.config.workers = 4;
+  const FabricClusterConfig cluster;
+  const RunResult r = run_fabric_easgd(f.ctx, cluster);
+
+  const analysis::TraceData trace = live_trace();
+  analysis::OverlapSplit split = analysis::comm_compute_split(trace);
+  EXPECT_GT(split.comm_seconds, 0.0);
+  EXPECT_GT(split.compute_seconds, 0.0);
+  EXPECT_GE(split.overlap_seconds, -1e-12);
+  // |A ∪ B| = |A| + |B| − |A ∩ B|, per rank and therefore summed.
+  EXPECT_NEAR(split.busy_seconds,
+              split.comm_seconds + split.compute_seconds -
+                  split.overlap_seconds,
+              1e-9);
+  EXPECT_GE(split.overlap_fraction(), 0.0);
+  EXPECT_LE(split.overlap_fraction(), 1.0 + 1e-12);
+  // Ledger phase sums bound the interval unions from above.
+  EXPECT_LE(split.comm_seconds, r.ledger.comm_seconds() + 1e-9);
+
+  analysis::apply_alpha_beta(split, r.messages_sent, r.bytes_sent,
+                             fdr_infiniband());
+  const LinkModel link = fdr_infiniband();
+  EXPECT_NEAR(split.alpha_seconds,
+              static_cast<double>(r.messages_sent) * link.alpha, 1e-12);
+  EXPECT_NEAR(split.beta_seconds,
+              static_cast<double>(r.bytes_sent) * link.beta, 1e-12);
+  EXPECT_GT(split.alpha_fraction(), 0.0);
+  EXPECT_LT(split.alpha_fraction(), 1.0);
+}
+
+// ---------------------- histogram summaries -------------------------------
+
+TEST_F(ObsAnalysisTest, SummarizeReportsQuantiles) {
+  obs::Histogram h;
+  for (int i = 0; i < 95; ++i) h.observe(1.5);      // bucket [1, 2)
+  for (int i = 0; i < 5; ++i) h.observe(3000.0);    // bucket [2048, 4096)
+  const analysis::HistogramSummary s = analysis::summarize(h);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_NEAR(s.sum, 95 * 1.5 + 5 * 3000.0, 1e-9);
+  EXPECT_NEAR(s.mean, s.sum / 100.0, 1e-12);
+  EXPECT_GE(s.p50, 1.0);
+  EXPECT_LE(s.p50, 2.0);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_GE(s.p99, 2048.0);
+  EXPECT_LE(s.p99, 4096.0);
+}
+
+TEST_F(ObsAnalysisTest, EmptyTraceIsHarmless) {
+  const analysis::TraceData trace = live_trace();
+  EXPECT_TRUE(trace.empty());
+  const analysis::Rollup rollup = analysis::rollup_vspans(trace);
+  EXPECT_EQ(rollup.total, 0.0);
+  EXPECT_TRUE(analysis::sync_rounds(trace).empty());
+  const CostLedger empty;
+  EXPECT_TRUE(analysis::check_ledger(trace, empty).ok());
+}
+
+}  // namespace
+}  // namespace ds

@@ -1,0 +1,117 @@
+// The strictness guarantees of obs/json.hpp, exercised failure-first: a
+// trace or bench document that is truncated, corrupted, or hostile must
+// throw a typed error — never parse to a silently-wrong DOM. Duplicate
+// keys matter most: the DOM is a std::map, so without the explicit check a
+// doubled metric would overwrite its sibling and the bench gate would
+// compare garbage. write_json round-trips are checked with the same
+// parser, which is how tools/bench_compare consumes Reporter output.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json.hpp"
+#include "support/error.hpp"
+
+namespace ds::obs {
+namespace {
+
+TEST(ObsJson, ParsesScalarsAndContainers) {
+  const JsonValue doc = parse_json(
+      R"({"a": 1.5, "b": [true, false, null], "c": {"nested": "x"}})");
+  EXPECT_DOUBLE_EQ(doc.find("a")->as_number(), 1.5);
+  const JsonArray& arr = doc.find("b")->as_array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_TRUE(arr[0].as_bool());
+  EXPECT_FALSE(arr[1].as_bool());
+  EXPECT_TRUE(arr[2].is_null());
+  EXPECT_EQ(doc.find("c")->find("nested")->as_string(), "x");
+}
+
+TEST(ObsJson, TruncatedInputThrows) {
+  EXPECT_THROW(parse_json(""), Error);
+  EXPECT_THROW(parse_json("{"), Error);
+  EXPECT_THROW(parse_json(R"({"a")"), Error);
+  EXPECT_THROW(parse_json(R"({"a": )"), Error);
+  EXPECT_THROW(parse_json(R"({"a": 1,)"), Error);
+  EXPECT_THROW(parse_json(R"([1, 2)"), Error);
+  EXPECT_THROW(parse_json(R"("unterminated)"), Error);
+  EXPECT_THROW(parse_json("tru"), Error);
+  EXPECT_THROW(parse_json("-"), Error);
+}
+
+TEST(ObsJson, TrailingGarbageThrows) {
+  EXPECT_THROW(parse_json("{} x"), Error);
+  EXPECT_THROW(parse_json("1 2"), Error);
+  EXPECT_THROW(parse_json("[1] ]"), Error);
+}
+
+TEST(ObsJson, BadEscapesThrow) {
+  EXPECT_THROW(parse_json(R"("\x41")"), Error);
+  EXPECT_THROW(parse_json(R"("\u12")"), Error);    // short \u sequence
+  EXPECT_THROW(parse_json(R"("\uZZZZ")"), Error);  // non-hex digits
+}
+
+TEST(ObsJson, GoodEscapesDecode) {
+  EXPECT_EQ(parse_json(R"("\"\\\n\tA")").as_string(), "\"\\\n\tA");
+  // \u above 0x7F decodes to UTF-8.
+  EXPECT_EQ(parse_json(R"("é")").as_string(), "\xc3\xa9");
+}
+
+TEST(ObsJson, DuplicateKeysThrow) {
+  EXPECT_THROW(parse_json(R"({"k": 1, "k": 2})"), Error);
+  // ... at any depth.
+  EXPECT_THROW(parse_json(R"({"o": {"k": 1, "k": 2}})"), Error);
+}
+
+TEST(ObsJson, NestingBeyondLimitThrows) {
+  std::string deep;
+  for (std::size_t i = 0; i < kMaxJsonDepth + 1; ++i) deep += '[';
+  for (std::size_t i = 0; i < kMaxJsonDepth + 1; ++i) deep += ']';
+  EXPECT_THROW(parse_json(deep), Error);
+
+  std::string ok;
+  for (std::size_t i = 0; i < kMaxJsonDepth; ++i) ok += '[';
+  for (std::size_t i = 0; i < kMaxJsonDepth; ++i) ok += ']';
+  EXPECT_NO_THROW(parse_json(ok));
+}
+
+TEST(ObsJson, KindMismatchThrows) {
+  const JsonValue doc = parse_json(R"({"n": 1})");
+  EXPECT_THROW(doc.as_array(), Error);
+  EXPECT_THROW(doc.find("n")->as_string(), Error);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(ObsJson, WriteJsonRoundTrips) {
+  const char* text =
+      R"({"metrics": {"a": 1.5, "b": -3e-07}, "name": "t", "ok": true, )"
+      R"("runs": [null, "s\n\"q\"", 42]})";
+  const JsonValue doc = parse_json(text);
+  const std::string out = write_json(doc);
+  const JsonValue again = parse_json(out);
+  EXPECT_DOUBLE_EQ(again.find("metrics")->find("a")->as_number(), 1.5);
+  EXPECT_DOUBLE_EQ(again.find("metrics")->find("b")->as_number(), -3e-07);
+  EXPECT_EQ(again.find("runs")->as_array()[1].as_string(), "s\n\"q\"");
+  // Map-ordered keys + %.17g numbers: serialisation is a fixed point.
+  EXPECT_EQ(write_json(again), out);
+}
+
+TEST(ObsJson, WriteJsonEscapesControlCharacters) {
+  JsonObject obj;
+  obj["k"] = JsonValue(std::string("a\x01" "b\tc"));
+  const std::string out = write_json(JsonValue(std::move(obj)));
+  EXPECT_NE(out.find("\\u0001"), std::string::npos);
+  EXPECT_NE(out.find("\\t"), std::string::npos);
+  EXPECT_EQ(parse_json(out).find("k")->as_string(), "a\x01" "b\tc");
+}
+
+TEST(ObsJson, WriteJsonIntegralNumbersStayIntegral) {
+  JsonObject obj;
+  obj["n"] = JsonValue(1048576.0);
+  const std::string out = write_json(JsonValue(std::move(obj)));
+  EXPECT_NE(out.find("1048576"), std::string::npos);
+  EXPECT_EQ(out.find("e+"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace ds::obs

@@ -46,6 +46,52 @@ TEST(ObsMetrics, HistogramLogBuckets) {
   EXPECT_DOUBLE_EQ(h.sum(), 0.0);
 }
 
+TEST(ObsMetrics, QuantileEmptyAndClamping) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty reads 0
+  h.observe(4.0);                          // one sample in [4, 8)
+  // q outside [0, 1] clamps instead of reading garbage buckets.
+  EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 8.0);  // upper edge of the only bucket
+}
+
+TEST(ObsMetrics, QuantileInterpolatesWithinBucket) {
+  // 4 samples all landing in bucket 3 = [4, 8): quantiles interpolate
+  // linearly across the bucket, hitting the edges at q=0 and q=1.
+  Histogram h;
+  for (int i = 0; i < 4; ++i) h.observe(5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 6.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 8.0);
+}
+
+TEST(ObsMetrics, QuantileAcrossBuckets) {
+  // 90 samples in [1, 2), 10 in [1024, 2048): the p50 sits in the low
+  // bucket, the p95/p99 in the high one — the straggler-tail shape the
+  // latency summaries must resolve.
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.observe(1.5);
+  for (int i = 0; i < 10; ++i) h.observe(1500.0);
+  const double p50 = h.quantile(0.50);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p50, 2.0);
+  const double p95 = h.quantile(0.95);
+  EXPECT_GE(p95, 1024.0);
+  EXPECT_LE(p95, 2048.0);
+  EXPECT_GE(h.quantile(0.99), p95);
+  // Monotone in q.
+  EXPECT_LE(h.quantile(0.25), h.quantile(0.75));
+}
+
+TEST(ObsMetrics, QuantileSubUnitSamplesUseBucketZero) {
+  Histogram h;
+  for (int i = 0; i < 8; ++i) h.observe(0.25);  // all in [0, 1)
+  EXPECT_GE(h.quantile(0.5), 0.0);
+  EXPECT_LE(h.quantile(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);
+}
+
 TEST(ObsMetrics, RegistryFindOrCreateReturnsSameInstrument) {
   Counter& a = metrics().counter("test.focc");
   Counter& b = metrics().counter("test.focc");

@@ -1,0 +1,82 @@
+// bench_compare [options] <baseline.json> <current.json> — diff two
+// deepscale.bench.v1 documents metric by metric. Exit codes:
+//   0  everything within tolerance (improvements allowed)
+//   1  at least one regression or baseline metric missing from current
+//   2  usage / IO / schema error
+//
+//   --rel-tol F          default relative tolerance (default 0.05)
+//   --abs-tol F          absolute margin floor (default 1e-12)
+//   --metric NAME=F      per-metric tolerance; NAME may end in '*' to match
+//                        a prefix ("run.sync_easgd3.*=0.2"); repeatable
+//
+// This is the CI perf-regression gate: Release CI regenerates each bench's
+// BENCH_<name>.json and compares it against the committed baseline.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/analysis/bench_compare.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: bench_compare [--rel-tol F] [--abs-tol F] "
+               "[--metric NAME=F]... <baseline.json> <current.json>\n");
+  std::exit(2);
+}
+
+std::string read_file(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "bench_compare: cannot open %s\n", path);
+    std::exit(2);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ds::bench::CompareOptions options;
+  const char* paths[2] = {nullptr, nullptr};
+  int n_paths = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rel-tol") == 0 && i + 1 < argc) {
+      options.rel_tol = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--abs-tol") == 0 && i + 1 < argc) {
+      options.abs_tol = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--metric") == 0 && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const std::size_t eq = spec.rfind('=');
+      if (eq == std::string::npos || eq == 0) usage();
+      options.metric_tol[spec.substr(0, eq)] =
+          std::atof(spec.c_str() + eq + 1);
+    } else if (argv[i][0] != '-' && n_paths < 2) {
+      paths[n_paths++] = argv[i];
+    } else {
+      usage();
+    }
+  }
+  if (n_paths != 2) usage();
+
+  try {
+    const ds::obs::JsonValue baseline =
+        ds::obs::parse_json(read_file(paths[0]));
+    const ds::obs::JsonValue current = ds::obs::parse_json(read_file(paths[1]));
+    const ds::bench::CompareResult result =
+        ds::bench::compare_bench(baseline, current, options);
+    std::fputs(ds::bench::format_comparison(result).c_str(), stdout);
+    if (!result.errors.empty()) return 2;
+    return result.ok() ? 0 : 1;
+  } catch (const ds::Error& e) {
+    std::fprintf(stderr, "bench_compare: %s\n", e.what());
+    return 2;
+  }
+}
