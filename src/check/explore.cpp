@@ -1,0 +1,293 @@
+#include "check/explore.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <sstream>
+
+#include "comm/cost_model.hpp"
+#include "comm/fault.hpp"
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+
+namespace ds::check {
+namespace {
+
+/// One wildcard choice point, keyed by its occurrence order across the run
+/// (the k-th completed recv_any). `sources` accumulates every candidate
+/// source ever seen at this point across revisits — the union is what makes
+/// the DFS exhaustive when different prefixes expose different queues.
+struct Frame {
+  std::size_t dst = 0;
+  std::vector<std::size_t> sources;  // discovery order
+  std::size_t chosen = 0;            // index into sources
+};
+
+struct ChooserState {
+  std::mutex mutex;
+  std::vector<Frame>* frames = nullptr;
+  std::size_t served = 0;          // completed wildcard receives this run
+  bool enforcing_wait = false;     // blocked until the prescribed source queues
+  std::vector<std::size_t> visits;  // per-choice-point calls THIS run
+};
+
+/// Polls to sit out before serving any choice point, so sends that are
+/// logically concurrent with the receive get real time to queue and enter
+/// the candidate union. Without this the DFS only ever branches on sources
+/// that happened to arrive first, and racy-but-late candidates are missed.
+constexpr std::size_t kDiscoveryStallPolls = 3;
+
+std::size_t schedule_chooser(void* ctx, std::size_t dst,
+                             const std::size_t* candidates,
+                             std::size_t count) {
+  auto* state = static_cast<ChooserState*>(ctx);
+  const std::lock_guard<std::mutex> lock(state->mutex);
+  std::vector<Frame>& frames = *state->frames;
+  const std::size_t k = state->served;
+  if (k == frames.size()) {
+    frames.push_back(Frame{dst, {}, 0});
+  }
+  Frame& frame = frames[k];
+  for (std::size_t i = 0; i < count; ++i) {
+    if (std::find(frame.sources.begin(), frame.sources.end(), candidates[i]) ==
+        frame.sources.end()) {
+      frame.sources.push_back(candidates[i]);
+    }
+  }
+  if (state->visits.size() <= k) state->visits.resize(k + 1, 0);
+  if (++state->visits[k] <= kDiscoveryStallPolls) {
+    // Not enforcement — just widening the candidate window; the receive
+    // polls back into us after poll_seconds (or on the next arrival).
+    return Fabric::kChooserWait;
+  }
+  const std::size_t want = frame.sources[frame.chosen];
+  for (std::size_t i = 0; i < count; ++i) {
+    if (candidates[i] == want) {
+      ++state->served;
+      state->enforcing_wait = false;
+      return i;
+    }
+  }
+  // The prescribed source has nothing queued yet: block the receive until
+  // it does. If it never can (it is blocked on US), the polling bound turns
+  // this into a timeout and the branch is counted infeasible.
+  state->enforcing_wait = true;
+  return Fabric::kChooserWait;
+}
+
+std::string describe_schedule(const std::vector<Frame>& frames) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (i > 0) os << ' ';
+    os << frames[i].sources[frames[i].chosen];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace
+
+ExploreReport explore(const Protocol& protocol,
+                      const ExploreOptions& options) {
+  DS_CHECK(protocol.ranks > 0, "protocol needs at least one rank");
+  DS_CHECK(static_cast<bool>(protocol.body), "protocol needs a body");
+
+  ExploreReport report;
+  report.protocol = protocol.name;
+
+  std::vector<Frame> frames;
+  std::vector<double> reference;
+  bool have_reference = false;
+  bool more = true;
+
+  while (more && report.schedules < options.max_schedules) {
+    ++report.schedules;
+
+    FaultPlan plan = FaultPlan::none().with_polling(options.poll_budget,
+                                                    options.poll_seconds);
+    Fabric fabric(protocol.ranks, cray_aries(), std::move(plan));
+    ChooserState state;
+    state.frames = &frames;
+    fabric.set_any_chooser(&schedule_chooser, &state);
+
+    std::vector<double> digest(protocol.ranks, 0.0);
+    std::atomic<bool> timed_out{false};
+    std::atomic<bool> other_failure{false};
+    parallel_for_threads(protocol.ranks, [&](std::size_t rank) {
+      try {
+        protocol.body(fabric, rank, digest);
+        fabric.retire(rank);
+      } catch (const RankFailure& failure) {
+        if (failure.kind() == RankFailure::Kind::kTimeout) {
+          timed_out.store(true);
+        } else {
+          other_failure.store(true);
+        }
+        fabric.retire(rank);
+      }
+    });
+
+    if (timed_out.load()) {
+      bool enforcing = false;
+      {
+        const std::lock_guard<std::mutex> lock(state.mutex);
+        enforcing = state.enforcing_wait;
+      }
+      if (enforcing) {
+        ++report.infeasible;
+      } else {
+        ++report.deadlocks;
+        report.notes.push_back("deadlock under schedule " +
+                               describe_schedule(frames));
+      }
+    } else if (other_failure.load()) {
+      ++report.deadlocks;
+      report.notes.push_back("unexpected rank failure under schedule " +
+                             describe_schedule(frames));
+    } else {
+      ++report.completed;
+      if (!have_reference) {
+        reference = digest;
+        have_reference = true;
+      } else if (digest != reference) {
+        if (report.deterministic) {
+          report.deterministic = false;
+          report.notes.push_back("digest diverged under schedule " +
+                                 describe_schedule(frames));
+        }
+      }
+    }
+
+    // Depth-first backtrack: advance the deepest frame with an untried
+    // source; everything below it belonged to the abandoned suffix.
+    more = false;
+    while (!frames.empty()) {
+      Frame& last = frames.back();
+      if (last.chosen + 1 < last.sources.size()) {
+        ++last.chosen;
+        more = true;
+        break;
+      }
+      frames.pop_back();
+    }
+    // Wildcard-free protocols leave no frames: run twice anyway so the
+    // determinism assertion compares two independent executions.
+    if (!more && report.schedules == 1 && frames.empty()) more = true;
+  }
+
+  report.exhausted = !more;
+  {
+    std::ostringstream os;
+    os << protocol.name << ": " << report.schedules << " schedule(s), "
+       << report.completed << " completed, " << report.infeasible
+       << " infeasible, " << report.deadlocks << " deadlocked";
+    report.notes.insert(report.notes.begin(), os.str());
+  }
+  return report;
+}
+
+std::string format_report(const ExploreReport& report) {
+  std::ostringstream os;
+  os << "explore " << report.protocol << ": " << report.schedules
+     << " schedules (" << report.completed << " completed, "
+     << report.infeasible << " infeasible, " << report.deadlocks
+     << " deadlocked), "
+     << (report.deterministic ? "deterministic" : "NONDETERMINISTIC") << ", "
+     << (report.exhausted ? "exhausted" : "BOUND HIT")
+     << (report.ok() ? " — OK" : " — FAIL") << '\n';
+  for (std::size_t i = 1; i < report.notes.size(); ++i) {
+    os << "  " << report.notes[i] << '\n';
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Built-in protocol miniatures.
+// ---------------------------------------------------------------------------
+
+Protocol sync_tree_protocol(std::size_t ranks, std::size_t rounds) {
+  Protocol p;
+  p.name = "sync_tree";
+  p.ranks = ranks;
+  p.body = [rounds](Fabric& fabric, std::size_t rank,
+                    std::vector<double>& digest) {
+    std::vector<float> buf(4, static_cast<float>(rank + 1));
+    for (std::size_t t = 0; t < rounds; ++t) {
+      fabric.tree_allreduce(rank, 0, buf);
+    }
+    digest[rank] = static_cast<double>(buf[0]);
+  };
+  return p;
+}
+
+Protocol round_robin_protocol(std::size_t ranks, std::size_t rounds) {
+  DS_CHECK(ranks >= 2, "round robin needs a master and a worker");
+  Protocol p;
+  p.name = "round_robin";
+  p.ranks = ranks;
+  constexpr int kPushTag = 903;
+  constexpr int kReplyTag = 904;
+  p.body = [ranks, rounds](Fabric& fabric, std::size_t rank,
+                           std::vector<double>& digest) {
+    if (rank == 0) {
+      double center = 0.0;
+      for (std::size_t t = 1; t <= rounds; ++t) {
+        for (std::size_t w = 1; w < ranks; ++w) {
+          const std::vector<float> push = fabric.recv(0, w, kPushTag);
+          center += static_cast<double>(push[0]);
+          fabric.send(0, w, kReplyTag, {static_cast<float>(center)});
+        }
+      }
+      digest[0] = center;
+    } else {
+      for (std::size_t t = 1; t <= rounds; ++t) {
+        fabric.send(rank, 0, kPushTag,
+                    {static_cast<float>(rank * 100 + t)});
+        (void)fabric.recv(rank, 0, kReplyTag);
+        digest[rank] += 1.0;
+      }
+    }
+  };
+  return p;
+}
+
+Protocol async_server_protocol(std::size_t ranks, std::size_t budget) {
+  DS_CHECK(ranks >= 2, "parameter server needs a server and a worker");
+  Protocol p;
+  p.name = "async_server";
+  p.ranks = ranks;
+  constexpr int kPushTag = 901;
+  constexpr int kReplyTag = 902;
+  const std::size_t workers = ranks - 1;
+  p.body = [ranks, workers, budget](Fabric& fabric, std::size_t rank,
+                                    std::vector<double>& digest) {
+    if (rank == 0) {
+      // Commutative accumulation: the center is the SUM of every push, so
+      // its final value is the same under every service order — the
+      // digest-determinism the explorer asserts.
+      double center = 0.0;
+      for (std::size_t done = 0; done < budget; ++done) {
+        auto [src, push] = fabric.recv_any(0, kPushTag);
+        center += static_cast<double>(push[0]);
+        fabric.send(0, src, kReplyTag, {static_cast<float>(center)});
+      }
+      digest[0] = center;
+    } else {
+      const std::size_t w = rank - 1;
+      const std::size_t quota =
+          budget / workers + (w < budget % workers ? 1 : 0);
+      for (std::size_t t = 1; t <= quota; ++t) {
+        // Push values depend only on (worker, t), never on the reply, so
+        // the set of pushes — and with it the center sum — is fixed.
+        fabric.send(rank, 0, kPushTag,
+                    {static_cast<float>(rank * 1000 + t)});
+        (void)fabric.recv(rank, 0, kReplyTag);
+      }
+      digest[rank] = static_cast<double>(quota);
+    }
+  };
+  return p;
+}
+
+}  // namespace ds::check

@@ -1,0 +1,102 @@
+// Bounded schedule exploration for small fabric protocols (DESIGN.md §9).
+//
+// The fabric's only source of schedule nondeterminism is recv_any: which
+// queued source a wildcard receive serves. explore() reruns a protocol
+// under EVERY reachable wildcard interleaving (depth-first over choice
+// prescriptions, enforced through Fabric::set_any_chooser) and asserts the
+// two properties the paper's parameter-server redesign rests on:
+//
+//   * deadlock-freedom — every schedule completes. Runs execute under a
+//     FaultPlan::with_polling bound, so a schedule that WOULD hang instead
+//     surfaces as RankFailure(kTimeout) and is reported as a deadlock;
+//   * result-determinism — every completed schedule produces the same
+//     declared digest (the protocol's own summary of its result), i.e. the
+//     wildcard order is an implementation detail, not a semantic one.
+//
+// A prescription that the protocol can never realize (the prescribed
+// source's message cannot arrive because that source is blocked on us) is
+// detected by the same polling bound while the chooser is still enforcing,
+// and counted `infeasible` rather than as a deadlock.
+//
+// The state space is bounded: protocols must be small (P ≤ 4, a few
+// messages per rank) and options.max_schedules caps the walk — `exhausted`
+// reports whether the DFS truly finished.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "comm/fabric.hpp"
+
+namespace ds::check {
+
+/// A protocol under test: `body` is executed once per rank, on its own
+/// thread, against a fresh fabric per schedule. Each rank reports its
+/// contribution to the run's result by writing digest[rank] — the value
+/// explore() compares across schedules (so it must be a pure function of
+/// the protocol's RESULT, not of the schedule; e.g. a commutative
+/// accumulation, a count, a final parameter value).
+struct Protocol {
+  std::string name;
+  std::size_t ranks = 0;
+  std::function<void(Fabric&, std::size_t rank, std::vector<double>& digest)>
+      body;
+};
+
+struct ExploreOptions {
+  /// Hard cap on schedules tried; `exhausted` tells whether the DFS ended
+  /// on its own before hitting it.
+  std::size_t max_schedules = 256;
+  /// Polling bound per blocked receive (FaultPlan::with_polling): real-time
+  /// polls × seconds-per-poll before a stuck schedule resolves to kTimeout.
+  std::size_t poll_budget = 400;
+  double poll_seconds = 0.002;
+};
+
+struct ExploreReport {
+  std::string protocol;
+  std::size_t schedules = 0;   // runs attempted
+  std::size_t completed = 0;   // ran to the end, digest collected
+  std::size_t infeasible = 0;  // prescription unrealizable (timeout while enforcing)
+  std::size_t deadlocks = 0;   // timeout with nothing being enforced
+  bool deterministic = true;   // all completed digests identical
+  bool exhausted = true;       // DFS finished before max_schedules
+  std::vector<std::string> notes;
+
+  bool ok() const {
+    return deadlocks == 0 && deterministic && completed > 0;
+  }
+};
+
+/// Explore every wildcard-receive interleaving of `protocol`. Protocols
+/// with no recv_any run twice (digest stability without a schedule tree).
+ExploreReport explore(const Protocol& protocol,
+                      const ExploreOptions& options = {});
+
+/// Human-readable one-paragraph rendering.
+std::string format_report(const ExploreReport& report);
+
+// ---------------------------------------------------------------------------
+// Built-in miniatures of the repo's three runner families. Message flow and
+// tags mirror core/fabric_algorithms.cpp; arithmetic is simplified to small
+// exact-in-double integers so digests compare with ==.
+// ---------------------------------------------------------------------------
+
+/// Sync family (run_fabric_easgd): `rounds` tree-allreduce rounds over all
+/// ranks. Matched receives only — the explorer's control case.
+Protocol sync_tree_protocol(std::size_t ranks, std::size_t rounds);
+
+/// Round-robin family (run_fabric_round_robin_easgd): master sweeps workers
+/// in fixed order with matched receives, `rounds` times.
+Protocol round_robin_protocol(std::size_t ranks, std::size_t rounds);
+
+/// Async family (run_fabric_async_easgd): rank 0 serves `budget` wildcard
+/// pushes first-come-first-served and replies to the pusher; workers split
+/// the budget. The digest (commutative center sum + per-worker interaction
+/// count) is schedule-independent by design — which is exactly what
+/// explore() proves.
+Protocol async_server_protocol(std::size_t ranks, std::size_t budget);
+
+}  // namespace ds::check

@@ -1,0 +1,482 @@
+#include "check/protocol_check.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string_view>
+#include <utility>
+
+#include "obs/proto.hpp"
+
+namespace ds::check {
+namespace {
+
+struct Op {
+  enum class Type {
+    kSend,
+    kLost,
+    kRecv,
+    kWait,
+    kTimeout,
+    kCrash,
+    kRetire,
+    kAcc,
+  };
+  Type type;
+  std::int64_t rank = -1;
+  double vtime = 0.0;
+  std::uint64_t seq = 0;     // send/lost/recv: message identity component
+  std::int64_t peer = -1;    // send/lost: dst; recv/wait/timeout: src
+  int tag = 0;
+  bool any = false;          // recv_any / wait_any flavor
+  double buffer = 0.0;       // acc only
+  bool write = false;        // acc only
+  std::size_t index = 0;     // position in TraceData.instants (tie-break)
+};
+
+using Type = Op::Type;
+
+bool parse_op(const obs::analysis::VInstant& in, Op& op) {
+  const std::string_view name = in.name;
+  if (name == obs::proto::kSend) {
+    op.type = Type::kSend;
+  } else if (name == obs::proto::kLost) {
+    op.type = Type::kLost;
+  } else if (name == obs::proto::kRecv) {
+    op.type = Type::kRecv;
+  } else if (name == obs::proto::kRecvAny) {
+    op.type = Type::kRecv;
+    op.any = true;
+  } else if (name == obs::proto::kWait) {
+    op.type = Type::kWait;
+  } else if (name == obs::proto::kWaitAny) {
+    op.type = Type::kWait;
+    op.any = true;
+  } else if (name == obs::proto::kTimeout) {
+    op.type = Type::kTimeout;
+  } else if (name == obs::proto::kCrash) {
+    op.type = Type::kCrash;
+  } else if (name == obs::proto::kRetire) {
+    op.type = Type::kRetire;
+  } else if (name == obs::proto::kAcc) {
+    op.type = Type::kAcc;
+  } else {
+    return false;  // unknown proto event: skip, stay forward-compatible
+  }
+  op.rank = in.rank;
+  op.vtime = in.vtime;
+  switch (op.type) {
+    case Type::kSend:
+    case Type::kLost:
+    case Type::kRecv:
+      op.seq = static_cast<std::uint64_t>(in.value);
+      op.peer = obs::proto::unpack_peer(in.aux);
+      op.tag = obs::proto::unpack_tag(in.aux);
+      break;
+    case Type::kWait:
+    case Type::kTimeout:
+      op.peer = obs::proto::unpack_peer(in.aux);
+      op.tag = obs::proto::unpack_tag(in.aux);
+      if (op.peer == obs::proto::kAnyPeer) op.any = true;
+      break;
+    case Type::kAcc:
+      op.write = in.value == obs::proto::kAccWrite;
+      op.buffer = in.aux;
+      break;
+    case Type::kCrash:
+    case Type::kRetire:
+      break;
+  }
+  return true;
+}
+
+/// Processing priority within one virtual instant: a send must be applied
+/// before the recv that matches it at the same vtime (possible with
+/// zero-cost transfers), and both before the accesses they order.
+int type_order(Type t) {
+  switch (t) {
+    case Type::kSend:
+    case Type::kLost:
+      return 0;
+    case Type::kRecv:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+struct Access {
+  std::int64_t rank;
+  double vtime;
+  double buffer;
+  bool write;
+  std::size_t index;                  // program-order tie-break
+  std::vector<std::uint64_t> vclock;  // reconstructed, at the access
+};
+
+/// a happens-before b: b's reconstructed knowledge of a's rank strictly
+/// exceeds the comm-event count a had locally observed — i.e. some message
+/// chain starting AFTER a reached b. Same-rank pairs are program-ordered.
+bool happens_before(const Access& a, const Access& b) {
+  if (a.rank == b.rank) return a.index < b.index;
+  const auto r = static_cast<std::size_t>(a.rank);
+  const std::uint64_t a_self = r < a.vclock.size() ? a.vclock[r] : 0;
+  const std::uint64_t b_knows = r < b.vclock.size() ? b.vclock[r] : 0;
+  return b_knows >= a_self + 1;
+}
+
+}  // namespace
+
+const char* violation_kind_name(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kUnmatchedSend:
+      return "unmatched-send";
+    case ViolationKind::kUnmatchedRecv:
+      return "unmatched-recv";
+    case ViolationKind::kTagAliasing:
+      return "tag-aliasing";
+    case ViolationKind::kConcurrentAccess:
+      return "concurrent-access";
+    case ViolationKind::kDeadlock:
+      return "deadlock";
+    case ViolationKind::kClockRegression:
+      return "clock-regression";
+  }
+  return "unknown";
+}
+
+std::size_t CheckReport::count(ViolationKind kind) const {
+  std::size_t n = 0;
+  for (const Violation& v : violations) {
+    if (v.kind == kind) ++n;
+  }
+  return n;
+}
+
+CheckReport check_trace(const obs::analysis::TraceData& trace) {
+  CheckReport report;
+
+  // -- Parse the proto events, preserving ingest (per-thread) order. ------
+  std::vector<Op> ops;
+  for (std::size_t i = 0; i < trace.instants.size(); ++i) {
+    const obs::analysis::VInstant& in = trace.instants[i];
+    if (in.category != obs::proto::kCategory || in.rank < 0) continue;
+    Op op;
+    if (!parse_op(in, op)) continue;
+    op.index = i;
+    ops.push_back(op);
+  }
+  if (ops.empty()) return report;
+
+  std::int64_t max_rank = 0;
+  for (const Op& op : ops) max_rank = std::max(max_rank, op.rank);
+  const std::size_t nranks = static_cast<std::size_t>(max_rank) + 1;
+
+  // -- Stats + clock regression (raw per-thread order). -------------------
+  // crash/retire may be narrated by a DIFFERENT rank's thread (mark_failed
+  // from a peer), so they are exempt from the per-rank monotonicity scan.
+  std::set<std::int64_t> ranks_seen;
+  std::vector<double> last_vtime(nranks, -1.0);
+  std::vector<bool> regressed(nranks, false);
+  for (const Op& op : ops) {
+    ranks_seen.insert(op.rank);
+    switch (op.type) {
+      case Type::kSend:
+        ++report.stats.sends;
+        break;
+      case Type::kLost:
+        ++report.stats.losses;
+        break;
+      case Type::kRecv:
+        ++report.stats.recvs;
+        break;
+      case Type::kWait:
+        ++report.stats.waits;
+        break;
+      case Type::kTimeout:
+        ++report.stats.timeouts;
+        break;
+      case Type::kCrash:
+        ++report.stats.crashes;
+        break;
+      case Type::kRetire:
+        ++report.stats.retires;
+        break;
+      case Type::kAcc:
+        ++report.stats.accesses;
+        break;
+    }
+    if (op.type == Type::kCrash || op.type == Type::kRetire) continue;
+    const auto r = static_cast<std::size_t>(op.rank);
+    if (!regressed[r] && op.vtime < last_vtime[r]) {
+      regressed[r] = true;
+      std::ostringstream os;
+      os << "rank " << op.rank << " virtual time ran backwards: " << op.vtime
+         << " after " << last_vtime[r];
+      report.violations.push_back(Violation{ViolationKind::kClockRegression,
+                                            os.str(), op.rank, -1, op.vtime});
+    }
+    last_vtime[r] = std::max(last_vtime[r], op.vtime);
+  }
+  report.stats.ranks = ranks_seen.size();
+
+  // -- Global causal replay: vtime order, sends before matching recvs. ----
+  std::vector<const Op*> order;
+  order.reserve(ops.size());
+  for (const Op& op : ops) order.push_back(&op);
+  std::sort(order.begin(), order.end(), [](const Op* a, const Op* b) {
+    if (a->vtime != b->vtime) return a->vtime < b->vtime;
+    const int oa = type_order(a->type);
+    const int ob = type_order(b->type);
+    if (oa != ob) return oa < ob;
+    return a->index < b->index;
+  });
+
+  struct SendRecord {
+    const Op* op;
+    std::vector<std::uint64_t> vclock;  // sender's VC at the send
+    bool lost = false;
+    bool matched = false;
+  };
+  std::map<std::pair<std::int64_t, std::uint64_t>, SendRecord> sends;
+  std::vector<std::vector<std::uint64_t>> vc(
+      nranks, std::vector<std::uint64_t>(nranks, 0));
+  std::vector<Access> accesses;
+  // Per (src, dst, tag): highest matched seq, for the aliasing check.
+  std::map<std::tuple<std::int64_t, std::int64_t, int>, std::uint64_t>
+      stream_high;
+  std::set<std::tuple<std::int64_t, std::int64_t, int>> stream_flagged;
+
+  for (const Op* op : order) {
+    const auto r = static_cast<std::size_t>(op->rank);
+    switch (op->type) {
+      case Type::kSend:
+      case Type::kLost: {
+        // The narrated seq IS the sender's self-component after the tick;
+        // trusting it keeps hand-authored traces and live runs aligned.
+        vc[r][r] = std::max(vc[r][r] + 1, op->seq);
+        const auto key = std::make_pair(op->rank, op->seq);
+        auto [it, inserted] = sends.emplace(key, SendRecord{op, vc[r], false, false});
+        if (op->type == Type::kLost) {
+          it->second.lost = true;
+        } else if (!inserted) {
+          it->second.op = op;
+          it->second.vclock = vc[r];
+        }
+        break;
+      }
+      case Type::kRecv: {
+        const auto key = std::make_pair(op->peer, op->seq);
+        const auto it = sends.find(key);
+        if (it == sends.end()) {
+          std::ostringstream os;
+          os << "rank " << op->rank << " received (sender " << op->peer
+             << ", seq " << op->seq << ", tag " << op->tag
+             << ") but no such send was narrated";
+          report.violations.push_back(
+              Violation{ViolationKind::kUnmatchedRecv, os.str(), op->rank,
+                        op->peer, op->vtime});
+        } else if (it->second.matched) {
+          std::ostringstream os;
+          os << "rank " << op->rank << " received (sender " << op->peer
+             << ", seq " << op->seq << ") a second time — duplicate delivery";
+          report.violations.push_back(
+              Violation{ViolationKind::kUnmatchedRecv, os.str(), op->rank,
+                        op->peer, op->vtime});
+        } else {
+          it->second.matched = true;
+          ++report.stats.matched;
+          for (std::size_t i = 0; i < nranks; ++i) {
+            vc[r][i] = std::max(vc[r][i], it->second.vclock[i]);
+          }
+          const auto stream = std::make_tuple(op->peer, op->rank, op->tag);
+          auto& high = stream_high[stream];
+          if (op->seq <= high && stream_flagged.insert(stream).second) {
+            std::ostringstream os;
+            os << "tag " << op->tag << " aliases two message streams from rank "
+               << op->peer << " to rank " << op->rank << ": seq " << op->seq
+               << " matched after seq " << high;
+            report.violations.push_back(
+                Violation{ViolationKind::kTagAliasing, os.str(), op->rank,
+                          op->peer, op->vtime});
+          }
+          high = std::max(high, op->seq);
+        }
+        ++vc[r][r];
+        break;
+      }
+      case Type::kAcc:
+        accesses.push_back(Access{op->rank, op->vtime, op->buffer, op->write,
+                                  op->index, vc[r]});
+        break;
+      case Type::kWait:
+      case Type::kTimeout:
+      case Type::kCrash:
+      case Type::kRetire:
+        break;
+    }
+  }
+
+  // -- Unmatched sends. ---------------------------------------------------
+  // Under faults a delivered-but-never-received message is EXPECTED — the
+  // receiver timed out or someone crashed — so the check only fires on
+  // traces with no crash/timeout to excuse the orphan.
+  if (report.stats.crashes == 0 && report.stats.timeouts == 0) {
+    std::vector<const SendRecord*> orphans;
+    for (const auto& [key, record] : sends) {
+      if (!record.matched && !record.lost) orphans.push_back(&record);
+    }
+    std::sort(orphans.begin(), orphans.end(),
+              [](const SendRecord* a, const SendRecord* b) {
+                return a->op->index < b->op->index;
+              });
+    for (const SendRecord* record : orphans) {
+      const Op* op = record->op;
+      std::ostringstream os;
+      os << "rank " << op->rank << " send (seq " << op->seq << ", tag "
+         << op->tag << ") to rank " << op->peer
+         << " was never received, lost, or excused by a failure";
+      report.violations.push_back(Violation{ViolationKind::kUnmatchedSend,
+                                            os.str(), op->rank, op->peer,
+                                            op->vtime});
+    }
+  }
+
+  // -- Races: concurrent conflicting accesses per buffer. -----------------
+  std::map<double, std::vector<const Access*>> by_buffer;
+  for (const Access& a : accesses) by_buffer[a.buffer].push_back(&a);
+  std::set<std::tuple<double, std::int64_t, std::int64_t>> race_flagged;
+  for (const auto& [buffer, accs] : by_buffer) {
+    for (std::size_t i = 0; i < accs.size(); ++i) {
+      for (std::size_t j = i + 1; j < accs.size(); ++j) {
+        const Access& a = *accs[i];
+        const Access& b = *accs[j];
+        if (a.rank == b.rank) continue;
+        if (!a.write && !b.write) continue;
+        if (happens_before(a, b) || happens_before(b, a)) continue;
+        const auto pair_key = std::make_tuple(
+            buffer, std::min(a.rank, b.rank), std::max(a.rank, b.rank));
+        if (!race_flagged.insert(pair_key).second) continue;
+        std::ostringstream os;
+        os << "buffer " << buffer << ": rank " << a.rank << ' '
+           << (a.write ? "write" : "read") << " @" << a.vtime
+           << " is concurrent with rank " << b.rank << ' '
+           << (b.write ? "write" : "read") << " @" << b.vtime;
+        report.violations.push_back(Violation{ViolationKind::kConcurrentAccess,
+                                              os.str(), a.rank, b.rank,
+                                              std::max(a.vtime, b.vtime)});
+      }
+    }
+  }
+
+  // -- Deadlock: cycles among ranks whose LAST event is a blocked wait. ---
+  // Per-rank program order = ingest order stable-sorted by vtime (foreign-
+  // thread crash events land at their narrated time).
+  std::vector<std::vector<const Op*>> per_rank(nranks);
+  for (const Op& op : ops) {
+    per_rank[static_cast<std::size_t>(op.rank)].push_back(&op);
+  }
+  std::vector<std::int64_t> waits_on(nranks, -1);  // -1: not blocked
+  std::vector<bool> blocked_any(nranks, false);
+  for (std::size_t r = 0; r < nranks; ++r) {
+    auto& list = per_rank[r];
+    std::stable_sort(list.begin(), list.end(),
+                     [](const Op* a, const Op* b) { return a->vtime < b->vtime; });
+    if (list.empty()) continue;
+    const Op* last = list.back();
+    if (last->type != Type::kWait) continue;
+    if (last->any) {
+      blocked_any[r] = true;
+    } else {
+      waits_on[r] = last->peer;
+    }
+  }
+  std::vector<int> color(nranks, 0);  // 0 unvisited, 1 on path, 2 done
+  std::set<std::int64_t> cycles_flagged;  // dedupe by min rank in the cycle
+  for (std::size_t start = 0; start < nranks; ++start) {
+    if (color[start] != 0 || waits_on[start] < 0) continue;
+    std::vector<std::size_t> path;
+    std::size_t r = start;
+    while (color[r] == 0 && waits_on[r] >= 0 &&
+           static_cast<std::size_t>(waits_on[r]) < nranks) {
+      color[r] = 1;
+      path.push_back(r);
+      r = static_cast<std::size_t>(waits_on[r]);
+    }
+    if (color[r] == 1) {
+      // Found a cycle: the path suffix starting at r.
+      const auto at = std::find(path.begin(), path.end(), r);
+      std::vector<std::size_t> cycle(at, path.end());
+      const std::int64_t key = static_cast<std::int64_t>(
+          *std::min_element(cycle.begin(), cycle.end()));
+      if (cycles_flagged.insert(key).second) {
+        std::ostringstream os;
+        os << "wait-for cycle:";
+        for (const std::size_t c : cycle) {
+          os << " rank " << c << " -> rank " << waits_on[c] << " (tag "
+             << per_rank[c].back()->tag << ");";
+        }
+        const Op* head = per_rank[cycle.front()].back();
+        report.violations.push_back(Violation{
+            ViolationKind::kDeadlock, os.str(),
+            static_cast<std::int64_t>(cycle.front()), head->peer,
+            head->vtime});
+      }
+    }
+    for (const std::size_t p : path) color[p] = 2;
+    color[r] = std::max(color[r], 2);
+  }
+  // A trailing wildcard wait is only a deadlock symptom if every potential
+  // sender is itself blocked or gone; the matched-wait cycle above is the
+  // checkable core, so wildcard stalls are reported only when NO rank made
+  // further progress (all trailing ops are waits).
+  if (cycles_flagged.empty()) {
+    bool any_blocked_any = false;
+    bool all_stuck = true;
+    for (std::size_t r = 0; r < nranks; ++r) {
+      if (per_rank[r].empty()) continue;
+      if (blocked_any[r]) any_blocked_any = true;
+      const Type t = per_rank[r].back()->type;
+      if (t != Type::kWait && t != Type::kCrash && t != Type::kRetire) {
+        all_stuck = false;
+      }
+    }
+    if (any_blocked_any && all_stuck && report.stats.timeouts == 0) {
+      std::ostringstream os;
+      os << "every rank ends blocked (wildcard wait present) with no "
+            "timeout narrated — wildcard starvation deadlock";
+      for (std::size_t r = 0; r < nranks; ++r) {
+        if (blocked_any[r]) {
+          report.violations.push_back(Violation{
+              ViolationKind::kDeadlock, os.str(),
+              static_cast<std::int64_t>(r), -1, per_rank[r].back()->vtime});
+          break;
+        }
+      }
+    }
+  }
+
+  return report;
+}
+
+std::string format_report(const CheckReport& report) {
+  std::ostringstream os;
+  const CheckStats& s = report.stats;
+  os << "protocol check: " << s.ranks << " ranks, " << s.sends << " sends ("
+     << s.losses << " lost), " << s.recvs << " recvs (" << s.matched
+     << " matched), " << s.waits << " waits, " << s.timeouts << " timeouts, "
+     << s.crashes << " crashes, " << s.retires << " retires, " << s.accesses
+     << " buffer accesses\n";
+  if (report.ok()) {
+    os << "OK: no violations\n";
+    return os.str();
+  }
+  os << report.violations.size() << " violation(s):\n";
+  for (const Violation& v : report.violations) {
+    os << "  [" << violation_kind_name(v.kind) << "] " << v.detail << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ds::check

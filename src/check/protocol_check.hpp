@@ -1,0 +1,93 @@
+// Offline happens-before checker over proto.v1 event streams (DESIGN.md §9).
+//
+// check_trace() consumes a normalized obs::analysis::TraceData — from a live
+// recorder snapshot or a re-ingested Chrome trace, they are equivalent by
+// construction — and re-derives the run's causal structure from nothing but
+// the "proto"-category instants the fabric narrated:
+//
+//   * Lamport vector clocks are RECONSTRUCTED per rank from program order
+//     plus send→recv edges (message identity = (sender, seq)), never
+//     trusted from the trace — so the checker also audits the fabric's own
+//     clock discipline;
+//   * conflicting parameter-buffer accesses ("acc" events on the same
+//     buffer, at least one write, different ranks) that the reconstructed
+//     clocks prove CONCURRENT are reported as races;
+//   * receives that name a send nobody made, sends that were neither
+//     received nor narrated lost (in a trace with no crash/timeout to
+//     excuse them), and per-(src,dst,tag) order inversions (tag aliasing)
+//     are protocol violations;
+//   * ranks whose last act is a blocked matched wait form a wait-for
+//     graph; its cycles are deadlocks;
+//   * a rank whose own virtual timeline runs backwards is a clock
+//     regression (instrumentation or ingest bug).
+//
+// The checker is read-only and runs after the rank threads joined; it holds
+// no locks and touches no fabric state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/analysis/analysis.hpp"
+
+namespace ds::check {
+
+enum class ViolationKind {
+  /// A delivered send (no "lost" narration) that no receive ever matched,
+  /// in a trace with no crash/timeout that could excuse the loss.
+  kUnmatchedSend,
+  /// A receive naming a (sender, seq) no send event carries.
+  kUnmatchedRecv,
+  /// Matched seqs on one (src, dst, tag) triple arrived out of send order —
+  /// two logically distinct message streams are sharing a tag.
+  kTagAliasing,
+  /// Two accesses to one buffer, at least one a write, from different
+  /// ranks, with NO happens-before path between them.
+  kConcurrentAccess,
+  /// A cycle in the wait-for graph of ranks still blocked at trace end.
+  kDeadlock,
+  /// A rank's own event stream goes backwards in virtual time.
+  kClockRegression,
+};
+
+const char* violation_kind_name(ViolationKind kind);
+
+struct Violation {
+  ViolationKind kind;
+  std::string detail;           // human-readable, names ranks/seqs/buffers
+  std::int64_t rank_a = -1;     // primary rank involved
+  std::int64_t rank_b = -1;     // peer rank, when the violation is a pair
+  double vtime = 0.0;           // virtual time of the offending event
+};
+
+struct CheckStats {
+  std::size_t ranks = 0;      // distinct ranks seen in proto events
+  std::size_t sends = 0;      // "send" events
+  std::size_t losses = 0;     // "lost" events
+  std::size_t recvs = 0;      // "recv" + "recv_any" events
+  std::size_t matched = 0;    // recvs whose (sender, seq) resolved
+  std::size_t waits = 0;      // "wait" + "wait_any" events
+  std::size_t timeouts = 0;   // "timeout" events
+  std::size_t crashes = 0;    // "crash" events
+  std::size_t retires = 0;    // "retire" events
+  std::size_t accesses = 0;   // "acc" events
+};
+
+struct CheckReport {
+  std::vector<Violation> violations;
+  CheckStats stats;
+
+  bool ok() const { return violations.empty(); }
+  std::size_t count(ViolationKind kind) const;
+};
+
+/// Run every check over the proto events in `trace`. A trace with no proto
+/// events yields an empty, ok() report — tracing was simply off.
+CheckReport check_trace(const obs::analysis::TraceData& trace);
+
+/// Multi-line human-readable rendering (stats + one line per violation).
+std::string format_report(const CheckReport& report);
+
+}  // namespace ds::check

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "obs/metrics.hpp"
+#include "obs/proto.hpp"
 #include "obs/trace.hpp"
 #include "support/error.hpp"
 
@@ -47,6 +48,18 @@ std::string describe(std::size_t rank, const char* what) {
   return os.str();
 }
 
+/// Receiver-side vector-clock update: elementwise max with the piggybacked
+/// snapshot, then tick the receiver's own component. Caller holds the
+/// receiver's clock mutex.
+void merge_vclock(std::vector<std::uint64_t>& own,
+                  const std::vector<std::uint64_t>& incoming,
+                  std::size_t self) {
+  for (std::size_t i = 0; i < own.size(); ++i) {
+    own[i] = std::max(own[i], incoming[i]);
+  }
+  ++own[self];
+}
+
 }  // namespace
 
 Fabric::Fabric(std::size_t ranks, LinkModel link)
@@ -64,9 +77,15 @@ Fabric::Fabric(std::size_t ranks, LinkModel link, FaultPlan faults)
   for (std::size_t i = 0; i < ranks; ++i) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
     clocks_.push_back(std::make_unique<ClockSlot>());
+    clocks_.back()->vclock.assign(ranks, 0);
     slots_.push_back(std::make_unique<FaultSlot>());
     slots_.back()->rng = base.fork(i);
   }
+}
+
+void Fabric::set_any_chooser(AnyChooser chooser, void* ctx) {
+  any_chooser_ = chooser;
+  any_chooser_ctx_ = ctx;
 }
 
 void Fabric::check_self_alive(std::size_t rank) {
@@ -102,6 +121,7 @@ void Fabric::retire(std::size_t rank) {
   DS_CHECK(rank < ranks(), "retire rank out of range");
   int expected = kActive;
   if (slots_[rank]->state.compare_exchange_strong(expected, kRetired)) {
+    obs::proto::emit_retire(static_cast<std::int64_t>(rank), clock(rank));
     notify_all_mailboxes();
   }
 }
@@ -109,6 +129,7 @@ void Fabric::retire(std::size_t rank) {
 void Fabric::mark_failed(std::size_t rank) {
   DS_CHECK(rank < ranks(), "mark_failed rank out of range");
   if (slots_[rank]->state.exchange(kFailed) != kFailed) {
+    obs::proto::emit_crash(static_cast<std::int64_t>(rank), clock(rank));
     notify_all_mailboxes();
   }
 }
@@ -138,22 +159,28 @@ void Fabric::send(std::size_t src, std::size_t dst, int tag,
   const double bytes = static_cast<double>(payload.size() * sizeof(float));
   const double cost = link_.transfer_seconds(bytes);
   double arrival = 0.0;
+  std::vector<std::uint64_t> vclock;
   {
     const std::lock_guard<std::mutex> lock(clocks_[src]->mutex);
     clocks_[src]->value += cost;
     arrival = clocks_[src]->value;
+    ++clocks_[src]->vclock[src];
+    vclock = clocks_[src]->vclock;
   }
+  const std::uint64_t seq = vclock[src];
   FabricMetrics& fm = fabric_metrics();
   fm.messages_sent.add();
   fm.bytes_sent.add(static_cast<std::uint64_t>(bytes));
   fm.message_bytes.observe(bytes);
   obs::complete_v("fabric", "send", arrival - cost, cost,
                   static_cast<std::int64_t>(src), bytes);
+  obs::proto::emit_send(static_cast<std::int64_t>(src), arrival, seq,
+                        static_cast<std::int64_t>(dst), tag);
   Mailbox& box = *mailboxes_[dst];
   {
     const std::lock_guard<std::mutex> lock(box.mutex);
     box.messages.push_back(
-        Message{src, tag, std::move(payload), arrival});
+        Message{src, tag, std::move(payload), arrival, std::move(vclock)});
   }
   box.cv.notify_all();
 }
@@ -178,6 +205,7 @@ void Fabric::faulty_send(std::size_t src, std::size_t dst, int tag,
   // emitted after it (appending an event may allocate a segment).
   constexpr std::size_t kMaxDropStamps = 8;
   double drop_vtimes[kMaxDropStamps];
+  std::vector<std::uint64_t> vclock;
   {
     const std::lock_guard<std::mutex> lock(clocks_[src]->mutex);
     send_begin = clocks_[src]->value;
@@ -201,7 +229,12 @@ void Fabric::faulty_send(std::size_t src, std::size_t dst, int tag,
       break;
     }
     send_end = clocks_[src]->value;
+    // One vector-clock tick per logical message, delivered or not — the
+    // receiver-side checker pairs a "lost" narration with this seq.
+    ++clocks_[src]->vclock[src];
+    vclock = clocks_[src]->vclock;
   }
+  const std::uint64_t seq = vclock[src];
   FabricMetrics& fm = fabric_metrics();
   fm.messages_sent.add();
   fm.bytes_sent.add(
@@ -216,6 +249,8 @@ void Fabric::faulty_send(std::size_t src, std::size_t dst, int tag,
     }
     obs::complete_v("fabric", "send", send_begin, send_end - send_begin,
                     static_cast<std::int64_t>(src), bytes);
+    obs::proto::emit_send(static_cast<std::int64_t>(src), send_end, seq,
+                          static_cast<std::int64_t>(dst), tag);
   }
   // Lost after every retransmit: the message silently vanishes — eager
   // sends cannot report this; the receiver's timeout is the backstop.
@@ -223,19 +258,30 @@ void Fabric::faulty_send(std::size_t src, std::size_t dst, int tag,
     fm.messages_lost.add();
     obs::instant_at("fabric", "lost", send_end,
                     static_cast<std::int64_t>(src));
+    obs::proto::emit_lost(static_cast<std::int64_t>(src), send_end, seq,
+                          static_cast<std::int64_t>(dst), tag);
     return;
   }
 
   Mailbox& box = *mailboxes_[dst];
   {
     const std::lock_guard<std::mutex> lock(box.mutex);
-    box.messages.push_back(Message{src, tag, std::move(payload), arrival});
+    box.messages.push_back(
+        Message{src, tag, std::move(payload), arrival, std::move(vclock)});
   }
   box.cv.notify_all();
 }
 
 std::vector<float> Fabric::recv(std::size_t dst, std::size_t src, int tag) {
   DS_CHECK(src < ranks() && dst < ranks(), "recv rank out of range");
+  // Narrate the wait at POST time, unconditionally: whether the message has
+  // physically arrived yet is a wall-clock race, and the traced virtual
+  // event sequence must be schedule-independent (determinism_test).
+  if (obs::tracing_enabled()) {
+    obs::proto::emit_wait(static_cast<std::int64_t>(dst), clock(dst),
+                          static_cast<std::int64_t>(src), tag,
+                          /*any=*/false);
+  }
   Mailbox& box = *mailboxes_[dst];
   std::unique_lock<std::mutex> lock(box.mutex);
   std::size_t polls = 0;
@@ -248,19 +294,26 @@ std::vector<float> Fabric::recv(std::size_t dst, std::size_t src, int tag) {
       Message msg = std::move(*it);
       box.messages.erase(it);
       lock.unlock();
+      const std::uint64_t seq = msg.vclock[msg.src];
       double wait = 0.0;
       double wait_begin = 0.0;
+      double now = 0.0;
       {
         const std::lock_guard<std::mutex> clock_lock(clocks_[dst]->mutex);
         wait_begin = clocks_[dst]->value;
         clocks_[dst]->value = std::max(clocks_[dst]->value, msg.arrival);
         wait = clocks_[dst]->value - wait_begin;
+        now = clocks_[dst]->value;
+        merge_vclock(clocks_[dst]->vclock, msg.vclock, dst);
       }
       fabric_metrics().recv_wait.add(wait);
       if (wait > 0.0) {
         obs::complete_v("fabric", "recv_wait", wait_begin, wait,
                         static_cast<std::int64_t>(dst));
       }
+      obs::proto::emit_recv(static_cast<std::int64_t>(dst), now, seq,
+                            static_cast<std::int64_t>(src), tag,
+                            /*any=*/false);
       return std::move(msg.payload);
     }
     if (!faults_on_) {
@@ -286,6 +339,9 @@ std::vector<float> Fabric::recv(std::size_t dst, std::size_t src, int tag) {
       fabric_metrics().timeouts.add();
       obs::instant_at("fabric", "timeout", timeout_at,
                       static_cast<std::int64_t>(dst));
+      obs::proto::emit_timeout(static_cast<std::int64_t>(dst), timeout_at,
+                               static_cast<std::int64_t>(src), tag,
+                               /*any=*/false);
       throw RankFailure(src, RankFailure::Kind::kTimeout,
                         describe(dst, "recv timed out — message lost"));
     }
@@ -298,49 +354,91 @@ std::vector<float> Fabric::recv(std::size_t dst, std::size_t src, int tag) {
   }
 }
 
-bool Fabric::pop_any(Mailbox& box, int tag, Message& out) {
+bool Fabric::pop_any(std::size_t dst, Mailbox& box, int tag, Message& out) {
   const std::size_t p = ranks();
-  auto best = box.messages.end();
-  std::size_t best_key = p;
-  for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
-    if (it->tag != tag) continue;
-    // Distance from the rotation start; strict < keeps per-sender FIFO.
-    const std::size_t key = (it->src + p - box.any_rotation) % p;
-    if (best == box.messages.end() || key < best_key) {
-      best_key = key;
-      best = it;
+  if (any_chooser_ == nullptr) {
+    auto best = box.messages.end();
+    std::size_t best_key = p;
+    for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
+      if (it->tag != tag) continue;
+      // Distance from the rotation start; strict < keeps per-sender FIFO.
+      const std::size_t key = (it->src + p - box.any_rotation) % p;
+      if (best == box.messages.end() || key < best_key) {
+        best_key = key;
+        best = it;
+      }
+    }
+    if (best == box.messages.end()) return false;
+    out = std::move(*best);
+    box.messages.erase(best);
+    box.any_rotation = (out.src + 1) % p;
+    return true;
+  }
+  // Chooser path (check::explore): present the distinct candidate sources
+  // in rotation-preference order and let the hook pick the interleaving.
+  std::vector<std::size_t> candidates;
+  for (const Message& m : box.messages) {
+    if (m.tag != tag) continue;
+    if (std::find(candidates.begin(), candidates.end(), m.src) ==
+        candidates.end()) {
+      candidates.push_back(m.src);
     }
   }
-  if (best == box.messages.end()) return false;
-  out = std::move(*best);
-  box.messages.erase(best);
-  box.any_rotation = (out.src + 1) % p;
+  if (candidates.empty()) return false;
+  std::sort(candidates.begin(), candidates.end(),
+            [&](std::size_t a, std::size_t b) {
+              return (a + p - box.any_rotation) % p <
+                     (b + p - box.any_rotation) % p;
+            });
+  const std::size_t pick = any_chooser_(any_chooser_ctx_, dst,
+                                        candidates.data(), candidates.size());
+  if (pick == kChooserWait) return false;
+  DS_CHECK(pick < candidates.size(), "any chooser index out of range");
+  const std::size_t src = candidates[pick];
+  const auto it = std::find_if(
+      box.messages.begin(), box.messages.end(),
+      [&](const Message& m) { return m.src == src && m.tag == tag; });
+  out = std::move(*it);
+  box.messages.erase(it);
+  box.any_rotation = (src + 1) % p;
   return true;
 }
 
 std::pair<std::size_t, std::vector<float>> Fabric::recv_any(std::size_t dst,
                                                             int tag) {
   DS_CHECK(dst < ranks(), "recv_any rank out of range");
+  // Post-time narration, same determinism argument as recv().
+  if (obs::tracing_enabled()) {
+    obs::proto::emit_wait(static_cast<std::int64_t>(dst), clock(dst),
+                          /*src=*/0, tag, /*any=*/true);
+  }
   Mailbox& box = *mailboxes_[dst];
   std::unique_lock<std::mutex> lock(box.mutex);
   std::size_t polls = 0;
   for (;;) {
     Message msg;
-    if (pop_any(box, tag, msg)) {
+    if (pop_any(dst, box, tag, msg)) {
       lock.unlock();
+      const std::uint64_t seq = msg.vclock[msg.src];
       double wait = 0.0;
       double wait_begin = 0.0;
+      double now = 0.0;
       {
         const std::lock_guard<std::mutex> clock_lock(clocks_[dst]->mutex);
         wait_begin = clocks_[dst]->value;
         clocks_[dst]->value = std::max(clocks_[dst]->value, msg.arrival);
         wait = clocks_[dst]->value - wait_begin;
+        now = clocks_[dst]->value;
+        merge_vclock(clocks_[dst]->vclock, msg.vclock, dst);
       }
       fabric_metrics().recv_wait.add(wait);
       if (wait > 0.0) {
         obs::complete_v("fabric", "recv_wait", wait_begin, wait,
                         static_cast<std::int64_t>(dst));
       }
+      obs::proto::emit_recv(static_cast<std::int64_t>(dst), now, seq,
+                            static_cast<std::int64_t>(msg.src), tag,
+                            /*any=*/true);
       return {msg.src, std::move(msg.payload)};
     }
     if (!faults_on_) {
@@ -355,7 +453,17 @@ std::pair<std::size_t, std::vector<float>> Fabric::recv_any(std::size_t dst,
         break;
       }
     }
-    if (!any_sender_alive) {
+    // A matching message may be queued even though pop_any declined to
+    // serve it (an any-chooser stalling for candidate discovery). Senders
+    // being gone is then irrelevant: the receive can still complete.
+    bool matching_queued = false;
+    for (const Message& m : box.messages) {
+      if (m.tag == tag) {
+        matching_queued = true;
+        break;
+      }
+    }
+    if (!any_sender_alive && !matching_queued) {
       lock.unlock();
       throw RankFailure(dst, RankFailure::Kind::kPeerGone,
                         describe(dst, "no active senders remain"));
@@ -372,6 +480,8 @@ std::pair<std::size_t, std::vector<float>> Fabric::recv_any(std::size_t dst,
       fabric_metrics().timeouts.add();
       obs::instant_at("fabric", "timeout", timeout_at,
                       static_cast<std::int64_t>(dst));
+      obs::proto::emit_timeout(static_cast<std::int64_t>(dst), timeout_at,
+                               /*src=*/0, tag, /*any=*/true);
       throw RankFailure(dst, RankFailure::Kind::kTimeout,
                         describe(dst, "recv_any timed out"));
     }
@@ -388,6 +498,12 @@ double Fabric::clock(std::size_t rank) const {
   DS_CHECK(rank < ranks(), "clock rank out of range");
   const std::lock_guard<std::mutex> lock(clocks_[rank]->mutex);
   return clocks_[rank]->value;
+}
+
+std::vector<std::uint64_t> Fabric::vclock(std::size_t rank) const {
+  DS_CHECK(rank < ranks(), "vclock rank out of range");
+  const std::lock_guard<std::mutex> lock(clocks_[rank]->mutex);
+  return clocks_[rank]->vclock;
 }
 
 void Fabric::advance(std::size_t rank, double seconds) {

@@ -17,11 +17,22 @@
 // a vanished peer or a permanently lost message surfaces as a RankFailure
 // instead of a deadlock. An all-zero plan is behavior-neutral — the fabric
 // takes exactly the fault-free code paths.
+//
+// Protocol observability: every rank carries a Lamport vector clock. send()
+// ticks the sender's component and piggybacks a snapshot on the Message;
+// recv()/recv_any() merge it (elementwise max) and tick the receiver. When
+// tracing is on, each send/recv/wait/timeout/crash/retire is additionally
+// narrated as a "proto"-category instant event (obs/proto.hpp) carrying the
+// exact message identity (sender, seq), which is what the offline
+// happens-before checker in src/check consumes. With tracing off the extra
+// cost is the vector-clock bookkeeping itself — a few integer ops per
+// message, no allocation beyond the P-entry snapshot, no extra locks.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -63,20 +74,44 @@ class Fabric {
   /// recv_timeout virtual seconds — when the wait exhausts max_recv_polls.
   std::vector<float> recv(std::size_t dst, std::size_t src, int tag);
 
-  /// Blocking receive matching the tag from ANY source — the FCFS service
-  /// discipline of the paper's parameter server (§3.1), made starvation-free
-  /// by rotating the preferred sender one past the last rank served (plain
-  /// mailbox order always favoured low-numbered ranks under contention).
-  /// Returns {source, payload}. Fault semantics as recv(), with kPeerGone
-  /// raised once every other rank is dead/retired and nothing is queued.
+  /// Blocking receive matching the tag from ANY source — the wildcard
+  /// service primitive behind the paper's parameter server (§3.1). NOTE:
+  /// the service discipline is rotation-fair, not FCFS-by-arrival. Among
+  /// the sources with a message queued, the one closest (mod P) to
+  /// `any_rotation` — one past the last rank served — wins, regardless of
+  /// which message arrived first; messages from one source are still
+  /// served in their send order. Plain arrival order always favoured
+  /// low-numbered ranks under contention, so fairness deliberately trumps
+  /// FCFS here. Returns {source, payload}. Fault semantics as recv(), with
+  /// kPeerGone raised once every other rank is dead/retired and nothing is
+  /// queued.
   std::pair<std::size_t, std::vector<float>> recv_any(std::size_t dst,
                                                       int tag);
+
+  /// Test/checker hook: overrides the rotation preference in recv_any.
+  /// Whenever a wildcard receive finds messages queued, the chooser is
+  /// called with the distinct candidate sources in rotation-preference
+  /// order (index 0 is what the default policy would serve) and returns
+  /// the index to serve — or kChooserWait to keep blocking (used by
+  /// check::explore to force a specific interleaving and wait for it).
+  /// Called with the destination mailbox lock held; the chooser must not
+  /// call back into the fabric. Set before the rank threads start.
+  using AnyChooser = std::size_t (*)(void* ctx, std::size_t dst,
+                                     const std::size_t* candidates,
+                                     std::size_t count);
+  static constexpr std::size_t kChooserWait = static_cast<std::size_t>(-1);
+  void set_any_chooser(AnyChooser chooser, void* ctx);
 
   // -------------------------------------------------------------------
   // Virtual clocks.
   // -------------------------------------------------------------------
 
   double clock(std::size_t rank) const;
+
+  /// Snapshot of `rank`'s Lamport vector clock (entry r counts rank r's
+  /// protocol events this rank has causally observed). Safe from any thread;
+  /// meaningful for cross-rank comparison once the rank threads have joined.
+  std::vector<std::uint64_t> vclock(std::size_t rank) const;
 
   /// Advance a rank's clock by `seconds` of local work (compute, updates).
   /// Straggler factors multiply `seconds`; crossing the rank's scheduled
@@ -136,18 +171,27 @@ class Fabric {
     int tag;
     std::vector<float> payload;
     double arrival;
+    // Sender's vector clock after the send tick; vclock[src] is the
+    // message's seq — its identity in the proto event stream.
+    std::vector<std::uint64_t> vclock;
   };
 
   struct Mailbox {
     std::mutex mutex;
     std::condition_variable cv;
     std::deque<Message> messages;
-    std::size_t any_rotation = 0;  // next preferred sender for recv_any
+    // Rotation-preference start for recv_any: one past the last source
+    // served, so repeated wildcard receives sweep sources round-robin
+    // instead of serving whichever message arrived first.
+    std::size_t any_rotation = 0;
   };
 
   struct ClockSlot {
     mutable std::mutex mutex;
     double value = 0.0;
+    // The rank's Lamport vector clock, guarded by the same mutex as the
+    // virtual clock (every protocol op already holds it).
+    std::vector<std::uint64_t> vclock;
   };
 
   struct FaultSlot {
@@ -166,12 +210,15 @@ class Fabric {
   void faulty_send(std::size_t src, std::size_t dst, int tag,
                    std::vector<float> payload);
 
-  /// Pop the rotation-preferred message matching `tag`, or nothing.
-  bool pop_any(Mailbox& box, int tag, Message& out);
+  /// Pop the rotation-preferred (or chooser-selected) message matching
+  /// `tag`, or nothing.
+  bool pop_any(std::size_t dst, Mailbox& box, int tag, Message& out);
 
   LinkModel link_;
   FaultPlan faults_;
   bool faults_on_ = false;
+  AnyChooser any_chooser_ = nullptr;
+  void* any_chooser_ctx_ = nullptr;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<ClockSlot>> clocks_;
   std::vector<std::unique_ptr<FaultSlot>> slots_;

@@ -5,6 +5,7 @@
 namespace ds {
 
 bool FaultPlan::active() const {
+  if (poll_recvs) return true;
   if (drop_probability > 0.0 || jitter > 0.0) return true;
   if (std::any_of(link_drop.begin(), link_drop.end(),
                   [](double p) { return p > 0.0; })) {
@@ -68,6 +69,15 @@ FaultPlan& FaultPlan::with_crash(std::size_t rank, double virtual_time) {
   DS_CHECK(virtual_time >= 0.0, "crash time must be non-negative");
   if (crash_at.size() <= rank) crash_at.resize(rank + 1, kNeverCrashes);
   crash_at[rank] = virtual_time;
+  return *this;
+}
+
+FaultPlan& FaultPlan::with_polling(std::size_t polls, double poll_seconds) {
+  DS_CHECK(polls > 0, "need at least one recv poll");
+  DS_CHECK(poll_seconds > 0.0, "poll interval must be positive");
+  poll_recvs = true;
+  max_recv_polls = polls;
+  recv_poll_seconds = poll_seconds;
   return *this;
 }
 

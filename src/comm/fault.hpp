@@ -95,6 +95,13 @@ struct FaultPlan {
   /// against truly lost messages; peers that crash or retire are detected
   /// immediately, without burning the full budget.
   std::size_t max_recv_polls = 2000;
+  /// Force the polling/timeout receive paths even when nothing is injected.
+  /// Virtual-time numbers stay identical to a fault-free run (no drops, no
+  /// jitter, no RNG draws), but a blocked receive eventually surfaces as
+  /// RankFailure(kTimeout) instead of waiting forever. check::explore uses
+  /// this to bound every schedule it tries; a would-be deadlock becomes a
+  /// typed failure.
+  bool poll_recvs = false;
 
   /// False ⇔ the plan injects nothing and the fabric must take the exact
   /// pre-fault code paths (the zero-cost-when-disabled guarantee).
@@ -116,6 +123,7 @@ struct FaultPlan {
   FaultPlan& with_jitter(double fraction);
   FaultPlan& with_straggler(std::size_t rank, double factor);
   FaultPlan& with_crash(std::size_t rank, double virtual_time);
+  FaultPlan& with_polling(std::size_t polls, double poll_seconds);
 
   static FaultPlan none() { return FaultPlan{}; }
 };

@@ -9,6 +9,7 @@
 #include "core/evaluator.hpp"
 #include "data/sampler.hpp"
 #include "obs/metrics.hpp"
+#include "obs/proto.hpp"
 #include "obs/trace.hpp"
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
@@ -40,6 +41,18 @@ struct RankClock {
 
 /// Fill RunResult's wire accounting from the fabric metric deltas over the
 /// run (runs are serial in-process, so the delta is exactly this fabric's).
+/// Narrate a parameter-buffer access for the protocol checker (proto.v1
+/// "acc" event). Buffer ids name PHYSICAL buffers — the center copy that
+/// lives on rank 0 and each rank's local replica — so a clean run's
+/// accesses are totally ordered per buffer and only genuinely racy
+/// schedules flag.
+void narrate_acc(const Fabric& fabric, std::size_t rank, double buffer,
+                 double kind) {
+  if (!obs::tracing_enabled()) return;
+  obs::proto::emit_acc(static_cast<std::int64_t>(rank), fabric.clock(rank),
+                       buffer, kind);
+}
+
 void apply_fabric_wire(RunResult& res, const obs::MetricsSnapshot& before) {
   const obs::MetricsSnapshot after = obs::metrics().snapshot();
   res.messages_sent = static_cast<std::uint64_t>(
@@ -141,6 +154,9 @@ RunResult run_fabric_easgd(const AlgoContext& ctx,
                           cfg.rho);
         fabric.advance(rank, up_s);
         charge0(Phase::kGpuUpdate);
+        narrate_acc(fabric, rank, obs::proto::local_buffer(
+                                      static_cast<std::int64_t>(rank)),
+                    obs::proto::kAccWrite);
 
         // Line 15: KNL1 applies Eq. (2).
         if (rank == 0) {
@@ -148,6 +164,8 @@ RunResult run_fabric_easgd(const AlgoContext& ctx,
                                 cfg.rho);
           fabric.advance(rank, up_s);
           charge0(Phase::kCpuUpdate);
+          narrate_acc(fabric, 0, obs::proto::kCenterBuffer,
+                      obs::proto::kAccWrite);
           completed_rounds = t;
           if (t % cfg.eval_every == 0 || t == cfg.iterations) {
             probes.push_back(Probe{t, fabric.clock(0), center});
@@ -279,6 +297,8 @@ RunResult run_fabric_async_easgd(const AlgoContext& ctx,
         easgd_center_step(center, w_i, cfg.lr_at(done), cfg.rho);
         fabric.advance(0, up_s);
         charge(Phase::kCpuUpdate);
+        narrate_acc(fabric, 0, obs::proto::kCenterBuffer,
+                    obs::proto::kAccWrite);
         fabric.send(0, src, kReplyTag, center);
         charge(Phase::kGpuGpuParamComm);  // reply transmit
         served = done;
@@ -340,6 +360,9 @@ RunResult run_fabric_async_easgd(const AlgoContext& ctx,
                           cfg.rho);
         fabric.advance(rank, up_s);
         charge(Phase::kGpuUpdate);
+        narrate_acc(fabric, rank, obs::proto::local_buffer(
+                                      static_cast<std::int64_t>(rank)),
+                    obs::proto::kAccWrite);
       }
     } catch (const RankFailure&) {
       // This worker crashed, or the server/reply path is gone. Drop out;
@@ -384,6 +407,186 @@ RunResult run_fabric_async_easgd(const AlgoContext& ctx,
   }
   // Breakdown = merged per-rank measured clock deltas (summed over server
   // and workers); wire totals from the fabric's own metric counters.
+  res.ledger = merged_ledger;
+  apply_fabric_wire(res, wire_before);
+  return res;
+}
+
+RunResult run_fabric_round_robin_easgd(const AlgoContext& ctx,
+                                       const FabricClusterConfig& cluster) {
+  const TrainConfig& cfg = ctx.config;
+  const std::size_t workers = cfg.workers;
+  DS_CHECK(workers > 0, "need at least one worker");
+  const std::size_t ranks = workers + 1;  // rank 0 is the master
+  constexpr int kPushTag = 903;
+  constexpr int kReplyTag = 904;
+
+  Fabric fabric(ranks, cluster.network, cluster.faults);
+  const obs::MetricsSnapshot wire_before = obs::metrics().snapshot();
+
+  const double fb_s = static_cast<double>(cfg.batch_size) *
+                      cluster.model.flops_per_sample / cluster.node_flops;
+  const double up_s = (cluster.model.weight_bytes / 4.0) *
+                      cluster.update_flops_per_param / cluster.node_flops;
+
+  struct Probe {
+    std::size_t sweep;
+    double vtime;
+    std::vector<float> center;
+  };
+  std::vector<Probe> probes;        // written only by the master thread
+  std::vector<float> final_center;  // written only by the master thread
+  std::size_t completed_sweeps = 0;  // written only by the master thread
+  std::atomic<bool> any_failure{false};
+  std::mutex abort_mutex;
+  std::string abort_reason;
+
+  CostLedger merged_ledger;
+  std::mutex ledger_mutex;
+  auto merge_ledger = [&](const CostLedger& local) {
+    const std::lock_guard<std::mutex> lock(ledger_mutex);
+    merged_ledger += local;
+  };
+
+  // W̄₀ from one reference replica.
+  const std::unique_ptr<Network> init_net = ctx.factory();
+  const std::vector<float> initial(init_net->arena().full_params().begin(),
+                                   init_net->arena().full_params().end());
+
+  auto master_main = [&] {
+    const RankClock rank_clock{&fabric, 0};
+    const obs::RankScope obs_rank(0, &RankClock::read, &rank_clock);
+    DS_TRACE_SPAN("algo", "round_robin_master");
+    CostLedger local;
+    double mark = fabric.clock(0);
+    auto charge = [&](Phase phase) {
+      const double now = fabric.clock(0);
+      if (now > mark) local.charge_traced(phase, now - mark, now);
+      mark = now;
+    };
+    std::vector<float> center = initial;
+    std::size_t t = 0;
+    try {
+      for (t = 1; t <= cfg.iterations; ++t) {
+        DS_TRACE_SPAN("algo", "sweep");
+        // Algorithm 1's loop: visit every worker in rank order. Matched
+        // receives make the schedule a constant of the configuration.
+        for (std::size_t w = 1; w <= workers; ++w) {
+          std::vector<float> w_i = fabric.recv(0, w, kPushTag);
+          charge(Phase::kGpuGpuParamComm);  // blocked on worker w's push
+          easgd_center_step(center, w_i, cfg.lr_at(t), cfg.rho);
+          fabric.advance(0, up_s);
+          charge(Phase::kCpuUpdate);
+          narrate_acc(fabric, 0, obs::proto::kCenterBuffer,
+                      obs::proto::kAccWrite);
+          fabric.send(0, w, kReplyTag, center);
+          charge(Phase::kGpuGpuParamComm);  // reply transmit
+        }
+        completed_sweeps = t;
+        if (t % cfg.eval_every == 0 || t == cfg.iterations) {
+          probes.push_back(Probe{t, fabric.clock(0), center});
+        }
+      }
+    } catch (const RankFailure& failure) {
+      any_failure.store(true);
+      {
+        const std::lock_guard<std::mutex> lock(abort_mutex);
+        if (abort_reason.empty()) {
+          std::ostringstream os;
+          os << "sweep " << t << " aborted at master: " << failure.what();
+          abort_reason = os.str();
+        }
+      }
+      if (probes.empty() || probes.back().sweep < completed_sweeps) {
+        probes.push_back(Probe{completed_sweeps, fabric.clock(0), center});
+      }
+    }
+    final_center = center;
+    merge_ledger(local);
+    fabric.retire(0);
+  };
+
+  auto worker_main = [&](std::size_t rank) {
+    const RankClock rank_clock{&fabric, rank};
+    const obs::RankScope obs_rank(static_cast<std::int64_t>(rank),
+                                  &RankClock::read, &rank_clock);
+    DS_TRACE_SPAN("algo", "round_robin_worker");
+    CostLedger local;
+    double mark = fabric.clock(rank);
+    auto charge = [&](Phase phase) {
+      const double now = fabric.clock(rank);
+      if (now > mark) local.charge_traced(phase, now - mark, now);
+      mark = now;
+    };
+    try {
+      const std::unique_ptr<Network> net = ctx.factory();
+      copy(initial, net->arena().full_params());
+      BatchSampler sampler(*ctx.train, cfg.batch_size,
+                           cfg.seed * 69621 + rank);
+      Tensor batch;
+      std::vector<std::int32_t> labels;
+
+      for (std::size_t t = 1; t <= cfg.iterations; ++t) {
+        DS_TRACE_SPAN("algo", "interaction");
+        sampler.next(batch, labels);
+        net->zero_grads();
+        net->forward_backward(batch, labels);
+        fabric.advance(rank, fb_s);
+        charge(Phase::kForwardBackward);
+
+        // Push W_i, await the master's turn in the sweep.
+        std::vector<float> w_i(net->arena().full_params().begin(),
+                               net->arena().full_params().end());
+        fabric.send(rank, 0, kPushTag, std::move(w_i));
+        const std::vector<float> center = fabric.recv(rank, 0, kReplyTag);
+        charge(Phase::kGpuGpuParamComm);  // push + wait for our turn
+
+        easgd_worker_step(net->arena().full_params(),
+                          net->arena().full_grads(), center, cfg.lr_at(t),
+                          cfg.rho);
+        fabric.advance(rank, up_s);
+        charge(Phase::kGpuUpdate);
+        narrate_acc(fabric, rank, obs::proto::local_buffer(
+                                      static_cast<std::int64_t>(rank)),
+                    obs::proto::kAccWrite);
+      }
+    } catch (const RankFailure&) {
+      // This worker crashed or the master is gone; drop out cleanly so the
+      // master's next matched recv on us raises kPeerGone and aborts the
+      // sweep instead of deadlocking.
+    }
+    merge_ledger(local);
+    fabric.retire(rank);
+  };
+
+  parallel_for_threads(ranks, [&](std::size_t rank) {
+    if (rank == 0) {
+      master_main();
+    } else {
+      worker_main(rank);
+    }
+  });
+
+  RunResult res;
+  res.method = "Fabric Round-Robin EASGD (Algorithm 1)";
+  res.workers = workers;
+  res.workers_survived = workers - count_failed(fabric);
+  res.aborted = any_failure.load();
+  res.abort_reason = abort_reason;
+  res.iterations = res.aborted ? completed_sweeps : cfg.iterations;
+  res.final_params = std::move(final_center);
+  Evaluator eval(ctx.factory, *ctx.test, cfg.eval_samples);
+  for (const Probe& probe : probes) {
+    TracePoint p = eval.evaluate_packed(probe.center);
+    p.iteration = probe.sweep;
+    p.vtime = probe.vtime;
+    res.trace.push_back(p);
+  }
+  res.total_seconds = fabric.max_clock();
+  if (!res.trace.empty()) {
+    res.final_accuracy = res.trace.back().accuracy;
+    res.final_loss = res.trace.back().loss;
+  }
   res.ledger = merged_ledger;
   apply_fabric_wire(res, wire_before);
   return res;

@@ -51,4 +51,17 @@ RunResult run_fabric_easgd(const AlgoContext& ctx,
 RunResult run_fabric_async_easgd(const AlgoContext& ctx,
                                  const FabricClusterConfig& cluster);
 
+/// Round-robin EASGD over the fabric (paper Algorithm 1): rank 0 is the
+/// master sweeping workers 1..W in a FIXED order every round — matched
+/// receives only, no wildcard — applying Eq. (2) per visit and returning
+/// the fresh center. ctx.config.workers counts the WORKERS (the fabric
+/// gets workers+1 ranks); ctx.config.iterations counts master sweeps.
+///
+/// The deterministic sweep is the protocol contrast to the parameter
+/// server above: same master-bottleneck math, but the message schedule is
+/// a pure function of (workers, iterations), which is what makes it the
+/// reference protocol for check::explore's determinism assertions.
+RunResult run_fabric_round_robin_easgd(const AlgoContext& ctx,
+                                       const FabricClusterConfig& cluster);
+
 }  // namespace ds

@@ -107,7 +107,17 @@ TraceData ingest_snapshot(const std::vector<ThreadEvents>& threads) {
           out.vspans.push_back(std::move(v));
           break;
         }
-        case EventType::kInstant:
+        case EventType::kInstant: {
+          VInstant vi;
+          vi.rank = e.rank;
+          vi.category = e.category != nullptr ? e.category : "";
+          vi.name = e.name != nullptr ? e.name : "";
+          vi.vtime = e.vtime;
+          vi.value = e.value;
+          vi.aux = e.aux;
+          out.instants.push_back(std::move(vi));
+          break;
+        }
         case EventType::kCounter:
         case EventType::kCompleteWall:
           break;  // carry no virtual duration; nothing to roll up
@@ -214,8 +224,29 @@ TraceData ingest_chrome_trace(const JsonValue& doc) {
         out.vspans.push_back(std::move(v));
         break;
       }
+      case 'i': {
+        VInstant vi;
+        vi.rank = pid_v == kHostPid
+                      ? kNoRank
+                      : (pid_v >= kVirtualPidBase ? pid_v - kVirtualPidBase
+                                                  : pid_v);
+        vi.category = cat_s;
+        vi.name = name_s;
+        vi.vtime = vt_v;
+        if (const JsonValue* value =
+                args != nullptr ? args->find("value") : nullptr;
+            value != nullptr && value->is_number()) {
+          vi.value = value->as_number();
+        }
+        if (const JsonValue* aux = args != nullptr ? args->find("aux") : nullptr;
+            aux != nullptr && aux->is_number()) {
+          vi.aux = aux->as_number();
+        }
+        out.instants.push_back(std::move(vi));
+        break;
+      }
       default:
-        break;  // i / C carry no duration
+        break;  // C carries no duration
     }
   }
   // Round-trip exactness: the exporter writes %.17g, so begin/duration come

@@ -73,9 +73,23 @@ struct Interval {
   std::uint64_t seq = 0;
 };
 
+/// Instant event with its (value, aux) payload — the carrier of the
+/// protocol-checker events (obs/proto.hpp). Order within one recording
+/// thread is preserved by both ingest paths; the checker relies on it as
+/// per-rank program order.
+struct VInstant {
+  std::int64_t rank = kNoRank;
+  std::string category;
+  std::string name;
+  double vtime = kNoVTime;
+  double value = kNoValue;
+  double aux = kNoValue;
+};
+
 struct TraceData {
-  std::vector<VSpan> vspans;     // virtual-domain complete spans
-  std::vector<Interval> spans;   // wall-domain B/E pairs, per-thread order
+  std::vector<VSpan> vspans;       // virtual-domain complete spans
+  std::vector<Interval> spans;     // wall-domain B/E pairs, per-thread order
+  std::vector<VInstant> instants;  // instant events, per-thread order
   std::uint64_t dropped_events = 0;
 
   bool empty() const { return vspans.empty() && spans.empty(); }

@@ -166,9 +166,28 @@ void write_chrome_trace(std::ostream& os) {
           w.common("i", wall_pid(e.rank), te.thread_index, wall_us, e.category,
                    e.name);
           os << ",\"s\":\"t\"";
-          if (!std::isnan(e.vtime)) {
-            os << ",\"args\":{\"vt\":";
-            json_number(os, e.vtime);
+          const bool has_vt = !std::isnan(e.vtime);
+          const bool has_value = !std::isnan(e.value);
+          const bool has_aux = !std::isnan(e.aux);
+          if (has_vt || has_value || has_aux) {
+            os << ",\"args\":{";
+            bool first_arg = true;
+            if (has_vt) {
+              os << "\"vt\":";
+              json_number(os, e.vtime);
+              first_arg = false;
+            }
+            if (has_value) {
+              if (!first_arg) os << ',';
+              os << "\"value\":";
+              json_number(os, e.value);
+              first_arg = false;
+            }
+            if (has_aux) {
+              if (!first_arg) os << ',';
+              os << "\"aux\":";
+              json_number(os, e.aux);
+            }
             os << "}";
           }
           os << "}";

@@ -1,0 +1,139 @@
+// proto.v1 — the protocol-checker event schema (DESIGN.md §9).
+//
+// The fabric (and the runners above it) narrate every protocol-relevant
+// action as a "proto"-category instant event on the acting rank's virtual
+// timeline. The offline checker (src/check) reconstructs Lamport vector
+// clocks and the happens-before relation from nothing but these events, so
+// the schema must carry exact message identity through a Chrome-trace
+// round trip. Event.value and Event.aux are doubles; every field below is
+// an integer small enough (< 2^53) to survive %.17g exactly.
+//
+// Event names and payloads:
+//   "send"      value = seq (sender's per-rank send counter, 1-based)
+//               aux   = pack_peer_tag(dst, tag)
+//   "lost"      same payload as the "send" it follows — the message was
+//               dropped on every retransmit attempt and will never arrive
+//   "recv"      value = seq OF THE MATCHED SEND; aux = pack_peer_tag(src,
+//               tag); event rank = the receiver
+//   "recv_any"  as "recv", for the wildcard-source receive
+//   "wait"      a matched receive was posted (emitted before the first
+//               mailbox look, whether or not it then blocks — post time is
+//               deterministic in virtual time, blocking is a wall-clock
+//               race): value = 0, aux = pack_peer_tag(awaited src, tag)
+//   "wait_any"  as "wait", with peer = kAnyPeer
+//   "timeout"   the wait above gave up (RankFailure::kTimeout); payload as
+//               the wait it resolves
+//   "crash"     rank hit its scheduled crash time; value = aux = 0
+//   "retire"    rank exited cleanly; value = aux = 0
+//   "acc"       parameter-buffer access: value = kind (0 read, 1 write),
+//               aux = buffer id (kCenterBuffer, local_buffer(rank), ...)
+//
+// Message identity is (sender rank, seq): seq is the sender's vector-clock
+// self-component after the send tick, so it is unique and monotone per
+// sender, and the receiver-side event can name the exact send it matched
+// even under recv_any and tag reuse.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/trace.hpp"
+
+namespace ds::obs::proto {
+
+inline constexpr const char* kCategory = "proto";
+
+inline constexpr const char* kSend = "send";
+inline constexpr const char* kLost = "lost";
+inline constexpr const char* kRecv = "recv";
+inline constexpr const char* kRecvAny = "recv_any";
+inline constexpr const char* kWait = "wait";
+inline constexpr const char* kWaitAny = "wait_any";
+inline constexpr const char* kTimeout = "timeout";
+inline constexpr const char* kCrash = "crash";
+inline constexpr const char* kRetire = "retire";
+inline constexpr const char* kAcc = "acc";
+
+/// Peer field of a wildcard wait: "any active rank may serve this".
+inline constexpr std::int64_t kAnyPeer = (1 << 20) - 1;
+
+/// Well-known buffer ids for "acc" events. The checker treats ids as
+/// opaque; these are the runners' convention.
+inline constexpr double kCenterBuffer = 0.0;
+inline double local_buffer(std::int64_t rank) {
+  return 1000.0 + static_cast<double>(rank);
+}
+
+inline constexpr double kAccRead = 0.0;
+inline constexpr double kAccWrite = 1.0;
+
+// ---------------------------------------------------------------------------
+// (peer, tag) packing. peer < 2^20 and tag is a 32-bit int, so
+// peer·2^33 + (tag + 2^31) < 2^53 and the double is exact.
+// ---------------------------------------------------------------------------
+
+inline constexpr double kPeerShift = 8589934592.0;   // 2^33
+inline constexpr double kTagBias = 2147483648.0;     // 2^31
+
+inline double pack_peer_tag(std::int64_t peer, int tag) {
+  return static_cast<double>(peer) * kPeerShift +
+         (static_cast<double>(tag) + kTagBias);
+}
+
+inline std::int64_t unpack_peer(double packed) {
+  return static_cast<std::int64_t>(packed / kPeerShift);
+}
+
+inline int unpack_tag(double packed) {
+  const double peer = static_cast<double>(unpack_peer(packed));
+  return static_cast<int>(packed - peer * kPeerShift - kTagBias);
+}
+
+// ---------------------------------------------------------------------------
+// Emit helpers. All gate on tracing_enabled() inside instant_v: disabled
+// tracing costs one branch, no allocation, no lock.
+// ---------------------------------------------------------------------------
+
+inline void emit_send(std::int64_t rank, double vtime, std::uint64_t seq,
+                      std::int64_t dst, int tag) {
+  instant_v(kCategory, kSend, vtime, rank, static_cast<double>(seq),
+            pack_peer_tag(dst, tag));
+}
+
+inline void emit_lost(std::int64_t rank, double vtime, std::uint64_t seq,
+                      std::int64_t dst, int tag) {
+  instant_v(kCategory, kLost, vtime, rank, static_cast<double>(seq),
+            pack_peer_tag(dst, tag));
+}
+
+inline void emit_recv(std::int64_t rank, double vtime, std::uint64_t seq,
+                      std::int64_t src, int tag, bool any) {
+  instant_v(kCategory, any ? kRecvAny : kRecv, vtime, rank,
+            static_cast<double>(seq), pack_peer_tag(src, tag));
+}
+
+inline void emit_wait(std::int64_t rank, double vtime, std::int64_t src,
+                      int tag, bool any) {
+  instant_v(kCategory, any ? kWaitAny : kWait, vtime, rank, 0.0,
+            pack_peer_tag(any ? kAnyPeer : src, tag));
+}
+
+inline void emit_timeout(std::int64_t rank, double vtime, std::int64_t src,
+                         int tag, bool any) {
+  instant_v(kCategory, kTimeout, vtime, rank, 0.0,
+            pack_peer_tag(any ? kAnyPeer : src, tag));
+}
+
+inline void emit_crash(std::int64_t rank, double vtime) {
+  instant_v(kCategory, kCrash, vtime, rank, 0.0, 0.0);
+}
+
+inline void emit_retire(std::int64_t rank, double vtime) {
+  instant_v(kCategory, kRetire, vtime, rank, 0.0, 0.0);
+}
+
+inline void emit_acc(std::int64_t rank, double vtime, double buffer,
+                     double kind) {
+  instant_v(kCategory, kAcc, vtime, rank, kind, buffer);
+}
+
+}  // namespace ds::obs::proto

@@ -230,6 +230,13 @@ void instant_at(const char* category, const char* name, double vtime,
                kNoValue, kNoValue, rank});
 }
 
+void instant_v(const char* category, const char* name, double vtime,
+               std::int64_t rank, double value, double aux) {
+  if (!tracing_enabled()) return;
+  append(Event{EventType::kInstant, category, name, wall_now_ns(), vtime,
+               value, aux, rank});
+}
+
 void counter(const char* name, double value) {
   if (!tracing_enabled()) return;
   append(Event{EventType::kCounter, "counter", name, wall_now_ns(), kNoVTime,

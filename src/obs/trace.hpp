@@ -140,6 +140,12 @@ void instant(const char* category, const char* name);
 void instant_at(const char* category, const char* name, double vtime,
                 std::int64_t rank);
 
+/// Instant with a (value, aux) payload — the carrier of the protocol-checker
+/// events (obs/proto.hpp), where value/aux encode message identity. Exported
+/// to Chrome args and round-tripped by the analysis ingest.
+void instant_v(const char* category, const char* name, double vtime,
+               std::int64_t rank, double value, double aux = kNoValue);
+
 /// Chrome counter-track sample (wall domain).
 void counter(const char* name, double value);
 

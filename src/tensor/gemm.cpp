@@ -142,7 +142,10 @@ void micro_kernel(std::size_t kc, const float* ap, const float* bp, float* c,
   }
   const GemmEpilogue* ep = ctx.last_k ? ctx.epilogue : nullptr;
   if (mr == kGemmMR && nr == kGemmNR) {
-    const auto finish = [&](std::size_t r, v16sf acc) {
+    // By-reference: a by-value v16sf argument is an ABI-affected vector
+    // pass and trips -Wpsabi on builds without 512-bit registers enabled.
+    const auto finish = [&](std::size_t r, const v16sf& acc_in) {
+      v16sf acc = acc_in;
       if (ep != nullptr) {
         if (ep->row_bias != nullptr) acc += ep->row_bias[i0 + r];
         if (ep->col_bias != nullptr) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "comm/fabric.hpp"
+#include "comm/fault.hpp"
 #include "comm/ledger.hpp"
 #include "obs/trace.hpp"
 #include "support/thread_pool.hpp"
@@ -63,6 +64,24 @@ TEST(ObsOverhead, DisabledFabricStepsTouchNothing) {
     fabric.send(0, 1, 7, std::vector<float>{1.0f, 2.0f});
     const std::vector<float> got = fabric.recv(1, 0, 7);
     ASSERT_EQ(got.size(), 2u);
+  }
+  base.expect_untouched();
+}
+
+TEST(ObsOverhead, DisabledWildcardAndFaultedStepsTouchNothing) {
+  // The protocol-narration emits (proto.v1 send/recv/wait instants) ride
+  // the same one-branch gate as every other site — including the faulted
+  // send path and the wildcard receive added for the protocol checker.
+  obs::set_tracing_enabled(false);
+  Fabric fabric(3, LinkModel{}, FaultPlan::none().with_polling(50, 1.0e-4));
+  const RecorderBaseline base;
+  for (int i = 0; i < 200; ++i) {
+    fabric.send(1, 0, 9, std::vector<float>{1.0f});
+    fabric.send(2, 0, 9, std::vector<float>{2.0f});
+    const auto a = fabric.recv_any(0, 9);
+    const auto b = fabric.recv_any(0, 9);
+    ASSERT_NE(a.first, b.first);
+    ASSERT_EQ(a.second.size() + b.second.size(), 2u);
   }
   base.expect_untouched();
 }

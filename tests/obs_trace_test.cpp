@@ -86,8 +86,12 @@ TEST_F(ObsTraceTest, ThreadVClockStampsSpans) {
   const auto threads = snapshot();
   for (const ThreadEvents& te : threads) {
     for (const Event& e : te.events) {
-      if (e.type == EventType::kSpanBegin) EXPECT_DOUBLE_EQ(e.vtime, 41.5);
-      if (e.type == EventType::kSpanEnd) EXPECT_DOUBLE_EQ(e.vtime, 42.0);
+      if (e.type == EventType::kSpanBegin) {
+        EXPECT_DOUBLE_EQ(e.vtime, 41.5);
+      }
+      if (e.type == EventType::kSpanEnd) {
+        EXPECT_DOUBLE_EQ(e.vtime, 42.0);
+      }
     }
   }
 }

@@ -1,0 +1,383 @@
+// Protocol-checker acceptance contract (ISSUE: static_analysis PR):
+//   (a) seeded known-bad traces each produce EXACTLY ONE violation of the
+//       expected kind — dropped ack → unmatched-send, tag collision →
+//       tag-aliasing, crossed waits → deadlock, unordered writes →
+//       concurrent-access, backwards timeline → clock-regression;
+//   (b) clean traced runs of every fabric runner family (sync tree, async
+//       parameter server, round-robin) check violation-free — live
+//       snapshot AND after a Chrome-trace export/parse round trip — and so
+//       do faulted runs (losses and crashes excuse their orphans);
+//   (c) check::explore proves deadlock-freedom and digest determinism for
+//       all three runner-family miniatures at P ≤ 4, catches a seeded
+//       deadlock, and catches a seeded order-dependent result.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "check/explore.hpp"
+#include "check/protocol_check.hpp"
+#include "comm/fault.hpp"
+#include "core/fabric_algorithms.hpp"
+#include "data/dataset.hpp"
+#include "nn/models.hpp"
+#include "obs/analysis/analysis.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/json.hpp"
+#include "obs/proto.hpp"
+#include "obs/trace.hpp"
+
+namespace ds {
+namespace {
+
+namespace analysis = obs::analysis;
+namespace proto = obs::proto;
+
+// ---------------------------------------------------------------------------
+// (a) Seeded bad traces, hand-authored in proto.v1.
+// ---------------------------------------------------------------------------
+
+struct SeededTrace {
+  analysis::TraceData data;
+
+  void add(std::int64_t rank, const char* name, double vtime, double value,
+           double aux) {
+    analysis::VInstant e;
+    e.rank = rank;
+    e.category = proto::kCategory;
+    e.name = name;
+    e.vtime = vtime;
+    e.value = value;
+    e.aux = aux;
+    data.instants.push_back(e);
+  }
+  void retire(std::int64_t rank, double vtime) {
+    add(rank, proto::kRetire, vtime, 0.0, 0.0);
+  }
+};
+
+TEST(ProtocolCheck, DroppedAckFlagsExactlyOneUnmatchedSend) {
+  SeededTrace t;
+  t.add(0, proto::kSend, 1.0, 1.0, proto::pack_peer_tag(1, 5));
+  t.retire(0, 2.0);
+  t.retire(1, 2.0);
+  const check::CheckReport report = check::check_trace(t.data);
+  ASSERT_EQ(report.violations.size(), 1u) << check::format_report(report);
+  EXPECT_EQ(report.violations[0].kind, check::ViolationKind::kUnmatchedSend);
+  EXPECT_EQ(report.violations[0].rank_a, 0);
+  EXPECT_EQ(report.violations[0].rank_b, 1);
+}
+
+TEST(ProtocolCheck, TagCollisionFlagsExactlyOneAliasing) {
+  SeededTrace t;
+  t.add(0, proto::kSend, 1.0, 1.0, proto::pack_peer_tag(1, 7));
+  t.add(0, proto::kSend, 2.0, 2.0, proto::pack_peer_tag(1, 7));
+  t.add(1, proto::kRecv, 3.0, 2.0, proto::pack_peer_tag(0, 7));
+  t.add(1, proto::kRecv, 4.0, 1.0, proto::pack_peer_tag(0, 7));
+  t.retire(0, 5.0);
+  t.retire(1, 5.0);
+  const check::CheckReport report = check::check_trace(t.data);
+  ASSERT_EQ(report.violations.size(), 1u) << check::format_report(report);
+  EXPECT_EQ(report.violations[0].kind, check::ViolationKind::kTagAliasing);
+  EXPECT_EQ(report.stats.matched, 2u);
+}
+
+TEST(ProtocolCheck, CrossedWaitsFlagExactlyOneDeadlockCycle) {
+  SeededTrace t;
+  t.add(0, proto::kWait, 1.0, 0.0, proto::pack_peer_tag(1, 3));
+  t.add(1, proto::kWait, 1.0, 0.0, proto::pack_peer_tag(0, 3));
+  const check::CheckReport report = check::check_trace(t.data);
+  ASSERT_EQ(report.violations.size(), 1u) << check::format_report(report);
+  EXPECT_EQ(report.violations[0].kind, check::ViolationKind::kDeadlock);
+}
+
+TEST(ProtocolCheck, UnorderedWritesFlagExactlyOneRace) {
+  SeededTrace t;
+  t.add(0, proto::kAcc, 1.0, proto::kAccWrite, proto::kCenterBuffer);
+  t.add(1, proto::kAcc, 1.0, proto::kAccWrite, proto::kCenterBuffer);
+  t.retire(0, 2.0);
+  t.retire(1, 2.0);
+  const check::CheckReport report = check::check_trace(t.data);
+  ASSERT_EQ(report.violations.size(), 1u) << check::format_report(report);
+  EXPECT_EQ(report.violations[0].kind,
+            check::ViolationKind::kConcurrentAccess);
+}
+
+TEST(ProtocolCheck, MessageOrderedWritesAreNotRaces) {
+  // Same two writes, but a message between them creates the happens-before
+  // edge: rank 0 writes, SENDS, rank 1 receives, then writes.
+  SeededTrace t;
+  t.add(0, proto::kAcc, 1.0, proto::kAccWrite, proto::kCenterBuffer);
+  t.add(0, proto::kSend, 2.0, 1.0, proto::pack_peer_tag(1, 9));
+  t.add(1, proto::kRecv, 3.0, 1.0, proto::pack_peer_tag(0, 9));
+  t.add(1, proto::kAcc, 4.0, proto::kAccWrite, proto::kCenterBuffer);
+  t.retire(0, 5.0);
+  t.retire(1, 5.0);
+  const check::CheckReport report = check::check_trace(t.data);
+  EXPECT_TRUE(report.ok()) << check::format_report(report);
+}
+
+TEST(ProtocolCheck, PhantomReceiveFlagsUnmatchedRecv) {
+  SeededTrace t;
+  t.add(1, proto::kRecv, 1.0, 3.0, proto::pack_peer_tag(0, 4));
+  t.retire(0, 2.0);
+  t.retire(1, 2.0);
+  const check::CheckReport report = check::check_trace(t.data);
+  ASSERT_EQ(report.violations.size(), 1u) << check::format_report(report);
+  EXPECT_EQ(report.violations[0].kind, check::ViolationKind::kUnmatchedRecv);
+}
+
+TEST(ProtocolCheck, BackwardsTimelineFlagsClockRegression) {
+  SeededTrace t;
+  t.add(0, proto::kWait, 5.0, 0.0, proto::pack_peer_tag(1, 2));
+  t.add(0, proto::kWait, 3.0, 0.0, proto::pack_peer_tag(1, 2));
+  t.retire(0, 6.0);
+  const check::CheckReport report = check::check_trace(t.data);
+  ASSERT_EQ(report.violations.size(), 1u) << check::format_report(report);
+  EXPECT_EQ(report.violations[0].kind,
+            check::ViolationKind::kClockRegression);
+}
+
+TEST(ProtocolCheck, LostMessageIsExcused) {
+  // A send narrated "lost" is not an unmatched-send violation.
+  SeededTrace t;
+  t.add(0, proto::kSend, 1.0, 1.0, proto::pack_peer_tag(1, 5));
+  t.add(0, proto::kLost, 1.0, 1.0, proto::pack_peer_tag(1, 5));
+  t.retire(0, 2.0);
+  t.retire(1, 2.0);
+  const check::CheckReport report = check::check_trace(t.data);
+  EXPECT_TRUE(report.ok()) << check::format_report(report);
+  EXPECT_EQ(report.stats.losses, 1u);
+}
+
+TEST(ProtocolCheck, EmptyTraceIsOk) {
+  const check::CheckReport report = check::check_trace(analysis::TraceData{});
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.stats.ranks, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// (b) Clean runs of every runner family check violation-free.
+// ---------------------------------------------------------------------------
+
+struct Fixture {
+  TrainTest data;
+  AlgoContext ctx;
+
+  Fixture() {
+    SyntheticSpec spec;
+    spec.classes = 4;
+    spec.channels = 1;
+    spec.height = 8;
+    spec.width = 8;
+    spec.train_count = 256;
+    spec.test_count = 64;
+    spec.noise = 0.9;
+    spec.seed = 99;
+    data = make_synthetic(spec);
+    const auto stats = normalize(data.train);
+    normalize_with(data.test, stats.first, stats.second);
+    ctx.factory = [] {
+      Rng rng(17);
+      return make_tiny_mlp(rng);
+    };
+    ctx.train = &data.train;
+    ctx.test = &data.test;
+    ctx.config.workers = 3;
+    ctx.config.iterations = 20;
+    ctx.config.batch_size = 16;
+    ctx.config.eval_every = 10;
+    ctx.config.eval_samples = 64;
+    ctx.config.learning_rate = 0.05f;
+    ctx.config.rho = 0.9f / (3.0f * 0.05f);
+  }
+};
+
+class ProtocolCheckRunTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_tracing_enabled(false);
+    obs::reset();
+    obs::set_tracing_enabled(true);
+  }
+  void TearDown() override {
+    obs::set_tracing_enabled(false);
+    obs::reset();
+  }
+};
+
+check::CheckReport checked_live() {
+  return check::check_trace(analysis::ingest_snapshot(obs::snapshot()));
+}
+
+TEST_F(ProtocolCheckRunTest, CleanSyncRunHasNoViolations) {
+  Fixture f;
+  run_fabric_easgd(f.ctx, FabricClusterConfig{});
+  const check::CheckReport report = checked_live();
+  EXPECT_TRUE(report.ok()) << check::format_report(report);
+  EXPECT_GT(report.stats.sends, 0u);
+  EXPECT_EQ(report.stats.sends, report.stats.matched);
+  EXPECT_GT(report.stats.accesses, 0u);
+  EXPECT_EQ(report.stats.retires, 3u);
+}
+
+TEST_F(ProtocolCheckRunTest, CleanAsyncRunHasNoViolations) {
+  Fixture f;
+  run_fabric_async_easgd(f.ctx, FabricClusterConfig{});
+  const check::CheckReport report = checked_live();
+  EXPECT_TRUE(report.ok()) << check::format_report(report);
+  EXPECT_GT(report.stats.recvs, 0u);
+  EXPECT_EQ(report.stats.sends, report.stats.matched);
+}
+
+TEST_F(ProtocolCheckRunTest, CleanRoundRobinRunHasNoViolations) {
+  Fixture f;
+  run_fabric_round_robin_easgd(f.ctx, FabricClusterConfig{});
+  const check::CheckReport report = checked_live();
+  EXPECT_TRUE(report.ok()) << check::format_report(report);
+  EXPECT_EQ(report.stats.sends, report.stats.matched);
+  EXPECT_EQ(report.stats.retires, 4u);  // master + 3 workers
+}
+
+TEST_F(ProtocolCheckRunTest, FaultedRunsStayCleanLossesAndCrashesExcuse) {
+  Fixture f;
+  FabricClusterConfig cluster;
+  cluster.faults = FaultPlan::none();
+  cluster.faults.seed = 1234;
+  cluster.faults.with_drop(0.05).with_straggler(1, 3.0).with_crash(2, 0.5);
+  run_fabric_easgd(f.ctx, cluster);
+  const check::CheckReport sync_report = checked_live();
+  EXPECT_TRUE(sync_report.ok()) << check::format_report(sync_report);
+
+  obs::reset();
+  run_fabric_async_easgd(f.ctx, cluster);
+  const check::CheckReport async_report = checked_live();
+  EXPECT_TRUE(async_report.ok()) << check::format_report(async_report);
+}
+
+TEST_F(ProtocolCheckRunTest, ChromeRoundTripPreservesTheVerdict) {
+  Fixture f;
+  run_fabric_round_robin_easgd(f.ctx, FabricClusterConfig{});
+  const check::CheckReport live = checked_live();
+  std::ostringstream os;
+  obs::write_chrome_trace(os);
+  const check::CheckReport reparsed = check::check_trace(
+      analysis::ingest_chrome_trace(obs::parse_json(os.str())));
+  EXPECT_TRUE(reparsed.ok()) << check::format_report(reparsed);
+  EXPECT_EQ(reparsed.stats.sends, live.stats.sends);
+  EXPECT_EQ(reparsed.stats.recvs, live.stats.recvs);
+  EXPECT_EQ(reparsed.stats.matched, live.stats.matched);
+  EXPECT_EQ(reparsed.stats.accesses, live.stats.accesses);
+}
+
+// ---------------------------------------------------------------------------
+// Round-robin runner sanity (new in this PR).
+// ---------------------------------------------------------------------------
+
+TEST(RoundRobinRunner, ConvergesAndIsDeterministic) {
+  Fixture f;
+  f.ctx.config.iterations = 60;
+  f.ctx.config.eval_every = 30;
+  const RunResult a = run_fabric_round_robin_easgd(f.ctx, FabricClusterConfig{});
+  const RunResult b = run_fabric_round_robin_easgd(f.ctx, FabricClusterConfig{});
+  ASSERT_FALSE(a.trace.empty());
+  EXPECT_FALSE(a.aborted);
+  EXPECT_GT(a.final_accuracy, 0.5);
+  EXPECT_GT(a.total_seconds, 0.0);
+  // Matched receives in a fixed sweep order: bit-deterministic.
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].loss, b.trace[i].loss);
+    EXPECT_EQ(a.trace[i].vtime, b.trace[i].vtime);
+  }
+}
+
+TEST(RoundRobinRunner, SurvivesAWorkerCrashGracefully) {
+  Fixture f;
+  const RunResult clean = run_fabric_round_robin_easgd(f.ctx, FabricClusterConfig{});
+  ASSERT_GT(clean.total_seconds, 0.0);
+  FabricClusterConfig cluster;
+  cluster.faults.with_crash(2, clean.total_seconds / 2.0);
+  const RunResult r = run_fabric_round_robin_easgd(f.ctx, cluster);
+  EXPECT_TRUE(r.aborted);
+  EXPECT_LT(r.workers_survived, r.workers);
+  EXPECT_FALSE(r.abort_reason.empty());
+}
+
+// ---------------------------------------------------------------------------
+// (c) Bounded schedule exploration.
+// ---------------------------------------------------------------------------
+
+TEST(Explore, SyncTreeIsDeadlockFreeAndDeterministic) {
+  const check::ExploreReport r = check::explore(check::sync_tree_protocol(4, 2));
+  EXPECT_TRUE(r.ok()) << check::format_report(r);
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_EQ(r.deadlocks, 0u);
+  EXPECT_EQ(r.completed, 2u);  // wildcard-free: two independent executions
+}
+
+TEST(Explore, RoundRobinIsDeadlockFreeAndDeterministic) {
+  const check::ExploreReport r =
+      check::explore(check::round_robin_protocol(3, 2));
+  EXPECT_TRUE(r.ok()) << check::format_report(r);
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_EQ(r.deadlocks, 0u);
+}
+
+TEST(Explore, AsyncServerIsDeadlockFreeUnderEveryInterleaving) {
+  const check::ExploreReport r =
+      check::explore(check::async_server_protocol(3, 4));
+  EXPECT_TRUE(r.ok()) << check::format_report(r);
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_EQ(r.deadlocks, 0u);
+  EXPECT_TRUE(r.deterministic);
+  // 2 workers × 2 pushes: up to C(4,2)=6 service orders; the DFS must find
+  // several genuinely distinct ones, all completing with equal digests.
+  EXPECT_GE(r.completed, 2u);
+}
+
+TEST(Explore, CatchesASeededDeadlock) {
+  // Both ranks receive first: the classic crossed blocking pair.
+  check::Protocol p;
+  p.name = "crossed_recv";
+  p.ranks = 2;
+  p.body = [](Fabric& fabric, std::size_t rank, std::vector<double>& digest) {
+    const std::size_t peer = 1 - rank;
+    const std::vector<float> got = fabric.recv(rank, peer, 1);
+    fabric.send(rank, peer, 1, {1.0f});
+    digest[rank] = static_cast<double>(got[0]);
+  };
+  check::ExploreOptions options;
+  options.poll_budget = 50;  // resolve the hang quickly
+  const check::ExploreReport r = check::explore(p, options);
+  EXPECT_FALSE(r.ok()) << check::format_report(r);
+  EXPECT_GE(r.deadlocks, 1u);
+}
+
+TEST(Explore, CatchesAScheduleDependentResult) {
+  // digest[0] = source of the first wildcard message served — the textbook
+  // order-dependent protocol. The pre-push barrier guarantees both pushes
+  // are queued before the server chooses, so both branches are explored.
+  check::Protocol p;
+  p.name = "first_wins";
+  p.ranks = 3;
+  p.body = [](Fabric& fabric, std::size_t rank, std::vector<double>& digest) {
+    constexpr int kTag = 11;
+    if (rank == 0) {
+      fabric.barrier(0);
+      const auto [src, payload] = fabric.recv_any(0, kTag);
+      digest[0] = static_cast<double>(src);
+      (void)payload;
+    } else {
+      fabric.send(rank, 0, kTag, {static_cast<float>(rank)});
+      fabric.barrier(rank);
+    }
+  };
+  const check::ExploreReport r = check::explore(p);
+  EXPECT_FALSE(r.deterministic) << check::format_report(r);
+  EXPECT_EQ(r.deadlocks, 0u);
+  EXPECT_GE(r.completed, 2u);
+}
+
+}  // namespace
+}  // namespace ds
