@@ -2,25 +2,49 @@
 // latency and continuous memory access."
 //
 // Sync SGD training AlexNet (scaled) with the gradient allreduce either as
-// one packed message per collective hop (§5.2) or one message per learnable
-// tensor (mainstream-framework baseline). Identical math (the test suite
-// asserts the accuracy traces match bit-for-bit); the per-layer schedule
-// pays the extra latency, so the same accuracy arrives later in time.
+// one packed message per collective hop (§5.2), one message per learnable
+// tensor (mainstream-framework baseline), or the layer-bucketed
+// backprop-overlapped pipeline (DESIGN.md §10) that interpolates between
+// them: retire-ordered buckets ship in flight under the remaining backward
+// pass. Identical math in all three (the test suite asserts the accuracy
+// traces match bit-for-bit); the per-layer schedule pays the extra latency
+// exposed, the bucketed schedule pays it hidden.
+//
+// The overlap metrics gate the pipeline's reason to exist: the trace-level
+// comm/compute split on the bucketed run must show >80% of communication
+// hidden under compute (ISSUE acceptance, mirrored by
+// tests/overlap_pipeline_test.cpp).
+//
 // The paper's plot shows two runs with different RNG seeds at slightly
 // different heights; we reproduce that by also printing a second-seed run.
 #include <cstdio>
 
 #include "core/sync_algorithms.hpp"
+#include "obs/analysis/analysis.hpp"
+#include "obs/trace.hpp"
 #include "bench_util.hpp"
+
+namespace {
+
+// 48 KiB over the scaled alexnet_s arena (~325 KB) yields 4 buckets:
+// {fc2}, {fc1 oversized}, {conv3}, {conv2+conv1} — only the last (~6% of
+// bytes) is exposed past the end of backward.
+constexpr std::size_t kBucketBytes = std::size_t{48} << 10;
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const auto args = ds::bench::BenchArgs::parse(argc, argv);
   ds::bench::print_header(
-      "Figure 10: packed single-message vs per-layer communication "
-      "(Sync SGD, AlexNet)");
+      "Figure 10: packed single-message vs per-layer vs bucketed-overlap "
+      "communication (Sync SGD, AlexNet)");
+
+  namespace analysis = ds::obs::analysis;
+  ds::bench::Reporter reporter("fig10_packed_layers");
 
   std::vector<ds::RunResult> runs;
   const std::uint64_t seeds[] = {args.has_seed ? args.seed : 1ULL, 2ULL};
+  bool overlap_reported = false;
   for (const std::uint64_t seed : seeds) {
     ds::bench::CifarAlexnetSetup setup;
     setup.ctx.config.seed = seed;
@@ -36,10 +60,26 @@ int main(int argc, char** argv) {
     setup.ctx.config.layout = ds::MessageLayout::kPerLayer;
     const ds::RunResult layered = run_sync_sgd(setup.ctx, setup.hw);
     ds::bench::print_trace(layered);
+    std::printf("\n");
 
+    // Bucketed backprop-overlapped pipeline, traced so the comm/compute
+    // split can be measured off the virtual timeline.
+    setup.ctx.config.layout = ds::MessageLayout::kPacked;
+    setup.ctx.config.bucketing.bucket_bytes = kBucketBytes;
+    ds::obs::set_tracing_enabled(false);
+    ds::obs::reset();
+    ds::obs::set_tracing_enabled(true);
+    const ds::RunResult bucketed = run_sync_sgd(setup.ctx, setup.hw);
+    ds::obs::set_tracing_enabled(false);
+    const analysis::TraceData trace =
+        analysis::ingest_snapshot(ds::obs::snapshot());
+    ds::obs::reset();
+    ds::bench::print_trace(bucketed);
+
+    const analysis::OverlapSplit split = analysis::comm_compute_split(trace);
     std::printf(
         "\n-> per-iteration comm: packed %.3f ms vs per-layer %.3f ms "
-        "(%.2fx); same iterations, %.2fx total-time gap\n\n",
+        "(%.2fx); same iterations, %.2fx total-time gap\n",
         1e3 * packed.ledger.seconds(ds::Phase::kGpuGpuParamComm) /
             static_cast<double>(packed.iterations),
         1e3 * layered.ledger.seconds(ds::Phase::kGpuGpuParamComm) /
@@ -47,16 +87,37 @@ int main(int argc, char** argv) {
         layered.ledger.seconds(ds::Phase::kGpuGpuParamComm) /
             packed.ledger.seconds(ds::Phase::kGpuGpuParamComm),
         layered.total_seconds / packed.total_seconds);
+    std::printf(
+        "-> bucketed overlap: %.1f%% of comm hidden under compute "
+        "(%.1f ms hidden, %.1f ms comm total); bucketed run %.2fx the "
+        "packed total time\n\n",
+        100.0 * split.overlap_fraction(), 1e3 * split.overlap_seconds,
+        1e3 * split.comm_seconds, bucketed.total_seconds / packed.total_seconds);
+
+    if (!overlap_reported) {
+      // Overlap metrics from the first (default) seed only: the modeled run
+      // is deterministic, so these are stable gate inputs.
+      reporter.metric("overlap.bucketed_fraction", split.overlap_fraction(),
+                      ds::bench::Better::kHigher);
+      reporter.metric("overlap.hidden_comm_ms", 1e3 * split.overlap_seconds,
+                      ds::bench::Better::kHigher, "ms");
+      reporter.metric("overlap.comm_ms", 1e3 * split.comm_seconds,
+                      ds::bench::Better::kNone, "ms");
+      overlap_reported = true;
+    }
 
     ds::RunResult packed_row = packed;
     packed_row.method += " (packed, seed " + std::to_string(seed) + ")";
     ds::RunResult layered_row = layered;
     layered_row.method += " (per-layer, seed " + std::to_string(seed) + ")";
+    ds::RunResult bucketed_row = bucketed;
+    bucketed_row.method += " (seed " + std::to_string(seed) + ")";
     runs.push_back(std::move(packed_row));
     runs.push_back(std::move(layered_row));
+    runs.push_back(std::move(bucketed_row));
   }
 
-  ds::bench::Reporter reporter("fig10_packed_layers");
+  reporter.set_setup("bucket_bytes", static_cast<double>(kBucketBytes));
   args.describe(reporter);
   return ds::bench::report_runs(args, reporter, runs);
 }

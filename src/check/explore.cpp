@@ -290,4 +290,100 @@ Protocol async_server_protocol(std::size_t ranks, std::size_t budget) {
   return p;
 }
 
+Protocol bucketed_exchange_protocol(std::size_t ranks, std::size_t buckets,
+                                    std::size_t rounds) {
+  DS_CHECK(ranks >= 2, "bucketed exchange needs a center and a worker");
+  DS_CHECK(buckets >= 1, "need at least one bucket");
+  Protocol p;
+  p.name = "bucketed_exchange";
+  p.ranks = ranks;
+  constexpr int kPushTag = 905;
+  constexpr int kReplyTagBase = 910;
+  const std::size_t workers = ranks - 1;
+  p.body = [workers, buckets, rounds](Fabric& fabric, std::size_t rank,
+                                      std::vector<double>& digest) {
+    // Push values are a pure function of (worker, bucket, round); center
+    // slices fold them with a commutative sum. Every quantity stays a
+    // small exact-in-double integer, so digests compare with ==.
+    auto push_value = [](std::size_t w, std::size_t b, std::size_t t) {
+      return static_cast<float>(w * 100 + b * 10 + t);
+    };
+    const std::size_t last = buckets - 1;
+    if (rank == 0) {
+      std::vector<double> center(buckets, 0.0);  // per-bucket "slice"
+      for (std::size_t t = 1; t <= rounds; ++t) {
+        std::vector<double> sums(buckets, 0.0);
+        std::vector<std::size_t> got(buckets, 0);
+        std::vector<std::size_t> last_srcs;
+        for (std::size_t n = 0; n < workers * buckets; ++n) {
+          auto [src, push] = fabric.recv_any(0, kPushTag);
+          const std::size_t b = static_cast<std::size_t>(push[0]);
+          // Pre-step reply right away — except the last bucket, whose
+          // reply is the round barrier (mirrors the runner).
+          if (b < last) {
+            fabric.send(0, src, kReplyTagBase + static_cast<int>(b),
+                        {static_cast<float>(center[b])});
+          } else {
+            last_srcs.push_back(src);
+          }
+          sums[b] += static_cast<double>(push[1]);
+          if (++got[b] == workers && b < last) center[b] += sums[b];
+        }
+        for (const std::size_t src : last_srcs) {
+          fabric.send(0, src, kReplyTagBase + static_cast<int>(last),
+                      {static_cast<float>(center[last])});
+        }
+        center[last] += sums[last];
+      }
+      for (std::size_t b = 0; b < buckets; ++b) digest[0] += center[b];
+    } else {
+      for (std::size_t t = 1; t <= rounds; ++t) {
+        for (std::size_t b = 0; b < buckets; ++b) {
+          fabric.send(rank, 0, kPushTag,
+                      {static_cast<float>(b), push_value(rank, b, t)});
+        }
+        for (std::size_t b = 0; b < buckets; ++b) {
+          const std::vector<float> reply =
+              fabric.recv(rank, 0, kReplyTagBase + static_cast<int>(b));
+          digest[rank] += static_cast<double>(reply[0]);
+        }
+      }
+    }
+  };
+  return p;
+}
+
+Protocol bucketed_misapply_protocol(std::size_t ranks, std::size_t buckets) {
+  DS_CHECK(ranks >= 3, "need two workers to expose an apply-order race");
+  Protocol p;
+  p.name = "bucketed_misapply_bug";
+  p.ranks = ranks;
+  constexpr int kPushTag = 905;
+  p.body = [ranks, buckets](Fabric& fabric, std::size_t rank,
+                            std::vector<double>& digest) {
+    const std::size_t workers = ranks - 1;
+    if (rank == 0) {
+      // THE BUG: fold pushes into the center in arrival order with a
+      // non-commutative update. Any two schedules that swap a pair of
+      // pushes produce different centers — explore() must call it
+      // NONDETERMINISTIC.
+      double center = 0.0;
+      for (std::size_t n = 0; n < workers * buckets; ++n) {
+        auto [src, push] = fabric.recv_any(0, kPushTag);
+        (void)src;
+        center = 2.0 * center + static_cast<double>(push[1]);
+      }
+      digest[0] = center;
+    } else {
+      for (std::size_t b = 0; b < buckets; ++b) {
+        fabric.send(rank, 0, kPushTag,
+                    {static_cast<float>(b),
+                     static_cast<float>(rank * 10 + b)});
+      }
+      digest[rank] = static_cast<double>(buckets);
+    }
+  };
+  return p;
+}
+
 }  // namespace ds::check

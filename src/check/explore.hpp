@@ -99,4 +99,22 @@ Protocol round_robin_protocol(std::size_t ranks, std::size_t rounds);
 /// explore() proves.
 Protocol async_server_protocol(std::size_t ranks, std::size_t budget);
 
+/// Bucketed family (run_fabric_bucketed_easgd, wait-free mode): workers
+/// push `buckets` retire-ordered bucket messages per round ([bucket id,
+/// value] payloads on one shared tag); the center serves pushes by
+/// recv_any, replies the pre-step per-bucket value immediately, steps a
+/// bucket once all workers contributed, and holds the LAST bucket's
+/// replies until the whole round is served (the iteration barrier). The
+/// DFS drives every crossed-bucket completion order; per-bucket sums are
+/// commutative, so the digest is schedule-independent — which is the
+/// wait-free pipeline's correctness claim.
+Protocol bucketed_exchange_protocol(std::size_t ranks, std::size_t buckets,
+                                    std::size_t rounds);
+
+/// Seeded BUG variant: the center folds bucket pushes in ARRIVAL order
+/// with a non-commutative update (center = 2·center + value) — the
+/// out-of-order bucket-apply mistake a wait-free pipeline invites.
+/// explore() must flag it NONDETERMINISTIC (report.ok() == false).
+Protocol bucketed_misapply_protocol(std::size_t ranks, std::size_t buckets);
+
 }  // namespace ds::check

@@ -1,0 +1,112 @@
+#include "comm/bucket.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace ds {
+
+BucketPlan::BucketPlan(const std::vector<std::size_t>& layer_params,
+                       std::size_t bucket_bytes) {
+  DS_CHECK(bucket_bytes > 0, "bucket plan needs a positive byte cap");
+  layer_to_bucket_.assign(layer_params.size(), kNoBucket);
+
+  // Packed-arena offsets ascend with layer index.
+  std::vector<std::size_t> offsets(layer_params.size(), 0);
+  std::size_t running = 0;
+  for (std::size_t i = 0; i < layer_params.size(); ++i) {
+    offsets[i] = running;
+    running += layer_params[i];
+  }
+  total_params_ = running;
+
+  // Walk in retire order (descending layer index), greedily filling. Only
+  // param-bearing layers matter: zero-param layers (activations, pools)
+  // retire too but never open, extend, or close a bucket.
+  Bucket current;
+  bool open = false;
+  for (std::size_t i = layer_params.size(); i-- > 0;) {
+    const std::size_t n = layer_params[i];
+    if (n == 0) continue;
+    const std::size_t bytes = n * sizeof(float);
+    if (open && current.bytes() + bytes > bucket_bytes) {
+      buckets_.push_back(current);
+      open = false;
+    }
+    if (!open) {
+      current = Bucket{i, i, offsets[i], n};
+      open = true;
+    } else {
+      // Extending downward keeps the slice contiguous: layer i sits
+      // immediately below the bucket's current first_layer in the arena.
+      current.first_layer = i;
+      current.offset = offsets[i];
+      current.params += n;
+    }
+    layer_to_bucket_[i] = buckets_.size();
+  }
+  if (open) buckets_.push_back(current);
+
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    DS_CHECK(buckets_[b].offset + buckets_[b].params <= total_params_,
+             "bucket " << b << " overruns the arena");
+  }
+}
+
+std::size_t BucketPlan::completes_at(std::size_t layer) const {
+  const std::size_t b = layer_to_bucket_[layer];
+  if (b == kNoBucket) return kNoBucket;
+  return buckets_[b].first_layer == layer ? b : kNoBucket;
+}
+
+std::span<float> BucketPlan::slice(std::span<float> full,
+                                   std::size_t b) const {
+  DS_CHECK(full.size() == total_params_, "slice span/plan size mismatch");
+  const Bucket& bk = buckets_[b];
+  return full.subspan(bk.offset, bk.params);
+}
+
+std::span<const float> BucketPlan::slice(std::span<const float> full,
+                                         std::size_t b) const {
+  DS_CHECK(full.size() == total_params_, "slice span/plan size mismatch");
+  const Bucket& bk = buckets_[b];
+  return full.subspan(bk.offset, bk.params);
+}
+
+double BucketTimeline::exposed_after(double compute_end) const {
+  if (finish.empty()) return 0.0;
+  return std::max(0.0, finish.back() - compute_end);
+}
+
+BucketTimeline bucket_timeline(const std::vector<double>& ready,
+                               const std::vector<double>& wire) {
+  DS_CHECK(ready.size() == wire.size(), "bucket timeline size mismatch");
+  BucketTimeline t;
+  t.start.resize(ready.size());
+  t.finish.resize(ready.size());
+  double prev_finish = 0.0;
+  for (std::size_t k = 0; k < ready.size(); ++k) {
+    t.start[k] = std::max(ready[k], prev_finish);
+    t.finish[k] = t.start[k] + wire[k];
+    prev_finish = t.finish[k];
+  }
+  return t;
+}
+
+std::vector<double> bucket_ready_times(
+    const BucketPlan& plan, const std::vector<double>& layer_seconds,
+    double backward_begin) {
+  // Suffix sums of backward time: retired_by[i] = time to retire every
+  // layer with index ≥ i.
+  std::vector<double> retired_by(layer_seconds.size() + 1, 0.0);
+  for (std::size_t i = layer_seconds.size(); i-- > 0;) {
+    retired_by[i] = retired_by[i + 1] + layer_seconds[i];
+  }
+  std::vector<double> ready(plan.bucket_count(), backward_begin);
+  for (std::size_t b = 0; b < plan.bucket_count(); ++b) {
+    ready[b] = backward_begin + retired_by[plan.bucket(b).first_layer];
+  }
+  return ready;
+}
+
+}  // namespace ds

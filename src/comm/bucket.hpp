@@ -1,0 +1,130 @@
+// Layer-bucketed gradient exchange (DESIGN.md §10).
+//
+// The paper's packing insight (§5.2) sends the whole model as ONE message —
+// maximal β efficiency, zero overlap: nothing can ship until the full
+// backward pass retires. FireCaffe/Poseidon-style wait-free backprop sits at
+// the other end: exchange per layer, overlapping comm with the remaining
+// backprop at the cost of one α per layer. Bucketing interpolates: as
+// backward retires layers (highest index first), their parameters fill a
+// size-capped bucket over the PACKED arena; a full bucket is a contiguous
+// arena slice that ships as a single message while backprop continues.
+//
+// BucketPlan is the static part: a deterministic partition of the layers
+// into retire-ordered, arena-contiguous buckets, fixed by (layer sizes,
+// bucket_bytes) alone. Both the deterministic and the wait-free pipeline
+// modes use the SAME plan — the modes differ only in completion order
+// (fixed vs first-ready), never in bucket assignment, which is what makes
+// deterministic-mode results bitwise-comparable across bucket sizes.
+//
+// bucket_ready_times/BucketTimeline are the modeled half: given when each
+// bucket's gradients retire inside a forward+backward span and what each
+// bucket's exchange costs on the wire, the link serializes the in-flight
+// exchanges (start_k = max(ready_k, finish_{k-1})) and whatever spills past
+// the end of compute is the iteration's EXPOSED communication — the number
+// the overlap benchmarks gate on.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ds {
+
+/// Completion-order discipline of the bucketed exchange pipeline.
+enum class BucketMode {
+  /// Fixed bucket assignment + fixed completion order (bucket 0 first,
+  /// workers served in rank order): bitwise-reproducible, the reference.
+  kDeterministic,
+  /// Buckets complete as their exchanges land (wildcard service, early
+  /// apply): maximal overlap, schedule-dependent float-sum order.
+  kWaitFree,
+};
+
+struct BucketConfig {
+  /// Byte cap per bucket over the packed arena; 0 disables bucketing
+  /// (full-pass exchange, the pre-bucketing behavior).
+  std::size_t bucket_bytes = 0;
+  BucketMode mode = BucketMode::kDeterministic;
+
+  bool enabled() const { return bucket_bytes > 0; }
+};
+
+/// One bucket: the contiguous packed-arena slice covering layers
+/// [first_layer, last_layer] (param-bearing bounds, ascending index).
+/// Buckets are indexed in RETIRE order: bucket 0 holds the highest layer
+/// indices — the first gradients backward produces.
+struct Bucket {
+  std::size_t first_layer = 0;
+  std::size_t last_layer = 0;
+  std::size_t offset = 0;  // element offset into the packed arena
+  std::size_t params = 0;  // element count
+
+  std::size_t bytes() const { return params * sizeof(float); }
+};
+
+/// Deterministic partition of a layer stack into retire-ordered buckets.
+/// Walks layers from the top (backward's retire order), greedily closing a
+/// bucket when admitting the next param-bearing layer would exceed the byte
+/// cap. Every bucket holds at least one layer, so an oversized layer gets a
+/// bucket of its own; ragged boundaries (cap not dividing layer sizes) are
+/// the normal case, not an error. A cap ≥ the whole model degenerates to
+/// one bucket — the full-pass exchange.
+class BucketPlan {
+ public:
+  static constexpr std::size_t kNoBucket = static_cast<std::size_t>(-1);
+
+  BucketPlan() = default;
+  BucketPlan(const std::vector<std::size_t>& layer_params,
+             std::size_t bucket_bytes);
+
+  std::size_t bucket_count() const { return buckets_.size(); }
+  const Bucket& bucket(std::size_t b) const { return buckets_[b]; }
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+  std::size_t total_params() const { return total_params_; }
+
+  /// Bucket the layer's parameters live in; kNoBucket for zero-param layers.
+  std::size_t bucket_of(std::size_t layer) const {
+    return layer_to_bucket_[layer];
+  }
+
+  /// The bucket that COMPLETES when backward retires `layer` — i.e. `layer`
+  /// is that bucket's lowest param-bearing layer — or kNoBucket.
+  std::size_t completes_at(std::size_t layer) const;
+
+  /// The bucket's contiguous slice of a packed full-model span.
+  std::span<float> slice(std::span<float> full, std::size_t b) const;
+  std::span<const float> slice(std::span<const float> full,
+                               std::size_t b) const;
+
+ private:
+  std::vector<Bucket> buckets_;
+  std::vector<std::size_t> layer_to_bucket_;
+  std::size_t total_params_ = 0;
+};
+
+/// Per-bucket virtual times of a ready-order pipeline over one serialized
+/// link: start_k = max(ready_k, finish_{k-1}), finish_k = start_k + wire_k.
+struct BucketTimeline {
+  std::vector<double> start;
+  std::vector<double> finish;
+
+  /// Communication left exposed past the end of compute — what the bucketed
+  /// iteration pays on top of (data + forward/backward).
+  double exposed_after(double compute_end) const;
+};
+
+/// Serialize per-bucket exchanges (retire order) over one link.
+/// `ready[k]` is when bucket k's last gradient retires; `wire[k]` is its
+/// exchange cost. Sizes must match.
+BucketTimeline bucket_timeline(const std::vector<double>& ready,
+                               const std::vector<double>& wire);
+
+/// Ready times for a modeled backward pass: bucket k is ready once every
+/// layer ≥ its first_layer has retired. `layer_seconds[i]` is layer i's
+/// backward time; retire order is descending index, starting at
+/// `backward_begin`.
+std::vector<double> bucket_ready_times(
+    const BucketPlan& plan, const std::vector<double>& layer_seconds,
+    double backward_begin);
+
+}  // namespace ds

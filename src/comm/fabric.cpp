@@ -272,6 +272,145 @@ void Fabric::faulty_send(std::size_t src, std::size_t dst, int tag,
   box.cv.notify_all();
 }
 
+void Fabric::send_overlapped(std::size_t src, std::size_t dst, int tag,
+                             std::vector<float> payload) {
+  DS_CHECK(src < ranks() && dst < ranks(), "send rank out of range");
+  DS_CHECK(src != dst, "self-send is a bug in the calling schedule");
+  if (faults_on_) check_self_alive(src);
+  const double bytes = static_cast<double>(payload.size() * sizeof(float));
+  const double straggle = faults_on_ ? faults_.straggler_for(src) : 1.0;
+  const double wire = link_.beta * bytes * straggle;
+
+  Rng* rng = faults_on_ ? &slots_[src]->rng : nullptr;
+  const double drop =
+      faults_on_ ? faults_.drop_for(src, dst, ranks()) : 0.0;
+  const std::size_t attempts =
+      faults_on_ ? std::max<std::size_t>(1, faults_.max_send_attempts) : 1;
+
+  double arrival = 0.0;
+  bool delivered = false;
+  double post_begin = 0.0;
+  double post_end = 0.0;
+  std::size_t attempts_used = 0;
+  std::size_t drop_count = 0;
+  constexpr std::size_t kMaxDropStamps = 8;
+  double drop_vtimes[kMaxDropStamps];
+  std::vector<std::uint64_t> vclock;
+  {
+    const std::lock_guard<std::mutex> lock(clocks_[src]->mutex);
+    post_begin = clocks_[src]->value;
+    for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+      ++attempts_used;
+      // The sender only pays the descriptor post; the DMA engine owns the
+      // β·bytes transfer.
+      double alpha = link_.alpha * straggle;
+      double transfer = wire;
+      if (rng != nullptr && faults_.jitter > 0.0) {
+        const double j = 1.0 + faults_.jitter * rng->uniform();
+        alpha *= j;
+        transfer *= j;
+      }
+      clocks_[src]->value += alpha;
+      if (drop > 0.0 && rng->uniform() < drop) {
+        if (drop_count < kMaxDropStamps) {
+          drop_vtimes[drop_count] = clocks_[src]->value;
+        }
+        ++drop_count;
+        clocks_[src]->value += faults_.retry_backoff;
+        continue;
+      }
+      arrival = clocks_[src]->value + transfer;
+      delivered = true;
+      break;
+    }
+    post_end = clocks_[src]->value;
+    ++clocks_[src]->vclock[src];
+    vclock = clocks_[src]->vclock;
+  }
+  const std::uint64_t seq = vclock[src];
+  FabricMetrics& fm = fabric_metrics();
+  fm.messages_sent.add();
+  fm.bytes_sent.add(
+      static_cast<std::uint64_t>(bytes * static_cast<double>(attempts_used)));
+  fm.message_bytes.observe(bytes);
+  if (drop_count > 0) fm.drops.add(drop_count);
+  if (attempts_used > 1) fm.retransmits.add(attempts_used - 1);
+  if (obs::tracing_enabled()) {
+    for (std::size_t i = 0; i < std::min(drop_count, kMaxDropStamps); ++i) {
+      obs::instant_at("fabric", "drop", drop_vtimes[i],
+                      static_cast<std::int64_t>(src));
+    }
+    obs::complete_v("fabric", "send_overlapped", post_begin,
+                    post_end - post_begin, static_cast<std::int64_t>(src),
+                    bytes);
+    obs::proto::emit_send(static_cast<std::int64_t>(src), post_end, seq,
+                          static_cast<std::int64_t>(dst), tag);
+  }
+  if (!delivered) {
+    fm.messages_lost.add();
+    obs::instant_at("fabric", "lost", post_end,
+                    static_cast<std::int64_t>(src));
+    obs::proto::emit_lost(static_cast<std::int64_t>(src), post_end, seq,
+                          static_cast<std::int64_t>(dst), tag);
+    return;
+  }
+
+  Mailbox& box = *mailboxes_[dst];
+  {
+    const std::lock_guard<std::mutex> lock(box.mutex);
+    box.messages.push_back(
+        Message{src, tag, std::move(payload), arrival, std::move(vclock)});
+  }
+  box.cv.notify_all();
+}
+
+bool Fabric::try_recv(std::size_t dst, std::size_t src, int tag,
+                      std::vector<float>& out) {
+  DS_CHECK(src < ranks() && dst < ranks(), "try_recv rank out of range");
+  if (faults_on_) check_self_alive(dst);
+  Mailbox& box = *mailboxes_[dst];
+  Message msg;
+  {
+    const std::lock_guard<std::mutex> lock(box.mutex);
+    const auto it = std::find_if(
+        box.messages.begin(), box.messages.end(), [&](const Message& m) {
+          return m.src == src && m.tag == tag;
+        });
+    if (it == box.messages.end()) return false;
+    msg = std::move(*it);
+    box.messages.erase(it);
+  }
+  const std::uint64_t seq = msg.vclock[msg.src];
+  double wait = 0.0;
+  double wait_begin = 0.0;
+  double now = 0.0;
+  {
+    const std::lock_guard<std::mutex> clock_lock(clocks_[dst]->mutex);
+    wait_begin = clocks_[dst]->value;
+    clocks_[dst]->value = std::max(clocks_[dst]->value, msg.arrival);
+    wait = clocks_[dst]->value - wait_begin;
+    now = clocks_[dst]->value;
+    merge_vclock(clocks_[dst]->vclock, msg.vclock, dst);
+  }
+  fabric_metrics().recv_wait.add(wait);
+  if (wait > 0.0) {
+    obs::complete_v("fabric", "recv_wait", wait_begin, wait,
+                    static_cast<std::int64_t>(dst));
+  }
+  // A successful poll narrates the wait at its (instantly satisfied) post
+  // and the recv it resolved into; an empty poll narrated nothing above.
+  if (obs::tracing_enabled()) {
+    obs::proto::emit_wait(static_cast<std::int64_t>(dst), wait_begin,
+                          static_cast<std::int64_t>(src), tag,
+                          /*any=*/false);
+  }
+  obs::proto::emit_recv(static_cast<std::int64_t>(dst), now, seq,
+                        static_cast<std::int64_t>(src), tag,
+                        /*any=*/false);
+  out = std::move(msg.payload);
+  return true;
+}
+
 std::vector<float> Fabric::recv(std::size_t dst, std::size_t src, int tag) {
   DS_CHECK(src < ranks() && dst < ranks(), "recv rank out of range");
   // Narrate the wait at POST time, unconditionally: whether the message has

@@ -67,6 +67,29 @@ class Fabric {
   void send(std::size_t src, std::size_t dst, int tag,
             std::vector<float> payload);
 
+  /// Non-blocking DMA-model send — the in-flight half of the bucketed
+  /// exchange pipeline (DESIGN.md §10). The sender's clock pays only the
+  /// descriptor post (α, the latency term); the β·bytes wire time runs
+  /// OFF the sender's clock and lands in the message's arrival stamp, so
+  /// backprop continuing on the sender overlaps the transfer. Contrast
+  /// send(): the eager path charges the sender the full α + β·bytes inline.
+  /// Fault semantics mirror send(): per-attempt α (+ jitter) and
+  /// retry_backoff on drops charge the sender; the straggler factor slows
+  /// the wire; after max_send_attempts the message is lost for good.
+  void send_overlapped(std::size_t src, std::size_t dst, int tag,
+                       std::vector<float> payload);
+
+  /// Non-blocking matched receive — the completion poll of an in-flight
+  /// exchange. When a (src, tag) message is queued: pops it, advances the
+  /// receiver to max(own clock, arrival), narrates wait+recv, fills `out`,
+  /// returns true. Otherwise returns false without narrating anything (a
+  /// poll that finds nothing is not a protocol event). Under faults a
+  /// crashed receiver throws RankFailure(kCrashed); a dead peer just
+  /// returns false — callers fall back to the blocking recv() for the
+  /// typed failure.
+  bool try_recv(std::size_t dst, std::size_t src, int tag,
+                std::vector<float>& out);
+
   /// Blocking receive matching (src, tag); advances the receiver's clock to
   /// the message arrival time. Under an active FaultPlan, throws
   /// RankFailure(kPeerGone) when src is dead/retired with no matching

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "comm/bucket.hpp"
 #include "comm/collectives.hpp"
 #include "comm/quantize.hpp"
 #include "core/lr_schedule.hpp"
@@ -38,6 +39,13 @@ struct TrainConfig {
   CollectiveAlgo reduce_algo = CollectiveAlgo::kBinomialTree;
   // Lossy gradient compression on the wire (Sync SGD only; §3.4 extension).
   GradCompression compression = GradCompression::kNone;
+  // Layer-bucketed backprop-overlapped exchange (DESIGN.md §10). Off by
+  // default (bucket_bytes = 0): full-pass exchange, the paper's schedules
+  // unchanged. When enabled, the sync runners pipeline per-bucket exchanges
+  // behind the backward pass and the fabric runners ship buckets in flight;
+  // the MATH is identical in deterministic mode — only the timeline and the
+  // message schedule change.
+  BucketConfig bucketing;
 };
 
 struct AlgoContext {

@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <mutex>
+#include <span>
 #include <sstream>
 
+#include "comm/bucket.hpp"
 #include "comm/fabric.hpp"
 #include "core/easgd_rules.hpp"
 #include "core/evaluator.hpp"
@@ -51,6 +53,46 @@ void narrate_acc(const Fabric& fabric, std::size_t rank, double buffer,
   if (!obs::tracing_enabled()) return;
   obs::proto::emit_acc(static_cast<std::int64_t>(rank), fabric.clock(rank),
                        buffer, kind);
+}
+
+/// Modeled split of one forward+backward pass for the bucketed pipeline:
+/// forward = fb/3, backward = the remaining 2·fb/3 apportioned over layers
+/// by their flops (uniform when the model reports none). The per-layer
+/// shares are what the backprop hook advances the rank clock by, so bucket
+/// launch times land inside the backward span exactly where the retiring
+/// layer does.
+struct BackwardShares {
+  double fwd_s = 0.0;
+  std::vector<double> bwd_secs;
+};
+
+BackwardShares backward_shares(const Network& net, double fb_s) {
+  BackwardShares out;
+  out.fwd_s = fb_s / 3.0;
+  const std::vector<double>& lf = net.layer_flops();
+  double total = 0.0;
+  for (double f : lf) total += f;
+  const double span = fb_s - out.fwd_s;
+  out.bwd_secs.assign(lf.size(), 0.0);
+  for (std::size_t i = 0; i < lf.size(); ++i) {
+    out.bwd_secs[i] = total > 0.0
+                          ? span * lf[i] / total
+                          : span / static_cast<double>(lf.size());
+  }
+  return out;
+}
+
+/// Wire form of one bucket push: the bucket id rides as payload[0] so every
+/// bucket shares ONE push tag (per-sender FIFO then delivers a worker's
+/// buckets in retire order, and a wildcard server can demultiplex).
+std::vector<float> bucket_push_payload(const BucketPlan& plan, std::size_t b,
+                                       std::span<const float> params) {
+  const auto s = plan.slice(params, b);
+  std::vector<float> payload;
+  payload.reserve(s.size() + 1);
+  payload.push_back(static_cast<float>(b));
+  payload.insert(payload.end(), s.begin(), s.end());
+  return payload;
 }
 
 void apply_fabric_wire(RunResult& res, const obs::MetricsSnapshot& before) {
@@ -412,6 +454,314 @@ RunResult run_fabric_async_easgd(const AlgoContext& ctx,
   return res;
 }
 
+RunResult run_fabric_bucketed_easgd(const AlgoContext& ctx,
+                                    const FabricClusterConfig& cluster) {
+  const TrainConfig& cfg = ctx.config;
+  const std::size_t workers = cfg.workers;
+  DS_CHECK(workers > 0, "need at least one worker");
+  DS_CHECK(cfg.bucketing.enabled(),
+           "run_fabric_bucketed_easgd needs cfg.bucketing.bucket_bytes > 0");
+  const bool wait_free = cfg.bucketing.mode == BucketMode::kWaitFree;
+  const std::size_t ranks = workers + 1;  // rank 0 is the center
+  constexpr int kPushTag = 905;       // all buckets; payload[0] = bucket id
+  constexpr int kReplyTagBase = 910;  // + bucket index
+
+  Fabric fabric(ranks, cluster.network, cluster.faults);
+  const obs::MetricsSnapshot wire_before = obs::metrics().snapshot();
+
+  const double fb_s = static_cast<double>(cfg.batch_size) *
+                      cluster.model.flops_per_sample / cluster.node_flops;
+  const double up_s = (cluster.model.weight_bytes / 4.0) *
+                      cluster.update_flops_per_param / cluster.node_flops;
+
+  // Reference replica: W̄₀ plus the layer geometry the plan and the modeled
+  // backward shares are built from. The plan is a constant of the
+  // configuration — every rank uses this one.
+  const std::unique_ptr<Network> init_net = ctx.factory();
+  const std::vector<float> initial(init_net->arena().full_params().begin(),
+                                   init_net->arena().full_params().end());
+  const BucketPlan plan(init_net->arena().layer_sizes(),
+                        cfg.bucketing.bucket_bytes);
+  const std::size_t nbuckets = plan.bucket_count();
+  DS_CHECK(nbuckets > 0, "model has no parameters to bucket");
+  const BackwardShares shares = backward_shares(*init_net, fb_s);
+  auto bucket_frac = [&](std::size_t b) {
+    return static_cast<double>(plan.bucket(b).params) /
+           static_cast<double>(plan.total_params());
+  };
+
+  struct Probe {
+    std::size_t iteration;
+    double vtime;
+    std::vector<float> center;
+  };
+  std::vector<Probe> probes;         // written only by the center thread
+  std::vector<float> final_center;   // written only by the center thread
+  std::size_t completed_rounds = 0;  // written only by the center thread
+  std::atomic<bool> any_failure{false};
+  std::mutex abort_mutex;
+  std::string abort_reason;
+
+  CostLedger merged_ledger;
+  std::mutex ledger_mutex;
+  auto merge_ledger = [&](const CostLedger& local) {
+    const std::lock_guard<std::mutex> lock(ledger_mutex);
+    merged_ledger += local;
+  };
+
+  auto center_main = [&] {
+    const RankClock rank_clock{&fabric, 0};
+    const obs::RankScope obs_rank(0, &RankClock::read, &rank_clock);
+    DS_TRACE_SPAN("algo", "bucketed_center");
+    CostLedger local;
+    double mark = fabric.clock(0);
+    auto charge = [&](Phase phase) {
+      const double now = fabric.clock(0);
+      if (now > mark) local.charge_traced(phase, now - mark, now);
+      mark = now;
+    };
+    // Apply Eq. (2) to one bucket slice from its fixed-order (deterministic)
+    // or arrival-order (wait-free) Σ Wⱼ, charging the slice's share of the
+    // paper-scale update cost.
+    std::vector<float> center = initial;
+    auto step_slice = [&](std::size_t b, const std::vector<float>& sum,
+                          float lr) {
+      easgd_center_step_sum(plan.slice(std::span<float>(center), b), sum,
+                            workers, lr, cfg.rho);
+      fabric.advance(0, up_s * bucket_frac(b));
+      charge(Phase::kCpuUpdate);
+      narrate_acc(fabric, 0, obs::proto::center_slice_buffer(b),
+                  obs::proto::kAccWrite);
+    };
+    auto reply_slice = [&](std::size_t dst, std::size_t b) {
+      const auto cs = plan.slice(std::span<const float>(center), b);
+      fabric.send(0, dst, kReplyTagBase + static_cast<int>(b),
+                  std::vector<float>(cs.begin(), cs.end()));
+      charge(Phase::kGpuGpuParamComm);
+    };
+    std::size_t t = 0;
+    try {
+      for (t = 1; t <= cfg.iterations; ++t) {
+        DS_TRACE_SPAN("algo", "round");
+        const obs::SpanGuard exch("collective", "bucket_exchange");
+        const float lr = cfg.lr_at(t);
+        if (!wait_free) {
+          // Deterministic service: buckets in retire order, workers in rank
+          // order within each bucket. Per-sender FIFO on the shared push tag
+          // means the w-th matched recv IS worker w's bucket b.
+          std::vector<float> sum;
+          for (std::size_t b = 0; b < nbuckets; ++b) {
+            const std::size_t nb = plan.bucket(b).params;
+            std::vector<std::vector<float>> pushes;
+            pushes.reserve(workers);
+            for (std::size_t w = 1; w <= workers; ++w) {
+              pushes.push_back(fabric.recv(0, w, kPushTag));
+              charge(Phase::kGpuGpuParamComm);
+              DS_CHECK(pushes.back().size() == nb + 1 &&
+                           static_cast<std::size_t>(pushes.back()[0]) == b,
+                       "bucket push out of order");
+            }
+            // Reply the PRE-step slice in the same fixed order, then the
+            // fixed-order sum: both are what makes deterministic-mode
+            // results invariant across bucket sizes.
+            for (std::size_t w = 1; w <= workers; ++w) reply_slice(w, b);
+            sum.assign(nb, 0.0f);
+            for (const std::vector<float>& p : pushes) {
+              for (std::size_t k = 0; k < nb; ++k) sum[k] += p[k + 1];
+            }
+            step_slice(b, sum, lr);
+          }
+        } else {
+          // Wait-free service: take pushes as they land, reply the pre-step
+          // slice immediately, step a slice once all W contributions are
+          // in. The LAST bucket's replies are held until the whole
+          // iteration is served: a worker's final reply is the iteration
+          // barrier, so no worker can push round t+1 into round t's sums.
+          std::vector<std::vector<float>> sums(nbuckets);
+          std::vector<std::size_t> got(nbuckets, 0);
+          std::vector<std::size_t> last_srcs;
+          for (std::size_t b = 0; b < nbuckets; ++b) {
+            sums[b].assign(plan.bucket(b).params, 0.0f);
+          }
+          const std::size_t last = nbuckets - 1;
+          for (std::size_t n = 0; n < workers * nbuckets; ++n) {
+            auto [src, push] = fabric.recv_any(0, kPushTag);
+            charge(Phase::kGpuGpuParamComm);
+            DS_CHECK(!push.empty(), "empty bucket push");
+            const std::size_t b = static_cast<std::size_t>(push[0]);
+            DS_CHECK(b < nbuckets &&
+                         push.size() == plan.bucket(b).params + 1,
+                     "malformed bucket push");
+            if (b < last) {
+              reply_slice(src, b);
+            } else {
+              last_srcs.push_back(src);
+            }
+            for (std::size_t k = 0; k + 1 < push.size(); ++k) {
+              sums[b][k] += push[k + 1];
+            }
+            if (++got[b] == workers && b < last) step_slice(b, sums[b], lr);
+          }
+          // Every push of the round is in: release the barrier with the
+          // last bucket's pre-step slice (arrival order), then step it.
+          for (const std::size_t src : last_srcs) reply_slice(src, last);
+          step_slice(last, sums[last], lr);
+        }
+        completed_rounds = t;
+        if (t % cfg.eval_every == 0 || t == cfg.iterations) {
+          probes.push_back(Probe{t, fabric.clock(0), center});
+        }
+      }
+    } catch (const RankFailure& failure) {
+      any_failure.store(true);
+      {
+        const std::lock_guard<std::mutex> lock(abort_mutex);
+        if (abort_reason.empty()) {
+          std::ostringstream os;
+          os << "round " << t << " aborted at center: " << failure.what();
+          abort_reason = os.str();
+        }
+      }
+      if (probes.empty() || probes.back().iteration < completed_rounds) {
+        probes.push_back(Probe{completed_rounds, fabric.clock(0), center});
+      }
+    }
+    final_center = center;
+    merge_ledger(local);
+    fabric.retire(0);
+  };
+
+  auto worker_main = [&](std::size_t rank) {
+    const RankClock rank_clock{&fabric, rank};
+    const obs::RankScope obs_rank(static_cast<std::int64_t>(rank),
+                                  &RankClock::read, &rank_clock);
+    DS_TRACE_SPAN("algo", "bucketed_worker");
+    CostLedger local;
+    double mark = fabric.clock(rank);
+    auto charge = [&](Phase phase) {
+      const double now = fabric.clock(rank);
+      if (now > mark) local.charge_traced(phase, now - mark, now);
+      mark = now;
+    };
+    try {
+      const std::unique_ptr<Network> net = ctx.factory();
+      copy(initial, net->arena().full_params());
+      BatchSampler sampler(*ctx.train, cfg.batch_size,
+                           cfg.seed * 40503 + rank);
+      Tensor batch;
+      std::vector<std::int32_t> labels;
+      std::vector<bool> applied(nbuckets, false);
+      float lr = cfg.lr_at(1);
+
+      // Eq. (1) on one bucket slice against its PRE-step center reply.
+      // Safe mid-backward: the slice's gradients retired with the bucket
+      // and the remaining backward only touches lower layers.
+      auto apply_bucket = [&](std::size_t b, const std::vector<float>& cs) {
+        DS_CHECK(cs.size() == plan.bucket(b).params,
+                 "malformed bucket reply");
+        easgd_worker_step(
+            plan.slice(net->arena().full_params(), b),
+            plan.slice(std::span<const float>(net->arena().full_grads()), b),
+            cs, lr, cfg.rho);
+        fabric.advance(rank, up_s * bucket_frac(b));
+        charge(Phase::kGpuUpdate);
+        applied[b] = true;
+      };
+
+      // The pipeline's producer: each retiring layer advances its modeled
+      // backward share; a layer that completes a bucket ships the
+      // PRE-update slice in flight (DMA-model send) and — wait-free — drains
+      // any earlier buckets whose replies already landed.
+      const Network::LayerReadyHook hook = [&](std::size_t layer) {
+        fabric.advance(rank, shares.bwd_secs[layer]);
+        const std::size_t b = plan.completes_at(layer);
+        if (b == BucketPlan::kNoBucket) return;
+        charge(Phase::kForwardBackward);
+        fabric.send_overlapped(
+            rank, 0, kPushTag,
+            bucket_push_payload(plan, b, net->arena().full_params()));
+        charge(Phase::kGpuGpuParamComm);
+        if (!wait_free) return;
+        for (std::size_t p = 0; p < b; ++p) {
+          if (applied[p]) continue;
+          std::vector<float> reply;
+          if (fabric.try_recv(rank, 0,
+                              kReplyTagBase + static_cast<int>(p), reply)) {
+            charge(Phase::kGpuGpuParamComm);
+            apply_bucket(p, reply);
+          }
+        }
+      };
+
+      for (std::size_t t = 1; t <= cfg.iterations; ++t) {
+        DS_TRACE_SPAN("algo", "round");
+        lr = cfg.lr_at(t);
+        applied.assign(nbuckets, false);
+        sampler.next(batch, labels);
+        net->zero_grads();
+        fabric.advance(rank, shares.fwd_s);
+        net->forward_backward(batch, labels, hook);
+        charge(Phase::kForwardBackward);
+
+        // Pipeline tail: buckets with no reply yet are collected in retire
+        // order — this wait is exactly the exchange left EXPOSED past
+        // backward.
+        {
+          const obs::SpanGuard exch("collective", "bucket_exchange");
+          for (std::size_t b = 0; b < nbuckets; ++b) {
+            if (applied[b]) continue;
+            const std::vector<float> reply =
+                fabric.recv(rank, 0, kReplyTagBase + static_cast<int>(b));
+            charge(Phase::kGpuGpuParamComm);
+            apply_bucket(b, reply);
+          }
+        }
+        narrate_acc(fabric, rank,
+                    obs::proto::local_buffer(static_cast<std::int64_t>(rank)),
+                    obs::proto::kAccWrite);
+      }
+    } catch (const RankFailure&) {
+      // This worker crashed or the center is gone; drop out cleanly so the
+      // center's next recv on us raises kPeerGone and aborts the round.
+    }
+    merge_ledger(local);
+    fabric.retire(rank);
+  };
+
+  parallel_for_threads(ranks, [&](std::size_t rank) {
+    if (rank == 0) {
+      center_main();
+    } else {
+      worker_main(rank);
+    }
+  });
+
+  RunResult res;
+  res.method = wait_free ? "Fabric Bucketed EASGD (wait-free)"
+                         : "Fabric Bucketed EASGD (deterministic)";
+  res.workers = workers;
+  res.workers_survived = workers - count_failed(fabric);
+  res.aborted = any_failure.load();
+  res.abort_reason = abort_reason;
+  res.iterations = res.aborted ? completed_rounds : cfg.iterations;
+  res.final_params = std::move(final_center);
+  Evaluator eval(ctx.factory, *ctx.test, cfg.eval_samples);
+  for (const Probe& probe : probes) {
+    TracePoint p = eval.evaluate_packed(probe.center);
+    p.iteration = probe.iteration;
+    p.vtime = probe.vtime;
+    res.trace.push_back(p);
+  }
+  res.total_seconds = fabric.max_clock();
+  if (!res.trace.empty()) {
+    res.final_accuracy = res.trace.back().accuracy;
+    res.final_loss = res.trace.back().loss;
+  }
+  res.ledger = merged_ledger;
+  apply_fabric_wire(res, wire_before);
+  return res;
+}
+
 RunResult run_fabric_round_robin_easgd(const AlgoContext& ctx,
                                        const FabricClusterConfig& cluster) {
   const TrainConfig& cfg = ctx.config;
@@ -453,6 +803,22 @@ RunResult run_fabric_round_robin_easgd(const AlgoContext& ctx,
   const std::vector<float> initial(init_net->arena().full_params().begin(),
                                    init_net->arena().full_params().end());
 
+  // Optional bucketing (DESIGN.md §10): workers ship buckets in flight as
+  // backward retires them; the master's sweep serves each worker's buckets
+  // in retire order — still matched receives only, so the schedule stays a
+  // constant of (workers, iterations, plan).
+  const bool bucketed = cfg.bucketing.enabled();
+  const BucketPlan plan =
+      bucketed ? BucketPlan(init_net->arena().layer_sizes(),
+                            cfg.bucketing.bucket_bytes)
+               : BucketPlan();
+  const BackwardShares shares =
+      bucketed ? backward_shares(*init_net, fb_s) : BackwardShares();
+  auto bucket_frac = [&](std::size_t b) {
+    return static_cast<double>(plan.bucket(b).params) /
+           static_cast<double>(plan.total_params());
+  };
+
   auto master_main = [&] {
     const RankClock rank_clock{&fabric, 0};
     const obs::RankScope obs_rank(0, &RankClock::read, &rank_clock);
@@ -472,6 +838,31 @@ RunResult run_fabric_round_robin_easgd(const AlgoContext& ctx,
         // Algorithm 1's loop: visit every worker in rank order. Matched
         // receives make the schedule a constant of the configuration.
         for (std::size_t w = 1; w <= workers; ++w) {
+          if (bucketed) {
+            // Serve worker w's buckets in retire order (per-sender FIFO on
+            // the push tag delivers exactly that order): Eq. (2) per slice,
+            // reply the POST-step slice — the round-robin master always
+            // returns the fresh center.
+            for (std::size_t b = 0; b < plan.bucket_count(); ++b) {
+              const std::vector<float> push = fabric.recv(0, w, kPushTag);
+              charge(Phase::kGpuGpuParamComm);
+              DS_CHECK(push.size() == plan.bucket(b).params + 1 &&
+                           static_cast<std::size_t>(push[0]) == b,
+                       "bucket push out of order");
+              const auto cs = plan.slice(std::span<float>(center), b);
+              easgd_center_step(cs,
+                                std::span<const float>(push).subspan(1),
+                                cfg.lr_at(t), cfg.rho);
+              fabric.advance(0, up_s * bucket_frac(b));
+              charge(Phase::kCpuUpdate);
+              narrate_acc(fabric, 0, obs::proto::center_slice_buffer(b),
+                          obs::proto::kAccWrite);
+              fabric.send(0, w, kReplyTag,
+                          std::vector<float>(cs.begin(), cs.end()));
+              charge(Phase::kGpuGpuParamComm);
+            }
+            continue;
+          }
           std::vector<float> w_i = fabric.recv(0, w, kPushTag);
           charge(Phase::kGpuGpuParamComm);  // blocked on worker w's push
           easgd_center_step(center, w_i, cfg.lr_at(t), cfg.rho);
@@ -526,10 +917,48 @@ RunResult run_fabric_round_robin_easgd(const AlgoContext& ctx,
       Tensor batch;
       std::vector<std::int32_t> labels;
 
+      // Bucketed producer: ship each bucket in flight as its last layer
+      // retires (DMA-model send rides under the remaining backward).
+      const Network::LayerReadyHook hook = [&](std::size_t layer) {
+        fabric.advance(rank, shares.bwd_secs[layer]);
+        const std::size_t b = plan.completes_at(layer);
+        if (b == BucketPlan::kNoBucket) return;
+        charge(Phase::kForwardBackward);
+        fabric.send_overlapped(
+            rank, 0, kPushTag,
+            bucket_push_payload(plan, b, net->arena().full_params()));
+        charge(Phase::kGpuGpuParamComm);
+      };
+
       for (std::size_t t = 1; t <= cfg.iterations; ++t) {
         DS_TRACE_SPAN("algo", "interaction");
         sampler.next(batch, labels);
         net->zero_grads();
+        if (bucketed) {
+          fabric.advance(rank, shares.fwd_s);
+          net->forward_backward(batch, labels, hook);
+          charge(Phase::kForwardBackward);
+          // Collect the POST-step center slices in retire order (single
+          // reply tag: the master's send order IS bucket order) and apply
+          // Eq. (1) slice by slice.
+          for (std::size_t b = 0; b < plan.bucket_count(); ++b) {
+            const std::vector<float> cs = fabric.recv(rank, 0, kReplyTag);
+            charge(Phase::kGpuGpuParamComm);
+            DS_CHECK(cs.size() == plan.bucket(b).params,
+                     "malformed bucket reply");
+            easgd_worker_step(
+                plan.slice(net->arena().full_params(), b),
+                plan.slice(std::span<const float>(net->arena().full_grads()),
+                           b),
+                cs, cfg.lr_at(t), cfg.rho);
+            fabric.advance(rank, up_s * bucket_frac(b));
+            charge(Phase::kGpuUpdate);
+          }
+          narrate_acc(fabric, rank, obs::proto::local_buffer(
+                                        static_cast<std::int64_t>(rank)),
+                      obs::proto::kAccWrite);
+          continue;
+        }
         net->forward_backward(batch, labels);
         fabric.advance(rank, fb_s);
         charge(Phase::kForwardBackward);
@@ -568,7 +997,8 @@ RunResult run_fabric_round_robin_easgd(const AlgoContext& ctx,
   });
 
   RunResult res;
-  res.method = "Fabric Round-Robin EASGD (Algorithm 1)";
+  res.method = bucketed ? "Fabric Round-Robin EASGD (Algorithm 1, bucketed)"
+                        : "Fabric Round-Robin EASGD (Algorithm 1)";
   res.workers = workers;
   res.workers_survived = workers - count_failed(fabric);
   res.aborted = any_failure.load();

@@ -51,6 +51,29 @@ RunResult run_fabric_easgd(const AlgoContext& ctx,
 RunResult run_fabric_async_easgd(const AlgoContext& ctx,
                                  const FabricClusterConfig& cluster);
 
+/// Bucketed backprop-overlapped EASGD over the fabric (DESIGN.md §10):
+/// rank 0 is a dedicated center; ranks 1..workers run real backprop and
+/// ship each parameter bucket IN FLIGHT (Fabric::send_overlapped) the
+/// moment backward retires its last layer, so the transfers ride under the
+/// remaining backward work. ctx.config.bucketing must be enabled; the mode
+/// picks the completion discipline:
+///
+///   * kDeterministic — the center serves bucket b from workers 1..W in
+///     fixed order (matched receives) and replies the pre-step center
+///     slice in the same order. Bitwise-reproducible, and bitwise-INVARIANT
+///     across bucket sizes: a one-giant-bucket run is the full-pass
+///     exchange, and any ragged bucketing produces the identical result
+///     (elementwise update rules over fixed-order sums).
+///   * kWaitFree — the center serves pushes by recv_any as they land and
+///     replies immediately; workers poll completed buckets mid-backward
+///     (Fabric::try_recv) and apply Eq. (1) slices early. Same values per
+///     exchange, schedule-dependent float-sum order.
+///
+/// ctx.config.workers counts the WORKERS (the fabric gets workers+1
+/// ranks); ctx.config.iterations counts center rounds.
+RunResult run_fabric_bucketed_easgd(const AlgoContext& ctx,
+                                    const FabricClusterConfig& cluster);
+
 /// Round-robin EASGD over the fabric (paper Algorithm 1): rank 0 is the
 /// master sweeping workers 1..W in a FIXED order every round — matched
 /// receives only, no wildcard — applying Eq. (2) per visit and returning

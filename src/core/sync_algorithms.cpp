@@ -1,8 +1,10 @@
 #include "core/sync_algorithms.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <sstream>
 
+#include "comm/bucket.hpp"
 #include "core/easgd_rules.hpp"
 #include "core/evaluator.hpp"
 #include "data/sampler.hpp"
@@ -115,6 +117,58 @@ bool round_crashes(RunResult& res, const FaultView& v, double end_of_round,
      << "; round aborted";
   res.abort_reason = os.str();
   return true;
+}
+
+/// Modeled bucketed-exchange timeline inside one iteration (times relative
+/// to the iteration's start; DESIGN.md §10). Gradients retire across the
+/// backward 2/3 of the forward+backward span, apportioned by per-layer
+/// flops; each bucket's exchange starts at its retire time and the link
+/// serializes the in-flight buckets. The math of the iteration is UNTOUCHED
+/// — bucketing only reshapes when communication is charged, which is what
+/// keeps bucketed results bitwise-identical to the full-pass baseline.
+struct BucketSchedule {
+  BucketPlan plan;
+  std::vector<double> wire;  // per-bucket exchange seconds
+  BucketTimeline timeline;
+  double wire_total = 0.0;
+  double exposed = 0.0;  // comm past the end of (data + f/b)
+};
+
+BucketSchedule plan_bucketed_comm(
+    const Network& net, std::size_t bucket_bytes, double data_s, double fb_s,
+    double slow, double model_weight_bytes,
+    const std::function<double(double)>& bucket_exchange_seconds) {
+  BucketSchedule s;
+  s.plan = BucketPlan(net.arena().layer_sizes(), bucket_bytes);
+  const std::vector<double>& lf = net.layer_flops();
+  const double total_flops = net.flops_per_sample();
+  // Forward ≈ 1/3, backward ≈ 2/3 of the pass (one grad-input + one
+  // grad-weight GEMM per forward GEMM).
+  const double bwd_begin = data_s * slow + fb_s * slow / 3.0;
+  const double bwd_span = fb_s * slow * 2.0 / 3.0;
+  std::vector<double> layer_seconds(lf.size(), 0.0);
+  if (total_flops > 0.0) {
+    for (std::size_t i = 0; i < lf.size(); ++i) {
+      layer_seconds[i] = bwd_span * lf[i] / total_flops;
+    }
+  }
+  const std::vector<double> ready =
+      bucket_ready_times(s.plan, layer_seconds, bwd_begin);
+
+  // Timing runs at paper scale: each bucket carries its share of the
+  // paper-model weight bytes, and pays the full α of its own message —
+  // more buckets, more latency terms, exactly the §5.2 packing tradeoff.
+  s.wire.resize(s.plan.bucket_count(), 0.0);
+  for (std::size_t b = 0; b < s.plan.bucket_count(); ++b) {
+    const double bytes = model_weight_bytes *
+                         static_cast<double>(s.plan.bucket(b).params) /
+                         static_cast<double>(s.plan.total_params());
+    s.wire[b] = bucket_exchange_seconds(bytes);
+    s.wire_total += s.wire[b];
+  }
+  s.timeline = bucket_timeline(ready, s.wire);
+  s.exposed = s.timeline.exposed_after((data_s + fb_s) * slow);
+  return s;
 }
 
 }  // namespace
@@ -235,6 +289,8 @@ RunResult run_sync_easgd(const AlgoContext& ctx, const GpuSystem& hw,
     case SyncEasgdVariant::kEasgd2: res.method = "Sync EASGD2"; break;
     case SyncEasgdVariant::kEasgd3: res.method = "Sync EASGD3"; break;
   }
+  const bool bucketed = cfg.bucketing.enabled();
+  if (bucketed) res.method += " (bucketed)";
 
   if (variant != SyncEasgdVariant::kEasgd1) {
     DS_CHECK(hw.weights_fit_on_device(),
@@ -272,19 +328,43 @@ RunResult run_sync_easgd(const AlgoContext& ctx, const GpuSystem& hw,
   const FaultView fv = view_faults(faults, cfg.workers);
   res.workers = cfg.workers;
   res.workers_survived = cfg.workers;
-  // Every round gates on the slowest replica, so one straggler stretches
-  // the worker-parallel phases of the whole cluster.
-  const double iter_seconds = data_s * fv.slow + fb_s * fv.slow +
-                              comm_exposed + gup_s * fv.slow + master_up_s;
 
   // Broadcast + reduce move ranks-1 messages each per iteration over the
   // collective group (host joins the group when it is the master).
   const std::size_t coll_ranks = device_master ? hw.gpus() : hw.gpus() + 1;
+
+  // Bucketed pipeline (DESIGN.md §10): the EASGD exchange of a bucket —
+  // reduce of the workers' pre-update W slice + broadcast of the W̄ slice —
+  // launches as soon as backward retires the slice (the worker's Eq. (1)
+  // for the slice needs its gradient, so retire time is the earliest the
+  // slice is both shippable and finalizable). Only comm left exposed past
+  // the backward pass extends the iteration; EASGD3's overlap_residual is
+  // superseded — bucketing IS the overlap mechanism here.
+  BucketSchedule bsched;
+  if (bucketed) {
+    const LinkModel& link =
+        device_master ? hw.config().p2p_link : hw.config().host_link;
+    bsched = plan_bucketed_comm(
+        *w.nets[0], cfg.bucketing.bucket_bytes, data_s, fb_s, fv.slow,
+        hw.model().weight_bytes, [&](double bytes) {
+          return 2.0 * collective_seconds(cfg.reduce_algo, coll_ranks, bytes,
+                                          link);
+        });
+  }
+
+  // Every round gates on the slowest replica, so one straggler stretches
+  // the worker-parallel phases of the whole cluster.
+  const double iter_seconds =
+      data_s * fv.slow + fb_s * fv.slow +
+      (bucketed ? bsched.exposed : comm_exposed) + gup_s * fv.slow +
+      master_up_s;
+
   const double hop_msgs =
       static_cast<double>(coll_ranks - 1) *
-      (cfg.layout == MessageLayout::kPacked
-           ? 1.0
-           : static_cast<double>(hw.model().comm_layers));
+      (bucketed ? static_cast<double>(bsched.plan.bucket_count())
+                : (cfg.layout == MessageLayout::kPacked
+                       ? 1.0
+                       : static_cast<double>(hw.model().comm_layers)));
   const double wire_msgs_per_iter = 2.0 * hop_msgs;
   const double wire_bytes_per_iter =
       2.0 * static_cast<double>(coll_ranks - 1) * hw.model().weight_bytes;
@@ -323,8 +403,19 @@ RunResult run_sync_easgd(const AlgoContext& ctx, const GpuSystem& hw,
     res.ledger.charge_traced(Phase::kCpuGpuDataComm, data_s * fv.slow, tc);
     tc += fb_s * fv.slow;
     res.ledger.charge_traced(Phase::kForwardBackward, fb_s * fv.slow, tc);
-    tc += comm_exposed;
-    res.ledger.charge_traced(comm_phase, comm_exposed, tc);
+    if (bucketed) {
+      // Per-bucket comm spans at their pipelined positions: most land
+      // INSIDE the forward/backward span — that intersection is what the
+      // analysis overlap metric measures as hidden communication.
+      for (std::size_t b = 0; b < bsched.wire.size(); ++b) {
+        res.ledger.charge_traced(comm_phase, bsched.wire[b],
+                                 vtime + bsched.timeline.finish[b]);
+      }
+      tc += bsched.exposed;
+    } else {
+      tc += comm_exposed;
+      res.ledger.charge_traced(comm_phase, comm_exposed, tc);
+    }
     tc += gup_s * fv.slow;
     res.ledger.charge_traced(Phase::kGpuUpdate, gup_s * fv.slow, tc);
     tc += master_up_s;
@@ -355,6 +446,8 @@ RunResult run_sync_sgd(const AlgoContext& ctx, const GpuSystem& hw,
   if (cfg.compression != GradCompression::kNone) {
     res.method += std::string(" + ") + compression_name(cfg.compression);
   }
+  const bool bucketed = cfg.bucketing.enabled();
+  if (bucketed) res.method += " (bucketed)";
 
   const double data_s = hw.data_copy_seconds(cfg.batch_size);
   const double fb_s = hw.fwd_bwd_seconds(cfg.batch_size);
@@ -386,16 +479,35 @@ RunResult run_sync_sgd(const AlgoContext& ctx, const GpuSystem& hw,
   const FaultView fv = view_faults(faults, cfg.workers);
   res.workers = cfg.workers;
   res.workers_survived = cfg.workers;
+
+  // Bucketed pipeline (DESIGN.md §10): gradient buckets allreduce in
+  // flight as backward retires them; only the comm tail past the backward
+  // pass extends the iteration.
+  BucketSchedule bsched;
+  if (bucketed) {
+    bsched = plan_bucketed_comm(
+        *w.nets[0], cfg.bucketing.bucket_bytes, data_s, fb_s, fv.slow,
+        hw.model().weight_bytes, [&](double bytes) {
+          return 2.0 * collective_seconds(
+                           cfg.reduce_algo, hw.gpus(),
+                           bytes * compression_bytes_factor(cfg.compression),
+                           hw.config().p2p_link);
+        });
+  }
+
   const double iter_seconds =
-      data_s * fv.slow + fb_s * fv.slow + comm_s + gup_s * fv.slow;
+      data_s * fv.slow + fb_s * fv.slow + (bucketed ? bsched.exposed : comm_s) +
+      gup_s * fv.slow;
 
   // Gradient allreduce between the GPUs: ranks-1 messages each way, with
-  // compression shrinking the payload but not the message count.
+  // compression shrinking the payload but not the message count. Bucketing
+  // multiplies messages (one per bucket per hop), never bytes.
   const double wire_msgs_per_iter =
       2.0 * static_cast<double>(hw.gpus() - 1) *
-      (cfg.layout == MessageLayout::kPacked
-           ? 1.0
-           : static_cast<double>(hw.model().comm_layers));
+      (bucketed ? static_cast<double>(bsched.plan.bucket_count())
+                : (cfg.layout == MessageLayout::kPacked
+                       ? 1.0
+                       : static_cast<double>(hw.model().comm_layers)));
   const double wire_bytes_per_iter =
       2.0 * static_cast<double>(hw.gpus() - 1) * hw.model().weight_bytes *
       compression_bytes_factor(cfg.compression);
@@ -459,8 +571,16 @@ RunResult run_sync_sgd(const AlgoContext& ctx, const GpuSystem& hw,
     res.ledger.charge_traced(Phase::kCpuGpuDataComm, data_s * fv.slow, tc);
     tc += fb_s * fv.slow;
     res.ledger.charge_traced(Phase::kForwardBackward, fb_s * fv.slow, tc);
-    tc += comm_s;
-    res.ledger.charge_traced(Phase::kGpuGpuParamComm, comm_s, tc);
+    if (bucketed) {
+      for (std::size_t b = 0; b < bsched.wire.size(); ++b) {
+        res.ledger.charge_traced(Phase::kGpuGpuParamComm, bsched.wire[b],
+                                 vtime + bsched.timeline.finish[b]);
+      }
+      tc += bsched.exposed;
+    } else {
+      tc += comm_s;
+      res.ledger.charge_traced(Phase::kGpuGpuParamComm, comm_s, tc);
+    }
     tc += gup_s * fv.slow;
     res.ledger.charge_traced(Phase::kGpuUpdate, gup_s * fv.slow, tc);
     vtime += iter_seconds;

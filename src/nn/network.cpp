@@ -59,9 +59,11 @@ void Network::finalize(Rng& rng) {
   // Validate shape propagation with a nominal batch of 1 and tally flops.
   Shape s = batched(input_shape_, 1);
   flops_per_sample_ = 0.0;
+  layer_flops_.resize(layers_.size());
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     layers_[i]->bind(arena_.layer_params(i), arena_.layer_grads(i));
-    flops_per_sample_ += layers_[i]->flops_per_sample(s);
+    layer_flops_[i] = layers_[i]->flops_per_sample(s);
+    flops_per_sample_ += layer_flops_[i];
     s = layers_[i]->output_shape(s);
   }
   DS_CHECK(s.rank() == 2, "network must end with N×classes logits, got "
@@ -88,6 +90,12 @@ const Tensor& Network::forward(const Tensor& batch, bool train) {
 
 LossResult Network::forward_backward(const Tensor& batch,
                                      std::span<const std::int32_t> labels) {
+  return forward_backward(batch, labels, LayerReadyHook());
+}
+
+LossResult Network::forward_backward(const Tensor& batch,
+                                     std::span<const std::int32_t> labels,
+                                     const LayerReadyHook& on_layer_retired) {
   const Tensor& logits = forward(batch, /*train=*/true);
   const LossResult result = loss_.forward_backward(logits, labels, dlogits_);
 
@@ -99,6 +107,10 @@ LossResult Network::forward_backward(const Tensor& batch,
     layers_[i]->backward(in, acts_[i], *grad, grads_cache_[i]);
     if (traced) obs::span_end();
     grad = &grads_cache_[i];
+    // Layer i has retired: its arena gradient is final. The hook runs
+    // OUTSIDE the layer span so its own narration (sends, clock advances)
+    // is not attributed to the layer's math.
+    if (on_layer_retired) on_layer_retired(i);
   }
   return result;
 }

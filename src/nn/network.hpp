@@ -43,6 +43,18 @@ class Network {
   LossResult forward_backward(const Tensor& batch,
                               std::span<const std::int32_t> labels);
 
+  /// Called as backward RETIRES layer `i` — its gradient is final in the
+  /// arena while layers < i are still being back-propagated. This is the
+  /// attachment point of the bucketed exchange pipeline (DESIGN.md §10):
+  /// the hook may launch communication for the retired slice, but must not
+  /// touch layers that have not retired yet.
+  using LayerReadyHook = std::function<void(std::size_t layer)>;
+
+  /// forward_backward with a per-layer retire hook; hook may be empty.
+  LossResult forward_backward(const Tensor& batch,
+                              std::span<const std::int32_t> labels,
+                              const LayerReadyHook& on_layer_retired);
+
   /// Loss/accuracy on a batch without touching gradients.
   LossResult evaluate_batch(const Tensor& batch,
                             std::span<const std::int32_t> labels);
@@ -78,6 +90,10 @@ class Network {
   /// Estimated forward+backward flops for one training sample.
   double flops_per_sample() const { return flops_per_sample_; }
 
+  /// Per-layer flops behind flops_per_sample() — the weights a bucketed
+  /// schedule uses to apportion the backward pass across layer retires.
+  const std::vector<double>& layer_flops() const { return layer_flops_; }
+
   /// Multi-line architecture summary.
   std::string summary() const;
 
@@ -91,6 +107,7 @@ class Network {
   SoftmaxCrossEntropy loss_;
   bool finalized_ = false;
   double flops_per_sample_ = 0.0;
+  std::vector<double> layer_flops_;
 
   // Activation/gradient caches reused across iterations.
   std::vector<Tensor> acts_;

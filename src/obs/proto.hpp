@@ -62,6 +62,12 @@ inline constexpr double kCenterBuffer = 0.0;
 inline double local_buffer(std::int64_t rank) {
   return 1000.0 + static_cast<double>(rank);
 }
+/// Per-bucket slice of the center copy (bucketed exchange, DESIGN.md §10):
+/// slices are disjoint arena ranges, so accesses to different buckets are
+/// not conflicts and get distinct buffer ids.
+inline double center_slice_buffer(std::size_t bucket) {
+  return 500.0 + static_cast<double>(bucket);
+}
 
 inline constexpr double kAccRead = 0.0;
 inline constexpr double kAccWrite = 1.0;

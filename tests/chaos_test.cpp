@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "comm/bucket.hpp"
 #include "comm/cost_model.hpp"
 #include "comm/fabric.hpp"
 #include "comm/fault.hpp"
@@ -24,6 +25,8 @@
 #include "core/sync_algorithms.hpp"
 #include "data/dataset.hpp"
 #include "nn/models.hpp"
+#include "obs/analysis/analysis.hpp"
+#include "obs/trace.hpp"
 #include "simhw/cluster_sim.hpp"
 #include "simhw/gpu_system.hpp"
 #include "support/rng.hpp"
@@ -355,6 +358,105 @@ TEST(ChaosFabricAsync, ServerKeepsServingSurvivorsAfterWorkerCrash) {
   EXPECT_FALSE(r.final_params.empty());
   ASSERT_FALSE(r.trace.empty());
   EXPECT_LE(r.trace.back().iteration, r.iterations);
+}
+
+// --------------------------------------------------------------------------
+// Bucketed backprop-overlapped exchange under chaos (DESIGN.md §10): the
+// in-flight bucket pipeline inherits the whole graceful-degradation
+// contract — drops are repaired without touching the math, stragglers are
+// attributable from bucketed traces, and a mid-bucket crash aborts cleanly.
+// --------------------------------------------------------------------------
+
+AlgoContext bucketed_ctx(const Fixture& f, BucketMode mode) {
+  AlgoContext ctx = f.ctx;
+  ctx.config.bucketing.bucket_bytes = 2048;  // tiny_mlp -> 2 buckets
+  ctx.config.bucketing.mode = mode;
+  return ctx;
+}
+
+TEST(ChaosBucketed, DropsAreRepairedWithoutTouchingTheMath) {
+  // 5% of bucket pushes/replies are dropped mid-flight; retransmission
+  // must deliver every one, so the deterministic-mode run is bitwise the
+  // clean run — chaos costs virtual time, never correctness.
+  Fixture f;
+  const AlgoContext ctx = bucketed_ctx(f, BucketMode::kDeterministic);
+  FabricClusterConfig clean_cluster;
+  const RunResult clean = run_fabric_bucketed_easgd(ctx, clean_cluster);
+  ASSERT_FALSE(clean.aborted);
+
+  FabricClusterConfig cluster;
+  cluster.faults.seed = 4242;
+  cluster.faults.with_drop(0.05);
+  const RunResult dropped = run_fabric_bucketed_easgd(ctx, cluster);
+  EXPECT_FALSE(dropped.aborted);
+  EXPECT_EQ(dropped.iterations, f.ctx.config.iterations);
+  EXPECT_GT(dropped.retransmits, 0u);
+  EXPECT_GT(dropped.total_seconds, clean.total_seconds);
+  EXPECT_EQ(dropped.final_params, clean.final_params);
+  ASSERT_EQ(dropped.trace.size(), clean.trace.size());
+  for (std::size_t i = 0; i < dropped.trace.size(); ++i) {
+    EXPECT_EQ(dropped.trace[i].loss, clean.trace[i].loss);
+  }
+}
+
+TEST(ChaosBucketed, AttributionNamesTheInjectedStraggler) {
+  // Every rank emits one "collective"/bucket_exchange span per round; the
+  // straggler's 3× compute makes it enter its exchange last, so the
+  // sync-round critical-path analysis must name it the gate on the
+  // bucketed trace.
+  Fixture f;
+  const AlgoContext ctx = bucketed_ctx(f, BucketMode::kDeterministic);
+  FabricClusterConfig cluster;
+  cluster.faults.with_straggler(2, 3.0);
+
+  obs::set_tracing_enabled(false);
+  obs::reset();
+  obs::set_tracing_enabled(true);
+  const RunResult r = run_fabric_bucketed_easgd(ctx, cluster);
+  const obs::analysis::TraceData trace =
+      obs::analysis::ingest_snapshot(obs::snapshot());
+  obs::set_tracing_enabled(false);
+  obs::reset();
+
+  ASSERT_FALSE(r.aborted);
+  const auto rounds = obs::analysis::sync_rounds(trace);
+  ASSERT_FALSE(rounds.empty());
+  const obs::analysis::StragglerReport report =
+      obs::analysis::attribute_stragglers(rounds);
+  EXPECT_EQ(report.top_rank(), 2) << "straggler misattributed on "
+                                  << rounds.size() << " bucketed rounds";
+  EXPECT_GT(report.gated_rounds, rounds.size() / 2);
+}
+
+TEST(ChaosBucketed, MidBucketCrashAbortsCleanlyInBothModes) {
+  // A worker crash threshold at half the clean run time lands mid-round —
+  // with in-flight buckets that means mid-bucket-sequence. Both completion
+  // disciplines must abort the round cleanly: no deadlock, typed abort
+  // reason, partial progress reported.
+  Fixture f;
+  for (const BucketMode mode :
+       {BucketMode::kDeterministic, BucketMode::kWaitFree}) {
+    SCOPED_TRACE(mode == BucketMode::kDeterministic ? "deterministic"
+                                                    : "wait-free");
+    const AlgoContext ctx = bucketed_ctx(f, mode);
+    FabricClusterConfig cluster;
+    const RunResult clean = run_fabric_bucketed_easgd(ctx, cluster);
+    ASSERT_FALSE(clean.aborted);
+
+    cluster.faults.with_crash(2, clean.total_seconds / 2.0);
+    cluster.faults.recv_poll_seconds = 2.0e-4;
+    const RunResult r = run_fabric_bucketed_easgd(ctx, cluster);
+    EXPECT_TRUE(r.aborted);
+    EXPECT_TRUE(r.degraded());
+    EXPECT_FALSE(r.abort_reason.empty());
+    EXPECT_EQ(r.workers, 3u);
+    EXPECT_EQ(r.workers_survived, 2u);
+    EXPECT_GT(r.iterations, 0u);
+    EXPECT_LT(r.iterations, f.ctx.config.iterations);
+    EXPECT_FALSE(r.final_params.empty());
+    ASSERT_FALSE(r.trace.empty());
+    EXPECT_EQ(r.trace.back().iteration, r.iterations);
+  }
 }
 
 // --------------------------------------------------------------------------

@@ -202,6 +202,52 @@ TEST(Determinism, TracedFaultyRunsEmitIdenticalVirtualEventSequences) {
   EXPECT_EQ(obs::dropped_events(), 0u);
 }
 
+TEST(Determinism, BucketedDeterministicModeEmitsIdenticalEventSequences) {
+  // DESIGN.md §10: in deterministic mode the bucketed pipeline's entire
+  // message schedule — which bucket ships when, who is served first, every
+  // virtual-time stamp — is a pure function of (seed, config). Same-seed
+  // runs must emit the identical per-rank virtual event sequence, not just
+  // the same result.
+  Fixture f;
+  f.set_workers(3);
+  f.ctx.config.bucketing.bucket_bytes = 2048;  // tiny_mlp -> 2 buckets
+  f.ctx.config.bucketing.mode = BucketMode::kDeterministic;
+  const FabricClusterConfig cluster;
+
+  auto traced_run = [&] {
+    obs::set_tracing_enabled(false);
+    obs::reset();
+    obs::set_tracing_enabled(true);
+    const RunResult r = run_fabric_bucketed_easgd(f.ctx, cluster);
+    auto seq = virtual_sequences();
+    obs::set_tracing_enabled(false);
+    obs::reset();
+    return std::make_pair(r, std::move(seq));
+  };
+
+  const auto [ra, seq_a] = traced_run();
+  const auto [rb, seq_b] = traced_run();
+  expect_identical(ra, rb);
+  EXPECT_EQ(ra.messages_sent, rb.messages_sent);
+  EXPECT_EQ(ra.bytes_sent, rb.bytes_sent);
+
+  ASSERT_EQ(seq_a.size(), seq_b.size());
+  ASSERT_EQ(seq_a.size(), 4u);  // center + 3 workers
+  for (const auto& [rank, events_a] : seq_a) {
+    const auto it = seq_b.find(rank);
+    ASSERT_NE(it, seq_b.end()) << "rank " << rank << " missing in rerun";
+    const auto& events_b = it->second;
+    ASSERT_EQ(events_a.size(), events_b.size()) << "rank " << rank;
+    for (std::size_t i = 0; i < events_a.size(); ++i) {
+      EXPECT_TRUE(events_a[i] == events_b[i])
+          << "rank " << rank << " event " << i << ": " << events_a[i].category
+          << "/" << events_a[i].name << " vt " << events_a[i].vtime << " vs "
+          << events_b[i].name << " vt " << events_b[i].vtime;
+    }
+    EXPECT_FALSE(events_a.empty()) << "rank " << rank;
+  }
+}
+
 TEST(Determinism, ActiveFaultPlanReplaysBitwiseIdentically) {
   // Fault injection itself must be deterministic: same plan seed ⇒ the
   // same drops, the same retries, the same virtual-time numbers.

@@ -1,0 +1,415 @@
+// Bucketed backprop-overlapped exchange acceptance battery (DESIGN.md §10):
+//   (a) BucketPlan is a deterministic partition of the packed arena in
+//       retire order — ragged boundaries, single-layer buckets, oversized
+//       layers, and the one-giant-bucket degenerate case all partition;
+//   (b) BucketTimeline serializes in-flight exchanges and reports exactly
+//       the communication left exposed past compute;
+//   (c) deterministic-mode bucketing is MATH-NEUTRAL: the modeled sync
+//       runners and the fabric runner produce bitwise-identical losses and
+//       final parameters at every bucket size, including bucket_bytes = 0
+//       (full-pass) for the modeled family — only the timeline and the
+//       message schedule change;
+//   (d) the overlap metric on a traced AlexNet-class bucketed run shows
+//       >80% of communication hidden under compute (the ISSUE acceptance
+//       gate, mirrored in bench/fig10_packed_layers).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "comm/bucket.hpp"
+#include "core/fabric_algorithms.hpp"
+#include "core/sync_algorithms.hpp"
+#include "data/dataset.hpp"
+#include "nn/models.hpp"
+#include "obs/analysis/analysis.hpp"
+#include "obs/trace.hpp"
+#include "simhw/gpu_system.hpp"
+
+namespace ds {
+namespace {
+
+namespace analysis = obs::analysis;
+
+// ---------------------------------------------------------------------------
+// (a) BucketPlan partition properties.
+// ---------------------------------------------------------------------------
+
+// Every param-bearing layer lands in exactly one bucket, slices are
+// disjoint, contiguous, and cover the arena; zero-param layers map nowhere.
+void expect_partition(const BucketPlan& plan,
+                      const std::vector<std::size_t>& sizes) {
+  std::size_t covered = 0;
+  std::vector<bool> seen(plan.total_params(), false);
+  for (std::size_t b = 0; b < plan.bucket_count(); ++b) {
+    const Bucket& bk = plan.bucket(b);
+    EXPECT_GT(bk.params, 0u) << "bucket " << b << " is empty";
+    EXPECT_LE(bk.first_layer, bk.last_layer);
+    for (std::size_t i = bk.offset; i < bk.offset + bk.params; ++i) {
+      EXPECT_FALSE(seen[i]) << "arena element " << i << " double-bucketed";
+      seen[i] = true;
+    }
+    covered += bk.params;
+  }
+  EXPECT_EQ(covered, plan.total_params());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    if (sizes[i] == 0) {
+      EXPECT_EQ(plan.bucket_of(i), BucketPlan::kNoBucket)
+          << "zero-param layer " << i << " got a bucket";
+    } else {
+      const std::size_t b = plan.bucket_of(i);
+      ASSERT_NE(b, BucketPlan::kNoBucket) << "layer " << i << " unbucketed";
+      EXPECT_GE(i, plan.bucket(b).first_layer);
+      EXPECT_LE(i, plan.bucket(b).last_layer);
+    }
+  }
+  // Retire order: bucket 0 holds the highest layer indices.
+  for (std::size_t b = 1; b < plan.bucket_count(); ++b) {
+    EXPECT_LT(plan.bucket(b).last_layer, plan.bucket(b - 1).first_layer);
+    EXPECT_LT(plan.bucket(b).offset, plan.bucket(b - 1).offset);
+  }
+}
+
+// LeNet-shaped stack with interleaved zero-param layers (activations,
+// pools) and an 8 KiB cap that lands mid-layer twice — the ragged case.
+TEST(BucketPlan, RaggedBoundariesPartitionTheArena) {
+  const std::vector<std::size_t> sizes = {156, 0,     0, 1812, 0,
+                                          0,   0, 12352, 0,    650};
+  const BucketPlan plan(sizes, 8192);
+  expect_partition(plan, sizes);
+
+  ASSERT_EQ(plan.bucket_count(), 3u);
+  // Bucket 0: layer 9 alone (650 params); admitting layer 7 would overflow.
+  EXPECT_EQ(plan.bucket(0).first_layer, 9u);
+  EXPECT_EQ(plan.bucket(0).offset, 156u + 1812u + 12352u);
+  EXPECT_EQ(plan.bucket(0).params, 650u);
+  // Bucket 1: layer 7 is OVERSIZED (49 KB > 8 KiB) — its own bucket.
+  EXPECT_EQ(plan.bucket(1).first_layer, 7u);
+  EXPECT_EQ(plan.bucket(1).params, 12352u);
+  EXPECT_GT(plan.bucket(1).bytes(), std::size_t{8192});
+  // Bucket 2: layers 3 and 0 share (7248 + 624 bytes fit).
+  EXPECT_EQ(plan.bucket(2).first_layer, 0u);
+  EXPECT_EQ(plan.bucket(2).last_layer, 3u);
+  EXPECT_EQ(plan.bucket(2).offset, 0u);
+  EXPECT_EQ(plan.bucket(2).params, 156u + 1812u);
+
+  // A bucket completes when backward retires its LOWEST param layer.
+  EXPECT_EQ(plan.completes_at(9), 0u);
+  EXPECT_EQ(plan.completes_at(7), 1u);
+  EXPECT_EQ(plan.completes_at(0), 2u);
+  EXPECT_EQ(plan.completes_at(3), BucketPlan::kNoBucket);  // mid-bucket
+  EXPECT_EQ(plan.completes_at(8), BucketPlan::kNoBucket);  // zero-param
+}
+
+TEST(BucketPlan, TinyCapYieldsSingleLayerBuckets) {
+  const std::vector<std::size_t> sizes = {156, 0,     0, 1812, 0,
+                                          0,   0, 12352, 0,    650};
+  const BucketPlan plan(sizes, 1);
+  expect_partition(plan, sizes);
+  ASSERT_EQ(plan.bucket_count(), 4u);  // one per param-bearing layer
+  for (std::size_t b = 0; b < plan.bucket_count(); ++b) {
+    EXPECT_EQ(plan.bucket(b).first_layer, plan.bucket(b).last_layer);
+  }
+  EXPECT_EQ(plan.bucket(0).first_layer, 9u);  // retire order
+  EXPECT_EQ(plan.bucket(3).first_layer, 0u);
+}
+
+TEST(BucketPlan, HugeCapDegeneratesToOneFullPassBucket) {
+  const std::vector<std::size_t> sizes = {156, 0,     0, 1812, 0,
+                                          0,   0, 12352, 0,    650};
+  const BucketPlan plan(sizes, std::size_t{1} << 30);
+  expect_partition(plan, sizes);
+  ASSERT_EQ(plan.bucket_count(), 1u);
+  EXPECT_EQ(plan.bucket(0).offset, 0u);
+  EXPECT_EQ(plan.bucket(0).params, plan.total_params());
+  EXPECT_EQ(plan.completes_at(0), 0u);  // completes with the LAST retire
+}
+
+TEST(BucketPlan, SlicesAddressTheRightArenaElements) {
+  const std::vector<std::size_t> sizes = {4, 0, 6, 2};
+  const BucketPlan plan(sizes, 6 * sizeof(float));
+  expect_partition(plan, sizes);
+  std::vector<float> full(plan.total_params());
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    full[i] = static_cast<float>(i);
+  }
+  std::size_t reached = 0;
+  for (std::size_t b = 0; b < plan.bucket_count(); ++b) {
+    const auto s = plan.slice(std::span<const float>(full), b);
+    ASSERT_EQ(s.size(), plan.bucket(b).params);
+    EXPECT_EQ(s.front(), static_cast<float>(plan.bucket(b).offset));
+    reached += s.size();
+  }
+  EXPECT_EQ(reached, full.size());
+}
+
+// ---------------------------------------------------------------------------
+// (b) BucketTimeline: serialized in-flight exchanges, exposed tail.
+// ---------------------------------------------------------------------------
+
+TEST(BucketTimeline, SerializesAndExposesTheTail) {
+  // ready {1,3,4}, wire {2,2,2}:
+  //   start0=1  finish0=3
+  //   start1=max(3,3)=3  finish1=5
+  //   start2=max(4,5)=5  finish2=7
+  const BucketTimeline t = bucket_timeline({1.0, 3.0, 4.0}, {2.0, 2.0, 2.0});
+  ASSERT_EQ(t.finish.size(), 3u);
+  EXPECT_DOUBLE_EQ(t.start[0], 1.0);
+  EXPECT_DOUBLE_EQ(t.finish[0], 3.0);
+  EXPECT_DOUBLE_EQ(t.start[1], 3.0);
+  EXPECT_DOUBLE_EQ(t.finish[1], 5.0);
+  EXPECT_DOUBLE_EQ(t.start[2], 5.0);
+  EXPECT_DOUBLE_EQ(t.finish[2], 7.0);
+  EXPECT_DOUBLE_EQ(t.exposed_after(6.0), 1.0);  // one second spills past
+  EXPECT_DOUBLE_EQ(t.exposed_after(7.0), 0.0);  // fully hidden
+  EXPECT_DOUBLE_EQ(t.exposed_after(9.0), 0.0);  // never negative
+}
+
+TEST(BucketTimeline, ReadyTimesAreBackwardSuffixSums) {
+  const std::vector<std::size_t> sizes = {4, 0, 6};
+  const std::vector<double> layer_s = {0.5, 0.25, 0.25};
+  {
+    const BucketPlan plan(sizes, std::size_t{1} << 20);  // one bucket
+    const auto ready = bucket_ready_times(plan, layer_s, 10.0);
+    ASSERT_EQ(ready.size(), 1u);
+    EXPECT_DOUBLE_EQ(ready[0], 11.0);  // whole backward retires first
+  }
+  {
+    const BucketPlan plan(sizes, 1);  // per-layer buckets
+    const auto ready = bucket_ready_times(plan, layer_s, 10.0);
+    ASSERT_EQ(ready.size(), 2u);
+    EXPECT_DOUBLE_EQ(ready[0], 10.25);  // layer 2 retires first
+    EXPECT_DOUBLE_EQ(ready[1], 11.0);   // layers 1+0 must also retire
+  }
+}
+
+// ---------------------------------------------------------------------------
+// (c) Deterministic-mode bucketing is math-neutral.
+// ---------------------------------------------------------------------------
+
+void expect_bitwise_params(const RunResult& a, const RunResult& b) {
+  ASSERT_FALSE(a.final_params.empty());
+  ASSERT_EQ(a.final_params.size(), b.final_params.size());
+  EXPECT_EQ(0, std::memcmp(a.final_params.data(), b.final_params.data(),
+                           a.final_params.size() * sizeof(float)))
+      << a.method << " vs " << b.method << ": final params differ";
+}
+
+void expect_same_learning_curve(const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].loss, b.trace[i].loss) << "trace point " << i;
+    EXPECT_EQ(a.trace[i].accuracy, b.trace[i].accuracy)
+        << "trace point " << i;
+  }
+}
+
+struct LenetFixture {
+  TrainTest data = mnist_like(42, 512, 128);
+  AlgoContext ctx;
+  GpuSystem hw{GpuSystemConfig{}, paper_lenet(), 28.0 * 28.0 * 4.0};
+
+  LenetFixture() {
+    ctx.factory = [] {
+      Rng rng(7);
+      return make_lenet_s(rng);
+    };
+    ctx.train = &data.train;
+    ctx.test = &data.test;
+    ctx.config.workers = 4;
+    ctx.config.iterations = 30;
+    ctx.config.batch_size = 32;
+    ctx.config.eval_every = 10;
+    ctx.config.eval_samples = 64;
+    ctx.config.learning_rate = 0.05f;
+    ctx.config.rho = 0.9f / (4.0f * 0.05f);
+  }
+
+  AlgoContext with_bucket_bytes(std::size_t bytes) const {
+    AlgoContext c = ctx;
+    c.config.bucketing.bucket_bytes = bytes;
+    return c;
+  }
+};
+
+// The modeled sync EASGD runner: bucket size reshapes ONLY the timeline and
+// the message schedule, never the math — every cap (per-layer, ragged,
+// one-giant, off) yields bitwise-identical learning.
+TEST(OverlapPipeline, SyncEasgdBucketingIsMathNeutralAtEveryCap) {
+  const LenetFixture f;
+  const RunResult off = run_sync_easgd(f.ctx, f.hw, SyncEasgdVariant::kEasgd3);
+  ASSERT_FALSE(off.aborted);
+
+  const std::size_t caps[] = {1, 8192, std::size_t{1} << 26};
+  for (const std::size_t cap : caps) {
+    const RunResult bucketed =
+        run_sync_easgd(f.with_bucket_bytes(cap), f.hw,
+                       SyncEasgdVariant::kEasgd3);
+    ASSERT_FALSE(bucketed.aborted) << "cap " << cap;
+    EXPECT_NE(bucketed.method.find("bucketed"), std::string::npos);
+    expect_bitwise_params(off, bucketed);
+    expect_same_learning_curve(off, bucketed);
+  }
+}
+
+// Per-bucket exchanges cost extra messages (one α per bucket per hop); the
+// degenerate one-bucket plan sends exactly the full-pass message count.
+TEST(OverlapPipeline, BucketCountDrivesTheMessageSchedule) {
+  const LenetFixture f;
+  const RunResult off = run_sync_sgd(f.ctx, f.hw);
+  const RunResult per_layer = run_sync_sgd(f.with_bucket_bytes(1), f.hw);
+  const RunResult giant =
+      run_sync_sgd(f.with_bucket_bytes(std::size_t{1} << 26), f.hw);
+  EXPECT_GT(per_layer.messages_sent, off.messages_sent);
+  EXPECT_EQ(giant.messages_sent, off.messages_sent);
+  expect_bitwise_params(off, per_layer);
+  expect_bitwise_params(off, giant);
+  expect_same_learning_curve(off, per_layer);
+}
+
+// The fabric (SPMD message-passing) bucketed runner in deterministic mode:
+// bitwise-invariant across bucket sizes, including the one-giant-bucket
+// degenerate case (= the full-pass exchange).
+struct TinyFabricFixture {
+  TrainTest data;
+  AlgoContext ctx;
+  FabricClusterConfig cluster;
+
+  TinyFabricFixture() {
+    SyntheticSpec spec;
+    spec.classes = 4;
+    spec.channels = 1;
+    spec.height = 8;
+    spec.width = 8;
+    spec.train_count = 256;
+    spec.test_count = 64;
+    spec.noise = 0.9;
+    spec.seed = 99;
+    data = make_synthetic(spec);
+    const auto stats = normalize(data.train);
+    normalize_with(data.test, stats.first, stats.second);
+    ctx.factory = [] {
+      Rng rng(17);
+      return make_tiny_mlp(rng);
+    };
+    ctx.train = &data.train;
+    ctx.test = &data.test;
+    ctx.config.workers = 3;
+    ctx.config.iterations = 20;
+    ctx.config.batch_size = 16;
+    ctx.config.eval_every = 10;
+    ctx.config.eval_samples = 64;
+    ctx.config.learning_rate = 0.05f;
+    ctx.config.rho = 0.9f / (3.0f * 0.05f);
+  }
+
+  AlgoContext with_bucketing(std::size_t bytes, BucketMode mode) const {
+    AlgoContext c = ctx;
+    c.config.bucketing.bucket_bytes = bytes;
+    c.config.bucketing.mode = mode;
+    return c;
+  }
+};
+
+TEST(OverlapPipeline, FabricDeterministicModeIsBitwiseInvariantAcrossCaps) {
+  const TinyFabricFixture f;
+  // tiny_mlp param layers: 2080 (8320 B) and 132 (528 B).
+  //   cap 2048 B  -> two single-layer buckets (ragged: first is oversized)
+  //   cap 1 B     -> two single-layer buckets (explicit per-layer)
+  //   cap 1 MiB   -> one giant bucket == the full-pass exchange
+  const RunResult ragged = run_fabric_bucketed_easgd(
+      f.with_bucketing(2048, BucketMode::kDeterministic), f.cluster);
+  const RunResult per_layer = run_fabric_bucketed_easgd(
+      f.with_bucketing(1, BucketMode::kDeterministic), f.cluster);
+  const RunResult giant = run_fabric_bucketed_easgd(
+      f.with_bucketing(std::size_t{1} << 20, BucketMode::kDeterministic),
+      f.cluster);
+  ASSERT_FALSE(ragged.aborted) << ragged.abort_reason;
+  ASSERT_FALSE(giant.aborted) << giant.abort_reason;
+  EXPECT_EQ(ragged.iterations, f.ctx.config.iterations);
+  expect_bitwise_params(giant, ragged);
+  expect_bitwise_params(giant, per_layer);
+  expect_same_learning_curve(giant, ragged);
+  expect_same_learning_curve(giant, per_layer);
+  // More buckets => more pushes/replies on the wire.
+  EXPECT_GT(ragged.messages_sent, giant.messages_sent);
+}
+
+TEST(OverlapPipeline, FabricDeterministicModeIsReproducible) {
+  const TinyFabricFixture f;
+  const AlgoContext c = f.with_bucketing(2048, BucketMode::kDeterministic);
+  const RunResult a = run_fabric_bucketed_easgd(c, f.cluster);
+  const RunResult b = run_fabric_bucketed_easgd(c, f.cluster);
+  EXPECT_EQ(a.total_seconds, b.total_seconds);
+  expect_bitwise_params(a, b);
+  expect_same_learning_curve(a, b);
+}
+
+TEST(OverlapPipeline, FabricWaitFreeModeCompletesAndLearns) {
+  const TinyFabricFixture f;
+  const RunResult wf = run_fabric_bucketed_easgd(
+      f.with_bucketing(2048, BucketMode::kWaitFree), f.cluster);
+  ASSERT_FALSE(wf.aborted) << wf.abort_reason;
+  EXPECT_EQ(wf.iterations, f.ctx.config.iterations);
+  EXPECT_NE(wf.method.find("wait-free"), std::string::npos);
+  ASSERT_FALSE(wf.final_params.empty());
+  // Wait-free reorders float sums, not values: the learning signal must
+  // stay on par with the deterministic run's.
+  const RunResult det = run_fabric_bucketed_easgd(
+      f.with_bucketing(2048, BucketMode::kDeterministic), f.cluster);
+  EXPECT_NEAR(wf.final_loss, det.final_loss, 0.15)
+      << "wait-free diverged from deterministic";
+}
+
+// ---------------------------------------------------------------------------
+// (d) The overlap acceptance gate: >80% of communication hidden on an
+// AlexNet-class bucketed run (ISSUE acceptance; bench/fig10_packed_layers
+// gates the same metric in CI).
+// ---------------------------------------------------------------------------
+
+TEST(OverlapPipeline, AlexnetClassBucketedRunHidesMostCommunication) {
+  TrainTest data = cifar_like(42, 512, 128);
+  AlgoContext ctx;
+  ctx.factory = [] {
+    Rng rng(5);
+    return make_alexnet_s(rng);
+  };
+  ctx.train = &data.train;
+  ctx.test = &data.test;
+  ctx.config.workers = 4;
+  ctx.config.iterations = 12;
+  ctx.config.batch_size = 32;
+  ctx.config.eval_every = 6;
+  ctx.config.eval_samples = 64;
+  ctx.config.learning_rate = 0.02f;
+  ctx.config.rho = 0.9f / (4.0f * 0.02f);
+  // The plan partitions the SCALED net's arena (~325 KB for alexnet_s); a
+  // 48 KiB cap yields 4 buckets — {fc2}, {fc1 oversized}, {conv3},
+  // {conv2+conv1} — leaving only the last (~6% of bytes) exposed past the
+  // end of backward.
+  ctx.config.bucketing.bucket_bytes = std::size_t{48} << 10;
+  const GpuSystem hw{GpuSystemConfig{}, paper_alexnet(), 3.0 * 32.0 * 32.0 * 4.0};
+
+  obs::set_tracing_enabled(false);
+  obs::reset();
+  obs::set_tracing_enabled(true);
+  const RunResult run = run_sync_sgd(ctx, hw);
+  obs::set_tracing_enabled(false);
+  const analysis::TraceData trace =
+      analysis::ingest_snapshot(obs::snapshot());
+  obs::reset();
+
+  ASSERT_FALSE(run.aborted);
+  const analysis::OverlapSplit split = analysis::comm_compute_split(trace);
+  ASSERT_GT(split.comm_seconds, 0.0);
+  ASSERT_GT(split.compute_seconds, 0.0);
+  EXPECT_GT(split.overlap_fraction(), 0.8)
+      << "comm=" << split.comm_seconds << "s compute=" << split.compute_seconds
+      << "s overlap=" << split.overlap_seconds << "s";
+  // The hidden-communication time is real and material (milliseconds of
+  // virtual time per run, the fig10 bench metric).
+  EXPECT_GT(split.overlap_seconds * 1e3, 1.0);
+}
+
+}  // namespace
+}  // namespace ds

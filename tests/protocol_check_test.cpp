@@ -305,6 +305,63 @@ TEST(RoundRobinRunner, SurvivesAWorkerCrashGracefully) {
 }
 
 // ---------------------------------------------------------------------------
+// Bucketed backprop-overlapped exchange (DESIGN.md §10): every bucketed
+// runner family emits proto-clean traces — in-flight buckets introduce no
+// races, tag aliasing, or deadlocks.
+// ---------------------------------------------------------------------------
+
+TEST_F(ProtocolCheckRunTest, CleanBucketedDeterministicRunHasNoViolations) {
+  Fixture f;
+  f.ctx.config.bucketing.bucket_bytes = 2048;  // tiny_mlp -> 2 buckets
+  f.ctx.config.bucketing.mode = BucketMode::kDeterministic;
+  run_fabric_bucketed_easgd(f.ctx, FabricClusterConfig{});
+  const check::CheckReport report = checked_live();
+  EXPECT_TRUE(report.ok()) << check::format_report(report);
+  EXPECT_GT(report.stats.sends, 0u);
+  EXPECT_EQ(report.stats.sends, report.stats.matched);
+  EXPECT_GT(report.stats.accesses, 0u);
+  EXPECT_EQ(report.stats.retires, 4u);  // center + 3 workers
+}
+
+TEST_F(ProtocolCheckRunTest, CleanBucketedWaitFreeRunHasNoViolations) {
+  Fixture f;
+  f.ctx.config.bucketing.bucket_bytes = 2048;
+  f.ctx.config.bucketing.mode = BucketMode::kWaitFree;
+  run_fabric_bucketed_easgd(f.ctx, FabricClusterConfig{});
+  const check::CheckReport report = checked_live();
+  EXPECT_TRUE(report.ok()) << check::format_report(report);
+  // Wildcard service + mid-backward polling still consume every send.
+  EXPECT_EQ(report.stats.sends, report.stats.matched);
+}
+
+TEST_F(ProtocolCheckRunTest, CleanBucketedRoundRobinRunHasNoViolations) {
+  Fixture f;
+  f.ctx.config.bucketing.bucket_bytes = 2048;
+  run_fabric_round_robin_easgd(f.ctx, FabricClusterConfig{});
+  const check::CheckReport report = checked_live();
+  EXPECT_TRUE(report.ok()) << check::format_report(report);
+  EXPECT_EQ(report.stats.sends, report.stats.matched);
+  EXPECT_EQ(report.stats.retires, 4u);
+}
+
+TEST_F(ProtocolCheckRunTest, BucketedChromeRoundTripPreservesTheVerdict) {
+  Fixture f;
+  f.ctx.config.bucketing.bucket_bytes = 2048;
+  f.ctx.config.bucketing.mode = BucketMode::kWaitFree;
+  run_fabric_bucketed_easgd(f.ctx, FabricClusterConfig{});
+  const check::CheckReport live = checked_live();
+  EXPECT_TRUE(live.ok()) << check::format_report(live);
+  std::ostringstream os;
+  obs::write_chrome_trace(os);
+  const check::CheckReport reparsed = check::check_trace(
+      analysis::ingest_chrome_trace(obs::parse_json(os.str())));
+  EXPECT_TRUE(reparsed.ok()) << check::format_report(reparsed);
+  EXPECT_EQ(reparsed.stats.sends, live.stats.sends);
+  EXPECT_EQ(reparsed.stats.matched, live.stats.matched);
+  EXPECT_EQ(reparsed.stats.accesses, live.stats.accesses);
+}
+
+// ---------------------------------------------------------------------------
 // (c) Bounded schedule exploration.
 // ---------------------------------------------------------------------------
 
@@ -375,6 +432,47 @@ TEST(Explore, CatchesAScheduleDependentResult) {
   };
   const check::ExploreReport r = check::explore(p);
   EXPECT_FALSE(r.deterministic) << check::format_report(r);
+  EXPECT_EQ(r.deadlocks, 0u);
+  EXPECT_GE(r.completed, 2u);
+}
+
+TEST(Explore, BucketedExchangeSurvivesCrossedCompletions) {
+  // 2 workers × 2 buckets of wildcard pushes: the DFS drives every crossed
+  // bucket-completion order through the center, including a worker's bucket
+  // 1 landing before the other worker's bucket 0. Commutative per-bucket
+  // sums + the last-bucket reply barrier keep every schedule deadlock-free
+  // with one digest.
+  const check::ExploreReport r =
+      check::explore(check::bucketed_exchange_protocol(3, 2, 1));
+  EXPECT_TRUE(r.ok()) << check::format_report(r);
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_EQ(r.deadlocks, 0u);
+  EXPECT_TRUE(r.deterministic);
+  EXPECT_GE(r.completed, 2u);  // genuinely distinct service orders explored
+}
+
+TEST(Explore, BucketedExchangeScalesToFourRanks) {
+  // 3 workers × 2 buckets = 6 wildcard pushes per round; the schedule cap
+  // bounds the walk (`exhausted` may be false) while still driving many
+  // genuinely distinct crossed completions through the center.
+  check::ExploreOptions options;
+  options.max_schedules = 96;
+  const check::ExploreReport r =
+      check::explore(check::bucketed_exchange_protocol(4, 2, 1), options);
+  EXPECT_TRUE(r.ok()) << check::format_report(r);
+  EXPECT_EQ(r.deadlocks, 0u);
+  EXPECT_TRUE(r.deterministic);
+  EXPECT_GE(r.completed, 8u);
+}
+
+TEST(Explore, CatchesASeededOutOfOrderBucketApply) {
+  // The misapply center folds pushes in ARRIVAL order with a
+  // non-commutative update — the out-of-order bucket-apply bug a wait-free
+  // pipeline invites. The explorer must flag the digest schedule-dependent.
+  const check::ExploreReport r =
+      check::explore(check::bucketed_misapply_protocol(3, 2));
+  EXPECT_FALSE(r.ok()) << check::format_report(r);
+  EXPECT_FALSE(r.deterministic);
   EXPECT_EQ(r.deadlocks, 0u);
   EXPECT_GE(r.completed, 2u);
 }

@@ -8,10 +8,10 @@
 // trace is violation-free.
 //
 // --explore: ignore file arguments and run the bounded schedule explorer
-// over the three built-in runner-family miniatures (sync tree, round-robin,
-// wildcard parameter server) at P ≤ 4, asserting deadlock-freedom and
-// digest determinism across every recv_any interleaving. Exit 0 iff all
-// three pass. CI runs both modes.
+// over the built-in runner-family miniatures (sync tree, round-robin,
+// wildcard parameter server, bucketed gradient exchange) at P ≤ 4,
+// asserting deadlock-freedom and digest determinism across every recv_any
+// interleaving. Exit 0 iff all pass. CI runs both modes.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -33,6 +33,7 @@ int run_explore() {
       ds::check::sync_tree_protocol(4, 2),
       ds::check::round_robin_protocol(3, 2),
       ds::check::async_server_protocol(3, 4),
+      ds::check::bucketed_exchange_protocol(3, 2, 1),
   };
   for (const ds::check::Protocol& protocol : protocols) {
     const ds::check::ExploreReport report =
