@@ -11,6 +11,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -36,7 +37,9 @@ class CapturingReporter : public benchmark::ConsoleReporter {
       out_.metric(base + ".real_time_ns", run.GetAdjustedRealTime(),
                   Better::kNone, "ns");
       for (const auto& [cname, counter] : run.counters) {
-        const Better better = cname.find("GFLOP") != std::string::npos
+        const Better better = cname.find("GFLOP") != std::string::npos ||
+                                      cname.find("speedup") !=
+                                          std::string::npos
                                   ? Better::kHigher
                                   : Better::kNone;
         out_.metric(base + "." + slug(cname),
@@ -67,6 +70,26 @@ inline int micro_bench_main(const char* bench_name, int argc, char** argv) {
   int fwd_argc = static_cast<int>(fwd.size());
   benchmark::Initialize(&fwd_argc, fwd.data());
   if (benchmark::ReportUnrecognizedArguments(fwd_argc, fwd.data())) return 2;
+
+  // Debug-build numbers are meaningless as baselines (assertions on, -O0):
+  // warn loudly on every run, and refuse to produce a JSON document so a CI
+  // baseline regeneration from the wrong build type fails instead of
+  // silently committing garbage. NDEBUG tracks THIS translation unit's
+  // optimisation config, unlike google-benchmark's library_build_type,
+  // which only describes the benchmark library itself.
+#ifndef NDEBUG
+  std::fprintf(stderr,
+               "*** %s: DEBUG BUILD — timings are not comparable to release "
+               "baselines ***\n",
+               bench_name);
+  if (!json_path.empty()) {
+    std::fprintf(stderr,
+                 "*** refusing to write %s from a debug build; rebuild with "
+                 "-DCMAKE_BUILD_TYPE=Release ***\n",
+                 json_path.c_str());
+    return 3;
+  }
+#endif
 
   Reporter reporter(bench_name);
   CapturingReporter display(reporter);

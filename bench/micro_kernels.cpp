@@ -5,6 +5,9 @@
 // wall-clock cost of every experiment binary.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <memory>
+
 #include "core/easgd_rules.hpp"
 #include "nn/layers.hpp"
 #include "nn/models.hpp"
@@ -209,6 +212,81 @@ void BM_ConvForwardDeep(benchmark::State& state) {
 }
 BENCHMARK(BM_ConvForwardDeep);
 
+// ------------------------- Convolution algorithms ---------------------------
+
+// Forward throughput per ConvAlgo on an AlexNet-class 3×3/s1/p1 layer
+// (32 → 32 channels on 16×16, batch 32 — the alexnet_s conv3 shape, which
+// every mid-network conv in the zoo resembles). GFLOP/s counts the
+// direct-convolution flop budget for every algorithm so the numbers are
+// comparable (Winograd's multiply saving shows up as a higher rate, not a
+// smaller numerator). The "speedup_vs_im2col" counter re-times the im2col
+// path on the same tensors in-process and reports the ratio — load- and
+// machine-stable in a way raw rates are not, so the CI gate can hold the
+// ≥1.3× claim against it with a tight tolerance.
+void conv3x3_algo_bench(benchmark::State& state, ds::ConvAlgo algo) {
+  const std::size_t batch = 32, hw = 16;
+  const auto in_c = static_cast<std::size_t>(state.range(0));
+  const std::size_t out_c = in_c;
+  ds::Rng rng(2);
+  ds::Tensor x({batch, in_c, hw, hw});
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(rng.uniform(-1, 1));
+  }
+  const auto make_conv = [&](ds::ConvAlgo a, std::vector<float>& params,
+                             std::vector<float>& grads) {
+    auto conv = std::make_unique<ds::Conv2D>(in_c, out_c, 3, 1, 1, a);
+    params.resize(conv->param_count());
+    grads.resize(conv->param_count());
+    conv->bind(params, grads);
+    ds::Rng init(2);
+    conv->init_params(init);
+    return conv;
+  };
+  std::vector<float> params, grads;
+  auto conv = make_conv(algo, params, grads);
+  ds::Tensor y;
+  for (auto _ : state) {
+    conv->forward(x, y, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+  const double flops = conv->flops_per_sample(x.shape()) / 3.0 *
+                       static_cast<double>(batch);
+  set_gflops(state, flops);
+
+  // Best-of-3 windows of 10 calls each: the steady-state time, insulated
+  // from first-touch page faults on the freshly allocated workspaces.
+  const auto time_forward = [&](ds::ConvAlgo a) {
+    std::vector<float> p, g;
+    auto c = make_conv(a, p, g);
+    ds::Tensor out;
+    for (int warm = 0; warm < 3; ++warm) c->forward(x, out, false);
+    double best = 0.0;
+    for (int window = 0; window < 3; ++window) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int rep = 0; rep < 10; ++rep) c->forward(x, out, false);
+      const double t =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        t0)
+              .count();
+      if (window == 0 || t < best) best = t;
+    }
+    benchmark::DoNotOptimize(out.data());
+    return best;
+  };
+  state.counters["speedup_vs_im2col"] =
+      time_forward(ds::ConvAlgo::kIm2col) / time_forward(algo);
+}
+BENCHMARK_CAPTURE(conv3x3_algo_bench, im2col, ds::ConvAlgo::kIm2col)
+    ->Arg(32)->Arg(64);
+BENCHMARK_CAPTURE(conv3x3_algo_bench, direct, ds::ConvAlgo::kDirect)
+    ->Arg(32)->Arg(64);
+BENCHMARK_CAPTURE(conv3x3_algo_bench, winograd, ds::ConvAlgo::kWinograd)
+    ->Arg(32)->Arg(64);
+BENCHMARK_CAPTURE(conv3x3_algo_bench, int8, ds::ConvAlgo::kInt8)
+    ->Arg(32)->Arg(64);
+BENCHMARK_CAPTURE(conv3x3_algo_bench, auto_pick, ds::ConvAlgo::kAuto)
+    ->Arg(32)->Arg(64);
+
 // ------------------------------- Update rules --------------------------------
 
 void BM_EasgdWorkerStep(benchmark::State& state) {
@@ -293,6 +371,25 @@ void BM_AlexnetForwardBackward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AlexnetForwardBackward);
+
+void BM_GooglenetForwardBackward(benchmark::State& state) {
+  // Inception-block step time: the other model family whose 3×3 branches
+  // ride the conv dispatch (the 1×1/5×5 stages stay on im2col).
+  ds::Rng rng(7);
+  auto net = ds::make_googlenet_s(rng);
+  ds::Tensor x({8, 3, 32, 32});
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    x[i] = static_cast<float>(rng.uniform(-1, 1));
+  }
+  std::vector<std::int32_t> labels(8);
+  for (std::size_t i = 0; i < 8; ++i) labels[i] = static_cast<int>(i % 10);
+  for (auto _ : state) {
+    net->zero_grads();
+    const ds::LossResult r = net->forward_backward(x, labels);
+    benchmark::DoNotOptimize(r.loss);
+  }
+}
+BENCHMARK(BM_GooglenetForwardBackward);
 
 }  // namespace
 

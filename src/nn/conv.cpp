@@ -3,18 +3,75 @@
 #include <sstream>
 
 #include "nn/layers.hpp"
+#include "nn/param_arena.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "tensor/direct_conv.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/gemm_int8.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/winograd.hpp"
 
 namespace ds {
 
+namespace {
+
+bool same_geom(const ConvGeom& a, const ConvGeom& b) {
+  return a.channels == b.channels && a.height == b.height &&
+         a.width == b.width && a.kernel == b.kernel && a.stride == b.stride &&
+         a.pad == b.pad;
+}
+
+// Dispatch accounting: always-on metrics, plus (when tracing) a Chrome
+// counter track sampling the cumulative conv flops and lowering traffic so
+// the im2col-vs-direct split shows up on the trace timeline.
+struct ConvMetrics {
+  obs::Counter& calls = obs::metrics().counter(obs::names::kConvCalls);
+  obs::AccumDouble& flops = obs::metrics().accum(obs::names::kConvFlops);
+  obs::Counter& im2col = obs::metrics().counter(obs::names::kConvIm2colCalls);
+  obs::Counter& direct = obs::metrics().counter(obs::names::kConvDirectCalls);
+  obs::Counter& wino = obs::metrics().counter(obs::names::kConvWinogradCalls);
+  obs::Counter& int8 = obs::metrics().counter(obs::names::kConvInt8Calls);
+};
+
+void count_dispatch(ConvAlgo algo, double flops) {
+  static ConvMetrics cm;
+  cm.calls.add();
+  cm.flops.add(flops);
+  switch (algo) {
+    case ConvAlgo::kIm2col:
+      cm.im2col.add();
+      break;
+    case ConvAlgo::kDirect:
+      cm.direct.add();
+      break;
+    case ConvAlgo::kWinograd:
+      cm.wino.add();
+      break;
+    case ConvAlgo::kInt8:
+      cm.int8.add();
+      break;
+    case ConvAlgo::kAuto:
+      break;  // resolve_conv_algo never returns kAuto
+  }
+  if (obs::tracing_enabled()) {
+    obs::counter(obs::names::kConvFlops, cm.flops.value());
+    obs::counter(obs::names::kIm2colBytes,
+                 obs::metrics().accum(obs::names::kIm2colBytes).value());
+  }
+}
+
+}  // namespace
+
 Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
-               std::size_t kernel, std::size_t stride, std::size_t pad)
+               std::size_t kernel, std::size_t stride, std::size_t pad,
+               ConvAlgo algo)
     : in_c_(in_channels),
       out_c_(out_channels),
       kernel_(kernel),
       stride_(stride),
-      pad_(pad) {
+      pad_(pad),
+      algo_(algo) {
   DS_CHECK(in_c_ > 0 && out_c_ > 0 && kernel_ > 0 && stride_ > 0,
            "conv dims must be positive");
 }
@@ -42,6 +99,10 @@ ConvGeom Conv2D::geom_for(const Shape& input) const {
   return g;
 }
 
+ConvAlgo Conv2D::resolved_algo(const Shape& input) const {
+  return resolve_conv_algo(algo_, geom_for(input), out_c_);
+}
+
 Shape Conv2D::output_shape(const Shape& input) const {
   const ConvGeom g = geom_for(input);
   return Shape{input.dim(0), out_c_, g.out_height(), g.out_width()};
@@ -63,10 +124,11 @@ void Conv2D::init_params(Rng& rng) {
   for (std::size_t i = w; i < params_.size(); ++i) params_[i] = 0.0f;
 }
 
-void Conv2D::forward(const Tensor& x, Tensor& y, bool /*train*/) {
-  const ConvGeom g = geom_for(x.shape());
-  const Shape out = output_shape(x.shape());
-  if (y.shape() != out) y = Tensor(out);
+// im2col lowering path, fp32 (quantized=false) or int8 (quantized=true).
+// Either way col_ws_ ends up holding this input's fp32 column matrix, which
+// backward_lowered reuses for the dW GEMM.
+void Conv2D::forward_lowered(const ConvGeom& g, const Tensor& x, Tensor& y,
+                             bool quantized) {
   const std::size_t batch = x.dim(0);
   const std::size_t rows = g.col_rows();
   const std::size_t cols = g.col_cols();
@@ -74,7 +136,7 @@ void Conv2D::forward(const Tensor& x, Tensor& y, bool /*train*/) {
   col_ws_.ensure(rows * bc);
   out_ws_.ensure(out_c_ * bc);
 
-  const float* weights = params_.data();           // out_c × rows
+  const float* weights = params_.data();  // out_c × rows
   const float* bias = params_.data() + out_c_ * rows;
   const std::size_t in_plane = in_c_ * g.height * g.width;
   const std::size_t out_plane = out_c_ * cols;
@@ -84,12 +146,30 @@ void Conv2D::forward(const Tensor& x, Tensor& y, bool /*train*/) {
   for (std::size_t n = 0; n < batch; ++n) {
     im2col(g, x.data() + n * in_plane, col_ws_.data() + n * cols, bc);
   }
-  // … so the layer is one GEMM, [out_c × rows] · [rows × batch·cols], with
-  // the per-channel bias fused into the C write-back epilogue.
-  GemmEpilogue ep;
-  ep.row_bias = bias;
-  gemm(Transpose::kNo, Transpose::kNo, out_c_, bc, rows, 1.0f, weights, rows,
-       col_ws_.data(), bc, 0.0f, out_ws_.data(), bc, ep);
+  col_geom_ = g;
+  col_batch_ = batch;
+  col_valid_ = true;
+  if (!quantized) {
+    // … so the layer is one GEMM, [out_c × rows] · [rows × batch·cols],
+    // with the per-channel bias fused into the C write-back epilogue.
+    GemmEpilogue ep;
+    ep.row_bias = bias;
+    gemm(Transpose::kNo, Transpose::kNo, out_c_, bc, rows, 1.0f, weights,
+         rows, col_ws_.data(), bc, 0.0f, out_ws_.data(), bc, ep);
+  } else {
+    // Int8: quantize weights and columns with the wire codec's affine
+    // min/step encoding, run the exact-integer GEMM, dequantize in the
+    // epilogue. k = rows is capped by the int32-accumulator bound.
+    DS_CHECK(rows <= kGemmU8MaxK,
+             name() << ": receptive field too deep for int8 GEMM");
+    Int8Codec::encode(std::span<const float>(weights, out_c_ * rows),
+                      wq_blob_);
+    Int8Codec::encode(std::span<const float>(col_ws_.data(), rows * bc),
+                      xq_blob_);
+    gemm_u8(out_c_, bc, rows, wq_blob_.data.data(), wq_blob_.min,
+            wq_blob_.step, xq_blob_.data.data(), bc, xq_blob_.min,
+            xq_blob_.step, out_ws_.data(), bc, bias);
+  }
   // Un-batch [out_c × batch·cols] into the NCHW output.
   for (std::size_t n = 0; n < batch; ++n) {
     float* yn = y.data() + n * out_plane;
@@ -100,10 +180,92 @@ void Conv2D::forward(const Tensor& x, Tensor& y, bool /*train*/) {
   }
 }
 
-void Conv2D::backward(const Tensor& x, const Tensor& /*y*/, const Tensor& dy,
-                      Tensor& dx) {
+// Direct / Winograd forward over the blocked activation layout.
+void Conv2D::forward_direct(const ConvGeom& g, const Tensor& x, Tensor& y,
+                            bool winograd) {
+  const std::size_t batch = x.dim(0);
+  const BlockedLayout bl = BlockedLayout::for_conv(g);
+  const std::size_t ximg = batch * bl.image_floats();
+  const float* weights = params_.data();
+  const float* bias = params_.data() + out_c_ * in_c_ * 9;
+
+  AlignedBuffer& ws = scratch();
+  const std::size_t wino_floats =
+      winograd ? winograd_scratch_floats(bl, batch, out_c_) : 0;
+  ws.ensure(ximg + wino_floats);
+  nchw_to_blocked(bl, batch, x.data(), ws.data());
+  if (winograd) {
+    winograd_conv3x3_forward(bl, batch, out_c_, ws.data(), weights, bias,
+                             y.data(), ws.data() + ximg);
+  } else {
+    direct_conv3x3_forward(bl, batch, out_c_, ws.data(), weights, bias,
+                           y.data());
+  }
+}
+
+void Conv2D::forward(const Tensor& x, Tensor& y, bool /*train*/) {
   const ConvGeom g = geom_for(x.shape());
-  if (dx.shape() != x.shape()) dx = Tensor(x.shape());
+  const Shape out = output_shape(x.shape());
+  if (y.shape() != out) y = Tensor(out);
+  const ConvAlgo algo = resolve_conv_algo(algo_, g, out_c_);
+  count_dispatch(algo,
+                 gemm_flops(out_c_, x.dim(0) * g.col_cols(), g.col_rows()));
+  switch (algo) {
+    case ConvAlgo::kIm2col:
+      forward_lowered(g, x, y, /*quantized=*/false);
+      break;
+    case ConvAlgo::kInt8:
+      forward_lowered(g, x, y, /*quantized=*/true);
+      break;
+    case ConvAlgo::kDirect:
+      col_valid_ = false;
+      forward_direct(g, x, y, /*winograd=*/false);
+      break;
+    case ConvAlgo::kWinograd:
+      col_valid_ = false;
+      forward_direct(g, x, y, /*winograd=*/true);
+      break;
+    case ConvAlgo::kAuto:
+      DS_CHECK(false, "resolve_conv_algo returned kAuto");
+  }
+}
+
+// Backward through the 3×3 direct kernels: dW/db from the blocked
+// dY × X plane products, dX as a full correlation of blocked dY with the
+// 180°-rotated, [C][F]-transposed weights — bitwise-deterministic like the
+// forward (whole-image / whole-filter sharding only).
+void Conv2D::backward_direct(const ConvGeom& g, const Tensor& x,
+                             const Tensor& dy, Tensor& dx) {
+  const std::size_t batch = x.dim(0);
+  const BlockedLayout xl = BlockedLayout::for_conv(g);
+  BlockedLayout dyl = xl;
+  dyl.channels = out_c_;
+  const std::size_t ximg = batch * xl.image_floats();
+  const std::size_t dyimg = batch * dyl.image_floats();
+  const std::size_t wfloats = out_c_ * in_c_ * 9;
+
+  const float* weights = params_.data();
+  float* dweights = grads_.data();
+  float* dbias = grads_.data() + wfloats;
+
+  AlignedBuffer& ws = scratch();
+  ws.ensure(ximg + dyimg + wfloats);
+  float* xb = ws.data();
+  float* dyb = ws.data() + ximg;
+  float* wrot = ws.data() + ximg + dyimg;
+
+  nchw_to_blocked(xl, batch, x.data(), xb);
+  nchw_to_blocked(dyl, batch, dy.data(), dyb);
+  direct_conv3x3_backward_weights(xl, batch, out_c_, xb, dyb, dweights,
+                                  dbias);
+  // dX[c] = Σ_f dY[f] ⋆ rot180(W[f][c]) — the forward kernel with the
+  // roles of filters/channels swapped; overwrites dx completely.
+  rotate_conv3x3_weights(out_c_, in_c_, weights, wrot);
+  direct_conv3x3_forward(dyl, batch, in_c_, dyb, wrot, nullptr, dx.data());
+}
+
+void Conv2D::backward_lowered(const ConvGeom& g, const Tensor& x,
+                              const Tensor& dy, Tensor& dx) {
   dx.zero();
   const std::size_t batch = x.dim(0);
   const std::size_t rows = g.col_rows();
@@ -114,21 +276,31 @@ void Conv2D::backward(const Tensor& x, const Tensor& /*y*/, const Tensor& dy,
   dcol_ws_.ensure(rows * bc);
 
   const float* weights = params_.data();
-  float* dweights = grads_.data();                  // out_c × rows
+  float* dweights = grads_.data();  // out_c × rows
   float* dbias = grads_.data() + out_c_ * rows;
   const std::size_t in_plane = in_c_ * g.height * g.width;
   const std::size_t out_plane = out_c_ * cols;
 
-  // Batched column matrix of the input and batched layout of dY, mirroring
-  // the forward lowering.
+  // Column matrix of the input: forward already lowered exactly this x
+  // (backward's x is contractually the matching forward's), so reuse the
+  // grow-only scratch instead of re-running im2col — unless a different
+  // shape or a non-lowering forward invalidated it.
+  const bool reuse =
+      col_valid_ && col_batch_ == batch && same_geom(col_geom_, g);
   for (std::size_t n = 0; n < batch; ++n) {
-    im2col(g, x.data() + n * in_plane, col_ws_.data() + n * cols, bc);
+    if (!reuse) {
+      im2col(g, x.data() + n * in_plane, col_ws_.data() + n * cols, bc);
+    }
+    // Batched layout of dY, mirroring the forward lowering.
     const float* dyn = dy.data() + n * out_plane;
     for (std::size_t f = 0; f < out_c_; ++f) {
       std::memcpy(out_ws_.data() + f * bc + n * cols, dyn + f * cols,
                   cols * sizeof(float));
     }
   }
+  col_geom_ = g;
+  col_batch_ = batch;
+  col_valid_ = true;
   // dW += dY_b · col_bᵀ : [out_c × batch·cols] · [batch·cols × rows].
   gemm(Transpose::kNo, Transpose::kYes, out_c_, rows, bc, 1.0f,
        out_ws_.data(), bc, col_ws_.data(), bc, 1.0f, dweights, rows);
@@ -139,6 +311,21 @@ void Conv2D::backward(const Tensor& x, const Tensor& /*y*/, const Tensor& dy,
        out_ws_.data(), bc, 0.0f, dcol_ws_.data(), bc);
   for (std::size_t n = 0; n < batch; ++n) {
     col2im(g, dcol_ws_.data() + n * cols, bc, dx.data() + n * in_plane);
+  }
+}
+
+void Conv2D::backward(const Tensor& x, const Tensor& /*y*/, const Tensor& dy,
+                      Tensor& dx) {
+  const ConvGeom g = geom_for(x.shape());
+  if (dx.shape() != x.shape()) dx = Tensor(x.shape());
+  const ConvAlgo algo = resolve_conv_algo(algo_, g, out_c_);
+  // Winograd trains with direct-kernel gradients (transform-free numerics,
+  // see winograd.hpp); int8 quantizes the inference pass only — its
+  // backward stays fp32 lowering.
+  if (algo == ConvAlgo::kDirect || algo == ConvAlgo::kWinograd) {
+    backward_direct(g, x, dy, dx);
+  } else {
+    backward_lowered(g, x, dy, dx);
   }
 }
 

@@ -75,6 +75,13 @@ void InceptionBlock::bind(std::span<float> params, std::span<float> grads) {
   grads_ = grads;
 }
 
+void InceptionBlock::bind_scratch(AlignedBuffer& scratch) {
+  // Branches run sequentially, so every inner conv can share one buffer.
+  for (auto& b : branches_) {
+    for (auto& stage : b.stages) stage->bind_scratch(scratch);
+  }
+}
+
 void InceptionBlock::init_params(Rng& rng) {
   for (auto& b : branches_) {
     for (auto& stage : b.stages) stage->init_params(rng);

@@ -15,6 +15,8 @@
 
 namespace ds {
 
+class AlignedBuffer;
+
 class Layer {
  public:
   virtual ~Layer() = default;
@@ -36,6 +38,15 @@ class Layer {
     params_ = params;
     grads_ = grads;
   }
+
+  /// Attach an arena-owned, grow-only kernel scratch buffer (blocked
+  /// activation layouts, Winograd tile buffers). Called by
+  /// Network::finalize after bind(); layers that need scratch but were
+  /// never offered any (standalone use, tests) fall back to a private
+  /// buffer. Composite layers forward the same buffer to their inner
+  /// layers — each conv call partitions it afresh, so sharing is safe as
+  /// long as no single forward()/backward() call is re-entered.
+  virtual void bind_scratch(AlignedBuffer& /*scratch*/) {}
 
   /// Initialise bound parameters (Xavier for weights, zero for biases).
   virtual void init_params(Rng& /*rng*/) {}

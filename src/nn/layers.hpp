@@ -6,8 +6,10 @@
 #include <cstddef>
 #include <vector>
 
+#include "comm/quantize.hpp"
 #include "nn/layer.hpp"
 #include "support/aligned_buffer.hpp"
+#include "tensor/conv_algo.hpp"
 #include "tensor/im2col.hpp"
 
 namespace ds {
@@ -82,17 +84,24 @@ class Dropout final : public Layer {
 // Learnable layers.
 // ---------------------------------------------------------------------------
 
-/// 2-D convolution via im2col + GEMM. Parameters are
-/// [out_c × in_c × k × k] filter weights followed by [out_c] biases.
+/// 2-D convolution. Parameters are [out_c × in_c × k × k] filter weights
+/// followed by [out_c] biases. Each forward/backward dispatches over one of
+/// the ConvAlgo kernels (tensor/conv_algo.hpp): im2col+GEMM lowering,
+/// register-blocked direct 3×3, Winograd F(2×2,3×3), or int8 quantized
+/// GEMM — resolved per call through layer algo → kernel_config().conv_algo
+/// → process default → shape heuristic, with im2col the universal
+/// fallback. All paths are bitwise-deterministic under gemm_threads > 1.
 class Conv2D final : public Layer {
  public:
   Conv2D(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
-         std::size_t stride = 1, std::size_t pad = 0);
+         std::size_t stride = 1, std::size_t pad = 0,
+         ConvAlgo algo = ConvAlgo::kAuto);
 
   std::string name() const override;
   Shape output_shape(const Shape& input) const override;
   std::size_t param_count() const override;
   void init_params(Rng& rng) override;
+  void bind_scratch(AlignedBuffer& scratch) override { scratch_ = &scratch; }
   void forward(const Tensor& x, Tensor& y, bool train) override;
   void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
                 Tensor& dx) override;
@@ -101,14 +110,31 @@ class Conv2D final : public Layer {
   std::size_t in_channels() const { return in_c_; }
   std::size_t out_channels() const { return out_c_; }
 
+  ConvAlgo algo() const { return algo_; }
+  void set_algo(ConvAlgo a) { algo_ = a; }
+  /// The kernel a call with this input shape would run, after the full
+  /// kAuto resolution chain (benches/tests label themselves with it).
+  ConvAlgo resolved_algo(const Shape& input) const;
+
  private:
   ConvGeom geom_for(const Shape& input) const;
+  AlignedBuffer& scratch() { return scratch_ ? *scratch_ : own_scratch_; }
+
+  void forward_lowered(const ConvGeom& g, const Tensor& x, Tensor& y,
+                       bool quantized);
+  void forward_direct(const ConvGeom& g, const Tensor& x, Tensor& y,
+                      bool winograd);
+  void backward_direct(const ConvGeom& g, const Tensor& x, const Tensor& dy,
+                       Tensor& dx);
+  void backward_lowered(const ConvGeom& g, const Tensor& x, const Tensor& dy,
+                        Tensor& dx);
 
   std::size_t in_c_;
   std::size_t out_c_;
   std::size_t kernel_;
   std::size_t stride_;
   std::size_t pad_;
+  ConvAlgo algo_ = ConvAlgo::kAuto;
   // Grow-only scratch workspaces (see AlignedBuffer::ensure): the whole
   // batch is lowered into one [rows × batch·cols] column matrix so forward
   // and backward each run a single batched GEMM per layer instead of one
@@ -116,6 +142,21 @@ class Conv2D final : public Layer {
   AlignedBuffer col_ws_;   // batched im2col columns
   AlignedBuffer out_ws_;   // batched GEMM output / re-batched dY
   AlignedBuffer dcol_ws_;  // backward column gradient
+  // col_ws_ holds the lowering of the forward input with this geometry —
+  // lets backward skip re-running im2col (its x is contractually the
+  // matching forward's x). Invalidated whenever a forward runs a
+  // non-lowering kernel or a different shape.
+  ConvGeom col_geom_{};
+  std::size_t col_batch_ = 0;
+  bool col_valid_ = false;
+  // Arena-owned kernel scratch for the blocked/Winograd/rotated-weight
+  // buffers (falls back to a private buffer when the layer is used outside
+  // a finalized Network).
+  AlignedBuffer* scratch_ = nullptr;
+  AlignedBuffer own_scratch_;
+  // Int8 path: quantized weights / columns, reused across calls.
+  Int8Codec::Blob wq_blob_;
+  Int8Codec::Blob xq_blob_;
 };
 
 /// Max pooling over k×k windows; optional zero-area padding (padded taps are
@@ -210,6 +251,7 @@ class ResidualBlock final : public Layer {
   Shape output_shape(const Shape& input) const override;
   std::size_t param_count() const override;
   void bind(std::span<float> params, std::span<float> grads) override;
+  void bind_scratch(AlignedBuffer& scratch) override;
   void init_params(Rng& rng) override;
   void forward(const Tensor& x, Tensor& y, bool train) override;
   void backward(const Tensor& x, const Tensor& y, const Tensor& dy,
@@ -245,6 +287,7 @@ class InceptionBlock final : public Layer {
   Shape output_shape(const Shape& input) const override;
   std::size_t param_count() const override;
   void bind(std::span<float> params, std::span<float> grads) override;
+  void bind_scratch(AlignedBuffer& scratch) override;
   void init_params(Rng& rng) override;
   void forward(const Tensor& x, Tensor& y, bool train) override;
   void backward(const Tensor& x, const Tensor& y, const Tensor& dy,

@@ -62,6 +62,7 @@ void Network::finalize(Rng& rng) {
   layer_flops_.resize(layers_.size());
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     layers_[i]->bind(arena_.layer_params(i), arena_.layer_grads(i));
+    layers_[i]->bind_scratch(arena_.layer_scratch(i));
     layer_flops_[i] = layers_[i]->flops_per_sample(s);
     flops_per_sample_ += layer_flops_[i];
     s = layers_[i]->output_shape(s);

@@ -20,10 +20,33 @@
 #include <vector>
 
 #include "support/aligned_buffer.hpp"
+#include "tensor/direct_conv.hpp"
 
 namespace ds {
 
 enum class PackMode { kPacked, kPerLayer };
+
+// ---------------------------------------------------------------------------
+// NCHW ↔ blocked layout transforms (the enabling refactor for the direct /
+// Winograd convolution kernels — see tensor/direct_conv.hpp for the layout).
+//
+// Contract: nchw_to_blocked writes EVERY float of the destination — the
+// real values, the zero pad border, the lane slack, and the slack row — so
+// a grow-only arena scratch never leaks stale data into a kernel, and the
+// kernels never branch at an edge. blocked_to_nchw is its exact inverse
+// over the interior. Both stream row-by-row in address order (hardware-
+// prefetch friendly) with explicit software prefetch of the next source
+// row.
+// ---------------------------------------------------------------------------
+
+/// Pack `batch` NCHW images (contiguous, channels × height × width each)
+/// into consecutive BlockedLayout images at `blocked`.
+void nchw_to_blocked(const BlockedLayout& layout, std::size_t batch,
+                     const float* nchw, float* blocked);
+
+/// Unpack the interior of `batch` BlockedLayout images back to NCHW.
+void blocked_to_nchw(const BlockedLayout& layout, std::size_t batch,
+                     const float* blocked, float* nchw);
 
 class ParamArena {
  public:
@@ -48,6 +71,13 @@ class ParamArena {
   std::span<const float> full_params() const;
   std::span<const float> full_grads() const;
 
+  /// Grow-only per-layer kernel scratch (blocked activations, Winograd
+  /// tile buffers, rotated weights). Deliberately OUTSIDE the packed
+  /// params/grads allocations: scratch is never communicated, so it must
+  /// not dilute the single-message contiguity contract. Buffers start
+  /// empty and grow on first use (AlignedBuffer::ensure).
+  AlignedBuffer& layer_scratch(std::size_t layer);
+
   /// Zero every gradient.
   void zero_grads();
 
@@ -67,6 +97,7 @@ class ParamArena {
   AlignedBuffer packed_grads_;
   std::vector<AlignedBuffer> per_layer_params_;
   std::vector<AlignedBuffer> per_layer_grads_;
+  std::vector<AlignedBuffer> scratch_;  // per-layer kernel scratch
 };
 
 }  // namespace ds

@@ -49,6 +49,14 @@ void ResidualBlock::bind(std::span<float> params, std::span<float> grads) {
   grads_ = grads;
 }
 
+void ResidualBlock::bind_scratch(AlignedBuffer& scratch) {
+  // One shared buffer: each conv call partitions it afresh, and no two
+  // inner convs are ever mid-call simultaneously.
+  conv1_.bind_scratch(scratch);
+  conv2_.bind_scratch(scratch);
+  if (projection_) projection_->bind_scratch(scratch);
+}
+
 void ResidualBlock::init_params(Rng& rng) {
   conv1_.init_params(rng);
   conv2_.init_params(rng);

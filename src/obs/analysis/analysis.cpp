@@ -56,7 +56,25 @@ double union_seconds(std::vector<std::pair<double, double>>& intervals) {
   return total + (cur_end - cur_begin);
 }
 
+/// Counter samples arrive in per-thread order; cross-thread merge order is
+/// arbitrary, so sort every track by wall time to make last() the true
+/// final sample.
+void sort_counters(TraceData& trace) {
+  for (auto& [name, track] : trace.counters) {
+    std::stable_sort(track.samples.begin(), track.samples.end(),
+                     [](const CounterSample& a, const CounterSample& b) {
+                       return a.wall_us < b.wall_us;
+                     });
+  }
+}
+
 }  // namespace
+
+double CounterTrack::max() const {
+  double m = 0.0;
+  for (const CounterSample& s : samples) m = std::max(m, s.value);
+  return m;
+}
 
 // ---------------------------------------------------------------------------
 // Ingest.
@@ -118,14 +136,21 @@ TraceData ingest_snapshot(const std::vector<ThreadEvents>& threads) {
           out.instants.push_back(std::move(vi));
           break;
         }
-        case EventType::kCounter:
+        case EventType::kCounter: {
+          if (e.name == nullptr) break;
+          out.counters[e.name].samples.push_back(CounterSample{
+              static_cast<double>(e.wall_ns) / 1000.0,
+              std::isnan(e.value) ? 0.0 : e.value});
+          break;
+        }
         case EventType::kCompleteWall:
-          break;  // carry no virtual duration; nothing to roll up
+          break;  // carries no virtual duration; nothing to roll up
       }
     }
     // Unclosed spans (thread still inside them at snapshot time, or a rank
     // that unwound through a failure) are dropped, not fabricated.
   }
+  sort_counters(out);
   out.dropped_events = dropped_events();
   return out;
 }
@@ -245,10 +270,21 @@ TraceData ingest_chrome_trace(const JsonValue& doc) {
         out.instants.push_back(std::move(vi));
         break;
       }
+      case 'C': {
+        if (name_s.empty()) break;
+        const JsonValue* value =
+            args != nullptr ? args->find("value") : nullptr;
+        out.counters[name_s].samples.push_back(CounterSample{
+            ts->as_number(),
+            value != nullptr && value->is_number() ? value->as_number()
+                                                   : 0.0});
+        break;
+      }
       default:
-        break;  // C carries no duration
+        break;
     }
   }
+  sort_counters(out);
   // Round-trip exactness: the exporter writes %.17g, so begin/duration come
   // back bit-identical and ledger cross-checks hold on re-ingested files.
   return out;

@@ -86,10 +86,28 @@ struct VInstant {
   double aux = kNoValue;
 };
 
+/// One counter-track sample (wall domain; Chrome 'C' events).
+struct CounterSample {
+  double wall_us = 0.0;
+  double value = 0.0;
+};
+
+/// Wall-domain counter track, samples sorted by wall time after ingest.
+/// The kernel counters (conv.flops, im2col.bytes, …) emit cumulative
+/// totals, so last() is the run's final value and the sample sequence is
+/// the growth curve.
+struct CounterTrack {
+  std::vector<CounterSample> samples;
+
+  double last() const { return samples.empty() ? 0.0 : samples.back().value; }
+  double max() const;
+};
+
 struct TraceData {
   std::vector<VSpan> vspans;       // virtual-domain complete spans
   std::vector<Interval> spans;     // wall-domain B/E pairs, per-thread order
   std::vector<VInstant> instants;  // instant events, per-thread order
+  std::map<std::string, CounterTrack> counters;  // wall-domain 'C' tracks
   std::uint64_t dropped_events = 0;
 
   bool empty() const { return vspans.empty() && spans.empty(); }

@@ -157,6 +157,17 @@ inline constexpr const char* kPoolQueueDepth = "pool.queue_depth";
 inline constexpr const char* kPoolTaskWaitSeconds = "pool.task_wait_seconds";
 inline constexpr const char* kGemmCalls = "gemm.calls";
 inline constexpr const char* kGemmFlops = "gemm.flops";
+// Convolution dispatch: total calls/flops plus a per-kernel call counter,
+// and the lowering-traffic accumulators that make im2col-vs-direct memory
+// traffic visible in trace_report.
+inline constexpr const char* kConvCalls = "conv.calls";
+inline constexpr const char* kConvFlops = "conv.flops";
+inline constexpr const char* kConvIm2colCalls = "conv.im2col.calls";
+inline constexpr const char* kConvDirectCalls = "conv.direct.calls";
+inline constexpr const char* kConvWinogradCalls = "conv.winograd.calls";
+inline constexpr const char* kConvInt8Calls = "conv.int8.calls";
+inline constexpr const char* kIm2colBytes = "im2col.bytes";
+inline constexpr const char* kCol2imBytes = "col2im.bytes";
 }  // namespace names
 
 }  // namespace ds::obs

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <mutex>
+
+#include "tensor/kernel_pool.hpp"
 
 #include "obs/metrics.hpp"
 #include "support/aligned_buffer.hpp"
@@ -338,6 +341,17 @@ void gemm_impl(Transpose trans_a, Transpose trans_b, std::size_t m,
 KernelConfig& kernel_config() {
   static thread_local KernelConfig config;
   return config;
+}
+
+void kernel_parallel_for(std::size_t tasks, std::size_t threads,
+                         const std::function<void(std::size_t)>& fn) {
+  if (tasks == 0) return;
+  if (threads <= 1 || tasks == 1) {
+    for (std::size_t t = 0; t < tasks; ++t) fn(t);
+    return;
+  }
+  const std::lock_guard<std::mutex> lock(compute_pool_mutex());
+  compute_pool(threads).parallel_for(tasks, fn);
 }
 
 void gemm(Transpose trans_a, Transpose trans_b, std::size_t m, std::size_t n,

@@ -27,6 +27,8 @@
 
 #include <cstddef>
 
+#include "tensor/conv_algo.hpp"
+
 namespace ds {
 
 enum class Transpose { kNo, kYes };
@@ -60,6 +62,10 @@ struct GemmEpilogue {
 /// only top-level callers (benches, single-process training) opt in.
 struct KernelConfig {
   std::size_t gemm_threads = 1;
+  /// Convolution kernel override for Conv2D layers whose own algo is kAuto
+  /// (benches and property tests flip this to pin a path). kAuto defers to
+  /// the process-wide default, then the shape heuristic — see conv_algo.hpp.
+  ConvAlgo conv_algo = ConvAlgo::kAuto;
 };
 
 /// Mutable reference to the calling thread's kernel config.

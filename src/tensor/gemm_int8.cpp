@@ -1,0 +1,81 @@
+#include "tensor/gemm_int8.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "support/error.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/kernel_pool.hpp"
+
+namespace ds {
+namespace {
+
+// Per-thread integer scratch, grown monotonically like the GEMM pack
+// workspaces: the row accumulator for the i-k-j kernel and (on the issuing
+// thread) the B column sums.
+struct U8Workspace {
+  std::vector<std::int32_t> acc;       // one C row of int32 dot products
+  std::vector<std::int32_t> col_sums;  // CS_b, computed once per call
+};
+
+U8Workspace& u8_workspace() {
+  static thread_local U8Workspace ws;
+  return ws;
+}
+
+}  // namespace
+
+void gemm_u8(std::size_t m, std::size_t n, std::size_t k,
+             const std::uint8_t* a, float a_min, float a_step,
+             const std::uint8_t* b, std::size_t ldb, float b_min,
+             float b_step, float* c, std::size_t ldc, const float* row_bias) {
+  if (m == 0 || n == 0) return;
+  DS_CHECK(k <= kGemmU8MaxK,
+           "gemm_u8: k=" << k << " exceeds " << kGemmU8MaxK
+                         << " (int32 accumulator bound)");
+  DS_CHECK(a != nullptr && b != nullptr && c != nullptr, "gemm_u8: null arg");
+
+  // CS_b[j] = Σ_k B[k][j] — ≤ 255·32768 < 2²³, exact in int32. Shared
+  // read-only by every row task.
+  U8Workspace& main_ws = u8_workspace();
+  main_ws.col_sums.assign(n, 0);
+  std::int32_t* cs = main_ws.col_sums.data();
+  for (std::size_t p = 0; p < k; ++p) {
+    const std::uint8_t* brow = b + p * ldb;
+    for (std::size_t j = 0; j < n; ++j) cs[j] += brow[j];
+  }
+
+  const float kk = static_cast<float>(k);
+  const float const_term = kk * a_min * b_min;
+
+  // One C row per task: integer i-k-j kernel (the compiler widens the
+  // u8×u8 products to int32 vectors), then the float dequant epilogue.
+  // Integer math is exact, so sharding rows is bitwise-deterministic.
+  kernel_parallel_for(m, kernel_config().gemm_threads, [&](std::size_t i) {
+    U8Workspace& ws = u8_workspace();
+    ws.acc.assign(n, 0);
+    std::int32_t* acc = ws.acc.data();
+    const std::uint8_t* arow = a + i * k;
+    std::int32_t rs = 0;
+    for (std::size_t p = 0; p < k; ++p) {
+      const std::int32_t av = arow[p];
+      rs += av;
+      const std::uint8_t* brow = b + p * ldb;
+      for (std::size_t j = 0; j < n; ++j) {
+        acc[j] += av * static_cast<std::int32_t>(brow[j]);
+      }
+    }
+    const float row_term = a_step * b_min * static_cast<float>(rs) +
+                           const_term +
+                           (row_bias != nullptr ? row_bias[i] : 0.0f);
+    const float ab = a_step * b_step;
+    const float abmin = a_min * b_step;
+    float* crow = c + i * ldc;
+    for (std::size_t j = 0; j < n; ++j) {
+      crow[j] = ab * static_cast<float>(acc[j]) +
+                abmin * static_cast<float>(cs[j]) + row_term;
+    }
+  });
+}
+
+}  // namespace ds

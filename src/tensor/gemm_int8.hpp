@@ -1,0 +1,38 @@
+// 8-bit quantized GEMM with an affine-dequantized float epilogue — the
+// compute half of the paper's §3.4 "low-precision representation" direction
+// (the wire half lives in comm/quantize, whose per-blob min/step encoding
+// this consumes directly).
+//
+// Operands are uint8 codes under the Int8Codec affine map
+//     value = min + step · q,
+// so with integer accumulators DOT = Σ qa·qb, RS_a[i] = Σ_k qa[i][k] and
+// CS_b[j] = Σ_k qb[k][j], the float result is exactly
+//
+//   C[i][j] = a_step·b_step·DOT
+//           + a_step·b_min·RS_a[i] + a_min·b_step·CS_b[j]
+//           + k·a_min·b_min                      (+ row_bias[i])
+//
+// i.e. one integer GEMM plus rank-1 float corrections. All accumulation is
+// exact int32 arithmetic (k is capped so 255·255·k cannot overflow), which
+// makes the kernel trivially bitwise-deterministic at any thread count —
+// the threaded path shards whole rows of C.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ds {
+
+/// Largest k gemm_u8 accepts: 255·255·32768 < 2³¹−1 keeps the int32
+/// accumulators exact.
+inline constexpr std::size_t kGemmU8MaxK = 32768;
+
+/// C[i][j] = dequant(A·B) + row_bias[i] (row_bias may be null). A is m×k
+/// contiguous u8 codes, B is k×n with leading dimension ldb, C is m×n float
+/// with leading dimension ldc, fully overwritten.
+void gemm_u8(std::size_t m, std::size_t n, std::size_t k,
+             const std::uint8_t* a, float a_min, float a_step,
+             const std::uint8_t* b, std::size_t ldb, float b_min,
+             float b_step, float* c, std::size_t ldc, const float* row_bias);
+
+}  // namespace ds

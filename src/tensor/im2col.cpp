@@ -2,10 +2,22 @@
 
 #include <cstring>
 
+#include "obs/metrics.hpp"
+
 namespace ds {
 
 void im2col(const ConvGeom& g, const float* image, float* columns,
             std::size_t ld) {
+  // Lowering traffic: the whole [col_rows × col_cols] column matrix is
+  // written (K²× the input plane) — the memory tax the direct kernels
+  // avoid, tracked so trace_report can show the im2col-vs-direct split.
+  {
+    static struct {
+      obs::AccumDouble& bytes = obs::metrics().accum(obs::names::kIm2colBytes);
+    } im;
+    im.bytes.add(static_cast<double>(g.col_rows() * g.col_cols() *
+                                     sizeof(float)));
+  }
   const std::size_t ho = g.out_height();
   const std::size_t wo = g.out_width();
   std::size_t row = 0;
@@ -43,6 +55,13 @@ void im2col(const ConvGeom& g, const float* image, float* columns) {
 
 void col2im(const ConvGeom& g, const float* columns, std::size_t ld,
             float* image) {
+  {
+    static struct {
+      obs::AccumDouble& bytes = obs::metrics().accum(obs::names::kCol2imBytes);
+    } ci;
+    ci.bytes.add(static_cast<double>(g.col_rows() * g.col_cols() *
+                                     sizeof(float)));
+  }
   const std::size_t ho = g.out_height();
   const std::size_t wo = g.out_width();
   std::size_t row = 0;

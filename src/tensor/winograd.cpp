@@ -1,0 +1,157 @@
+#include "tensor/winograd.hpp"
+
+#include <algorithm>
+
+#include "tensor/gemm.hpp"
+#include "tensor/kernel_pool.hpp"
+
+namespace ds {
+namespace {
+
+std::size_t tiles_h(const BlockedLayout& in) { return (in.height + 1) / 2; }
+std::size_t tiles_w(const BlockedLayout& in) { return (in.width + 1) / 2; }
+
+}  // namespace
+
+std::size_t winograd_scratch_floats(const BlockedLayout& in,
+                                    std::size_t batch, std::size_t filters) {
+  const std::size_t p = batch * tiles_h(in) * tiles_w(in);
+  const std::size_t f = filters;
+  const std::size_t c = in.channels;
+  return 16 * (f * c + c * p + f * p);  // U + V + M
+}
+
+void winograd_conv3x3_forward(const BlockedLayout& in, std::size_t batch,
+                              std::size_t filters, const float* x_blocked,
+                              const float* w, const float* bias, float* y,
+                              float* scratch) {
+  const std::size_t C = in.channels;
+  const std::size_t F = filters;
+  const std::size_t H = in.height;
+  const std::size_t W = in.width;
+  const std::size_t rf = in.row_floats();
+  const std::size_t plane = in.plane_floats();
+  const std::size_t img = in.image_floats();
+  const std::size_t th = tiles_h(in);
+  const std::size_t tw = tiles_w(in);
+  const std::size_t tiles = th * tw;
+  const std::size_t P = batch * tiles;
+  const std::size_t out_plane = H * W;
+
+  float* U = scratch;             // [16][F][C]
+  float* V = U + 16 * F * C;      // [16][C][P]
+  float* M = V + 16 * C * P;      // [16][F][P]
+
+  const std::size_t threads = kernel_config().gemm_threads;
+
+  // U = G g Gᵀ per (f, c), scattered to the 16 per-ξ F×C operands.
+  // G = [1 0 0; ½ ½ ½; ½ -½ ½; 0 0 1].
+  for (std::size_t f = 0; f < F; ++f) {
+    for (std::size_t c = 0; c < C; ++c) {
+      const float* g = w + (f * C + c) * 9;
+      float t[4][3];
+      for (std::size_t j = 0; j < 3; ++j) {
+        const float g0 = g[j], g1 = g[3 + j], g2 = g[6 + j];
+        t[0][j] = g0;
+        t[1][j] = 0.5f * (g0 + g1 + g2);
+        t[2][j] = 0.5f * (g0 - g1 + g2);
+        t[3][j] = g2;
+      }
+      for (std::size_t i = 0; i < 4; ++i) {
+        const float t0 = t[i][0], t1 = t[i][1], t2 = t[i][2];
+        float u[4];
+        u[0] = t0;
+        u[1] = 0.5f * (t0 + t1 + t2);
+        u[2] = 0.5f * (t0 - t1 + t2);
+        u[3] = t2;
+        for (std::size_t l = 0; l < 4; ++l) {
+          U[(i * 4 + l) * F * C + f * C + c] = u[l];
+        }
+      }
+    }
+  }
+
+  // V = Bᵀ d B per 4×4 input tile, read straight out of the blocked layout
+  // (tile origin for output tile (r, s) is blocked row 2r, col 2s; odd-edge
+  // overhang lands in zero pad/slack). Bᵀ = [1 0 -1 0; 0 1 1 0;
+  // 0 -1 1 0; 0 1 0 -1].
+  kernel_parallel_for(batch, threads, [&](std::size_t n) {
+    const float* xi = x_blocked + n * img;
+    for (std::size_t c = 0; c < C; ++c) {
+      const float* xp = xi + c * plane;
+      float* vc = V;  // indexed [xi16][c][p] below
+      for (std::size_t r = 0; r < th; ++r) {
+        for (std::size_t s = 0; s < tw; ++s) {
+          const std::size_t p = n * tiles + r * tw + s;
+          const float* d0 = xp + (2 * r) * rf + 2 * s;
+          float tmp[4][4];
+          for (std::size_t j = 0; j < 4; ++j) {
+            const float a0 = d0[j];
+            const float a1 = d0[rf + j];
+            const float a2 = d0[2 * rf + j];
+            const float a3 = d0[3 * rf + j];
+            tmp[0][j] = a0 - a2;
+            tmp[1][j] = a1 + a2;
+            tmp[2][j] = a2 - a1;
+            tmp[3][j] = a1 - a3;
+          }
+          for (std::size_t i = 0; i < 4; ++i) {
+            const float b0 = tmp[i][0], b1 = tmp[i][1], b2 = tmp[i][2],
+                        b3 = tmp[i][3];
+            vc[((i * 4 + 0) * C + c) * P + p] = b0 - b2;
+            vc[((i * 4 + 1) * C + c) * P + p] = b1 + b2;
+            vc[((i * 4 + 2) * C + c) * P + p] = b2 - b1;
+            vc[((i * 4 + 3) * C + c) * P + p] = b1 - b3;
+          }
+        }
+      }
+    }
+  });
+
+  // M[ξ] = U[ξ] · V[ξ]: 16 packed GEMMs, threaded (and bitwise
+  // deterministic) via the gemm() contract.
+  for (std::size_t xi16 = 0; xi16 < 16; ++xi16) {
+    gemm(Transpose::kNo, Transpose::kNo, F, P, C, 1.0f, U + xi16 * F * C, C,
+         V + xi16 * C * P, P, 0.0f, M + xi16 * F * P, P);
+  }
+
+  // Y_tile = Aᵀ m A + bias, clipped at the image edge.
+  // Aᵀ = [1 1 1 0; 0 1 -1 -1].
+  kernel_parallel_for(batch, threads, [&](std::size_t n) {
+    float* yi = y + n * F * out_plane;
+    for (std::size_t f = 0; f < F; ++f) {
+      const float bf = bias != nullptr ? bias[f] : 0.0f;
+      float* yf = yi + f * out_plane;
+      for (std::size_t r = 0; r < th; ++r) {
+        const std::size_t oh0 = 2 * r;
+        const std::size_t nh = std::min<std::size_t>(2, H - oh0);
+        for (std::size_t s = 0; s < tw; ++s) {
+          const std::size_t p = n * tiles + r * tw + s;
+          const float* mp = M + f * P + p;
+          float m[4][4];
+          for (std::size_t i = 0; i < 4; ++i) {
+            for (std::size_t l = 0; l < 4; ++l) {
+              m[i][l] = mp[(i * 4 + l) * F * P];
+            }
+          }
+          float tmp[2][4];
+          for (std::size_t j = 0; j < 4; ++j) {
+            tmp[0][j] = m[0][j] + m[1][j] + m[2][j];
+            tmp[1][j] = m[1][j] - m[2][j] - m[3][j];
+          }
+          const std::size_t ow0 = 2 * s;
+          const std::size_t nw = std::min<std::size_t>(2, W - ow0);
+          for (std::size_t i = 0; i < nh; ++i) {
+            float* dst = yf + (oh0 + i) * W + ow0;
+            const float t0 = tmp[i][0], t1 = tmp[i][1], t2 = tmp[i][2],
+                        t3 = tmp[i][3];
+            dst[0] = t0 + t1 + t2 + bf;
+            if (nw == 2) dst[1] = t1 - t2 - t3 + bf;
+          }
+        }
+      }
+    }
+  });
+}
+
+}  // namespace ds

@@ -1,0 +1,52 @@
+// Winograd F(2×2,3×3) convolution (Lavin & Gray, arXiv:1509.09308) for the
+// same 3×3/stride-1/pad-1 family the direct kernel covers, trading 2.25×
+// fewer multiplies for 4×4 tile transforms:
+//
+//   Y_tile = Aᵀ [ (G g Gᵀ) ⊙ (Bᵀ d B) ] A        per 2×2 output tile
+//
+// Batched across the layer, the elementwise product becomes 16 independent
+// [F×C]·[C×P] GEMMs (one per transform element ξ, P = batch · tile count),
+// which this implementation routes through the packed gemm() — so the
+// multiply stage inherits its cache blocking AND its deterministic
+// threading for free. The input is read from the BlockedLayout
+// (direct_conv.hpp): tiles at odd image edges overhang into the zero slack
+// instead of branching, and output writes clip.
+//
+// Buffer layouts (all in the caller's grow-only scratch):
+//   U[ξ][f][c]  transformed weights   — per-ξ F×C GEMM A operand
+//   V[ξ][c][p]  transformed tiles     — per-ξ C×P GEMM B operand
+//   M[ξ][f][p]  per-ξ GEMM outputs
+//
+// Determinism: the input/output transforms partition whole images (each
+// tile's values are written by exactly one task, elementwise), the GEMMs
+// carry the packed kernel's bitwise contract, so the whole pass is bitwise
+// identical to serial at any gemm_threads.
+//
+// Numerics caveat (DESIGN.md §11): the transform reassociates the 3×3
+// reduction, so Winograd outputs differ from im2col/direct in the last
+// float bits (bounded ≈1e-4 relative for unit-scale data). Backward passes
+// therefore run the DIRECT kernels — gradients stay transform-free.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/direct_conv.hpp"
+
+namespace ds {
+
+/// Scratch floats winograd_conv3x3_forward needs for this shape (U + V + M).
+std::size_t winograd_scratch_floats(const BlockedLayout& in, std::size_t batch,
+                                    std::size_t filters);
+
+/// y = conv3x3(x) + bias over `batch` BlockedLayout images. `w` is
+/// [filters][C][3][3] in arena order, `y` is NCHW and fully overwritten.
+/// `scratch` must hold winograd_scratch_floats() floats; contents are
+/// clobbered (the weight transform is recomputed per call — weights change
+/// every SGD step, so it is cached per layer *call*, amortised over
+/// batch × tiles, not across steps).
+void winograd_conv3x3_forward(const BlockedLayout& in, std::size_t batch,
+                              std::size_t filters, const float* x_blocked,
+                              const float* w, const float* bias, float* y,
+                              float* scratch);
+
+}  // namespace ds

@@ -1,0 +1,342 @@
+// Property battery for the convolution dispatch layer: the direct 3×3 and
+// Winograd F(2×2,3×3) kernels against the im2col+GEMM reference over ragged
+// H/W, channel counts straddling the v16sf lane width, and pad-edge shapes;
+// bitwise parallel-vs-serial for every algorithm; the blocked-layout
+// transform round trip and its zero-fill contract; and the kAuto
+// resolution chain.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <iterator>
+#include <vector>
+
+#include "nn/layers.hpp"
+#include "nn/param_arena.hpp"
+#include "support/rng.hpp"
+#include "tensor/conv_algo.hpp"
+#include "tensor/direct_conv.hpp"
+#include "tensor/gemm.hpp"
+
+namespace ds {
+namespace {
+
+struct ThreadsGuard {
+  explicit ThreadsGuard(std::size_t n) { kernel_config().gemm_threads = n; }
+  ~ThreadsGuard() { kernel_config().gemm_threads = 1; }
+};
+
+struct AlgoGuard {
+  explicit AlgoGuard(ConvAlgo a) { kernel_config().conv_algo = a; }
+  ~AlgoGuard() { kernel_config().conv_algo = ConvAlgo::kAuto; }
+};
+
+Tensor random_input(Rng& rng, std::size_t n, std::size_t c, std::size_t h,
+                    std::size_t w) {
+  Tensor t(Shape{n, c, h, w});
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+// A Conv2D pinned to `algo`, bound to its own storage and initialised
+// deterministically from `seed`.
+struct BoundConv {
+  explicit BoundConv(std::size_t in_c, std::size_t out_c, ConvAlgo algo,
+                     std::uint64_t seed)
+      : conv(in_c, out_c, 3, 1, 1, algo),
+        params(conv.param_count()),
+        grads(conv.param_count()) {
+    conv.bind(std::span<float>(params), std::span<float>(grads));
+    Rng rng(seed);
+    conv.init_params(rng);
+  }
+  Conv2D conv;
+  std::vector<float> params;
+  std::vector<float> grads;
+};
+
+void expect_close(const Tensor& got, const Tensor& want, double rel_tol,
+                  const char* what) {
+  ASSERT_EQ(got.shape(), want.shape()) << what;
+  double max_abs = 0.0;
+  for (std::size_t i = 0; i < want.numel(); ++i) {
+    max_abs = std::max(max_abs, static_cast<double>(std::fabs(want[i])));
+  }
+  const double tol = rel_tol * std::max(1.0, max_abs);
+  for (std::size_t i = 0; i < got.numel(); ++i) {
+    ASSERT_NEAR(got[i], want[i], tol) << what << " at flat index " << i;
+  }
+}
+
+void expect_close_span(std::span<const float> got, std::span<const float> want,
+                       double rel_tol, const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  double max_abs = 0.0;
+  for (const float v : want) {
+    max_abs = std::max(max_abs, static_cast<double>(std::fabs(v)));
+  }
+  const double tol = rel_tol * std::max(1.0, max_abs);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_NEAR(got[i], want[i], tol) << what << " at index " << i;
+  }
+}
+
+// Shapes chosen to straddle every edge the kernels special-case: ragged
+// H/W (odd sizes, sub-lane widths, widths just over one/two lanes),
+// channel counts straddling the 16-lane vector width and the 4-deep
+// filter register block.
+struct ConvCase {
+  std::size_t batch, in_c, out_c, h, w;
+};
+
+const ConvCase kCases[] = {
+    {1, 1, 1, 3, 3},    {2, 3, 5, 7, 7},    {1, 4, 4, 8, 8},
+    {2, 2, 7, 5, 17},   {1, 15, 4, 6, 16},  {1, 16, 8, 9, 15},
+    {2, 17, 3, 8, 33},  {1, 8, 16, 13, 5},  {3, 5, 9, 11, 19},
+    {1, 6, 12, 32, 32}, {2, 4, 6, 1, 1},    {1, 3, 4, 2, 30},
+};
+
+class ConvAlgoCaseTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ConvAlgoCaseTest, DirectMatchesIm2col) {
+  const ConvCase& cc = kCases[GetParam()];
+  Rng rng(0xD1EC7 + GetParam());
+  const Tensor x = random_input(rng, cc.batch, cc.in_c, cc.h, cc.w);
+  BoundConv ref(cc.in_c, cc.out_c, ConvAlgo::kIm2col, 42);
+  BoundConv direct(cc.in_c, cc.out_c, ConvAlgo::kDirect, 42);
+  Tensor y_ref, y_direct;
+  ref.conv.forward(x, y_ref, true);
+  direct.conv.forward(x, y_direct, true);
+  expect_close(y_direct, y_ref, 1e-4, "direct forward");
+
+  // Backward: same upstream gradient through both paths.
+  Tensor dy(y_ref.shape());
+  for (std::size_t i = 0; i < dy.numel(); ++i) {
+    dy[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  Tensor dx_ref, dx_direct;
+  ref.conv.backward(x, y_ref, dy, dx_ref);
+  direct.conv.backward(x, y_direct, dy, dx_direct);
+  expect_close(dx_direct, dx_ref, 1e-4, "direct backward dX");
+  expect_close_span(direct.grads, ref.grads, 1e-4, "direct dW/db");
+}
+
+TEST_P(ConvAlgoCaseTest, WinogradMatchesIm2col) {
+  const ConvCase& cc = kCases[GetParam()];
+  Rng rng(0x3176 + GetParam());
+  const Tensor x = random_input(rng, cc.batch, cc.in_c, cc.h, cc.w);
+  BoundConv ref(cc.in_c, cc.out_c, ConvAlgo::kIm2col, 7);
+  BoundConv wino(cc.in_c, cc.out_c, ConvAlgo::kWinograd, 7);
+  Tensor y_ref, y_wino;
+  ref.conv.forward(x, y_ref, true);
+  wino.conv.forward(x, y_wino, true);
+  expect_close(y_wino, y_ref, 1e-4, "winograd forward");
+}
+
+TEST_P(ConvAlgoCaseTest, Int8ForwardWithinQuantizationBound) {
+  const ConvCase& cc = kCases[GetParam()];
+  Rng rng(0x178 + GetParam());
+  const Tensor x = random_input(rng, cc.batch, cc.in_c, cc.h, cc.w);
+  BoundConv ref(cc.in_c, cc.out_c, ConvAlgo::kIm2col, 9);
+  BoundConv q(cc.in_c, cc.out_c, ConvAlgo::kInt8, 9);
+  Tensor y_ref, y_q;
+  ref.conv.forward(x, y_ref, true);
+  q.conv.forward(x, y_q, true);
+  // Per-output error bound: each of the k = C·9 products carries at most
+  // (step/2 · |b|max + step/2 · |a|max + step²/4) quantization error.
+  const std::size_t k = cc.in_c * 9;
+  double a_max = 0.0, w_max = 0.0;
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    a_max = std::max(a_max, static_cast<double>(std::fabs(x[i])));
+  }
+  for (std::size_t i = 0; i < q.params.size() - cc.out_c; ++i) {
+    w_max = std::max(w_max, static_cast<double>(std::fabs(q.params[i])));
+  }
+  const double step_a = 2.0 * a_max / 255.0;   // range ≤ [-a_max, a_max]
+  const double step_w = 2.0 * w_max / 255.0;
+  const double bound = static_cast<double>(k) *
+                       (0.5 * step_a * w_max + 0.5 * step_w * a_max +
+                        0.25 * step_a * step_w) +
+                       1e-4;
+  ASSERT_EQ(y_q.shape(), y_ref.shape());
+  for (std::size_t i = 0; i < y_q.numel(); ++i) {
+    ASSERT_NEAR(y_q[i], y_ref[i], bound) << "int8 forward at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ConvAlgoCaseTest,
+                         ::testing::Range<std::size_t>(0, std::size(kCases)));
+
+// Every algorithm must be bitwise identical under gemm_threads > 1 — the
+// contract that keeps the determinism/chaos batteries meaningful.
+class ConvAlgoDeterminismTest : public ::testing::TestWithParam<ConvAlgo> {};
+
+TEST_P(ConvAlgoDeterminismTest, ParallelBitwiseEqualsSerial) {
+  const ConvAlgo algo = GetParam();
+  Rng rng(0xB17 + static_cast<std::uint64_t>(algo));
+  const Tensor x = random_input(rng, 3, 17, 13, 19);
+  Tensor dy;
+
+  BoundConv serial(17, 10, algo, 5);
+  Tensor y_serial, dx_serial;
+  serial.conv.forward(x, y_serial, true);
+  dy = Tensor(y_serial.shape());
+  for (std::size_t i = 0; i < dy.numel(); ++i) {
+    dy[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  serial.conv.backward(x, y_serial, dy, dx_serial);
+
+  for (const std::size_t threads : {2, 4, 7}) {
+    ThreadsGuard guard(threads);
+    BoundConv par(17, 10, algo, 5);
+    Tensor y_par, dx_par;
+    par.conv.forward(x, y_par, true);
+    par.conv.backward(x, y_par, dy, dx_par);
+    ASSERT_EQ(y_par.numel(), y_serial.numel());
+    ASSERT_EQ(0, std::memcmp(y_par.data(), y_serial.data(),
+                             y_serial.numel() * sizeof(float)))
+        << conv_algo_name(algo) << " forward, " << threads << " threads";
+    ASSERT_EQ(0, std::memcmp(dx_par.data(), dx_serial.data(),
+                             dx_serial.numel() * sizeof(float)))
+        << conv_algo_name(algo) << " dX, " << threads << " threads";
+    ASSERT_EQ(0, std::memcmp(par.grads.data(), serial.grads.data(),
+                             serial.grads.size() * sizeof(float)))
+        << conv_algo_name(algo) << " dW/db, " << threads << " threads";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algos, ConvAlgoDeterminismTest,
+                         ::testing::Values(ConvAlgo::kIm2col,
+                                           ConvAlgo::kDirect,
+                                           ConvAlgo::kWinograd,
+                                           ConvAlgo::kInt8),
+                         [](const auto& info) {
+                           return conv_algo_name(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Blocked layout transforms.
+// ---------------------------------------------------------------------------
+
+TEST(BlockedLayoutTest, RoundTripAndZeroFill) {
+  Rng rng(0xB10C);
+  for (const auto& [c, h, w] : std::vector<std::array<std::size_t, 3>>{
+           {1, 1, 1}, {3, 5, 17}, {16, 9, 15}, {2, 7, 33}}) {
+    const BlockedLayout bl{c, h, w, 1};
+    const std::size_t batch = 2;
+    Tensor x = random_input(rng, batch, c, h, w);
+    AlignedBuffer blocked;
+    blocked.ensure(batch * bl.image_floats());
+    // Poison so the zero-fill contract is actually exercised.
+    blocked.fill(777.0f);
+    nchw_to_blocked(bl, batch, x.data(), blocked.data());
+    // Every float outside the interior must be zero.
+    const std::size_t rf = bl.row_floats();
+    for (std::size_t n = 0; n < batch; ++n) {
+      for (std::size_t cc = 0; cc < c; ++cc) {
+        const float* plane =
+            blocked.data() + n * bl.image_floats() + cc * bl.plane_floats();
+        for (std::size_t r = 0; r < bl.rows(); ++r) {
+          for (std::size_t col = 0; col < rf; ++col) {
+            const bool interior = r >= bl.pad && r < bl.pad + h &&
+                                  col >= bl.pad && col < bl.pad + w;
+            if (!interior) {
+              ASSERT_EQ(plane[r * rf + col], 0.0f)
+                  << "stale float at plane (" << r << "," << col << ")";
+            }
+          }
+        }
+      }
+    }
+    std::vector<float> back(x.numel(), -1.0f);
+    blocked_to_nchw(bl, batch, blocked.data(), back.data());
+    ASSERT_EQ(0,
+              std::memcmp(back.data(), x.data(), x.numel() * sizeof(float)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Resolution chain.
+// ---------------------------------------------------------------------------
+
+TEST(ConvAlgoResolveTest, HeuristicAndFallbacks) {
+  ConvGeom g3;  // 3×3/s1/p1 — the direct/Winograd family
+  g3.channels = 64;
+  g3.height = 16;
+  g3.width = 16;
+  g3.kernel = 3;
+  g3.stride = 1;
+  g3.pad = 1;
+  ConvGeom g5 = g3;  // 5×5 — im2col only
+  g5.kernel = 5;
+  g5.pad = 2;
+
+  EXPECT_TRUE(conv_algo_supported(ConvAlgo::kDirect, g3));
+  EXPECT_FALSE(conv_algo_supported(ConvAlgo::kDirect, g5));
+  EXPECT_TRUE(conv_algo_supported(ConvAlgo::kIm2col, g5));
+  EXPECT_TRUE(conv_algo_supported(ConvAlgo::kInt8, g5));
+
+  // The heuristic never volunteers the lossy kernel and falls back to
+  // im2col off-family.
+  EXPECT_EQ(choose_conv_algo(g5, 64), ConvAlgo::kIm2col);
+  EXPECT_NE(choose_conv_algo(g3, 64), ConvAlgo::kInt8);
+  EXPECT_NE(resolve_conv_algo(ConvAlgo::kAuto, g3, 64), ConvAlgo::kAuto);
+
+  // Unsupported explicit picks fall back to im2col.
+  EXPECT_EQ(resolve_conv_algo(ConvAlgo::kWinograd, g5, 64),
+            ConvAlgo::kIm2col);
+
+  // Thread-local override beats the heuristic; process default beats the
+  // heuristic but loses to the thread-local knob.
+  {
+    AlgoGuard guard(ConvAlgo::kDirect);
+    EXPECT_EQ(resolve_conv_algo(ConvAlgo::kAuto, g3, 64), ConvAlgo::kDirect);
+  }
+  set_process_conv_algo(ConvAlgo::kIm2col);
+  EXPECT_EQ(resolve_conv_algo(ConvAlgo::kAuto, g3, 64), ConvAlgo::kIm2col);
+  {
+    AlgoGuard guard(ConvAlgo::kWinograd);
+    EXPECT_EQ(resolve_conv_algo(ConvAlgo::kAuto, g3, 64),
+              ConvAlgo::kWinograd);
+  }
+  set_process_conv_algo(ConvAlgo::kAuto);
+  // Layer choice beats everything.
+  EXPECT_EQ(resolve_conv_algo(ConvAlgo::kInt8, g3, 64), ConvAlgo::kInt8);
+}
+
+// The im2col backward reuses the forward's column matrix; flipping the
+// kernel per call (auto → pinned im2col after a direct forward) must not
+// feed a stale lowering into the dW GEMM.
+TEST(ConvAlgoResolveTest, BackwardAfterAlgoFlipRecomputesColumns) {
+  Rng rng(0xF11);
+  const Tensor x1 = random_input(rng, 2, 6, 9, 9);
+  const Tensor x2 = random_input(rng, 2, 6, 9, 9);
+
+  BoundConv ref(6, 8, ConvAlgo::kIm2col, 3);
+  BoundConv flip(6, 8, ConvAlgo::kDirect, 3);
+  Tensor y_ref, y_flip, dx_ref, dx_flip;
+
+  // Prime flip's workspaces with a DIFFERENT input via the direct path,
+  // then flip to im2col for the real pass.
+  flip.conv.forward(x2, y_flip, true);
+  flip.conv.set_algo(ConvAlgo::kIm2col);
+  flip.conv.forward(x1, y_flip, true);
+  ref.conv.forward(x1, y_ref, true);
+
+  Tensor dy(y_ref.shape());
+  for (std::size_t i = 0; i < dy.numel(); ++i) {
+    dy[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  flip.conv.backward(x1, y_flip, dy, dx_flip);
+  ref.conv.backward(x1, y_ref, dy, dx_ref);
+  ASSERT_EQ(0, std::memcmp(dx_flip.data(), dx_ref.data(),
+                           dx_ref.numel() * sizeof(float)));
+  ASSERT_EQ(0, std::memcmp(flip.grads.data(), ref.grads.data(),
+                           ref.grads.size() * sizeof(float)));
+}
+
+}  // namespace
+}  // namespace ds

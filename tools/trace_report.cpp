@@ -113,6 +113,19 @@ int main(int argc, char** argv) {
                   s.idle_imposed);
     }
 
+    // --- kernel counters ----------------------------------------------
+    // Cumulative tracks the tensor kernels emit while tracing (conv.flops,
+    // im2col.bytes, col2im.bytes): last sample = run total. The flops-to-
+    // lowering-bytes ratio is what makes an im2col-vs-direct switch visible
+    // — direct/Winograd layers grow conv.flops without growing im2col.bytes.
+    if (!trace.counters.empty()) {
+      std::printf("\nkernel counters (cumulative, final sample)\n");
+      for (const auto& [name, track] : trace.counters) {
+        std::printf("  %-40s %14.6g  (%zu samples)\n", name.c_str(),
+                    track.last(), track.samples.size());
+      }
+    }
+
     // --- overlap split -------------------------------------------------
     const OverlapSplit split = comm_compute_split(trace);
     std::printf(
