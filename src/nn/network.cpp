@@ -89,6 +89,21 @@ const Tensor& Network::forward(const Tensor& batch, bool train) {
   return acts_.back();
 }
 
+const Tensor& Network::infer(const Tensor& batch) {
+  DS_CHECK(finalized_, "infer() before finalize()");
+  DS_CHECK(batch.rank() == input_shape_.rank() + 1,
+           "infer() batch rank " << batch.rank() << " != sample rank "
+                                 << input_shape_.rank() << " + 1");
+  DS_CHECK(batch.dim(0) > 0, "infer() needs a non-empty batch");
+  for (std::size_t i = 0; i < input_shape_.rank(); ++i) {
+    DS_CHECK(batch.dim(i + 1) == input_shape_.dim(i),
+             "infer() batch dim " << i + 1 << " is " << batch.dim(i + 1)
+                                  << ", network expects "
+                                  << input_shape_.dim(i));
+  }
+  return forward(batch, /*train=*/false);
+}
+
 LossResult Network::forward_backward(const Tensor& batch,
                                      std::span<const std::int32_t> labels) {
   return forward_backward(batch, labels, LayerReadyHook());

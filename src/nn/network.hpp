@@ -38,6 +38,14 @@ class Network {
   /// Forward pass; returns the logits (reference valid until next call).
   const Tensor& forward(const Tensor& batch, bool train);
 
+  /// Batched forward-only inference — the serving front-end's hot path.
+  /// Eval-mode forward (dropout off, no gradient side effects) with the
+  /// batch geometry validated against the network's input shape, which
+  /// plain forward() skips for speed. Coalescing B requests into one call
+  /// here is bitwise-identical to B batch-1 calls for every deterministic
+  /// ConvAlgo (pinned by tests/serve_parity_test.cpp).
+  const Tensor& infer(const Tensor& batch);
+
   /// Combined forward + loss + full backward. Gradients are ACCUMULATED
   /// into the arena — call zero_grads() first for a fresh gradient.
   LossResult forward_backward(const Tensor& batch,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <limits>
 #include <utility>
 
@@ -509,6 +510,77 @@ void apply_alpha_beta(OverlapSplit& split, std::uint64_t messages_sent,
                       std::uint64_t bytes_sent, const LinkModel& link) {
   split.alpha_seconds = static_cast<double>(messages_sent) * link.alpha;
   split.beta_seconds = static_cast<double>(bytes_sent) * link.beta;
+}
+
+// ---------------------------------------------------------------------------
+// Serving request lifecycle.
+// ---------------------------------------------------------------------------
+
+ServeLifecycle request_lifecycle(const TraceData& trace) {
+  ServeLifecycle out;
+  // Pass 1 over the instants: per-request-id FIFO of enqueue times (a
+  // trace may hold several runs, and request ids restart at 0 each run —
+  // FIFO pairing keeps each dispatch joined to its own run's enqueue,
+  // since both ingest paths preserve per-track emission order), plus shed
+  // and scale tallies and the exact latency samples off the reply aux.
+  std::map<std::uint64_t, std::deque<double>> enqueue_at;
+  std::size_t enqueues = 0;
+  std::vector<double> latencies;
+  for (const VInstant& e : trace.instants) {
+    if (e.category != "serve") continue;
+    if (e.name == "enqueue") {
+      enqueue_at[static_cast<std::uint64_t>(e.value)].push_back(e.vtime);
+      ++enqueues;
+    } else if (e.name == "shed") {
+      ++out.shed;
+    } else if (e.name == "reply") {
+      ++out.served;
+      latencies.push_back(e.aux);
+    } else if (e.name == "scale_up") {
+      ++out.scale_ups;
+    } else if (e.name == "scale_down") {
+      ++out.scale_downs;
+    }
+  }
+  // Pass 2: each dispatch instant closes the queue-wait interval its
+  // (earliest unmatched) enqueue opened; span durations give the
+  // compute/reply totals directly.
+  for (const VInstant& e : trace.instants) {
+    if (e.category != "serve" || e.name != "dispatch") continue;
+    const auto it = enqueue_at.find(static_cast<std::uint64_t>(e.value));
+    if (it != enqueue_at.end() && !it->second.empty()) {
+      out.queue_wait_seconds += e.vtime - it->second.front();
+      it->second.pop_front();
+    }
+  }
+  for (const VSpan& s : trace.vspans) {
+    if (s.category != "serve") continue;
+    if (s.name == "infer_batch") {
+      ++out.batches;
+      out.compute_seconds += s.duration;
+    } else if (s.name == "reply") {
+      out.reply_seconds += s.duration;
+    }
+  }
+  out.requests = enqueues + out.shed;
+
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    double sum = 0.0;
+    for (const double l : latencies) sum += l;
+    out.latency_mean = sum / static_cast<double>(latencies.size());
+    const auto at = [&](double q) {
+      const std::size_t idx =
+          std::min(latencies.size() - 1,
+                   static_cast<std::size_t>(q * static_cast<double>(
+                                                    latencies.size())));
+      return latencies[idx];
+    };
+    out.latency_p50 = at(0.50);
+    out.latency_p95 = at(0.95);
+    out.latency_p99 = at(0.99);
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------

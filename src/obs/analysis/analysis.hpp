@@ -251,6 +251,53 @@ void apply_alpha_beta(OverlapSplit& split, std::uint64_t messages_sent,
                       std::uint64_t bytes_sent, const LinkModel& link);
 
 // ---------------------------------------------------------------------------
+// (d) Serving request lifecycle (src/serve trace schema, DESIGN.md §12).
+// ---------------------------------------------------------------------------
+
+/// Rollup of the "serve"-category events: where a request's latency went
+/// (queue wait vs batch compute vs reply transfer), how much load was shed,
+/// and the exact latency quantiles recovered from the per-request "reply"
+/// instants (whose aux payload is the request's latency in virtual
+/// seconds). Dispatch instants carry the batch id; the infer_batch span on
+/// the same replica at the same begin time carries the batch's service —
+/// the join the queue-wait/compute split is built from.
+struct ServeLifecycle {
+  std::size_t requests = 0;  // enqueue + shed instants
+  std::size_t served = 0;    // reply instants
+  std::size_t shed = 0;
+  std::size_t batches = 0;  // infer_batch spans
+  std::size_t scale_ups = 0;
+  std::size_t scale_downs = 0;
+
+  double queue_wait_seconds = 0.0;  // Σ over served (dispatch − enqueue)
+  double compute_seconds = 0.0;     // Σ infer_batch span durations
+  double reply_seconds = 0.0;       // Σ reply span durations
+
+  // Exact latency stats over the reply instants, virtual seconds.
+  double latency_mean = 0.0;
+  double latency_p50 = 0.0;
+  double latency_p95 = 0.0;
+  double latency_p99 = 0.0;
+
+  double mean_batch() const {
+    return batches > 0 ? static_cast<double>(served) /
+                             static_cast<double>(batches)
+                       : 0.0;
+  }
+  double shed_rate() const {
+    return requests > 0
+               ? static_cast<double>(shed) / static_cast<double>(requests)
+               : 0.0;
+  }
+  bool empty() const { return requests == 0 && batches == 0; }
+};
+
+/// Build the lifecycle rollup from a trace (snapshot- or Chrome-ingested —
+/// the schema round-trips both paths). Returns an empty() result when the
+/// trace holds no serve events.
+ServeLifecycle request_lifecycle(const TraceData& trace);
+
+// ---------------------------------------------------------------------------
 // Histogram quantile summaries (uses Histogram::quantile).
 // ---------------------------------------------------------------------------
 

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <vector>
 
+#include "support/error.hpp"
+
 namespace ds::obs {
 
 void Histogram::observe(double x) {
@@ -21,32 +23,72 @@ void Histogram::observe(double x) {
   sum_.add(x);
 }
 
-double Histogram::quantile(double q) const {
-  // Local copy first: updates race with reads (both relaxed), so derive the
-  // total from the copied buckets rather than count_ to stay consistent.
-  std::array<std::uint64_t, kBuckets> local;
+double HistogramWindow::quantile(double q) const {
   std::uint64_t total = 0;
-  for (std::size_t b = 0; b < kBuckets; ++b) {
-    local[b] = buckets_[b].load(std::memory_order_relaxed);
-    total += local[b];
-  }
+  for (const std::uint64_t n : buckets) total += n;
   if (total == 0) return 0.0;
   q = std::min(std::max(q, 0.0), 1.0);
   const double target = q * static_cast<double>(total);
   double cumulative = 0.0;
-  for (std::size_t b = 0; b < kBuckets; ++b) {
-    if (local[b] == 0) continue;
-    const double next = cumulative + static_cast<double>(local[b]);
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const double next = cumulative + static_cast<double>(buckets[b]);
     if (next >= target) {
       const double lo = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 1);
       const double hi = std::ldexp(1.0, static_cast<int>(b));
       const double fraction =
-          (target - cumulative) / static_cast<double>(local[b]);
+          (target - cumulative) / static_cast<double>(buckets[b]);
       return lo + fraction * (hi - lo);
     }
     cumulative = next;
   }
-  return std::ldexp(1.0, static_cast<int>(kBuckets));  // unreachable
+  return std::ldexp(1.0, static_cast<int>(buckets.size()));  // unreachable
+}
+
+HistogramWindow HistogramWindow::since(const HistogramWindow& before) const {
+  HistogramWindow delta;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    DS_CHECK(buckets[b] >= before.buckets[b],
+             "HistogramWindow::since: bucket " << b
+                 << " shrank — 'before' is not an earlier window of the same "
+                    "instrument");
+    delta.buckets[b] = buckets[b] - before.buckets[b];
+    delta.count += delta.buckets[b];
+  }
+  delta.sum = sum - before.sum;
+  return delta;
+}
+
+void HistogramWindow::merge(const HistogramWindow& other) {
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    buckets[b] += other.buckets[b];
+    count += other.buckets[b];
+  }
+  sum += other.sum;
+}
+
+HistogramWindow Histogram::window() const {
+  // Local copy first: updates race with reads (both relaxed), so derive the
+  // count from the copied buckets rather than count_ to stay consistent.
+  HistogramWindow w;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    w.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+    w.count += w.buckets[b];
+  }
+  w.sum = sum_.value();
+  return w;
+}
+
+double Histogram::quantile(double q) const { return window().quantile(q); }
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const std::uint64_t n = other.buckets_[b].load(std::memory_order_relaxed);
+    if (n > 0) buckets_[b].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_.add(other.sum_.value());
 }
 
 void Histogram::reset() {

@@ -61,11 +61,45 @@ class AccumDouble {
   std::atomic<double> v_{0.0};
 };
 
+inline constexpr std::size_t kHistogramBuckets = 64;
+
+/// Plain-data copy of a histogram's state at one instant — the subtraction
+/// unit of windowed quantile reporting. Always-on instruments must never be
+/// reset mid-run (other readers share them), so per-interval views are
+/// built by capturing a window before and after and subtracting: the delta
+/// holds exactly the interval's samples, with full quantile resolution,
+/// while the global instrument keeps accumulating. This is how the serving
+/// layer reports per-run (and per-second) latency quantiles off the one
+/// process-wide `serve.latency_usec` histogram.
+struct HistogramWindow {
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  double mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+
+  /// Quantile estimate by linear interpolation inside the log2 bucket that
+  /// holds the q-th sample (bucket b ≥ 1 spans [2^(b-1), 2^b), bucket 0
+  /// spans [0, 1)). q is clamped to [0, 1]; an empty window reads 0.
+  /// Exact at bucket boundaries, within a factor of 2 everywhere — the
+  /// resolution the paper's latency breakdowns need.
+  double quantile(double q) const;
+
+  /// this − before, bucket-wise. `before` must be an earlier window of the
+  /// same instrument (every bucket monotonically ≥), or the result throws.
+  HistogramWindow since(const HistogramWindow& before) const;
+
+  /// Bucket-wise accumulate (the window-level twin of Histogram::merge).
+  void merge(const HistogramWindow& other);
+};
+
 /// Histogram of non-negative samples in power-of-two buckets: bucket b
 /// counts samples in [2^(b-1), 2^b) (bucket 0 takes everything < 1).
 class Histogram {
  public:
-  static constexpr std::size_t kBuckets = 64;
+  static constexpr std::size_t kBuckets = kHistogramBuckets;
 
   void observe(double x);
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
@@ -74,12 +108,17 @@ class Histogram {
     return buckets_[b].load(std::memory_order_relaxed);
   }
 
-  /// Quantile estimate by linear interpolation inside the log2 bucket that
-  /// holds the q-th sample (bucket b ≥ 1 spans [2^(b-1), 2^b), bucket 0
-  /// spans [0, 1)). q is clamped to [0, 1]; an empty histogram reads 0.
-  /// The estimate is exact at bucket boundaries and within a factor of 2
-  /// everywhere — the resolution the paper's latency breakdowns need.
+  /// Consistent point-in-time copy (updates race with reads, so the window
+  /// derives its count from the copied buckets, never from count_).
+  HistogramWindow window() const;
+
+  /// Quantile of everything observed so far: window().quantile(q).
   double quantile(double q) const;
+
+  /// Bucket-wise accumulate another histogram into this one (per-worker or
+  /// per-replica instruments folded into one distribution). The other
+  /// histogram must be quiescent; this one may keep taking observe()s.
+  void merge(const Histogram& other);
 
   void reset();
 
@@ -168,6 +207,19 @@ inline constexpr const char* kConvWinogradCalls = "conv.winograd.calls";
 inline constexpr const char* kConvInt8Calls = "conv.int8.calls";
 inline constexpr const char* kIm2colBytes = "im2col.bytes";
 inline constexpr const char* kCol2imBytes = "col2im.bytes";
+// Serving front-end (src/serve): request lifecycle counters, the log2
+// latency histogram (virtual MICROseconds — sub-millisecond latencies need
+// bucket resolution below 1.0), and the dispatched batch-size histogram.
+// Per-run views come from Histogram windows (HistogramWindow::since), never
+// from resetting the registry.
+inline constexpr const char* kServeRequests = "serve.requests";
+inline constexpr const char* kServeServed = "serve.served";
+inline constexpr const char* kServeShed = "serve.shed";
+inline constexpr const char* kServeDeadlineMiss = "serve.deadline_miss";
+inline constexpr const char* kServeQueueDepth = "serve.queue_depth";
+inline constexpr const char* kServeLatencyUsec = "serve.latency_usec";
+inline constexpr const char* kServeBatchSize = "serve.batch_size";
+inline constexpr const char* kServeScaleEvents = "serve.scale_events";
 }  // namespace names
 
 }  // namespace ds::obs

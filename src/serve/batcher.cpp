@@ -1,0 +1,22 @@
+#include "serve/batcher.hpp"
+
+#include "support/error.hpp"
+
+namespace ds::serve {
+
+bool admission_feasible(double now, double deadline, std::size_t queued_ahead,
+                        std::size_t active_replicas, double earliest_free,
+                        const BatchPolicy& policy, double full_batch_service_s,
+                        double reply_s) {
+  DS_CHECK(active_replicas > 0, "admission needs at least one active replica");
+  DS_CHECK(policy.max_batch > 0, "max_batch must be positive");
+  const std::size_t batches_ahead =
+      (queued_ahead + 1 + policy.max_batch - 1) / policy.max_batch;
+  const double start_wait = earliest_free > now ? earliest_free - now : 0.0;
+  const double drain = static_cast<double>(batches_ahead) *
+                       full_batch_service_s /
+                       static_cast<double>(active_replicas);
+  return now + start_wait + drain + reply_s <= deadline;
+}
+
+}  // namespace ds::serve

@@ -24,6 +24,17 @@ double GpuSystem::data_copy_seconds(std::size_t batch) const {
                                             sample_bytes_);
 }
 
+double GpuSystem::infer_seconds(std::size_t batch) const {
+  return config_.launch_overhead_seconds +
+         static_cast<double>(batch) * model_.flops_per_sample *
+             config_.forward_flops_fraction / config_.gpu_flops;
+}
+
+double GpuSystem::reply_seconds(std::size_t batch) const {
+  return config_.host_link.transfer_seconds(
+      static_cast<double>(batch) * config_.reply_bytes_per_request);
+}
+
 double GpuSystem::layered_hop(const LinkModel& link, MessageLayout layout,
                               double bytes_factor) const {
   const double bytes = model_.weight_bytes * bytes_factor;

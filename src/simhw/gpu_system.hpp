@@ -45,6 +45,12 @@ struct GpuSystemConfig {
   // Fraction of device<->device traffic that overlapping with compute cannot
   // hide (switch contention + launch sync), Sync EASGD3 vs EASGD2 (§6.1.3).
   double overlap_residual = 0.6;
+  // Inference serving (src/serve). flops_per_sample in PaperModelInfo is
+  // forward+backward; a forward-only pass runs roughly a third of it (one
+  // of three GEMM-shaped passes). reply bytes cover the logits plus framing
+  // going back over the host link per request.
+  double forward_flops_fraction = 1.0 / 3.0;
+  double reply_bytes_per_request = 64.0;
 };
 
 class GpuSystem {
@@ -64,6 +70,17 @@ class GpuSystem {
   /// (independent DMA engines), so this is also the parallel per-iteration
   /// data time.
   double data_copy_seconds(std::size_t batch) const;
+
+  /// Forward-only pass of one coalesced inference batch on one device:
+  /// kernel-launch overhead + forward-fraction flops. The launch overhead
+  /// is per PASS, not per sample — the term dynamic batching amortises,
+  /// and the reason batch-1 serving is throughput-poor on real GPUs
+  /// (§7.2's small-batch inefficiency, inverted into the latency story).
+  double infer_seconds(std::size_t batch) const;
+
+  /// Device -> host response copy for a batch of replies (latency term
+  /// plus the small per-request payload).
+  double reply_seconds(std::size_t batch) const;
 
   /// One full-model hop across the host link (packed = 1 message; per-layer
   /// = model().comm_layers messages, Figure 10 baseline).

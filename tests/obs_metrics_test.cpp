@@ -8,6 +8,7 @@
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "support/error.hpp"
 
 namespace ds::obs {
 namespace {
@@ -137,6 +138,76 @@ TEST(ObsMetrics, SnapshotExpandsHistograms) {
   const MetricsSnapshot after = metrics().snapshot();
   EXPECT_DOUBLE_EQ(after.delta(before, "test.hist.count"), 2.0);
   EXPECT_DOUBLE_EQ(after.delta(before, "test.hist.sum"), 8.0);
+}
+
+TEST(ObsMetrics, HistogramMergeAccumulatesBucketwise) {
+  Histogram a;
+  Histogram b;
+  // Exact bucket boundaries: 1.0 lands in bucket 1 ([1,2)), 2.0 in bucket 2
+  // ([2,4)), 0.5 in bucket 0 ([0,1)) — merge must preserve each placement.
+  a.observe(0.5);
+  a.observe(1.0);
+  b.observe(1.0);
+  b.observe(2.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.sum(), 4.5);
+  EXPECT_EQ(a.bucket(0), 1u);
+  EXPECT_EQ(a.bucket(1), 2u);
+  EXPECT_EQ(a.bucket(2), 1u);
+  // b is untouched.
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(ObsMetrics, WindowSinceIsolatesTheInterval) {
+  Histogram h;
+  h.observe(1.0);
+  h.observe(100.0);
+  const HistogramWindow before = h.window();
+  h.observe(4.0);  // boundary: exactly 2^2 goes to bucket 3 ([4,8))
+  h.observe(5.0);
+  h.observe(7.9);
+  const HistogramWindow delta = h.window().since(before);
+  EXPECT_EQ(delta.count, 3u);
+  EXPECT_DOUBLE_EQ(delta.sum, 16.9);
+  EXPECT_EQ(delta.buckets[3], 3u);
+  // All three interval samples share bucket [4,8): the delta's p50 must
+  // read from that bucket alone, untouched by the pre-window samples.
+  const double p50 = delta.quantile(0.50);
+  EXPECT_GE(p50, 4.0);
+  EXPECT_LE(p50, 8.0);
+  // The global histogram still sees everything.
+  EXPECT_EQ(h.count(), 5u);
+}
+
+TEST(ObsMetrics, WindowSinceRejectsNonMonotone) {
+  Histogram h;
+  h.observe(3.0);
+  const HistogramWindow later = h.window();
+  Histogram h2;
+  h2.observe(1.0);
+  h2.observe(1.5);
+  const HistogramWindow other = h2.window();
+  // `other` has bucket counts `later` lacks — not an earlier window of the
+  // same instrument.
+  EXPECT_THROW(later.since(other), ds::Error);
+}
+
+TEST(ObsMetrics, WindowMergeMatchesHistogramMerge) {
+  Histogram a;
+  Histogram b;
+  for (double x : {0.25, 1.0, 3.0, 9.0}) a.observe(x);
+  for (double x : {1.0, 2.0, 64.0}) b.observe(x);
+  HistogramWindow wa = a.window();
+  wa.merge(b.window());
+  a.merge(b);
+  const HistogramWindow direct = a.window();
+  EXPECT_EQ(wa.count, direct.count);
+  EXPECT_DOUBLE_EQ(wa.sum, direct.sum);
+  for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
+    EXPECT_EQ(wa.buckets[i], direct.buckets[i]) << "bucket " << i;
+  }
+  EXPECT_DOUBLE_EQ(wa.quantile(0.95), direct.quantile(0.95));
 }
 
 TEST(ObsMetrics, JsonExportParsesWithOwnReader) {

@@ -1,9 +1,12 @@
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <span>
 #include <string>
 
 #include <gtest/gtest.h>
 
+#include "data/dataset.hpp"
 #include "nn/models.hpp"
 #include "nn/serialize.hpp"
 
@@ -57,6 +60,53 @@ TEST(Serialize, RejectsDifferentArchitecture) {
   Rng rng2(3);
   auto mlp = make_tiny_mlp(rng2);
   EXPECT_THROW(load_checkpoint(*mlp, path), Error);
+  std::remove(path.c_str());
+}
+
+// The serving contract (ISSUE: serve replicas restore checkpoints): a
+// TRAINED network — weights moved off their init by real SGD steps — must
+// round-trip so that the restored replica's forward outputs are bitwise
+// identical to the original's, not merely close.
+TEST(Serialize, TrainedNetworkRoundTripForwardBitwise) {
+  const TrainTest data = cifar_like(/*seed=*/7, /*train=*/64, /*test=*/16);
+  const std::size_t B = 8;
+  const std::size_t numel = data.train.sample_numel();
+  Tensor batch({B, 3, 32, 32});
+  std::memcpy(batch.data(), data.train.images.data(),
+              B * numel * sizeof(float));
+  const std::span<const std::int32_t> labels(data.train.labels.data(), B);
+
+  Rng rng(11);
+  const auto trained = make_alexnet_s(rng);
+  const float lr = 0.01f;
+  for (int step = 0; step < 3; ++step) {
+    trained->zero_grads();
+    trained->forward_backward(batch, labels);
+    const auto params = trained->arena().full_params();
+    const auto grads = trained->arena().full_grads();
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      params[i] -= lr * grads[i];
+    }
+  }
+
+  const std::string path = temp_path("alexnet_trained.dscp");
+  save_checkpoint(*trained, path);
+
+  Rng rng2(4242);  // deliberately different init, fully overwritten
+  const auto restored = make_alexnet_s(rng2);
+  load_checkpoint(*restored, path);
+
+  const auto pa = trained->arena().full_params();
+  const auto pb = restored->arena().full_params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) ASSERT_EQ(pa[i], pb[i]);
+
+  const Tensor& out_a = trained->infer(batch);
+  const Tensor& out_b = restored->infer(batch);
+  ASSERT_EQ(out_a.numel(), out_b.numel());
+  for (std::size_t i = 0; i < out_a.numel(); ++i) {
+    ASSERT_EQ(out_a.data()[i], out_b.data()[i]) << "logit " << i;
+  }
   std::remove(path.c_str());
 }
 

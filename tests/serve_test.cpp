@@ -1,0 +1,384 @@
+// Serving front-end battery (DESIGN.md §12): workload generator
+// determinism and shape, batcher/admission unit behaviour, same-seed
+// bitwise determinism of full serving runs, overload shedding with bounded
+// queues, batching goodput, autoscaling, and the trace-lifecycle rollup's
+// consistency with the server's own accounting (including a Chrome-export
+// round trip).
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.hpp"
+#include "nn/models.hpp"
+#include "obs/analysis/analysis.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/json.hpp"
+#include "serve/server.hpp"
+#include "serve/workload.hpp"
+
+namespace ds::serve {
+namespace {
+
+namespace analysis = obs::analysis;
+
+// ---------------------------------------------------------------------------
+// Workload generator.
+// ---------------------------------------------------------------------------
+
+TEST(ServeWorkload, PoissonSameSeedSameTrace) {
+  WorkloadConfig cfg;
+  cfg.pattern = ArrivalPattern::kPoisson;
+  cfg.rate_rps = 2000.0;
+  cfg.duration_s = 1.0;
+  cfg.seed = 7;
+  const std::vector<double> a = generate_arrivals(cfg);
+  const std::vector<double> b = generate_arrivals(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+
+  cfg.seed = 8;
+  const std::vector<double> c = generate_arrivals(cfg);
+  EXPECT_NE(a, c);
+}
+
+TEST(ServeWorkload, PoissonMeanRateAndMonotoneTimes) {
+  WorkloadConfig cfg;
+  cfg.rate_rps = 2000.0;
+  cfg.duration_s = 1.0;
+  cfg.seed = 42;
+  const std::vector<double> a = generate_arrivals(cfg);
+  // Poisson(2000): 5σ band is ±5·√2000 ≈ ±224.
+  EXPECT_GT(a.size(), 2000u - 224u);
+  EXPECT_LT(a.size(), 2000u + 224u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_GE(a[i], 0.0);
+    ASSERT_LT(a[i], cfg.duration_s);
+    if (i > 0) ASSERT_GT(a[i], a[i - 1]);
+  }
+}
+
+TEST(ServeWorkload, BurstyConcentratesArrivalsInBursts) {
+  WorkloadConfig cfg;
+  cfg.pattern = ArrivalPattern::kBursty;
+  cfg.rate_rps = 1000.0;
+  cfg.duration_s = 1.0;
+  cfg.seed = 3;  // bursts: 4× base for 0.05 s every 0.25 s
+  const std::vector<double> a = generate_arrivals(cfg);
+  std::size_t in_burst = 0;
+  for (const double t : a) {
+    if (std::fmod(t, cfg.burst_every_s) < cfg.burst_length_s) ++in_burst;
+  }
+  // Burst windows are 20% of the time but run at 4× the base rate: expect
+  // roughly 4000·0.2 = 800 of the ~1600 arrivals inside them (50%), far
+  // above the 20% a flat trace would put there.
+  EXPECT_GT(static_cast<double>(in_burst),
+            0.35 * static_cast<double>(a.size()));
+}
+
+TEST(ServeWorkload, StepRaisesSecondHalfRate) {
+  WorkloadConfig cfg;
+  cfg.pattern = ArrivalPattern::kStep;
+  cfg.rate_rps = 1000.0;
+  cfg.duration_s = 1.0;
+  cfg.step_at_s = 0.5;  // 4× base after the step
+  cfg.seed = 5;
+  const std::vector<double> a = generate_arrivals(cfg);
+  std::size_t before = 0;
+  for (const double t : a) {
+    if (t < cfg.step_at_s) ++before;
+  }
+  const std::size_t after = a.size() - before;
+  // ~500 before vs ~2000 after.
+  EXPECT_GT(after, 3 * before);
+}
+
+// ---------------------------------------------------------------------------
+// Batcher + admission unit behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(ServeBatcher, SizeRuleFiresAtMaxBatch) {
+  Batcher b(BatchPolicy{4, 1.0});
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    b.push(PendingRequest{i, 0.0, 1.0});
+  }
+  EXPECT_FALSE(b.should_dispatch(0.0));  // 3 < 4 and no delay yet
+  b.push(PendingRequest{3, 0.0, 1.0});
+  EXPECT_TRUE(b.should_dispatch(0.0));  // size rule
+  const auto batch = b.take_batch();
+  ASSERT_EQ(batch.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(batch[i].id, i);  // FIFO
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(ServeBatcher, DelayRuleShipsPartialBatch) {
+  Batcher b(BatchPolicy{8, 2e-3});
+  b.push(PendingRequest{0, 1.0, 2.0});
+  EXPECT_FALSE(b.should_dispatch(1.0));
+  EXPECT_FALSE(b.should_dispatch(1.0 + 1e-3));
+  EXPECT_DOUBLE_EQ(b.next_deadline(), 1.0 + 2e-3);
+  EXPECT_TRUE(b.should_dispatch(1.0 + 2e-3));  // delay rule
+  EXPECT_EQ(b.take_batch().size(), 1u);
+}
+
+TEST(ServeAdmission, AdmitsFeasibleShedsInfeasible) {
+  const BatchPolicy policy{8, 2e-3};
+  const double service = 1e-3;  // full batch
+  const double reply = 1e-4;
+  // Idle server, empty queue: est = service + reply = 1.1 ms.
+  EXPECT_TRUE(admission_feasible(0.0, 5e-3, 0, 1, 0.0, policy, service, reply));
+  EXPECT_FALSE(
+      admission_feasible(0.0, 1e-3, 0, 1, 0.0, policy, service, reply));
+  // 63 ahead + this one = 8 full batches on one replica: est = 8.1 ms.
+  EXPECT_TRUE(
+      admission_feasible(0.0, 10e-3, 63, 1, 0.0, policy, service, reply));
+  EXPECT_FALSE(
+      admission_feasible(0.0, 5e-3, 63, 1, 0.0, policy, service, reply));
+  // Two replicas halve the drain time.
+  EXPECT_TRUE(
+      admission_feasible(0.0, 5e-3, 63, 2, 0.0, policy, service, reply));
+  // A busy replica delays the start.
+  EXPECT_FALSE(
+      admission_feasible(0.0, 5e-3, 63, 2, 2e-3, policy, service, reply));
+}
+
+// ---------------------------------------------------------------------------
+// Full serving runs.
+// ---------------------------------------------------------------------------
+
+GpuSystem lenet_device() {
+  // Paper-scale LeNet timing on the default device model: batch-1 service
+  // ≈ 0.47 ms (launch-overhead dominated), batch-8 ≈ 0.70 ms — the 5×
+  // amortization dynamic batching exists to harvest.
+  return GpuSystem(GpuSystemConfig{}, paper_lenet(),
+                   /*sample_bytes=*/28.0 * 28.0 * 4.0);
+}
+
+NetworkFactory lenet_factory(std::uint64_t seed) {
+  return [seed]() {
+    Rng rng(seed);
+    return make_lenet_s(rng);
+  };
+}
+
+struct TraceGuard {
+  TraceGuard() {
+    obs::set_tracing_enabled(false);
+    obs::reset();
+    obs::set_tracing_enabled(true);
+  }
+  ~TraceGuard() {
+    obs::set_tracing_enabled(false);
+    obs::reset();
+  }
+};
+
+WorkloadConfig poisson(double rate, double duration, std::uint64_t seed) {
+  WorkloadConfig cfg;
+  cfg.rate_rps = rate;
+  cfg.duration_s = duration;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Serve, SameSeedRunsAreBitwiseDeterministic) {
+  const TrainTest data = mnist_like(/*seed=*/9, /*train=*/64, /*test=*/16);
+  const std::vector<double> arrivals =
+      generate_arrivals(poisson(2000.0, 0.05, 11));
+
+  ServerConfig cfg;
+  cfg.replicas = 2;
+
+  const auto run_once = [&](analysis::TraceData* trace) {
+    TraceGuard guard;
+    Server server(lenet_factory(77), lenet_device(), cfg);
+    ServeResult r = server.run(arrivals, data.train);
+    *trace = analysis::ingest_snapshot(obs::snapshot());
+    return r;
+  };
+
+  analysis::TraceData ta, tb;
+  const ServeResult a = run_once(&ta);
+  const ServeResult b = run_once(&tb);
+
+  EXPECT_EQ(a.outcome_digest(), b.outcome_digest());
+  EXPECT_EQ(a.served, b.served);
+  EXPECT_EQ(a.batches, b.batches);
+  EXPECT_DOUBLE_EQ(a.goodput_rps, b.goodput_rps);
+
+  // Per-request fields are bitwise equal...
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].outcome, b.requests[i].outcome);
+    EXPECT_EQ(a.requests[i].replica, b.requests[i].replica);
+    EXPECT_EQ(a.requests[i].batch_id, b.requests[i].batch_id);
+    ASSERT_EQ(a.requests[i].reply, b.requests[i].reply) << "request " << i;
+  }
+
+  // ...and so are the virtual trace event sequences, rank by rank.
+  ASSERT_EQ(ta.instants.size(), tb.instants.size());
+  for (std::size_t i = 0; i < ta.instants.size(); ++i) {
+    ASSERT_EQ(ta.instants[i].rank, tb.instants[i].rank);
+    ASSERT_EQ(ta.instants[i].name, tb.instants[i].name);
+    ASSERT_EQ(ta.instants[i].vtime, tb.instants[i].vtime) << "instant " << i;
+    ASSERT_EQ(ta.instants[i].value, tb.instants[i].value);
+    ASSERT_EQ(ta.instants[i].aux, tb.instants[i].aux);
+  }
+  ASSERT_EQ(ta.vspans.size(), tb.vspans.size());
+  for (std::size_t i = 0; i < ta.vspans.size(); ++i) {
+    ASSERT_EQ(ta.vspans[i].rank, tb.vspans[i].rank);
+    ASSERT_EQ(ta.vspans[i].name, tb.vspans[i].name);
+    ASSERT_EQ(ta.vspans[i].begin, tb.vspans[i].begin) << "vspan " << i;
+    ASSERT_EQ(ta.vspans[i].duration, tb.vspans[i].duration);
+  }
+}
+
+TEST(Serve, OverloadShedsInsteadOfQueueingUnboundedly) {
+  const TrainTest data = mnist_like(/*seed=*/9, /*train=*/32, /*test=*/8);
+  // Batch-8 capacity is ≈11.5k rps; offer ~2× that with bursts on top.
+  WorkloadConfig wl;
+  wl.pattern = ArrivalPattern::kBursty;
+  wl.rate_rps = 20000.0;
+  wl.burst_rate_rps = 40000.0;
+  wl.duration_s = 0.1;
+  wl.seed = 13;
+  const std::vector<double> arrivals = generate_arrivals(wl);
+
+  ServerConfig cfg;
+  cfg.run_model = false;  // pure scheduling study at this request count
+  Server server(lenet_factory(77), lenet_device(), cfg);
+  const ServeResult r = server.run(arrivals, data.train);
+
+  EXPECT_EQ(r.served + r.shed, arrivals.size());
+  EXPECT_GT(r.shed, 0u);
+  EXPECT_GT(r.shed_rate, 0.3);  // ≈2× overload must shed a large fraction
+  // Admission keeps the queue deadline-feasible: at a 20 ms budget and
+  // ~0.7 ms per full batch the backlog can never exceed ~30 batches.
+  EXPECT_LT(r.peak_queue_depth, 300u);
+  // Every admitted request beats its deadline — the p99 criterion, exact.
+  EXPECT_EQ(r.deadline_misses, 0u);
+  EXPECT_LE(r.latency_quantile_ms(0.99), cfg.admission.deadline_s * 1e3);
+}
+
+TEST(Serve, BatchingAtLeastDoublesGoodputVsBatchOne) {
+  const TrainTest data = mnist_like(/*seed=*/9, /*train=*/64, /*test=*/16);
+  // 6000 rps sits between batch-1 capacity (~2.1k rps) and batch-8
+  // capacity (~11.5k rps): the batch-1 server must shed most of the load
+  // while the batched server absorbs all of it.
+  const std::vector<double> arrivals =
+      generate_arrivals(poisson(6000.0, 0.1, 17));
+
+  ServerConfig cfg1;
+  cfg1.batch.max_batch = 1;
+  Server s1(lenet_factory(77), lenet_device(), cfg1);
+  const ServeResult r1 = s1.run(arrivals, data.train);
+
+  ServerConfig cfg8;
+  cfg8.batch.max_batch = 8;
+  Server s8(lenet_factory(77), lenet_device(), cfg8);
+  const ServeResult r8 = s8.run(arrivals, data.train);
+
+  EXPECT_GT(r1.goodput_rps, 0.0);
+  EXPECT_GE(r8.goodput_rps, 2.0 * r1.goodput_rps);
+  EXPECT_GT(r8.mean_batch, 4.0);
+  // Equal-or-better tail latency while serving ≥2× the traffic.
+  EXPECT_LE(r8.latency_quantile_ms(0.99), r1.latency_quantile_ms(0.99));
+}
+
+TEST(Serve, AutoscaleGrowsOnStepAndDrainsBacklog) {
+  const TrainTest data = mnist_like(/*seed=*/9, /*train=*/32, /*test=*/8);
+  // Step from comfortable (6k rps) to over single-replica capacity
+  // (24k rps) halfway through.
+  WorkloadConfig wl;
+  wl.pattern = ArrivalPattern::kStep;
+  wl.rate_rps = 6000.0;
+  wl.step_rate_rps = 24000.0;
+  wl.step_at_s = 0.05;
+  wl.duration_s = 0.1;
+  wl.seed = 19;
+  const std::vector<double> arrivals = generate_arrivals(wl);
+
+  ServerConfig cfg;
+  cfg.run_model = false;
+  cfg.replicas = 1;
+  cfg.autoscale.enabled = true;
+  cfg.autoscale.min_replicas = 1;
+  cfg.autoscale.max_replicas = 4;
+  cfg.autoscale.scale_up_queue_depth = 16;
+  cfg.autoscale.activation_delay_s = 2e-3;
+  Server server(lenet_factory(77), lenet_device(), cfg);
+  const ServeResult r = server.run(arrivals, data.train);
+
+  EXPECT_GE(r.scale_ups, 1u);
+  EXPECT_GT(server.active_replicas(), 1u);
+  // The scaled-out fleet absorbs the step: most of the offered load is
+  // served within deadline.
+  EXPECT_GT(r.goodput_rps, 0.7 * r.offered_rps);
+
+  // Determinism extends to scaling decisions.
+  Server again(lenet_factory(77), lenet_device(), cfg);
+  const ServeResult r2 = again.run(arrivals, data.train);
+  EXPECT_EQ(r.outcome_digest(), r2.outcome_digest());
+  EXPECT_EQ(r.scale_ups, r2.scale_ups);
+}
+
+// ---------------------------------------------------------------------------
+// Trace lifecycle rollup.
+// ---------------------------------------------------------------------------
+
+TEST(Serve, LifecycleRollupMatchesServerAccounting) {
+  TraceGuard guard;
+  const TrainTest data = mnist_like(/*seed=*/9, /*train=*/64, /*test=*/16);
+  const std::vector<double> arrivals =
+      generate_arrivals(poisson(8000.0, 0.05, 23));
+
+  ServerConfig cfg;
+  cfg.replicas = 2;
+  Server server(lenet_factory(77), lenet_device(), cfg);
+  const ServeResult r = server.run(arrivals, data.train);
+
+  const analysis::TraceData live =
+      analysis::ingest_snapshot(obs::snapshot());
+  const analysis::ServeLifecycle life = analysis::request_lifecycle(live);
+
+  EXPECT_EQ(life.requests, arrivals.size());
+  EXPECT_EQ(life.served, r.served);
+  EXPECT_EQ(life.shed, r.shed);
+  EXPECT_EQ(life.batches, r.batches);
+  EXPECT_NEAR(life.mean_batch(), r.mean_batch, 1e-12);
+
+  // The lifecycle's latency stats come from the reply instants' aux
+  // payload — the same per-request latencies the ServeResult sorts.
+  EXPECT_NEAR(life.latency_p99 * 1e3, r.latency_quantile_ms(0.99), 1e-9);
+  EXPECT_NEAR(life.latency_p50 * 1e3, r.latency_quantile_ms(0.50), 1e-9);
+
+  // Queue wait recomputed from the records must match the trace join.
+  double queue_wait = 0.0;
+  for (const RequestRecord& req : r.requests) {
+    if (req.outcome == Outcome::kServed) {
+      queue_wait += req.dispatch - req.arrival;
+    }
+  }
+  EXPECT_NEAR(life.queue_wait_seconds, queue_wait, 1e-9);
+  EXPECT_GT(life.compute_seconds, 0.0);
+  EXPECT_GT(life.reply_seconds, 0.0);
+
+  // Chrome-export round trip: the serving section must survive the
+  // write → parse → ingest path with identical rollup numbers (doubles
+  // round-trip exactly through the %.17g writer).
+  std::ostringstream os;
+  obs::write_chrome_trace(os);
+  const analysis::TraceData round =
+      analysis::ingest_chrome_trace(obs::parse_json(os.str()));
+  const analysis::ServeLifecycle life2 = analysis::request_lifecycle(round);
+  EXPECT_EQ(life2.served, life.served);
+  EXPECT_EQ(life2.shed, life.shed);
+  EXPECT_EQ(life2.batches, life.batches);
+  EXPECT_DOUBLE_EQ(life2.queue_wait_seconds, life.queue_wait_seconds);
+  EXPECT_DOUBLE_EQ(life2.compute_seconds, life.compute_seconds);
+  EXPECT_DOUBLE_EQ(life2.latency_p99, life.latency_p99);
+}
+
+}  // namespace
+}  // namespace ds::serve

@@ -126,6 +126,28 @@ int main(int argc, char** argv) {
       }
     }
 
+    // --- serving request lifecycle ------------------------------------
+    // Present only when the trace came from the serving front-end
+    // (src/serve): the queue-wait vs compute vs reply split of where the
+    // latency went, shed counts, and exact latency quantiles.
+    const ServeLifecycle serve = request_lifecycle(trace);
+    if (!serve.empty()) {
+      std::printf("\nserving lifecycle (%zu requests)\n", serve.requests);
+      std::printf(
+          "  served %zu, shed %zu (%.1f%%), %zu batches (mean batch %.2f), "
+          "scale +%zu/-%zu\n",
+          serve.served, serve.shed, 100.0 * serve.shed_rate(), serve.batches,
+          serve.mean_batch(), serve.scale_ups, serve.scale_downs);
+      std::printf(
+          "  time split: queue-wait %.6g s, compute %.6g s, reply %.6g s\n",
+          serve.queue_wait_seconds, serve.compute_seconds,
+          serve.reply_seconds);
+      std::printf(
+          "  latency: mean %.4g ms, p50 %.4g ms, p95 %.4g ms, p99 %.4g ms\n",
+          serve.latency_mean * 1e3, serve.latency_p50 * 1e3,
+          serve.latency_p95 * 1e3, serve.latency_p99 * 1e3);
+    }
+
     // --- overlap split -------------------------------------------------
     const OverlapSplit split = comm_compute_split(trace);
     std::printf(
