@@ -24,6 +24,7 @@
 
 #include "bench_util.hpp"
 #include "core/fabric_algorithms.hpp"
+#include "obs/monitor/monitor.hpp"
 #include "simhw/cluster_sim.hpp"
 
 namespace {
@@ -112,6 +113,82 @@ int main(int argc, char** argv) {
   }
   std::printf("(sync aborts the failed round cleanly; the parameter server "
               "keeps serving survivors)\n\n");
+
+  // ------------------------------------------------ online detector accuracy
+  // The health monitor's detectors against known injected faults: each row
+  // runs one fault scenario with the monitor installed and scores whether
+  // the right detector fired — and, for the straggler, whether it named the
+  // injected rank. The clean row counts false positives.
+  std::printf("Online health monitor vs injected faults:\n");
+  std::printf("%14s %22s %8s %12s %8s\n", "scenario", "detector", "fired",
+              "named rank", "alerts");
+  {
+    namespace mon = ds::obs::monitor;
+    // Size the sampling window off the clean makespan: ~60 windows per run
+    // gives every rank a few compute steps per window.
+    ds::bench::MnistLenetSetup sizing = make_setup(args);
+    const ds::FabricClusterConfig clean_cluster;
+    const ds::RunResult clean_run = run_fabric_easgd(sizing.ctx, clean_cluster);
+    mon::MonitorConfig mcfg;
+    mcfg.sample_interval_vs = clean_run.total_seconds / 60.0;
+
+    auto monitored_run = [&](const ds::FabricClusterConfig& cluster,
+                             const mon::MonitorConfig& cfg) {
+      ds::bench::MnistLenetSetup setup = make_setup(args);
+      mon::Monitor monitor(cfg);
+      {
+        const mon::InstallScope scope(monitor);
+        (void)run_fabric_easgd(setup.ctx, cluster);
+      }
+      return monitor.alerts();
+    };
+    const auto first_of = [](const std::vector<mon::Alert>& alerts,
+                             mon::AlertKind kind) -> const mon::Alert* {
+      for (const mon::Alert& a : alerts) {
+        if (a.kind == kind) return &a;
+      }
+      return nullptr;
+    };
+
+    {  // a 3x straggler on rank 1 must be caught AND named
+      ds::FabricClusterConfig cluster;
+      cluster.faults.with_straggler(1, 3.0);
+      const auto alerts = monitored_run(cluster, mcfg);
+      const mon::Alert* hit =
+          first_of(alerts, mon::AlertKind::kStragglerDrift);
+      std::printf("%14s %22s %8s %12s %8zu\n", "straggler 3x",
+                  "straggler_drift", hit != nullptr ? "yes" : "MISS",
+                  hit != nullptr ? std::to_string(hit->rank).c_str() : "-",
+                  alerts.size());
+      reporter.metric("monitor.straggler_hit",
+                      hit != nullptr && hit->rank == 1 ? 1.0 : 0.0,
+                      ds::bench::Better::kHigher, "");
+    }
+    {  // heavy drops = sustained retransmissions; any steady rate is a storm
+      ds::FabricClusterConfig cluster;
+      cluster.faults.with_drop(0.20);
+      cluster.faults.max_send_attempts = 12;
+      mon::MonitorConfig storm_cfg = mcfg;
+      storm_cfg.storm_retransmits_per_vs = 10.0;
+      const auto alerts = monitored_run(cluster, storm_cfg);
+      const mon::Alert* hit =
+          first_of(alerts, mon::AlertKind::kRetransmitStorm);
+      std::printf("%14s %22s %8s %12s %8zu\n", "drop 20%",
+                  "retransmit_storm", hit != nullptr ? "yes" : "MISS", "-",
+                  alerts.size());
+      reporter.metric("monitor.storm_hit", hit != nullptr ? 1.0 : 0.0,
+                      ds::bench::Better::kHigher, "");
+    }
+    {  // fault-free run: every alert here is a false positive
+      const auto alerts = monitored_run(ds::FabricClusterConfig{}, mcfg);
+      std::printf("%14s %22s %8s %12s %8zu\n", "clean", "(none expected)",
+                  alerts.empty() ? "no" : "FALSE+", "-", alerts.size());
+      reporter.metric("monitor.clean_false_alerts",
+                      static_cast<double>(alerts.size()),
+                      ds::bench::Better::kLower, "");
+    }
+  }
+  std::printf("\n");
 
   // ------------------------------------------------- cluster-scale table
   std::printf("Weak-scaling simulator, 16 nodes, 100 iterations:\n");

@@ -20,6 +20,7 @@
 //
 //   --seed N      override the workload seeds
 //   --json PATH   write the deepscale.bench.v1 document (CI gate)
+#include <cmath>
 #include <cstdio>
 #include <string>
 
@@ -110,7 +111,11 @@ int main(int argc, char** argv) {
   // Cross-check the log2-histogram quantile against the exact sorted one:
   // the window p99 (µs → ms) must bracket the exact value within its
   // factor-of-2 bucket resolution. Informational, printed for the README.
-  const double hist_p99_ms = r8.latency_usec.quantile(0.99) / 1e3;
+  // quantile() reads the kEmptyQuantile NaN sentinel on a served-nothing
+  // window; report 0 rather than poisoning the bench JSON.
+  const double hist_p99_usec = r8.latency_usec.quantile(0.99);
+  const double hist_p99_ms =
+      std::isnan(hist_p99_usec) ? 0.0 : hist_p99_usec / 1e3;
   std::printf("   histogram p99 %.3f ms (log2-bucket estimate)\n",
               hist_p99_ms);
   reporter.metric("serve.b8.hist_p99_ms", hist_p99_ms,

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "obs/metrics.hpp"
+#include "obs/monitor/monitor.hpp"
 #include "obs/proto.hpp"
 #include "obs/trace.hpp"
 #include "support/error.hpp"
@@ -241,7 +242,13 @@ void Fabric::faulty_send(std::size_t src, std::size_t dst, int tag,
       static_cast<std::uint64_t>(bytes * static_cast<double>(attempts_used)));
   fm.message_bytes.observe(bytes);
   if (drop_count > 0) fm.drops.add(drop_count);
-  if (attempts_used > 1) fm.retransmits.add(attempts_used - 1);
+  if (attempts_used > 1) {
+    fm.retransmits.add(attempts_used - 1);
+    // Window-attributed per-sender retransmit feed for the online
+    // retransmit-storm detector (deterministic: sender clock stamp).
+    obs::monitor::hook_retransmit(static_cast<std::int64_t>(src), send_end,
+                                  attempts_used - 1);
+  }
   if (obs::tracing_enabled()) {
     for (std::size_t i = 0; i < std::min(drop_count, kMaxDropStamps); ++i) {
       obs::instant_at("fabric", "drop", drop_vtimes[i],
@@ -334,7 +341,11 @@ void Fabric::send_overlapped(std::size_t src, std::size_t dst, int tag,
       static_cast<std::uint64_t>(bytes * static_cast<double>(attempts_used)));
   fm.message_bytes.observe(bytes);
   if (drop_count > 0) fm.drops.add(drop_count);
-  if (attempts_used > 1) fm.retransmits.add(attempts_used - 1);
+  if (attempts_used > 1) {
+    fm.retransmits.add(attempts_used - 1);
+    obs::monitor::hook_retransmit(static_cast<std::int64_t>(src), post_end,
+                                  attempts_used - 1);
+  }
   if (obs::tracing_enabled()) {
     for (std::size_t i = 0; i < std::min(drop_count, kMaxDropStamps); ++i) {
       obs::instant_at("fabric", "drop", drop_vtimes[i],

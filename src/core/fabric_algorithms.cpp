@@ -11,6 +11,7 @@
 #include "core/evaluator.hpp"
 #include "data/sampler.hpp"
 #include "obs/metrics.hpp"
+#include "obs/monitor/monitor.hpp"
 #include "obs/proto.hpp"
 #include "obs/trace.hpp"
 #include "support/error.hpp"
@@ -115,6 +116,7 @@ RunResult run_fabric_easgd(const AlgoContext& ctx,
 
   Fabric fabric(ranks, cluster.network, cluster.faults);
   const obs::MetricsSnapshot wire_before = obs::metrics().snapshot();
+  obs::monitor::hook_run_begin(static_cast<std::int64_t>(ranks));
 
   // Per-iteration local costs charged to each rank's fabric clock; the
   // communication costs come from the fabric itself, message by message.
@@ -173,11 +175,16 @@ RunResult run_fabric_easgd(const AlgoContext& ctx,
 
       for (t = 1; t <= cfg.iterations; ++t) {
         DS_TRACE_SPAN("algo", "round");
-        // Line 11: forward/backward on every node.
+        // Line 11: forward/backward on every node. The clock delta across
+        // the advance is this rank's OWN compute (straggler factor and
+        // jitter included, recv waits excluded) — the per-step signal the
+        // online straggler detector drifts on.
+        const double compute_begin = fabric.clock(rank);
         sampler.next(batch, labels);
         net->zero_grads();
         net->forward_backward(batch, labels);
         fabric.advance(rank, fb_s);
+        const double compute_end = fabric.clock(rank);
         charge0(Phase::kForwardBackward);
 
         // Line 12: KNL1 broadcasts W̄_t.
@@ -213,6 +220,9 @@ RunResult run_fabric_easgd(const AlgoContext& ctx,
             probes.push_back(Probe{t, fabric.clock(0), center});
           }
         }
+        obs::monitor::hook_step(static_cast<std::int64_t>(rank),
+                                fabric.clock(rank),
+                                compute_end - compute_begin);
       }
       if (rank == 0) final_center = center;
       fabric.retire(rank);
@@ -238,11 +248,14 @@ RunResult run_fabric_easgd(const AlgoContext& ctx,
               Probe{completed_rounds, fabric.clock(0), center});
         }
       }
+      obs::monitor::hook_failure(static_cast<std::int64_t>(rank),
+                                 fabric.clock(rank), failure.what());
       fabric.retire(rank);
     }
   };
 
   parallel_for_threads(ranks, rank_main);
+  obs::monitor::hook_run_finalize(fabric.max_clock());
 
   RunResult res;
   res.method = "Fabric EASGD (SPMD Algorithm 4)";
@@ -282,6 +295,7 @@ RunResult run_fabric_async_easgd(const AlgoContext& ctx,
 
   Fabric fabric(ranks, cluster.network, cluster.faults);
   const obs::MetricsSnapshot wire_before = obs::metrics().snapshot();
+  obs::monitor::hook_run_begin(static_cast<std::int64_t>(ranks));
 
   const double fb_s = static_cast<double>(cfg.batch_size) *
                       cluster.model.flops_per_sample / cluster.node_flops;
@@ -344,14 +358,16 @@ RunResult run_fabric_async_easgd(const AlgoContext& ctx,
         fabric.send(0, src, kReplyTag, center);
         charge(Phase::kGpuGpuParamComm);  // reply transmit
         served = done;
+        obs::monitor::hook_step(0, fabric.clock(0), obs::monitor::kDeriveStep);
         if (done % cfg.eval_every == 0 || done == cfg.iterations) {
           probes.push_back(Probe{done, fabric.clock(0), center});
         }
       }
-    } catch (const RankFailure&) {
+    } catch (const RankFailure& failure) {
       // The surviving workers exhausted their quotas (or the server itself
       // crashed): the FCFS loop ends with whatever interactions arrived.
       budget_cut.store(true);
+      obs::monitor::hook_failure(0, fabric.clock(0), failure.what());
     }
     final_center = center;
     merge_ledger(local);
@@ -383,10 +399,12 @@ RunResult run_fabric_async_easgd(const AlgoContext& ctx,
         DS_TRACE_SPAN("algo", "interaction");
         // Gradient at the LOCAL weights (elastic worker), overlapping with
         // the round trip below only through the fabric's causal clocks.
+        const double compute_begin = fabric.clock(rank);
         sampler.next(batch, labels);
         net->zero_grads();
         net->forward_backward(batch, labels);
         fabric.advance(rank, fb_s);
+        const double compute_end = fabric.clock(rank);
         charge(Phase::kForwardBackward);
 
         // Push W_i, receive W̄ (Figure 5's interaction).
@@ -405,10 +423,15 @@ RunResult run_fabric_async_easgd(const AlgoContext& ctx,
         narrate_acc(fabric, rank, obs::proto::local_buffer(
                                       static_cast<std::int64_t>(rank)),
                     obs::proto::kAccWrite);
+        obs::monitor::hook_step(static_cast<std::int64_t>(rank),
+                                fabric.clock(rank),
+                                compute_end - compute_begin);
       }
-    } catch (const RankFailure&) {
+    } catch (const RankFailure& failure) {
       // This worker crashed, or the server/reply path is gone. Drop out;
       // the server keeps going with the survivors.
+      obs::monitor::hook_failure(static_cast<std::int64_t>(rank),
+                                 fabric.clock(rank), failure.what());
     }
     merge_ledger(local);
     fabric.retire(rank);
@@ -421,6 +444,7 @@ RunResult run_fabric_async_easgd(const AlgoContext& ctx,
       worker_main(rank);
     }
   });
+  obs::monitor::hook_run_finalize(fabric.max_clock());
 
   RunResult res;
   res.method = "Fabric Async EASGD (parameter server)";
@@ -468,6 +492,7 @@ RunResult run_fabric_bucketed_easgd(const AlgoContext& ctx,
 
   Fabric fabric(ranks, cluster.network, cluster.faults);
   const obs::MetricsSnapshot wire_before = obs::metrics().snapshot();
+  obs::monitor::hook_run_begin(static_cast<std::int64_t>(ranks));
 
   const double fb_s = static_cast<double>(cfg.batch_size) *
                       cluster.model.flops_per_sample / cluster.node_flops;
@@ -608,6 +633,7 @@ RunResult run_fabric_bucketed_easgd(const AlgoContext& ctx,
           step_slice(last, sums[last], lr);
         }
         completed_rounds = t;
+        obs::monitor::hook_step(0, fabric.clock(0), obs::monitor::kDeriveStep);
         if (t % cfg.eval_every == 0 || t == cfg.iterations) {
           probes.push_back(Probe{t, fabric.clock(0), center});
         }
@@ -625,6 +651,7 @@ RunResult run_fabric_bucketed_easgd(const AlgoContext& ctx,
       if (probes.empty() || probes.back().iteration < completed_rounds) {
         probes.push_back(Probe{completed_rounds, fabric.clock(0), center});
       }
+      obs::monitor::hook_failure(0, fabric.clock(0), failure.what());
     }
     final_center = center;
     merge_ledger(local);
@@ -697,10 +724,15 @@ RunResult run_fabric_bucketed_easgd(const AlgoContext& ctx,
         DS_TRACE_SPAN("algo", "round");
         lr = cfg.lr_at(t);
         applied.assign(nbuckets, false);
+        // Forward + the per-layer backward shares (straggler-scaled); the
+        // overlapped bucket posts in between are alpha-only and negligible
+        // next to the compute advances.
+        const double compute_begin = fabric.clock(rank);
         sampler.next(batch, labels);
         net->zero_grads();
         fabric.advance(rank, shares.fwd_s);
         net->forward_backward(batch, labels, hook);
+        const double compute_end = fabric.clock(rank);
         charge(Phase::kForwardBackward);
 
         // Pipeline tail: buckets with no reply yet are collected in retire
@@ -719,10 +751,15 @@ RunResult run_fabric_bucketed_easgd(const AlgoContext& ctx,
         narrate_acc(fabric, rank,
                     obs::proto::local_buffer(static_cast<std::int64_t>(rank)),
                     obs::proto::kAccWrite);
+        obs::monitor::hook_step(static_cast<std::int64_t>(rank),
+                                fabric.clock(rank),
+                                compute_end - compute_begin);
       }
-    } catch (const RankFailure&) {
+    } catch (const RankFailure& failure) {
       // This worker crashed or the center is gone; drop out cleanly so the
       // center's next recv on us raises kPeerGone and aborts the round.
+      obs::monitor::hook_failure(static_cast<std::int64_t>(rank),
+                                 fabric.clock(rank), failure.what());
     }
     merge_ledger(local);
     fabric.retire(rank);
@@ -735,6 +772,7 @@ RunResult run_fabric_bucketed_easgd(const AlgoContext& ctx,
       worker_main(rank);
     }
   });
+  obs::monitor::hook_run_finalize(fabric.max_clock());
 
   RunResult res;
   res.method = wait_free ? "Fabric Bucketed EASGD (wait-free)"
@@ -773,6 +811,7 @@ RunResult run_fabric_round_robin_easgd(const AlgoContext& ctx,
 
   Fabric fabric(ranks, cluster.network, cluster.faults);
   const obs::MetricsSnapshot wire_before = obs::metrics().snapshot();
+  obs::monitor::hook_run_begin(static_cast<std::int64_t>(ranks));
 
   const double fb_s = static_cast<double>(cfg.batch_size) *
                       cluster.model.flops_per_sample / cluster.node_flops;
@@ -874,6 +913,7 @@ RunResult run_fabric_round_robin_easgd(const AlgoContext& ctx,
           charge(Phase::kGpuGpuParamComm);  // reply transmit
         }
         completed_sweeps = t;
+        obs::monitor::hook_step(0, fabric.clock(0), obs::monitor::kDeriveStep);
         if (t % cfg.eval_every == 0 || t == cfg.iterations) {
           probes.push_back(Probe{t, fabric.clock(0), center});
         }
@@ -891,6 +931,7 @@ RunResult run_fabric_round_robin_easgd(const AlgoContext& ctx,
       if (probes.empty() || probes.back().sweep < completed_sweeps) {
         probes.push_back(Probe{completed_sweeps, fabric.clock(0), center});
       }
+      obs::monitor::hook_failure(0, fabric.clock(0), failure.what());
     }
     final_center = center;
     merge_ledger(local);
@@ -932,11 +973,13 @@ RunResult run_fabric_round_robin_easgd(const AlgoContext& ctx,
 
       for (std::size_t t = 1; t <= cfg.iterations; ++t) {
         DS_TRACE_SPAN("algo", "interaction");
+        const double compute_begin = fabric.clock(rank);
         sampler.next(batch, labels);
         net->zero_grads();
         if (bucketed) {
           fabric.advance(rank, shares.fwd_s);
           net->forward_backward(batch, labels, hook);
+          const double compute_end = fabric.clock(rank);
           charge(Phase::kForwardBackward);
           // Collect the POST-step center slices in retire order (single
           // reply tag: the master's send order IS bucket order) and apply
@@ -957,10 +1000,14 @@ RunResult run_fabric_round_robin_easgd(const AlgoContext& ctx,
           narrate_acc(fabric, rank, obs::proto::local_buffer(
                                         static_cast<std::int64_t>(rank)),
                       obs::proto::kAccWrite);
+          obs::monitor::hook_step(static_cast<std::int64_t>(rank),
+                                  fabric.clock(rank),
+                                  compute_end - compute_begin);
           continue;
         }
         net->forward_backward(batch, labels);
         fabric.advance(rank, fb_s);
+        const double compute_end = fabric.clock(rank);
         charge(Phase::kForwardBackward);
 
         // Push W_i, await the master's turn in the sweep.
@@ -978,11 +1025,16 @@ RunResult run_fabric_round_robin_easgd(const AlgoContext& ctx,
         narrate_acc(fabric, rank, obs::proto::local_buffer(
                                       static_cast<std::int64_t>(rank)),
                     obs::proto::kAccWrite);
+        obs::monitor::hook_step(static_cast<std::int64_t>(rank),
+                                fabric.clock(rank),
+                                compute_end - compute_begin);
       }
-    } catch (const RankFailure&) {
+    } catch (const RankFailure& failure) {
       // This worker crashed or the master is gone; drop out cleanly so the
       // master's next matched recv on us raises kPeerGone and aborts the
       // sweep instead of deadlocking.
+      obs::monitor::hook_failure(static_cast<std::int64_t>(rank),
+                                 fabric.clock(rank), failure.what());
     }
     merge_ledger(local);
     fabric.retire(rank);
@@ -995,6 +1047,7 @@ RunResult run_fabric_round_robin_easgd(const AlgoContext& ctx,
       worker_main(rank);
     }
   });
+  obs::monitor::hook_run_finalize(fabric.max_clock());
 
   RunResult res;
   res.method = bucketed ? "Fabric Round-Robin EASGD (Algorithm 1, bucketed)"

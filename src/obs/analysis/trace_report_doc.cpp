@@ -1,0 +1,226 @@
+#include "obs/analysis/trace_report_doc.hpp"
+
+#include <sstream>
+
+namespace ds::obs::analysis {
+
+namespace {
+
+JsonValue num(double v) { return JsonValue(v); }
+JsonValue num(std::uint64_t v) { return JsonValue(static_cast<double>(v)); }
+
+std::string rank_key(std::int64_t rank) {
+  std::ostringstream os;
+  os << rank;
+  return os.str();
+}
+
+JsonValue phases_json(const std::array<double, kPhaseCount>& by_phase) {
+  JsonObject o;
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    if (by_phase[p] == 0.0) continue;
+    o.emplace(phase_name(static_cast<Phase>(p)), num(by_phase[p]));
+  }
+  return JsonValue(std::move(o));
+}
+
+void check(std::vector<std::string>& errors, bool ok, const char* what) {
+  if (!ok) errors.push_back(what);
+}
+
+}  // namespace
+
+JsonValue build_trace_report_doc(const TraceData& trace, std::size_t top_n) {
+  JsonObject doc;
+  doc.emplace("schema", JsonValue(std::string(kTraceReportSchema)));
+
+  {
+    JsonObject events;
+    events.emplace("vspans", num(trace.vspans.size()));
+    events.emplace("wall_spans", num(trace.spans.size()));
+    events.emplace("instants", num(trace.instants.size()));
+    events.emplace("dropped", num(trace.dropped_events));
+    doc.emplace("events", JsonValue(std::move(events)));
+  }
+
+  const Rollup rollup = rollup_vspans(trace);
+  {
+    JsonArray top;
+    std::size_t printed = 0;
+    for (const auto& [key, stats] : rollup.top()) {
+      if (printed++ >= top_n) break;
+      JsonObject row;
+      row.emplace("key", JsonValue(key));
+      row.emplace("count", num(stats.count));
+      row.emplace("total_s", num(stats.total));
+      row.emplace("mean_s", num(stats.mean()));
+      row.emplace("max_s", num(stats.max));
+      top.push_back(JsonValue(std::move(row)));
+    }
+    JsonObject spans;
+    spans.emplace("total_s", num(rollup.total));
+    spans.emplace("top", JsonValue(std::move(top)));
+    doc.emplace("spans", JsonValue(std::move(spans)));
+  }
+
+  doc.emplace("phases", phases_json(ledger_rollup(trace)));
+  {
+    JsonObject by_rank;
+    for (const auto& [rank, by_phase] : ledger_rollup_by_rank(trace)) {
+      by_rank.emplace(rank_key(rank), phases_json(by_phase));
+    }
+    doc.emplace("phases_by_rank", JsonValue(std::move(by_rank)));
+  }
+
+  {
+    const auto rounds = sync_rounds(trace);
+    const StragglerReport stragglers = attribute_stragglers(rounds);
+    JsonObject sync;
+    sync.emplace("matched", num(stragglers.total_rounds));
+    sync.emplace("gated", num(stragglers.gated_rounds));
+    JsonArray ranking;
+    for (const StragglerStat& s : stragglers.ranking) {
+      if (s.rounds_gated == 0) continue;
+      JsonObject row;
+      row.emplace("rank", num(static_cast<double>(s.rank)));
+      row.emplace("rounds_gated", num(s.rounds_gated));
+      row.emplace("idle_imposed_s", num(s.idle_imposed));
+      ranking.push_back(JsonValue(std::move(row)));
+    }
+    sync.emplace("stragglers", JsonValue(std::move(ranking)));
+    doc.emplace("sync_rounds", JsonValue(std::move(sync)));
+  }
+
+  {
+    JsonObject counters;
+    for (const auto& [name, track] : trace.counters) {
+      JsonObject row;
+      row.emplace("last", num(track.last()));
+      row.emplace("samples", num(track.samples.size()));
+      counters.emplace(name, JsonValue(std::move(row)));
+    }
+    doc.emplace("counters", JsonValue(std::move(counters)));
+  }
+
+  {
+    const ServeLifecycle serve = request_lifecycle(trace);
+    if (serve.empty()) {
+      doc.emplace("serve", JsonValue());
+    } else {
+      JsonObject o;
+      o.emplace("requests", num(serve.requests));
+      o.emplace("served", num(serve.served));
+      o.emplace("shed", num(serve.shed));
+      o.emplace("batches", num(serve.batches));
+      o.emplace("scale_ups", num(serve.scale_ups));
+      o.emplace("scale_downs", num(serve.scale_downs));
+      o.emplace("mean_batch", num(serve.mean_batch()));
+      o.emplace("shed_rate", num(serve.shed_rate()));
+      o.emplace("queue_wait_s", num(serve.queue_wait_seconds));
+      o.emplace("compute_s", num(serve.compute_seconds));
+      o.emplace("reply_s", num(serve.reply_seconds));
+      o.emplace("latency_mean_s", num(serve.latency_mean));
+      o.emplace("latency_p50_s", num(serve.latency_p50));
+      o.emplace("latency_p95_s", num(serve.latency_p95));
+      o.emplace("latency_p99_s", num(serve.latency_p99));
+      doc.emplace("serve", JsonValue(std::move(o)));
+    }
+  }
+
+  {
+    const OverlapSplit split = comm_compute_split(trace);
+    JsonObject o;
+    o.emplace("comm_s", num(split.comm_seconds));
+    o.emplace("compute_s", num(split.compute_seconds));
+    o.emplace("overlap_s", num(split.overlap_seconds));
+    o.emplace("busy_s", num(split.busy_seconds));
+    o.emplace("overlap_fraction", num(split.overlap_fraction()));
+    doc.emplace("overlap", JsonValue(std::move(o)));
+  }
+
+  return JsonValue(std::move(doc));
+}
+
+std::vector<std::string> validate_trace_report_json(const JsonValue& doc) {
+  std::vector<std::string> errors;
+  if (!doc.is_object()) {
+    errors.push_back("report: top level is not an object");
+    return errors;
+  }
+  const JsonValue* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kTraceReportSchema) {
+    errors.push_back("report: missing or wrong schema tag");
+  }
+
+  const JsonValue* events = doc.find("events");
+  check(errors, events != nullptr && events->is_object(),
+        "report: missing events object");
+  if (events != nullptr && events->is_object()) {
+    for (const char* key : {"vspans", "wall_spans", "instants", "dropped"}) {
+      const JsonValue* v = events->find(key);
+      check(errors, v != nullptr && v->is_number(),
+            "report: events field missing or non-numeric");
+    }
+  }
+
+  const JsonValue* spans = doc.find("spans");
+  check(errors, spans != nullptr && spans->is_object(),
+        "report: missing spans object");
+  if (spans != nullptr && spans->is_object()) {
+    const JsonValue* top = spans->find("top");
+    check(errors, top != nullptr && top->is_array(),
+          "report: spans.top missing or not an array");
+    if (top != nullptr && top->is_array()) {
+      for (const JsonValue& row : top->as_array()) {
+        if (!row.is_object()) {
+          errors.push_back("report: spans.top entry is not an object");
+          continue;
+        }
+        const JsonValue* key = row.find("key");
+        check(errors, key != nullptr && key->is_string(),
+              "report: spans.top entry missing key");
+        for (const char* field : {"count", "total_s", "mean_s", "max_s"}) {
+          const JsonValue* v = row.find(field);
+          check(errors, v != nullptr && v->is_number(),
+                "report: spans.top entry field missing or non-numeric");
+        }
+        if (errors.size() >= 20) return errors;
+      }
+    }
+  }
+
+  for (const char* section : {"phases", "phases_by_rank", "counters"}) {
+    const JsonValue* v = doc.find(section);
+    check(errors, v != nullptr && v->is_object(),
+          "report: missing section object");
+  }
+
+  const JsonValue* sync = doc.find("sync_rounds");
+  check(errors, sync != nullptr && sync->is_object(),
+        "report: missing sync_rounds object");
+  if (sync != nullptr && sync->is_object()) {
+    const JsonValue* ranking = sync->find("stragglers");
+    check(errors, ranking != nullptr && ranking->is_array(),
+          "report: sync_rounds.stragglers missing or not an array");
+  }
+
+  const JsonValue* serve = doc.find("serve");
+  check(errors, serve != nullptr && (serve->is_null() || serve->is_object()),
+        "report: serve must be null or an object");
+
+  const JsonValue* overlap = doc.find("overlap");
+  check(errors, overlap != nullptr && overlap->is_object(),
+        "report: missing overlap object");
+  if (overlap != nullptr && overlap->is_object()) {
+    for (const char* field :
+         {"comm_s", "compute_s", "overlap_s", "busy_s", "overlap_fraction"}) {
+      const JsonValue* v = overlap->find(field);
+      check(errors, v != nullptr && v->is_number(),
+            "report: overlap field missing or non-numeric");
+    }
+  }
+  return errors;
+}
+
+}  // namespace ds::obs::analysis

@@ -1,0 +1,33 @@
+// Machine-readable twin of tools/trace_report's text profile: one JSON
+// document ("deepscale.trace_report.v1") holding the span rollup, per-phase
+// ledger breakdown, straggler attribution, kernel counters, serve
+// lifecycle, and comm/compute overlap split — everything the text report
+// prints, in a schema downstream tooling can consume without scraping
+// stdout. build + validate live together so the CLI, the tests, and any
+// consumer agree on structure.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/analysis/analysis.hpp"
+#include "obs/json.hpp"
+
+namespace ds::obs::analysis {
+
+inline constexpr const char* kTraceReportSchema = "deepscale.trace_report.v1";
+
+/// Build the report document from an ingested trace. `top_n` bounds the
+/// "top_spans" array (same knob as the text report's --top). Deterministic
+/// for a given trace: arrays are ordered (descending total, then key) and
+/// objects serialise in map order.
+JsonValue build_trace_report_doc(const TraceData& trace,
+                                 std::size_t top_n = 12);
+
+/// Structural check of a parsed report document: schema tag, required
+/// sections, element types. Returns the list of violations — empty iff the
+/// document is a well-formed v1 report.
+std::vector<std::string> validate_trace_report_json(const JsonValue& doc);
+
+}  // namespace ds::obs::analysis

@@ -26,7 +26,7 @@ void Histogram::observe(double x) {
 double HistogramWindow::quantile(double q) const {
   std::uint64_t total = 0;
   for (const std::uint64_t n : buckets) total += n;
-  if (total == 0) return 0.0;
+  if (total == 0) return kEmptyQuantile;
   q = std::min(std::max(q, 0.0), 1.0);
   const double target = q * static_cast<double>(total);
   double cumulative = 0.0;
@@ -42,7 +42,7 @@ double HistogramWindow::quantile(double q) const {
     }
     cumulative = next;
   }
-  return std::ldexp(1.0, static_cast<int>(buckets.size()));  // unreachable
+  return kEmptyQuantile;  // unreachable for well-formed windows
 }
 
 HistogramWindow HistogramWindow::since(const HistogramWindow& before) const {

@@ -16,6 +16,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
 #include <string_view>
@@ -63,6 +64,13 @@ class AccumDouble {
 
 inline constexpr std::size_t kHistogramBuckets = 64;
 
+/// Sentinel returned by Histogram/HistogramWindow quantile() on an empty
+/// window (all-zero buckets): quiet NaN, so an accidental read of "the p99
+/// of nothing" poisons downstream arithmetic instead of smuggling in an
+/// arbitrary bucket edge. Check with std::isnan (NaN != NaN).
+inline constexpr double kEmptyQuantile =
+    std::numeric_limits<double>::quiet_NaN();
+
 /// Plain-data copy of a histogram's state at one instant — the subtraction
 /// unit of windowed quantile reporting. Always-on instruments must never be
 /// reset mid-run (other readers share them), so per-interval views are
@@ -82,9 +90,10 @@ struct HistogramWindow {
 
   /// Quantile estimate by linear interpolation inside the log2 bucket that
   /// holds the q-th sample (bucket b ≥ 1 spans [2^(b-1), 2^b), bucket 0
-  /// spans [0, 1)). q is clamped to [0, 1]; an empty window reads 0.
-  /// Exact at bucket boundaries, within a factor of 2 everywhere — the
-  /// resolution the paper's latency breakdowns need.
+  /// spans [0, 1)). q is clamped to [0, 1]; an empty window (all-zero
+  /// buckets) reads kEmptyQuantile (NaN). Exact at bucket boundaries,
+  /// within a factor of 2 everywhere — the resolution the paper's latency
+  /// breakdowns need.
   double quantile(double q) const;
 
   /// this − before, bucket-wise. `before` must be an earlier window of the
@@ -220,6 +229,12 @@ inline constexpr const char* kServeQueueDepth = "serve.queue_depth";
 inline constexpr const char* kServeLatencyUsec = "serve.latency_usec";
 inline constexpr const char* kServeBatchSize = "serve.batch_size";
 inline constexpr const char* kServeScaleEvents = "serve.scale_events";
+// Online health monitor (src/obs/monitor): windows closed, detector alerts
+// fired, postmortem bundles dumped. Only bumped while a Monitor is
+// installed.
+inline constexpr const char* kMonitorWindows = "monitor.windows";
+inline constexpr const char* kMonitorAlerts = "monitor.alerts";
+inline constexpr const char* kMonitorDumps = "monitor.dumps";
 }  // namespace names
 
 }  // namespace ds::obs

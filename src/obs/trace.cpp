@@ -8,6 +8,12 @@
 #include <unordered_map>
 
 #include "obs/chrome_trace.hpp"
+// Flight-recorder mirror: virtual-time instants and complete spans are
+// copied into the installed monitor's bounded per-rank rings (one extra
+// relaxed load + branch on the tracing-ENABLED path only; mirror() drops
+// events without a virtual stamp, so ring eviction can never unbalance a
+// B/E pair).
+#include "obs/monitor/monitor.hpp"
 
 namespace ds::obs {
 
@@ -226,15 +232,19 @@ void instant(const char* category, const char* name) {
 void instant_at(const char* category, const char* name, double vtime,
                 std::int64_t rank) {
   if (!tracing_enabled()) return;
-  append(Event{EventType::kInstant, category, name, wall_now_ns(), vtime,
-               kNoValue, kNoValue, rank});
+  const Event e{EventType::kInstant, category, name, wall_now_ns(), vtime,
+                kNoValue, kNoValue, rank};
+  append(e);
+  if (monitor::Monitor* m = monitor::active()) m->mirror(e);
 }
 
 void instant_v(const char* category, const char* name, double vtime,
                std::int64_t rank, double value, double aux) {
   if (!tracing_enabled()) return;
-  append(Event{EventType::kInstant, category, name, wall_now_ns(), vtime,
-               value, aux, rank});
+  const Event e{EventType::kInstant, category, name, wall_now_ns(), vtime,
+                value, aux, rank};
+  append(e);
+  if (monitor::Monitor* m = monitor::active()) m->mirror(e);
 }
 
 void counter(const char* name, double value) {
@@ -246,8 +256,10 @@ void counter(const char* name, double value) {
 void complete_v(const char* category, const char* name, double vtime_begin,
                 double vtime_duration, std::int64_t rank, double annotation) {
   if (!tracing_enabled()) return;
-  append(Event{EventType::kCompleteV, category, name, wall_now_ns(),
-               vtime_begin, vtime_duration, annotation, rank});
+  const Event e{EventType::kCompleteV, category, name, wall_now_ns(),
+                vtime_begin, vtime_duration, annotation, rank};
+  append(e);
+  if (monitor::Monitor* m = monitor::active()) m->mirror(e);
 }
 
 void complete_wall(const char* category, const char* name,

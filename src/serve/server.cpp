@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "nn/serialize.hpp"
+#include "obs/monitor/monitor.hpp"
 #include "obs/trace.hpp"
 #include "support/error.hpp"
 
@@ -233,6 +234,8 @@ ServeResult Server::run(const std::vector<double>& arrivals,
 
       std::vector<PendingRequest> batch = batcher.take_batch();
       s.depth_gauge.set(static_cast<std::int64_t>(batcher.depth()));
+      obs::monitor::hook_serve_queue(
+          now, static_cast<std::int64_t>(batcher.depth()));
       const std::size_t B = batch.size();
       const double service =
           s.device.data_copy_seconds(B) + s.device.infer_seconds(B);
@@ -286,6 +289,10 @@ ServeResult Server::run(const std::vector<double>& arrivals,
     const Event ev = events.top();
     events.pop();
     const double now = ev.t;
+    // The event loop is the serve layer's single-threaded virtual clock:
+    // events pop in nondecreasing time order, so each tick can close any
+    // monitor windows the clock just crossed.
+    obs::monitor::hook_tick(now);
     switch (ev.kind) {
       case Event::kArrival: {
         RequestRecord& rec = result.requests[ev.payload];
@@ -308,6 +315,8 @@ ServeResult Server::run(const std::vector<double>& arrivals,
         } else {
           batcher.push(PendingRequest{rec.id, now, rec.deadline});
           s.depth_gauge.set(static_cast<std::int64_t>(batcher.depth()));
+          obs::monitor::hook_serve_queue(
+              now, static_cast<std::int64_t>(batcher.depth()));
           result.peak_queue_depth =
               std::max(result.peak_queue_depth, batcher.depth());
           if (traced) {
@@ -353,6 +362,8 @@ ServeResult Server::run(const std::vector<double>& arrivals,
             ++result.deadline_misses;
             s.miss_ctr.add(1);
           }
+          obs::monitor::hook_serve_reply(reply_t, rec.latency(),
+                                         !rec.within_deadline());
           if (traced) {
             obs::instant_v(kServeCategory, kReplyEvent, reply_t,
                            static_cast<std::int64_t>(r),
@@ -436,6 +447,7 @@ ServeResult Server::run(const std::vector<double>& arrivals,
                        : static_cast<double>(result.shed) /
                              static_cast<double>(arrivals.size());
   s.depth_gauge.set(0);
+  obs::monitor::hook_run_finalize(last_event_time);
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "comm/collectives.hpp"
+#include "obs/monitor/monitor.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 
@@ -50,6 +51,8 @@ WeakScalingPoint ClusterSim::run(std::size_t nodes, std::size_t iterations,
   const double comm_full = allreduce_seconds(nodes, schedule);
   std::vector<bool> alive(nodes, true);
   std::size_t n_alive = nodes;
+  obs::monitor::hook_run_begin(static_cast<std::int64_t>(nodes));
+  std::vector<double> step_secs(nodes, 0.0);
 
   double total = 0.0;
   double comm_total = 0.0;
@@ -61,6 +64,8 @@ WeakScalingPoint ClusterSim::run(std::size_t nodes, std::size_t iterations,
         if (alive[n] && config_.faults.crash_time(n) <= total) {
           alive[n] = false;
           --n_alive;
+          obs::monitor::hook_failure(static_cast<std::int64_t>(n), total,
+                                     "scheduled crash");
         }
       }
       if (n_alive == 0) break;
@@ -75,6 +80,7 @@ WeakScalingPoint ClusterSim::run(std::size_t nodes, std::size_t iterations,
           std::exp(config_.jitter_sigma * node_rng[n].gaussian());
       double step = config_.base_iter_seconds * jitter;
       if (faults_on) step *= config_.faults.straggler_for(n);
+      step_secs[n] = step;
       slowest = std::max(slowest, step);
     }
     double exposed_comm = comm;
@@ -85,7 +91,18 @@ WeakScalingPoint ClusterSim::run(std::size_t nodes, std::size_t iterations,
     }
     total += slowest + exposed_comm;
     comm_total += exposed_comm;
+    // Each node's OWN step draw (pre-barrier) is the straggler signal; the
+    // stamp is the synchronous post-iteration clock shared by all nodes.
+    if (obs::monitor::enabled()) {
+      for (std::size_t n = 0; n < nodes; ++n) {
+        if (!alive[n]) continue;
+        obs::monitor::hook_step(static_cast<std::int64_t>(n), total,
+                                step_secs[n]);
+      }
+    }
   }
+
+  obs::monitor::hook_run_finalize(total);
 
   WeakScalingPoint point;
   point.nodes = nodes;

@@ -12,6 +12,7 @@
 
 #include <cmath>
 #include <map>
+#include <memory>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -20,6 +21,7 @@
 #include "core/methods.hpp"
 #include "data/dataset.hpp"
 #include "nn/models.hpp"
+#include "obs/monitor/monitor.hpp"
 #include "obs/trace.hpp"
 
 namespace ds {
@@ -246,6 +248,43 @@ TEST(Determinism, BucketedDeterministicModeEmitsIdenticalEventSequences) {
     }
     EXPECT_FALSE(events_a.empty()) << "rank " << rank;
   }
+}
+
+TEST(Determinism, InstalledMonitorIsObservationOnly) {
+  // The health monitor watches; it must never steer. A faulted run with the
+  // monitor installed has to replay the unmonitored run bit for bit, and
+  // two monitored runs must agree on every alert and on the serialized
+  // postmortem bundle byte for byte (the monitor half of the contract).
+  Fixture f;
+  f.set_workers(4);
+  FabricClusterConfig cluster;
+  cluster.faults.with_drop(0.05).with_straggler(1, 3.0);
+  cluster.faults.max_send_attempts = 12;
+
+  const RunResult bare = run_fabric_easgd(f.ctx, cluster);
+
+  obs::monitor::MonitorConfig mcfg;
+  mcfg.sample_interval_vs = 0.005;
+  auto monitored_run = [&] {
+    auto monitor = std::make_unique<obs::monitor::Monitor>(mcfg);
+    const obs::monitor::InstallScope scope(*monitor);
+    const RunResult r = run_fabric_easgd(f.ctx, cluster);
+    return std::make_pair(r, std::move(monitor));
+  };
+  const auto [ra, ma] = monitored_run();
+  const auto [rb, mb] = monitored_run();
+
+  expect_identical(bare, ra);
+  expect_identical(ra, rb);
+
+  ASSERT_EQ(ma->alerts().size(), mb->alerts().size());
+  for (std::size_t i = 0; i < ma->alerts().size(); ++i) {
+    EXPECT_EQ(ma->alerts()[i].kind, mb->alerts()[i].kind);
+    EXPECT_EQ(ma->alerts()[i].rank, mb->alerts()[i].rank);
+    EXPECT_EQ(ma->alerts()[i].vtime, mb->alerts()[i].vtime);
+    EXPECT_EQ(ma->alerts()[i].detail, mb->alerts()[i].detail);
+  }
+  EXPECT_EQ(ma->bundle_json(), mb->bundle_json());
 }
 
 TEST(Determinism, ActiveFaultPlanReplaysBitwiseIdentically) {

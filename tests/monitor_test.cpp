@@ -1,0 +1,459 @@
+// Online health monitor + flight recorder (DESIGN.md §13) unit + system
+// tests: ring-buffer telemetry semantics, each anomaly detector driven to
+// its firing edge through the slow-path entry points (deterministic,
+// single-threaded), trigger arming on failures and alerts, bundle schema
+// validation, and the determinism contract — same-seed threaded chaos runs
+// must produce the identical alert sequence and a byte-identical postmortem
+// bundle, with a flight trace that round-trips through trace validation and
+// the offline analysis ingest.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/fabric_algorithms.hpp"
+#include "data/dataset.hpp"
+#include "nn/models.hpp"
+#include "obs/analysis/analysis.hpp"
+#include "obs/json.hpp"
+#include "obs/monitor/monitor.hpp"
+#include "obs/trace.hpp"
+#include "simhw/cluster_sim.hpp"
+
+namespace ds {
+namespace {
+
+namespace mon = obs::monitor;
+
+// ---------------------------------------------------------------------------
+// TimeSeries.
+// ---------------------------------------------------------------------------
+
+TEST(TimeSeries, PushEvictAndStats) {
+  mon::TimeSeries ts(4);
+  EXPECT_EQ(ts.size(), 0u);
+  EXPECT_EQ(ts.capacity(), 4u);
+  EXPECT_EQ(ts.total_pushed(), 0u);
+
+  for (int i = 0; i < 6; ++i) {
+    ts.push(static_cast<double>(i), static_cast<double>(10 * i));
+  }
+  // 6 pushed into capacity 4: samples 0 and 1 evicted, 2..5 retained.
+  EXPECT_EQ(ts.size(), 4u);
+  EXPECT_EQ(ts.total_pushed(), 6u);
+  EXPECT_DOUBLE_EQ(ts.at(0).t, 2.0);
+  EXPECT_DOUBLE_EQ(ts.at(0).v, 20.0);
+  EXPECT_DOUBLE_EQ(ts.back().t, 5.0);
+  EXPECT_DOUBLE_EQ(ts.back().v, 50.0);
+  EXPECT_DOUBLE_EQ(ts.mean(), (20.0 + 30.0 + 40.0 + 50.0) / 4.0);
+  EXPECT_DOUBLE_EQ(ts.min(), 20.0);
+  EXPECT_DOUBLE_EQ(ts.max(), 50.0);
+  // v = 10 t exactly, so the least-squares slope over the window is 10.
+  EXPECT_NEAR(ts.slope(), 10.0, 1e-9);
+}
+
+TEST(TimeSeries, SlopeDegenerateCases) {
+  mon::TimeSeries ts(8);
+  EXPECT_DOUBLE_EQ(ts.slope(), 0.0);  // empty
+  ts.push(1.0, 5.0);
+  EXPECT_DOUBLE_EQ(ts.slope(), 0.0);  // one sample
+  ts.push(1.0, 9.0);
+  EXPECT_DOUBLE_EQ(ts.slope(), 0.0);  // zero time span
+}
+
+// ---------------------------------------------------------------------------
+// Detectors, driven deterministically through the slow-path entry points.
+// ---------------------------------------------------------------------------
+
+mon::MonitorConfig tight_config() {
+  mon::MonitorConfig cfg;
+  cfg.sample_interval_vs = 0.01;
+  cfg.warmup_windows = 2;
+  return cfg;
+}
+
+std::vector<mon::Alert> alerts_of_kind(const mon::Monitor& m,
+                                       mon::AlertKind kind) {
+  std::vector<mon::Alert> out;
+  for (const mon::Alert& a : m.alerts()) {
+    if (a.kind == kind) out.push_back(a);
+  }
+  return out;
+}
+
+TEST(MonitorDetectors, StragglerDriftNamesTheDriftingRank) {
+  mon::Monitor m(tight_config());
+  m.on_run_begin(4);
+  // Ranks 0, 1, 3 step in 1 ms; rank 2 in 3 ms. The leave-one-out z for
+  // rank 2 is (3ms - 1ms) / max(0, 0.05 * 1ms) = 40 once the EWMAs settle.
+  for (int i = 1; i <= 200; ++i) {
+    for (std::int64_t r = 0; r < 4; ++r) {
+      const double dur = (r == 2) ? 0.003 : 0.001;
+      m.on_step(r, static_cast<double>(i) * dur, dur);
+    }
+  }
+  m.on_run_finalize(0.6);
+
+  EXPECT_TRUE(m.finalized());
+  EXPECT_GT(m.windows_closed(), 10u);
+  const auto drift = alerts_of_kind(m, mon::AlertKind::kStragglerDrift);
+  ASSERT_EQ(drift.size(), 1u);  // edge-latched: one alert, not one per window
+  EXPECT_EQ(drift[0].rank, 2);
+  EXPECT_GE(drift[0].value, drift[0].threshold);
+  EXPECT_NEAR(drift[0].value, 40.0, 5.0);
+  EXPECT_NE(drift[0].detail.find("rank 2"), std::string::npos);
+}
+
+TEST(MonitorDetectors, HealthyPeersStayQuiet) {
+  mon::Monitor m(tight_config());
+  m.on_run_begin(4);
+  for (int i = 1; i <= 200; ++i) {
+    for (std::int64_t r = 0; r < 4; ++r) {
+      m.on_step(r, static_cast<double>(i) * 0.001, 0.001);
+    }
+  }
+  m.on_run_finalize(0.2);
+  EXPECT_TRUE(m.alerts().empty());
+  EXPECT_FALSE(m.triggered());
+}
+
+TEST(MonitorDetectors, ThroughputCollapseFiresWhenRateFalls) {
+  mon::Monitor m(tight_config());
+  m.on_run_begin(1);
+  // 20 steps/window for ten windows, then one step/window: the smoothed
+  // rate decays below collapse_fraction * peak within a few slow windows.
+  double t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    t += 0.0005;
+    m.on_step(0, t, 0.0005);
+  }
+  for (int i = 0; i < 25; ++i) {
+    t += 0.01;
+    m.on_step(0, t, 0.01);
+  }
+  m.on_run_finalize(t);
+
+  const auto collapse =
+      alerts_of_kind(m, mon::AlertKind::kThroughputCollapse);
+  ASSERT_EQ(collapse.size(), 1u);
+  EXPECT_EQ(collapse[0].rank, obs::kNoRank);
+  EXPECT_LT(collapse[0].value, collapse[0].threshold);
+}
+
+TEST(MonitorDetectors, RetransmitStormFiresOnceWhileLatched) {
+  mon::Monitor m(tight_config());
+  m.on_run_begin(2);
+  double t = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    t += 0.001;
+    m.on_step(0, t, 0.001);
+    m.on_step(1, t, 0.001);
+    m.on_retransmit(0, t, 5);  // 5000 retransmits/vs >> the 200/vs default
+  }
+  m.on_run_finalize(t);
+
+  const auto storm = alerts_of_kind(m, mon::AlertKind::kRetransmitStorm);
+  ASSERT_EQ(storm.size(), 1u);  // stays latched while the rate stays high
+  EXPECT_GE(storm[0].value, storm[0].threshold);
+}
+
+TEST(MonitorDetectors, ServeSloBurnFiresInTickMode) {
+  mon::MonitorConfig cfg = tight_config();
+  cfg.slo_min_replies = 8;
+  mon::Monitor m(cfg);
+  // No on_run_begin: the serve loop is single-threaded and tick-driven.
+  double t = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    t += 0.001;
+    m.on_serve_reply(t, 2e-4, /*missed_deadline=*/t > 0.05);
+    m.on_tick(t);
+  }
+  m.on_run_finalize(t);
+
+  const auto burn = alerts_of_kind(m, mon::AlertKind::kSloBurn);
+  ASSERT_GE(burn.size(), 1u);
+  EXPECT_EQ(burn[0].rank, obs::kNoRank);
+  EXPECT_GE(burn[0].value, burn[0].threshold);
+  // Misses started after 0.05 vs; warmup alone cannot explain the position.
+  EXPECT_GT(burn[0].vtime, 0.05);
+}
+
+TEST(MonitorDetectors, QueueGrowthFiresOnUnboundedDepth) {
+  mon::Monitor m(tight_config());
+  double t = 0.0;
+  for (int i = 0; i < 150; ++i) {
+    t += 0.001;
+    // Depth grows at 200 req/vs, past the 50 req/vs slope threshold.
+    m.on_serve_queue(t, static_cast<std::int64_t>(200.0 * t));
+    m.on_tick(t);
+  }
+  m.on_run_finalize(t);
+
+  const auto growth = alerts_of_kind(m, mon::AlertKind::kQueueGrowth);
+  ASSERT_GE(growth.size(), 1u);
+  EXPECT_GE(growth[0].value, growth[0].threshold);
+}
+
+// ---------------------------------------------------------------------------
+// Triggers + bundle.
+// ---------------------------------------------------------------------------
+
+TEST(MonitorTriggers, FailureArmsTheDump) {
+  mon::Monitor m(tight_config());
+  m.on_run_begin(2);
+  m.on_step(0, 0.001, 0.001);
+  m.on_step(1, 0.001, 0.001);
+  m.on_failure(1, 0.002, "boom");
+  m.on_run_finalize(0.01);
+
+  EXPECT_TRUE(m.triggered());
+  EXPECT_EQ(m.trigger_reason(), "rank_failure");
+  ASSERT_EQ(m.failures().size(), 1u);
+  EXPECT_EQ(m.failures()[0].rank, 1);
+  EXPECT_EQ(m.failures()[0].what, "boom");
+}
+
+TEST(MonitorTriggers, ExplicitDumpRequestArms) {
+  mon::Monitor m(tight_config());
+  m.on_run_begin(1);
+  m.on_step(0, 0.001, 0.001);
+  m.request_dump("operator asked", 0.001);
+  m.on_run_finalize(0.01);
+  EXPECT_TRUE(m.triggered());
+  EXPECT_EQ(m.trigger_reason(), "request: operator asked");
+}
+
+TEST(MonitorTriggers, EarliestTriggerWins) {
+  mon::MonitorConfig cfg = tight_config();
+  cfg.dump_on_failure = true;
+  mon::Monitor m(cfg);
+  m.on_run_begin(2);
+  m.on_failure(1, 0.5, "late crash");
+  m.on_failure(0, 0.2, "early crash");  // earlier vtime must take over
+  m.on_run_finalize(1.0);
+  EXPECT_TRUE(m.triggered());
+  ASSERT_EQ(m.failures().size(), 2u);
+  // Failures are sorted by (vtime, rank) at finalize.
+  EXPECT_EQ(m.failures()[0].rank, 0);
+  EXPECT_EQ(m.failures()[1].rank, 1);
+}
+
+TEST(MonitorBundle, ValidatesAndCarriesTheRunState) {
+  mon::Monitor m(tight_config());
+  m.on_run_begin(3);
+  for (int i = 1; i <= 100; ++i) {
+    for (std::int64_t r = 0; r < 3; ++r) {
+      m.on_step(r, static_cast<double>(i) * 0.001, 0.001);
+    }
+  }
+  m.on_failure(2, 0.1, "boom");
+  m.on_run_finalize(0.1);
+
+  const obs::JsonValue doc = obs::parse_json(m.bundle_json());
+  const std::vector<std::string> errors = mon::validate_postmortem_json(doc);
+  for (const std::string& e : errors) ADD_FAILURE() << e;
+  EXPECT_TRUE(errors.empty());
+  EXPECT_EQ(doc.find("schema")->as_string(), mon::kPostmortemSchema);
+  EXPECT_TRUE(doc.find("finalized")->as_bool());
+  ASSERT_NE(doc.find("failures"), nullptr);
+  EXPECT_EQ(doc.find("failures")->as_array().size(), 1u);
+}
+
+TEST(MonitorBundle, ValidatorRejectsGarbage) {
+  EXPECT_FALSE(mon::validate_postmortem_json(obs::parse_json("{}")).empty());
+  EXPECT_FALSE(mon::validate_postmortem_json(obs::parse_json("[1,2]")).empty());
+  EXPECT_FALSE(
+      mon::validate_postmortem_json(
+          obs::parse_json("{\"schema\": \"wrong.schema.v9\"}"))
+          .empty());
+}
+
+// ---------------------------------------------------------------------------
+// ClusterSim crash feeds the monitor.
+// ---------------------------------------------------------------------------
+
+TEST(MonitorSim, ScheduledCrashTriggersPostmortem) {
+  mon::MonitorConfig cfg;
+  cfg.sample_interval_vs = 2.0;  // base iteration ≈ 5 s; a few steps/window
+  mon::Monitor monitor(cfg);
+
+  ClusterSimConfig sim_cfg;
+  sim_cfg.faults.with_crash(1, 8.0);  // dies during the second iteration
+  const ClusterSim sim(sim_cfg);
+  WeakScalingPoint point;
+  {
+    const mon::InstallScope scope(monitor);
+    point = sim.run(4, 10, Schedule::kOurs);
+  }
+
+  EXPECT_EQ(point.surviving_nodes, 3u);
+  EXPECT_TRUE(monitor.finalized());
+  EXPECT_TRUE(monitor.triggered());
+  ASSERT_EQ(monitor.failures().size(), 1u);
+  EXPECT_EQ(monitor.failures()[0].rank, 1);
+  EXPECT_EQ(monitor.failures()[0].what, "scheduled crash");
+  const obs::JsonValue doc = obs::parse_json(monitor.bundle_json());
+  EXPECT_TRUE(mon::validate_postmortem_json(doc).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: same-seed threaded chaos runs, identical alerts + bundle.
+// ---------------------------------------------------------------------------
+
+struct ChaosFixture {
+  TrainTest data;
+  AlgoContext ctx;
+  FabricClusterConfig cluster;
+
+  ChaosFixture() {
+    SyntheticSpec spec;
+    spec.classes = 4;
+    spec.channels = 1;
+    spec.height = 8;
+    spec.width = 8;
+    spec.train_count = 512;
+    spec.test_count = 128;
+    spec.noise = 0.9;
+    spec.seed = 99;
+    data = make_synthetic(spec);
+    const auto stats = normalize(data.train);
+    normalize_with(data.test, stats.first, stats.second);
+
+    ctx.factory = [] {
+      Rng rng(17);
+      return make_tiny_mlp(rng);
+    };
+    ctx.train = &data.train;
+    ctx.test = &data.test;
+    ctx.config.workers = 4;
+    ctx.config.iterations = 40;
+    ctx.config.batch_size = 16;
+    ctx.config.eval_every = 40;
+    ctx.config.eval_samples = 64;
+    ctx.config.learning_rate = 0.05f;
+    ctx.config.rho = 0.9f / (4.0f * 0.05f);
+    ctx.config.seed = 1234;
+
+    cluster.faults.seed = 0xC0FFEE;
+    cluster.faults.with_drop(0.05).with_straggler(2, 3.0);
+    cluster.faults.max_send_attempts = 12;
+  }
+
+  mon::MonitorConfig monitor_config() const {
+    mon::MonitorConfig cfg;
+    cfg.sample_interval_vs = 0.005;
+    cfg.storm_retransmits_per_vs = 2000.0;  // keep drop noise below the bar
+    cfg.dump_on_alert = true;
+    return cfg;
+  }
+};
+
+void expect_identical_alerts(const std::vector<mon::Alert>& a,
+                             const std::vector<mon::Alert>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind) << "alert " << i;
+    EXPECT_EQ(a[i].rank, b[i].rank) << "alert " << i;
+    EXPECT_EQ(a[i].vtime, b[i].vtime) << "alert " << i;
+    EXPECT_EQ(a[i].value, b[i].value) << "alert " << i;
+    EXPECT_EQ(a[i].threshold, b[i].threshold) << "alert " << i;
+    EXPECT_EQ(a[i].detail, b[i].detail) << "alert " << i;
+  }
+}
+
+TEST(MonitorDeterminism, SameSeedChaosRunsProduceByteIdenticalBundles) {
+  ChaosFixture f;
+
+  struct RunOutput {
+    std::vector<mon::Alert> alerts;
+    std::string bundle;
+    std::string flight;
+    bool triggered = false;
+  };
+  auto monitored_run = [&] {
+    obs::set_tracing_enabled(false);
+    obs::reset();
+    obs::set_tracing_enabled(true);
+    mon::Monitor monitor(f.monitor_config());
+    {
+      const mon::InstallScope scope(monitor);
+      const RunResult r = run_fabric_easgd(f.ctx, f.cluster);
+      EXPECT_FALSE(r.aborted);
+    }
+    RunOutput out;
+    out.alerts = monitor.alerts();
+    out.bundle = monitor.bundle_json();
+    out.flight = monitor.flight_trace_json();
+    out.triggered = monitor.triggered();
+    obs::set_tracing_enabled(false);
+    obs::reset();
+    return out;
+  };
+
+  const RunOutput a = monitored_run();
+  const RunOutput b = monitored_run();
+
+  // The injected 3x straggler must be caught online in both runs…
+  const bool straggler_named = [&] {
+    for (const mon::Alert& al : a.alerts) {
+      if (al.kind == mon::AlertKind::kStragglerDrift && al.rank == 2) {
+        return true;
+      }
+    }
+    return false;
+  }();
+  EXPECT_TRUE(straggler_named);
+  EXPECT_TRUE(a.triggered);
+
+  // …and the whole observable output must replay byte-for-byte.
+  expect_identical_alerts(a.alerts, b.alerts);
+  EXPECT_EQ(a.bundle, b.bundle);
+  EXPECT_EQ(a.flight, b.flight);
+
+  // The bundle validates; the flight trace is trace_validate-clean and
+  // ingests through the offline analysis pipeline.
+  EXPECT_TRUE(
+      mon::validate_postmortem_json(obs::parse_json(a.bundle)).empty());
+  const obs::TraceValidation v = obs::validate_chrome_trace_text(a.flight);
+  for (const std::string& e : v.errors) ADD_FAILURE() << e;
+  EXPECT_TRUE(v.ok());
+  EXPECT_GT(v.event_count, 0u);
+  const obs::analysis::TraceData flight =
+      obs::analysis::ingest_chrome_trace(obs::parse_json(a.flight));
+  EXPECT_FALSE(flight.empty() && flight.instants.empty());
+}
+
+TEST(MonitorDeterminism, OnlineAndOfflineAttributionAgree) {
+  ChaosFixture f;
+  obs::set_tracing_enabled(false);
+  obs::reset();
+  obs::set_tracing_enabled(true);
+  mon::Monitor monitor(f.monitor_config());
+  {
+    const mon::InstallScope scope(monitor);
+    const RunResult r = run_fabric_easgd(f.ctx, f.cluster);
+    EXPECT_FALSE(r.aborted);
+  }
+  const obs::analysis::TraceData trace =
+      obs::analysis::ingest_snapshot(obs::snapshot());
+  obs::set_tracing_enabled(false);
+  obs::reset();
+
+  std::int64_t online_rank = obs::kNoRank;
+  for (const mon::Alert& a : monitor.alerts()) {
+    if (a.kind == mon::AlertKind::kStragglerDrift) {
+      online_rank = a.rank;
+      break;
+    }
+  }
+  const obs::analysis::StragglerReport offline =
+      obs::analysis::attribute_stragglers(obs::analysis::sync_rounds(trace));
+  EXPECT_EQ(online_rank, 2);
+  EXPECT_EQ(offline.top_rank(), online_rank);
+}
+
+}  // namespace
+}  // namespace ds

@@ -19,6 +19,7 @@
 #include "data/dataset.hpp"
 #include "nn/models.hpp"
 #include "obs/analysis/analysis.hpp"
+#include "obs/analysis/trace_report_doc.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/json.hpp"
 #include "obs/trace.hpp"
@@ -270,6 +271,18 @@ TEST_F(ObsAnalysisTest, SummarizeReportsQuantiles) {
   EXPECT_LE(s.p99, 4096.0);
 }
 
+TEST_F(ObsAnalysisTest, SummarizeEmptyHistogramReadsSentinel) {
+  // summarize() forwards the kEmptyQuantile NaN sentinel unchanged: "no
+  // samples" must stay distinguishable from "all samples were tiny".
+  obs::Histogram h;
+  const analysis::HistogramSummary s = analysis::summarize(h);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_TRUE(std::isnan(s.p50));
+  EXPECT_TRUE(std::isnan(s.p95));
+  EXPECT_TRUE(std::isnan(s.p99));
+}
+
 TEST_F(ObsAnalysisTest, EmptyTraceIsHarmless) {
   const analysis::TraceData trace = live_trace();
   EXPECT_TRUE(trace.empty());
@@ -278,6 +291,54 @@ TEST_F(ObsAnalysisTest, EmptyTraceIsHarmless) {
   EXPECT_TRUE(analysis::sync_rounds(trace).empty());
   const CostLedger empty;
   EXPECT_TRUE(analysis::check_ledger(trace, empty).ok());
+}
+
+// --------------------- trace_report JSON document -------------------------
+
+TEST_F(ObsAnalysisTest, TraceReportDocBuildsAndValidates) {
+  Fixture f;
+  f.ctx.config.workers = 4;
+  FabricClusterConfig cluster;
+  cluster.faults.with_drop(0.05).with_straggler(1, 2.0);
+  cluster.faults.max_send_attempts = 12;
+  const RunResult r = run_fabric_easgd(f.ctx, cluster);
+  ASSERT_FALSE(r.aborted);
+  const analysis::TraceData trace = live_trace();
+
+  const obs::JsonValue doc = analysis::build_trace_report_doc(trace);
+  const std::vector<std::string> errors =
+      analysis::validate_trace_report_json(doc);
+  for (const std::string& e : errors) ADD_FAILURE() << e;
+  EXPECT_TRUE(errors.empty());
+  EXPECT_EQ(doc.find("schema")->as_string(), analysis::kTraceReportSchema);
+  EXPECT_GT(doc.find("events")->find("vspans")->as_number(), 0.0);
+  EXPECT_GT(doc.find("spans")->find("total_s")->as_number(), 0.0);
+  // No serve traffic in this run: serve must be explicit null, not absent.
+  ASSERT_NE(doc.find("serve"), nullptr);
+  EXPECT_TRUE(doc.find("serve")->is_null());
+  // The injected straggler shows up in the sync-round ranking.
+  EXPECT_GT(
+      doc.find("sync_rounds")->find("stragglers")->as_array().size(), 0u);
+
+  // Serialize → parse → validate: the document survives its own round trip.
+  const obs::JsonValue reparsed = obs::parse_json(obs::write_json(doc));
+  EXPECT_TRUE(analysis::validate_trace_report_json(reparsed).empty());
+}
+
+TEST_F(ObsAnalysisTest, TraceReportDocOfEmptyTraceValidates) {
+  const obs::JsonValue doc =
+      analysis::build_trace_report_doc(live_trace());
+  EXPECT_TRUE(analysis::validate_trace_report_json(doc).empty());
+}
+
+TEST_F(ObsAnalysisTest, TraceReportValidatorRejectsGarbage) {
+  EXPECT_FALSE(
+      analysis::validate_trace_report_json(obs::parse_json("{}")).empty());
+  EXPECT_FALSE(
+      analysis::validate_trace_report_json(obs::parse_json("[]")).empty());
+  EXPECT_FALSE(analysis::validate_trace_report_json(
+                   obs::parse_json("{\"schema\": \"deepscale.bench.v1\"}"))
+                   .empty());
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 // the same JSON reader the trace tooling uses).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <thread>
 #include <vector>
 
@@ -49,12 +50,31 @@ TEST(ObsMetrics, HistogramLogBuckets) {
 
 TEST(ObsMetrics, QuantileEmptyAndClamping) {
   Histogram h;
-  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty reads 0
-  h.observe(4.0);                          // one sample in [4, 8)
+  // Empty reads the kEmptyQuantile NaN sentinel — "the p99 of nothing" must
+  // poison downstream arithmetic, not smuggle in a plausible-looking 0.
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+  EXPECT_TRUE(std::isnan(h.quantile(0.0)));
+  EXPECT_TRUE(std::isnan(h.quantile(1.0)));
+  EXPECT_TRUE(std::isnan(kEmptyQuantile));
+  EXPECT_TRUE(std::isnan(h.window().quantile(0.99)));
+  h.observe(4.0);  // one sample in [4, 8)
+  // A single sample resolves every quantile; the sentinel is gone.
+  EXPECT_FALSE(std::isnan(h.quantile(0.5)));
   // q outside [0, 1] clamps instead of reading garbage buckets.
   EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
   EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
   EXPECT_DOUBLE_EQ(h.quantile(1.0), 8.0);  // upper edge of the only bucket
+}
+
+TEST(ObsMetrics, EmptyWindowDeltaReadsSentinel) {
+  // A windowed delta with no interval samples must also read NaN: per-window
+  // p99 reporting (serve, monitor) keys "no data this window" off it.
+  Histogram h;
+  h.observe(3.0);
+  const HistogramWindow before = h.window();
+  const HistogramWindow delta = h.window().since(before);
+  EXPECT_EQ(delta.count, 0u);
+  EXPECT_TRUE(std::isnan(delta.quantile(0.99)));
 }
 
 TEST(ObsMetrics, QuantileInterpolatesWithinBucket) {

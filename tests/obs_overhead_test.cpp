@@ -11,6 +11,7 @@
 #include "comm/fabric.hpp"
 #include "comm/fault.hpp"
 #include "comm/ledger.hpp"
+#include "obs/monitor/monitor.hpp"
 #include "obs/trace.hpp"
 #include "support/thread_pool.hpp"
 
@@ -104,6 +105,41 @@ TEST(ObsOverhead, RankScopeBindingIsRecorderFree) {
     const obs::RankScope scope(i % 4);
   }
   base.expect_untouched();
+}
+
+TEST(ObsOverhead, UninstalledMonitorHooksAreOneBranch) {
+  // With no Monitor installed, every hook_*() is one relaxed load + branch:
+  // the slow-path entry counter must not move, and neither may the recorder
+  // (no allocation, no lock, no clock read hides behind the hooks).
+  ASSERT_FALSE(obs::monitor::enabled());
+  obs::set_tracing_enabled(false);
+  const RecorderBaseline base;
+  const std::uint64_t slow = obs::monitor::testing::slow_path_entries();
+  for (int i = 0; i < 100000; ++i) {
+    obs::monitor::hook_run_begin(4);
+    obs::monitor::hook_step(i % 4, static_cast<double>(i) * 1e-3);
+    obs::monitor::hook_retransmit(i % 4, static_cast<double>(i) * 1e-3, 1);
+    obs::monitor::hook_serve_reply(static_cast<double>(i) * 1e-3, 1e-4, false);
+    obs::monitor::hook_serve_queue(static_cast<double>(i) * 1e-3, i % 16);
+    obs::monitor::hook_tick(static_cast<double>(i) * 1e-3);
+    obs::monitor::hook_failure(i % 4, static_cast<double>(i) * 1e-3, "x");
+    obs::monitor::hook_run_finalize(static_cast<double>(i) * 1e-3);
+  }
+  EXPECT_EQ(obs::monitor::testing::slow_path_entries(), slow);
+  base.expect_untouched();
+}
+
+TEST(ObsOverhead, InstalledMonitorCountsSlowPathEntries) {
+  // The inverse contract: with a monitor installed the hooks DO reach the
+  // slow path (one entry per call) — proving the test above measures the
+  // gate, not dead code.
+  obs::monitor::Monitor monitor;
+  const obs::monitor::InstallScope scope(monitor);
+  const std::uint64_t slow = obs::monitor::testing::slow_path_entries();
+  obs::monitor::hook_run_begin(2);
+  obs::monitor::hook_step(0, 0.01, 0.01);
+  obs::monitor::hook_run_finalize(0.02);
+  EXPECT_EQ(obs::monitor::testing::slow_path_entries(), slow + 3);
 }
 
 }  // namespace

@@ -1,0 +1,202 @@
+// monitor_chaos_demo — seeded 4-rank Sync-EASGD chaos run with the online
+// health monitor installed, used by CI to exercise the monitor + flight
+// recorder end to end:
+//
+//   1. run Sync EASGD over a fault-injecting fabric (drops + a 3x straggler
+//      on rank 2), tracing on so the flight recorder has events to mirror;
+//   2. assert the ONLINE straggler-drift detector fired and named rank 2;
+//   3. cross-check against the OFFLINE attribution: the sync-round
+//      critical-path analysis over the same trace must name the same rank;
+//   4. dump the postmortem bundle + flight trace, and re-validate both
+//      (postmortem schema check; Chrome-trace check + analysis ingest).
+//
+// Exit 0 iff every check passes — CI gates the artifact upload on it.
+//
+//   argv[1] (optional): bundle path, default monitor_bundle.json; the
+//   flight trace lands next to it as <bundle stem>.trace.json.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/fabric_algorithms.hpp"
+#include "data/dataset.hpp"
+#include "nn/models.hpp"
+#include "obs/analysis/analysis.hpp"
+#include "obs/json.hpp"
+#include "obs/monitor/monitor.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+int g_failures = 0;
+
+void check(bool ok, const char* what) {
+  if (ok) {
+    std::printf("  ok    %s\n", what);
+  } else {
+    std::printf("  FAIL  %s\n", what);
+    ++g_failures;
+  }
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string bundle_path =
+      argc > 1 ? argv[1] : std::string("monitor_bundle.json");
+  constexpr std::int64_t kStragglerRank = 2;
+
+  // Tracing feeds the flight recorder; no trace file is written unless
+  // DEEPSCALE_TRACE asked for one.
+  ds::obs::set_tracing_enabled(true);
+  std::printf("monitor chaos demo: 4-rank Sync EASGD, straggler on rank %lld, "
+              "bundle -> %s\n",
+              static_cast<long long>(kStragglerRank), bundle_path.c_str());
+
+  ds::SyntheticSpec spec;
+  spec.classes = 4;
+  spec.channels = 1;
+  spec.height = 8;
+  spec.width = 8;
+  spec.train_count = 512;
+  spec.test_count = 128;
+  spec.noise = 0.9;
+  spec.seed = 99;
+  ds::TrainTest data = ds::make_synthetic(spec);
+  const auto stats = ds::normalize(data.train);
+  ds::normalize_with(data.test, stats.first, stats.second);
+
+  ds::AlgoContext ctx;
+  ctx.factory = [] {
+    ds::Rng rng(17);
+    return ds::make_tiny_mlp(rng);
+  };
+  ctx.train = &data.train;
+  ctx.test = &data.test;
+  ctx.config.workers = 4;  // = fabric ranks
+  ctx.config.iterations = 60;
+  ctx.config.batch_size = 16;
+  ctx.config.eval_every = 30;
+  ctx.config.eval_samples = 128;
+  ctx.config.learning_rate = 0.05f;
+  ctx.config.rho = 0.9f / (4.0f * 0.05f);
+  ctx.config.seed = 1234;
+
+  ds::FabricClusterConfig cluster;
+  cluster.faults.seed = 0xC0FFEE;
+  cluster.faults.with_drop(0.05).with_straggler(
+      static_cast<std::size_t>(kStragglerRank), 3.0);
+  cluster.faults.max_send_attempts = 12;  // reliable-after-retransmit wire
+
+  // Window ≈ a couple of compute steps (fb_s ≈ 1.9 ms at these settings) so
+  // the straggler's 3x drift shows up within a few windows of warmup.
+  ds::obs::monitor::MonitorConfig mcfg;
+  mcfg.sample_interval_vs = 0.005;
+  // A single retransmit in a 5 ms window already reads as 200/vs; raise the
+  // storm bar so the drop-rate background noise stays below it and the
+  // straggler alert is the one that arms the dump.
+  mcfg.storm_retransmits_per_vs = 2000.0;
+  mcfg.bundle_path = bundle_path;
+  mcfg.dump_on_alert = true;  // the straggler alert IS the dump trigger here
+  ds::obs::monitor::Monitor monitor(mcfg);
+
+  ds::RunResult res;
+  {
+    const ds::obs::monitor::InstallScope scope(monitor);
+    res = run_fabric_easgd(ctx, cluster);
+  }
+  std::printf("run: %s — %s, %.4f vseconds, acc %.3f\n", res.method.c_str(),
+              res.fault_summary().c_str(), res.total_seconds,
+              res.final_accuracy);
+
+  check(!res.aborted, "run completed every round");
+  check(monitor.finalized(), "monitor finalized at run end");
+  check(monitor.windows_closed() > 10, "monitor closed rolling windows");
+
+  // --- online detection ----------------------------------------------------
+  bool straggler_alert = false;
+  std::int64_t online_rank = ds::obs::kNoRank;
+  for (const ds::obs::monitor::Alert& a : monitor.alerts()) {
+    if (a.kind == ds::obs::monitor::AlertKind::kStragglerDrift) {
+      straggler_alert = true;
+      online_rank = a.rank;
+      std::printf("online: %s\n", a.detail.c_str());
+      break;
+    }
+  }
+  check(straggler_alert, "straggler-drift detector fired online");
+  check(online_rank == kStragglerRank,
+        "online detector named the injected straggler rank");
+
+  // --- offline agreement ---------------------------------------------------
+  const ds::obs::analysis::TraceData trace =
+      ds::obs::analysis::ingest_snapshot(ds::obs::snapshot());
+  const ds::obs::analysis::StragglerReport offline =
+      ds::obs::analysis::attribute_stragglers(
+          ds::obs::analysis::sync_rounds(trace));
+  std::printf("offline: top straggler rank %lld over %zu gated rounds\n",
+              static_cast<long long>(offline.top_rank()),
+              offline.gated_rounds);
+  check(offline.top_rank() == kStragglerRank,
+        "offline critical-path attribution names the same rank");
+
+  // --- bundle + flight trace -----------------------------------------------
+  check(monitor.triggered(), "alert armed the dump trigger");
+  check(monitor.write_bundle(), "postmortem bundle written");
+
+  const std::string bundle_text = read_file(bundle_path);
+  check(!bundle_text.empty(), "bundle file is non-empty");
+  try {
+    const ds::obs::JsonValue doc = ds::obs::parse_json(bundle_text);
+    const std::vector<std::string> errors =
+        ds::obs::monitor::validate_postmortem_json(doc);
+    for (const std::string& e : errors) {
+      std::printf("  bundle error: %s\n", e.c_str());
+    }
+    check(errors.empty(), "bundle validates as deepscale.postmortem.v1");
+  } catch (const ds::Error& e) {
+    std::printf("  bundle parse error: %s\n", e.what());
+    check(false, "bundle parses as JSON");
+  }
+
+  std::string flight_path = bundle_path;
+  if (flight_path.size() >= 5 &&
+      flight_path.compare(flight_path.size() - 5, 5, ".json") == 0) {
+    flight_path.resize(flight_path.size() - 5);
+  }
+  flight_path += ".trace.json";
+  const std::string flight_text = read_file(flight_path);
+  check(!flight_text.empty(), "flight trace written next to the bundle");
+  {
+    const ds::obs::TraceValidation v =
+        ds::obs::validate_chrome_trace_text(flight_text);
+    for (const std::string& e : v.errors) {
+      std::printf("  flight trace error: %s\n", e.c_str());
+    }
+    check(v.ok(), "flight trace validates as Chrome trace_event JSON");
+    std::printf("flight: %zu events, %zu spans, %zu processes\n",
+                v.event_count, v.span_count, v.process_count);
+  }
+  try {
+    const ds::obs::analysis::TraceData flight =
+        ds::obs::analysis::ingest_chrome_trace(
+            ds::obs::parse_json(flight_text));
+    check(!flight.empty() || !flight.instants.empty(),
+          "flight trace ingests through analysis::ingest_chrome_trace");
+  } catch (const ds::Error& e) {
+    std::printf("  flight ingest error: %s\n", e.what());
+    check(false, "flight trace ingests through analysis::ingest_chrome_trace");
+  }
+
+  std::printf("%s\n", g_failures == 0 ? "MONITOR CHAOS DEMO PASSED"
+                                      : "MONITOR CHAOS DEMO FAILED");
+  return g_failures == 0 ? 0 : 1;
+}

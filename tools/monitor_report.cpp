@@ -1,0 +1,185 @@
+// monitor_report <bundle.json> — text dashboard over a postmortem bundle
+// dumped by the online health monitor (deepscale.postmortem.v1): what
+// triggered the dump, which detectors fired and when, which ranks failed,
+// the per-rank step health, and the captured metric deltas.
+//
+//   --json    validate, then echo the bundle document compactly (machine
+//             consumers get a schema-checked passthrough)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/monitor/monitor.hpp"
+#include "support/error.hpp"
+
+namespace {
+
+std::string read_file(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "monitor_report: cannot open %s\n", path);
+    std::exit(2);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+double field_num(const ds::obs::JsonValue& obj, const char* key) {
+  const ds::obs::JsonValue* v = obj.find(key);
+  return v != nullptr && v->is_number() ? v->as_number() : 0.0;
+}
+
+std::string field_str(const ds::obs::JsonValue& obj, const char* key) {
+  const ds::obs::JsonValue* v = obj.find(key);
+  return v != nullptr && v->is_string() ? v->as_string() : std::string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  bool as_json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      as_json = true;
+    } else if (argv[i][0] != '-' && path == nullptr) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: monitor_report [--json] <bundle.json>\n");
+      return 2;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: monitor_report [--json] <bundle.json>\n");
+    return 2;
+  }
+
+  using ds::obs::JsonValue;
+  try {
+    const JsonValue doc = ds::obs::parse_json(read_file(path));
+    const std::vector<std::string> errors =
+        ds::obs::monitor::validate_postmortem_json(doc);
+    for (const std::string& e : errors) {
+      std::fprintf(stderr, "monitor_report: %s\n", e.c_str());
+    }
+    if (!errors.empty()) return 1;
+
+    if (as_json) {
+      std::printf("%s\n", ds::obs::write_json(doc).c_str());
+      return 0;
+    }
+
+    std::printf("%s: postmortem bundle (%s)\n", path,
+                field_str(doc, "schema").c_str());
+    std::printf("finalized at %.6g vs, %.0f windows closed\n",
+                field_num(doc, "finalize_vtime"),
+                field_num(doc, "windows_closed"));
+
+    const JsonValue* trigger = doc.find("trigger");
+    if (trigger != nullptr && trigger->is_object()) {
+      std::printf("trigger: %s (rank %lld at %.6g vs)\n",
+                  field_str(*trigger, "reason").c_str(),
+                  static_cast<long long>(field_num(*trigger, "rank")),
+                  field_num(*trigger, "vtime"));
+    } else {
+      std::printf("trigger: none (bundle built without a dump trigger)\n");
+    }
+
+    const JsonValue* alerts = doc.find("alerts");
+    std::printf("\nalerts (%zu)\n",
+                alerts != nullptr ? alerts->as_array().size() : 0);
+    if (alerts != nullptr) {
+      for (const JsonValue& a : alerts->as_array()) {
+        std::printf("  %-20s rank %-4lld at %10.6g vs  %s\n",
+                    field_str(a, "kind").c_str(),
+                    static_cast<long long>(field_num(a, "rank")),
+                    field_num(a, "vtime"), field_str(a, "detail").c_str());
+      }
+    }
+
+    const JsonValue* failures = doc.find("failures");
+    if (failures != nullptr && !failures->as_array().empty()) {
+      std::printf("\nfailures (%zu)\n", failures->as_array().size());
+      for (const JsonValue& f : failures->as_array()) {
+        std::printf("  rank %-4lld at %10.6g vs  %s\n",
+                    static_cast<long long>(field_num(f, "rank")),
+                    field_num(f, "vtime"), field_str(f, "what").c_str());
+      }
+    }
+
+    const JsonValue* ranks = doc.find("ranks");
+    if (ranks != nullptr && ranks->is_object() &&
+        !ranks->as_object().empty()) {
+      std::printf("\nranks\n");
+      std::printf("  %-6s %8s %14s %14s %6s\n", "rank", "steps",
+                  "ewma step vs", "watermark vs", "alive");
+      for (const auto& [r, rj] : ranks->as_object()) {
+        const JsonValue* alive = rj.find("alive");
+        std::printf("  %-6s %8.0f %14.6g %14.6g %6s\n", r.c_str(),
+                    field_num(rj, "steps"), field_num(rj, "ewma_step_vs"),
+                    field_num(rj, "watermark_vtime"),
+                    alive != nullptr && alive->as_bool() ? "yes" : "NO");
+      }
+    }
+
+    const JsonValue* serve = doc.find("serve");
+    if (serve != nullptr && serve->is_object()) {
+      std::printf(
+          "\nserve: %0.f replies, latency mean %.4g us, p50 %.4g us, "
+          "p95 %.4g us, p99 %.4g us\n",
+          field_num(*serve, "latency_count"),
+          field_num(*serve, "latency_mean_usec"),
+          field_num(*serve, "latency_p50_usec"),
+          field_num(*serve, "latency_p95_usec"),
+          field_num(*serve, "latency_p99_usec"));
+    }
+
+    const JsonValue* series = doc.find("series");
+    if (series != nullptr && series->is_object() &&
+        !series->as_object().empty()) {
+      std::printf("\nrolling series (last retained sample)\n");
+      for (const auto& [name, s] : series->as_object()) {
+        if (!s.is_array() || s.as_array().empty()) continue;
+        const JsonValue& last = s.as_array().back();
+        std::printf("  %-32s %12.6g at %10.6g vs  (%zu samples)\n",
+                    name.c_str(), last.as_array()[1].as_number(),
+                    last.as_array()[0].as_number(), s.as_array().size());
+      }
+    }
+
+    const JsonValue* metrics = doc.find("metrics");
+    if (metrics != nullptr && metrics->is_object() &&
+        !metrics->as_object().empty()) {
+      std::printf("\nmetric deltas over the run\n");
+      for (const auto& [name, v] : metrics->as_object()) {
+        if (!v.is_number() || v.as_number() == 0.0) continue;
+        std::printf("  %-40s %14.6g\n", name.c_str(), v.as_number());
+      }
+    }
+
+    const JsonValue* flight = doc.find("flight");
+    if (flight != nullptr && flight->is_object()) {
+      const JsonValue* per_rank = flight->find("ranks");
+      std::size_t events = 0;
+      double dropped = 0.0;
+      if (per_rank != nullptr && per_rank->is_object()) {
+        for (const auto& [r, rj] : per_rank->as_object()) {
+          events += static_cast<std::size_t>(field_num(rj, "events"));
+          dropped += field_num(rj, "dropped");
+        }
+      }
+      std::printf(
+          "\nflight recorder: %zu retained events (%.0f evicted, "
+          "%0.f per-rank capacity)\n",
+          events, dropped, field_num(*flight, "per_rank_capacity"));
+    }
+    return 0;
+  } catch (const ds::Error& e) {
+    std::fprintf(stderr, "monitor_report: %s\n", e.what());
+    return 1;
+  }
+}

@@ -5,6 +5,7 @@
 //
 //   --top N        how many span rows to print (default 12)
 //   --per-rank     also print the per-rank phase breakdown
+//   --json         emit the deepscale.trace_report.v1 JSON document instead
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -13,6 +14,7 @@
 #include <string>
 
 #include "obs/analysis/analysis.hpp"
+#include "obs/analysis/trace_report_doc.hpp"
 #include "support/error.hpp"
 
 namespace {
@@ -34,22 +36,27 @@ int main(int argc, char** argv) {
   const char* path = nullptr;
   std::size_t top_n = 12;
   bool per_rank = false;
+  bool as_json = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
       top_n = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else if (std::strcmp(argv[i], "--per-rank") == 0) {
       per_rank = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      as_json = true;
     } else if (argv[i][0] != '-' && path == nullptr) {
       path = argv[i];
     } else {
-      std::fprintf(stderr,
-                   "usage: trace_report [--top N] [--per-rank] <trace.json>\n");
+      std::fprintf(
+          stderr,
+          "usage: trace_report [--top N] [--per-rank] [--json] <trace.json>\n");
       return 2;
     }
   }
   if (path == nullptr) {
-    std::fprintf(stderr,
-                 "usage: trace_report [--top N] [--per-rank] <trace.json>\n");
+    std::fprintf(
+        stderr,
+        "usage: trace_report [--top N] [--per-rank] [--json] <trace.json>\n");
     return 2;
   }
 
@@ -57,6 +64,21 @@ int main(int argc, char** argv) {
   try {
     const ds::obs::JsonValue doc = ds::obs::parse_json(read_file(path));
     const TraceData trace = ingest_chrome_trace(doc);
+
+    if (as_json) {
+      // Self-check the document against the schema before printing it, so a
+      // build/validate drift fails loudly here, not in a downstream parser.
+      const ds::obs::JsonValue report = build_trace_report_doc(trace, top_n);
+      const std::vector<std::string> errors =
+          validate_trace_report_json(report);
+      for (const std::string& e : errors) {
+        std::fprintf(stderr, "trace_report: %s\n", e.c_str());
+      }
+      if (!errors.empty()) return 1;
+      std::printf("%s\n", ds::obs::write_json(report).c_str());
+      return 0;
+    }
+
     std::printf("%s: %zu virtual spans, %zu wall spans", path,
                 trace.vspans.size(), trace.spans.size());
     if (trace.dropped_events > 0) {
