@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <sstream>
+
+#include "support/thread_annotations.hpp"
 
 #include "comm/cost_model.hpp"
 #include "comm/fault.hpp"
@@ -24,11 +25,14 @@ struct Frame {
 };
 
 struct ChooserState {
-  std::mutex mutex;
-  std::vector<Frame>* frames = nullptr;
-  std::size_t served = 0;          // completed wildcard receives this run
-  bool enforcing_wait = false;     // blocked until the prescribed source queues
-  std::vector<std::size_t> visits;  // per-choice-point calls THIS run
+  Mutex mutex;
+  std::vector<Frame>* frames DS_GUARDED_BY(mutex) = nullptr;
+  // Completed wildcard receives this run.
+  std::size_t served DS_GUARDED_BY(mutex) = 0;
+  // Blocked until the prescribed source queues.
+  bool enforcing_wait DS_GUARDED_BY(mutex) = false;
+  // Per-choice-point calls THIS run.
+  std::vector<std::size_t> visits DS_GUARDED_BY(mutex);
 };
 
 /// Polls to sit out before serving any choice point, so sends that are
@@ -41,7 +45,7 @@ std::size_t schedule_chooser(void* ctx, std::size_t dst,
                              const std::size_t* candidates,
                              std::size_t count) {
   auto* state = static_cast<ChooserState*>(ctx);
-  const std::lock_guard<std::mutex> lock(state->mutex);
+  const MutexLock lock(state->mutex);
   std::vector<Frame>& frames = *state->frames;
   const std::size_t k = state->served;
   if (k == frames.size()) {
@@ -108,7 +112,12 @@ ExploreReport explore(const Protocol& protocol,
                                                     options.poll_seconds);
     Fabric fabric(protocol.ranks, cray_aries(), std::move(plan));
     ChooserState state;
-    state.frames = &frames;
+    {
+      // Single-threaded setup — the rank threads don't exist yet — but the
+      // capability still travels with the member.
+      const MutexLock lock(state.mutex);
+      state.frames = &frames;
+    }
     fabric.set_any_chooser(&schedule_chooser, &state);
 
     std::vector<double> digest(protocol.ranks, 0.0);
@@ -131,7 +140,7 @@ ExploreReport explore(const Protocol& protocol,
     if (timed_out.load()) {
       bool enforcing = false;
       {
-        const std::lock_guard<std::mutex> lock(state.mutex);
+        const MutexLock lock(state.mutex);
         enforcing = state.enforcing_wait;
       }
       if (enforcing) {

@@ -99,7 +99,7 @@ void Fabric::check_self_alive(std::size_t rank) {
   if (crash == kNeverCrashes) return;
   double now = 0.0;
   {
-    const std::lock_guard<std::mutex> lock(clocks_[rank]->mutex);
+    const MutexLock lock(clocks_[rank]->mutex);
     now = clocks_[rank]->value;
   }
   if (now >= crash) {
@@ -112,7 +112,7 @@ void Fabric::check_self_alive(std::size_t rank) {
 void Fabric::notify_all_mailboxes() {
   for (auto& box : mailboxes_) {
     {
-      const std::lock_guard<std::mutex> lock(box->mutex);
+      const MutexLock lock(box->mutex);
     }
     box->cv.notify_all();
   }
@@ -162,7 +162,7 @@ void Fabric::send(std::size_t src, std::size_t dst, int tag,
   double arrival = 0.0;
   std::vector<std::uint64_t> vclock;
   {
-    const std::lock_guard<std::mutex> lock(clocks_[src]->mutex);
+    const MutexLock lock(clocks_[src]->mutex);
     clocks_[src]->value += cost;
     arrival = clocks_[src]->value;
     ++clocks_[src]->vclock[src];
@@ -179,7 +179,7 @@ void Fabric::send(std::size_t src, std::size_t dst, int tag,
                         static_cast<std::int64_t>(dst), tag);
   Mailbox& box = *mailboxes_[dst];
   {
-    const std::lock_guard<std::mutex> lock(box.mutex);
+    const MutexLock lock(box.mutex);
     box.messages.push_back(
         Message{src, tag, std::move(payload), arrival, std::move(vclock)});
   }
@@ -208,7 +208,7 @@ void Fabric::faulty_send(std::size_t src, std::size_t dst, int tag,
   double drop_vtimes[kMaxDropStamps];
   std::vector<std::uint64_t> vclock;
   {
-    const std::lock_guard<std::mutex> lock(clocks_[src]->mutex);
+    const MutexLock lock(clocks_[src]->mutex);
     send_begin = clocks_[src]->value;
     for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
       ++attempts_used;
@@ -272,7 +272,7 @@ void Fabric::faulty_send(std::size_t src, std::size_t dst, int tag,
 
   Mailbox& box = *mailboxes_[dst];
   {
-    const std::lock_guard<std::mutex> lock(box.mutex);
+    const MutexLock lock(box.mutex);
     box.messages.push_back(
         Message{src, tag, std::move(payload), arrival, std::move(vclock)});
   }
@@ -304,7 +304,7 @@ void Fabric::send_overlapped(std::size_t src, std::size_t dst, int tag,
   double drop_vtimes[kMaxDropStamps];
   std::vector<std::uint64_t> vclock;
   {
-    const std::lock_guard<std::mutex> lock(clocks_[src]->mutex);
+    const MutexLock lock(clocks_[src]->mutex);
     post_begin = clocks_[src]->value;
     for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
       ++attempts_used;
@@ -368,7 +368,7 @@ void Fabric::send_overlapped(std::size_t src, std::size_t dst, int tag,
 
   Mailbox& box = *mailboxes_[dst];
   {
-    const std::lock_guard<std::mutex> lock(box.mutex);
+    const MutexLock lock(box.mutex);
     box.messages.push_back(
         Message{src, tag, std::move(payload), arrival, std::move(vclock)});
   }
@@ -382,7 +382,7 @@ bool Fabric::try_recv(std::size_t dst, std::size_t src, int tag,
   Mailbox& box = *mailboxes_[dst];
   Message msg;
   {
-    const std::lock_guard<std::mutex> lock(box.mutex);
+    const MutexLock lock(box.mutex);
     const auto it = std::find_if(
         box.messages.begin(), box.messages.end(), [&](const Message& m) {
           return m.src == src && m.tag == tag;
@@ -396,7 +396,7 @@ bool Fabric::try_recv(std::size_t dst, std::size_t src, int tag,
   double wait_begin = 0.0;
   double now = 0.0;
   {
-    const std::lock_guard<std::mutex> clock_lock(clocks_[dst]->mutex);
+    const MutexLock clock_lock(clocks_[dst]->mutex);
     wait_begin = clocks_[dst]->value;
     clocks_[dst]->value = std::max(clocks_[dst]->value, msg.arrival);
     wait = clocks_[dst]->value - wait_begin;
@@ -433,7 +433,7 @@ std::vector<float> Fabric::recv(std::size_t dst, std::size_t src, int tag) {
                           /*any=*/false);
   }
   Mailbox& box = *mailboxes_[dst];
-  std::unique_lock<std::mutex> lock(box.mutex);
+  UniqueLock lock(box.mutex);
   std::size_t polls = 0;
   for (;;) {
     const auto it = std::find_if(
@@ -449,7 +449,7 @@ std::vector<float> Fabric::recv(std::size_t dst, std::size_t src, int tag) {
       double wait_begin = 0.0;
       double now = 0.0;
       {
-        const std::lock_guard<std::mutex> clock_lock(clocks_[dst]->mutex);
+        const MutexLock clock_lock(clocks_[dst]->mutex);
         wait_begin = clocks_[dst]->value;
         clocks_[dst]->value = std::max(clocks_[dst]->value, msg.arrival);
         wait = clocks_[dst]->value - wait_begin;
@@ -482,7 +482,7 @@ std::vector<float> Fabric::recv(std::size_t dst, std::size_t src, int tag) {
     if (polls >= faults_.max_recv_polls) {
       double timeout_at = 0.0;
       {
-        const std::lock_guard<std::mutex> clock_lock(clocks_[dst]->mutex);
+        const MutexLock clock_lock(clocks_[dst]->mutex);
         clocks_[dst]->value += faults_.recv_timeout;
         timeout_at = clocks_[dst]->value;
       }
@@ -563,7 +563,7 @@ std::pair<std::size_t, std::vector<float>> Fabric::recv_any(std::size_t dst,
                           /*src=*/0, tag, /*any=*/true);
   }
   Mailbox& box = *mailboxes_[dst];
-  std::unique_lock<std::mutex> lock(box.mutex);
+  UniqueLock lock(box.mutex);
   std::size_t polls = 0;
   for (;;) {
     Message msg;
@@ -574,7 +574,7 @@ std::pair<std::size_t, std::vector<float>> Fabric::recv_any(std::size_t dst,
       double wait_begin = 0.0;
       double now = 0.0;
       {
-        const std::lock_guard<std::mutex> clock_lock(clocks_[dst]->mutex);
+        const MutexLock clock_lock(clocks_[dst]->mutex);
         wait_begin = clocks_[dst]->value;
         clocks_[dst]->value = std::max(clocks_[dst]->value, msg.arrival);
         wait = clocks_[dst]->value - wait_begin;
@@ -623,7 +623,7 @@ std::pair<std::size_t, std::vector<float>> Fabric::recv_any(std::size_t dst,
     if (polls >= faults_.max_recv_polls) {
       double timeout_at = 0.0;
       {
-        const std::lock_guard<std::mutex> clock_lock(clocks_[dst]->mutex);
+        const MutexLock clock_lock(clocks_[dst]->mutex);
         clocks_[dst]->value += faults_.recv_timeout;
         timeout_at = clocks_[dst]->value;
       }
@@ -646,13 +646,13 @@ std::pair<std::size_t, std::vector<float>> Fabric::recv_any(std::size_t dst,
 
 double Fabric::clock(std::size_t rank) const {
   DS_CHECK(rank < ranks(), "clock rank out of range");
-  const std::lock_guard<std::mutex> lock(clocks_[rank]->mutex);
+  const MutexLock lock(clocks_[rank]->mutex);
   return clocks_[rank]->value;
 }
 
 std::vector<std::uint64_t> Fabric::vclock(std::size_t rank) const {
   DS_CHECK(rank < ranks(), "vclock rank out of range");
-  const std::lock_guard<std::mutex> lock(clocks_[rank]->mutex);
+  const MutexLock lock(clocks_[rank]->mutex);
   return clocks_[rank]->vclock;
 }
 
@@ -660,7 +660,7 @@ void Fabric::advance(std::size_t rank, double seconds) {
   DS_CHECK(rank < ranks(), "advance rank out of range");
   DS_CHECK(seconds >= 0.0, "cannot advance clock backwards");
   if (!faults_on_) {
-    const std::lock_guard<std::mutex> lock(clocks_[rank]->mutex);
+    const MutexLock lock(clocks_[rank]->mutex);
     clocks_[rank]->value += seconds;
     return;
   }
@@ -669,7 +669,7 @@ void Fabric::advance(std::size_t rank, double seconds) {
   const double crash = faults_.crash_time(rank);
   bool crashed = false;
   {
-    const std::lock_guard<std::mutex> lock(clocks_[rank]->mutex);
+    const MutexLock lock(clocks_[rank]->mutex);
     clocks_[rank]->value += slowed;
     crashed = clocks_[rank]->value >= crash;
   }

@@ -30,18 +30,17 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "comm/collectives.hpp"
 #include "comm/cost_model.hpp"
 #include "comm/fault.hpp"
 #include "support/rng.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace ds {
 
@@ -200,21 +199,21 @@ class Fabric {
   };
 
   struct Mailbox {
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::deque<Message> messages;
+    Mutex mutex;
+    CondVar cv;
+    std::deque<Message> messages DS_GUARDED_BY(mutex);
     // Rotation-preference start for recv_any: one past the last source
     // served, so repeated wildcard receives sweep sources round-robin
     // instead of serving whichever message arrived first.
-    std::size_t any_rotation = 0;
+    std::size_t any_rotation DS_GUARDED_BY(mutex) = 0;
   };
 
   struct ClockSlot {
-    mutable std::mutex mutex;
-    double value = 0.0;
+    mutable Mutex mutex;
+    double value DS_GUARDED_BY(mutex) = 0.0;
     // The rank's Lamport vector clock, guarded by the same mutex as the
     // virtual clock (every protocol op already holds it).
-    std::vector<std::uint64_t> vclock;
+    std::vector<std::uint64_t> vclock DS_GUARDED_BY(mutex);
   };
 
   struct FaultSlot {
@@ -234,8 +233,10 @@ class Fabric {
                    std::vector<float> payload);
 
   /// Pop the rotation-preferred (or chooser-selected) message matching
-  /// `tag`, or nothing.
-  bool pop_any(std::size_t dst, Mailbox& box, int tag, Message& out);
+  /// `tag`, or nothing. Callers hold the mailbox lock; the chooser hook
+  /// runs under it (see set_any_chooser's re-entrancy contract).
+  bool pop_any(std::size_t dst, Mailbox& box, int tag, Message& out)
+      DS_REQUIRES(box.mutex);
 
   LinkModel link_;
   FaultPlan faults_;

@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cstring>
-#include <mutex>
 #include <sstream>
 #include <thread>
+
+#include "support/thread_annotations.hpp"
 
 #include "core/easgd_rules.hpp"
 #include "core/evaluator.hpp"
@@ -40,19 +41,23 @@ struct Snapshot {
 };
 
 struct MasterState {
+  // Deliberately unannotated: the Hogwild variants read and update the
+  // center with NO lock (the algorithm's defining property), while the
+  // locked variants guard it with `mutex`. A GUARDED_BY here would force
+  // no-analysis escapes onto the Hogwild path, hiding real findings.
   std::vector<float> center;
-  std::vector<float> momentum;  // Async MSGD only
-  std::mutex mutex;             // FCFS lock — NOT taken by Hogwild variants
+  Mutex mutex;  // FCFS lock — NOT taken by Hogwild variants
+  std::vector<float> momentum DS_GUARDED_BY(mutex);  // Async MSGD only
   std::atomic<std::size_t> ticket{0};
 
-  std::mutex clock_mutex;
-  double clock = 0.0;  // serialised-master virtual clock
+  Mutex clock_mutex;
+  double clock DS_GUARDED_BY(clock_mutex) = 0.0;  // serialised-master vclock
 
-  std::mutex trace_mutex;
-  std::vector<Snapshot> snapshots;
+  Mutex trace_mutex;
+  std::vector<Snapshot> snapshots DS_GUARDED_BY(trace_mutex);
 
-  std::mutex ledger_mutex;
-  CostLedger ledger;
+  Mutex ledger_mutex;
+  CostLedger ledger DS_GUARDED_BY(ledger_mutex);
 
   std::atomic<std::size_t> crashed{0};    // workers lost to the FaultPlan
   std::atomic<std::size_t> completed{0};  // interactions actually executed
@@ -90,6 +95,8 @@ RunResult run_async(const AlgoContext& ctx, const GpuSystem& hw,
     const auto params = init_net->arena().full_params();
     master.center.assign(params.begin(), params.end());
     if (has_momentum(method) && !is_easgd(method)) {
+      // Workers don't exist yet, but momentum is guarded: take the lock.
+      const MutexLock lock(master.mutex);
       master.momentum.assign(params.size(), 0.0f);
     }
   }
@@ -124,7 +131,7 @@ RunResult run_async(const AlgoContext& ctx, const GpuSystem& hw,
       if (lock_free) {
         copy(master.center, net->arena().full_params());
       } else {
-        const std::lock_guard<std::mutex> lock(master.mutex);
+        const MutexLock lock(master.mutex);
         copy(master.center, net->arena().full_params());
       }
     }
@@ -163,7 +170,7 @@ RunResult run_async(const AlgoContext& ctx, const GpuSystem& hw,
           std::memcpy(center_copy.data(), master.center.data(),
                       center_copy.size() * sizeof(float));
         } else {
-          const std::lock_guard<std::mutex> lock(master.mutex);
+          const MutexLock lock(master.mutex);
           std::memcpy(center_copy.data(), master.center.data(),
                       center_copy.size() * sizeof(float));
         }
@@ -189,10 +196,10 @@ RunResult run_async(const AlgoContext& ctx, const GpuSystem& hw,
                             cfg.rho);
           wclock += (hop + cup_s) * slow;
         } else {
-          const std::lock_guard<std::mutex> lock(master.mutex);
+          const MutexLock lock(master.mutex);
           easgd_center_step(master.center, net->arena().full_params(), lr,
                             cfg.rho);
-          const std::lock_guard<std::mutex> clock_lock(master.clock_mutex);
+          const MutexLock clock_lock(master.clock_mutex);
           master.clock = std::max(master.clock, wclock) + hop + cup_s;
           wclock = master.clock;
         }
@@ -203,7 +210,7 @@ RunResult run_async(const AlgoContext& ctx, const GpuSystem& hw,
           std::memcpy(net->arena().full_params().data(), master.center.data(),
                       center_copy.size() * sizeof(float));
         } else {
-          const std::lock_guard<std::mutex> lock(master.mutex);
+          const MutexLock lock(master.mutex);
           std::memcpy(net->arena().full_params().data(), master.center.data(),
                       center_copy.size() * sizeof(float));
         }
@@ -215,14 +222,14 @@ RunResult run_async(const AlgoContext& ctx, const GpuSystem& hw,
           sgd_step(master.center, net->arena().full_grads(), lr);
           wclock += (hop + cup_s) * slow;
         } else {
-          const std::lock_guard<std::mutex> lock(master.mutex);
+          const MutexLock lock(master.mutex);
           if (momentum) {
             momentum_step(master.center, master.momentum,
                           net->arena().full_grads(), lr, cfg.momentum);
           } else {
             sgd_step(master.center, net->arena().full_grads(), lr);
           }
-          const std::lock_guard<std::mutex> clock_lock(master.clock_mutex);
+          const MutexLock clock_lock(master.clock_mutex);
           master.clock = std::max(master.clock, wclock) + hop + cup_s;
           wclock = master.clock;
         }
@@ -251,17 +258,17 @@ RunResult run_async(const AlgoContext& ctx, const GpuSystem& hw,
           std::memcpy(snap.weights.data(), master.center.data(),
                       snap.weights.size() * sizeof(float));
         } else {
-          const std::lock_guard<std::mutex> lock(master.mutex);
+          const MutexLock lock(master.mutex);
           std::memcpy(snap.weights.data(), master.center.data(),
                       snap.weights.size() * sizeof(float));
         }
-        const std::lock_guard<std::mutex> lock(master.trace_mutex);
+        const MutexLock lock(master.trace_mutex);
         master.snapshots.push_back(std::move(snap));
       }
       master.completed.fetch_add(1, std::memory_order_relaxed);
     }
 
-    const std::lock_guard<std::mutex> lock(master.ledger_mutex);
+    const MutexLock lock(master.ledger_mutex);
     master.ledger += local_ledger;
   };
 
@@ -273,17 +280,26 @@ RunResult run_async(const AlgoContext& ctx, const GpuSystem& hw,
   for (auto& t : threads) t.join();
 
   // Evaluate the snapshots after the fact (evaluation is not part of the
-  // measured training time).
-  std::sort(master.snapshots.begin(), master.snapshots.end(),
+  // measured training time). The workers are joined, but the capabilities
+  // still travel with the guarded members — move them out under their locks.
+  std::vector<Snapshot> snapshots;
+  {
+    const MutexLock lock(master.trace_mutex);
+    snapshots = std::move(master.snapshots);
+  }
+  std::sort(snapshots.begin(), snapshots.end(),
             [](const Snapshot& a, const Snapshot& b) {
               return a.iteration < b.iteration;
             });
   RunResult res;
   res.method = async_method_name(method);
-  res.ledger = master.ledger;
+  {
+    const MutexLock lock(master.ledger_mutex);
+    res.ledger = master.ledger;
+  }
   Evaluator eval(ctx.factory, *ctx.test, cfg.eval_samples);
   double vtime_monotone = 0.0;
-  for (const Snapshot& snap : master.snapshots) {
+  for (const Snapshot& snap : snapshots) {
     TracePoint p = eval.evaluate_packed(snap.weights);
     p.iteration = snap.iteration;
     vtime_monotone = std::max(vtime_monotone, snap.vtime);

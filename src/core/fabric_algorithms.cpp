@@ -1,7 +1,6 @@
 #include "core/fabric_algorithms.hpp"
 
 #include <atomic>
-#include <mutex>
 #include <span>
 #include <sstream>
 
@@ -15,6 +14,7 @@
 #include "obs/proto.hpp"
 #include "obs/trace.hpp"
 #include "support/error.hpp"
+#include "support/thread_annotations.hpp"
 #include "support/thread_pool.hpp"
 #include "tensor/ops.hpp"
 
@@ -135,8 +135,10 @@ RunResult run_fabric_easgd(const AlgoContext& ctx,
   std::size_t completed_rounds = 0;  // written only by rank 0
   CostLedger rank0_ledger;           // written only by rank 0
   std::atomic<bool> any_failure{false};
-  std::mutex abort_mutex;
-  std::string abort_reason;
+  struct AbortSlot {
+    Mutex mutex;
+    std::string reason DS_GUARDED_BY(mutex);  // first failure wins
+  } abort;
 
   auto rank_main = [&](std::size_t rank) {
     const RankClock rank_clock{&fabric, rank};
@@ -233,12 +235,12 @@ RunResult run_fabric_easgd(const AlgoContext& ctx,
       // out, and leave partial progress behind.
       any_failure.store(true);
       {
-        const std::lock_guard<std::mutex> lock(abort_mutex);
-        if (abort_reason.empty()) {
+        const MutexLock lock(abort.mutex);
+        if (abort.reason.empty()) {
           std::ostringstream os;
           os << "round " << t << " aborted at rank " << rank << ": "
              << failure.what();
-          abort_reason = os.str();
+          abort.reason = os.str();
         }
       }
       if (rank == 0) {
@@ -262,7 +264,11 @@ RunResult run_fabric_easgd(const AlgoContext& ctx,
   res.workers = ranks;
   res.workers_survived = ranks - count_failed(fabric);
   res.aborted = any_failure.load();
-  res.abort_reason = abort_reason;
+  {
+    // Ranks are joined, but the capability still travels with the member.
+    const MutexLock lock(abort.mutex);
+    res.abort_reason = abort.reason;
+  }
   res.iterations = res.aborted ? completed_rounds : cfg.iterations;
   res.final_params = std::move(final_center);
   Evaluator eval(ctx.factory, *ctx.test, cfg.eval_samples);
@@ -321,11 +327,13 @@ RunResult run_fabric_async_easgd(const AlgoContext& ctx,
   // Each rank measures its own clock advances into a local ledger; the
   // merged result is the cluster-wide breakdown (summed over ranks, like
   // Table 3 sums device time over GPUs).
-  CostLedger merged_ledger;
-  std::mutex ledger_mutex;
+  struct LedgerSlot {
+    Mutex mutex;
+    CostLedger merged DS_GUARDED_BY(mutex);  // summed over ranks
+  } ledger_slot;
   auto merge_ledger = [&](const CostLedger& local) {
-    const std::lock_guard<std::mutex> lock(ledger_mutex);
-    merged_ledger += local;
+    const MutexLock lock(ledger_slot.mutex);
+    ledger_slot.merged += local;
   };
 
   // W̄₀ from one reference replica.
@@ -473,7 +481,10 @@ RunResult run_fabric_async_easgd(const AlgoContext& ctx,
   }
   // Breakdown = merged per-rank measured clock deltas (summed over server
   // and workers); wire totals from the fabric's own metric counters.
-  res.ledger = merged_ledger;
+  {
+    const MutexLock lock(ledger_slot.mutex);
+    res.ledger = ledger_slot.merged;
+  }
   apply_fabric_wire(res, wire_before);
   return res;
 }
@@ -524,14 +535,18 @@ RunResult run_fabric_bucketed_easgd(const AlgoContext& ctx,
   std::vector<float> final_center;   // written only by the center thread
   std::size_t completed_rounds = 0;  // written only by the center thread
   std::atomic<bool> any_failure{false};
-  std::mutex abort_mutex;
-  std::string abort_reason;
+  struct AbortSlot {
+    Mutex mutex;
+    std::string reason DS_GUARDED_BY(mutex);  // first failure wins
+  } abort;
 
-  CostLedger merged_ledger;
-  std::mutex ledger_mutex;
+  struct LedgerSlot {
+    Mutex mutex;
+    CostLedger merged DS_GUARDED_BY(mutex);  // summed over ranks
+  } ledger_slot;
   auto merge_ledger = [&](const CostLedger& local) {
-    const std::lock_guard<std::mutex> lock(ledger_mutex);
-    merged_ledger += local;
+    const MutexLock lock(ledger_slot.mutex);
+    ledger_slot.merged += local;
   };
 
   auto center_main = [&] {
@@ -641,11 +656,11 @@ RunResult run_fabric_bucketed_easgd(const AlgoContext& ctx,
     } catch (const RankFailure& failure) {
       any_failure.store(true);
       {
-        const std::lock_guard<std::mutex> lock(abort_mutex);
-        if (abort_reason.empty()) {
+        const MutexLock lock(abort.mutex);
+        if (abort.reason.empty()) {
           std::ostringstream os;
           os << "round " << t << " aborted at center: " << failure.what();
-          abort_reason = os.str();
+          abort.reason = os.str();
         }
       }
       if (probes.empty() || probes.back().iteration < completed_rounds) {
@@ -780,7 +795,11 @@ RunResult run_fabric_bucketed_easgd(const AlgoContext& ctx,
   res.workers = workers;
   res.workers_survived = workers - count_failed(fabric);
   res.aborted = any_failure.load();
-  res.abort_reason = abort_reason;
+  {
+    // Ranks are joined, but the capability still travels with the member.
+    const MutexLock lock(abort.mutex);
+    res.abort_reason = abort.reason;
+  }
   res.iterations = res.aborted ? completed_rounds : cfg.iterations;
   res.final_params = std::move(final_center);
   Evaluator eval(ctx.factory, *ctx.test, cfg.eval_samples);
@@ -795,7 +814,10 @@ RunResult run_fabric_bucketed_easgd(const AlgoContext& ctx,
     res.final_accuracy = res.trace.back().accuracy;
     res.final_loss = res.trace.back().loss;
   }
-  res.ledger = merged_ledger;
+  {
+    const MutexLock lock(ledger_slot.mutex);
+    res.ledger = ledger_slot.merged;
+  }
   apply_fabric_wire(res, wire_before);
   return res;
 }
@@ -827,14 +849,18 @@ RunResult run_fabric_round_robin_easgd(const AlgoContext& ctx,
   std::vector<float> final_center;  // written only by the master thread
   std::size_t completed_sweeps = 0;  // written only by the master thread
   std::atomic<bool> any_failure{false};
-  std::mutex abort_mutex;
-  std::string abort_reason;
+  struct AbortSlot {
+    Mutex mutex;
+    std::string reason DS_GUARDED_BY(mutex);  // first failure wins
+  } abort;
 
-  CostLedger merged_ledger;
-  std::mutex ledger_mutex;
+  struct LedgerSlot {
+    Mutex mutex;
+    CostLedger merged DS_GUARDED_BY(mutex);  // summed over ranks
+  } ledger_slot;
   auto merge_ledger = [&](const CostLedger& local) {
-    const std::lock_guard<std::mutex> lock(ledger_mutex);
-    merged_ledger += local;
+    const MutexLock lock(ledger_slot.mutex);
+    ledger_slot.merged += local;
   };
 
   // W̄₀ from one reference replica.
@@ -921,11 +947,11 @@ RunResult run_fabric_round_robin_easgd(const AlgoContext& ctx,
     } catch (const RankFailure& failure) {
       any_failure.store(true);
       {
-        const std::lock_guard<std::mutex> lock(abort_mutex);
-        if (abort_reason.empty()) {
+        const MutexLock lock(abort.mutex);
+        if (abort.reason.empty()) {
           std::ostringstream os;
           os << "sweep " << t << " aborted at master: " << failure.what();
-          abort_reason = os.str();
+          abort.reason = os.str();
         }
       }
       if (probes.empty() || probes.back().sweep < completed_sweeps) {
@@ -1055,7 +1081,11 @@ RunResult run_fabric_round_robin_easgd(const AlgoContext& ctx,
   res.workers = workers;
   res.workers_survived = workers - count_failed(fabric);
   res.aborted = any_failure.load();
-  res.abort_reason = abort_reason;
+  {
+    // Ranks are joined, but the capability still travels with the member.
+    const MutexLock lock(abort.mutex);
+    res.abort_reason = abort.reason;
+  }
   res.iterations = res.aborted ? completed_sweeps : cfg.iterations;
   res.final_params = std::move(final_center);
   Evaluator eval(ctx.factory, *ctx.test, cfg.eval_samples);
@@ -1070,7 +1100,10 @@ RunResult run_fabric_round_robin_easgd(const AlgoContext& ctx,
     res.final_accuracy = res.trace.back().accuracy;
     res.final_loss = res.trace.back().loss;
   }
-  res.ledger = merged_ledger;
+  {
+    const MutexLock lock(ledger_slot.mutex);
+    res.ledger = ledger_slot.merged;
+  }
   apply_fabric_wire(res, wire_before);
   return res;
 }

@@ -79,11 +79,9 @@ void Network::finalize(Rng& rng) {
 const Tensor& Network::forward(const Tensor& batch, bool train) {
   DS_CHECK(finalized_, "forward() before finalize()");
   const Tensor* in = &batch;
-  const bool traced = obs::tracing_enabled();
   for (std::size_t i = 0; i < layers_.size(); ++i) {
-    if (traced) obs::span_begin("layer", fwd_trace_name(i));
+    const obs::SpanGuard span("layer", fwd_trace_name(i));
     layers_[i]->forward(*in, acts_[i], train);
-    if (traced) obs::span_end();
     in = &acts_[i];
   }
   return acts_.back();
@@ -116,12 +114,12 @@ LossResult Network::forward_backward(const Tensor& batch,
   const LossResult result = loss_.forward_backward(logits, labels, dlogits_);
 
   const Tensor* grad = &dlogits_;
-  const bool traced = obs::tracing_enabled();
   for (std::size_t i = layers_.size(); i-- > 0;) {
     const Tensor& in = (i == 0) ? batch : acts_[i - 1];
-    if (traced) obs::span_begin("layer", bwd_trace_name(i));
-    layers_[i]->backward(in, acts_[i], *grad, grads_cache_[i]);
-    if (traced) obs::span_end();
+    {
+      const obs::SpanGuard span("layer", bwd_trace_name(i));
+      layers_[i]->backward(in, acts_[i], *grad, grads_cache_[i]);
+    }
     grad = &grads_cache_[i];
     // Layer i has retired: its arena gradient is final. The hook runs
     // OUTSIDE the layer span so its own narration (sends, clock advances)

@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <mutex>
 #include <sstream>
 #include <vector>
 
 #include "support/error.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace ds::obs {
 
@@ -111,11 +111,15 @@ double MetricsSnapshot::delta(const MetricsSnapshot& before,
 // calls survive every later insertion, which is what lets call sites cache
 // them in function-local statics.
 struct MetricsRegistry::Impl {
-  mutable std::mutex mutex;
-  std::map<std::string, Counter, std::less<>> counters;
-  std::map<std::string, Gauge, std::less<>> gauges;
-  std::map<std::string, AccumDouble, std::less<>> accums;
-  std::map<std::string, Histogram, std::less<>> histograms;
+  mutable Mutex mutex;
+  // The maps (lookup structure) are guarded; the instruments themselves are
+  // lock-free atomics updated through the stable references find-or-create
+  // hands out.
+  std::map<std::string, Counter, std::less<>> counters DS_GUARDED_BY(mutex);
+  std::map<std::string, Gauge, std::less<>> gauges DS_GUARDED_BY(mutex);
+  std::map<std::string, AccumDouble, std::less<>> accums DS_GUARDED_BY(mutex);
+  std::map<std::string, Histogram, std::less<>> histograms
+      DS_GUARDED_BY(mutex);
 };
 
 MetricsRegistry::MetricsRegistry() : impl_(new Impl()) {}
@@ -123,9 +127,10 @@ MetricsRegistry::~MetricsRegistry() { delete impl_; }
 
 namespace {
 
+// Callers hold the registry mutex (the lock sits at each call site so the
+// guarded-member reference is bound under the capability).
 template <class Map>
-auto& find_or_create(Map& map, std::mutex& mutex, std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mutex);
+auto& find_or_create(Map& map, std::string_view name) {
   const auto it = map.find(name);
   if (it != map.end()) return it->second;
   return map[std::string(name)];
@@ -134,24 +139,28 @@ auto& find_or_create(Map& map, std::mutex& mutex, std::string_view name) {
 }  // namespace
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  return find_or_create(impl_->counters, impl_->mutex, name);
+  const MutexLock lock(impl_->mutex);
+  return find_or_create(impl_->counters, name);
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  return find_or_create(impl_->gauges, impl_->mutex, name);
+  const MutexLock lock(impl_->mutex);
+  return find_or_create(impl_->gauges, name);
 }
 
 AccumDouble& MetricsRegistry::accum(std::string_view name) {
-  return find_or_create(impl_->accums, impl_->mutex, name);
+  const MutexLock lock(impl_->mutex);
+  return find_or_create(impl_->accums, name);
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
-  return find_or_create(impl_->histograms, impl_->mutex, name);
+  const MutexLock lock(impl_->mutex);
+  return find_or_create(impl_->histograms, name);
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   std::map<std::string, double> out;
-  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const MutexLock lock(impl_->mutex);
   for (const auto& [name, c] : impl_->counters) {
     out[name] = static_cast<double>(c.value());
   }
@@ -212,7 +221,7 @@ void append_json_double(std::ostringstream& os, double v) {
 
 std::string MetricsRegistry::json() const {
   std::ostringstream os;
-  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const MutexLock lock(impl_->mutex);
   os << "{\"counters\":{";
   bool first = true;
   for (const auto& [name, c] : impl_->counters) {
@@ -262,7 +271,7 @@ std::string MetricsRegistry::json() const {
 }
 
 void MetricsRegistry::reset() {
-  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const MutexLock lock(impl_->mutex);
   for (auto& [name, c] : impl_->counters) c.reset();
   for (auto& [name, g] : impl_->gauges) g.reset();
   for (auto& [name, a] : impl_->accums) a.reset();

@@ -4,11 +4,11 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
-#include <mutex>
 #include <set>
 
 #include "obs/chrome_trace.hpp"
 #include "support/error.hpp"
+#include "support/thread_annotations.hpp"
 
 namespace ds::obs::monitor {
 
@@ -183,51 +183,51 @@ struct Monitor::Impl {
     TimeSeries step_series;                    // (vtime, step seconds)
   };
 
-  mutable std::mutex mu;
-  mutable std::mutex flight_mu;  // mu → flight_mu only; mirror takes only it
+  mutable Mutex mu;
+  mutable Mutex flight_mu;  // mu → flight_mu only; mirror takes only it
 
-  std::map<std::int64_t, RankState> ranks;
-  bool rank_mode = false;
+  std::map<std::int64_t, RankState> ranks DS_GUARDED_BY(mu);
+  bool rank_mode DS_GUARDED_BY(mu) = false;
 
-  std::int64_t closed_upto = -1;  // highest closed window index
-  double tick_watermark = 0.0;
-  bool tick_seen = false;
+  std::int64_t closed_upto DS_GUARDED_BY(mu) = -1;  // highest closed window
+  double tick_watermark DS_GUARDED_BY(mu) = 0.0;
+  bool tick_seen DS_GUARDED_BY(mu) = false;
 
-  std::map<std::int64_t, ServeAccum> serve_open;
-  TimeSeries queue_series;
-  bool serve_seen = false;
+  std::map<std::int64_t, ServeAccum> serve_open DS_GUARDED_BY(mu);
+  TimeSeries queue_series DS_GUARDED_BY(mu);
+  bool serve_seen DS_GUARDED_BY(mu) = false;
 
   // Cluster step-rate EWMA and its running peak (collapse detector).
-  double rate_ewma = kNaN;
-  double rate_peak = 0.0;
+  double rate_ewma DS_GUARDED_BY(mu) = kNaN;
+  double rate_peak DS_GUARDED_BY(mu) = 0.0;
 
   // Edge-trigger latches: an alert fires on the rising edge only.
-  std::set<std::int64_t> straggler_latched;
-  bool collapse_latched = false;
-  bool storm_latched = false;
-  bool slo_latched = false;
-  bool queue_latched = false;
+  std::set<std::int64_t> straggler_latched DS_GUARDED_BY(mu);
+  bool collapse_latched DS_GUARDED_BY(mu) = false;
+  bool storm_latched DS_GUARDED_BY(mu) = false;
+  bool slo_latched DS_GUARDED_BY(mu) = false;
+  bool queue_latched DS_GUARDED_BY(mu) = false;
 
   // Registry sampling (tick-driven runs only; see header contract).
-  MetricsSnapshot start_snapshot;
-  MetricsSnapshot prev_sample;
-  const Histogram* latency_hist;
-  HistogramWindow start_latency;
-  HistogramWindow prev_latency;
-  std::map<std::string, TimeSeries> series;  // named cluster-wide series
+  MetricsSnapshot start_snapshot DS_GUARDED_BY(mu);
+  MetricsSnapshot prev_sample DS_GUARDED_BY(mu);
+  const Histogram* latency_hist DS_GUARDED_BY(mu);
+  HistogramWindow start_latency DS_GUARDED_BY(mu);
+  HistogramWindow prev_latency DS_GUARDED_BY(mu);
+  std::map<std::string, TimeSeries> series DS_GUARDED_BY(mu);
 
-  std::map<std::int64_t, FlightRing> flight;
+  std::map<std::int64_t, FlightRing> flight DS_GUARDED_BY(flight_mu);
 
   // Finalize capture.
-  std::map<std::string, double> final_metrics;
-  HistogramWindow final_latency;
-  bool have_latency = false;
-  double finalize_vtime = 0.0;
+  std::map<std::string, double> final_metrics DS_GUARDED_BY(mu);
+  HistogramWindow final_latency DS_GUARDED_BY(mu);
+  bool have_latency DS_GUARDED_BY(mu) = false;
+  double finalize_vtime DS_GUARDED_BY(mu) = 0.0;
 
   // Dump trigger; retained trigger is min by (vtime, rank) so concurrent
   // failures resolve deterministically.
-  double trigger_vtime = kInf;
-  std::int64_t trigger_rank = kNoRank;
+  double trigger_vtime DS_GUARDED_BY(mu) = kInf;
+  std::int64_t trigger_rank DS_GUARDED_BY(mu) = kNoRank;
 
   Counter& alerts_ctr;
   Counter& windows_ctr;
@@ -267,7 +267,7 @@ double window_end(std::int64_t w, double dt) {
 
 void Monitor::on_run_begin(std::int64_t ranks) {
   g_slow_entries.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  const MutexLock lock(impl_->mu);
   impl_->rank_mode = true;
   for (std::int64_t r = 0; r < ranks; ++r) {
     impl_->ranks.emplace(r, Impl::RankState(config_.series_capacity));
@@ -276,27 +276,37 @@ void Monitor::on_run_begin(std::int64_t ranks) {
 
 // The window-close engine needs access to both config_ and the private
 // alert/failure vectors; it runs as static members of this friend helper,
-// always with impl_->mu held by the calling on_*() method.
+// always with impl_->mu held by the calling on_*() method. Every function
+// takes the Impl explicitly and is DS_REQUIRES(im.mu): the capability is a
+// parameter expression, so clang substitutes the caller's argument and
+// checks the lock is held at every call site — the PR 9 relock bug
+// (re-entering a mu-taking public method from under mu) is a compile error
+// under -Wthread-safety, not a runtime deadlock.
 struct MonitorAccess {
-  static void step(Monitor& m, std::int64_t rank, double vtime,
-                   double step_seconds);
-  static void retransmit(Monitor& m, std::int64_t rank, double vtime,
-                         std::uint64_t n);
-  static void maybe_close(Monitor& m, bool force, std::int64_t force_upto);
-  static void close_window(Monitor& m, std::int64_t w, bool forced);
-  static void arm_trigger(Monitor& m, const std::string& reason,
-                          std::int64_t rank, double vtime);
-  static double horizon(const Monitor& m);
-  static Monitor::Impl& impl(const Monitor& m) { return *m.impl_; }
-  static JsonValue build_bundle(const Monitor& m);
-  static std::string build_flight(const Monitor& m);
-  static bool write_bundle_locked(const Monitor& m);
-  static void fire(Monitor& m, AlertKind kind, std::int64_t rank, double vtime,
-                   double value, double threshold, std::string detail);
+  using Impl = Monitor::Impl;
+  static void step(Monitor& m, Impl& im, std::int64_t rank, double vtime,
+                   double step_seconds) DS_REQUIRES(im.mu);
+  static void retransmit(Monitor& m, Impl& im, std::int64_t rank, double vtime,
+                         std::uint64_t n) DS_REQUIRES(im.mu);
+  static void maybe_close(Monitor& m, Impl& im, bool force,
+                          std::int64_t force_upto) DS_REQUIRES(im.mu);
+  static void close_window(Monitor& m, Impl& im, std::int64_t w, bool forced)
+      DS_REQUIRES(im.mu);
+  static void arm_trigger(Monitor& m, Impl& im, const std::string& reason,
+                          std::int64_t rank, double vtime) DS_REQUIRES(im.mu);
+  static double horizon(const Impl& im) DS_REQUIRES(im.mu);
+  static JsonValue build_bundle(const Monitor& m, Impl& im)
+      DS_REQUIRES(im.mu) DS_EXCLUDES(im.flight_mu);
+  static std::string build_flight(const Monitor& m, Impl& im)
+      DS_REQUIRES(im.mu) DS_EXCLUDES(im.flight_mu);
+  static bool write_bundle_locked(const Monitor& m, Impl& im)
+      DS_REQUIRES(im.mu) DS_EXCLUDES(im.flight_mu);
+  static void fire(Monitor& m, Impl& im, AlertKind kind, std::int64_t rank,
+                   double vtime, double value, double threshold,
+                   std::string detail) DS_REQUIRES(im.mu);
 };
 
-double MonitorAccess::horizon(const Monitor& m) {
-  Monitor::Impl& im = impl(m);
+double MonitorAccess::horizon(const Impl& im) {
   if (!im.rank_mode) return im.tick_seen ? im.tick_watermark : 0.0;
   double lo = kInf;
   double hi = 0.0;
@@ -314,9 +324,9 @@ double MonitorAccess::horizon(const Monitor& m) {
   return any_alive ? lo : hi;
 }
 
-void MonitorAccess::arm_trigger(Monitor& m, const std::string& reason,
-                                std::int64_t rank, double vtime) {
-  Monitor::Impl& im = impl(m);
+void MonitorAccess::arm_trigger(Monitor& m, Impl& im,
+                                const std::string& reason, std::int64_t rank,
+                                double vtime) {
   if (!m.trigger_armed_ || vtime < im.trigger_vtime ||
       (vtime == im.trigger_vtime && rank < im.trigger_rank)) {
     m.trigger_armed_ = true;
@@ -326,21 +336,20 @@ void MonitorAccess::arm_trigger(Monitor& m, const std::string& reason,
   }
 }
 
-void MonitorAccess::fire(Monitor& m, AlertKind kind, std::int64_t rank,
-                         double vtime, double value, double threshold,
-                         std::string detail) {
-  Monitor::Impl& im = impl(m);
+void MonitorAccess::fire(Monitor& m, Impl& im, AlertKind kind,
+                         std::int64_t rank, double vtime, double value,
+                         double threshold, std::string detail) {
   m.alerts_.push_back(
       Alert{kind, rank, vtime, value, threshold, std::move(detail)});
   im.alerts_ctr.add(1);
   if (m.config_.dump_on_alert) {
-    arm_trigger(m, std::string("alert: ") + alert_kind_name(kind), rank,
+    arm_trigger(m, im, std::string("alert: ") + alert_kind_name(kind), rank,
                 vtime);
   }
 }
 
-void MonitorAccess::close_window(Monitor& m, std::int64_t w, bool forced) {
-  Monitor::Impl& im = impl(m);
+void MonitorAccess::close_window(Monitor& m, Impl& im, std::int64_t w,
+                                 bool forced) {
   const MonitorConfig& cfg = m.config_;
   const double dt = cfg.sample_interval_vs;
   const double t_end = window_end(w, dt);
@@ -432,7 +441,7 @@ void MonitorAccess::close_window(Monitor& m, std::int64_t w, bool forced) {
         const bool latched = im.straggler_latched.count(r) > 0;
         if (z >= cfg.straggler_z && !latched) {
           im.straggler_latched.insert(r);
-          fire(m, AlertKind::kStragglerDrift, r, t_end, z, cfg.straggler_z,
+          fire(m, im, AlertKind::kStragglerDrift, r, t_end, z, cfg.straggler_z,
                "rank " + num(r) + " step EWMA " + num(e) + "s vs peers " +
                    num(mean) + "s (z=" + num(z) + ")");
         } else if (latched && z < 0.5 * cfg.straggler_z) {
@@ -446,7 +455,7 @@ void MonitorAccess::close_window(Monitor& m, std::int64_t w, bool forced) {
     const double floor = cfg.collapse_fraction * im.rate_peak;
     if (im.rate_ewma < floor && !im.collapse_latched) {
       im.collapse_latched = true;
-      fire(m, AlertKind::kThroughputCollapse, kNoRank, t_end, im.rate_ewma,
+      fire(m, im, AlertKind::kThroughputCollapse, kNoRank, t_end, im.rate_ewma,
            floor,
            "smoothed step rate " + num(im.rate_ewma) + "/vs fell below " +
                num(floor) + "/vs (peak " + num(im.rate_peak) + "/vs)");
@@ -459,7 +468,7 @@ void MonitorAccess::close_window(Monitor& m, std::int64_t w, bool forced) {
     const double rrate = static_cast<double>(retr_w) / dt;
     if (rrate >= cfg.storm_retransmits_per_vs && !im.storm_latched) {
       im.storm_latched = true;
-      fire(m, AlertKind::kRetransmitStorm, kNoRank, t_end, rrate,
+      fire(m, im, AlertKind::kRetransmitStorm, kNoRank, t_end, rrate,
            cfg.storm_retransmits_per_vs,
            "retransmit rate " + num(rrate) + "/vs in window " + num(w));
     } else if (im.storm_latched &&
@@ -474,7 +483,7 @@ void MonitorAccess::close_window(Monitor& m, std::int64_t w, bool forced) {
     const double burn = miss_frac / std::max(cfg.slo_miss_budget, 1e-12);
     if (burn >= cfg.slo_burn_threshold && !im.slo_latched) {
       im.slo_latched = true;
-      fire(m, AlertKind::kSloBurn, kNoRank, t_end, burn,
+      fire(m, im, AlertKind::kSloBurn, kNoRank, t_end, burn,
            cfg.slo_burn_threshold,
            "deadline-miss fraction " + num(miss_frac) + " burns " + num(burn) +
                "x the " + num(cfg.slo_miss_budget) + " budget (" +
@@ -492,7 +501,7 @@ void MonitorAccess::close_window(Monitor& m, std::int64_t w, bool forced) {
         depth >= static_cast<double>(cfg.slo_queue_min_depth) &&
         !im.queue_latched) {
       im.queue_latched = true;
-      fire(m, AlertKind::kQueueGrowth, kNoRank, t_end, slope,
+      fire(m, im, AlertKind::kQueueGrowth, kNoRank, t_end, slope,
            cfg.slo_queue_slope,
            "queue depth " + num(depth) + " growing at " + num(slope) +
                " req/vs");
@@ -524,24 +533,22 @@ void MonitorAccess::close_window(Monitor& m, std::int64_t w, bool forced) {
   }
 }
 
-void MonitorAccess::maybe_close(Monitor& m, bool force,
+void MonitorAccess::maybe_close(Monitor& m, Impl& im, bool force,
                                 std::int64_t force_upto) {
-  Monitor::Impl& im = impl(m);
   const double dt = m.config_.sample_interval_vs;
   for (;;) {
     const std::int64_t w = im.closed_upto + 1;
     if (force) {
       if (w > force_upto) break;
     } else {
-      if (window_end(w, dt) > horizon(m)) break;
+      if (window_end(w, dt) > horizon(im)) break;
     }
-    close_window(m, w, force);
+    close_window(m, im, w, force);
   }
 }
 
-void MonitorAccess::step(Monitor& m, std::int64_t rank, double vtime,
-                         double step_seconds) {
-  Monitor::Impl& im = impl(m);
+void MonitorAccess::step(Monitor& m, Impl& im, std::int64_t rank,
+                         double vtime, double step_seconds) {
   auto [it, inserted] =
       im.ranks.try_emplace(rank, Monitor::Impl::RankState(m.config_.series_capacity));
   if (inserted) im.rank_mode = true;
@@ -557,115 +564,110 @@ void MonitorAccess::step(Monitor& m, std::int64_t rank, double vtime,
   ++acc.steps;
   acc.step_sum += step_seconds;
   rs.step_series.push(vtime, step_seconds);
-  maybe_close(m, false, -1);
+  maybe_close(m, im, false, -1);
 }
 
-void MonitorAccess::retransmit(Monitor& m, std::int64_t rank, double vtime,
-                               std::uint64_t n) {
-  Monitor::Impl& im = impl(m);
+void MonitorAccess::retransmit(Monitor& m, Impl& im, std::int64_t rank,
+                               double vtime, std::uint64_t n) {
   auto [it, inserted] =
       im.ranks.try_emplace(rank, Monitor::Impl::RankState(m.config_.series_capacity));
   if (inserted) im.rank_mode = true;
   Monitor::Impl::RankState& rs = it->second;
   rs.watermark = std::max(rs.watermark, vtime);
   rs.open[window_index(vtime, m.config_.sample_interval_vs)].retransmits += n;
-  maybe_close(m, false, -1);
+  maybe_close(m, im, false, -1);
 }
 
 void Monitor::on_step(std::int64_t rank, double vtime, double step_seconds) {
   g_slow_entries.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  MonitorAccess::step(*this, rank, vtime, step_seconds);
+  const MutexLock lock(impl_->mu);
+  MonitorAccess::step(*this, *impl_, rank, vtime, step_seconds);
 }
 
 void Monitor::on_retransmit(std::int64_t rank, double vtime,
                             std::uint64_t n) {
   g_slow_entries.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  MonitorAccess::retransmit(*this, rank, vtime, n);
+  const MutexLock lock(impl_->mu);
+  MonitorAccess::retransmit(*this, *impl_, rank, vtime, n);
 }
 
 void Monitor::on_serve_reply(double vtime, double latency_seconds,
                              bool missed_deadline) {
   g_slow_entries.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  Impl& im = *impl_;
-  im.serve_seen = true;
-  im.tick_seen = true;
-  im.tick_watermark = std::max(im.tick_watermark, vtime);
+  const MutexLock lock(impl_->mu);
+  impl_->serve_seen = true;
+  impl_->tick_seen = true;
+  impl_->tick_watermark = std::max(impl_->tick_watermark, vtime);
   ServeAccum& sv =
-      im.serve_open[window_index(vtime, config_.sample_interval_vs)];
+      impl_->serve_open[window_index(vtime, config_.sample_interval_vs)];
   ++sv.replies;
   if (missed_deadline) ++sv.misses;
   sv.latency_sum += latency_seconds;
-  MonitorAccess::maybe_close(*this, false, -1);
+  MonitorAccess::maybe_close(*this, *impl_, false, -1);
 }
 
 void Monitor::on_serve_queue(double vtime, std::int64_t depth) {
   g_slow_entries.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  Impl& im = *impl_;
-  im.serve_seen = true;
-  im.tick_seen = true;
-  im.tick_watermark = std::max(im.tick_watermark, vtime);
-  im.queue_series.push(vtime, static_cast<double>(depth));
-  MonitorAccess::maybe_close(*this, false, -1);
+  const MutexLock lock(impl_->mu);
+  impl_->serve_seen = true;
+  impl_->tick_seen = true;
+  impl_->tick_watermark = std::max(impl_->tick_watermark, vtime);
+  impl_->queue_series.push(vtime, static_cast<double>(depth));
+  MonitorAccess::maybe_close(*this, *impl_, false, -1);
 }
 
 void Monitor::on_tick(double vtime) {
   g_slow_entries.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  const MutexLock lock(impl_->mu);
   impl_->tick_seen = true;
   impl_->tick_watermark = std::max(impl_->tick_watermark, vtime);
-  MonitorAccess::maybe_close(*this, false, -1);
+  MonitorAccess::maybe_close(*this, *impl_, false, -1);
 }
 
 void Monitor::on_failure(std::int64_t rank, double vtime, const char* what) {
   g_slow_entries.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  Impl& im = *impl_;
+  const MutexLock lock(impl_->mu);
   failures_.push_back(
       FailureRecord{rank, vtime, what != nullptr ? what : ""});
   auto [it, inserted] =
-      im.ranks.try_emplace(rank, Impl::RankState(config_.series_capacity));
-  if (inserted) im.rank_mode = true;
+      impl_->ranks.try_emplace(rank, Impl::RankState(config_.series_capacity));
+  if (inserted) impl_->rank_mode = true;
   it->second.alive = false;
   it->second.watermark = std::max(it->second.watermark, vtime);
   if (config_.dump_on_failure) {
-    MonitorAccess::arm_trigger(*this, "rank_failure", rank, vtime);
+    MonitorAccess::arm_trigger(*this, *impl_, "rank_failure", rank, vtime);
   }
-  MonitorAccess::maybe_close(*this, false, -1);
+  MonitorAccess::maybe_close(*this, *impl_, false, -1);
 }
 
 void Monitor::request_dump(std::string reason, double vtime) {
   g_slow_entries.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  MonitorAccess::arm_trigger(*this, "request: " + std::move(reason), kNoRank,
-                             vtime);
+  const MutexLock lock(impl_->mu);
+  MonitorAccess::arm_trigger(*this, *impl_, "request: " + std::move(reason),
+                             kNoRank, vtime);
 }
 
 void Monitor::on_run_finalize(double vtime) {
   g_slow_entries.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  Impl& im = *impl_;
-  im.finalize_vtime = std::max(im.finalize_vtime, vtime);
+  const MutexLock lock(impl_->mu);
+  impl_->finalize_vtime = std::max(impl_->finalize_vtime, vtime);
 
   // Drain: first close everything the horizon already covers (these still
   // judge detectors), then force-close any window holding residual data.
-  MonitorAccess::maybe_close(*this, false, -1);
-  std::int64_t upto = im.closed_upto;
-  for (const auto& [r, rs] : im.ranks) {
+  MonitorAccess::maybe_close(*this, *impl_, false, -1);
+  std::int64_t upto = impl_->closed_upto;
+  for (const auto& [r, rs] : impl_->ranks) {
     (void)r;
     for (const auto& [w, acc] : rs.open) {
       (void)acc;
       upto = std::max(upto, w);
     }
   }
-  for (const auto& [w, acc] : im.serve_open) {
+  for (const auto& [w, acc] : impl_->serve_open) {
     (void)acc;
     upto = std::max(upto, w);
   }
-  MonitorAccess::maybe_close(*this, true, upto);
+  MonitorAccess::maybe_close(*this, *impl_, true, upto);
 
   std::sort(failures_.begin(), failures_.end(),
             [](const FailureRecord& a, const FailureRecord& b) {
@@ -675,7 +677,7 @@ void Monitor::on_run_finalize(double vtime) {
             });
 
   const MetricsSnapshot snap = metrics().snapshot();
-  im.final_metrics.clear();
+  impl_->final_metrics.clear();
   for (const auto& [name, value] : snap.values()) {
     bool excluded = false;
     for (const std::string& skip : config_.metric_excludes) {
@@ -687,22 +689,24 @@ void Monitor::on_run_finalize(double vtime) {
     if (excluded) continue;
     for (const std::string& prefix : config_.metric_prefixes) {
       if (name.rfind(prefix, 0) == 0) {
-        im.final_metrics[name] = value - im.start_snapshot.value(name);
+        impl_->final_metrics[name] = value - impl_->start_snapshot.value(name);
         break;
       }
     }
   }
-  im.final_latency = im.latency_hist->window().since(im.start_latency);
-  im.have_latency = im.final_latency.count > 0;
+  impl_->final_latency =
+      impl_->latency_hist->window().since(impl_->start_latency);
+  impl_->have_latency = impl_->final_latency.count > 0;
 
   finalized_ = true;
 
   if (trigger_armed_) {
-    im.dumps_ctr.add(1);
+    impl_->dumps_ctr.add(1);
     if (!config_.bundle_path.empty()) {
-      // mu is held here — go through the locked writer, not the public
-      // write_bundle() (which takes mu itself).
-      MonitorAccess::write_bundle_locked(*this);
+      // mu is held here — go through the DS_REQUIRES(im.mu) locked writer,
+      // not the public write_bundle() (which takes mu itself; the PR 9
+      // self-deadlock, now a -Wthread-safety error).
+      MonitorAccess::write_bundle_locked(*this, *impl_);
     }
   }
 }
@@ -710,7 +714,7 @@ void Monitor::on_run_finalize(double vtime) {
 void Monitor::mirror(const Event& event) {
   g_slow_entries.fetch_add(1, std::memory_order_relaxed);
   if (std::isnan(event.vtime)) return;
-  std::lock_guard<std::mutex> lock(impl_->flight_mu);
+  const MutexLock lock(impl_->flight_mu);
   impl_->flight[event.rank].push(event, config_.flight_events_per_rank);
 }
 
@@ -738,8 +742,7 @@ JsonValue series_json(const TimeSeries& s) {
 
 }  // namespace
 
-JsonValue MonitorAccess::build_bundle(const Monitor& m) {
-  Monitor::Impl& im = impl(m);
+JsonValue MonitorAccess::build_bundle(const Monitor& m, Impl& im) {
   const MonitorConfig& cfg = m.config_;
   JsonObject doc;
   doc.emplace("schema", JsonValue(std::string(kPostmortemSchema)));
@@ -842,7 +845,7 @@ JsonValue MonitorAccess::build_bundle(const Monitor& m) {
   }
 
   {
-    std::lock_guard<std::mutex> flight_lock(im.flight_mu);
+    const MutexLock flight_lock(im.flight_mu);
     JsonObject flight;
     flight.emplace(
         "per_rank_capacity",
@@ -863,8 +866,8 @@ JsonValue MonitorAccess::build_bundle(const Monitor& m) {
 }
 
 std::string Monitor::bundle_json() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  return write_json(MonitorAccess::build_bundle(*this));
+  const MutexLock lock(impl_->mu);
+  return write_json(MonitorAccess::build_bundle(*this, *impl_));
 }
 
 // ---------------------------------------------------------------------------
@@ -949,12 +952,11 @@ JsonValue monitor_instant(const char* name, std::int64_t rank, double vtime,
 
 }  // namespace
 
-std::string MonitorAccess::build_flight(const Monitor& m) {
-  Monitor::Impl& im = impl(m);
+std::string MonitorAccess::build_flight(const Monitor& m, Impl& im) {
   JsonArray events;
   std::uint64_t dropped = 0;
   {
-    std::lock_guard<std::mutex> flight_lock(im.flight_mu);
+    const MutexLock flight_lock(im.flight_mu);
     for (const auto& [r, ring] : im.flight) {
       const std::string label =
           r == kNoRank ? std::string("host (flight)")
@@ -992,11 +994,11 @@ std::string MonitorAccess::build_flight(const Monitor& m) {
 }
 
 std::string Monitor::flight_trace_json() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  return MonitorAccess::build_flight(*this);
+  const MutexLock lock(impl_->mu);
+  return MonitorAccess::build_flight(*this, *impl_);
 }
 
-bool MonitorAccess::write_bundle_locked(const Monitor& m) {
+bool MonitorAccess::write_bundle_locked(const Monitor& m, Impl& im) {
   const MonitorConfig& config_ = m.config_;
   if (config_.bundle_path.empty()) return false;
   std::string flight_path = config_.flight_trace_path;
@@ -1012,8 +1014,8 @@ bool MonitorAccess::write_bundle_locked(const Monitor& m) {
   }
   // Caller holds mu; serialize fully before opening the files so a write
   // failure can't leave a partially-built document behind.
-  const std::string bundle = write_json(build_bundle(m));
-  const std::string flight = build_flight(m);
+  const std::string bundle = write_json(build_bundle(m, im));
+  const std::string flight = build_flight(m, im);
   std::ofstream bf(config_.bundle_path, std::ios::trunc);
   if (!bf) return false;
   bf << bundle << '\n';
@@ -1024,8 +1026,8 @@ bool MonitorAccess::write_bundle_locked(const Monitor& m) {
 }
 
 bool Monitor::write_bundle() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
-  return MonitorAccess::write_bundle_locked(*this);
+  const MutexLock lock(impl_->mu);
+  return MonitorAccess::write_bundle_locked(*this, *impl_);
 }
 
 // ---------------------------------------------------------------------------

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "obs/chrome_trace.hpp"
+#include "support/thread_annotations.hpp"
 // Flight-recorder mirror: virtual-time instants and complete spans are
 // copied into the installed monitor's bounded per-rank rings (one extra
 // relaxed load + branch on the tracing-ENABLED path only; mirror() drops
@@ -42,11 +43,17 @@ struct ThreadTrace {
 /// very end of the process; tearing the registry down under them would be a
 /// use-after-free for zero benefit).
 struct Recorder {
-  std::mutex mutex;
-  std::vector<std::unique_ptr<ThreadTrace>> threads;
-  std::deque<std::string> intern_storage;
-  std::unordered_map<std::string_view, const char*> intern_index;
-  std::string path;
+  Mutex mutex;
+  // The registry vector is guarded; the pointed-to ThreadTrace objects are
+  // owned by their recording threads and read by snapshot()/reset() only
+  // under the documented quiescence contract.
+  std::vector<std::unique_ptr<ThreadTrace>> threads DS_GUARDED_BY(mutex);
+  std::deque<std::string> intern_storage DS_GUARDED_BY(mutex);
+  // ds-lint: allow(unordered-container): lookup-only intern table — nothing
+  // ever iterates it, so hash order cannot reach any output.
+  std::unordered_map<std::string_view, const char*> intern_index
+      DS_GUARDED_BY(mutex);
+  std::string path DS_GUARDED_BY(mutex);
   std::chrono::steady_clock::time_point epoch =
       std::chrono::steady_clock::now();
   std::atomic<std::uint64_t> dropped{0};
@@ -60,14 +67,18 @@ Recorder& recorder() {
 }
 
 /// Registry lock that feeds the overhead-guard test hook.
-class CountedLock {
+class DS_SCOPED_CAPABILITY CountedLock {
  public:
-  explicit CountedLock(Recorder& r) : lock_(r.mutex) {
+  explicit CountedLock(Recorder& r) DS_ACQUIRE(r.mutex) : mu_(r.mutex) {
+    mu_.lock();
     r.lock_acquisitions.fetch_add(1, std::memory_order_relaxed);
   }
+  ~CountedLock() DS_RELEASE() { mu_.unlock(); }
+  CountedLock(const CountedLock&) = delete;
+  CountedLock& operator=(const CountedLock&) = delete;
 
  private:
-  std::lock_guard<std::mutex> lock_;
+  Mutex& mu_;
 };
 
 thread_local ThreadTrace* t_trace = nullptr;
@@ -117,6 +128,8 @@ void register_atexit_flush() {
 /// process and writes the Chrome trace at exit.
 struct EnvInit {
   EnvInit() {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once from a namespace-
+    // scope static initialiser, strictly before any worker thread exists.
     const char* path = std::getenv("DEEPSCALE_TRACE");
     if (path != nullptr && path[0] != '\0') {
       set_trace_path(path);

@@ -2,11 +2,13 @@
 
 #include <atomic>
 
+#include "support/thread_annotations.hpp"
+
 namespace ds {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_emit_mutex;
+ds::Mutex g_emit_mutex;  // serializes cerr emission across threads
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -28,7 +30,7 @@ void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
 namespace detail {
 
 void log_emit(LogLevel level, const std::string& message) {
-  const std::lock_guard<std::mutex> lock(g_emit_mutex);
+  const ds::MutexLock lock(g_emit_mutex);
   std::cerr << "[deepscale " << level_name(level) << "] " << message << '\n';
 }
 

@@ -1,0 +1,145 @@
+// Clang thread-safety annotations (DESIGN.md §14): the compile-time half of
+// the concurrency contract. Every mutex-guarded subsystem declares WHICH
+// lock guards WHAT data (DS_GUARDED_BY) and which functions expect the lock
+// held (DS_REQUIRES) vs. take it themselves (DS_EXCLUDES); clang's
+// -Wthread-safety analysis then proves the locking discipline on every
+// control-flow path of every build — not just the schedules a TSan run
+// happens to execute. The PR 9 monitor self-deadlock (a REQUIRES-style
+// helper calling back into an EXCLUDES-style public method) is exactly the
+// bug class this turns into a compile error.
+//
+// Under GCC (or any compiler without the attributes) every macro expands to
+// nothing and ds::Mutex degrades to a plain std::mutex wrapper — zero
+// runtime or layout difference, so the annotated tree builds identically
+// everywhere while the clang CI job enforces the analysis with
+// -Werror=thread-safety-analysis.
+//
+// Conventions (see DESIGN.md §14 for the full contract):
+//   * Guarded data uses ds::Mutex, never bare std::mutex, so the capability
+//     is visible to the analysis.
+//   * Critical sections use ds::MutexLock (scoped, non-relockable) or
+//     ds::UniqueLock (relockable, condition-variable capable). Never
+//     std::lock_guard on a ds::Mutex — the libstdc++ lock types carry no
+//     annotations, so the analysis would not see the acquire.
+//   * "_locked" helpers that expect the caller to hold the mutex are
+//     annotated DS_REQUIRES(mu); public entry points that take the mutex
+//     themselves are DS_EXCLUDES(mu) where the distinction matters.
+//   * Intentionally unanalyzed code (Hogwild's by-design racy reads, lock
+//     juggling the analysis cannot follow) uses DS_NO_THREAD_SAFETY_ANALYSIS
+//     with a comment giving the reason — the same policy as ds_lint's
+//     mandatory suppression reasons.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define DS_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef DS_THREAD_ANNOTATION
+#define DS_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define DS_CAPABILITY(name) DS_THREAD_ANNOTATION(capability(name))
+#define DS_SCOPED_CAPABILITY DS_THREAD_ANNOTATION(scoped_lockable)
+#define DS_GUARDED_BY(x) DS_THREAD_ANNOTATION(guarded_by(x))
+#define DS_PT_GUARDED_BY(x) DS_THREAD_ANNOTATION(pt_guarded_by(x))
+#define DS_REQUIRES(...) \
+  DS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define DS_REQUIRES_SHARED(...) \
+  DS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define DS_ACQUIRE(...) DS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define DS_RELEASE(...) DS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define DS_TRY_ACQUIRE(...) \
+  DS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define DS_EXCLUDES(...) DS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define DS_ASSERT_CAPABILITY(x) DS_THREAD_ANNOTATION(assert_capability(x))
+#define DS_RETURN_CAPABILITY(x) DS_THREAD_ANNOTATION(lock_returned(x))
+#define DS_NO_THREAD_SAFETY_ANALYSIS \
+  DS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace ds {
+
+/// std::mutex with the capability attribute, so members can be declared
+/// DS_GUARDED_BY(mu) and functions DS_REQUIRES(mu). Lock it through
+/// MutexLock / UniqueLock; the raw lock()/unlock() exist for the rare
+/// manually-balanced section and are themselves annotated.
+class DS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DS_ACQUIRE() { mu_.lock(); }
+  void unlock() DS_RELEASE() { mu_.unlock(); }
+  bool try_lock() DS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  friend class UniqueLock;
+  std::mutex mu_;
+};
+
+/// Scoped lock (the std::lock_guard shape): acquires in the constructor,
+/// releases in the destructor, no manual control.
+class DS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DS_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() DS_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Relockable scoped lock (the std::unique_lock shape): supports the
+/// unlock-work-relock pattern of the fabric's blocking receives and is what
+/// CondVar::wait takes. The analysis tracks the held/released state through
+/// lock()/unlock(); the destructor releases only if still held.
+class DS_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) DS_ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~UniqueLock() DS_RELEASE() = default;
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() DS_ACQUIRE() { lock_.lock(); }
+  void unlock() DS_RELEASE() { lock_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable over ds::Mutex. wait()/wait_for() keep the lock
+/// logically held across the call from the analysis's point of view — the
+/// correct model for the caller, which re-checks guarded predicates on
+/// wakeup while (really) holding the lock again. Write the predicate as an
+/// explicit `while (!guarded_condition) cv.wait(lock);` loop so the guarded
+/// reads sit in analyzed code, not in a lambda the analysis can't attribute
+/// the lock to.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(UniqueLock& lock) { cv_.wait(lock.lock_); }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(UniqueLock& lock,
+                          const std::chrono::duration<Rep, Period>& dur) {
+    return cv_.wait_for(lock.lock_, dur);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ds

@@ -35,7 +35,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_task_.notify_all();
@@ -46,7 +46,7 @@ void ThreadPool::submit(std::function<void()> task) {
   PoolMetrics& pm = pool_metrics();
   pm.tasks.add();
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     queue_.push_back(QueuedTask{std::move(task), obs::wall_now_ns()});
     pm.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
   }
@@ -54,8 +54,8 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  UniqueLock lock(mutex_);
+  while (!(queue_.empty() && active_ == 0)) cv_idle_.wait(lock);
 }
 
 void ThreadPool::parallel_for(std::size_t n,
@@ -70,8 +70,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     QueuedTask task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      UniqueLock lock(mutex_);
+      while (!stop_ && queue_.empty()) cv_task_.wait(lock);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -91,7 +91,7 @@ void ThreadPool::worker_loop() {
       task.fn();
     }
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       --active_;
       if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
     }
@@ -102,20 +102,25 @@ void parallel_for_threads(std::size_t n,
                           const std::function<void(std::size_t)>& fn) {
   std::vector<std::thread> threads;
   threads.reserve(n);
-  std::mutex failure_mutex;
-  std::exception_ptr first_failure;
+  struct FailureSlot {
+    Mutex mutex;
+    std::exception_ptr first DS_GUARDED_BY(mutex);
+  } failure;
   for (std::size_t i = 0; i < n; ++i) {
     threads.emplace_back([&, i] {
       try {
         fn(i);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(failure_mutex);
-        if (!first_failure) first_failure = std::current_exception();
+        const MutexLock lock(failure.mutex);
+        if (!failure.first) failure.first = std::current_exception();
       }
     });
   }
   for (auto& t : threads) t.join();
-  if (first_failure) std::rethrow_exception(first_failure);
+  // All workers are joined: the slot is quiescent and this thread holds the
+  // only reference, but the analysis still wants the capability held.
+  const MutexLock lock(failure.mutex);
+  if (failure.first) std::rethrow_exception(failure.first);
 }
 
 }  // namespace ds

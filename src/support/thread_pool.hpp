@@ -3,14 +3,14 @@
 // master updates experience genuine thread interleaving.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/thread_annotations.hpp"
 
 namespace ds {
 
@@ -46,12 +46,12 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> threads_;
-  std::deque<QueuedTask> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_idle_;
-  std::size_t active_ = 0;
-  bool stop_ = false;
+  Mutex mutex_;
+  std::deque<QueuedTask> queue_ DS_GUARDED_BY(mutex_);
+  CondVar cv_task_;
+  CondVar cv_idle_;
+  std::size_t active_ DS_GUARDED_BY(mutex_) = 0;
+  bool stop_ DS_GUARDED_BY(mutex_) = false;
 };
 
 /// Run fn(i) for i in [0, n) across `threads` std::threads and join them all.

@@ -4,7 +4,8 @@
 #include <cstring>
 #include <functional>
 #include <memory>
-#include <mutex>
+
+#include "support/thread_annotations.hpp"
 
 #include "tensor/kernel_pool.hpp"
 
@@ -46,12 +47,13 @@ PackWorkspace& pack_workspace() {
 // The shared compute pool behind the opt-in threaded path. Concurrent
 // threaded gemms serialize on this mutex (each still runs parallel inside);
 // serial gemms — the fabric-worker default — never touch it.
-std::mutex& compute_pool_mutex() {
-  static std::mutex m;
+Mutex& compute_pool_mutex() {
+  static Mutex m;
   return m;
 }
 
-ThreadPool& compute_pool(std::size_t threads) {  // call with the mutex held
+ThreadPool& compute_pool(std::size_t threads)
+    DS_REQUIRES(compute_pool_mutex()) {
   static std::unique_ptr<ThreadPool> pool;
   if (!pool || pool->size() < threads) {
     pool = std::make_unique<ThreadPool>(threads);
@@ -331,7 +333,7 @@ void gemm_impl(Transpose trans_a, Transpose trans_b, std::size_t m,
   if (threads <= 1) {
     run(nullptr);
   } else {
-    const std::lock_guard<std::mutex> lock(compute_pool_mutex());
+    const MutexLock lock(compute_pool_mutex());
     run(&compute_pool(threads));
   }
 }
@@ -350,7 +352,7 @@ void kernel_parallel_for(std::size_t tasks, std::size_t threads,
     for (std::size_t t = 0; t < tasks; ++t) fn(t);
     return;
   }
-  const std::lock_guard<std::mutex> lock(compute_pool_mutex());
+  const MutexLock lock(compute_pool_mutex());
   compute_pool(threads).parallel_for(tasks, fn);
 }
 

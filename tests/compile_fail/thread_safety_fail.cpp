@@ -1,0 +1,26 @@
+// Deliberately mis-annotated TU — the compile-fail half of the annotation
+// smoke test. Under clang with -Werror=thread-safety-analysis this file
+// must be REJECTED; the ctest wrapper (thread_safety_compile_fail, see
+// tests/CMakeLists.txt) builds it and inverts the result with WILL_FAIL,
+// so the analysis silently rotting away turns CI red. GCC compiles it
+// happily (the DS_* macros are no-ops there), which is why the test is
+// gated on clang.
+
+#include "support/thread_annotations.hpp"
+
+namespace {
+
+struct Guarded {
+  ds::Mutex mu;
+  int value DS_GUARDED_BY(mu) = 0;
+
+  void add_locked(int d) DS_REQUIRES(mu) { value += d; }
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.add_locked(1);  // calling a REQUIRES(mu) function without holding mu
+  return g.value;   // reading a guarded member without the lock
+}

@@ -1,0 +1,115 @@
+// ds_lint CLI — lint files or directory trees against the repo invariants.
+//
+//   ds_lint src tools tests          # lint the tree (CI / ctest entry)
+//   ds_lint src/serve/server.cpp     # lint one file
+//   ds_lint --list-rules             # print the rule catalog
+//
+// Exits 0 when clean, 1 with file:line diagnostics otherwise, 2 on usage
+// or I/O errors. Directories are walked recursively for .cpp/.hpp/.cc/.h;
+// files are visited in sorted path order so output is deterministic.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ds_lint/lint.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+/// Normalize to forward slashes with no leading "./" so config fragments
+/// match however the tree was addressed.
+std::string normalize(const fs::path& p) {
+  std::string s = p.lexically_normal().generic_string();
+  while (s.rfind("./", 0) == 0) s.erase(0, 2);
+  return s;
+}
+
+int collect(const fs::path& root, std::vector<fs::path>& files) {
+  std::error_code ec;
+  const fs::file_status st = fs::status(root, ec);
+  if (ec) {
+    std::cerr << "ds_lint: cannot stat " << root << ": " << ec.message()
+              << '\n';
+    return 2;
+  }
+  if (fs::is_directory(st)) {
+    for (fs::recursive_directory_iterator it(root, ec), end;
+         it != end && !ec; it.increment(ec)) {
+      if (it->is_regular_file() && lintable(it->path())) {
+        files.push_back(it->path());
+      }
+    }
+    if (ec) {
+      std::cerr << "ds_lint: error walking " << root << ": " << ec.message()
+                << '\n';
+      return 2;
+    }
+    return 0;
+  }
+  if (fs::is_regular_file(st)) {
+    files.push_back(root);
+    return 0;
+  }
+  std::cerr << "ds_lint: not a file or directory: " << root << '\n';
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    std::cerr << "usage: ds_lint [--list-rules] <file-or-dir>...\n";
+    return 2;
+  }
+  if (args[0] == "--list-rules") {
+    for (const std::string& id : ds::lint::rule_ids()) {
+      std::cout << id << '\n';
+    }
+    return 0;
+  }
+
+  std::vector<fs::path> files;
+  for (const std::string& a : args) {
+    if (const int rc = collect(a, files); rc != 0) return rc;
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  const ds::lint::Config config = ds::lint::default_config();
+  std::size_t total = 0;
+  for (const fs::path& f : files) {
+    std::ifstream in(f, std::ios::binary);
+    if (!in) {
+      std::cerr << "ds_lint: cannot read " << f << '\n';
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string source = buf.str();
+    const std::vector<ds::lint::Diagnostic> diags =
+        ds::lint::lint_file(config, normalize(f), source);
+    for (const ds::lint::Diagnostic& d : diags) {
+      std::cout << d.path << ':' << d.line << ": [" << d.rule << "] "
+                << d.message << '\n';
+    }
+    total += diags.size();
+  }
+  if (total > 0) {
+    std::cout << "ds_lint: " << total << " finding(s) in " << files.size()
+              << " file(s)\n";
+    return 1;
+  }
+  return 0;
+}
